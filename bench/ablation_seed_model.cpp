@@ -1,0 +1,59 @@
+// Ablation -- seed model (paper section 4.4): the pipeline uses "only one
+// seed of 4 amino acids, but based on the subset seed approach" instead of
+// BLAST's two-hit 3-mers, because subset seeds index efficiently while
+// keeping sensitivity. This bench quantifies that choice: index size,
+// step-2 workload, hits found and planted-homology recall for
+// subset-w4 vs exact-w4 vs exact-w3 seeds.
+#include "common.hpp"
+
+#include "core/step1_index.hpp"
+
+int main() {
+  using namespace psc;
+  const sim::PaperWorkload workload = bench::make_bench_workload(77);
+  const auto& bank = workload.banks[2];  // mid-size bank
+
+  struct Config {
+    const char* name;
+    core::SeedModelKind kind;
+    std::size_t seed_width;
+  };
+  const Config configs[] = {
+      {"subset-w4 (paper)", core::SeedModelKind::kSubsetW4, 4},
+      {"exact-w4", core::SeedModelKind::kExactW4, 4},
+      {"exact-w3", core::SeedModelKind::kExactW3, 3},
+  };
+
+  util::TextTable table;
+  table.set_header({"seed model", "key space", "step2 pairs", "step2 hits",
+                    "matches", "step2 modeled s"});
+
+  for (const Config& config : configs) {
+    std::fprintf(stderr, "# %s...\n", config.name);
+    core::PipelineOptions options = bench::rasc_options(192);
+    options.seed_model = config.kind;
+    options.shape.seed_width = config.seed_width;
+    // Keep window length constant (64) across widths for comparability.
+    options.shape.flank = (64 - config.seed_width) / 2;
+
+    const index::SeedModel model = core::make_seed_model(config.kind);
+    const core::PipelineResult result =
+        core::run_pipeline(bank.proteins, workload.genome_bank, options);
+
+    table.add_row({config.name,
+                   util::TextTable::count(static_cast<long long>(model.key_space())),
+                   util::TextTable::count(static_cast<long long>(result.counters.step2_pairs)),
+                   util::TextTable::count(static_cast<long long>(result.counters.step2_hits)),
+                   std::to_string(result.matches.size()),
+                   util::TextTable::num(result.times.step2_ungapped, 3)});
+  }
+
+  bench::print_table(
+      "Ablation: seed model (bank " + bank.label + ")", table,
+      "  expected: exact-w3's small key space explodes the pair count\n"
+      "  (longer index lists per key) -- the cost BLAST's two-hit filter\n"
+      "  exists to contain; subset-w4 recovers sensitivity lost by\n"
+      "  exact-w4 at modest extra pairs. Match counts stay comparable,\n"
+      "  supporting the paper's 'same sensitivity' claim.");
+  return 0;
+}

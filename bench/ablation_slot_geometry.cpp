@@ -1,0 +1,60 @@
+// Ablation -- PE slot geometry (paper section 3.1): "slots (or clusters)
+// of several PEs are separated by registers barriers". More slots mean
+// more pipeline skew but shorter data paths (which is what lets the real
+// design close timing at 100 MHz). The simulator exposes the skew side:
+// this bench sweeps the slot size at fixed PE count and reports the cycle
+// overhead and the FIFO pressure per geometry.
+#include "common.hpp"
+
+#include "core/step1_index.hpp"
+#include "rasc/rasc_backend.hpp"
+
+int main() {
+  using namespace psc;
+  const sim::PaperWorkload workload = bench::make_bench_workload(78);
+  const auto& bank = workload.banks[2];
+
+  core::PipelineOptions base = bench::rasc_options(192);
+  const core::Step1Result step1 =
+      core::run_step1(bank.proteins, workload.genome_bank, base);
+
+  util::TextTable table;
+  table.set_header({"slot size", "slots", "skew cyc", "total cycles",
+                    "overhead vs 1-slot", "stall cyc"});
+
+  std::uint64_t monolithic_cycles = 0;
+  for (const std::size_t slot_size : {192u, 48u, 16u, 8u, 4u, 2u}) {
+    std::fprintf(stderr, "# slot size %zu...\n", slot_size);
+    rasc::RascStep2Config config;
+    config.psc = base.rasc.psc;
+    config.psc.slot_size = slot_size;
+    config.psc.window_length = base.shape.length();
+    config.psc.threshold = base.ungapped_threshold;
+    config.shape = base.shape;
+    const rasc::RascStep2Result result = rasc::run_rasc_step2(
+        bank.proteins, step1.table0, workload.genome_bank, step1.table1,
+        bio::SubstitutionMatrix::blosum62(), config);
+
+    const std::uint64_t cycles = result.stats.cycles_total();
+    if (slot_size == 192u) monolithic_cycles = cycles;
+    table.add_row(
+        {std::to_string(slot_size), std::to_string(config.psc.num_slots()),
+         std::to_string(config.psc.skew_cycles()),
+         util::TextTable::count(static_cast<long long>(cycles)),
+         util::TextTable::num(
+             100.0 * (static_cast<double>(cycles) /
+                          static_cast<double>(monolithic_cycles) -
+                      1.0),
+             2) + "%",
+         util::TextTable::count(
+             static_cast<long long>(result.stats.cycles_stall))});
+  }
+
+  bench::print_table(
+      "Ablation: PE slot size at 192 PEs (bank " + bank.label + ")", table,
+      "  expected: register barriers cost only a fraction of a percent in\n"
+      "  cycles even at slot size 2 -- the paper's pipeline structure buys\n"
+      "  its Place-and-Route benefits essentially for free, which is why\n"
+      "  'the control is independent of the number of PEs' scales.");
+  return 0;
+}

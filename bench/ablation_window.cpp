@@ -1,0 +1,41 @@
+// Ablation -- ungapped window half-width N (paper section 2.2): the PE
+// compares windows of W + 2N residues, so N sets both the compute time
+// per comparison (cycles scale linearly with window length) and the
+// sensitivity of the ungapped filter. This bench sweeps N at a threshold
+// scaled to the window.
+#include "common.hpp"
+
+int main() {
+  using namespace psc;
+  const sim::PaperWorkload workload = bench::make_bench_workload(80);
+  const auto& bank = workload.banks[2];
+
+  util::TextTable table;
+  table.set_header({"N (flank)", "window", "step2 cycles", "step2 hits",
+                    "matches", "modeled s"});
+
+  for (const std::size_t flank : {10u, 20u, 30u, 45u, 60u}) {
+    std::fprintf(stderr, "# N = %zu...\n", flank);
+    core::PipelineOptions options = bench::rasc_options(192);
+    options.shape.flank = flank;
+    const core::PipelineResult result =
+        core::run_pipeline(bank.proteins, workload.genome_bank, options);
+    table.add_row(
+        {std::to_string(flank), std::to_string(options.shape.length()),
+         util::TextTable::count(
+             static_cast<long long>(result.operator_stats.cycles_total())),
+         util::TextTable::count(
+             static_cast<long long>(result.counters.step2_hits)),
+         std::to_string(result.matches.size()),
+         util::TextTable::num(result.times.step2_ungapped, 3)});
+  }
+
+  bench::print_table(
+      "Ablation: window half-width N (bank " + bank.label + ", 192 PEs)",
+      table,
+      "  expected: cycles grow linearly with the window; small N misses\n"
+      "  homologies whose similarity lies outside the window (fewer final\n"
+      "  matches); the paper's N=30 (window 64) sits where recall has\n"
+      "  saturated but each comparison still costs only 64 cycles.");
+  return 0;
+}

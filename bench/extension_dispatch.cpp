@@ -1,0 +1,62 @@
+// Extension bench -- the paper's closing question (section 5): "how to
+// dispatch the overall computation between cores and FPGA to get optimal
+// performances". Step 2's key space is split between the host thread
+// pool (measured) and the simulated accelerator (modeled); both halves
+// run concurrently, so combined time is the maximum of the two. The
+// sweep locates the crossover.
+#include "common.hpp"
+
+#include "core/dispatch.hpp"
+#include "core/step1_index.hpp"
+
+int main() {
+  using namespace psc;
+  const sim::PaperWorkload workload = bench::make_bench_workload(83);
+  const auto& bank = workload.banks.back();
+
+  core::PipelineOptions base = bench::rasc_options(192);
+  std::fprintf(stderr, "# indexing bank %s...\n", bank.label.c_str());
+  const core::Step1Result step1 =
+      core::run_step1(bank.proteins, workload.genome_bank, base);
+
+  util::TextTable table;
+  table.set_header({"host share", "host s (measured)", "accel s (modeled)",
+                    "combined s", "hits"});
+
+  double best_combined = 0.0;
+  double best_fraction = 0.0;
+  for (const double fraction : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    std::fprintf(stderr, "# host fraction %.2f...\n", fraction);
+    core::DispatchConfig config;
+    config.host_fraction = fraction;
+    config.host_threads = 0;
+    config.rasc = base.rasc;
+    config.shape = base.shape;
+    config.threshold = base.ungapped_threshold;
+    const core::DispatchResult result = core::run_step2_dispatch(
+        bank.proteins, step1.table0, workload.genome_bank, step1.table1,
+        bio::SubstitutionMatrix::blosum62(), config);
+    const double combined = result.combined_seconds();
+    if (best_combined == 0.0 || combined < best_combined) {
+      best_combined = combined;
+      best_fraction = fraction;
+    }
+    table.add_row({util::TextTable::num(100.0 * fraction, 0) + "%",
+                   util::TextTable::num(result.host_seconds, 3),
+                   util::TextTable::num(result.accel_seconds, 3),
+                   util::TextTable::num(combined, 3),
+                   util::TextTable::count(static_cast<long long>(result.hits.size()))});
+  }
+
+  bench::print_table(
+      "Extension: step-2 dispatch between host cores and FPGA (bank " +
+          bank.label + ")",
+      table,
+      "  the best split depends on the host:accelerator throughput ratio\n"
+      "  -- precisely the compromise the paper says future reconfigurable\n"
+      "  platforms must find. Hit sets are identical at every split.");
+  std::printf("best compromise here: %.0f%% of pair work on the host "
+              "(%.3f s combined)\n",
+              100.0 * best_fraction, best_combined);
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Google-benchmark microkernels for the library's hot paths: the
+// ungapped window kernel (the PE datapath), index construction, the
+// X-drop extensions, six-frame translation and the two simulator engines.
+#include <benchmark/benchmark.h>
+
+#include "align/gapped.hpp"
+#include "align/ungapped.hpp"
+#include "align/xdrop.hpp"
+#include "bio/translate.hpp"
+#include "index/index_table.hpp"
+#include "rasc/psc_operator.hpp"
+#include "sim/genome_generator.hpp"
+#include "sim/protein_generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace psc;
+
+std::vector<std::uint8_t> random_residues(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& r : out) r = static_cast<std::uint8_t>(rng.bounded(20));
+  return out;
+}
+
+void BM_UngappedWindowScore(benchmark::State& state) {
+  const auto length = static_cast<std::size_t>(state.range(0));
+  const auto a = random_residues(length, 1);
+  const auto b = random_residues(length, 2);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::ungapped_window_score(a, b, m));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(length));
+}
+BENCHMARK(BM_UngappedWindowScore)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_UngappedBlockedOneVsMany(benchmark::State& state) {
+  const std::size_t length = 64;
+  util::Xoshiro256 rng(21);
+  bio::SequenceBank bank(bio::SequenceKind::kProtein);
+  bank.add(sim::generate_protein("pool", 2000, rng));
+  const index::WindowShape shape{4, 30};
+  index::WindowBatch batch(length);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    batch.append(bank, index::Occurrence{0, 40 + 13 * i}, shape);
+  }
+  index::WindowBatch one(length);
+  one.append(bank, index::Occurrence{0, 500}, shape);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  std::vector<int> scores;
+  const bool blocked = state.range(0) != 0;
+  for (auto _ : state) {
+    if (blocked) {
+      align::ungapped_score_one_vs_many_blocked(one.window(0), batch, m,
+                                                scores);
+    } else {
+      align::ungapped_score_one_vs_many(one.window(0), batch, m, scores);
+    }
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          static_cast<std::int64_t>(length));
+}
+BENCHMARK(BM_UngappedBlockedOneVsMany)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("blocked");
+
+void BM_PeComputeWindow(benchmark::State& state) {
+  const std::size_t length = 64;
+  const auto a = random_residues(length, 3);
+  const auto b = random_residues(length, 4);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  rasc::ProcessingElement pe(length, m);
+  for (std::size_t i = 0; i < length; ++i) pe.load_residue(a[i], 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pe.compute_window(b.data()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(length));
+}
+BENCHMARK(BM_PeComputeWindow);
+
+void BM_XdropUngapped(benchmark::State& state) {
+  const auto a = random_residues(400, 5);
+  auto b = a;  // homologous: extension actually runs
+  util::Xoshiro256 rng(6);
+  for (int k = 0; k < 80; ++k) {
+    b[rng.bounded(b.size())] = static_cast<std::uint8_t>(rng.bounded(20));
+  }
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        align::xdrop_ungapped_extend(a, b, 200, 200, 4, m, 16));
+  }
+}
+BENCHMARK(BM_XdropUngapped);
+
+void BM_XdropGapped(benchmark::State& state) {
+  const auto a = random_residues(400, 7);
+  auto b = a;
+  util::Xoshiro256 rng(8);
+  for (int k = 0; k < 80; ++k) {
+    b[rng.bounded(b.size())] = static_cast<std::uint8_t>(rng.bounded(20));
+  }
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const align::GapParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        align::xdrop_gapped_extend(a, b, 200, 200, 4, m, params));
+  }
+}
+BENCHMARK(BM_XdropGapped);
+
+void BM_SmithWaterman(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_residues(n, 9);
+  const auto b = random_residues(n, 10);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const align::GapParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::smith_waterman(a, b, m, params));
+  }
+}
+BENCHMARK(BM_SmithWaterman)->Arg(100)->Arg(300);
+
+void BM_IndexBuild(benchmark::State& state) {
+  sim::ProteinBankConfig config;
+  config.count = static_cast<std::size_t>(state.range(0));
+  config.seed = 11;
+  const bio::SequenceBank bank = sim::generate_protein_bank(config);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  for (auto _ : state) {
+    index::IndexTable table(bank, model);
+    benchmark::DoNotOptimize(table.total_occurrences());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bank.total_residues()));
+}
+BENCHMARK(BM_IndexBuild)->Arg(50)->Arg(200);
+
+void BM_SixFrameTranslation(benchmark::State& state) {
+  sim::GenomeConfig config;
+  config.length = 100'000;
+  config.seed = 12;
+  const bio::Sequence genome = sim::generate_genome(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::translate_six_frames(genome).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(genome.size()));
+}
+BENCHMARK(BM_SixFrameTranslation);
+
+/// The two simulator engines on one seed key: cost of cycle exactness.
+template <bool kCycleExact>
+void BM_OperatorEngine(benchmark::State& state) {
+  util::Xoshiro256 rng(13);
+  bio::SequenceBank bank(bio::SequenceKind::kProtein);
+  bank.add(sim::generate_protein("pool", 4000, rng));
+  const index::WindowShape shape{4, 30};
+  index::WindowBatch il0(shape.length());
+  index::WindowBatch il1(shape.length());
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    il0.append(bank, index::Occurrence{0, 40 + 17 * i}, shape);
+    il1.append(bank, index::Occurrence{0, 41 + 13 * i}, shape);
+  }
+  rasc::PscConfig config;
+  config.num_pes = 32;
+  config.window_length = shape.length();
+  config.threshold = 40;
+  rasc::PscOperator op(config, bio::SubstitutionMatrix::blosum62());
+  std::vector<rasc::ResultRecord> sink;
+  for (auto _ : state) {
+    sink.clear();
+    if constexpr (kCycleExact) {
+      op.run_key_cycle_exact(il0, il1, sink);
+    } else {
+      op.run_key(il0, il1, sink);
+    }
+    benchmark::DoNotOptimize(sink.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32 *
+                          32 * static_cast<std::int64_t>(shape.length()));
+}
+BENCHMARK(BM_OperatorEngine<false>)->Name("BM_OperatorBatch");
+BENCHMARK(BM_OperatorEngine<true>)->Name("BM_OperatorCycleExact");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Table 4 -- "Performance comparison of step 2 only": the ungapped
+// extension stage alone, host-sequential vs the PE array at 64/128/192.
+//
+// Paper (seconds; speedups in parentheses):
+//   bank   sequential  64PE         128PE        192PE
+//   1K     2,368       220 (10.8)   176 (13.5)   169 (14.0)
+//   3K     7,577       462 (16.4)   280 (27.1)   223 (34.0)
+//   10K    24,687      1,366 (18.1) 720 (34.3)   510 (48.4)
+//   30K    73,492      3,932 (18.7) 2,015 (36.5) 1,373 (53.5)
+//
+// Shape targets: step-2 speedup far exceeds the end-to-end speedup of
+// Table 2 (Amdahl), and grows with both bank size and PE count.
+#include "common.hpp"
+
+#include "core/step1_index.hpp"
+#include "core/step2_host.hpp"
+#include "rasc/rasc_backend.hpp"
+
+int main() {
+  using namespace psc;
+  const sim::PaperWorkload workload = bench::make_bench_workload();
+  const std::size_t pe_configs[] = {64, 128, 192};
+  const double paper_speedup[][3] = {{10.76, 13.45, 14.01},
+                                     {16.40, 27.06, 33.97},
+                                     {18.07, 34.28, 48.38},
+                                     {18.68, 36.47, 53.52}};
+
+  util::TextTable table;
+  table.set_header({"bank", "sequential s", "64PE s", "x", "128PE s", "x",
+                    "192PE s", "x"});
+
+  core::PipelineOptions options;  // threshold 38
+  options.seed_model = core::SeedModelKind::kSubsetW4Coarse;
+
+  for (std::size_t b = 0; b < workload.banks.size(); ++b) {
+    const auto& bank = workload.banks[b];
+    std::fprintf(stderr, "# bank %s: indexing...\n", bank.label.c_str());
+    const core::Step1Result step1 =
+        core::run_step1(bank.proteins, workload.genome_bank, options);
+
+    std::fprintf(stderr, "# bank %s: host-sequential step 2...\n",
+                 bank.label.c_str());
+    util::Timer timer;
+    const core::HostStep2Result host = core::run_step2_host(
+        bank.proteins, step1.table0, workload.genome_bank, step1.table1,
+        bio::SubstitutionMatrix::blosum62(), options.shape,
+        options.ungapped_threshold);
+    const double host_seconds = timer.seconds();
+
+    std::vector<std::string> row = {bank.label,
+                                    util::TextTable::num(host_seconds, 3)};
+    for (const std::size_t pes : pe_configs) {
+      std::fprintf(stderr, "# bank %s: RASC step 2, %zu PEs...\n",
+                   bank.label.c_str(), pes);
+      rasc::RascStep2Config config;
+      config.psc = bench::rasc_options(pes).rasc.psc;
+      config.psc.window_length = options.shape.length();
+      config.psc.threshold = options.ungapped_threshold;
+      config.shape = options.shape;
+      const rasc::RascStep2Result accel = rasc::run_rasc_step2(
+          bank.proteins, step1.table0, workload.genome_bank, step1.table1,
+          bio::SubstitutionMatrix::blosum62(), config);
+      if (accel.hits.size() != host.hits.size()) {
+        std::fprintf(stderr, "!! backend divergence: %zu vs %zu hits\n",
+                     accel.hits.size(), host.hits.size());
+      }
+      row.push_back(util::TextTable::num(accel.modeled_seconds, 3));
+      row.push_back(
+          util::TextTable::num(host_seconds / accel.modeled_seconds, 2));
+    }
+    table.add_row(row);
+  }
+
+  table.add_rule();
+  const char* labels[] = {"1K", "3K", "10K", "30K"};
+  for (int b = 0; b < 4; ++b) {
+    table.add_row({std::string("paper ") + labels[b], "-",
+                   "-", util::TextTable::num(paper_speedup[b][0], 1),
+                   "-", util::TextTable::num(paper_speedup[b][1], 1),
+                   "-", util::TextTable::num(paper_speedup[b][2], 1)});
+  }
+
+  bench::print_table(
+      "Table 4: step 2 (ungapped extension) only", table,
+      "  shape check: speedup grows with bank size and PE count. Note an\n"
+      "  inversion against the paper's section 4.2: their sequential\n"
+      "  step 2 was slower than all of NCBI tblastn, while ours (blocked\n"
+      "  kernel, ~1G cells/s) is faster per cell than the baseline scan --\n"
+      "  so our Table 4 ratios sit below Table 2's rather than above.\n"
+      "  The one-time bitstream load is included, as in the paper.");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Table 6 -- "ROC50 and AP-Mean scores of RASC and NCBI BLAST":
+// sensitivity/selectivity parity between the subset-seed pipeline and the
+// two-hit tblastn baseline, on the synthetic stand-in for the 102-query
+// yeast benchmark of Gertz et al. (see DESIGN.md for the substitution).
+//
+// Paper: RASC ROC50 0.468 / AP 0.447; NCBI ROC50 0.479 / AP 0.441.
+// Shape target: the two methods score close to each other; neither
+// dominates.
+#include "common.hpp"
+
+#include "eval/average_precision.hpp"
+#include "eval/benchmark_set.hpp"
+#include "eval/compare_hits.hpp"
+#include "eval/roc.hpp"
+
+namespace {
+
+struct Scores {
+  double roc50 = 0.0;
+  double ap_mean = 0.0;
+  std::size_t hits = 0;
+};
+
+Scores score(const psc::eval::QualityBenchmark& benchmark,
+             std::vector<psc::eval::GenericHit> hits) {
+  using namespace psc;
+  Scores out;
+  out.hits = hits.size();
+  const auto labels = benchmark.per_query_labels(std::move(hits), 100);
+  std::vector<double> roc_scores, ap_scores;
+  for (std::size_t q = 0; q < benchmark.queries.size(); ++q) {
+    roc_scores.push_back(eval::roc50(
+        labels[q], benchmark.positives_per_family[benchmark.query_family[q]]));
+    ap_scores.push_back(eval::average_precision(labels[q], 50));
+  }
+  out.roc50 = eval::mean(roc_scores);
+  out.ap_mean = eval::mean(ap_scores);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace psc;
+
+  // 34 families x 6 members, 3 queries each = 102 queries, like the paper's
+  // 102-query benchmark. Members diverge independently from the ancestor
+  // at 45% substitutions with weakly conservative replacements, putting
+  // pairwise member identity in the remote-homology regime (~25%) where
+  // ranking is non-trivial -- the regime the paper's curated yeast
+  // benchmark probes (its mid-range 0.47 scores).
+  eval::QualityBenchmarkConfig config;
+  config.family.families = 34;
+  config.family.members_per_family = 6;
+  config.family.ancestor_length = 250;
+  config.family.divergence.substitution_rate = 0.45;
+  config.family.divergence.conservation = 0.4;
+  config.family.divergence.indel_rate = 0.015;
+  config.queries_per_family = 3;
+  config.genome_length = 500'000;
+  config.seed = 102;
+
+  std::fprintf(stderr, "# building 102-query family benchmark...\n");
+  const eval::QualityBenchmark benchmark = eval::build_quality_benchmark(config);
+
+  std::fprintf(stderr, "# RASC pipeline...\n");
+  core::PipelineOptions pipeline_options = bench::rasc_options(192);
+  // Quality comparison uses the paper-fidelity subset seed, not the
+  // coarse timing seed.
+  pipeline_options.seed_model = core::SeedModelKind::kSubsetW4;
+  // Remote-homology regime: the window filter threshold is the main
+  // sensitivity knob (section 2.2); 33 matches the baseline's effective
+  // gap_trigger sensitivity on this data scale.
+  pipeline_options.ungapped_threshold = 33;
+  const core::PipelineResult pipeline_result = core::run_pipeline(
+      benchmark.queries, benchmark.genome_bank, pipeline_options);
+  const Scores rasc =
+      score(benchmark, eval::to_generic(pipeline_result.matches));
+
+  std::fprintf(stderr, "# tblastn baseline...\n");
+  const blast::TblastnResult blast_result = blast::tblastn_search(
+      benchmark.queries, benchmark.genome_bank,
+      bio::SubstitutionMatrix::blosum62(), blast::TblastnOptions{});
+  const Scores ncbi = score(benchmark, eval::to_generic(blast_result.hits));
+
+  util::TextTable table;
+  table.set_header({"", "FPGA-RASC", "tblastn baseline"});
+  table.add_row({"ROC50 (measured)", util::TextTable::num(rasc.roc50, 3),
+                 util::TextTable::num(ncbi.roc50, 3)});
+  table.add_row({"AP-Mean (measured)", util::TextTable::num(rasc.ap_mean, 3),
+                 util::TextTable::num(ncbi.ap_mean, 3)});
+  table.add_row({"hits", std::to_string(rasc.hits), std::to_string(ncbi.hits)});
+  table.add_rule();
+  table.add_row({"ROC50 (paper)", "0.468", "0.479"});
+  table.add_row({"AP-Mean (paper)", "0.447", "0.441"});
+
+  const eval::OverlapStats overlap =
+      eval::compare_hits(eval::to_generic(pipeline_result.matches),
+                         eval::to_generic(blast_result.hits));
+
+  bench::print_table("Table 6: ROC50 and AP-Mean, RASC vs baseline", table,
+                     "  shape check: 'Similar values indicate similar\n"
+                     "  sensitivity and selectivity' -- the two methods must\n"
+                     "  score within a few points of each other.");
+  std::printf("hit-set overlap: %zu shared, %zu pipeline-only, %zu "
+              "baseline-only (Jaccard %.2f)\n",
+              overlap.shared, overlap.only_a, overlap.only_b,
+              overlap.jaccard());
+  return 0;
+}

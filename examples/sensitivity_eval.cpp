@@ -1,0 +1,107 @@
+// Sensitivity / selectivity evaluation (the paper's section 4.4): build a
+// synthetic protein-family benchmark, search it with both the seed-based
+// pipeline and the tblastn baseline, and report ROC50 and AP-Mean per
+// method -- the reproduction of Table 6 in example form.
+//
+//   $ ./sensitivity_eval --families=10 --members=5
+#include <cstdio>
+
+#include "blast/tblastn.hpp"
+#include "core/pipeline.hpp"
+#include "eval/average_precision.hpp"
+#include "eval/benchmark_set.hpp"
+#include "eval/compare_hits.hpp"
+#include "eval/roc.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct QualityScores {
+  double roc50 = 0.0;
+  double ap_mean = 0.0;
+};
+
+QualityScores score_method(const psc::eval::QualityBenchmark& benchmark,
+                           const std::vector<psc::eval::GenericHit>& hits) {
+  using namespace psc;
+  const auto labels = benchmark.per_query_labels(hits, 100);
+  std::vector<double> roc_scores, ap_scores;
+  for (std::size_t q = 0; q < benchmark.queries.size(); ++q) {
+    const std::size_t positives =
+        benchmark.positives_per_family[benchmark.query_family[q]];
+    roc_scores.push_back(eval::roc50(labels[q], positives));
+    ap_scores.push_back(eval::average_precision(labels[q], 50));
+  }
+  return {eval::mean(roc_scores), eval::mean(ap_scores)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psc;
+
+  util::ArgParser args("sensitivity_eval",
+                       "ROC50 / AP-Mean comparison of the RASC pipeline and "
+                       "the tblastn baseline on a synthetic family benchmark");
+  args.add_option("families", "20", "number of protein families");
+  args.add_option("members", "6", "members per family");
+  args.add_option("queries", "3", "queries per family");
+  args.add_option("identity", "0.8", "within-family sequence identity");
+  args.add_option("genome", "300000", "genome length (nt)");
+  args.add_option("seed", "11", "benchmark seed");
+  if (!args.parse(argc, argv)) return 1;
+
+  eval::QualityBenchmarkConfig config;
+  config.family.families = static_cast<std::size_t>(args.get_int("families"));
+  config.family.members_per_family =
+      static_cast<std::size_t>(args.get_int("members"));
+  config.family.divergence.substitution_rate =
+      1.0 - args.get_double("identity");
+  config.queries_per_family = static_cast<std::size_t>(args.get_int("queries"));
+  config.genome_length = static_cast<std::size_t>(args.get_int("genome"));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  std::fprintf(stderr, "# building benchmark: %zu families x %zu members, "
+                       "%zu queries total\n",
+               config.family.families, config.family.members_per_family,
+               config.family.families * config.queries_per_family);
+  const eval::QualityBenchmark benchmark = eval::build_quality_benchmark(config);
+
+  // Method 1: the seed-based pipeline on the simulated accelerator.
+  core::PipelineOptions pipeline_options;
+  pipeline_options.backend = core::Step2Backend::kRasc;
+  const core::PipelineResult pipeline_result =
+      core::run_pipeline(benchmark.queries, benchmark.genome_bank,
+                         pipeline_options);
+  const QualityScores rasc_scores =
+      score_method(benchmark, eval::to_generic(pipeline_result.matches));
+
+  // Method 2: the tblastn baseline.
+  const blast::TblastnResult blast_result = blast::tblastn_search(
+      benchmark.queries, benchmark.genome_bank,
+      bio::SubstitutionMatrix::blosum62(), blast::TblastnOptions{});
+  const QualityScores blast_scores =
+      score_method(benchmark, eval::to_generic(blast_result.hits));
+
+  const eval::OverlapStats overlap =
+      eval::compare_hits(eval::to_generic(pipeline_result.matches),
+                         eval::to_generic(blast_result.hits));
+
+  util::TextTable table;
+  table.set_header({"", "FPGA-RASC (this library)", "tblastn baseline"});
+  table.add_row({"ROC50", util::TextTable::num(rasc_scores.roc50, 3),
+                 util::TextTable::num(blast_scores.roc50, 3)});
+  table.add_row({"AP-Mean", util::TextTable::num(rasc_scores.ap_mean, 3),
+                 util::TextTable::num(blast_scores.ap_mean, 3)});
+  table.add_row({"hits", std::to_string(pipeline_result.matches.size()),
+                 std::to_string(blast_result.hits.size())});
+  std::printf("%s", table.render().c_str());
+  std::printf("hit-set overlap: %zu shared / %zu pipeline-only / %zu "
+              "baseline-only (Jaccard %.2f)\n",
+              overlap.shared, overlap.only_a, overlap.only_b,
+              overlap.jaccard());
+  std::printf("\npaper (Table 6, yeast benchmark): RASC 0.468/0.447, "
+              "NCBI 0.479/0.441 -- parity is the expected outcome.\n");
+  return 0;
+}

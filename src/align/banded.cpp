@@ -1,0 +1,85 @@
+#include "align/banded.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace psc::align {
+
+namespace {
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+}
+
+int banded_window_score(std::span<const std::uint8_t> s0,
+                        std::span<const std::uint8_t> s1, std::size_t band,
+                        const GapParams& params,
+                        const bio::SubstitutionMatrix& matrix) {
+  const std::size_t n = std::min(s0.size(), s1.size());
+  if (n == 0) return 0;
+  const auto b = static_cast<std::ptrdiff_t>(band);
+  const int open_cost = params.open + params.extend;
+
+  // Row-wise Gotoh restricted to j in [i - b, i + b]. Cells outside the
+  // band read as -inf, exactly what a fixed-width systolic lane sees at
+  // its edge cells.
+  std::vector<int> h_prev(n + 1, kNegInf), f_prev(n + 1, kNegInf);
+  std::vector<int> h_cur(n + 1, kNegInf), f_cur(n + 1, kNegInf);
+  const auto* cells = matrix.cells().data();
+
+  int best = 0;
+  // Row 0: local alignment, every in-band cell can start at zero.
+  for (std::ptrdiff_t j = 0; j <= std::min<std::ptrdiff_t>(b, static_cast<std::ptrdiff_t>(n)); ++j) {
+    h_prev[static_cast<std::size_t>(j)] = 0;
+  }
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    const auto lo = std::max<std::ptrdiff_t>(0, static_cast<std::ptrdiff_t>(i) - b);
+    const auto hi = std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(n),
+                                             static_cast<std::ptrdiff_t>(i) + b);
+    std::fill(h_cur.begin(), h_cur.end(), kNegInf);
+    std::fill(f_cur.begin(), f_cur.end(), kNegInf);
+    int e = kNegInf;
+    for (std::ptrdiff_t js = lo; js <= hi; ++js) {
+      const auto j = static_cast<std::size_t>(js);
+      // F: gap in s1 (consume s0[i-1]); needs the cell above, which is
+      // in-band only when j <= (i-1) + b.
+      int f = kNegInf;
+      if (js <= static_cast<std::ptrdiff_t>(i) - 1 + b) {
+        f = std::max(h_prev[j] > kNegInf / 2 ? h_prev[j] - open_cost : kNegInf,
+                     f_prev[j] > kNegInf / 2 ? f_prev[j] - params.extend
+                                             : kNegInf);
+      }
+      f_cur[j] = f;
+
+      int value = f;
+      if (j > 0) {
+        // E: gap in s0 (consume s1[j-1]); needs the cell to the left.
+        if (js - 1 >= static_cast<std::ptrdiff_t>(i) - b) {
+          const int e_open = h_cur[j - 1] > kNegInf / 2
+                                 ? h_cur[j - 1] - open_cost
+                                 : kNegInf;
+          const int e_ext = e > kNegInf / 2 ? e - params.extend : kNegInf;
+          e = std::max(e_open, e_ext);
+        } else {
+          e = kNegInf;
+        }
+        value = std::max(value, e);
+        // Diagonal.
+        if (h_prev[j - 1] > kNegInf / 2) {
+          value = std::max(
+              value, h_prev[j - 1] +
+                         cells[s0[i - 1] * bio::kProteinAlphabetSize +
+                               s1[j - 1]]);
+        }
+      }
+      if (value < 0) value = 0;  // local alignment clamp
+      h_cur[j] = value;
+      if (value > best) best = value;
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(f_prev, f_cur);
+  }
+  return best;
+}
+
+}  // namespace psc::align

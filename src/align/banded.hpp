@@ -1,0 +1,39 @@
+// Banded affine-gap alignment over fixed-length windows: the functional
+// kernel of the gapped-extension operator the paper's conclusion proposes
+// for the second FPGA ("another reconfigurable operator dedicated to the
+// computation of similarities including gap penalty", section 5).
+//
+// Hardware-shaped formulation: both sequences contribute a fixed window
+// of M residues around the seed (like the PSC operator's W + 2N windows,
+// just longer), and the DP is restricted to a band of half-width B around
+// the main diagonal. A systolic implementation holds 2B+1 cells and
+// advances one anti-diagonal per clock cycle, so a window pair costs
+// exactly 2M - 1 compute cycles regardless of content -- the regularity
+// that makes the stage implementable at a fixed clock, mirroring how the
+// ungapped stage was made regular in section 2.2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "align/gapped.hpp"
+#include "bio/substitution_matrix.hpp"
+
+namespace psc::align {
+
+/// Best local affine alignment score of the two equal-length windows,
+/// restricted to |i - j| <= band. Scores clamp at zero (local), exactly
+/// the Gotoh recurrence the systolic lane evaluates. Windows shorter
+/// than each other are compared over the shorter length.
+int banded_window_score(std::span<const std::uint8_t> s0,
+                        std::span<const std::uint8_t> s1, std::size_t band,
+                        const GapParams& params,
+                        const bio::SubstitutionMatrix& matrix);
+
+/// Number of systolic cycles a (2B+1)-cell lane needs for one window
+/// pair of length M: one anti-diagonal per cycle.
+constexpr std::uint64_t banded_window_cycles(std::size_t window_length) {
+  return window_length == 0 ? 0 : 2 * window_length - 1;
+}
+
+}  // namespace psc::align

@@ -1,0 +1,86 @@
+// Step 3 of the paper's algorithm: gapped extension. "The search space is
+// augmented by the possibility to consider gaps. This operation is
+// triggered only if the neighbouring of a seed presents enough
+// similarity." (section 2.1)
+//
+// Two engines are provided:
+//  * xdrop_gapped_extend -- NCBI-style anchored extension with affine gaps
+//    and X-drop pruning, run forward and backward from the seed. This is
+//    the production path (step 3 of the pipeline and of the baseline).
+//  * smith_waterman -- full O(nm) affine local alignment with traceback,
+//    the reference implementation used by tests and by callers that want
+//    printable alignments.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bio/substitution_matrix.hpp"
+
+namespace psc::align {
+
+/// Affine gap model: a gap of length L costs open + L * extend.
+struct GapParams {
+  int open = 11;
+  int extend = 1;
+  int x_drop = 38;
+};
+
+/// Edit operation of an alignment path.
+enum class Op : std::uint8_t { kMatch, kInsert0, kInsert1 };
+// kMatch    : consume one residue of each sequence (match or mismatch)
+// kInsert0  : consume one residue of sequence 0 only (gap in sequence 1)
+// kInsert1  : consume one residue of sequence 1 only (gap in sequence 0)
+
+struct Alignment {
+  int score = 0;
+  std::size_t begin0 = 0, end0 = 0;
+  std::size_t begin1 = 0, end1 = 0;
+  std::vector<Op> ops;
+
+  /// Fraction of kMatch columns whose residues are identical.
+  double identity(std::span<const std::uint8_t> s0,
+                  std::span<const std::uint8_t> s1) const;
+
+  /// Three printable rows (sequence 0, midline, sequence 1).
+  std::array<std::string, 3> render(std::span<const std::uint8_t> s0,
+                                    std::span<const std::uint8_t> s1) const;
+};
+
+/// Best local affine alignment of s0 x s1 (Gotoh with traceback).
+Alignment smith_waterman(std::span<const std::uint8_t> s0,
+                         std::span<const std::uint8_t> s1,
+                         const bio::SubstitutionMatrix& matrix,
+                         const GapParams& params);
+
+/// Result of one anchored half-extension (no traceback).
+struct HalfExtension {
+  int score = 0;        ///< best alignment score of the two prefixes
+  std::size_t end0 = 0; ///< residues of s0 consumed by the best alignment
+  std::size_t end1 = 0; ///< residues of s1 consumed
+};
+
+/// Aligns prefixes of a and b, anchored at (0,0) with free end, affine
+/// gaps, X-drop pruning. The empty alignment (score 0) is always allowed.
+HalfExtension xdrop_gapped_half(std::span<const std::uint8_t> a,
+                                std::span<const std::uint8_t> b,
+                                const bio::SubstitutionMatrix& matrix,
+                                const GapParams& params);
+
+/// Anchored gapped extension: extends backward from (anchor0, anchor1)
+/// and forward from (anchor0 + seed_width, anchor1 + seed_width), scoring
+/// the seed region diagonally. Returns score and the consumed ranges; ops
+/// are filled by re-aligning the found region with smith_waterman-style
+/// traceback when `with_traceback` is set.
+Alignment xdrop_gapped_extend(std::span<const std::uint8_t> s0,
+                              std::span<const std::uint8_t> s1,
+                              std::size_t anchor0, std::size_t anchor1,
+                              std::size_t seed_width,
+                              const bio::SubstitutionMatrix& matrix,
+                              const GapParams& params,
+                              bool with_traceback = false);
+
+}  // namespace psc::align

@@ -1,0 +1,23 @@
+// Hit types shared by the step-2 engines (host and simulated RASC) and
+// the downstream gapped-extension stage.
+#pragma once
+
+#include <cstdint>
+
+#include "index/index_table.hpp"
+
+namespace psc::align {
+
+/// An above-threshold ungapped window pair: "pairs of integers
+/// corresponding to the numbers of the 2 sub-sequences presenting strong
+/// similarity" (paper, section 3.1) -- plus the score, which the result
+/// management module compared against the threshold.
+struct SeedPairHit {
+  index::Occurrence bank0;  ///< occurrence in bank 0 (protein bank)
+  index::Occurrence bank1;  ///< occurrence in bank 1 (translated genome)
+  int score = 0;
+
+  friend bool operator==(const SeedPairHit&, const SeedPairHit&) = default;
+};
+
+}  // namespace psc::align

@@ -1,0 +1,149 @@
+#include "align/karlin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace psc::align {
+
+namespace {
+/// phi(lambda) = sum_ij p_i p_j exp(lambda s_ij). phi(0) = 1; with a
+/// negative expected score and at least one positive score, phi dips below
+/// 1 then grows without bound, so a unique positive root of phi = 1 exists.
+double phi(double lambda, const bio::SubstitutionMatrix& matrix,
+           const std::array<double, bio::kNumAminoAcids>& freq) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < bio::kNumAminoAcids; ++i) {
+    for (std::size_t j = 0; j < bio::kNumAminoAcids; ++j) {
+      sum += freq[i] * freq[j] *
+             std::exp(lambda * matrix.score(static_cast<bio::Residue>(i),
+                                            static_cast<bio::Residue>(j)));
+    }
+  }
+  return sum;
+}
+}  // namespace
+
+KarlinParams solve_karlin(
+    const bio::SubstitutionMatrix& matrix,
+    const std::array<double, bio::kNumAminoAcids>& freq) {
+  double expected = 0.0;
+  int max_score = 0;
+  for (std::size_t i = 0; i < bio::kNumAminoAcids; ++i) {
+    for (std::size_t j = 0; j < bio::kNumAminoAcids; ++j) {
+      const int s = matrix.score(static_cast<bio::Residue>(i),
+                                 static_cast<bio::Residue>(j));
+      expected += freq[i] * freq[j] * s;
+      max_score = std::max(max_score, s);
+    }
+  }
+  if (expected >= 0.0) {
+    throw std::invalid_argument(
+        "solve_karlin: expected score must be negative");
+  }
+  if (max_score <= 0) {
+    throw std::invalid_argument("solve_karlin: no positive score in matrix");
+  }
+
+  // Bracket the positive root of phi(lambda) = 1: phi'(0) = expected < 0,
+  // so phi < 1 just right of zero; grow hi until phi(hi) > 1.
+  double hi = 0.5;
+  while (phi(hi, matrix, freq) < 1.0) hi *= 2.0;
+  double lo = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (phi(mid, matrix, freq) < 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double lambda = 0.5 * (lo + hi);
+
+  // H = lambda * sum_ij q_ij s_ij where q_ij = p_i p_j exp(lambda s_ij)
+  // are the target (alignment) frequencies.
+  double h = 0.0;
+  for (std::size_t i = 0; i < bio::kNumAminoAcids; ++i) {
+    for (std::size_t j = 0; j < bio::kNumAminoAcids; ++j) {
+      const int s = matrix.score(static_cast<bio::Residue>(i),
+                                 static_cast<bio::Residue>(j));
+      h += freq[i] * freq[j] * std::exp(lambda * s) * lambda * s;
+    }
+  }
+
+  KarlinParams out;
+  out.lambda = lambda;
+  out.h = h;
+  out.k = 0.1;  // documented fallback; presets carry exact published values
+  return out;
+}
+
+KarlinParams blosum62_ungapped() {
+  return KarlinParams{0.3176, 0.134, 0.4012};
+}
+
+KarlinParams blosum62_gapped_11_1() {
+  return KarlinParams{0.267, 0.041, 0.14};
+}
+
+double bit_score(int raw_score, const KarlinParams& params) {
+  return (params.lambda * raw_score - std::log(params.k)) / std::log(2.0);
+}
+
+double e_value(int raw_score, double m, double n, const KarlinParams& params) {
+  return params.k * m * n * std::exp(-params.lambda * raw_score);
+}
+
+std::array<double, bio::kNumAminoAcids> residue_frequencies(
+    std::span<const std::uint8_t> sequence) {
+  std::array<double, bio::kNumAminoAcids> freq{};
+  std::size_t standard = 0;
+  for (const std::uint8_t r : sequence) {
+    if (r < bio::kNumAminoAcids) {
+      freq[r] += 1.0;
+      ++standard;
+    }
+  }
+  if (standard == 0) return bio::robinson_frequencies();
+  for (double& f : freq) f /= static_cast<double>(standard);
+  return freq;
+}
+
+KarlinParams composition_adjusted(std::span<const std::uint8_t> query,
+                                  const bio::SubstitutionMatrix& matrix,
+                                  const KarlinParams& base) {
+  // Blend toward the background slightly so short queries with extreme
+  // compositions (some residues absent) still admit a root.
+  auto freq = residue_frequencies(query);
+  const auto& background = bio::robinson_frequencies();
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    freq[i] = 0.9 * freq[i] + 0.1 * background[i];
+  }
+  try {
+    KarlinParams adjusted = solve_karlin(matrix, freq);
+    adjusted.k = base.k;  // preset K; lambda carries the adjustment
+    // Gapped lambda sits below the ungapped solution by a roughly
+    // constant factor (NCBI: 0.267 / 0.3176 for BLOSUM62 11/1); apply
+    // the same ratio so adjusted gapped E-values stay calibrated.
+    const KarlinParams standard = solve_karlin(matrix);
+    if (standard.lambda > 0.0) {
+      adjusted.lambda *= base.lambda / standard.lambda;
+      adjusted.h *= base.lambda / standard.lambda;
+    }
+    return adjusted;
+  } catch (const std::invalid_argument&) {
+    return base;
+  }
+}
+
+int score_for_e_value(double target_e, double m, double n,
+                      const KarlinParams& params) {
+  if (target_e <= 0.0) {
+    throw std::invalid_argument("score_for_e_value: E must be positive");
+  }
+  const double raw =
+      std::log(params.k * m * n / target_e) / params.lambda;
+  return static_cast<int>(std::ceil(raw));
+}
+
+}  // namespace psc::align

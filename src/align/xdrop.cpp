@@ -1,0 +1,65 @@
+#include "align/xdrop.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psc::align {
+
+UngappedExtension xdrop_ungapped_extend(std::span<const std::uint8_t> s0,
+                                        std::span<const std::uint8_t> s1,
+                                        std::size_t pos0, std::size_t pos1,
+                                        std::size_t seed_width,
+                                        const bio::SubstitutionMatrix& matrix,
+                                        int x_drop) {
+  if (pos0 + seed_width > s0.size() || pos1 + seed_width > s1.size()) {
+    throw std::out_of_range("xdrop_ungapped_extend: seed outside sequences");
+  }
+
+  int seed_score = 0;
+  for (std::size_t k = 0; k < seed_width; ++k) {
+    seed_score += matrix.score(s0[pos0 + k], s1[pos1 + k]);
+  }
+
+  // Right extension: best gain beyond the seed's right edge.
+  int right_gain = 0;
+  std::size_t right_len = 0;
+  {
+    int running = 0;
+    const std::size_t room =
+        std::min(s0.size() - (pos0 + seed_width), s1.size() - (pos1 + seed_width));
+    for (std::size_t k = 0; k < room; ++k) {
+      running += matrix.score(s0[pos0 + seed_width + k], s1[pos1 + seed_width + k]);
+      if (running > right_gain) {
+        right_gain = running;
+        right_len = k + 1;
+      }
+      if (right_gain - running > x_drop) break;
+    }
+  }
+
+  // Left extension: mirror image.
+  int left_gain = 0;
+  std::size_t left_len = 0;
+  {
+    int running = 0;
+    const std::size_t room = std::min(pos0, pos1);
+    for (std::size_t k = 1; k <= room; ++k) {
+      running += matrix.score(s0[pos0 - k], s1[pos1 - k]);
+      if (running > left_gain) {
+        left_gain = running;
+        left_len = k;
+      }
+      if (left_gain - running > x_drop) break;
+    }
+  }
+
+  UngappedExtension out;
+  out.score = seed_score + left_gain + right_gain;
+  out.begin0 = pos0 - left_len;
+  out.begin1 = pos1 - left_len;
+  out.end0 = pos0 + seed_width + right_len;
+  out.end1 = pos1 + seed_width + right_len;
+  return out;
+}
+
+}  // namespace psc::align

@@ -1,0 +1,36 @@
+// BLAST-style X-drop ungapped extension: extend a seed match left and
+// right along the diagonal, keeping the best running score, and stop a
+// direction once the running score falls more than `x_drop` below the
+// best. Used by the tblastn baseline (NCBI semantics) and as a
+// cross-check against the paper's fixed-window kernel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bio/substitution_matrix.hpp"
+
+namespace psc::align {
+
+/// Result of an ungapped diagonal extension.
+struct UngappedExtension {
+  int score = 0;
+  /// Half-open residue range on each sequence; equal lengths (diagonal).
+  std::size_t begin0 = 0;
+  std::size_t end0 = 0;
+  std::size_t begin1 = 0;
+  std::size_t end1 = 0;
+
+  std::size_t length() const { return end0 - begin0; }
+};
+
+/// Extends from the seed [pos0, pos0+seed_width) x [pos1, pos1+seed_width)
+/// in both directions. The seed region itself is always included.
+UngappedExtension xdrop_ungapped_extend(std::span<const std::uint8_t> s0,
+                                        std::span<const std::uint8_t> s1,
+                                        std::size_t pos0, std::size_t pos1,
+                                        std::size_t seed_width,
+                                        const bio::SubstitutionMatrix& matrix,
+                                        int x_drop);
+
+}  // namespace psc::align

@@ -1,0 +1,107 @@
+#include "bio/alphabet.hpp"
+
+#include <cctype>
+
+namespace psc::bio {
+
+namespace {
+
+constexpr Residue encode_c(char upper) {
+  for (std::size_t i = 0; i < kProteinLetters.size(); ++i) {
+    if (kProteinLetters[i] == upper) return static_cast<Residue>(i);
+  }
+  return kUnknownX;
+}
+
+constexpr std::array<Residue, 256> build_protein_lut() {
+  std::array<Residue, 256> lut{};
+  for (auto& v : lut) v = kUnknownX;
+  for (std::size_t i = 0; i < kProteinLetters.size(); ++i) {
+    const char upper = kProteinLetters[i];
+    lut[static_cast<unsigned char>(upper)] = static_cast<Residue>(i);
+    if (upper >= 'A' && upper <= 'Z') {
+      lut[static_cast<unsigned char>(upper - 'A' + 'a')] =
+          static_cast<Residue>(i);
+    }
+  }
+  // Selenocysteine / pyrrolysine and rare codes collapse to nearest
+  // standard residues, as NCBI toolkits do.
+  lut[static_cast<unsigned char>('U')] = encode_c('C');
+  lut[static_cast<unsigned char>('u')] = encode_c('C');
+  lut[static_cast<unsigned char>('O')] = encode_c('K');
+  lut[static_cast<unsigned char>('o')] = encode_c('K');
+  lut[static_cast<unsigned char>('J')] = encode_c('L');
+  lut[static_cast<unsigned char>('j')] = encode_c('L');
+  return lut;
+}
+
+constexpr std::array<std::uint8_t, 256> build_dna_lut() {
+  std::array<std::uint8_t, 256> lut{};
+  for (auto& v : lut) v = kNucleotideN;
+  lut[static_cast<unsigned char>('A')] = 0;
+  lut[static_cast<unsigned char>('a')] = 0;
+  lut[static_cast<unsigned char>('C')] = 1;
+  lut[static_cast<unsigned char>('c')] = 1;
+  lut[static_cast<unsigned char>('G')] = 2;
+  lut[static_cast<unsigned char>('g')] = 2;
+  lut[static_cast<unsigned char>('T')] = 3;
+  lut[static_cast<unsigned char>('t')] = 3;
+  lut[static_cast<unsigned char>('U')] = 3;  // RNA input
+  lut[static_cast<unsigned char>('u')] = 3;
+  return lut;
+}
+
+}  // namespace
+
+Residue encode_protein(char letter) noexcept {
+  static constexpr auto kLut = build_protein_lut();
+  return kLut[static_cast<unsigned char>(letter)];
+}
+
+char decode_protein(Residue code) noexcept {
+  return code < kProteinLetters.size() ? kProteinLetters[code] : 'X';
+}
+
+std::uint8_t encode_nucleotide(char letter) noexcept {
+  static constexpr auto kLut = build_dna_lut();
+  return kLut[static_cast<unsigned char>(letter)];
+}
+
+char decode_nucleotide(std::uint8_t code) noexcept {
+  return code < kNucleotideLetters.size() ? kNucleotideLetters[code] : 'N';
+}
+
+std::uint8_t complement(std::uint8_t code) noexcept {
+  switch (code) {
+    case 0: return 3;  // A -> T
+    case 1: return 2;  // C -> G
+    case 2: return 1;  // G -> C
+    case 3: return 0;  // T -> A
+    default: return kNucleotideN;
+  }
+}
+
+std::basic_string<Residue> encode_protein_string(std::string_view letters) {
+  std::basic_string<Residue> out;
+  out.reserve(letters.size());
+  for (char c : letters) out.push_back(encode_protein(c));
+  return out;
+}
+
+std::basic_string<std::uint8_t> encode_dna_string(std::string_view letters) {
+  std::basic_string<std::uint8_t> out;
+  out.reserve(letters.size());
+  for (char c : letters) out.push_back(encode_nucleotide(c));
+  return out;
+}
+
+const std::array<double, kNumAminoAcids>& robinson_frequencies() noexcept {
+  // Robinson & Robinson (PNAS 1991) background frequencies in ARNDCQEGHILKMFPSTWYV order.
+  static const std::array<double, kNumAminoAcids> kFreq = {
+      0.07805, 0.05129, 0.04487, 0.05364, 0.01925, 0.04264, 0.06295,
+      0.07377, 0.02199, 0.05142, 0.09019, 0.05744, 0.02243, 0.03856,
+      0.05203, 0.07120, 0.05841, 0.01330, 0.03216, 0.06441};
+  return kFreq;
+}
+
+}  // namespace psc::bio

@@ -1,0 +1,73 @@
+// Residue alphabets and their compact integer encodings.
+//
+// Proteins use the NCBIstdaa-like ordering "ARNDCQEGHILKMFPSTWYV" for the
+// twenty standard amino acids, followed by the ambiguity codes B, Z, X and
+// the stop symbol '*'. The integer codes are what every kernel in the
+// library operates on: substitution matrices are indexed by them, seeds
+// are packed from them, and the PSC processing elements stream them
+// through their substitution ROMs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace psc::bio {
+
+/// Compact residue code. 0..19 = standard amino acids, then B/Z/X/stop.
+using Residue = std::uint8_t;
+
+/// Number of standard amino acids (the paper's alphabet size "alpha").
+inline constexpr std::size_t kNumAminoAcids = 20;
+/// Full protein alphabet including B, Z, X and '*'.
+inline constexpr std::size_t kProteinAlphabetSize = 24;
+
+inline constexpr Residue kAmbiguousB = 20;  ///< Asx (N or D)
+inline constexpr Residue kAmbiguousZ = 21;  ///< Glx (Q or E)
+inline constexpr Residue kUnknownX = 22;    ///< any / masked residue
+inline constexpr Residue kStop = 23;        ///< translation stop '*'
+
+/// One-letter protein codes in encoding order.
+inline constexpr std::string_view kProteinLetters = "ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// Nucleotide codes: A=0 C=1 G=2 T=3, N=4 (any).
+inline constexpr std::size_t kNumNucleotides = 4;
+inline constexpr std::uint8_t kNucleotideN = 4;
+inline constexpr std::string_view kNucleotideLetters = "ACGTN";
+
+/// Encodes a one-letter amino-acid code (case-insensitive). Unrecognised
+/// characters map to X, matching BLAST's treatment of ambiguous input.
+Residue encode_protein(char letter) noexcept;
+
+/// Decodes a protein residue code to its one-letter form ('X' if out of
+/// range).
+char decode_protein(Residue code) noexcept;
+
+/// True for the twenty unambiguous amino-acid codes.
+constexpr bool is_standard_aa(Residue code) noexcept {
+  return code < kNumAminoAcids;
+}
+
+/// Encodes a nucleotide letter (case-insensitive); anything that is not
+/// ACGT (including IUPAC ambiguity codes) maps to N.
+std::uint8_t encode_nucleotide(char letter) noexcept;
+
+/// Decodes a nucleotide code ('N' if out of range).
+char decode_nucleotide(std::uint8_t code) noexcept;
+
+/// Complement of a nucleotide code (N maps to N).
+std::uint8_t complement(std::uint8_t code) noexcept;
+
+/// Encodes an entire string of protein letters.
+std::basic_string<Residue> encode_protein_string(std::string_view letters);
+
+/// Encodes an entire string of nucleotide letters.
+std::basic_string<std::uint8_t> encode_dna_string(std::string_view letters);
+
+/// Background amino-acid frequencies (Robinson & Robinson 1991), indexed
+/// by residue code 0..19; used by the synthetic protein generator and the
+/// Karlin-Altschul parameter solver. Sums to 1 within rounding.
+const std::array<double, kNumAminoAcids>& robinson_frequencies() noexcept;
+
+}  // namespace psc::bio

@@ -1,0 +1,39 @@
+// Low-complexity masking. NCBI BLAST filters low-complexity query
+// segments (SEG) before seeding, because compositionally biased regions
+// (poly-A runs, coiled coils) otherwise flood the seed index with
+// spurious matches -- the same index lists the PSC operator streams, so
+// masking matters just as much for the accelerated pipeline. This is a
+// windowed Shannon-entropy masker in the spirit of SEG: simpler than the
+// original's three-stage refinement, with the same contract (biased
+// windows become X and drop out of indexing and extension seeds).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bio/sequence.hpp"
+
+namespace psc::bio {
+
+struct MaskConfig {
+  std::size_t window = 12;      ///< sliding window length (SEG default)
+  /// Entropy threshold in bits; windows strictly below are masked.
+  /// Random protein sequence sits near log2(20) ~ 4.3 bits; SEG's
+  /// trigger corresponds to roughly 2.2.
+  double min_entropy_bits = 2.2;
+};
+
+/// Shannon entropy (bits) of the standard-residue composition of `span`;
+/// non-standard residues are ignored. Returns 0 for empty input.
+double shannon_entropy_bits(std::span<const std::uint8_t> residues);
+
+/// Masks (replaces with X) every residue inside a window whose entropy
+/// falls below the threshold. Returns the number of residues masked.
+std::size_t mask_low_complexity(Sequence& sequence,
+                                const MaskConfig& config = MaskConfig{});
+
+/// Masks every sequence of a bank; returns total residues masked.
+std::size_t mask_low_complexity(SequenceBank& bank,
+                                const MaskConfig& config = MaskConfig{});
+
+}  // namespace psc::bio

@@ -1,0 +1,32 @@
+// FASTA input/output. The paper's workloads (protein banks from NCBI nr,
+// the translated chromosome) arrive as FASTA; the synthetic generators can
+// also round-trip through these routines so examples work on real files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bio/sequence.hpp"
+
+namespace psc::bio {
+
+/// Reads every record from a FASTA stream into a bank of the given kind.
+/// Header is the text after '>' up to the first whitespace; residues may
+/// span multiple lines; blank lines are ignored. Throws std::runtime_error
+/// on malformed input (residue data before any header).
+SequenceBank read_fasta(std::istream& in, SequenceKind kind);
+
+/// Convenience: reads a FASTA file by path. Throws if the file cannot be
+/// opened.
+SequenceBank read_fasta_file(const std::string& path, SequenceKind kind);
+
+/// Writes a bank in FASTA format, wrapping residue lines at `width`.
+void write_fasta(std::ostream& out, const SequenceBank& bank,
+                 std::size_t width = 70);
+
+/// Convenience: writes a FASTA file by path. Throws if the file cannot be
+/// created.
+void write_fasta_file(const std::string& path, const SequenceBank& bank,
+                      std::size_t width = 70);
+
+}  // namespace psc::bio

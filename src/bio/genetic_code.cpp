@@ -1,0 +1,33 @@
+#include "bio/genetic_code.hpp"
+
+namespace psc::bio {
+
+namespace {
+// One letter per codon, indexed by pack_codon (positions ordered A,C,G,T).
+// Rows below are first-nucleotide A, C, G, T respectively.
+constexpr std::string_view kCodonLetters =
+    "KNKNTTTTRSRSIIMI"   // AAA..ATT
+    "QHQHPPPPRRRRLLLL"   // CAA..CTT
+    "EDEDAAAAGGGGVVVV"   // GAA..GTT
+    "*Y*YSSSS*CWCLFLF";  // TAA..TTT
+
+std::array<Residue, 64> build_table() {
+  std::array<Residue, 64> table{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    table[i] = encode_protein(kCodonLetters[i]);
+  }
+  return table;
+}
+}  // namespace
+
+const std::array<Residue, 64>& standard_genetic_code() noexcept {
+  static const std::array<Residue, 64> kTable = build_table();
+  return kTable;
+}
+
+Residue translate_codon(std::uint8_t codon) noexcept {
+  if (codon >= 64) return kUnknownX;
+  return standard_genetic_code()[codon];
+}
+
+}  // namespace psc::bio

@@ -1,0 +1,40 @@
+// The standard genetic code: codon -> amino-acid translation. Needed to
+// turn a genome into its six protein reading frames (paper, section 1:
+// "using the genetic code, the genome is first translated into its 6
+// possible protein frames").
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "bio/alphabet.hpp"
+
+namespace psc::bio {
+
+/// Packs three nucleotide codes (each 0..3) into a codon index 0..63.
+/// Any N nucleotide yields kInvalidCodon.
+inline constexpr std::uint8_t kInvalidCodon = 64;
+
+constexpr std::uint8_t pack_codon(std::uint8_t n0, std::uint8_t n1,
+                                  std::uint8_t n2) noexcept {
+  if (n0 >= kNumNucleotides || n1 >= kNumNucleotides || n2 >= kNumNucleotides) {
+    return kInvalidCodon;
+  }
+  return static_cast<std::uint8_t>((n0 << 4) | (n1 << 2) | n2);
+}
+
+/// Translates a packed codon under the standard genetic code. Stop codons
+/// give kStop; kInvalidCodon gives kUnknownX.
+Residue translate_codon(std::uint8_t codon) noexcept;
+
+/// Translates three nucleotide codes directly.
+inline Residue translate_codon(std::uint8_t n0, std::uint8_t n1,
+                               std::uint8_t n2) noexcept {
+  return translate_codon(pack_codon(n0, n1, n2));
+}
+
+/// The full 64-entry table (codon index -> residue), e.g. for bulk
+/// translation loops that want to avoid a call per codon.
+const std::array<Residue, 64>& standard_genetic_code() noexcept;
+
+}  // namespace psc::bio

@@ -1,0 +1,54 @@
+#include "bio/sequence.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psc::bio {
+
+Sequence Sequence::protein_from_letters(std::string id,
+                                        std::string_view letters) {
+  std::vector<std::uint8_t> data;
+  data.reserve(letters.size());
+  for (char c : letters) data.push_back(encode_protein(c));
+  return Sequence(std::move(id), SequenceKind::kProtein, std::move(data));
+}
+
+Sequence Sequence::dna_from_letters(std::string id, std::string_view letters) {
+  std::vector<std::uint8_t> data;
+  data.reserve(letters.size());
+  for (char c : letters) data.push_back(encode_nucleotide(c));
+  return Sequence(std::move(id), SequenceKind::kDna, std::move(data));
+}
+
+std::string Sequence::to_letters() const {
+  std::string out;
+  out.reserve(data_.size());
+  for (std::uint8_t code : data_) {
+    out.push_back(kind_ == SequenceKind::kProtein
+                      ? decode_protein(code)
+                      : decode_nucleotide(code));
+  }
+  return out;
+}
+
+Sequence Sequence::subsequence(std::size_t begin, std::size_t length) const {
+  if (begin > data_.size()) {
+    throw std::out_of_range("Sequence::subsequence begin out of range");
+  }
+  const std::size_t end = std::min(begin + length, data_.size());
+  return Sequence(id_ + ":" + std::to_string(begin), kind_,
+                  std::vector<std::uint8_t>(data_.begin() + static_cast<std::ptrdiff_t>(begin),
+                                            data_.begin() + static_cast<std::ptrdiff_t>(end)));
+}
+
+std::size_t SequenceBank::add(Sequence sequence) {
+  if (sequence.kind() != kind_) {
+    throw std::invalid_argument("SequenceBank::add: kind mismatch");
+  }
+  total_residues_ += sequence.size();
+  max_length_ = std::max(max_length_, sequence.size());
+  sequences_.push_back(std::move(sequence));
+  return sequences_.size() - 1;
+}
+
+}  // namespace psc::bio

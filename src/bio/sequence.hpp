@@ -1,0 +1,92 @@
+// Encoded biological sequences and banks of them.
+//
+// The paper's algorithm is bank-versus-bank: "two large sets of protein
+// sequences" (section 1). SequenceBank is that set -- sequences are stored
+// contiguously per entry in encoded form, and the bank exposes the global
+// residue counts the evaluation reports in (Kaa, Mnt) units.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bio/alphabet.hpp"
+
+namespace psc::bio {
+
+enum class SequenceKind : std::uint8_t { kProtein, kDna };
+
+/// A single named, encoded sequence.
+class Sequence {
+ public:
+  Sequence() = default;
+  Sequence(std::string id, SequenceKind kind, std::vector<std::uint8_t> data)
+      : id_(std::move(id)), kind_(kind), data_(std::move(data)) {}
+
+  /// Builds a protein sequence from one-letter codes.
+  static Sequence protein_from_letters(std::string id, std::string_view letters);
+  /// Builds a DNA sequence from one-letter codes.
+  static Sequence dna_from_letters(std::string id, std::string_view letters);
+
+  const std::string& id() const { return id_; }
+  SequenceKind kind() const { return kind_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+  const std::uint8_t* data() const { return data_.data(); }
+  const std::vector<std::uint8_t>& residues() const { return data_; }
+  std::vector<std::uint8_t>& mutable_residues() { return data_; }
+
+  /// Decodes back to one-letter codes.
+  std::string to_letters() const;
+
+  /// Sub-range [begin, begin+length) as a new unnamed sequence.
+  Sequence subsequence(std::size_t begin, std::size_t length) const;
+
+ private:
+  std::string id_;
+  SequenceKind kind_ = SequenceKind::kProtein;
+  std::vector<std::uint8_t> data_;
+};
+
+/// An ordered collection of sequences of one kind. Sequence numbers (the
+/// integers the PSC operator reports in its result pairs) are indices into
+/// this bank.
+class SequenceBank {
+ public:
+  SequenceBank() = default;
+  explicit SequenceBank(SequenceKind kind) : kind_(kind) {}
+
+  SequenceKind kind() const { return kind_; }
+  std::size_t size() const { return sequences_.size(); }
+  bool empty() const { return sequences_.empty(); }
+
+  /// Appends a sequence; returns its index. Throws on kind mismatch.
+  std::size_t add(Sequence sequence);
+
+  const Sequence& operator[](std::size_t i) const { return sequences_[i]; }
+
+  /// Mutable access for in-place edits (synthetic-data construction).
+  /// Callers that change residue counts must not rely on total_residues().
+  Sequence& mutable_sequence(std::size_t i) { return sequences_[i]; }
+
+  auto begin() const { return sequences_.begin(); }
+  auto end() const { return sequences_.end(); }
+
+  /// Total residues across the bank (the "amino acids" counts of the
+  /// paper's data-set description).
+  std::size_t total_residues() const { return total_residues_; }
+
+  /// Length of the longest member (used to size simulator buffers).
+  std::size_t max_length() const { return max_length_; }
+
+ private:
+  SequenceKind kind_ = SequenceKind::kProtein;
+  std::vector<Sequence> sequences_;
+  std::size_t total_residues_ = 0;
+  std::size_t max_length_ = 0;
+};
+
+}  // namespace psc::bio

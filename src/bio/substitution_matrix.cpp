@@ -1,0 +1,124 @@
+#include "bio/substitution_matrix.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace psc::bio {
+
+namespace {
+// BLOSUM62 over ARNDCQEGHILKMFPSTWYVBZX*, row-major, as distributed with
+// NCBI BLAST.
+constexpr std::int16_t kBlosum62[kProteinAlphabetSize][kProteinAlphabetSize] = {
+    /*A*/ { 4,-1,-2,-2, 0,-1,-1, 0,-2,-1,-1,-1,-1,-2,-1, 1, 0,-3,-2, 0,-2,-1, 0,-4},
+    /*R*/ {-1, 5, 0,-2,-3, 1, 0,-2, 0,-3,-2, 2,-1,-3,-2,-1,-1,-3,-2,-3,-1, 0,-1,-4},
+    /*N*/ {-2, 0, 6, 1,-3, 0, 0, 0, 1,-3,-3, 0,-2,-3,-2, 1, 0,-4,-2,-3, 3, 0,-1,-4},
+    /*D*/ {-2,-2, 1, 6,-3, 0, 2,-1,-1,-3,-4,-1,-3,-3,-1, 0,-1,-4,-3,-3, 4, 1,-1,-4},
+    /*C*/ { 0,-3,-3,-3, 9,-3,-4,-3,-3,-1,-1,-3,-1,-2,-3,-1,-1,-2,-2,-1,-3,-3,-2,-4},
+    /*Q*/ {-1, 1, 0, 0,-3, 5, 2,-2, 0,-3,-2, 1, 0,-3,-1, 0,-1,-2,-1,-2, 0, 3,-1,-4},
+    /*E*/ {-1, 0, 0, 2,-4, 2, 5,-2, 0,-3,-3, 1,-2,-3,-1, 0,-1,-3,-2,-2, 1, 4,-1,-4},
+    /*G*/ { 0,-2, 0,-1,-3,-2,-2, 6,-2,-4,-4,-2,-3,-3,-2, 0,-2,-2,-3,-3,-1,-2,-1,-4},
+    /*H*/ {-2, 0, 1,-1,-3, 0, 0,-2, 8,-3,-3,-1,-2,-1,-2,-1,-2,-2, 2,-3, 0, 0,-1,-4},
+    /*I*/ {-1,-3,-3,-3,-1,-3,-3,-4,-3, 4, 2,-3, 1, 0,-3,-2,-1,-3,-1, 3,-3,-3,-1,-4},
+    /*L*/ {-1,-2,-3,-4,-1,-2,-3,-4,-3, 2, 4,-2, 2, 0,-3,-2,-1,-2,-1, 1,-4,-3,-1,-4},
+    /*K*/ {-1, 2, 0,-1,-3, 1, 1,-2,-1,-3,-2, 5,-1,-3,-1, 0,-1,-3,-2,-2, 0, 1,-1,-4},
+    /*M*/ {-1,-1,-2,-3,-1, 0,-2,-3,-2, 1, 2,-1, 5, 0,-2,-1,-1,-1,-1, 1,-3,-1,-1,-4},
+    /*F*/ {-2,-3,-3,-3,-2,-3,-3,-3,-1, 0, 0,-3, 0, 6,-4,-2,-2, 1, 3,-1,-3,-3,-1,-4},
+    /*P*/ {-1,-2,-2,-1,-3,-1,-1,-2,-2,-3,-3,-1,-2,-4, 7,-1,-1,-4,-3,-2,-2,-1,-2,-4},
+    /*S*/ { 1,-1, 1, 0,-1, 0, 0, 0,-1,-2,-2, 0,-1,-2,-1, 4, 1,-3,-2,-2, 0, 0, 0,-4},
+    /*T*/ { 0,-1, 0,-1,-1,-1,-1,-2,-2,-1,-1,-1,-1,-2,-1, 1, 5,-2,-2, 0,-1,-1, 0,-4},
+    /*W*/ {-3,-3,-4,-4,-2,-2,-3,-2,-2,-3,-2,-3,-1, 1,-4,-3,-2,11, 2,-3,-4,-3,-2,-4},
+    /*Y*/ {-2,-2,-2,-3,-2,-1,-2,-3, 2,-1,-1,-2,-1, 3,-3,-2,-2, 2, 7,-1,-3,-2,-1,-4},
+    /*V*/ { 0,-3,-3,-3,-1,-2,-2,-3,-3, 3, 1,-2, 1,-1,-2,-2, 0,-3,-1, 4,-3,-2,-1,-4},
+    /*B*/ {-2,-1, 3, 4,-3, 0, 1,-1, 0,-3,-4, 0,-3,-3,-2, 0,-1,-4,-3,-3, 4, 1,-1,-4},
+    /*Z*/ {-1, 0, 0, 1,-3, 3, 4,-2, 0,-3,-3, 1,-1,-3,-1, 0,-1,-3,-2,-2, 1, 4,-1,-4},
+    /*X*/ { 0,-1,-1,-1,-2,-1,-1,-1,-1,-1,-1,-1,-1,-1,-2, 0, 0,-2,-1,-1,-1,-1,-1,-4},
+    /***/ {-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4, 1},
+};
+}  // namespace
+
+SubstitutionMatrix::SubstitutionMatrix() { cells_.fill(0); }
+
+void SubstitutionMatrix::set_score(Residue a, Residue b, Score value) {
+  if (a >= kProteinAlphabetSize || b >= kProteinAlphabetSize) {
+    throw std::out_of_range("SubstitutionMatrix::set_score: residue code");
+  }
+  cells_[a * kProteinAlphabetSize + b] = value;
+}
+
+SubstitutionMatrix::Score SubstitutionMatrix::min_score() const {
+  return *std::min_element(cells_.begin(), cells_.end());
+}
+
+SubstitutionMatrix::Score SubstitutionMatrix::max_score() const {
+  return *std::max_element(cells_.begin(), cells_.end());
+}
+
+const SubstitutionMatrix& SubstitutionMatrix::blosum62() {
+  static const SubstitutionMatrix kMatrix = [] {
+    SubstitutionMatrix m;
+    m.name_ = "BLOSUM62";
+    for (std::size_t a = 0; a < kProteinAlphabetSize; ++a) {
+      for (std::size_t b = 0; b < kProteinAlphabetSize; ++b) {
+        m.cells_[a * kProteinAlphabetSize + b] = kBlosum62[a][b];
+      }
+    }
+    return m;
+  }();
+  return kMatrix;
+}
+
+SubstitutionMatrix SubstitutionMatrix::identity(Score match, Score mismatch) {
+  SubstitutionMatrix m;
+  m.name_ = "identity";
+  for (std::size_t a = 0; a < kProteinAlphabetSize; ++a) {
+    for (std::size_t b = 0; b < kProteinAlphabetSize; ++b) {
+      m.cells_[a * kProteinAlphabetSize + b] = (a == b) ? match : mismatch;
+    }
+  }
+  return m;
+}
+
+SubstitutionMatrix SubstitutionMatrix::from_stream(std::istream& in,
+                                                   std::string name) {
+  SubstitutionMatrix m;
+  m.name_ = std::move(name);
+  // Default every cell to the X row behaviour so sparse files stay sane.
+  m.cells_.fill(-1);
+
+  std::vector<Residue> columns;
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    std::istringstream row(line);
+    std::string first;
+    if (!(row >> first) || first[0] == '#') continue;
+    if (!have_header) {
+      // Header row: one-letter column codes, starting with `first`.
+      columns.push_back(encode_protein(first[0]));
+      std::string tok;
+      while (row >> tok) columns.push_back(encode_protein(tok[0]));
+      have_header = true;
+      continue;
+    }
+    const Residue row_code = encode_protein(first[0]);
+    int value = 0;
+    std::size_t col = 0;
+    while (row >> value) {
+      if (col >= columns.size()) {
+        throw std::runtime_error("matrix row wider than header: " + line);
+      }
+      m.set_score(row_code, columns[col], static_cast<Score>(value));
+      ++col;
+    }
+    if (col != columns.size()) {
+      throw std::runtime_error("matrix row narrower than header: " + line);
+    }
+  }
+  if (!have_header) throw std::runtime_error("matrix stream had no header row");
+  return m;
+}
+
+}  // namespace psc::bio

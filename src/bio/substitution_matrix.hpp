@@ -1,0 +1,63 @@
+// Amino-acid substitution matrices. BLOSUM62 (Henikoff & Henikoff 1992)
+// is built in -- it is the matrix the paper uses for the ungapped kernel
+// and the one burned into each PE's substitution ROM. A loader for
+// NCBI-format matrix files covers everything else.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "bio/alphabet.hpp"
+
+namespace psc::bio {
+
+/// Score matrix over the 24-letter protein alphabet. Scores are small
+/// signed integers (BLOSUM62 range [-4, 11]), exactly what the PE
+/// datapath's ROM + adder operate on.
+class SubstitutionMatrix {
+ public:
+  using Score = std::int16_t;
+
+  SubstitutionMatrix();
+
+  /// Score for substituting residue `a` by residue `b` (symmetric for the
+  /// built-in matrices). Out-of-range codes score as X.
+  Score score(Residue a, Residue b) const noexcept {
+    const Residue ca = a < kProteinAlphabetSize ? a : kUnknownX;
+    const Residue cb = b < kProteinAlphabetSize ? b : kUnknownX;
+    return cells_[ca * kProteinAlphabetSize + cb];
+  }
+
+  void set_score(Residue a, Residue b, Score value);
+
+  const std::string& name() const { return name_; }
+
+  Score min_score() const;
+  Score max_score() const;
+
+  /// Flat row-major view (24x24), the layout copied into PE ROMs.
+  const std::array<Score, kProteinAlphabetSize * kProteinAlphabetSize>& cells()
+      const {
+    return cells_;
+  }
+
+  /// The BLOSUM62 matrix in half-bit units (the NCBI default).
+  static const SubstitutionMatrix& blosum62();
+
+  /// Match/mismatch matrix (match = +1, mismatch = -1 by default); used by
+  /// tests where hand-computing BLOSUM scores would obscure the point.
+  static SubstitutionMatrix identity(Score match = 1, Score mismatch = -1);
+
+  /// Parses an NCBI-format matrix file (comment lines start with '#', a
+  /// header row of one-letter codes, then one row per residue). Throws
+  /// std::runtime_error on malformed input.
+  static SubstitutionMatrix from_stream(std::istream& in, std::string name);
+
+ private:
+  std::string name_ = "custom";
+  std::array<Score, kProteinAlphabetSize * kProteinAlphabetSize> cells_{};
+};
+
+}  // namespace psc::bio

@@ -1,0 +1,76 @@
+// BLAST query preprocessing: the neighbourhood-word lookup table.
+//
+// NCBI BLAST indexes the *query* set: for every query position, every
+// word of width W whose substitution score against the query word is at
+// least T ("neighbourhood words") is entered into a lookup table. The
+// subject stream is then scanned word by word; table hits seed the
+// two-hit diagonal logic. This is the "scanning purpose" structure the
+// paper contrasts with its bank-vs-bank design (section 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "bio/substitution_matrix.hpp"
+
+namespace psc::blast {
+
+/// A query word occurrence registered in the lookup table.
+struct QueryWordHit {
+  std::uint32_t query = 0;      ///< query sequence number
+  std::uint32_t position = 0;   ///< residue offset of the word
+};
+
+class WordLookup {
+ public:
+  /// Builds the table over all width-`word_size` words of `queries`.
+  /// A word w is registered under key(w') for every word w' with
+  /// score(w, w') >= threshold (self-inclusion requires the self-score to
+  /// reach the threshold too, exactly as in NCBI BLAST).
+  WordLookup(const bio::SequenceBank& queries, std::size_t word_size,
+             int threshold, const bio::SubstitutionMatrix& matrix);
+
+  std::size_t word_size() const { return word_size_; }
+
+  /// Packs a word of standard residues into its table key; returns
+  /// `npos_key` if any residue is non-standard.
+  static constexpr std::uint32_t npos_key = 0xffffffffu;
+  std::uint32_t key(const std::uint8_t* word) const noexcept {
+    std::uint32_t k = 0;
+    for (std::size_t i = 0; i < word_size_; ++i) {
+      if (word[i] >= bio::kNumAminoAcids) return npos_key;
+      k = k * static_cast<std::uint32_t>(bio::kNumAminoAcids) + word[i];
+    }
+    return k;
+  }
+
+  /// Query occurrences whose neighbourhood contains the word `key`.
+  std::span<const QueryWordHit> hits(std::uint32_t key) const {
+    if (key == npos_key) return {};
+    return {entries_.data() + starts_[key], entries_.data() + starts_[key + 1]};
+  }
+
+  /// Total registered (word, occurrence) pairs, a size/sensitivity gauge.
+  std::size_t total_entries() const { return entries_.size(); }
+
+  /// Average neighbourhood size per query position (diagnostic).
+  double mean_neighborhood() const;
+
+ private:
+  std::size_t word_size_;
+  std::size_t positions_ = 0;
+  std::vector<std::size_t> starts_;
+  std::vector<QueryWordHit> entries_;
+};
+
+/// Enumerates all width-W words scoring >= threshold against `word`
+/// (including, possibly, the word itself). Bounded depth-first search
+/// with best-remaining pruning. Exposed for tests and diagnostics.
+void enumerate_neighborhood(std::span<const std::uint8_t> word,
+                            const bio::SubstitutionMatrix& matrix,
+                            int threshold,
+                            std::vector<std::uint32_t>& keys_out);
+
+}  // namespace psc::blast

@@ -1,0 +1,72 @@
+#include "blast/two_hit.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace psc::blast {
+
+DiagonalTracker::DiagonalTracker(std::size_t max_query_residues,
+                                 std::size_t max_subject_length,
+                                 std::size_t window)
+    : max_query_(max_query_residues), window_(window) {
+  const std::size_t diagonals = max_query_residues + max_subject_length + 1;
+  cells_.assign(diagonals, Cell{});
+}
+
+void DiagonalTracker::new_subject() {
+  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    cells_.assign(cells_.size(), Cell{});
+    epoch_ = 0;
+  }
+  ++epoch_;
+}
+
+bool DiagonalTracker::register_hit(std::size_t concat_query_pos,
+                                   std::size_t subject_pos,
+                                   std::size_t word_size) {
+  const std::size_t diag = diag_of(concat_query_pos, subject_pos);
+  if (diag >= cells_.size()) {
+    throw std::out_of_range("DiagonalTracker: subject longer than declared");
+  }
+  Cell& cell = cells_[diag];
+  if (cell.epoch != epoch_) {
+    cell.epoch = epoch_;
+    cell.last_pos = static_cast<std::uint32_t>(subject_pos);
+    cell.extended_to = 0;
+    return false;
+  }
+  if (cell.extended_to > subject_pos) {
+    // Inside an already-extended region; refresh nothing, trigger nothing.
+    return false;
+  }
+  const std::size_t previous = cell.last_pos;
+  if (subject_pos > previous && subject_pos - previous < word_size) {
+    // Overlapping the remembered hit: ignore it and keep the older one,
+    // as NCBI BLAST does -- otherwise a run of consecutive word hits
+    // slides the anchor forward and a two-hit pair never forms.
+    return false;
+  }
+  cell.last_pos = static_cast<std::uint32_t>(subject_pos);
+  return subject_pos > previous && subject_pos - previous <= window_;
+}
+
+void DiagonalTracker::mark_extended(std::size_t concat_query_pos,
+                                    std::size_t subject_pos,
+                                    std::size_t subject_end) {
+  const std::size_t diag = diag_of(concat_query_pos, subject_pos);
+  Cell& cell = cells_[diag];
+  if (cell.epoch != epoch_) {
+    cell.epoch = epoch_;
+    cell.last_pos = static_cast<std::uint32_t>(subject_pos);
+  }
+  cell.extended_to = static_cast<std::uint32_t>(subject_end);
+}
+
+bool DiagonalTracker::covered(std::size_t concat_query_pos,
+                              std::size_t subject_pos) const {
+  const std::size_t diag = diag_of(concat_query_pos, subject_pos);
+  const Cell& cell = cells_[diag];
+  return cell.epoch == epoch_ && cell.extended_to > subject_pos;
+}
+
+}  // namespace psc::blast

@@ -1,0 +1,65 @@
+// The two-hit diagonal heuristic of NCBI BLAST (Altschul et al. 1997
+// refinement of the 1990 algorithm): an ungapped extension is triggered
+// only when two non-overlapping word hits land on the same (query,
+// diagonal) within a window of A residues. The paper contrasts this with
+// its single subset-seed trigger ("In the NCBI BLAST algorithm, the
+// ungapped extension is started when two seeds of 3 amino acids are
+// detected in a closed neighbouring", section 4.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace psc::blast {
+
+/// Tracks the most recent word hit per (query, diagonal) using an epoch
+/// trick so switching subjects costs O(1) instead of clearing the table.
+class DiagonalTracker {
+ public:
+  /// `max_query_residues`: total residues across all queries (diagonals
+  /// are indexed against the concatenated query coordinate space).
+  /// `max_subject_length`: longest subject scanned.
+  DiagonalTracker(std::size_t max_query_residues,
+                  std::size_t max_subject_length, std::size_t window);
+
+  /// Begins scanning a new subject (invalidates all remembered hits).
+  void new_subject();
+
+  /// Registers a word hit at (concat_query_pos, subject_pos); returns
+  /// true when this hit is the *second* of a two-hit pair: the previous
+  /// hit on the diagonal is within `window` residues and does not overlap
+  /// this one (distance >= word_size).
+  bool register_hit(std::size_t concat_query_pos, std::size_t subject_pos,
+                    std::size_t word_size);
+
+  /// Records that an extension reached `subject_end` on this diagonal, so
+  /// later word hits inside the extended region do not re-trigger.
+  void mark_extended(std::size_t concat_query_pos, std::size_t subject_pos,
+                     std::size_t subject_end);
+
+  /// True if `subject_pos` on the hit's diagonal lies inside a region an
+  /// extension already covered.
+  bool covered(std::size_t concat_query_pos, std::size_t subject_pos) const;
+
+  std::size_t window() const { return window_; }
+
+ private:
+  struct Cell {
+    std::uint32_t epoch = 0;
+    std::uint32_t last_pos = 0;      ///< subject offset of last word hit
+    std::uint32_t extended_to = 0;   ///< subject offset extensions covered
+  };
+
+  std::size_t diag_of(std::size_t concat_query_pos,
+                      std::size_t subject_pos) const {
+    // diagonal = subject_pos - query_pos, shifted to be non-negative.
+    return subject_pos + max_query_ - concat_query_pos;
+  }
+
+  std::size_t max_query_;
+  std::size_t window_;
+  std::uint32_t epoch_ = 1;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace psc::blast

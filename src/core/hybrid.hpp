@@ -1,0 +1,58 @@
+// The dual-operator pipeline of the paper's conclusion (section 5): the
+// PSC operator on FPGA 0 performs step 2 while the gapped-extension
+// operator on FPGA 1 screens its hits with a banded affine-gap score;
+// only survivors reach the host's full gapped extension. Since the two
+// designs run concurrently on the RASC-100's two FPGAs and stream
+// producer-to-consumer, the modeled accelerator time is the maximum of
+// the two stages rather than their sum.
+#pragma once
+
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "rasc/gap_operator.hpp"
+
+namespace psc::core {
+
+struct HybridOptions {
+  /// Base pipeline configuration; backend is forced to kRasc with one
+  /// FPGA (the other carries the gap operator).
+  PipelineOptions base{};
+  /// Gap-operator geometry. The banded screen threshold should sit at or
+  /// below the raw score implied by the E-value cutoff so no final match
+  /// is lost (validated by the integration tests).
+  rasc::GapOperatorConfig gap{};
+};
+
+struct HybridResult {
+  /// Final matches (host-extended survivors), E-value sorted.
+  std::vector<Match> matches;
+  PipelineCounters counters;
+
+  double step1_seconds = 0.0;
+  double psc_seconds = 0.0;        ///< FPGA 0, modeled
+  double gap_seconds = 0.0;        ///< FPGA 1, modeled
+  double host_step3_seconds = 0.0; ///< residual host extension, measured
+
+  std::uint64_t screen_survivors = 0;  ///< hits passing the banded screen
+
+  rasc::OperatorStats psc_stats;
+  rasc::GapOperatorStats gap_stats;
+
+  /// Steady-state modeled wall time: host indexing, then the two
+  /// streaming FPGA stages overlapped, then the residual host work.
+  double overall_seconds() const {
+    return step1_seconds + std::max(psc_seconds, gap_seconds) +
+           host_step3_seconds;
+  }
+};
+
+/// Runs the dual-FPGA pipeline: step 2 on the PSC operator, banded
+/// screening on the gap operator, full extension of survivors on the
+/// host.
+HybridResult run_hybrid_pipeline(const bio::SequenceBank& bank0,
+                                 const bio::SequenceBank& bank1,
+                                 const HybridOptions& options,
+                                 const bio::SubstitutionMatrix& matrix =
+                                     bio::SubstitutionMatrix::blosum62());
+
+}  // namespace psc::core

@@ -1,0 +1,57 @@
+#include "core/modes.hpp"
+
+namespace psc::core {
+
+namespace {
+bio::SequenceBank translate_mapped(const bio::Sequence& dna,
+                                   std::vector<bio::FrameFragment>& fragments,
+                                   std::size_t min_length = 20) {
+  return bio::frames_to_bank_mapped(bio::translate_six_frames(dna),
+                                    dna.size(), min_length, fragments);
+}
+}  // namespace
+
+ModeResult blastp(const bio::SequenceBank& queries,
+                  const bio::SequenceBank& subjects,
+                  const PipelineOptions& options,
+                  const bio::SubstitutionMatrix& matrix) {
+  ModeResult result;
+  result.pipeline = run_pipeline(queries, subjects, options, matrix);
+  return result;
+}
+
+ModeResult tblastn(const bio::SequenceBank& queries,
+                   const bio::Sequence& genome, const PipelineOptions& options,
+                   const bio::SubstitutionMatrix& matrix) {
+  ModeResult result;
+  const bio::SequenceBank subjects =
+      translate_mapped(genome, result.bank1_fragments);
+  result.pipeline = run_pipeline(queries, subjects, options, matrix);
+  return result;
+}
+
+ModeResult blastx(const bio::Sequence& dna_query,
+                  const bio::SequenceBank& subjects,
+                  const PipelineOptions& options,
+                  const bio::SubstitutionMatrix& matrix) {
+  ModeResult result;
+  const bio::SequenceBank queries =
+      translate_mapped(dna_query, result.bank0_fragments);
+  result.pipeline = run_pipeline(queries, subjects, options, matrix);
+  return result;
+}
+
+ModeResult tblastx(const bio::Sequence& dna_query,
+                   const bio::Sequence& dna_subject,
+                   const PipelineOptions& options,
+                   const bio::SubstitutionMatrix& matrix) {
+  ModeResult result;
+  const bio::SequenceBank queries =
+      translate_mapped(dna_query, result.bank0_fragments);
+  const bio::SequenceBank subjects =
+      translate_mapped(dna_subject, result.bank1_fragments);
+  result.pipeline = run_pipeline(queries, subjects, options, matrix);
+  return result;
+}
+
+}  // namespace psc::core

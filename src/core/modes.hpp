@@ -1,0 +1,59 @@
+// The BLAST program family on top of the bank-versus-bank pipeline. The
+// paper's conclusion notes the PSC design "can be directly reused for
+// implementing blastp, blastx, and tblastx BLAST family programs"; these
+// wrappers provide exactly that reuse: each mode translates whichever
+// side is nucleotide and runs the same three-step pipeline.
+//
+//   tblastn : protein queries  vs translated DNA   (the paper's program)
+//   blastp  : protein queries  vs protein bank
+//   blastx  : translated DNA queries vs protein bank
+//   tblastx : translated DNA queries vs translated DNA
+#pragma once
+
+#include <vector>
+
+#include "bio/translate.hpp"
+#include "core/pipeline.hpp"
+
+namespace psc::core {
+
+/// Result of a translated-mode search: the pipeline result plus the
+/// fragment provenance needed to map matches back to nucleotide
+/// coordinates on each translated side (empty when that side was
+/// protein).
+struct ModeResult {
+  PipelineResult pipeline;
+  /// Per-fragment provenance for bank 0 / bank 1 when DNA (else empty).
+  std::vector<bio::FrameFragment> bank0_fragments;
+  std::vector<bio::FrameFragment> bank1_fragments;
+};
+
+/// blastp: protein vs protein -- the pipeline as-is.
+ModeResult blastp(const bio::SequenceBank& queries,
+                  const bio::SequenceBank& subjects,
+                  const PipelineOptions& options,
+                  const bio::SubstitutionMatrix& matrix =
+                      bio::SubstitutionMatrix::blosum62());
+
+/// tblastn: protein vs six-frame-translated genome (the paper's use
+/// case), with fragment provenance for the subject side.
+ModeResult tblastn(const bio::SequenceBank& queries,
+                   const bio::Sequence& genome, const PipelineOptions& options,
+                   const bio::SubstitutionMatrix& matrix =
+                       bio::SubstitutionMatrix::blosum62());
+
+/// blastx: six-frame-translated DNA queries vs a protein bank.
+ModeResult blastx(const bio::Sequence& dna_query,
+                  const bio::SequenceBank& subjects,
+                  const PipelineOptions& options,
+                  const bio::SubstitutionMatrix& matrix =
+                      bio::SubstitutionMatrix::blosum62());
+
+/// tblastx: translated DNA vs translated DNA.
+ModeResult tblastx(const bio::Sequence& dna_query,
+                   const bio::Sequence& dna_subject,
+                   const PipelineOptions& options,
+                   const bio::SubstitutionMatrix& matrix =
+                       bio::SubstitutionMatrix::blosum62());
+
+}  // namespace psc::core

@@ -1,0 +1,47 @@
+#include "core/options.hpp"
+
+#include <stdexcept>
+
+namespace psc::core {
+
+void PipelineOptions::validate() const {
+  if (shape.seed_width == 0) {
+    throw std::invalid_argument("PipelineOptions: zero seed width");
+  }
+  const index::SeedModel model = make_seed_model(seed_model);
+  if (model.width() != shape.seed_width) {
+    throw std::invalid_argument(
+        "PipelineOptions: seed model width does not match window shape");
+  }
+  if (e_value_cutoff <= 0.0) {
+    throw std::invalid_argument("PipelineOptions: e_value_cutoff <= 0");
+  }
+  if (backend == Step2Backend::kRasc) {
+    rasc.psc.validate();
+    if (rasc.num_fpgas == 0 || rasc.num_fpgas > 2) {
+      throw std::invalid_argument("PipelineOptions: num_fpgas must be 1 or 2");
+    }
+  }
+}
+
+index::SeedModel make_seed_model(SeedModelKind kind) {
+  switch (kind) {
+    case SeedModelKind::kSubsetW4: return index::SeedModel::subset_w4();
+    case SeedModelKind::kSubsetW4Coarse:
+      return index::SeedModel::subset_w4_coarse();
+    case SeedModelKind::kExactW4: return index::SeedModel::contiguous(4);
+    case SeedModelKind::kExactW3: return index::SeedModel::contiguous(3);
+  }
+  throw std::invalid_argument("make_seed_model: unknown kind");
+}
+
+std::string backend_name(Step2Backend backend) {
+  switch (backend) {
+    case Step2Backend::kHostSequential: return "host-sequential";
+    case Step2Backend::kHostParallel: return "host-parallel";
+    case Step2Backend::kRasc: return "rasc";
+  }
+  return "unknown";
+}
+
+}  // namespace psc::core

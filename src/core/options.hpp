@@ -1,0 +1,72 @@
+// Configuration of the bank-versus-bank pipeline (the paper's algorithm,
+// section 2): seed model, window geometry, thresholds and the step-2
+// execution backend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "align/gapped.hpp"
+#include "align/karlin.hpp"
+#include "index/neighborhood.hpp"
+#include "index/seed_model.hpp"
+#include "rasc/rasc_backend.hpp"
+
+namespace psc::core {
+
+/// Where step 2 (ungapped extension, 97% of software runtime) executes.
+enum class Step2Backend {
+  kHostSequential,  ///< the paper's software baseline structure
+  kHostParallel,    ///< thread-pool over seed keys (multicore host)
+  kRasc,            ///< deported to the simulated RASC-100 accelerator
+};
+
+/// Which seed model indexes the banks.
+enum class SeedModelKind {
+  kSubsetW4,        ///< the paper's subset seed (section 4.4)
+  kSubsetW4Coarse,  ///< coarser key space for scaled-down timing benches
+  kExactW4,         ///< contiguous 4-mer (ablation)
+  kExactW3,         ///< contiguous 3-mer (BLAST's word size; ablation)
+};
+
+struct PipelineOptions {
+  SeedModelKind seed_model = SeedModelKind::kSubsetW4;
+  /// Ungapped window: W + 2N residues around the seed (W=4, N=30 -> 64).
+  index::WindowShape shape{4, 30};
+  /// Step-2 score threshold; pairs at or above it reach step 3. The
+  /// paper raises this in the dual-FPGA experiment to thin result traffic
+  /// (section 4.1).
+  int ungapped_threshold = 38;
+
+  Step2Backend backend = Step2Backend::kHostSequential;
+  std::size_t host_threads = 0;  ///< 0 = hardware concurrency
+
+  /// Worker threads for step 3 (gapped extension); Table 7 shows step 3
+  /// dominating the accelerated pipeline, and the paper's conclusion
+  /// points at multicore hosts. 0 or 1 = sequential.
+  std::size_t step3_threads = 1;
+
+  /// Accelerator settings (used when backend == kRasc). The psc window
+  /// length and threshold are overridden from `shape` / `ungapped_threshold`
+  /// so the backends always agree.
+  rasc::RascStep2Config rasc{};
+
+  /// Step-3 gapped extension parameters.
+  align::GapParams gap{};
+  double e_value_cutoff = 1e-3;
+  bool with_traceback = false;
+  align::KarlinParams stats = align::blosum62_gapped_11_1();
+  /// Per-query composition-adjusted lambda for step-3 E-values (Gertz et
+  /// al. 2006); see align::composition_adjusted.
+  bool composition_based_stats = false;
+
+  void validate() const;
+};
+
+/// Builds the configured seed model.
+index::SeedModel make_seed_model(SeedModelKind kind);
+
+/// Human-readable backend name (for tables and logs).
+std::string backend_name(Step2Backend backend);
+
+}  // namespace psc::core

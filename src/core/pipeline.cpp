@@ -1,0 +1,89 @@
+#include "core/pipeline.hpp"
+
+#include "bio/translate.hpp"
+#include "core/step1_index.hpp"
+#include "core/step2_host.hpp"
+#include "core/step3_gapped.hpp"
+#include "util/timer.hpp"
+
+namespace psc::core {
+
+PipelineResult run_pipeline(const bio::SequenceBank& bank0,
+                            const bio::SequenceBank& bank1,
+                            const PipelineOptions& options,
+                            const bio::SubstitutionMatrix& matrix) {
+  options.validate();
+  PipelineResult result;
+
+  // ---- step 1: indexing -------------------------------------------------
+  util::Timer step1_timer;
+  const Step1Result step1 = run_step1(bank0, bank1, options);
+  result.times.step1_index = step1_timer.seconds();
+  result.counters.bank0_occurrences = step1.table0.total_occurrences();
+  result.counters.bank1_occurrences = step1.table1.total_occurrences();
+
+  // ---- step 2: ungapped extension ---------------------------------------
+  util::Timer step2_timer;
+  std::vector<align::SeedPairHit> hits;
+  switch (options.backend) {
+    case Step2Backend::kHostSequential: {
+      HostStep2Result step2 =
+          run_step2_host(bank0, step1.table0, bank1, step1.table1, matrix,
+                         options.shape, options.ungapped_threshold);
+      result.counters.step2_pairs = step2.pairs;
+      hits = std::move(step2.hits);
+      result.step2_wall_seconds = step2_timer.seconds();
+      result.times.step2_ungapped = result.step2_wall_seconds;
+      break;
+    }
+    case Step2Backend::kHostParallel: {
+      HostStep2Result step2 = run_step2_host_parallel(
+          bank0, step1.table0, bank1, step1.table1, matrix, options.shape,
+          options.ungapped_threshold, options.host_threads);
+      result.counters.step2_pairs = step2.pairs;
+      hits = std::move(step2.hits);
+      result.step2_wall_seconds = step2_timer.seconds();
+      result.times.step2_ungapped = result.step2_wall_seconds;
+      break;
+    }
+    case Step2Backend::kRasc: {
+      rasc::RascStep2Config config = options.rasc;
+      config.psc.window_length = options.shape.length();
+      config.psc.threshold = options.ungapped_threshold;
+      config.shape = options.shape;
+      rasc::RascStep2Result step2 =
+          rasc::run_rasc_step2(bank0, step1.table0, bank1, step1.table1,
+                               matrix, config);
+      result.counters.step2_pairs = step2.stats.comparisons;
+      hits = std::move(step2.hits);
+      result.step2_wall_seconds = step2_timer.seconds();
+      // The paper's Tables 2-4 report the accelerator's execution time,
+      // which the simulator models from cycles + transfers.
+      result.times.step2_ungapped = step2.modeled_seconds;
+      result.fpga_reports = std::move(step2.fpgas);
+      result.operator_stats = step2.stats;
+      break;
+    }
+  }
+  result.counters.step2_hits = hits.size();
+
+  // ---- step 3: gapped extension ------------------------------------------
+  util::Timer step3_timer;
+  Step3Result step3 =
+      run_step3(bank0, bank1, std::move(hits), matrix, options);
+  result.times.step3_gapped = step3_timer.seconds();
+  result.counters.step3_extensions = step3.extensions;
+  result.matches = std::move(step3.matches);
+  return result;
+}
+
+PipelineResult run_pipeline_genome(const bio::SequenceBank& bank0,
+                                   const bio::Sequence& genome,
+                                   const PipelineOptions& options,
+                                   const bio::SubstitutionMatrix& matrix) {
+  const bio::SequenceBank bank1 =
+      bio::frames_to_bank(bio::translate_six_frames(genome));
+  return run_pipeline(bank0, bank1, options, matrix);
+}
+
+}  // namespace psc::core

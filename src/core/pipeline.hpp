@@ -1,0 +1,37 @@
+// The public entry point of the library: the paper's three-step
+// bank-versus-bank protein comparison (section 2.1), with step 2 running
+// on the host or deported to the simulated RASC-100 accelerator.
+//
+//   #include "core/pipeline.hpp"
+//   psc::core::PipelineOptions options;
+//   options.backend = psc::core::Step2Backend::kRasc;
+//   options.rasc.psc.num_pes = 192;
+//   auto result = psc::core::run_pipeline(proteins, genome_bank, options);
+//
+// bank0 is the protein set; bank1 is the six-frame-translated genome
+// (use run_pipeline_genome to translate on the way in).
+#pragma once
+
+#include "bio/sequence.hpp"
+#include "bio/substitution_matrix.hpp"
+#include "core/options.hpp"
+#include "core/result.hpp"
+
+namespace psc::core {
+
+/// Runs the full pipeline between two protein banks.
+PipelineResult run_pipeline(const bio::SequenceBank& bank0,
+                            const bio::SequenceBank& bank1,
+                            const PipelineOptions& options,
+                            const bio::SubstitutionMatrix& matrix =
+                                bio::SubstitutionMatrix::blosum62());
+
+/// Convenience: six-frame-translates `genome`, splits at stop codons and
+/// runs the pipeline against the resulting fragment bank.
+PipelineResult run_pipeline_genome(const bio::SequenceBank& bank0,
+                                   const bio::Sequence& genome,
+                                   const PipelineOptions& options,
+                                   const bio::SubstitutionMatrix& matrix =
+                                       bio::SubstitutionMatrix::blosum62());
+
+}  // namespace psc::core

@@ -1,0 +1,38 @@
+// Result reporting: the two output formats a tblastn user expects --
+// BLAST tabular (outfmt-6 style) and GFF3 with genome nucleotide
+// coordinates recovered through the translated-fragment provenance.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bio/translate.hpp"
+#include "core/result.hpp"
+
+namespace psc::core {
+
+/// Writes one line per match in BLAST tabular order:
+///   qseqid sseqid pident length mismatch gapopen qstart qend sstart send
+///   evalue bitscore
+/// Coordinates are 1-based inclusive, as BLAST reports them. The
+/// identity/mismatch/gap columns need alignment operations; matches
+/// produced without `with_traceback` report length from the ranges and
+/// 0 for the op-derived columns.
+void write_tabular(std::ostream& out, const std::vector<Match>& matches,
+                   const bio::SequenceBank& bank0,
+                   const bio::SequenceBank& bank1);
+
+/// Maps a match on translated fragment `fragment` back to forward-strand
+/// genome nucleotides [begin, end).
+std::pair<std::size_t, std::size_t> match_genome_range(
+    const Match& match, const bio::FrameFragment& fragment);
+
+/// Writes GFF3 protein_match features (1-based, inclusive), one per
+/// match, using the fragment provenance from frames_to_bank_mapped.
+void write_gff3(std::ostream& out, const std::vector<Match>& matches,
+                const bio::SequenceBank& bank0,
+                const std::vector<bio::FrameFragment>& fragments,
+                const std::string& genome_id);
+
+}  // namespace psc::core

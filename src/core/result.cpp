@@ -1,0 +1,57 @@
+#include "core/result.hpp"
+
+#include <algorithm>
+
+namespace psc::core {
+
+namespace {
+bool overlaps_mostly(const Match& a, const Match& b) {
+  auto overlap = [](std::size_t b0, std::size_t e0, std::size_t b1,
+                    std::size_t e1) {
+    const std::size_t lo = std::max(b0, b1);
+    const std::size_t hi = std::min(e0, e1);
+    const std::size_t inter = hi > lo ? hi - lo : 0;
+    const std::size_t smaller = std::min(e0 - b0, e1 - b1);
+    return smaller > 0 && 2 * inter > smaller;
+  };
+  return overlap(a.alignment.begin0, a.alignment.end0, b.alignment.begin0,
+                 b.alignment.end0) &&
+         overlap(a.alignment.begin1, a.alignment.end1, b.alignment.begin1,
+                 b.alignment.end1);
+}
+}  // namespace
+
+void finalize_matches(std::vector<Match>& matches) {
+  std::sort(matches.begin(), matches.end(),
+            [](const Match& a, const Match& b) {
+              if (a.bank0_sequence != b.bank0_sequence) {
+                return a.bank0_sequence < b.bank0_sequence;
+              }
+              if (a.bank1_sequence != b.bank1_sequence) {
+                return a.bank1_sequence < b.bank1_sequence;
+              }
+              return a.alignment.score > b.alignment.score;
+            });
+  std::vector<Match> kept;
+  kept.reserve(matches.size());
+  for (auto& match : matches) {
+    bool duplicate = false;
+    for (std::size_t k = kept.size(); k-- > 0;) {
+      if (kept[k].bank0_sequence != match.bank0_sequence ||
+          kept[k].bank1_sequence != match.bank1_sequence) {
+        break;
+      }
+      if (overlaps_mostly(kept[k], match)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) kept.push_back(std::move(match));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Match& a, const Match& b) {
+    return a.e_value < b.e_value;
+  });
+  matches = std::move(kept);
+}
+
+}  // namespace psc::core

@@ -1,0 +1,65 @@
+// Result types of the bank-versus-bank pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/gapped.hpp"
+#include "rasc/rasc_backend.hpp"
+#include "util/timer.hpp"
+
+namespace psc::core {
+
+/// One reported similarity between a bank-0 protein and a bank-1
+/// (translated-genome) fragment.
+struct Match {
+  std::uint32_t bank0_sequence = 0;
+  std::uint32_t bank1_sequence = 0;
+  align::Alignment alignment;  ///< protein-space coordinates
+  double bit_score = 0.0;
+  double e_value = 0.0;
+};
+
+/// Work counters of one pipeline run.
+struct PipelineCounters {
+  std::uint64_t bank0_occurrences = 0;  ///< indexed words, bank 0
+  std::uint64_t bank1_occurrences = 0;  ///< indexed words, bank 1
+  std::uint64_t step2_pairs = 0;        ///< ungapped extensions performed
+  std::uint64_t step2_hits = 0;         ///< pairs reaching the threshold
+  std::uint64_t step3_extensions = 0;   ///< gapped extensions performed
+};
+
+/// Wall/modeled seconds per step. For the host backends step2 is measured
+/// wall time; for the RASC backend it is the modeled accelerator time
+/// (cycles at the configured clock + DMA + overheads), which is the
+/// quantity the paper's Tables 2-4 report.
+struct StepTimes {
+  double step1_index = 0.0;
+  double step2_ungapped = 0.0;
+  double step3_gapped = 0.0;
+
+  double total() const { return step1_index + step2_ungapped + step3_gapped; }
+  double percent(double step) const {
+    const double sum = total();
+    return sum > 0.0 ? 100.0 * step / sum : 0.0;
+  }
+};
+
+struct PipelineResult {
+  std::vector<Match> matches;  ///< E-value sorted, deduplicated
+  PipelineCounters counters;
+  StepTimes times;
+  /// Host wall time actually spent simulating step 2 (diagnostic; equals
+  /// times.step2_ungapped for host backends).
+  double step2_wall_seconds = 0.0;
+  /// Accelerator details when the RASC backend ran (empty otherwise).
+  std::vector<rasc::FpgaRunReport> fpga_reports;
+  rasc::OperatorStats operator_stats;
+};
+
+/// Removes near-duplicate matches (same sequence pair with mostly
+/// overlapping regions; the higher score wins) and sorts the survivors by
+/// ascending E-value. Called by the pipeline after step 3.
+void finalize_matches(std::vector<Match>& matches);
+
+}  // namespace psc::core

@@ -1,0 +1,16 @@
+#include "core/step1_index.hpp"
+
+namespace psc::core {
+
+Step1Result run_step1(const bio::SequenceBank& bank0,
+                      const bio::SequenceBank& bank1,
+                      const PipelineOptions& options) {
+  index::SeedModel model = make_seed_model(options.seed_model);
+  index::IndexTable table0(bank0, model);
+  index::IndexTable table1(bank1, model);
+  const std::uint64_t pairs = index::IndexTable::pair_count(table0, table1);
+  return Step1Result{std::move(model), std::move(table0), std::move(table1),
+                     pairs};
+}
+
+}  // namespace psc::core

@@ -1,0 +1,25 @@
+// Step 1: indexing both banks (paper, section 2.1). Thin wrapper around
+// index::IndexTable that builds T0 and T1 under the configured seed model
+// and reports the statistics the pipeline's profile needs.
+#pragma once
+
+#include <memory>
+
+#include "bio/sequence.hpp"
+#include "core/options.hpp"
+#include "index/index_table.hpp"
+
+namespace psc::core {
+
+struct Step1Result {
+  index::SeedModel model;
+  index::IndexTable table0;  ///< T0: the protein bank
+  index::IndexTable table1;  ///< T1: the translated genome bank
+  std::uint64_t pair_count = 0;  ///< step-2 workload, sum |IL0k| x |IL1k|
+};
+
+Step1Result run_step1(const bio::SequenceBank& bank0,
+                      const bio::SequenceBank& bank1,
+                      const PipelineOptions& options);
+
+}  // namespace psc::core

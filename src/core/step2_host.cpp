@@ -1,0 +1,178 @@
+#include "core/step2_host.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "align/ungapped.hpp"
+#include "index/neighborhood.hpp"
+#include "util/thread_pool.hpp"
+
+namespace psc::core {
+
+namespace {
+
+/// Processes one seed key, appending hits. Window batches are
+/// caller-provided scratch so the hot loop performs no allocation.
+std::uint64_t process_key(
+    const bio::SequenceBank& bank0, const index::IndexTable& table0,
+    const bio::SequenceBank& bank1, const index::IndexTable& table1,
+    const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
+    int threshold, index::SeedKey key, index::WindowBatch& batch0,
+    index::WindowBatch& batch1, std::vector<align::SeedPairHit>& hits) {
+  const auto list0 = table0.occurrences(key);
+  const auto list1 = table1.occurrences(key);
+  if (list0.empty() || list1.empty()) return 0;
+
+  index::extract_windows(bank0, list0, shape, batch0);
+  index::extract_windows(bank1, list1, shape, batch1);
+
+  // Blocked kernel: one IL0 window against the whole IL1 batch with four
+  // interleaved accumulators (see align/ungapped.hpp). This mirrors the
+  // PE array's structure and is what makes the "software" rows of
+  // Tables 2/4 a fair, optimized baseline.
+  thread_local std::vector<int> scores;
+  for (std::size_t i0 = 0; i0 < batch0.size(); ++i0) {
+    align::ungapped_score_one_vs_many_blocked(batch0.window(i0), batch1,
+                                              matrix, scores);
+    for (std::size_t i1 = 0; i1 < scores.size(); ++i1) {
+      if (scores[i1] >= threshold) {
+        hits.push_back(align::SeedPairHit{batch0.source(i0),
+                                          batch1.source(i1), scores[i1]});
+      }
+    }
+  }
+  return static_cast<std::uint64_t>(list0.size()) * list1.size();
+}
+
+/// Processes keys [first, last).
+std::uint64_t process_key_range(
+    const bio::SequenceBank& bank0, const index::IndexTable& table0,
+    const bio::SequenceBank& bank1, const index::IndexTable& table1,
+    const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
+    int threshold, std::size_t first, std::size_t last,
+    index::WindowBatch& batch0, index::WindowBatch& batch1,
+    std::vector<align::SeedPairHit>& hits) {
+  std::uint64_t pairs = 0;
+  for (std::size_t k = first; k < last; ++k) {
+    pairs += process_key(bank0, table0, bank1, table1, matrix, shape,
+                         threshold, static_cast<index::SeedKey>(k), batch0,
+                         batch1, hits);
+  }
+  return pairs;
+}
+
+void normalize(std::vector<align::SeedPairHit>& hits) {
+  std::sort(hits.begin(), hits.end(), [](const align::SeedPairHit& a,
+                                         const align::SeedPairHit& b) {
+    if (a.bank0.sequence != b.bank0.sequence) {
+      return a.bank0.sequence < b.bank0.sequence;
+    }
+    if (a.bank1.sequence != b.bank1.sequence) {
+      return a.bank1.sequence < b.bank1.sequence;
+    }
+    if (a.bank0.offset != b.bank0.offset) return a.bank0.offset < b.bank0.offset;
+    if (a.bank1.offset != b.bank1.offset) return a.bank1.offset < b.bank1.offset;
+    return a.score < b.score;
+  });
+}
+
+}  // namespace
+
+HostStep2Result run_step2_host(const bio::SequenceBank& bank0,
+                               const index::IndexTable& table0,
+                               const bio::SequenceBank& bank1,
+                               const index::IndexTable& table1,
+                               const bio::SubstitutionMatrix& matrix,
+                               const index::WindowShape& shape,
+                               int threshold) {
+  HostStep2Result out;
+  index::WindowBatch batch0(shape.length());
+  index::WindowBatch batch1(shape.length());
+  out.pairs = process_key_range(bank0, table0, bank1, table1, matrix, shape,
+                                threshold, 0, table0.key_space(), batch0,
+                                batch1, out.hits);
+  return out;
+}
+
+HostStep2Result run_step2_host_keys(
+    const bio::SequenceBank& bank0, const index::IndexTable& table0,
+    const bio::SequenceBank& bank1, const index::IndexTable& table1,
+    const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
+    int threshold, std::span<const index::SeedKey> keys,
+    std::size_t threads) {
+  HostStep2Result out;
+  if (keys.empty()) return out;
+  const std::size_t workers =
+      threads == 0 ? util::default_thread_count() : threads;
+  if (workers <= 1) {
+    index::WindowBatch batch0(shape.length());
+    index::WindowBatch batch1(shape.length());
+    for (const index::SeedKey key : keys) {
+      out.pairs += process_key(bank0, table0, bank1, table1, matrix, shape,
+                               threshold, key, batch0, batch1, out.hits);
+    }
+    normalize(out.hits);
+    return out;
+  }
+
+  util::ThreadPool pool(workers);
+  const auto chunks = util::ThreadPool::blocks(0, keys.size(), workers);
+  std::vector<HostStep2Result> partial(chunks.size());
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    pool.submit([&, c] {
+      index::WindowBatch batch0(shape.length());
+      index::WindowBatch batch1(shape.length());
+      for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+        partial[c].pairs +=
+            process_key(bank0, table0, bank1, table1, matrix, shape,
+                        threshold, keys[i], batch0, batch1, partial[c].hits);
+      }
+    });
+  }
+  pool.wait_idle();
+  for (auto& p : partial) {
+    out.pairs += p.pairs;
+    out.hits.insert(out.hits.end(), p.hits.begin(), p.hits.end());
+  }
+  normalize(out.hits);
+  return out;
+}
+
+HostStep2Result run_step2_host_parallel(
+    const bio::SequenceBank& bank0, const index::IndexTable& table0,
+    const bio::SequenceBank& bank1, const index::IndexTable& table1,
+    const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
+    int threshold, std::size_t threads) {
+  const std::size_t workers =
+      threads == 0 ? util::default_thread_count() : threads;
+  util::ThreadPool pool(workers);
+  const auto chunks =
+      util::ThreadPool::blocks(0, table0.key_space(), workers);
+
+  std::vector<HostStep2Result> partial(chunks.size());
+  std::atomic<std::uint64_t> total_pairs{0};
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    pool.submit([&, c] {
+      index::WindowBatch batch0(shape.length());
+      index::WindowBatch batch1(shape.length());
+      partial[c].pairs = process_key_range(
+          bank0, table0, bank1, table1, matrix, shape, threshold,
+          chunks[c].first, chunks[c].second, batch0, batch1, partial[c].hits);
+      total_pairs.fetch_add(partial[c].pairs, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+
+  HostStep2Result out;
+  out.pairs = total_pairs.load();
+  std::size_t total_hits = 0;
+  for (const auto& p : partial) total_hits += p.hits.size();
+  out.hits.reserve(total_hits);
+  for (auto& p : partial) {
+    out.hits.insert(out.hits.end(), p.hits.begin(), p.hits.end());
+  }
+  normalize(out.hits);
+  return out;
+}
+
+}  // namespace psc::core

@@ -1,0 +1,54 @@
+// Step 2 on the host: the nested-loop ungapped extension of section 2.1
+//
+//   for k = 1 to key_space
+//     for i = 1 to len(IL0k)
+//       for j = 1 to len(IL1k)
+//         ungapped_extension(IL0k[i], IL1k[j])
+//
+// executed either sequentially (the paper's software baseline structure)
+// or across a thread pool partitioned by seed key.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/hit.hpp"
+#include "bio/substitution_matrix.hpp"
+#include "core/options.hpp"
+#include "index/index_table.hpp"
+
+namespace psc::core {
+
+struct HostStep2Result {
+  std::vector<align::SeedPairHit> hits;
+  std::uint64_t pairs = 0;  ///< window pairs scored
+};
+
+/// Sequential engine.
+HostStep2Result run_step2_host(const bio::SequenceBank& bank0,
+                               const index::IndexTable& table0,
+                               const bio::SequenceBank& bank1,
+                               const index::IndexTable& table1,
+                               const bio::SubstitutionMatrix& matrix,
+                               const index::WindowShape& shape, int threshold);
+
+/// Thread-pool engine; `threads == 0` uses hardware concurrency. Hit
+/// order is normalized (sorted) so results are deterministic regardless
+/// of scheduling.
+HostStep2Result run_step2_host_parallel(
+    const bio::SequenceBank& bank0, const index::IndexTable& table0,
+    const bio::SequenceBank& bank1, const index::IndexTable& table1,
+    const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
+    int threshold, std::size_t threads);
+
+/// Processes only the given seed keys (used by the host/FPGA dispatch
+/// extension, which splits the key space between the two resources).
+HostStep2Result run_step2_host_keys(
+    const bio::SequenceBank& bank0, const index::IndexTable& table0,
+    const bio::SequenceBank& bank1, const index::IndexTable& table1,
+    const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
+    int threshold, std::span<const index::SeedKey> keys,
+    std::size_t threads = 1);
+
+}  // namespace psc::core

@@ -1,0 +1,159 @@
+#include "core/step3_gapped.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/thread_pool.hpp"
+
+namespace psc::core {
+
+namespace {
+
+/// Extends the hits of one (bank0, bank1) sequence-pair group, with
+/// coverage suppression: once an accepted alignment covers a later seed,
+/// that seed is skipped. Appends accepted matches; returns extensions run.
+std::uint64_t process_pair_group(const bio::SequenceBank& bank0,
+                                 const bio::SequenceBank& bank1,
+                                 std::span<const align::SeedPairHit> group,
+                                 const bio::SubstitutionMatrix& matrix,
+                                 const PipelineOptions& options,
+                                 const align::KarlinParams& stats,
+                                 double total_bank1_residues,
+                                 std::vector<Match>& out) {
+  std::uint64_t extensions = 0;
+  std::vector<Match> accepted;
+  for (const align::SeedPairHit& hit : group) {
+    const bool covered = std::any_of(
+        accepted.begin(), accepted.end(), [&](const Match& m) {
+          return hit.bank0.offset >= m.alignment.begin0 &&
+                 hit.bank0.offset < m.alignment.end0 &&
+                 hit.bank1.offset >= m.alignment.begin1 &&
+                 hit.bank1.offset < m.alignment.end1;
+        });
+    if (covered) continue;
+
+    const bio::Sequence& s0 = bank0[hit.bank0.sequence];
+    const bio::Sequence& s1 = bank1[hit.bank1.sequence];
+    ++extensions;
+    align::Alignment alignment = align::xdrop_gapped_extend(
+        {s0.data(), s0.size()}, {s1.data(), s1.size()}, hit.bank0.offset,
+        hit.bank1.offset, options.shape.seed_width, matrix, options.gap,
+        options.with_traceback);
+
+    const double e =
+        align::e_value(alignment.score, static_cast<double>(s0.size()),
+                       total_bank1_residues, stats);
+    if (e > options.e_value_cutoff) continue;
+
+    Match match;
+    match.bank0_sequence = hit.bank0.sequence;
+    match.bank1_sequence = hit.bank1.sequence;
+    match.bit_score = align::bit_score(alignment.score, stats);
+    match.e_value = e;
+    match.alignment = std::move(alignment);
+    accepted.push_back(std::move(match));
+  }
+  out.insert(out.end(), std::make_move_iterator(accepted.begin()),
+             std::make_move_iterator(accepted.end()));
+  return extensions;
+}
+
+}  // namespace
+
+Step3Result run_step3(const bio::SequenceBank& bank0,
+                      const bio::SequenceBank& bank1,
+                      std::vector<align::SeedPairHit> hits,
+                      const bio::SubstitutionMatrix& matrix,
+                      const PipelineOptions& options) {
+  Step3Result out;
+  if (hits.empty()) return out;
+
+  // Group hits by sequence pair, best step-2 score first, so the
+  // strongest seed of a region is extended before its shadows arrive.
+  std::sort(hits.begin(), hits.end(), [](const align::SeedPairHit& a,
+                                         const align::SeedPairHit& b) {
+    if (a.bank0.sequence != b.bank0.sequence) {
+      return a.bank0.sequence < b.bank0.sequence;
+    }
+    if (a.bank1.sequence != b.bank1.sequence) {
+      return a.bank1.sequence < b.bank1.sequence;
+    }
+    return a.score > b.score;
+  });
+
+  const double total_bank1_residues =
+      static_cast<double>(bank1.total_residues());
+
+  // Per-query statistics: composition-adjusted lambda when requested,
+  // computed once per bank-0 sequence that actually has hits.
+  std::unordered_map<std::uint32_t, align::KarlinParams> adjusted;
+  if (options.composition_based_stats) {
+    for (const align::SeedPairHit& hit : hits) {
+      const std::uint32_t q = hit.bank0.sequence;
+      if (adjusted.count(q) != 0) continue;
+      const bio::Sequence& s0 = bank0[q];
+      adjusted.emplace(q, align::composition_adjusted(
+                              {s0.data(), s0.size()}, matrix, options.stats));
+    }
+  }
+  auto stats_for = [&](std::uint32_t query) -> const align::KarlinParams& {
+    if (!options.composition_based_stats) return options.stats;
+    return adjusted.at(query);
+  };
+
+  // Sequence-pair group boundaries.
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
+  for (std::size_t begin = 0; begin < hits.size();) {
+    std::size_t end = begin + 1;
+    while (end < hits.size() &&
+           hits[end].bank0.sequence == hits[begin].bank0.sequence &&
+           hits[end].bank1.sequence == hits[begin].bank1.sequence) {
+      ++end;
+    }
+    groups.emplace_back(begin, end);
+    begin = end;
+  }
+
+  const std::size_t workers =
+      options.step3_threads == 0 ? util::default_thread_count()
+                                 : options.step3_threads;
+  if (workers <= 1 || groups.size() <= 1) {
+    for (const auto& [begin, end] : groups) {
+      out.extensions += process_pair_group(
+          bank0, bank1, {hits.data() + begin, end - begin}, matrix, options,
+          stats_for(hits[begin].bank0.sequence), total_bank1_residues,
+          out.matches);
+    }
+  } else {
+    // Groups are independent (coverage suppression is per pair), so they
+    // parallelize cleanly; finalize_matches restores a deterministic
+    // order afterwards.
+    util::ThreadPool pool(workers);
+    const auto chunks = util::ThreadPool::blocks(0, groups.size(), workers);
+    std::vector<std::vector<Match>> partial(chunks.size());
+    std::vector<std::uint64_t> extensions(chunks.size(), 0);
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      pool.submit([&, c] {
+        for (std::size_t g = chunks[c].first; g < chunks[c].second; ++g) {
+          const auto [begin, end] = groups[g];
+          extensions[c] += process_pair_group(
+              bank0, bank1, {hits.data() + begin, end - begin}, matrix,
+              options, stats_for(hits[begin].bank0.sequence),
+              total_bank1_residues, partial[c]);
+        }
+      });
+    }
+    pool.wait_idle();
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      out.extensions += extensions[c];
+      out.matches.insert(out.matches.end(),
+                         std::make_move_iterator(partial[c].begin()),
+                         std::make_move_iterator(partial[c].end()));
+    }
+  }
+
+  finalize_matches(out.matches);
+  return out;
+}
+
+}  // namespace psc::core

@@ -1,0 +1,20 @@
+#include "eval/average_precision.hpp"
+
+#include <algorithm>
+
+namespace psc::eval {
+
+double average_precision(const std::vector<bool>& ranked_positive,
+                         std::size_t max_rank) {
+  const std::size_t limit = std::min(max_rank, ranked_positive.size());
+  std::size_t true_seen = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (!ranked_positive[i]) continue;
+    ++true_seen;
+    sum += static_cast<double>(true_seen) / static_cast<double>(i + 1);
+  }
+  return true_seen == 0 ? 0.0 : sum / static_cast<double>(true_seen);
+}
+
+}  // namespace psc::eval

@@ -1,0 +1,18 @@
+// Average precision, the second quality criterion of Table 6, "borrowed
+// from information retrieval research" (paper section 4.4, citing Chen
+// 2003): the 50 best alignments are marked true/false; each true positive
+// contributes (its rank among true positives) / (its list position); the
+// sum is divided by the number of true positives.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace psc::eval {
+
+/// AP of one ranked list, truncated to `max_rank` entries. Returns 0 when
+/// no true positive is retrieved.
+double average_precision(const std::vector<bool>& ranked_positive,
+                         std::size_t max_rank = 50);
+
+}  // namespace psc::eval

@@ -1,0 +1,89 @@
+#include "eval/benchmark_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psc::eval {
+
+std::pair<std::size_t, std::size_t> QualityBenchmark::hit_genome_range(
+    const GenericHit& hit) const {
+  const bio::FrameFragment& fragment = fragments.at(hit.subject);
+  if (fragment.frame > 0) {
+    return {fragment.genome_begin + 3 * hit.begin1,
+            fragment.genome_begin + 3 * hit.end1};
+  }
+  // Reverse strand: residue 0 of the fragment abuts genome_end.
+  return {fragment.genome_end - 3 * hit.end1,
+          fragment.genome_end - 3 * hit.begin1};
+}
+
+std::size_t QualityBenchmark::hit_family(const GenericHit& hit) const {
+  const auto [lo, hi] = hit_genome_range(hit);
+  for (std::size_t p = 0; p < plants.size(); ++p) {
+    const std::size_t gene_lo = plants[p].genome_begin;
+    const std::size_t gene_hi = gene_lo + 3 * plants[p].protein_length;
+    const std::size_t inter_lo = std::max(lo, gene_lo);
+    const std::size_t inter_hi = std::min(hi, gene_hi);
+    if (inter_hi <= inter_lo) continue;
+    const std::size_t smaller = std::min(hi - lo, gene_hi - gene_lo);
+    if (2 * (inter_hi - inter_lo) > smaller) return plant_family[p];
+  }
+  return kNoFamily;
+}
+
+std::vector<std::vector<bool>> QualityBenchmark::per_query_labels(
+    std::vector<GenericHit> hits, std::size_t max_rank) const {
+  std::sort(hits.begin(), hits.end(),
+            [](const GenericHit& a, const GenericHit& b) {
+              if (a.query != b.query) return a.query < b.query;
+              return a.e_value < b.e_value;
+            });
+  std::vector<std::vector<bool>> labels(queries.size());
+  for (const GenericHit& hit : hits) {
+    auto& list = labels.at(hit.query);
+    if (list.size() >= max_rank) continue;
+    const std::size_t family = hit_family(hit);
+    list.push_back(family != kNoFamily && family == query_family[hit.query]);
+  }
+  return labels;
+}
+
+QualityBenchmark build_quality_benchmark(
+    const QualityBenchmarkConfig& config) {
+  if (config.queries_per_family >= config.family.members_per_family) {
+    throw std::invalid_argument(
+        "build_quality_benchmark: need at least one non-query member per "
+        "family to plant");
+  }
+
+  const sim::FamilyBenchmark families = sim::generate_families(config.family);
+  sim::QueryTargetSplit split =
+      sim::split_queries(families, config.queries_per_family);
+
+  QualityBenchmark out;
+  out.queries = std::move(split.queries);
+  out.query_family = split.query_family;
+  out.positives_per_family.assign(config.family.families, 0);
+  for (const std::size_t family : split.target_family) {
+    ++out.positives_per_family[family];
+  }
+
+  sim::GenomeConfig genome_config;
+  genome_config.length = config.genome_length;
+  genome_config.seed = config.seed;
+  out.genome = sim::generate_genome(genome_config);
+
+  util::Xoshiro256 rng(config.seed ^ 0x5eedULL);
+  out.plants = sim::plant_bank(out.genome, split.targets, rng);
+  out.plant_family.reserve(out.plants.size());
+  for (const sim::PlantedGene& plant : out.plants) {
+    out.plant_family.push_back(split.target_family[plant.protein_index]);
+  }
+
+  out.genome_bank = bio::frames_to_bank_mapped(
+      bio::translate_six_frames(out.genome), out.genome.size(), 20,
+      out.fragments);
+  return out;
+}
+
+}  // namespace psc::eval

@@ -1,0 +1,74 @@
+// The synthetic quality benchmark standing in for the 102-query
+// yeast-genome evaluation of Gertz et al. that the paper uses for Table 6
+// (ROC50 / AP-Mean): generated protein families, a genome with planted
+// (diverged) family members, and the truth function mapping a genome hit
+// back to the family it belongs to.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "bio/translate.hpp"
+#include "sim/family_generator.hpp"
+#include "sim/genome_generator.hpp"
+
+namespace psc::eval {
+
+struct QualityBenchmarkConfig {
+  sim::FamilyConfig family{};           ///< 34 families x 6 by default
+  std::size_t queries_per_family = 3;   ///< 34 x 3 = 102 queries, as in the paper
+  std::size_t genome_length = 400'000;  ///< nucleotides
+  std::uint64_t seed = 11;
+
+  QualityBenchmarkConfig() {
+    family.families = 34;
+    family.members_per_family = 6;
+  }
+};
+
+/// Method-neutral view of one reported hit, so the pipeline's matches and
+/// the baseline's hits rank through the same code.
+struct GenericHit {
+  std::uint32_t query = 0;
+  std::uint32_t subject = 0;     ///< genome-bank fragment index
+  std::size_t begin1 = 0;        ///< subject protein-space range
+  std::size_t end1 = 0;
+  double e_value = 0.0;
+};
+
+class QualityBenchmark {
+ public:
+  static constexpr std::size_t kNoFamily =
+      std::numeric_limits<std::size_t>::max();
+
+  bio::SequenceBank queries;
+  std::vector<std::size_t> query_family;
+  std::vector<std::size_t> positives_per_family;  ///< P of the ROC formula
+
+  bio::Sequence genome;
+  bio::SequenceBank genome_bank;  ///< translated, stop-split, mapped
+  std::vector<bio::FrameFragment> fragments;
+
+  std::vector<sim::PlantedGene> plants;
+  std::vector<std::size_t> plant_family;
+
+  /// Family of the planted gene a hit's genome region overlaps (by more
+  /// than half of the smaller interval), or kNoFamily.
+  std::size_t hit_family(const GenericHit& hit) const;
+
+  /// Genome nucleotide interval of a subject-range hit.
+  std::pair<std::size_t, std::size_t> hit_genome_range(
+      const GenericHit& hit) const;
+
+  /// Ranks `hits` per query by ascending E-value and converts them to
+  /// true/false labels against this benchmark's truth, truncated to
+  /// `max_rank` per query. Result: one label vector per query.
+  std::vector<std::vector<bool>> per_query_labels(
+      std::vector<GenericHit> hits, std::size_t max_rank = 100) const;
+};
+
+QualityBenchmark build_quality_benchmark(const QualityBenchmarkConfig& config);
+
+}  // namespace psc::eval

@@ -1,0 +1,60 @@
+#include "eval/compare_hits.hpp"
+
+#include <algorithm>
+
+namespace psc::eval {
+
+namespace {
+bool same_finding(const GenericHit& a, const GenericHit& b) {
+  return a.query == b.query && a.subject == b.subject &&
+         a.begin1 < b.end1 && b.begin1 < a.end1;
+}
+}  // namespace
+
+OverlapStats compare_hits(const std::vector<GenericHit>& a,
+                          const std::vector<GenericHit>& b) {
+  // Small sets (hundreds): quadratic matching with a used-flag keeps the
+  // pairing one-to-one without index gymnastics.
+  std::vector<bool> b_used(b.size(), false);
+  OverlapStats out;
+  for (const GenericHit& ha : a) {
+    bool found = false;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (b_used[j] || !same_finding(ha, b[j])) continue;
+      b_used[j] = true;
+      found = true;
+      break;
+    }
+    if (found) {
+      ++out.shared;
+    } else {
+      ++out.only_a;
+    }
+  }
+  out.only_b = static_cast<std::size_t>(
+      std::count(b_used.begin(), b_used.end(), false));
+  return out;
+}
+
+std::vector<GenericHit> to_generic(const std::vector<core::Match>& matches) {
+  std::vector<GenericHit> out;
+  out.reserve(matches.size());
+  for (const core::Match& m : matches) {
+    out.push_back(GenericHit{m.bank0_sequence, m.bank1_sequence,
+                             m.alignment.begin1, m.alignment.end1,
+                             m.e_value});
+  }
+  return out;
+}
+
+std::vector<GenericHit> to_generic(const std::vector<blast::BlastHit>& hits) {
+  std::vector<GenericHit> out;
+  out.reserve(hits.size());
+  for (const blast::BlastHit& h : hits) {
+    out.push_back(GenericHit{h.query, h.subject, h.alignment.begin1,
+                             h.alignment.end1, h.e_value});
+  }
+  return out;
+}
+
+}  // namespace psc::eval

@@ -1,0 +1,36 @@
+// Result-set comparison between two methods (e.g. the RASC pipeline and
+// the tblastn baseline): which hits are shared, which are unique. Used by
+// the sensitivity analysis accompanying Table 6.
+#pragma once
+
+#include <vector>
+
+#include "blast/tblastn.hpp"
+#include "core/result.hpp"
+#include "eval/benchmark_set.hpp"
+
+namespace psc::eval {
+
+struct OverlapStats {
+  std::size_t only_a = 0;
+  std::size_t only_b = 0;
+  std::size_t shared = 0;
+
+  double jaccard() const {
+    const std::size_t total = only_a + only_b + shared;
+    return total == 0 ? 1.0
+                      : static_cast<double>(shared) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Two hits are "the same finding" when they involve the same query and
+/// subject and their subject ranges overlap.
+OverlapStats compare_hits(const std::vector<GenericHit>& a,
+                          const std::vector<GenericHit>& b);
+
+/// Adapters to the method-neutral hit view.
+std::vector<GenericHit> to_generic(const std::vector<core::Match>& matches);
+std::vector<GenericHit> to_generic(const std::vector<blast::BlastHit>& hits);
+
+}  // namespace psc::eval

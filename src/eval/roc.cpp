@@ -1,0 +1,33 @@
+#include "eval/roc.hpp"
+
+namespace psc::eval {
+
+double roc_n(const std::vector<bool>& ranked_positive, std::size_t n,
+             std::size_t total_positives) {
+  if (total_positives == 0 || n == 0) return 0.0;
+  std::size_t true_seen = 0;
+  std::size_t false_seen = 0;
+  std::size_t sum = 0;
+  for (const bool positive : ranked_positive) {
+    if (positive) {
+      ++true_seen;
+    } else {
+      sum += true_seen;
+      if (++false_seen == n) break;
+    }
+  }
+  // Virtual false positives after list exhaustion rank below every
+  // retrieved true positive.
+  if (false_seen < n) sum += (n - false_seen) * true_seen;
+  return static_cast<double>(sum) /
+         (static_cast<double>(n) * static_cast<double>(total_positives));
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace psc::eval

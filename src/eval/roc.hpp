@@ -1,0 +1,30 @@
+// ROC50 scoring exactly as the paper describes (section 4.4): "for each
+// of the first 50 false positives, the number of true positives with a
+// higher score is get. These numbers are added and the sum is divided by
+// 50 x P, P being the number of sequences of the family."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace psc::eval {
+
+/// ROC_n of one ranked result list. `ranked_positive[i]` says whether the
+/// i-th best hit is a true positive; `total_positives` is P (all family
+/// members that could be found). If the list runs out before n false
+/// positives, the missing false positives are assumed to rank below
+/// everything retrieved. Returns a value in [0, 1]; 0 if
+/// total_positives == 0.
+double roc_n(const std::vector<bool>& ranked_positive, std::size_t n,
+             std::size_t total_positives);
+
+/// ROC50, the paper's instantiation.
+inline double roc50(const std::vector<bool>& ranked_positive,
+                    std::size_t total_positives) {
+  return roc_n(ranked_positive, 50, total_positives);
+}
+
+/// Mean over per-query ROC scores (the final score of Table 6).
+double mean(const std::vector<double>& values);
+
+}  // namespace psc::eval

@@ -1,0 +1,151 @@
+#include "index/index_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace psc::index {
+
+IndexTable::IndexTable(const bio::SequenceBank& bank, const SeedModel& model,
+                       std::size_t stride) {
+  if (stride == 0) throw std::invalid_argument("IndexTable: stride must be >= 1");
+  const std::size_t w = model.width();
+  const std::size_t keys = model.key_space();
+  starts_.assign(keys + 1, 0);
+
+  // Pass 1: count occurrences per key (counts land in starts_[key + 1] so
+  // the prefix sum below turns them into begin offsets directly).
+  for (std::size_t s = 0; s < bank.size(); ++s) {
+    const bio::Sequence& seq = bank[s];
+    if (seq.size() < w) continue;
+    const std::uint8_t* data = seq.data();
+    const std::size_t last = seq.size() - w;
+    for (std::size_t pos = 0; pos <= last; pos += stride) {
+      const SeedKey key = model.key(data + pos);
+      if (key != kInvalidSeedKey) ++starts_[key + 1];
+    }
+  }
+  for (std::size_t k = 0; k < keys; ++k) starts_[k + 1] += starts_[k];
+
+  // Pass 2: place occurrences. cursor[k] tracks the next free slot.
+  occurrences_.resize(starts_[keys]);
+  std::vector<std::size_t> cursor(starts_.begin(), starts_.end() - 1);
+  for (std::size_t s = 0; s < bank.size(); ++s) {
+    const bio::Sequence& seq = bank[s];
+    if (seq.size() < w) continue;
+    const std::uint8_t* data = seq.data();
+    const std::size_t last = seq.size() - w;
+    for (std::size_t pos = 0; pos <= last; pos += stride) {
+      const SeedKey key = model.key(data + pos);
+      if (key == kInvalidSeedKey) continue;
+      occurrences_[cursor[key]++] = Occurrence{
+          static_cast<std::uint32_t>(s), static_cast<std::uint32_t>(pos)};
+    }
+  }
+}
+
+IndexTable IndexTable::build_parallel(const bio::SequenceBank& bank,
+                                      const SeedModel& model,
+                                      std::size_t threads,
+                                      std::size_t stride) {
+  if (stride == 0) throw std::invalid_argument("IndexTable: stride must be >= 1");
+  const std::size_t workers =
+      threads == 0 ? util::default_thread_count() : threads;
+  const std::size_t w = model.width();
+  const std::size_t keys = model.key_space();
+
+  IndexTable table;
+  table.starts_.assign(keys + 1, 0);
+
+  const auto chunks = util::ThreadPool::blocks(0, bank.size(), workers);
+  if (chunks.empty()) return table;
+  util::ThreadPool pool(chunks.size());
+
+  // Pass 1: per-chunk histograms.
+  std::vector<std::vector<std::size_t>> counts(
+      chunks.size(), std::vector<std::size_t>(keys, 0));
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    pool.submit([&, c] {
+      auto& local = counts[c];
+      for (std::size_t s = chunks[c].first; s < chunks[c].second; ++s) {
+        const bio::Sequence& seq = bank[s];
+        if (seq.size() < w) continue;
+        const std::uint8_t* data = seq.data();
+        const std::size_t last = seq.size() - w;
+        for (std::size_t pos = 0; pos <= last; pos += stride) {
+          const SeedKey key = model.key(data + pos);
+          if (key != kInvalidSeedKey) ++local[key];
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+
+  // Merge: global starts plus each chunk's base cursor per key, laid out
+  // so chunk order within a key matches bank order (serial equivalence).
+  std::vector<std::vector<std::size_t>> cursors(
+      chunks.size(), std::vector<std::size_t>(keys, 0));
+  std::size_t running = 0;
+  for (std::size_t k = 0; k < keys; ++k) {
+    table.starts_[k] = running;
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      cursors[c][k] = running;
+      running += counts[c][k];
+    }
+  }
+  table.starts_[keys] = running;
+  table.occurrences_.resize(running);
+
+  // Pass 2: parallel placement through the per-chunk cursors.
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    pool.submit([&, c] {
+      auto& cursor = cursors[c];
+      for (std::size_t s = chunks[c].first; s < chunks[c].second; ++s) {
+        const bio::Sequence& seq = bank[s];
+        if (seq.size() < w) continue;
+        const std::uint8_t* data = seq.data();
+        const std::size_t last = seq.size() - w;
+        for (std::size_t pos = 0; pos <= last; pos += stride) {
+          const SeedKey key = model.key(data + pos);
+          if (key == kInvalidSeedKey) continue;
+          table.occurrences_[cursor[key]++] = Occurrence{
+              static_cast<std::uint32_t>(s), static_cast<std::uint32_t>(pos)};
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  return table;
+}
+
+std::size_t IndexTable::populated_keys() const {
+  std::size_t n = 0;
+  for (std::size_t k = 0; k + 1 < starts_.size(); ++k) {
+    if (starts_[k + 1] > starts_[k]) ++n;
+  }
+  return n;
+}
+
+std::size_t IndexTable::max_list_length() const {
+  std::size_t best = 0;
+  for (std::size_t k = 0; k + 1 < starts_.size(); ++k) {
+    best = std::max(best, starts_[k + 1] - starts_[k]);
+  }
+  return best;
+}
+
+std::uint64_t IndexTable::pair_count(const IndexTable& t0,
+                                     const IndexTable& t1) {
+  if (t0.key_space() != t1.key_space()) {
+    throw std::invalid_argument("pair_count: tables use different seed models");
+  }
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < t0.key_space(); ++k) {
+    total += static_cast<std::uint64_t>(t0.list_length(static_cast<SeedKey>(k))) *
+             t1.list_length(static_cast<SeedKey>(k));
+  }
+  return total;
+}
+
+}  // namespace psc::index

@@ -1,0 +1,81 @@
+// Step 1 of the paper's algorithm: the per-bank index tables T0 and T1.
+//
+// "we construct two W^alpha entry tables T0 and T1 (one for each bank)...
+// Each entry k of the table points to an index list (ILk) of sequence
+// offsets where such a word occurs." (section 2.1)
+//
+// Layout is a classic two-pass counting sort: one flat occurrence array
+// sorted by key, plus a key -> [begin,end) offset table. That keeps every
+// index list (IL) contiguous, which is exactly the streaming order the
+// accelerator's input controllers consume.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "index/seed_model.hpp"
+
+namespace psc::index {
+
+/// One seed occurrence: sequence number within the bank and residue
+/// offset of the word's first position.
+struct Occurrence {
+  std::uint32_t sequence = 0;
+  std::uint32_t offset = 0;
+
+  friend bool operator==(const Occurrence&, const Occurrence&) = default;
+};
+
+class IndexTable {
+ public:
+  /// Indexes every width-W word of every sequence in `bank` under `model`.
+  /// Words containing non-standard residues are skipped. A stride > 1
+  /// samples every stride-th position (not used by the pipeline; exposed
+  /// for experiments on index density).
+  IndexTable(const bio::SequenceBank& bank, const SeedModel& model,
+             std::size_t stride = 1);
+
+  /// Multi-threaded construction: sequences are partitioned across
+  /// workers, each counts into a private histogram, and per-key
+  /// per-worker base offsets make the final layout *identical* to the
+  /// serial build (occurrences within a key stay in bank order).
+  /// `threads == 0` uses hardware concurrency.
+  static IndexTable build_parallel(const bio::SequenceBank& bank,
+                                   const SeedModel& model,
+                                   std::size_t threads = 0,
+                                   std::size_t stride = 1);
+
+  std::size_t key_space() const { return starts_.size() - 1; }
+  std::size_t total_occurrences() const { return occurrences_.size(); }
+
+  /// The index list IL_k for a key: all occurrences of words mapping to k.
+  std::span<const Occurrence> occurrences(SeedKey key) const {
+    return {occurrences_.data() + starts_[key],
+            occurrences_.data() + starts_[key + 1]};
+  }
+
+  std::size_t list_length(SeedKey key) const {
+    return starts_[key + 1] - starts_[key];
+  }
+
+  /// Number of keys with a non-empty index list.
+  std::size_t populated_keys() const;
+
+  /// Length of the longest index list (drives accelerator batch sizing).
+  std::size_t max_list_length() const;
+
+  /// Sum over keys of |IL0_k| * |IL1_k| -- the number of ungapped
+  /// extensions step 2 will perform between this table and `other`
+  /// (the K0 x K1 product of section 2.1).
+  static std::uint64_t pair_count(const IndexTable& t0, const IndexTable& t1);
+
+ private:
+  IndexTable() = default;  // for build_parallel
+
+  std::vector<std::size_t> starts_;       // key -> begin offset; size key_space+1
+  std::vector<Occurrence> occurrences_;   // grouped by key
+};
+
+}  // namespace psc::index

@@ -1,0 +1,35 @@
+#include "index/neighborhood.hpp"
+
+#include <stdexcept>
+
+namespace psc::index {
+
+void WindowBatch::append(const bio::SequenceBank& bank, const Occurrence& occ,
+                         const WindowShape& shape) {
+  if (shape.length() != window_length_) {
+    throw std::invalid_argument("WindowBatch::append: shape/window length mismatch");
+  }
+  const bio::Sequence& seq = bank[occ.sequence];
+  const auto seq_len = static_cast<std::int64_t>(seq.size());
+  const std::int64_t begin =
+      static_cast<std::int64_t>(occ.offset) - static_cast<std::int64_t>(shape.flank);
+
+  const std::size_t base = residues_.size();
+  residues_.resize(base + window_length_, bio::kUnknownX);
+  for (std::size_t i = 0; i < window_length_; ++i) {
+    const std::int64_t p = begin + static_cast<std::int64_t>(i);
+    if (p >= 0 && p < seq_len) {
+      residues_[base + i] = seq[static_cast<std::size_t>(p)];
+    }
+  }
+  sources_.push_back(occ);
+}
+
+void extract_windows(const bio::SequenceBank& bank,
+                     std::span<const Occurrence> list,
+                     const WindowShape& shape, WindowBatch& out) {
+  out.clear();
+  for (const Occurrence& occ : list) out.append(bank, occ, shape);
+}
+
+}  // namespace psc::index

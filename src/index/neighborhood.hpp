@@ -1,0 +1,71 @@
+// Fixed-length seed neighbourhoods: the substrings S0, S1 "of length
+// 2N + W composed of a seed of W characters with its left and right
+// extensions of N characters" (paper, section 2.2) that the ungapped
+// kernel and the PSC processing elements score.
+//
+// Positions that fall outside the sequence are padded with X, which scores
+// mildly negative against everything under BLOSUM62; a maximal-scoring
+// segment therefore never benefits from running into the padding, and the
+// fixed window length the hardware requires is preserved.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "index/index_table.hpp"
+
+namespace psc::index {
+
+/// Geometry of the ungapped window.
+struct WindowShape {
+  std::size_t seed_width = 4;  ///< W
+  std::size_t flank = 30;      ///< N
+
+  std::size_t length() const { return seed_width + 2 * flank; }
+};
+
+/// A batch of equal-length windows stored back to back, each tagged with
+/// the occurrence it came from. This is the flat stream format the RASC
+/// input controllers DMA into the operator.
+class WindowBatch {
+ public:
+  explicit WindowBatch(std::size_t window_length)
+      : window_length_(window_length) {}
+
+  std::size_t window_length() const { return window_length_; }
+  std::size_t size() const { return sources_.size(); }
+  bool empty() const { return sources_.empty(); }
+
+  void clear() {
+    residues_.clear();
+    sources_.clear();
+  }
+
+  /// Residues of window i.
+  std::span<const std::uint8_t> window(std::size_t i) const {
+    return {residues_.data() + i * window_length_, window_length_};
+  }
+
+  const Occurrence& source(std::size_t i) const { return sources_[i]; }
+  const std::vector<std::uint8_t>& flat() const { return residues_; }
+
+  /// Appends the window centred on `occ`'s seed in `bank`, padding with X
+  /// where the flank extends past either end of the sequence.
+  void append(const bio::SequenceBank& bank, const Occurrence& occ,
+              const WindowShape& shape);
+
+ private:
+  std::size_t window_length_;
+  std::vector<std::uint8_t> residues_;
+  std::vector<Occurrence> sources_;
+};
+
+/// Extracts windows for every occurrence in `list` into `out` (cleared
+/// first). `out`'s window length must equal shape.length().
+void extract_windows(const bio::SequenceBank& bank,
+                     std::span<const Occurrence> list,
+                     const WindowShape& shape, WindowBatch& out);
+
+}  // namespace psc::index

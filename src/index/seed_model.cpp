@@ -1,0 +1,89 @@
+#include "index/seed_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psc::index {
+
+namespace {
+std::array<std::uint8_t, bio::kNumAminoAcids> identity_groups() {
+  std::array<std::uint8_t, bio::kNumAminoAcids> g{};
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] = static_cast<std::uint8_t>(i);
+  return g;
+}
+}  // namespace
+
+SeedModel::SeedModel(
+    std::string name,
+    std::vector<std::array<std::uint8_t, bio::kNumAminoAcids>> position_groups)
+    : name_(std::move(name)), groups_(std::move(position_groups)) {
+  if (groups_.empty()) {
+    throw std::invalid_argument("SeedModel: zero-width seed");
+  }
+  radices_.reserve(groups_.size());
+  key_space_ = 1;
+  for (const auto& g : groups_) {
+    const std::uint8_t max_group = *std::max_element(g.begin(), g.end());
+    const std::uint32_t radix = static_cast<std::uint32_t>(max_group) + 1;
+    radices_.push_back(radix);
+    key_space_ *= radix;
+    if (key_space_ > (1u << 28)) {
+      throw std::invalid_argument("SeedModel: key space too large");
+    }
+  }
+}
+
+SeedModel SeedModel::contiguous(std::size_t w) {
+  if (w == 0 || w > 6) {
+    throw std::invalid_argument("SeedModel::contiguous: width must be 1..6");
+  }
+  std::vector<std::array<std::uint8_t, bio::kNumAminoAcids>> positions(
+      w, identity_groups());
+  return SeedModel("exact-w" + std::to_string(w), std::move(positions));
+}
+
+const std::array<std::uint8_t, bio::kNumAminoAcids>&
+SeedModel::similarity_groups12() noexcept {
+  // Partition in encoding order ARNDCQEGHILKMFPSTWYV:
+  //  0:{A} 1:{R,K} 2:{N,D} 3:{C} 4:{Q,E} 5:{G} 6:{H} 7:{I,L,M,V}
+  //  8:{F,Y} 9:{P} 10:{S,T} 11:{W}
+  static const std::array<std::uint8_t, bio::kNumAminoAcids> kGroups = {
+      /*A*/ 0, /*R*/ 1, /*N*/ 2, /*D*/ 2, /*C*/ 3, /*Q*/ 4, /*E*/ 4,
+      /*G*/ 5, /*H*/ 6, /*I*/ 7, /*L*/ 7, /*K*/ 1, /*M*/ 7, /*F*/ 8,
+      /*P*/ 9, /*S*/ 10, /*T*/ 10, /*W*/ 11, /*Y*/ 8, /*V*/ 7};
+  return kGroups;
+}
+
+SeedModel SeedModel::subset_w4() {
+  std::vector<std::array<std::uint8_t, bio::kNumAminoAcids>> positions;
+  positions.push_back(identity_groups());
+  positions.push_back(similarity_groups12());
+  positions.push_back(similarity_groups12());
+  positions.push_back(identity_groups());
+  return SeedModel("subset-w4", std::move(positions));
+}
+
+SeedModel SeedModel::blast_w3() { return contiguous(3); }
+
+const std::array<std::uint8_t, bio::kNumAminoAcids>&
+SeedModel::murphy_groups8() noexcept {
+  // Murphy et al. (2000) 8-letter alphabet in encoding order
+  // ARNDCQEGHILKMFPSTWYV:
+  //  0:{L,V,I,M,C} 1:{A,G} 2:{S,T} 3:{P} 4:{F,Y,W} 5:{E,D,N,Q} 6:{K,R} 7:{H}
+  static const std::array<std::uint8_t, bio::kNumAminoAcids> kGroups = {
+      /*A*/ 1, /*R*/ 6, /*N*/ 5, /*D*/ 5, /*C*/ 0, /*Q*/ 5, /*E*/ 5,
+      /*G*/ 1, /*H*/ 7, /*I*/ 0, /*L*/ 0, /*K*/ 6, /*M*/ 0, /*F*/ 4,
+      /*P*/ 3, /*S*/ 2, /*T*/ 2, /*W*/ 4, /*Y*/ 4, /*V*/ 0};
+  return kGroups;
+}
+
+SeedModel SeedModel::subset_w4_coarse() {
+  std::vector<std::array<std::uint8_t, bio::kNumAminoAcids>> positions;
+  positions.push_back(similarity_groups12());
+  positions.push_back(murphy_groups8());
+  positions.push_back(murphy_groups8());
+  positions.push_back(similarity_groups12());
+  return SeedModel("subset-w4-coarse", std::move(positions));
+}
+
+}  // namespace psc::index

@@ -1,0 +1,56 @@
+#include "rasc/fifo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psc::rasc {
+
+bool BoundedFifo::try_push(const ResultRecord& record) {
+  if (full()) {
+    ++rejected_;
+    return false;
+  }
+  items_.push_back(record);
+  ++total_pushed_;
+  high_watermark_ = std::max(high_watermark_, items_.size());
+  return true;
+}
+
+std::optional<ResultRecord> BoundedFifo::try_pop() {
+  if (items_.empty()) return std::nullopt;
+  ResultRecord out = items_.front();
+  items_.pop_front();
+  return out;
+}
+
+FifoCascade::FifoCascade(std::size_t slots, std::size_t capacity_per_slot) {
+  if (slots == 0) throw std::invalid_argument("FifoCascade: zero slots");
+  fifos_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) fifos_.emplace_back(capacity_per_slot);
+}
+
+std::size_t FifoCascade::backlog() const {
+  std::size_t total = 0;
+  for (const auto& fifo : fifos_) total += fifo.size();
+  return total;
+}
+
+std::size_t FifoCascade::total_capacity() const {
+  std::size_t total = 0;
+  for (const auto& fifo : fifos_) total += fifo.capacity();
+  return total;
+}
+
+std::optional<ResultRecord> FifoCascade::cycle() {
+  // Tail pops toward the output controller first, freeing space for the
+  // upstream forwards within the same cycle (registered outputs).
+  std::optional<ResultRecord> out = fifos_.back().try_pop();
+  for (std::size_t i = fifos_.size() - 1; i > 0; --i) {
+    if (fifos_[i].full() || fifos_[i - 1].empty()) continue;
+    const auto record = fifos_[i - 1].try_pop();
+    fifos_[i].try_push(*record);
+  }
+  return out;
+}
+
+}  // namespace psc::rasc

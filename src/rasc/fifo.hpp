@@ -1,0 +1,79 @@
+// Bounded result FIFOs. Each PE slot owns one; they are cascaded toward
+// the output controller ("These FIFOs are cascaded to asynchronously
+// transfer the results to the output port", paper section 3.1). Capacity
+// pressure on this path is what forced the authors to raise the ungapped
+// threshold in the dual-FPGA experiment (section 4.1) -- the simulator
+// reproduces that by stalling the array when the cascade saturates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace psc::rasc {
+
+/// A result record as it travels the hardware: which PE (hence which IL0
+/// window), which IL1 window, and the score.
+struct ResultRecord {
+  std::uint32_t il0_index = 0;
+  std::uint32_t il1_index = 0;
+  std::int32_t score = 0;
+
+  friend bool operator==(const ResultRecord&, const ResultRecord&) = default;
+};
+
+/// Fixed-capacity FIFO with occupancy statistics.
+class BoundedFifo {
+ public:
+  explicit BoundedFifo(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= capacity_; }
+
+  /// Pushes if space is available; returns false (and counts a rejected
+  /// push) when full.
+  bool try_push(const ResultRecord& record);
+
+  /// Pops the oldest record, or nullopt when empty.
+  std::optional<ResultRecord> try_pop();
+
+  std::size_t total_pushed() const { return total_pushed_; }
+  std::size_t rejected_pushes() const { return rejected_; }
+  std::size_t high_watermark() const { return high_watermark_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<ResultRecord> items_;
+  std::size_t total_pushed_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t high_watermark_ = 0;
+};
+
+/// The cascade: one FIFO per slot, drained from the tail at one record
+/// per cycle, with records flowing slot-to-slot toward the tail.
+class FifoCascade {
+ public:
+  FifoCascade(std::size_t slots, std::size_t capacity_per_slot);
+
+  std::size_t slots() const { return fifos_.size(); }
+  BoundedFifo& slot(std::size_t i) { return fifos_[i]; }
+  const BoundedFifo& slot(std::size_t i) const { return fifos_[i]; }
+
+  /// Total records currently buffered anywhere in the cascade.
+  std::size_t backlog() const;
+  std::size_t total_capacity() const;
+
+  /// One hardware cycle of the cascade: the tail FIFO surrenders one
+  /// record to the output (returned), and every upstream FIFO forwards one
+  /// record downstream if the neighbour has space.
+  std::optional<ResultRecord> cycle();
+
+ private:
+  std::vector<BoundedFifo> fifos_;
+};
+
+}  // namespace psc::rasc

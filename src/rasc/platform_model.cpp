@@ -1,0 +1,53 @@
+#include "rasc/platform_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace psc::rasc {
+
+PlatformModel::PlatformModel(const PlatformConfig& config) : config_(config) {
+  if (config_.dma_bandwidth <= 0.0) {
+    throw std::invalid_argument("PlatformModel: dma_bandwidth <= 0");
+  }
+  if (config_.sram_bytes == 0) {
+    throw std::invalid_argument("PlatformModel: sram_bytes == 0");
+  }
+}
+
+double PlatformModel::transfer_seconds(std::size_t bytes) const {
+  if (bytes == 0) return 0.0;
+  const auto chunks = static_cast<double>(
+      (bytes + config_.sram_bytes - 1) / config_.sram_bytes);
+  return chunks * config_.dma_latency +
+         static_cast<double>(bytes) / config_.dma_bandwidth;
+}
+
+void PlatformModel::add_input_stream(std::size_t residues) {
+  const std::size_t bytes = residues * config_.residue_bytes;
+  bytes_in_ += bytes;
+  input_seconds_ += transfer_seconds(bytes);
+}
+
+void PlatformModel::add_result_stream(std::size_t records) {
+  const std::size_t bytes = records * config_.result_record_bytes;
+  bytes_out_ += bytes;
+  output_seconds_ += transfer_seconds(bytes);
+}
+
+void PlatformModel::add_invocation() {
+  overhead_seconds_ += config_.invocation_overhead;
+}
+
+void PlatformModel::add_bitstream_load() {
+  overhead_seconds_ += config_.bitstream_load_seconds;
+}
+
+void PlatformModel::reset() {
+  input_seconds_ = 0.0;
+  output_seconds_ = 0.0;
+  overhead_seconds_ = 0.0;
+  bytes_in_ = 0;
+  bytes_out_ = 0;
+}
+
+}  // namespace psc::rasc

@@ -1,0 +1,76 @@
+// Cost model of the RASC-100 platform around the PSC operator (paper,
+// Figure 3): NUMAlink DMA transfers between the Altix host and the board
+// SRAM, the SGI-core streaming interface, algorithm-defined registers and
+// one-time bitstream loading. The operator's compute cycles come from the
+// simulator; this model adds the data-movement seconds so end-to-end
+// accelerator time = bitstream (amortized) + transfers + cycles / clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psc::rasc {
+
+struct PlatformConfig {
+  /// Sustained NUMAlink-4 DMA bandwidth (per direction), bytes/second.
+  /// NUMAlink-4 peaks at 3.2 GB/s; sustained application bandwidth is
+  /// lower.
+  double dma_bandwidth = 1.6e9;
+  /// Fixed software + interconnect latency per DMA descriptor (seconds).
+  double dma_latency = 20e-6;
+  /// Board SRAM per FPGA (two 8 MB banks on RASC-100); streams larger
+  /// than this are chunked into multiple DMA descriptors.
+  std::size_t sram_bytes = 16u << 20;
+  /// Bytes per result record on the host link (il0, il1, score).
+  std::size_t result_record_bytes = 12;
+  /// Bytes per streamed residue (the design streams one amino acid per
+  /// byte lane).
+  std::size_t residue_bytes = 1;
+  /// One-time FPGA configuration through the loader module.
+  double bitstream_load_seconds = 0.8;
+  /// Host-side driver overhead per algorithm invocation (ADR setup,
+  /// doorbell, completion interrupt).
+  double invocation_overhead = 5e-6;
+};
+
+/// Accumulates the platform-side seconds for one accelerator run.
+class PlatformModel {
+ public:
+  explicit PlatformModel(const PlatformConfig& config = PlatformConfig{});
+
+  const PlatformConfig& config() const { return config_; }
+
+  /// Seconds to DMA `bytes` one way, including per-chunk latency.
+  double transfer_seconds(std::size_t bytes) const;
+
+  /// Records an input stream of `residues` residues.
+  void add_input_stream(std::size_t residues);
+  /// Records `records` result records returned to the host.
+  void add_result_stream(std::size_t records);
+  /// Records one algorithm invocation (one key batch dispatched).
+  void add_invocation();
+  /// Records the one-time bitstream load.
+  void add_bitstream_load();
+
+  double input_seconds() const { return input_seconds_; }
+  double output_seconds() const { return output_seconds_; }
+  double overhead_seconds() const { return overhead_seconds_; }
+  double total_seconds() const {
+    return input_seconds_ + output_seconds_ + overhead_seconds_;
+  }
+
+  std::uint64_t bytes_in() const { return bytes_in_; }
+  std::uint64_t bytes_out() const { return bytes_out_; }
+
+  void reset();
+
+ private:
+  PlatformConfig config_;
+  double input_seconds_ = 0.0;
+  double output_seconds_ = 0.0;
+  double overhead_seconds_ = 0.0;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+}  // namespace psc::rasc

@@ -1,0 +1,42 @@
+// Geometry and timing parameters of the PSC operator (paper, section 3).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace psc::rasc {
+
+struct PscConfig {
+  /// Number of processing elements; the paper evaluates 64, 128 and 192.
+  std::size_t num_pes = 192;
+  /// PEs per slot; slots are separated by register barriers (section 3.1).
+  std::size_t slot_size = 8;
+  /// Window length W + 2N streamed through each PE per comparison.
+  std::size_t window_length = 64;
+  /// Ungapped score threshold burned into the result managers.
+  int threshold = 38;
+  /// Depth of each slot's result FIFO.
+  std::size_t fifo_depth = 64;
+  /// Operator clock; the RASC-100 designs ran at 100 MHz (section 4).
+  double clock_hz = 100e6;
+
+  std::size_t num_slots() const {
+    return (num_pes + slot_size - 1) / slot_size;
+  }
+
+  /// Pipeline skew introduced by the register barriers: one cycle per
+  /// slot boundary.
+  std::size_t skew_cycles() const { return num_slots() - 1; }
+
+  void validate() const {
+    if (num_pes == 0) throw std::invalid_argument("PscConfig: num_pes == 0");
+    if (slot_size == 0) throw std::invalid_argument("PscConfig: slot_size == 0");
+    if (window_length == 0) {
+      throw std::invalid_argument("PscConfig: window_length == 0");
+    }
+    if (fifo_depth == 0) throw std::invalid_argument("PscConfig: fifo_depth == 0");
+    if (clock_hz <= 0) throw std::invalid_argument("PscConfig: clock_hz <= 0");
+  }
+};
+
+}  // namespace psc::rasc

@@ -1,0 +1,207 @@
+#include "rasc/psc_operator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psc::rasc {
+
+OperatorStats& OperatorStats::operator+=(const OperatorStats& other) {
+  cycles_load += other.cycles_load;
+  cycles_compute += other.cycles_compute;
+  cycles_stall += other.cycles_stall;
+  cycles_drain += other.cycles_drain;
+  comparisons += other.comparisons;
+  hits += other.hits;
+  rounds += other.rounds;
+  keys += other.keys;
+  pe_ticks_busy += other.pe_ticks_busy;
+  pe_ticks_total += other.pe_ticks_total;
+  return *this;
+}
+
+PscOperator::PscOperator(const PscConfig& config,
+                         const bio::SubstitutionMatrix& rom)
+    : config_(config),
+      rom_(&rom),
+      cascade_(config.num_slots(), config.fifo_depth) {
+  config_.validate();
+  slots_.reserve(config_.num_slots());
+  std::size_t remaining = config_.num_pes;
+  for (std::size_t s = 0; s < config_.num_slots(); ++s) {
+    const std::size_t in_slot = std::min(config_.slot_size, remaining);
+    slots_.emplace_back(s, in_slot, config_.window_length, *rom_,
+                        config_.threshold);
+    remaining -= in_slot;
+  }
+}
+
+std::size_t PscOperator::total_loaded() const {
+  std::size_t total = 0;
+  for (const auto& slot : slots_) total += slot.loaded_pes();
+  return total;
+}
+
+void PscOperator::reset_array() {
+  for (auto& slot : slots_) slot.reset();
+}
+
+double PscOperator::modeled_seconds() const {
+  return static_cast<double>(stats_.cycles_total()) / config_.clock_hz;
+}
+
+void PscOperator::run_key(const index::WindowBatch& il0,
+                          const index::WindowBatch& il1,
+                          std::vector<ResultRecord>& out) {
+  const std::size_t length = config_.window_length;
+  if (il0.window_length() != length || il1.window_length() != length) {
+    throw std::invalid_argument("PscOperator::run_key: window length mismatch");
+  }
+  if (il0.empty() || il1.empty()) return;
+  ++stats_.keys;
+
+  const std::size_t capacity = cascade_.total_capacity();
+  const std::size_t pe_count = config_.num_pes;
+  const std::size_t k0 = il0.size();
+  const std::size_t k1 = il1.size();
+
+  for (std::size_t first = 0; first < k0; first += pe_count) {
+    const std::size_t loaded = std::min(pe_count, k0 - first);
+    reset_array();
+    // Load phase: windows are distributed slot by slot; the batch engine
+    // does not stream residues individually, but the cycle cost is the
+    // stream cost.
+    {
+      std::size_t next = first;
+      for (auto& slot : slots_) {
+        while (slot.has_free_pe() && next < first + loaded) {
+          const auto window = il0.window(next);
+          for (std::size_t r = 0; r < length; ++r) {
+            slot.load_residue(window[r], static_cast<std::uint32_t>(next));
+          }
+          ++next;
+        }
+      }
+    }
+    stats_.cycles_load += loaded * length + config_.skew_cycles();
+
+    // Compute phase: every IL1 window streams past every loaded PE.
+    std::size_t backlog = 0;
+    for (std::size_t j = 0; j < k1; ++j) {
+      // The L streaming cycles of window j drain up to L buffered records.
+      backlog -= std::min(backlog, length);
+
+      scratch_.clear();
+      const std::uint8_t* window = il1.window(j).data();
+      for (auto& slot : slots_) {
+        slot.compute_window(window, static_cast<std::uint32_t>(j), scratch_);
+      }
+      stats_.comparisons += loaded;
+      stats_.hits += scratch_.size();
+
+      backlog += scratch_.size();
+      if (backlog > capacity) {
+        // Completion tick overflows the cascade: the master controller
+        // pauses the stream one cycle per excess record while the output
+        // port drains.
+        stats_.cycles_stall += backlog - capacity;
+        backlog = capacity;
+      }
+      out.insert(out.end(), scratch_.begin(), scratch_.end());
+    }
+    stats_.cycles_compute += k1 * length + config_.skew_cycles();
+    stats_.cycles_drain += backlog;
+
+    stats_.pe_ticks_busy += loaded * k1;
+    stats_.pe_ticks_total += pe_count * k1;
+    ++stats_.rounds;
+  }
+}
+
+void PscOperator::run_key_cycle_exact(const index::WindowBatch& il0,
+                                      const index::WindowBatch& il1,
+                                      std::vector<ResultRecord>& out) {
+  const std::size_t length = config_.window_length;
+  if (il0.window_length() != length || il1.window_length() != length) {
+    throw std::invalid_argument(
+        "PscOperator::run_key_cycle_exact: window length mismatch");
+  }
+  if (il0.empty() || il1.empty()) return;
+  ++stats_.keys;
+
+  const std::size_t pe_count = config_.num_pes;
+  const std::size_t k0 = il0.size();
+  const std::size_t k1 = il1.size();
+
+  InputController ic0(il0);
+  InputController ic1(il1);
+  output_.clear();
+
+  std::vector<std::vector<ResultRecord>> slot_scratch(slots_.size());
+
+  for (std::size_t first = 0; first < k0; first += pe_count) {
+    const std::size_t loaded = std::min(pe_count, k0 - first);
+    reset_array();
+
+    // LOAD: Input Controller 0 streams `loaded` windows, one residue per
+    // cycle; the master controller steers each completed shift-register
+    // fill to the next free PE, slot by slot.
+    ic0.restrict(first, loaded);
+    std::size_t fill_slot = 0;
+    while (auto emission = ic0.next()) {
+      while (!slots_[fill_slot].has_free_pe()) ++fill_slot;
+      slots_[fill_slot].load_residue(emission->residue,
+                                     emission->window_index);
+      ++stats_.cycles_load;
+    }
+    stats_.cycles_load += config_.skew_cycles();
+
+    // COMPUTE: Input Controller 1 broadcasts one residue per cycle to all
+    // slots; the cascade forwards/drains every cycle; completion ticks
+    // push into the slot FIFOs, stalling the stream while any push fails.
+    ic1.restrict(0, k1);
+    while (auto emission = ic1.next()) {
+      for (std::size_t s = 0; s < slots_.size(); ++s) {
+        slots_[s].compute_cycle(emission->residue, emission->window_index,
+                                slot_scratch[s]);
+      }
+      if (auto popped = cascade_.cycle()) output_.accept(*popped);
+      ++stats_.cycles_compute;
+
+      if (emission->window_complete) {
+        stats_.comparisons += loaded;
+        for (std::size_t s = 0; s < slots_.size(); ++s) {
+          auto& pending = slot_scratch[s];
+          stats_.hits += pending.size();
+          std::size_t done = 0;
+          while (done < pending.size()) {
+            if (cascade_.slot(s).try_push(pending[done])) {
+              ++done;
+              continue;
+            }
+            // Slot FIFO full: stall the array one cycle while the cascade
+            // keeps moving records toward the output port.
+            if (auto popped = cascade_.cycle()) output_.accept(*popped);
+            ++stats_.cycles_stall;
+          }
+          pending.clear();
+        }
+      }
+    }
+    stats_.cycles_compute += config_.skew_cycles();
+
+    // DRAIN: flush the cascade.
+    while (cascade_.backlog() > 0) {
+      if (auto popped = cascade_.cycle()) output_.accept(*popped);
+      ++stats_.cycles_drain;
+    }
+
+    stats_.pe_ticks_busy += loaded * k1;
+    stats_.pe_ticks_total += pe_count * k1;
+    ++stats_.rounds;
+  }
+
+  auto results = output_.take();
+  out.insert(out.end(), results.begin(), results.end());
+}
+
+}  // namespace psc::rasc

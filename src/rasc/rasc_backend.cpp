@@ -1,0 +1,186 @@
+#include "rasc/rasc_backend.hpp"
+
+#include "rasc/sgi_core.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace psc::rasc {
+
+namespace {
+
+/// Work done by one FPGA over its key partition.
+struct FpgaTask {
+  std::vector<index::SeedKey> keys;
+  std::vector<align::SeedPairHit> hits;
+  FpgaRunReport report;
+};
+
+void run_partition(const bio::SequenceBank& bank0,
+                   const index::IndexTable& table0,
+                   const bio::SequenceBank& bank1,
+                   const index::IndexTable& table1,
+                   const bio::SubstitutionMatrix& matrix,
+                   const RascStep2Config& config, FpgaTask& task) {
+  PscOperator op(config.psc, matrix);
+  PlatformModel platform(config.platform);
+  platform.add_bitstream_load();
+
+  index::WindowBatch batch0(config.shape.length());
+  index::WindowBatch batch1(config.shape.length());
+  std::vector<ResultRecord> records;
+
+  std::uint64_t residues_streamed = 0;
+  std::uint64_t results_returned = 0;
+
+  for (const index::SeedKey key : task.keys) {
+    const auto list0 = table0.occurrences(key);
+    const auto list1 = table1.occurrences(key);
+    if (list0.empty() || list1.empty()) continue;
+
+    index::extract_windows(bank0, list0, config.shape, batch0);
+    index::extract_windows(bank1, list1, config.shape, batch1);
+
+    records.clear();
+    if (config.cycle_exact) {
+      op.run_key_cycle_exact(batch0, batch1, records);
+    } else {
+      op.run_key(batch0, batch1, records);
+    }
+
+    // Every round streams the IL1 set once and its PE loads once.
+    const std::size_t rounds =
+        (batch0.size() + config.psc.num_pes - 1) / config.psc.num_pes;
+    residues_streamed +=
+        (batch0.size() + rounds * batch1.size()) * config.shape.length();
+    results_returned += records.size();
+
+    for (const ResultRecord& record : records) {
+      task.hits.push_back(align::SeedPairHit{
+          batch0.source(record.il0_index), batch1.source(record.il1_index),
+          record.score});
+    }
+  }
+
+  // One DMA descriptor chain per SRAM-sized chunk of streamed input; each
+  // chunk is one algorithm invocation programmed through the SGI core's
+  // ADR interface (Figure 3): configuration registers, doorbell, status
+  // poll, result readback.
+  platform.add_input_stream(residues_streamed);
+  platform.add_result_stream(results_returned);
+  const std::size_t invocations =
+      1 + residues_streamed * config.platform.residue_bytes /
+              config.platform.sram_bytes;
+
+  SgiCore adr;
+  adr.write_register(AdrRegister::kThreshold,
+                     static_cast<std::uint64_t>(config.psc.threshold));
+  adr.write_register(AdrRegister::kWindowLength, config.shape.length());
+  for (std::size_t i = 0; i < invocations; ++i) {
+    adr.write_register(AdrRegister::kIl0Count, op.stats().rounds);
+    adr.write_register(AdrRegister::kIl1Count, op.stats().comparisons);
+    adr.ring_doorbell();
+    platform.add_invocation();
+    adr.complete(results_returned, op.stats().cycles_total());
+    adr.read_register(AdrRegister::kStatus);
+  }
+  adr.read_register(AdrRegister::kResultCount);
+  adr.read_register(AdrRegister::kCycleCounter);
+
+  task.report.stats = op.stats();
+  task.report.compute_seconds = op.modeled_seconds();
+  task.report.transfer_seconds =
+      platform.input_seconds() + platform.output_seconds();
+  task.report.overhead_seconds =
+      platform.overhead_seconds() + adr.mmio_seconds();
+}
+
+}  // namespace
+
+RascStep2Result run_rasc_step2(const bio::SequenceBank& bank0,
+                               const index::IndexTable& table0,
+                               const bio::SequenceBank& bank1,
+                               const index::IndexTable& table1,
+                               const bio::SubstitutionMatrix& matrix,
+                               const RascStep2Config& config) {
+  std::vector<index::SeedKey> keys;
+  keys.reserve(table0.key_space());
+  for (std::size_t k = 0; k < table0.key_space(); ++k) {
+    keys.push_back(static_cast<index::SeedKey>(k));
+  }
+  return run_rasc_step2_keys(bank0, table0, bank1, table1, matrix, config,
+                             keys);
+}
+
+RascStep2Result run_rasc_step2_keys(const bio::SequenceBank& bank0,
+                                    const index::IndexTable& table0,
+                                    const bio::SequenceBank& bank1,
+                                    const index::IndexTable& table1,
+                                    const bio::SubstitutionMatrix& matrix,
+                                    const RascStep2Config& config,
+                                    const std::vector<index::SeedKey>& keys) {
+  if (config.shape.length() != config.psc.window_length) {
+    throw std::invalid_argument(
+        "run_rasc_step2: shape length != operator window length");
+  }
+  if (config.num_fpgas == 0 || config.num_fpgas > 2) {
+    throw std::invalid_argument("run_rasc_step2: RASC-100 has 1 or 2 FPGAs");
+  }
+  if (table0.key_space() != table1.key_space()) {
+    throw std::invalid_argument("run_rasc_step2: seed-model mismatch");
+  }
+
+  // Partition keys by estimated cycles (greedy longest-processing-time):
+  // est = rounds * |IL1| -- the compute-phase streaming cost.
+  std::vector<FpgaTask> tasks(config.num_fpgas);
+  {
+    std::vector<std::pair<std::uint64_t, index::SeedKey>> weighted;
+    for (const index::SeedKey key : keys) {
+      const std::size_t k0 = table0.list_length(key);
+      const std::size_t k1 = table1.list_length(key);
+      if (k0 == 0 || k1 == 0) continue;
+      const std::uint64_t rounds =
+          (k0 + config.psc.num_pes - 1) / config.psc.num_pes;
+      weighted.emplace_back(rounds * k1 + k0, key);
+    }
+    std::sort(weighted.begin(), weighted.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::vector<std::uint64_t> load(config.num_fpgas, 0);
+    for (const auto& [weight, key] : weighted) {
+      const std::size_t target = static_cast<std::size_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      tasks[target].keys.push_back(key);
+      load[target] += weight;
+    }
+  }
+
+  // Drive each FPGA, in its own thread when asked (the paper's pthread
+  // version used one process per FPGA).
+  if (config.threaded && config.num_fpgas > 1) {
+    std::vector<std::thread> threads;
+    threads.reserve(tasks.size());
+    for (auto& task : tasks) {
+      threads.emplace_back([&] {
+        run_partition(bank0, table0, bank1, table1, matrix, config, task);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  } else {
+    for (auto& task : tasks) {
+      run_partition(bank0, table0, bank1, table1, matrix, config, task);
+    }
+  }
+
+  RascStep2Result out;
+  for (auto& task : tasks) {
+    out.fpgas.push_back(task.report);
+    out.stats += task.report.stats;
+    out.modeled_seconds =
+        std::max(out.modeled_seconds, task.report.total_seconds());
+    out.hits.insert(out.hits.end(), task.hits.begin(), task.hits.end());
+  }
+  return out;
+}
+
+}  // namespace psc::rasc

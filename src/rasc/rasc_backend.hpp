@@ -1,0 +1,81 @@
+// The host-side driver that deports step 2 (ungapped extension) onto one
+// or two simulated RASC-100 FPGAs: walks the two index tables key by key,
+// extracts the neighbourhood windows, streams them through a PscOperator
+// per FPGA, translates result records back into occurrences and composes
+// the modeled accelerator time (cycles at 100 MHz + DMA transfers +
+// driver overheads).
+//
+// With num_fpgas == 2 the key space is partitioned by estimated work and
+// each partition runs on its own operator in its own thread -- the
+// structure of the paper's pthread experiment (section 4.1, Table 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/hit.hpp"
+#include "bio/substitution_matrix.hpp"
+#include "index/index_table.hpp"
+#include "index/neighborhood.hpp"
+#include "rasc/platform_model.hpp"
+#include "rasc/psc_operator.hpp"
+
+namespace psc::rasc {
+
+struct RascStep2Config {
+  PscConfig psc;
+  PlatformConfig platform;
+  index::WindowShape shape;  ///< must satisfy shape.length() == psc.window_length
+  std::size_t num_fpgas = 1; ///< 1 or 2 (the RASC-100 carries two Virtex-4)
+  /// Run the cycle-exact engine instead of the batch engine (slow; for
+  /// validation and traces).
+  bool cycle_exact = false;
+  /// Drive each FPGA from its own host thread (the pthread structure of
+  /// section 4.1). Modeled time is unaffected; this exercises the
+  /// concurrent driver path.
+  bool threaded = true;
+};
+
+struct FpgaRunReport {
+  OperatorStats stats;
+  double compute_seconds = 0.0;   ///< cycles / clock
+  double transfer_seconds = 0.0;  ///< DMA in + out
+  double overhead_seconds = 0.0;  ///< bitstream + invocations
+  double total_seconds() const {
+    return compute_seconds + transfer_seconds + overhead_seconds;
+  }
+};
+
+struct RascStep2Result {
+  std::vector<align::SeedPairHit> hits;
+  std::vector<FpgaRunReport> fpgas;  ///< one per FPGA
+  /// Modeled accelerator wall time: max over FPGAs (they run
+  /// concurrently on the board).
+  double modeled_seconds = 0.0;
+  /// Aggregate operator statistics (summed over FPGAs).
+  OperatorStats stats;
+};
+
+/// Runs step 2 on the simulated accelerator. `table0`/`table1` must have
+/// been built with the same seed model; `bank0`/`bank1` are the banks they
+/// index.
+RascStep2Result run_rasc_step2(const bio::SequenceBank& bank0,
+                               const index::IndexTable& table0,
+                               const bio::SequenceBank& bank1,
+                               const index::IndexTable& table1,
+                               const bio::SubstitutionMatrix& matrix,
+                               const RascStep2Config& config);
+
+/// Restricted form: processes only the given seed keys. Used by the
+/// host/FPGA dispatch extension, which splits the key space between the
+/// host cores and the accelerator (the paper's closing question about
+/// "how to dispatch the overall computation between cores and FPGA").
+RascStep2Result run_rasc_step2_keys(const bio::SequenceBank& bank0,
+                                    const index::IndexTable& table0,
+                                    const bio::SequenceBank& bank1,
+                                    const index::IndexTable& table1,
+                                    const bio::SubstitutionMatrix& matrix,
+                                    const RascStep2Config& config,
+                                    const std::vector<index::SeedKey>& keys);
+
+}  // namespace psc::rasc

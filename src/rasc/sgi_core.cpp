@@ -1,0 +1,60 @@
+#include "rasc/sgi_core.hpp"
+
+#include <stdexcept>
+
+namespace psc::rasc {
+
+namespace {
+std::size_t index_of(AdrRegister reg) {
+  const auto i = static_cast<std::size_t>(reg);
+  if (i >= static_cast<std::size_t>(AdrRegister::kRegisterCount)) {
+    throw std::out_of_range("SgiCore: register index");
+  }
+  return i;
+}
+}  // namespace
+
+SgiCore::SgiCore(double mmio_latency_seconds)
+    : mmio_latency_(mmio_latency_seconds) {
+  if (mmio_latency_seconds < 0.0) {
+    throw std::invalid_argument("SgiCore: negative MMIO latency");
+  }
+}
+
+void SgiCore::write_register(AdrRegister reg, std::uint64_t value) {
+  if (busy_ && reg != AdrRegister::kControl) {
+    throw std::logic_error("SgiCore: register write while algorithm busy");
+  }
+  if (reg == AdrRegister::kStatus || reg == AdrRegister::kResultCount ||
+      reg == AdrRegister::kCycleCounter) {
+    throw std::logic_error("SgiCore: device-owned register is read-only");
+  }
+  registers_[index_of(reg)] = value;
+  mmio_seconds_ += mmio_latency_;
+  ++writes_;
+}
+
+std::uint64_t SgiCore::read_register(AdrRegister reg) {
+  mmio_seconds_ += mmio_latency_;
+  ++reads_;
+  if (reg == AdrRegister::kStatus) return busy_ ? 1 : 0;
+  return registers_[index_of(reg)];
+}
+
+void SgiCore::ring_doorbell() {
+  if (busy_) throw std::logic_error("SgiCore: doorbell while busy");
+  busy_ = true;
+  registers_[index_of(AdrRegister::kResultCount)] = 0;
+  registers_[index_of(AdrRegister::kCycleCounter)] = 0;
+  mmio_seconds_ += mmio_latency_;
+  ++doorbells_;
+}
+
+void SgiCore::complete(std::uint64_t results, std::uint64_t cycles) {
+  if (!busy_) throw std::logic_error("SgiCore: completion while idle");
+  registers_[index_of(AdrRegister::kResultCount)] = results;
+  registers_[index_of(AdrRegister::kCycleCounter)] = cycles;
+  busy_ = false;
+}
+
+}  // namespace psc::rasc

@@ -1,0 +1,75 @@
+// The SGI-core services of the RASC-100 (paper, Figure 3): "SGI provides
+// a user-configurable interface (SGI Core) for managing DMA transfer,
+// memory access and user registers (Algorithm Defined Registers: ADR)."
+//
+// This models the host-visible half of that interface: a small file of
+// 64-bit algorithm-defined registers the driver programs before ringing
+// the doorbell, a busy/idle status protocol, and the MMIO latency each
+// uncached register access costs across NUMAlink. The RASC backend
+// programs one SgiCore per simulated FPGA; its accumulated MMIO time
+// feeds the platform overhead report.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rasc/platform_model.hpp"
+
+namespace psc::rasc {
+
+/// Register map of the PSC bitstream's ADR block.
+enum class AdrRegister : std::size_t {
+  kControl = 0,       ///< doorbell / reset bits
+  kStatus = 1,        ///< busy flag, error bits
+  kThreshold = 2,     ///< ungapped score threshold
+  kWindowLength = 3,  ///< W + 2N
+  kIl0Count = 4,      ///< windows in the IL0 stream of this invocation
+  kIl1Count = 5,      ///< windows in the IL1 stream
+  kResultCount = 6,   ///< results produced (device-written)
+  kCycleCounter = 7,  ///< clock cycles consumed (device-written)
+  kRegisterCount
+};
+
+class SgiCore {
+ public:
+  /// `mmio_latency_seconds`: cost of one uncached register access across
+  /// the interconnect.
+  explicit SgiCore(double mmio_latency_seconds = 0.5e-6);
+
+  /// Host-side register write. Throws if the algorithm is busy (the real
+  /// core ignores writes while running; here that is a driver bug).
+  void write_register(AdrRegister reg, std::uint64_t value);
+
+  /// Host-side register read (always allowed; status polling).
+  std::uint64_t read_register(AdrRegister reg);
+
+  /// Rings the doorbell: latches the configuration and marks the
+  /// algorithm busy. Throws if already busy.
+  void ring_doorbell();
+
+  bool busy() const { return busy_; }
+
+  /// Device-side completion: the bitstream posts its result and cycle
+  /// counters and clears busy. Throws if not busy.
+  void complete(std::uint64_t results, std::uint64_t cycles);
+
+  /// Accumulated host-side MMIO time (writes + reads + doorbells).
+  double mmio_seconds() const { return mmio_seconds_; }
+
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t doorbells() const { return doorbells_; }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(
+                                AdrRegister::kRegisterCount)>
+      registers_{};
+  bool busy_ = false;
+  double mmio_latency_;
+  double mmio_seconds_ = 0.0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t doorbells_ = 0;
+};
+
+}  // namespace psc::rasc

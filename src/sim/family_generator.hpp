@@ -1,0 +1,47 @@
+// Protein family benchmark generation, standing in for the curated
+// 102-query yeast benchmark of Gertz et al. used in the paper's section
+// 4.4: families of homologous proteins are derived from random ancestors
+// by mutation; some members become queries, others are planted in a
+// genome; ground truth is the family label.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "sim/genome_generator.hpp"
+#include "sim/mutation.hpp"
+#include "util/rng.hpp"
+
+namespace psc::sim {
+
+struct FamilyConfig {
+  std::size_t families = 20;          ///< number of families
+  std::size_t members_per_family = 6; ///< homologs per family
+  std::size_t ancestor_length = 300;  ///< residues per ancestor
+  MutationConfig divergence;          ///< applied ancestor -> member
+  std::uint64_t seed = 7;
+};
+
+struct FamilyBenchmark {
+  /// All family members; member i belongs to family family_of[i].
+  bio::SequenceBank members;
+  std::vector<std::size_t> family_of;
+  std::size_t family_count = 0;
+};
+
+/// Generates the family members (no genome involvement).
+FamilyBenchmark generate_families(const FamilyConfig& config);
+
+/// Splits a benchmark into queries (the first `queries_per_family`
+/// members of each family) and targets (the rest). Family labels follow.
+struct QueryTargetSplit {
+  bio::SequenceBank queries;
+  std::vector<std::size_t> query_family;
+  bio::SequenceBank targets;
+  std::vector<std::size_t> target_family;
+};
+QueryTargetSplit split_queries(const FamilyBenchmark& benchmark,
+                               std::size_t queries_per_family);
+
+}  // namespace psc::sim

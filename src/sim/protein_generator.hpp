@@ -1,0 +1,34 @@
+// Synthetic protein banks standing in for the paper's selections from the
+// NCBI non-redundant database (1K..30K proteins, average length ~335 aa).
+// Residues follow the Robinson-Robinson background composition so seed
+// statistics (index-list lengths, hence step-2 workload) match real
+// protein data.
+#pragma once
+
+#include <cstdint>
+
+#include "bio/sequence.hpp"
+#include "util/rng.hpp"
+
+namespace psc::sim {
+
+struct ProteinBankConfig {
+  std::size_t count = 1000;       ///< number of proteins
+  std::size_t mean_length = 335;  ///< mean residues (nr average ~336 aa/protein)
+  std::size_t min_length = 60;
+  std::size_t max_length = 2000;
+  std::uint64_t seed = 2;
+  /// Identifier prefix; proteins are named "<prefix><index>".
+  std::string id_prefix = "prot";
+};
+
+/// One random protein of exactly `length` residues.
+bio::Sequence generate_protein(std::string id, std::size_t length,
+                               util::Xoshiro256& rng);
+
+/// A bank of random proteins; lengths are drawn from a clamped geometric-
+/// like distribution around mean_length (real protein-length distributions
+/// are right-skewed).
+bio::SequenceBank generate_protein_bank(const ProteinBankConfig& config);
+
+}  // namespace psc::sim

@@ -1,0 +1,70 @@
+// Factory for scaled replicas of the paper's evaluation workload
+// (section 4): the Human chromosome 1 (220 Mnt) versus four protein banks
+// of 1,000 / 3,000 / 10,000 / 30,000 nr proteins. Sizes scale by a single
+// factor (default 1/100) so every table bench runs in seconds on a laptop
+// while preserving the relative bank sizes that drive the paper's trends.
+//
+// A fraction of each bank's proteins get mutated gene copies planted in
+// the genome, so the extension stages find true homologies rather than
+// only random seed noise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "sim/genome_generator.hpp"
+#include "sim/mutation.hpp"
+
+namespace psc::sim {
+
+struct ScaledWorkloadConfig {
+  double scale = 0.01;  ///< fraction of the paper's data sizes
+  /// Optional separate scale for the protein banks (0 = use `scale`).
+  /// The PE-array utilization trends of Tables 2-4 are driven by the
+  /// index-list depths of the *bank* side, so benches keep banks larger
+  /// than the genome when both cannot be full-size.
+  double bank_scale = 0.0;
+  std::uint64_t seed = 42;
+  /// Fraction of bank proteins that receive a planted homolog in the
+  /// genome.
+  double planted_fraction = 0.15;
+  /// Divergence applied to planted copies (default ~75% identity).
+  MutationConfig plant_divergence{.substitution_rate = 0.25,
+                                  .indel_rate = 0.01,
+                                  .indel_extend = 0.5,
+                                  .conservation = 1.0};
+  /// Minimum ORF fragment length when splitting translated frames.
+  std::size_t orf_min_length = 20;
+};
+
+struct PaperBank {
+  std::string label;            ///< the paper's name for it: "1K" .. "30K"
+  std::size_t paper_count = 0;  ///< the paper's bank size
+  bio::SequenceBank proteins;   ///< our scaled bank
+};
+
+struct PaperWorkload {
+  bio::Sequence genome;           ///< synthetic chromosome with planted genes
+  bio::SequenceBank genome_bank;  ///< six-frame translation, split at stops
+  std::vector<PaperBank> banks;   ///< nested scaled banks (1K is a prefix of 3K, ...)
+  std::size_t planted_genes = 0;
+};
+
+/// Builds the full workload. Banks are nested (the "1K" bank is a prefix
+/// of the "3K" bank and so on), matching the monotone-growth structure of
+/// the paper's experiments.
+PaperWorkload build_paper_workload(const ScaledWorkloadConfig& config);
+
+/// Reads the PSC_SCALE environment variable: "small" (0.01, default),
+/// "medium" (0.05), "large" (0.2), or a literal fraction such as "0.5".
+double scale_from_env();
+
+/// The paper's bank sizes, in order: 1,000 / 3,000 / 10,000 / 30,000.
+const std::vector<std::pair<std::string, std::size_t>>& paper_bank_sizes();
+
+/// The paper's genome size in nucleotides (220e6).
+std::size_t paper_genome_size();
+
+}  // namespace psc::sim

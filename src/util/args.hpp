@@ -1,0 +1,53 @@
+// Tiny declarative CLI-argument parser for the examples and bench
+// binaries: --name=value / --name value / --flag, with typed accessors,
+// defaults and an auto-generated --help.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace psc::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Declares an option (call before parse()). `key` without leading
+  /// dashes, e.g. "genome-size".
+  void add_option(const std::string& key, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& key, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on --help or on an
+  /// unknown/malformed argument.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& key) const;
+  std::int64_t get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_flag(const std::string& key) const;
+
+  /// Positional arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> declaration_order_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace psc::util

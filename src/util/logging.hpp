@@ -1,0 +1,48 @@
+// Minimal leveled logger. The library is a compute library, so logging is
+// sparse: progress notes from long benchmarks and warnings from input
+// validation. Thread-safe; writes to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace psc::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Default kWarn so
+/// library users are not spammed; benches raise it to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line ("[level] message") if `level` passes the
+/// threshold. Serialized by an internal mutex.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+
+}  // namespace psc::util

@@ -1,0 +1,55 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace psc::util {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("percentile of empty set");
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  RunningStats sx;
+  RunningStats sy;
+  for (double v : x) sx.add(v);
+  for (double v : y) sy.add(v);
+  if (sx.stddev() == 0.0 || sy.stddev() == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  }
+  cov /= static_cast<double>(x.size() - 1);
+  return cov / (sx.stddev() * sy.stddev());
+}
+
+}  // namespace psc::util

@@ -1,0 +1,40 @@
+// Summary statistics for benchmark series and distribution sanity checks
+// in the synthetic-data generators.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace psc::util {
+
+/// Online mean/variance accumulator (Welford). Numerically stable for the
+/// long series produced by the cycle simulator's utilisation counters.
+class RunningStats {
+ public:
+  void add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile by linear interpolation on a copy of the data (q in [0,1]).
+double percentile(std::vector<double> values, double q);
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace psc::util

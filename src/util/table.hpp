@@ -1,0 +1,39 @@
+// ASCII table renderer used by every bench binary so reproduced tables
+// print in a uniform, diff-friendly format next to the paper's values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace psc::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with fixed precision. Rendering pads every column to its widest cell
+/// and right-aligns cells that parse as numbers.
+class TextTable {
+ public:
+  /// Sets the header row (also defines the column count).
+  void set_header(std::vector<std::string> cells);
+
+  /// Appends a data row; must match the header width if one was set.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders the table with `|` separators and `-` rules.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Fixed-precision float formatting ("12.34").
+  static std::string num(double value, int precision = 2);
+  /// Integer with thousands separators ("12,345").
+  static std::string count(long long value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+}  // namespace psc::util

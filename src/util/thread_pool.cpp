@@ -1,0 +1,105 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace psc::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) throw std::runtime_error("ThreadPool::submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> ThreadPool::blocks(
+    std::size_t begin, std::size_t end, std::size_t parts) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (end <= begin || parts == 0) return out;
+  const std::size_t total = end - begin;
+  const std::size_t used = std::min(parts, total);
+  out.reserve(used);
+  const std::size_t base = total / used;
+  const std::size_t extra = total % used;
+  std::size_t lo = begin;
+  for (std::size_t i = 0; i < used; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    out.emplace_back(lo, lo + len);
+    lo += len;
+  }
+  return out;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const auto chunks = blocks(begin, end, size());
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (const auto& [lo, hi] : chunks) {
+    submit([&, lo = lo, hi = hi] {
+      try {
+        for (std::size_t i = lo; i < hi && !failed.load(std::memory_order_relaxed); ++i) {
+          fn(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+      }
+    });
+  }
+  wait_idle();
+  if (failed && first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace psc::util

@@ -1,0 +1,63 @@
+// Fixed-size thread pool with a blocking task queue plus a parallel_for
+// helper with static block scheduling. Used by the host-parallel step-2
+// backend, the dual-FPGA driver (one thread per simulated FPGA, mirroring
+// the paper's pthread version, section 4.1), and the index builder.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace psc::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1). Workers live until destruction.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Throws if the pool is shutting down.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. May be called
+  /// repeatedly; tasks submitted after wait() returns need a new wait().
+  void wait_idle();
+
+  /// Runs fn(i) for i in [begin, end) across the pool, dividing the range
+  /// into contiguous blocks (one per worker). Blocks until complete.
+  /// Exceptions from fn propagate (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Block-decomposes [begin,end) into `parts` contiguous [lo,hi) chunks;
+  /// exposed so callers can do per-chunk setup (e.g. per-thread RNG).
+  static std::vector<std::pair<std::size_t, std::size_t>> blocks(
+      std::size_t begin, std::size_t end, std::size_t parts);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Number of workers to use by default: hardware concurrency, at least 1.
+std::size_t default_thread_count();
+
+}  // namespace psc::util

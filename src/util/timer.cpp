@@ -1,0 +1,34 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+
+namespace psc::util {
+
+void PhaseProfiler::add(const std::string& name, double seconds) {
+  auto [it, inserted] = totals_.try_emplace(name, 0.0);
+  if (inserted) order_.push_back(name);
+  it->second += seconds;
+}
+
+double PhaseProfiler::total(const std::string& name) const {
+  const auto it = totals_.find(name);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+double PhaseProfiler::grand_total() const {
+  double sum = 0.0;
+  for (const auto& [name, value] : totals_) sum += value;
+  return sum;
+}
+
+double PhaseProfiler::percent(const std::string& name) const {
+  const double all = grand_total();
+  return all > 0.0 ? 100.0 * total(name) / all : 0.0;
+}
+
+void PhaseProfiler::clear() {
+  totals_.clear();
+  order_.clear();
+}
+
+}  // namespace psc::util

@@ -1,0 +1,78 @@
+// Wall-clock timing and a named-phase profiler. The paper's evaluation is
+// built around per-step time breakdowns (Tables 1, 7) and end-to-end wall
+// clock (Tables 2-4); PhaseProfiler is the single mechanism both the
+// pipeline and the benches use so the numbers are consistent.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace psc::util {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time into named phases. Phases may be entered many
+/// times; totals add up. Not thread-safe by design -- each pipeline run
+/// owns one profiler, and worker-thread time is attributed by the caller
+/// that joins the workers.
+class PhaseProfiler {
+ public:
+  /// Adds `seconds` to phase `name` (creates it on first use).
+  void add(const std::string& name, double seconds);
+
+  /// Total recorded for a phase; 0 if never entered.
+  double total(const std::string& name) const;
+
+  /// Sum across all phases.
+  double grand_total() const;
+
+  /// Percentage of the grand total spent in `name` (0 if nothing recorded).
+  double percent(const std::string& name) const;
+
+  /// Phase names in first-use order (matches the paper's step 1/2/3 order
+  /// when the pipeline records them in sequence).
+  const std::vector<std::string>& names() const { return order_; }
+
+  void clear();
+
+  /// RAII helper: times a scope and adds it to the profiler on destruction.
+  class Scope {
+   public:
+    Scope(PhaseProfiler& profiler, std::string name)
+        : profiler_(profiler), name_(std::move(name)) {}
+    ~Scope() { profiler_.add(name_, timer_.seconds()); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PhaseProfiler& profiler_;
+    std::string name_;
+    Timer timer_;
+  };
+
+  Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+ private:
+  std::map<std::string, double> totals_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace psc::util

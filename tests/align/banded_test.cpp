@@ -1,0 +1,125 @@
+#include "align/banded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace psc::align {
+namespace {
+
+std::vector<std::uint8_t> encode(const std::string& letters) {
+  std::vector<std::uint8_t> out;
+  for (const char c : letters) out.push_back(bio::encode_protein(c));
+  return out;
+}
+
+int self_score(const std::vector<std::uint8_t>& s,
+               const bio::SubstitutionMatrix& m) {
+  int total = 0;
+  for (const auto r : s) total += m.score(r, r);
+  return total;
+}
+
+TEST(BandedWindowScore, IdenticalWindows) {
+  const auto s = encode("MKVLARNDCQ");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  EXPECT_EQ(banded_window_score(s, s, 4, GapParams{}, m), self_score(s, m));
+}
+
+TEST(BandedWindowScore, EmptyWindowsScoreZero) {
+  const std::vector<std::uint8_t> empty;
+  const auto s = encode("MKVL");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  EXPECT_EQ(banded_window_score(empty, s, 4, GapParams{}, m), 0);
+  EXPECT_EQ(banded_window_score(s, empty, 4, GapParams{}, m), 0);
+}
+
+TEST(BandedWindowScore, UnrelatedWindowsScoreZero) {
+  const auto a = encode("GGGGGGGG");
+  const auto b = encode("WWWWWWWW");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  EXPECT_EQ(banded_window_score(a, b, 3, GapParams{}, m), 0);
+}
+
+TEST(BandedWindowScore, EqualsFullSmithWatermanWhenBandCoversMatrix) {
+  util::Xoshiro256 rng(21);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const GapParams params;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> a(30), b(30);
+    for (auto& r : a) r = static_cast<std::uint8_t>(rng.bounded(20));
+    std::vector<std::uint8_t> base = a;
+    for (int k = 0; k < 8; ++k) {
+      base[rng.bounded(base.size())] =
+          static_cast<std::uint8_t>(rng.bounded(20));
+    }
+    b = base;
+    const Alignment full = smith_waterman(a, b, m, params);
+    EXPECT_EQ(banded_window_score(a, b, 30, params, m), full.score);
+  }
+}
+
+TEST(BandedWindowScore, GapInsideBandIsBridged) {
+  // b = a with 2 residues inserted; band 4 accommodates the shift. The
+  // kernel compares over the shorter length (16), so b's tail "KW" and
+  // the last two residues of the alignment fall away: the best in-band
+  // path matches MKVLARND, gaps over PP, then matches CQEGHI.
+  const auto a = encode("MKVLARNDCQEGHIKW");
+  const auto b = encode("MKVLARND" "PP" "CQEGHIKW");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  GapParams params;
+  const int expected = self_score(encode("MKVLARNDCQEGHI"), m) -
+                       (params.open + 2 * params.extend);
+  EXPECT_EQ(banded_window_score(a, b, 4, params, m), expected);
+}
+
+TEST(BandedWindowScore, ShiftBeyondBandIsLost) {
+  // An alignment requiring a 6-residue shift cannot be expressed within a
+  // band of 2: the banded score collapses to what fits diagonally.
+  const auto a = encode("MKVLARNDCQEGHIKW");
+  const auto b = encode("PPPPPP" "MKVLARNDCQ");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const int wide = banded_window_score(a, b, 8, GapParams{}, m);
+  const int narrow = banded_window_score(a, b, 2, GapParams{}, m);
+  EXPECT_GT(wide, narrow);
+}
+
+TEST(BandedWindowScore, WiderBandNeverLowersScore) {
+  util::Xoshiro256 rng(22);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint8_t> a(40), b(40);
+    for (auto& r : a) r = static_cast<std::uint8_t>(rng.bounded(20));
+    for (auto& r : b) r = static_cast<std::uint8_t>(rng.bounded(20));
+    int previous = 0;
+    for (const std::size_t band : {1u, 2u, 4u, 8u, 16u, 40u}) {
+      const int score = banded_window_score(a, b, band, GapParams{}, m);
+      EXPECT_GE(score, previous) << "band " << band;
+      previous = score;
+    }
+  }
+}
+
+TEST(BandedWindowScore, NeverExceedsFullSmithWaterman) {
+  util::Xoshiro256 rng(23);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const GapParams params;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint8_t> a(35), b(35);
+    for (auto& r : a) r = static_cast<std::uint8_t>(rng.bounded(20));
+    for (auto& r : b) r = static_cast<std::uint8_t>(rng.bounded(20));
+    const Alignment full = smith_waterman(a, b, m, params);
+    for (const std::size_t band : {1u, 3u, 7u}) {
+      EXPECT_LE(banded_window_score(a, b, band, params, m), full.score);
+    }
+  }
+}
+
+TEST(BandedWindowCycles, Formula) {
+  EXPECT_EQ(banded_window_cycles(0), 0u);
+  EXPECT_EQ(banded_window_cycles(1), 1u);
+  EXPECT_EQ(banded_window_cycles(128), 255u);
+}
+
+}  // namespace
+}  // namespace psc::align

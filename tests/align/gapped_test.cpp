@@ -1,0 +1,261 @@
+#include "align/gapped.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace psc::align {
+namespace {
+
+std::vector<std::uint8_t> encode(const std::string& letters) {
+  std::vector<std::uint8_t> out;
+  for (const char c : letters) out.push_back(bio::encode_protein(c));
+  return out;
+}
+
+int self_score(const std::vector<std::uint8_t>& s,
+               const bio::SubstitutionMatrix& m) {
+  int total = 0;
+  for (const auto r : s) total += m.score(r, r);
+  return total;
+}
+
+TEST(SmithWaterman, IdenticalSequences) {
+  const auto s = encode("MKVLARNDCQ");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const Alignment a = smith_waterman(s, s, m, GapParams{});
+  EXPECT_EQ(a.score, self_score(s, m));
+  EXPECT_EQ(a.begin0, 0u);
+  EXPECT_EQ(a.end0, s.size());
+  EXPECT_EQ(a.ops.size(), s.size());
+  for (const Op op : a.ops) EXPECT_EQ(op, Op::kMatch);
+  EXPECT_DOUBLE_EQ(a.identity(s, s), 1.0);
+}
+
+TEST(SmithWaterman, FindsLocalCore) {
+  // Unrelated flanks around a strong shared core.
+  const auto a = encode("GGGG" "MKVLARNDCQ" "GGGG");
+  const auto b = encode("PPPP" "MKVLARNDCQ" "PPPP");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const Alignment alignment = smith_waterman(a, b, m, GapParams{});
+  const auto core = encode("MKVLARNDCQ");
+  EXPECT_EQ(alignment.score, self_score(core, m));
+  EXPECT_EQ(alignment.begin0, 4u);
+  EXPECT_EQ(alignment.end0, 14u);
+  EXPECT_EQ(alignment.begin1, 4u);
+  EXPECT_EQ(alignment.end1, 14u);
+}
+
+TEST(SmithWaterman, IntroducesGapWhenWorthIt) {
+  // b equals a with three residues deleted from the middle; affine cost
+  // open+3*ext = 14 is far less than losing the second half.
+  const auto a = encode("MKVLARNDCQEGHILKMFPSTWYV");
+  auto b_letters = std::string("MKVLARNDCQ") + "LKMFPSTWYV";  // drop "EGHI"?
+  const auto b = encode(b_letters);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const Alignment alignment = smith_waterman(a, b, m, GapParams{});
+  std::size_t inserts = 0;
+  for (const Op op : alignment.ops) inserts += op == Op::kInsert0 ? 1 : 0;
+  EXPECT_EQ(inserts, 4u);  // the EGHI deletion
+  EXPECT_GT(alignment.score,
+            self_score(encode("MKVLARNDCQ"), m));
+}
+
+TEST(SmithWaterman, NoPositivePairGivesEmptyAlignment) {
+  const auto a = encode("GGGG");
+  const auto b = encode("WWWW");
+  const Alignment alignment =
+      smith_waterman(a, b, bio::SubstitutionMatrix::blosum62(), GapParams{});
+  EXPECT_EQ(alignment.score, 0);
+  EXPECT_TRUE(alignment.ops.empty());
+}
+
+TEST(SmithWaterman, RenderShowsGapsAndMidline) {
+  const auto a = encode("MKVLAR");
+  const auto b = encode("MKAR");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  GapParams cheap;
+  cheap.open = 2;
+  cheap.extend = 1;
+  const Alignment alignment = smith_waterman(a, b, m, cheap);
+  const auto rows = alignment.render(a, b);
+  EXPECT_EQ(rows[0].size(), rows[1].size());
+  EXPECT_EQ(rows[1].size(), rows[2].size());
+  // Row 2 must contain the gap dashes for the VL deletion.
+  EXPECT_NE(rows[2].find('-'), std::string::npos);
+}
+
+TEST(XdropGappedHalf, EmptyInputsScoreZero) {
+  const auto s = encode("MKVL");
+  const std::vector<std::uint8_t> empty;
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  EXPECT_EQ(xdrop_gapped_half(empty, s, m, GapParams{}).score, 0);
+  EXPECT_EQ(xdrop_gapped_half(s, empty, m, GapParams{}).score, 0);
+}
+
+TEST(XdropGappedHalf, PerfectPrefixConsumesAll) {
+  const auto s = encode("MKVLARNDCQ");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const HalfExtension half = xdrop_gapped_half(s, s, m, GapParams{});
+  EXPECT_EQ(half.score, self_score(s, m));
+  EXPECT_EQ(half.end0, s.size());
+  EXPECT_EQ(half.end1, s.size());
+}
+
+TEST(XdropGappedHalf, StopsAtHostileTail) {
+  const auto a = encode("MKVLAR" "GGGGGGGGGG");
+  const auto b = encode("MKVLAR" "WWWWWWWWWW");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const HalfExtension half = xdrop_gapped_half(a, b, m, GapParams{});
+  EXPECT_EQ(half.end0, 6u);
+  EXPECT_EQ(half.score, self_score(encode("MKVLAR"), m));
+}
+
+TEST(XdropGappedHalf, BridgesGapInPrefix) {
+  // b has 2 extra residues inserted after a matching prefix; the half
+  // extension should gap over them and keep extending.
+  const auto a = encode("MKVLARNDCQEG");
+  const auto b = encode("MKVLAR" "PP" "NDCQEG");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  GapParams params;
+  params.x_drop = 30;
+  const HalfExtension half = xdrop_gapped_half(a, b, m, params);
+  EXPECT_EQ(half.end0, a.size());
+  EXPECT_EQ(half.end1, b.size());
+  const int expected =
+      self_score(a, m) - (params.open + 2 * params.extend);
+  EXPECT_EQ(half.score, expected);
+}
+
+TEST(XdropGappedExtend, AnchoredOnSharedCore) {
+  const auto a = encode("GGGGGG" "MKVLARNDCQ" "GGGGGG");
+  const auto b = encode("PPP" "MKVLARNDCQ" "PP");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const Alignment alignment =
+      xdrop_gapped_extend(a, b, 6, 3, 4, m, GapParams{});
+  const auto core = encode("MKVLARNDCQ");
+  EXPECT_EQ(alignment.score, self_score(core, m));
+  EXPECT_EQ(alignment.begin0, 6u);
+  EXPECT_EQ(alignment.end0, 16u);
+}
+
+TEST(XdropGappedExtend, TracebackMatchesScore) {
+  const auto a = encode("GGGMKVLARNDCQEGHIKWWW");
+  const auto b = encode("TTMKVLARPPNDCQEGHIKSS");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  GapParams params;
+  params.x_drop = 40;
+  const Alignment plain = xdrop_gapped_extend(a, b, 3, 2, 4, m, params, false);
+  const Alignment traced = xdrop_gapped_extend(a, b, 3, 2, 4, m, params, true);
+  EXPECT_GE(traced.score, plain.score);
+  EXPECT_FALSE(traced.ops.empty());
+
+  // Re-score the traced ops by hand; must equal the reported score.
+  int rescore = 0;
+  std::size_t i = traced.begin0;
+  std::size_t j = traced.begin1;
+  bool in_gap0 = false;
+  bool in_gap1 = false;
+  for (const Op op : traced.ops) {
+    switch (op) {
+      case Op::kMatch:
+        rescore += m.score(a[i++], b[j++]);
+        in_gap0 = in_gap1 = false;
+        break;
+      case Op::kInsert0:
+        rescore -= in_gap0 ? params.extend : params.open + params.extend;
+        in_gap0 = true;
+        in_gap1 = false;
+        ++i;
+        break;
+      case Op::kInsert1:
+        rescore -= in_gap1 ? params.extend : params.open + params.extend;
+        in_gap1 = true;
+        in_gap0 = false;
+        ++j;
+        break;
+    }
+  }
+  EXPECT_EQ(i, traced.end0);
+  EXPECT_EQ(j, traced.end1);
+  EXPECT_EQ(rescore, traced.score);
+}
+
+TEST(XdropGappedExtend, AnchorOutsideThrows) {
+  const auto s = encode("MKVL");
+  EXPECT_THROW(xdrop_gapped_extend(s, s, 2, 2, 4,
+                                   bio::SubstitutionMatrix::blosum62(),
+                                   GapParams{}),
+               std::out_of_range);
+}
+
+TEST(XdropGappedExtend, AtLeastUngappedDiagonalScore) {
+  // Property: gapped extension score >= the pure-diagonal score from the
+  // same anchor, on random homologous-ish sequences.
+  util::Xoshiro256 rng(99);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> a(60);
+    for (auto& r : a) r = static_cast<std::uint8_t>(rng.bounded(20));
+    std::vector<std::uint8_t> b = a;
+    for (int k = 0; k < 10; ++k) {
+      b[rng.bounded(b.size())] = static_cast<std::uint8_t>(rng.bounded(20));
+    }
+    const Alignment gapped =
+        xdrop_gapped_extend(a, b, 30, 30, 4, m, GapParams{});
+    int diag = 0, run = 0;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      run += m.score(a[k], b[k]);
+      if (run < 0) run = 0;
+      diag = std::max(diag, run);
+    }
+    // The gapped search explores a superset of diagonal-only paths from
+    // the anchor; allow equality with the anchored-diagonal score.
+    int anchored_diag = 0;
+    {
+      int best_l = 0, s = 0;
+      for (std::size_t k = 30; k-- > 0;) {
+        s += m.score(a[k], b[k]);
+        best_l = std::max(best_l, s);
+      }
+      int best_r = 0;
+      s = 0;
+      for (std::size_t k = 34; k < a.size(); ++k) {
+        s += m.score(a[k], b[k]);
+        best_r = std::max(best_r, s);
+      }
+      int seed = 0;
+      for (std::size_t k = 30; k < 34; ++k) seed += m.score(a[k], b[k]);
+      anchored_diag = best_l + seed + best_r;
+    }
+    EXPECT_GE(gapped.score, anchored_diag);
+  }
+}
+
+class GapParamSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GapParamSweep, HigherPenaltiesNeverRaiseScore) {
+  const auto [open, extend] = GetParam();
+  const auto a = encode("MKVLARNDCQEGHIKMFPST");
+  const auto b = encode("MKVLAPPRNDCQEGHIKMFPST");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  GapParams loose;
+  loose.open = open;
+  loose.extend = extend;
+  loose.x_drop = 50;
+  GapParams tight = loose;
+  tight.open += 5;
+  const Alignment cheap = xdrop_gapped_extend(a, b, 0, 0, 4, m, loose);
+  const Alignment costly = xdrop_gapped_extend(a, b, 0, 0, 4, m, tight);
+  EXPECT_GE(cheap.score, costly.score);
+}
+
+INSTANTIATE_TEST_SUITE_P(Penalties, GapParamSweep,
+                         ::testing::Values(std::make_pair(5, 1),
+                                           std::make_pair(8, 2),
+                                           std::make_pair(11, 1),
+                                           std::make_pair(15, 3)));
+
+}  // namespace
+}  // namespace psc::align

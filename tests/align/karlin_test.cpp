@@ -1,0 +1,172 @@
+#include "align/karlin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace psc::align {
+namespace {
+
+TEST(SolveKarlin, Blosum62LambdaMatchesPublishedValue) {
+  const KarlinParams params = solve_karlin(bio::SubstitutionMatrix::blosum62());
+  // NCBI reports ungapped lambda = 0.3176 for BLOSUM62 with Robinson
+  // frequencies.
+  EXPECT_NEAR(params.lambda, 0.3176, 0.01);
+}
+
+TEST(SolveKarlin, Blosum62EntropyMatchesPublishedValue) {
+  const KarlinParams params = solve_karlin(bio::SubstitutionMatrix::blosum62());
+  EXPECT_NEAR(params.h, 0.40, 0.05);
+}
+
+TEST(SolveKarlin, LambdaSatisfiesDefiningEquation) {
+  const KarlinParams params = solve_karlin(bio::SubstitutionMatrix::blosum62());
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const auto& freq = bio::robinson_frequencies();
+  double phi = 0.0;
+  for (std::size_t i = 0; i < bio::kNumAminoAcids; ++i) {
+    for (std::size_t j = 0; j < bio::kNumAminoAcids; ++j) {
+      phi += freq[i] * freq[j] *
+             std::exp(params.lambda *
+                      m.score(static_cast<bio::Residue>(i),
+                              static_cast<bio::Residue>(j)));
+    }
+  }
+  EXPECT_NEAR(phi, 1.0, 1e-6);
+}
+
+TEST(SolveKarlin, PositiveExpectedScoreThrows) {
+  const bio::SubstitutionMatrix all_match = bio::SubstitutionMatrix::identity(1, 1);
+  EXPECT_THROW(solve_karlin(all_match), std::invalid_argument);
+}
+
+TEST(SolveKarlin, NoPositiveScoreThrows) {
+  const bio::SubstitutionMatrix all_bad = bio::SubstitutionMatrix::identity(-1, -2);
+  EXPECT_THROW(solve_karlin(all_bad), std::invalid_argument);
+}
+
+TEST(SolveKarlin, IdentityMatrixHasClosedFormLambda) {
+  // For match +1 / mismatch -1 with uniform-ish frequencies the root is
+  // ln((1-p)/p ... ) -- just check monotone sanity: a stronger match score
+  // gives a smaller lambda.
+  const KarlinParams weak = solve_karlin(bio::SubstitutionMatrix::identity(1, -2));
+  const KarlinParams strong = solve_karlin(bio::SubstitutionMatrix::identity(3, -2));
+  EXPECT_GT(weak.lambda, strong.lambda);
+}
+
+TEST(Presets, PublishedConstants) {
+  const KarlinParams u = blosum62_ungapped();
+  EXPECT_DOUBLE_EQ(u.lambda, 0.3176);
+  EXPECT_DOUBLE_EQ(u.k, 0.134);
+  const KarlinParams g = blosum62_gapped_11_1();
+  EXPECT_DOUBLE_EQ(g.lambda, 0.267);
+  EXPECT_DOUBLE_EQ(g.k, 0.041);
+}
+
+TEST(BitScore, KnownConversion) {
+  const KarlinParams g = blosum62_gapped_11_1();
+  // bits = (0.267 * 100 - ln 0.041) / ln 2 = (26.7 + 3.194) / 0.693.
+  EXPECT_NEAR(bit_score(100, g), 43.1, 0.2);
+}
+
+TEST(EValue, DecreasesWithScore) {
+  const KarlinParams g = blosum62_gapped_11_1();
+  const double e1 = e_value(50, 300, 1e6, g);
+  const double e2 = e_value(60, 300, 1e6, g);
+  EXPECT_GT(e1, e2);
+  EXPECT_GT(e2, 0.0);
+}
+
+TEST(EValue, ScalesLinearlyWithSearchSpace) {
+  const KarlinParams g = blosum62_gapped_11_1();
+  const double e1 = e_value(50, 300, 1e6, g);
+  const double e2 = e_value(50, 300, 2e6, g);
+  EXPECT_NEAR(e2 / e1, 2.0, 1e-9);
+}
+
+TEST(ScoreForEValue, InvertsEValue) {
+  const KarlinParams g = blosum62_gapped_11_1();
+  const int score = score_for_e_value(1e-3, 300, 1e6, g);
+  EXPECT_LE(e_value(score, 300, 1e6, g), 1e-3);
+  EXPECT_GT(e_value(score - 1, 300, 1e6, g), 1e-3);
+}
+
+TEST(ScoreForEValue, NonPositiveTargetThrows) {
+  EXPECT_THROW(score_for_e_value(0.0, 1, 1, blosum62_gapped_11_1()),
+               std::invalid_argument);
+}
+
+TEST(ResidueFrequencies, CountsStandardResidues) {
+  const std::vector<std::uint8_t> seq = {0, 0, 1, 2};  // A A R N
+  const auto freq = residue_frequencies(seq);
+  EXPECT_DOUBLE_EQ(freq[0], 0.5);
+  EXPECT_DOUBLE_EQ(freq[1], 0.25);
+  EXPECT_DOUBLE_EQ(freq[2], 0.25);
+  EXPECT_DOUBLE_EQ(freq[3], 0.0);
+}
+
+TEST(ResidueFrequencies, IgnoresNonStandard) {
+  const std::vector<std::uint8_t> seq = {0, bio::kUnknownX, bio::kStop, 0};
+  const auto freq = residue_frequencies(seq);
+  EXPECT_DOUBLE_EQ(freq[0], 1.0);
+}
+
+TEST(ResidueFrequencies, EmptyFallsBackToBackground) {
+  const auto freq = residue_frequencies({});
+  EXPECT_EQ(freq, bio::robinson_frequencies());
+}
+
+TEST(CompositionAdjusted, BackgroundCompositionKeepsLambda) {
+  // A long query with near-background composition must get (almost) the
+  // base lambda back.
+  std::vector<std::uint8_t> query;
+  const auto& background = bio::robinson_frequencies();
+  for (std::uint8_t r = 0; r < bio::kNumAminoAcids; ++r) {
+    const auto copies = static_cast<std::size_t>(background[r] * 10000);
+    query.insert(query.end(), copies, r);
+  }
+  const KarlinParams base = blosum62_gapped_11_1();
+  const KarlinParams adjusted = composition_adjusted(
+      query, bio::SubstitutionMatrix::blosum62(), base);
+  EXPECT_NEAR(adjusted.lambda, base.lambda, 0.01);
+  EXPECT_DOUBLE_EQ(adjusted.k, base.k);
+}
+
+TEST(CompositionAdjusted, BiasedCompositionLowersLambda) {
+  // An alanine-enriched (low-complexity) query self-aligns with inflated
+  // raw scores; composition statistics compensate with a smaller lambda
+  // (scores are worth less). Background + 30% extra alanine.
+  std::vector<std::uint8_t> query;
+  const auto& background = bio::robinson_frequencies();
+  for (std::uint8_t r = 0; r < bio::kNumAminoAcids; ++r) {
+    const auto copies = static_cast<std::size_t>(background[r] * 10000);
+    query.insert(query.end(), copies, r);
+  }
+  query.insert(query.end(), 3000, bio::encode_protein('A'));
+  const KarlinParams base = blosum62_gapped_11_1();
+  const KarlinParams adjusted = composition_adjusted(
+      query, bio::SubstitutionMatrix::blosum62(), base);
+  EXPECT_LT(adjusted.lambda, base.lambda - 0.02);
+}
+
+TEST(CompositionAdjusted, ExtremeBiasFallsBackToBase) {
+  // All-alanine: the expected pair score turns positive, no lambda root
+  // exists, and the adjustment must fall back to the base parameters.
+  std::vector<std::uint8_t> query(500, bio::encode_protein('A'));
+  const KarlinParams base = blosum62_gapped_11_1();
+  const KarlinParams adjusted = composition_adjusted(
+      query, bio::SubstitutionMatrix::blosum62(), base);
+  EXPECT_DOUBLE_EQ(adjusted.lambda, base.lambda);
+}
+
+TEST(CompositionAdjusted, DegenerateInputFallsBack) {
+  // All-X query: frequencies fall back to background; lambda ~ base.
+  std::vector<std::uint8_t> query(100, bio::kUnknownX);
+  const KarlinParams base = blosum62_gapped_11_1();
+  const KarlinParams adjusted = composition_adjusted(
+      query, bio::SubstitutionMatrix::blosum62(), base);
+  EXPECT_NEAR(adjusted.lambda, base.lambda, 0.01);
+}
+
+}  // namespace
+}  // namespace psc::align

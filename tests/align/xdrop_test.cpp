@@ -1,0 +1,97 @@
+#include "align/xdrop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace psc::align {
+namespace {
+
+std::vector<std::uint8_t> encode(const std::string& letters) {
+  std::vector<std::uint8_t> out;
+  for (const char c : letters) out.push_back(bio::encode_protein(c));
+  return out;
+}
+
+TEST(XdropUngapped, PerfectMatchExtendsFully) {
+  const auto s = encode("MKVLARNDCQ");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const UngappedExtension ext =
+      xdrop_ungapped_extend(s, s, 3, 3, 3, m, 20);
+  EXPECT_EQ(ext.begin0, 0u);
+  EXPECT_EQ(ext.end0, s.size());
+  EXPECT_EQ(ext.begin1, 0u);
+  EXPECT_EQ(ext.end1, s.size());
+  int full = 0;
+  for (const auto r : s) full += m.score(r, r);
+  EXPECT_EQ(ext.score, full);
+}
+
+TEST(XdropUngapped, SeedOnlyWhenFlanksHostile) {
+  const auto a = encode("GGGGMKVLGGGG");
+  const auto b = encode("WWWWMKVLWWWW");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const UngappedExtension ext = xdrop_ungapped_extend(a, b, 4, 4, 4, m, 100);
+  // G/W scores -2; extensions only lose. Best is the seed alone.
+  EXPECT_EQ(ext.begin0, 4u);
+  EXPECT_EQ(ext.end0, 8u);
+  int seed = 0;
+  for (int i = 0; i < 4; ++i) seed += m.score(a[4 + i], b[4 + i]);
+  EXPECT_EQ(ext.score, seed);
+}
+
+TEST(XdropUngapped, StopsAfterXDropExceeded) {
+  // Good seed, then a long bad stretch, then a great region. With a small
+  // X-drop the extension must stop before the far region.
+  const auto a = encode("MKVL" "GGGGGGGG" "WWWWWWWW");
+  const auto b = encode("MKVL" "WWWWWWWW" "WWWWWWWW");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const UngappedExtension small_x = xdrop_ungapped_extend(a, b, 0, 0, 4, m, 5);
+  EXPECT_EQ(small_x.end0, 4u);  // never crosses the G/W desert
+  const UngappedExtension big_x = xdrop_ungapped_extend(a, b, 0, 0, 4, m, 100);
+  EXPECT_GT(big_x.end0, 12u);  // large X-drop tunnels through
+  EXPECT_GT(big_x.score, small_x.score);
+}
+
+TEST(XdropUngapped, AsymmetricPositions) {
+  const auto a = encode("AAAMKVLAR");
+  const auto b = encode("MKVLAR");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const UngappedExtension ext = xdrop_ungapped_extend(a, b, 3, 0, 4, m, 20);
+  EXPECT_EQ(ext.begin0, 3u);
+  EXPECT_EQ(ext.begin1, 0u);
+  EXPECT_EQ(ext.end0, 9u);
+  EXPECT_EQ(ext.end1, 6u);
+}
+
+TEST(XdropUngapped, SeedOutsideThrows) {
+  const auto s = encode("MKVL");
+  EXPECT_THROW(xdrop_ungapped_extend(s, s, 2, 2, 4,
+                                     bio::SubstitutionMatrix::blosum62(), 10),
+               std::out_of_range);
+}
+
+TEST(XdropUngapped, ScoreNeverBelowSeedScore) {
+  util::Xoshiro256 rng(4242);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> a(40), b(40);
+    for (auto& r : a) r = static_cast<std::uint8_t>(rng.bounded(20));
+    for (auto& r : b) r = static_cast<std::uint8_t>(rng.bounded(20));
+    const std::size_t pos = 10 + rng.bounded(15);
+    const UngappedExtension ext =
+        xdrop_ungapped_extend(a, b, pos, pos, 4, m, 12);
+    int seed = 0;
+    for (int i = 0; i < 4; ++i) {
+      seed += m.score(a[pos + static_cast<std::size_t>(i)],
+                      b[pos + static_cast<std::size_t>(i)]);
+    }
+    EXPECT_GE(ext.score, seed);
+    EXPECT_LE(ext.begin0, pos);
+    EXPECT_GE(ext.end0, pos + 4);
+    EXPECT_EQ(ext.end0 - ext.begin0, ext.end1 - ext.begin1);
+  }
+}
+
+}  // namespace
+}  // namespace psc::align

@@ -1,0 +1,110 @@
+#include "bio/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace psc::bio {
+namespace {
+
+TEST(ProteinAlphabet, RoundTripsAllLetters) {
+  for (std::size_t i = 0; i < kProteinLetters.size(); ++i) {
+    const char letter = kProteinLetters[i];
+    EXPECT_EQ(encode_protein(letter), static_cast<Residue>(i));
+    EXPECT_EQ(decode_protein(static_cast<Residue>(i)), letter);
+  }
+}
+
+TEST(ProteinAlphabet, LowercaseAccepted) {
+  EXPECT_EQ(encode_protein('a'), encode_protein('A'));
+  EXPECT_EQ(encode_protein('w'), encode_protein('W'));
+}
+
+TEST(ProteinAlphabet, UnknownMapsToX) {
+  EXPECT_EQ(encode_protein('?'), kUnknownX);
+  EXPECT_EQ(encode_protein('1'), kUnknownX);
+  EXPECT_EQ(encode_protein(' '), kUnknownX);
+}
+
+TEST(ProteinAlphabet, RareCodesCollapse) {
+  EXPECT_EQ(encode_protein('U'), encode_protein('C'));  // selenocysteine
+  EXPECT_EQ(encode_protein('O'), encode_protein('K'));  // pyrrolysine
+  EXPECT_EQ(encode_protein('J'), encode_protein('L'));  // Leu/Ile ambiguity
+}
+
+TEST(ProteinAlphabet, SpecialCodes) {
+  EXPECT_EQ(encode_protein('B'), kAmbiguousB);
+  EXPECT_EQ(encode_protein('Z'), kAmbiguousZ);
+  EXPECT_EQ(encode_protein('X'), kUnknownX);
+  EXPECT_EQ(encode_protein('*'), kStop);
+  EXPECT_FALSE(is_standard_aa(kStop));
+  EXPECT_TRUE(is_standard_aa(0));
+  EXPECT_TRUE(is_standard_aa(19));
+  EXPECT_FALSE(is_standard_aa(20));
+}
+
+TEST(ProteinAlphabet, DecodeOutOfRangeIsX) {
+  EXPECT_EQ(decode_protein(200), 'X');
+}
+
+TEST(NucleotideAlphabet, RoundTrips) {
+  EXPECT_EQ(encode_nucleotide('A'), 0);
+  EXPECT_EQ(encode_nucleotide('C'), 1);
+  EXPECT_EQ(encode_nucleotide('G'), 2);
+  EXPECT_EQ(encode_nucleotide('T'), 3);
+  EXPECT_EQ(encode_nucleotide('t'), 3);
+  EXPECT_EQ(encode_nucleotide('N'), kNucleotideN);
+  EXPECT_EQ(encode_nucleotide('R'), kNucleotideN);  // IUPAC ambiguity
+  for (std::uint8_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(encode_nucleotide(decode_nucleotide(c)), c);
+  }
+}
+
+TEST(NucleotideAlphabet, UracilReadsAsT) {
+  EXPECT_EQ(encode_nucleotide('U'), 3);
+}
+
+TEST(NucleotideAlphabet, ComplementIsInvolution) {
+  for (std::uint8_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(complement(complement(c)), c);
+  }
+  EXPECT_EQ(complement(kNucleotideN), kNucleotideN);
+}
+
+TEST(NucleotideAlphabet, ComplementPairs) {
+  EXPECT_EQ(complement(encode_nucleotide('A')), encode_nucleotide('T'));
+  EXPECT_EQ(complement(encode_nucleotide('C')), encode_nucleotide('G'));
+}
+
+TEST(EncodeStrings, ProteinString) {
+  const auto encoded = encode_protein_string("ARN*");
+  ASSERT_EQ(encoded.size(), 4u);
+  EXPECT_EQ(encoded[0], 0);
+  EXPECT_EQ(encoded[1], 1);
+  EXPECT_EQ(encoded[2], 2);
+  EXPECT_EQ(encoded[3], kStop);
+}
+
+TEST(EncodeStrings, DnaString) {
+  const auto encoded = encode_dna_string("ACGTN");
+  ASSERT_EQ(encoded.size(), 5u);
+  EXPECT_EQ(encoded[4], kNucleotideN);
+}
+
+TEST(RobinsonFrequencies, SumToOne) {
+  const auto& freq = robinson_frequencies();
+  const double sum = std::accumulate(freq.begin(), freq.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+  for (const double f : freq) EXPECT_GT(f, 0.0);
+}
+
+TEST(RobinsonFrequencies, LeucineMostCommon) {
+  const auto& freq = robinson_frequencies();
+  const Residue leu = encode_protein('L');
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    if (i != leu) EXPECT_GT(freq[leu], freq[i]);
+  }
+}
+
+}  // namespace
+}  // namespace psc::bio

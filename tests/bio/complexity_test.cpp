@@ -1,0 +1,106 @@
+#include "bio/complexity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "index/index_table.hpp"
+
+#include "sim/protein_generator.hpp"
+#include "util/rng.hpp"
+
+namespace psc::bio {
+namespace {
+
+TEST(ShannonEntropy, HomopolymerIsZero) {
+  const auto seq = encode_protein_string("AAAAAAAA");
+  EXPECT_DOUBLE_EQ(shannon_entropy_bits({seq.data(), seq.size()}), 0.0);
+}
+
+TEST(ShannonEntropy, TwoSymbolsEqualMixIsOneBit) {
+  const auto seq = encode_protein_string("ARARARAR");
+  EXPECT_NEAR(shannon_entropy_bits({seq.data(), seq.size()}), 1.0, 1e-12);
+}
+
+TEST(ShannonEntropy, UniformTwentyIsLogTwenty) {
+  const auto seq = encode_protein_string("ARNDCQEGHILKMFPSTWYV");
+  EXPECT_NEAR(shannon_entropy_bits({seq.data(), seq.size()}),
+              std::log2(20.0), 1e-9);
+}
+
+TEST(ShannonEntropy, IgnoresNonStandard) {
+  const auto with_x = encode_protein_string("AXAXAXAX");
+  EXPECT_DOUBLE_EQ(shannon_entropy_bits({with_x.data(), with_x.size()}), 0.0);
+  EXPECT_DOUBLE_EQ(shannon_entropy_bits({}), 0.0);
+}
+
+TEST(MaskLowComplexity, MasksHomopolymerRun) {
+  Sequence seq = Sequence::protein_from_letters(
+      "p", "MKVLARNDCQEG" "AAAAAAAAAAAAAAAA" "HIKWFPSTYVMKVL");
+  const std::size_t masked = mask_low_complexity(seq);
+  EXPECT_GE(masked, 16u);
+  const std::string letters = seq.to_letters();
+  EXPECT_NE(letters.find("XXXXXXXXXXXXXXXX"), std::string::npos);
+  // The complex head survives apart from boundary bleed: windows mixing
+  // head residues with the run mask once the run dominates them, so up
+  // to window-1 flanking residues may go; the start must stay intact.
+  EXPECT_EQ(letters.rfind("MKVLARN", 0), 0u);
+}
+
+TEST(MaskLowComplexity, LeavesRandomProteinAlone) {
+  util::Xoshiro256 rng(5);
+  Sequence seq = sim::generate_protein("p", 400, rng);
+  const std::string before = seq.to_letters();
+  const std::size_t masked = mask_low_complexity(seq);
+  // Random Robinson-composition sequence has entropy ~4 bits per window;
+  // essentially nothing should trigger at the 2.2-bit threshold.
+  EXPECT_LT(masked, 20u);
+  if (masked == 0) EXPECT_EQ(seq.to_letters(), before);
+}
+
+TEST(MaskLowComplexity, ShortSequenceUntouched) {
+  Sequence seq = Sequence::protein_from_letters("p", "AAAA");  // < window
+  EXPECT_EQ(mask_low_complexity(seq), 0u);
+  EXPECT_EQ(seq.to_letters(), "AAAA");
+}
+
+TEST(MaskLowComplexity, DnaSequenceIgnored) {
+  Sequence dna = Sequence::dna_from_letters("g", "AAAAAAAAAAAAAAAA");
+  EXPECT_EQ(mask_low_complexity(dna), 0u);
+}
+
+TEST(MaskLowComplexity, ThresholdControlsAggression) {
+  const char* letters = "MKVLAR" "ARARARARARAR" "NDCQEG";  // 1-bit middle
+  Sequence strict = Sequence::protein_from_letters("p", letters);
+  Sequence loose = Sequence::protein_from_letters("p", letters);
+  MaskConfig aggressive;
+  aggressive.min_entropy_bits = 1.5;  // masks the AR repeat
+  MaskConfig permissive;
+  permissive.min_entropy_bits = 0.5;  // keeps it
+  EXPECT_GT(mask_low_complexity(strict, aggressive), 0u);
+  EXPECT_EQ(mask_low_complexity(loose, permissive), 0u);
+}
+
+TEST(MaskLowComplexity, BankMasksAllMembers) {
+  SequenceBank bank(SequenceKind::kProtein);
+  bank.add(Sequence::protein_from_letters("a", "AAAAAAAAAAAAAAAA"));
+  bank.add(Sequence::protein_from_letters("b", "SSSSSSSSSSSSSSSS"));
+  const std::size_t masked = mask_low_complexity(bank);
+  EXPECT_EQ(masked, 32u);
+  EXPECT_EQ(bank[0].to_letters(), std::string(16, 'X'));
+}
+
+TEST(MaskLowComplexity, MaskedRegionsProduceNoSeeds) {
+  // The point of masking: a masked bank contributes no index entries in
+  // the repeat region.
+  SequenceBank bank(SequenceKind::kProtein);
+  bank.add(Sequence::protein_from_letters(
+      "p", "MKVLARNDCQEG" "AAAAAAAAAAAAAAAA" "HIKWFPSTYV"));
+  const index::IndexTable before(bank, index::SeedModel::subset_w4());
+  mask_low_complexity(bank);
+  const index::IndexTable after(bank, index::SeedModel::subset_w4());
+  EXPECT_LT(after.total_occurrences(), before.total_occurrences());
+}
+
+}  // namespace
+}  // namespace psc::bio

@@ -1,0 +1,83 @@
+#include "bio/genetic_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace psc::bio {
+namespace {
+
+std::uint8_t codon(const char* letters) {
+  return pack_codon(encode_nucleotide(letters[0]), encode_nucleotide(letters[1]),
+                    encode_nucleotide(letters[2]));
+}
+
+TEST(GeneticCode, StartCodonIsMethionine) {
+  EXPECT_EQ(translate_codon(codon("ATG")), encode_protein('M'));
+}
+
+TEST(GeneticCode, StopCodons) {
+  EXPECT_EQ(translate_codon(codon("TAA")), kStop);
+  EXPECT_EQ(translate_codon(codon("TAG")), kStop);
+  EXPECT_EQ(translate_codon(codon("TGA")), kStop);
+}
+
+TEST(GeneticCode, TryptophanSingleCodon) {
+  EXPECT_EQ(translate_codon(codon("TGG")), encode_protein('W'));
+}
+
+TEST(GeneticCode, WellKnownCodons) {
+  EXPECT_EQ(translate_codon(codon("AAA")), encode_protein('K'));
+  EXPECT_EQ(translate_codon(codon("GCT")), encode_protein('A'));
+  EXPECT_EQ(translate_codon(codon("TTT")), encode_protein('F'));
+  EXPECT_EQ(translate_codon(codon("CGA")), encode_protein('R'));
+  EXPECT_EQ(translate_codon(codon("GGG")), encode_protein('G'));
+  EXPECT_EQ(translate_codon(codon("CAT")), encode_protein('H'));
+}
+
+TEST(GeneticCode, FourfoldDegenerateFamilies) {
+  // Proline: CCN all translate to P.
+  for (const char* third : {"A", "C", "G", "T"}) {
+    const std::string c = std::string("CC") + third;
+    EXPECT_EQ(translate_codon(codon(c.c_str())), encode_protein('P')) << c;
+  }
+}
+
+TEST(GeneticCode, InvalidCodonGivesX) {
+  EXPECT_EQ(pack_codon(0, 1, kNucleotideN), kInvalidCodon);
+  EXPECT_EQ(translate_codon(kInvalidCodon), kUnknownX);
+  EXPECT_EQ(translate_codon(encode_nucleotide('A'), encode_nucleotide('N'),
+                            encode_nucleotide('G')),
+            kUnknownX);
+}
+
+TEST(GeneticCode, TableCoversAllCodons) {
+  const auto& table = standard_genetic_code();
+  std::map<Residue, int> counts;
+  for (std::uint8_t c = 0; c < 64; ++c) {
+    const Residue aa = table[c];
+    ASSERT_TRUE(aa < kNumAminoAcids || aa == kStop) << int(c);
+    ++counts[aa];
+  }
+  // Exactly three stop codons and all twenty amino acids represented.
+  EXPECT_EQ(counts[kStop], 3);
+  int distinct_aas = 0;
+  for (const auto& [aa, n] : counts) {
+    if (aa < kNumAminoAcids) ++distinct_aas;
+  }
+  EXPECT_EQ(distinct_aas, 20);
+}
+
+TEST(GeneticCode, DegeneracyCountsMatchBiology) {
+  const auto& table = standard_genetic_code();
+  std::map<Residue, int> counts;
+  for (std::uint8_t c = 0; c < 64; ++c) ++counts[table[c]];
+  EXPECT_EQ(counts[encode_protein('M')], 1);
+  EXPECT_EQ(counts[encode_protein('W')], 1);
+  EXPECT_EQ(counts[encode_protein('L')], 6);
+  EXPECT_EQ(counts[encode_protein('R')], 6);
+  EXPECT_EQ(counts[encode_protein('S')], 6);
+}
+
+}  // namespace
+}  // namespace psc::bio

@@ -1,0 +1,83 @@
+#include "bio/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace psc::bio {
+namespace {
+
+TEST(Sequence, ProteinFromLettersRoundTrips) {
+  const Sequence seq = Sequence::protein_from_letters("p1", "MKVLA");
+  EXPECT_EQ(seq.id(), "p1");
+  EXPECT_EQ(seq.kind(), SequenceKind::kProtein);
+  EXPECT_EQ(seq.size(), 5u);
+  EXPECT_EQ(seq.to_letters(), "MKVLA");
+}
+
+TEST(Sequence, DnaFromLettersRoundTrips) {
+  const Sequence seq = Sequence::dna_from_letters("d1", "ACGTACGT");
+  EXPECT_EQ(seq.kind(), SequenceKind::kDna);
+  EXPECT_EQ(seq.to_letters(), "ACGTACGT");
+}
+
+TEST(Sequence, EmptySequence) {
+  const Sequence seq = Sequence::protein_from_letters("empty", "");
+  EXPECT_TRUE(seq.empty());
+  EXPECT_EQ(seq.to_letters(), "");
+}
+
+TEST(Sequence, SubsequenceExtractsRange) {
+  const Sequence seq = Sequence::protein_from_letters("p", "ARNDCQ");
+  const Sequence sub = seq.subsequence(2, 3);
+  EXPECT_EQ(sub.to_letters(), "NDC");
+  EXPECT_EQ(sub.kind(), SequenceKind::kProtein);
+}
+
+TEST(Sequence, SubsequenceClampsAtEnd) {
+  const Sequence seq = Sequence::protein_from_letters("p", "ARND");
+  EXPECT_EQ(seq.subsequence(2, 100).to_letters(), "ND");
+}
+
+TEST(Sequence, SubsequenceOutOfRangeThrows) {
+  const Sequence seq = Sequence::protein_from_letters("p", "AR");
+  EXPECT_THROW(seq.subsequence(3, 1), std::out_of_range);
+}
+
+TEST(SequenceBank, TracksTotals) {
+  SequenceBank bank(SequenceKind::kProtein);
+  EXPECT_TRUE(bank.empty());
+  bank.add(Sequence::protein_from_letters("a", "ARN"));
+  bank.add(Sequence::protein_from_letters("b", "ARNDCQE"));
+  EXPECT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank.total_residues(), 10u);
+  EXPECT_EQ(bank.max_length(), 7u);
+}
+
+TEST(SequenceBank, AddReturnsIndex) {
+  SequenceBank bank(SequenceKind::kProtein);
+  EXPECT_EQ(bank.add(Sequence::protein_from_letters("a", "M")), 0u);
+  EXPECT_EQ(bank.add(Sequence::protein_from_letters("b", "M")), 1u);
+  EXPECT_EQ(bank[1].id(), "b");
+}
+
+TEST(SequenceBank, KindMismatchThrows) {
+  SequenceBank bank(SequenceKind::kProtein);
+  EXPECT_THROW(bank.add(Sequence::dna_from_letters("d", "ACGT")),
+               std::invalid_argument);
+}
+
+TEST(SequenceBank, IterationVisitsAll) {
+  SequenceBank bank(SequenceKind::kDna);
+  bank.add(Sequence::dna_from_letters("a", "AC"));
+  bank.add(Sequence::dna_from_letters("b", "GT"));
+  std::size_t count = 0;
+  for (const Sequence& seq : bank) {
+    EXPECT_FALSE(seq.empty());
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace psc::bio

@@ -1,0 +1,138 @@
+#include "bio/substitution_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace psc::bio {
+namespace {
+
+TEST(Blosum62, KnownDiagonalValues) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  EXPECT_EQ(m.score(encode_protein('W'), encode_protein('W')), 11);
+  EXPECT_EQ(m.score(encode_protein('C'), encode_protein('C')), 9);
+  EXPECT_EQ(m.score(encode_protein('A'), encode_protein('A')), 4);
+  EXPECT_EQ(m.score(encode_protein('L'), encode_protein('L')), 4);
+}
+
+TEST(Blosum62, KnownOffDiagonalValues) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  EXPECT_EQ(m.score(encode_protein('A'), encode_protein('R')), -1);
+  EXPECT_EQ(m.score(encode_protein('I'), encode_protein('L')), 2);
+  EXPECT_EQ(m.score(encode_protein('W'), encode_protein('G')), -2);
+  EXPECT_EQ(m.score(encode_protein('D'), encode_protein('E')), 2);
+  EXPECT_EQ(m.score(encode_protein('K'), encode_protein('R')), 2);
+}
+
+TEST(Blosum62, IsSymmetric) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  for (Residue a = 0; a < kProteinAlphabetSize; ++a) {
+    for (Residue b = 0; b < kProteinAlphabetSize; ++b) {
+      EXPECT_EQ(m.score(a, b), m.score(b, a)) << int(a) << "," << int(b);
+    }
+  }
+}
+
+TEST(Blosum62, DiagonalDominatesRow) {
+  // Every residue scores at least as high against itself as against any
+  // other standard residue.
+  const auto& m = SubstitutionMatrix::blosum62();
+  for (Residue a = 0; a < kNumAminoAcids; ++a) {
+    for (Residue b = 0; b < kNumAminoAcids; ++b) {
+      EXPECT_GE(m.score(a, a), m.score(a, b));
+    }
+  }
+}
+
+TEST(Blosum62, ScoreRange) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  EXPECT_EQ(m.min_score(), -4);
+  EXPECT_EQ(m.max_score(), 11);
+}
+
+TEST(Blosum62, StopPenalized) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  EXPECT_EQ(m.score(kStop, encode_protein('A')), -4);
+  EXPECT_EQ(m.score(kStop, kStop), 1);
+}
+
+TEST(Blosum62, OutOfRangeCodesScoreAsX) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  EXPECT_EQ(m.score(200, encode_protein('A')),
+            m.score(kUnknownX, encode_protein('A')));
+}
+
+TEST(IdentityMatrix, MatchMismatch) {
+  const SubstitutionMatrix m = SubstitutionMatrix::identity(2, -3);
+  EXPECT_EQ(m.score(0, 0), 2);
+  EXPECT_EQ(m.score(0, 1), -3);
+  EXPECT_EQ(m.name(), "identity");
+}
+
+TEST(SetScore, UpdatesCell) {
+  SubstitutionMatrix m = SubstitutionMatrix::identity();
+  m.set_score(1, 2, 7);
+  EXPECT_EQ(m.score(1, 2), 7);
+  EXPECT_EQ(m.score(2, 1), -1);  // set_score is directional
+}
+
+TEST(SetScore, OutOfRangeThrows) {
+  SubstitutionMatrix m = SubstitutionMatrix::identity();
+  EXPECT_THROW(m.set_score(kProteinAlphabetSize, 0, 1), std::out_of_range);
+}
+
+TEST(FromStream, ParsesNcbiFormat) {
+  std::istringstream in(
+      "# comment line\n"
+      "   A  R  N\n"
+      "A  4 -1 -2\n"
+      "R -1  5  0\n"
+      "N -2  0  6\n");
+  const SubstitutionMatrix m = SubstitutionMatrix::from_stream(in, "mini");
+  EXPECT_EQ(m.name(), "mini");
+  EXPECT_EQ(m.score(encode_protein('A'), encode_protein('A')), 4);
+  EXPECT_EQ(m.score(encode_protein('R'), encode_protein('N')), 0);
+  EXPECT_EQ(m.score(encode_protein('N'), encode_protein('N')), 6);
+}
+
+TEST(FromStream, RowWidthMismatchThrows) {
+  std::istringstream in(
+      "   A  R\n"
+      "A  4\n");
+  EXPECT_THROW(SubstitutionMatrix::from_stream(in, "bad"), std::runtime_error);
+}
+
+TEST(FromStream, EmptyStreamThrows) {
+  std::istringstream in("# only comments\n");
+  EXPECT_THROW(SubstitutionMatrix::from_stream(in, "bad"), std::runtime_error);
+}
+
+TEST(FromStream, RoundTripsBlosum62Subset) {
+  // Serialize a few BLOSUM62 rows and re-parse them.
+  const auto& original = SubstitutionMatrix::blosum62();
+  std::ostringstream out;
+  const std::string letters = "ARNDC";
+  out << "  ";
+  for (char c : letters) out << ' ' << c;
+  out << '\n';
+  for (char row : letters) {
+    out << row;
+    for (char col : letters) {
+      out << ' '
+          << original.score(encode_protein(row), encode_protein(col));
+    }
+    out << '\n';
+  }
+  std::istringstream in(out.str());
+  const SubstitutionMatrix parsed =
+      SubstitutionMatrix::from_stream(in, "b62-subset");
+  for (char row : letters) {
+    for (char col : letters) {
+      EXPECT_EQ(parsed.score(encode_protein(row), encode_protein(col)),
+                original.score(encode_protein(row), encode_protein(col)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psc::bio

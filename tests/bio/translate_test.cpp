@@ -1,0 +1,158 @@
+#include "bio/translate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/genetic_code.hpp"
+
+namespace psc::bio {
+namespace {
+
+TEST(Translate, ForwardFrame1) {
+  // ATG AAA TGG -> M K W
+  const Sequence dna = Sequence::dna_from_letters("g", "ATGAAATGG");
+  const TranslatedFrame frame = translate_frame(dna, 1);
+  EXPECT_EQ(frame.protein.to_letters(), "MKW");
+}
+
+TEST(Translate, ForwardFrame2And3Shift) {
+  const Sequence dna = Sequence::dna_from_letters("g", "AATGAAATGG");
+  EXPECT_EQ(translate_frame(dna, 2).protein.to_letters(), "MKW");
+  const Sequence dna3 = Sequence::dna_from_letters("g", "AAATGAAATGG");
+  EXPECT_EQ(translate_frame(dna3, 3).protein.to_letters(), "MKW");
+}
+
+TEST(Translate, ReverseFrame1IsReverseComplement) {
+  // Reverse complement of "ATGAAATGG" is "CCATTTCAT" -> P F H ... check:
+  // CCA=P TTT=F CAT=H
+  const Sequence dna = Sequence::dna_from_letters("g", "ATGAAATGG");
+  EXPECT_EQ(translate_frame(dna, -1).protein.to_letters(), "PFH");
+}
+
+TEST(Translate, StopCodonsEncodedAsStop) {
+  const Sequence dna = Sequence::dna_from_letters("g", "ATGTAAATG");
+  EXPECT_EQ(translate_frame(dna, 1).protein.to_letters(), "M*M");
+}
+
+TEST(Translate, AmbiguousNucleotideGivesX) {
+  const Sequence dna = Sequence::dna_from_letters("g", "ATGANATGG");
+  EXPECT_EQ(translate_frame(dna, 1).protein.to_letters(), "MXW");
+}
+
+TEST(Translate, ShortSequenceGivesEmptyFrame) {
+  const Sequence dna = Sequence::dna_from_letters("g", "AT");
+  EXPECT_TRUE(translate_frame(dna, 1).protein.empty());
+  EXPECT_TRUE(translate_frame(dna, -3).protein.empty());
+}
+
+TEST(Translate, SixFramesProduced) {
+  const Sequence dna = Sequence::dna_from_letters("g", "ATGAAATGGCCC");
+  const auto frames = translate_six_frames(dna);
+  ASSERT_EQ(frames.size(), 6u);
+  EXPECT_EQ(frames[0].frame, 1);
+  EXPECT_EQ(frames[3].frame, -1);
+  // Frame lengths: floor((12-shift)/3).
+  EXPECT_EQ(frames[0].protein.size(), 4u);
+  EXPECT_EQ(frames[1].protein.size(), 3u);
+  EXPECT_EQ(frames[2].protein.size(), 3u);
+}
+
+TEST(Translate, InvalidFrameThrows) {
+  const Sequence dna = Sequence::dna_from_letters("g", "ATGAAA");
+  EXPECT_THROW(translate_frame(dna, 0), std::invalid_argument);
+  EXPECT_THROW(translate_frame(dna, 4), std::invalid_argument);
+  EXPECT_THROW(translate_frame(dna, -4), std::invalid_argument);
+}
+
+TEST(Translate, ProteinInputThrows) {
+  const Sequence protein = Sequence::protein_from_letters("p", "MKV");
+  EXPECT_THROW(translate_frame(protein, 1), std::invalid_argument);
+}
+
+TEST(Translate, GenomePositionForwardFrames) {
+  const Sequence dna = Sequence::dna_from_letters("g", "ATGAAATGGCCC");
+  const auto f1 = translate_frame(dna, 1);
+  EXPECT_EQ(f1.genome_position(0, dna.size()), 0);
+  EXPECT_EQ(f1.genome_position(2, dna.size()), 6);
+  const auto f2 = translate_frame(dna, 2);
+  EXPECT_EQ(f2.genome_position(0, dna.size()), 1);
+}
+
+TEST(Translate, GenomePositionReverseFrames) {
+  const Sequence dna = Sequence::dna_from_letters("g", "ATGAAATGGCCC");
+  const auto r1 = translate_frame(dna, -1);
+  // Residue 0 of frame -1 comes from the last codon's leftmost base.
+  EXPECT_EQ(r1.genome_position(0, dna.size()), 9);
+  EXPECT_EQ(r1.genome_position(1, dna.size()), 6);
+  const auto r2 = translate_frame(dna, -2);
+  EXPECT_EQ(r2.genome_position(0, dna.size()), 8);
+}
+
+TEST(Translate, ReverseTranslationConsistency) {
+  // Translating the reverse frame must equal translating the explicit
+  // reverse complement in the matching forward frame.
+  const Sequence dna = Sequence::dna_from_letters("g", "ACGTTGCAATGCGGCTA");
+  std::string rc;
+  const std::string letters = dna.to_letters();
+  for (auto it = letters.rbegin(); it != letters.rend(); ++it) {
+    rc.push_back(decode_nucleotide(complement(encode_nucleotide(*it))));
+  }
+  const Sequence rc_dna = Sequence::dna_from_letters("rc", rc);
+  EXPECT_EQ(translate_frame(dna, -1).protein.to_letters(),
+            translate_frame(rc_dna, 1).protein.to_letters());
+  EXPECT_EQ(translate_frame(dna, -2).protein.to_letters(),
+            translate_frame(rc_dna, 2).protein.to_letters());
+  EXPECT_EQ(translate_frame(dna, -3).protein.to_letters(),
+            translate_frame(rc_dna, 3).protein.to_letters());
+}
+
+TEST(FramesToBank, SplitsAtStops) {
+  // Frame 1: MKW * MKW -> two fragments of 3 with min_length 3.
+  const Sequence dna =
+      Sequence::dna_from_letters("g", "ATGAAATGGTAAATGAAATGG");
+  const auto frames = translate_six_frames(dna);
+  const SequenceBank bank = frames_to_bank({frames[0]}, 3);
+  ASSERT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank[0].to_letters(), "MKW");
+  EXPECT_EQ(bank[1].to_letters(), "MKW");
+}
+
+TEST(FramesToBank, DropsShortFragments) {
+  const Sequence dna =
+      Sequence::dna_from_letters("g", "ATGAAATGGTAAATGAAATGG");
+  const auto frames = translate_six_frames(dna);
+  const SequenceBank bank = frames_to_bank({frames[0]}, 4);
+  EXPECT_EQ(bank.size(), 0u);
+}
+
+TEST(FramesToBankMapped, ForwardCoordinates) {
+  const Sequence dna =
+      Sequence::dna_from_letters("g", "ATGAAATGGTAAATGAAATGG");
+  const auto frames = translate_six_frames(dna);
+  std::vector<FrameFragment> fragments;
+  const SequenceBank bank =
+      frames_to_bank_mapped({frames[0]}, dna.size(), 3, fragments);
+  ASSERT_EQ(bank.size(), 2u);
+  ASSERT_EQ(fragments.size(), 2u);
+  EXPECT_EQ(fragments[0].genome_begin, 0u);
+  EXPECT_EQ(fragments[0].genome_end, 9u);
+  EXPECT_EQ(fragments[1].genome_begin, 12u);
+  EXPECT_EQ(fragments[1].genome_end, 21u);
+  EXPECT_EQ(fragments[0].frame, 1);
+  EXPECT_EQ(fragments[0].length, 3u);
+}
+
+TEST(FramesToBankMapped, ReverseCoordinatesCoverCodons) {
+  const Sequence dna = Sequence::dna_from_letters("g", "ATGAAATGGCCC");
+  const auto frames = translate_six_frames(dna);
+  std::vector<FrameFragment> fragments;
+  const SequenceBank bank =
+      frames_to_bank_mapped({frames[3]}, dna.size(), 2, fragments);
+  ASSERT_GE(bank.size(), 1u);
+  // The whole -1 frame (no stops expected in "GGGCCATTTCAT"): covers all
+  // 12 nucleotides.
+  EXPECT_EQ(fragments[0].genome_begin, 0u);
+  EXPECT_EQ(fragments[0].genome_end, 12u);
+}
+
+}  // namespace
+}  // namespace psc::bio

@@ -1,0 +1,151 @@
+#include "blast/neighborhood_words.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace psc::blast {
+namespace {
+
+std::vector<std::uint8_t> encode(const std::string& letters) {
+  std::vector<std::uint8_t> out;
+  for (const char c : letters) out.push_back(bio::encode_protein(c));
+  return out;
+}
+
+std::uint32_t pack(const std::string& letters) {
+  std::uint32_t key = 0;
+  for (const char c : letters) {
+    key = key * 20 + bio::encode_protein(c);
+  }
+  return key;
+}
+
+TEST(EnumerateNeighborhood, SelfIncludedWhenAboveThreshold) {
+  const auto word = encode("WWW");  // self-score 33
+  std::vector<std::uint32_t> keys;
+  enumerate_neighborhood(word, bio::SubstitutionMatrix::blosum62(), 20, keys);
+  EXPECT_NE(std::find(keys.begin(), keys.end(), pack("WWW")), keys.end());
+}
+
+TEST(EnumerateNeighborhood, SelfExcludedWhenBelowThreshold) {
+  // AAA self-score is 12; with T=13 even the word itself fails. This is
+  // real BLAST behaviour for low-scoring words.
+  const auto word = encode("AAA");
+  std::vector<std::uint32_t> keys;
+  enumerate_neighborhood(word, bio::SubstitutionMatrix::blosum62(), 13, keys);
+  EXPECT_EQ(std::find(keys.begin(), keys.end(), pack("AAA")), keys.end());
+}
+
+TEST(EnumerateNeighborhood, MatchesBruteForceCount) {
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  for (const std::string w : {"MKV", "WCH", "AAA", "LLL"}) {
+    const auto word = encode(w);
+    std::vector<std::uint32_t> keys;
+    enumerate_neighborhood(word, m, 12, keys);
+
+    std::size_t brute = 0;
+    for (std::uint8_t a = 0; a < 20; ++a) {
+      for (std::uint8_t b = 0; b < 20; ++b) {
+        for (std::uint8_t c = 0; c < 20; ++c) {
+          const int score = m.score(word[0], a) + m.score(word[1], b) +
+                            m.score(word[2], c);
+          if (score >= 12) ++brute;
+        }
+      }
+    }
+    EXPECT_EQ(keys.size(), brute) << w;
+  }
+}
+
+TEST(EnumerateNeighborhood, HigherThresholdShrinksNeighborhood) {
+  const auto word = encode("MKV");
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  std::vector<std::uint32_t> loose, tight;
+  enumerate_neighborhood(word, m, 10, loose);
+  enumerate_neighborhood(word, m, 14, tight);
+  EXPECT_GT(loose.size(), tight.size());
+  EXPECT_FALSE(tight.empty());  // self-score M+K+V = 5+5+4 = 14
+}
+
+TEST(EnumerateNeighborhood, MaskedWordHasNoNeighborhood) {
+  const auto word = encode("MXV");
+  std::vector<std::uint32_t> keys;
+  enumerate_neighborhood(word, bio::SubstitutionMatrix::blosum62(), 1, keys);
+  EXPECT_TRUE(keys.empty());
+}
+
+TEST(WordLookup, FindsExactQueryWord) {
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  queries.add(bio::Sequence::protein_from_letters("q", "MKVLW"));
+  const WordLookup lookup(queries, 3, 11, bio::SubstitutionMatrix::blosum62());
+  const auto word = encode("MKV");
+  const auto hits = lookup.hits(lookup.key(word.data()));
+  bool found = false;
+  for (const auto& hit : hits) {
+    if (hit.query == 0 && hit.position == 0) found = true;
+  }
+  EXPECT_TRUE(found);  // MKV self-score 14 >= 11
+}
+
+TEST(WordLookup, FindsNeighborWords) {
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  queries.add(bio::Sequence::protein_from_letters("q", "MKVLW"));
+  const WordLookup lookup(queries, 3, 11, bio::SubstitutionMatrix::blosum62());
+  // MKI scores 5+5+3=13 vs MKV -> in the neighbourhood at T=11.
+  const auto word = encode("MKI");
+  const auto hits = lookup.hits(lookup.key(word.data()));
+  bool found = false;
+  for (const auto& hit : hits) {
+    if (hit.query == 0 && hit.position == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WordLookup, MaskedSubjectKeyGivesNoHits) {
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  queries.add(bio::Sequence::protein_from_letters("q", "MKVLW"));
+  const WordLookup lookup(queries, 3, 11, bio::SubstitutionMatrix::blosum62());
+  const auto masked = encode("MXV");
+  EXPECT_EQ(lookup.key(masked.data()), WordLookup::npos_key);
+  EXPECT_TRUE(lookup.hits(WordLookup::npos_key).empty());
+}
+
+TEST(WordLookup, MultipleQueriesTagged) {
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  queries.add(bio::Sequence::protein_from_letters("a", "MKV"));
+  queries.add(bio::Sequence::protein_from_letters("b", "WMKV"));
+  const WordLookup lookup(queries, 3, 11, bio::SubstitutionMatrix::blosum62());
+  const auto word = encode("MKV");
+  const auto hits = lookup.hits(lookup.key(word.data()));
+  bool saw_a = false, saw_b = false;
+  for (const auto& hit : hits) {
+    if (hit.query == 0 && hit.position == 0) saw_a = true;
+    if (hit.query == 1 && hit.position == 1) saw_b = true;
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(WordLookup, MeanNeighborhoodReasonable) {
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  queries.add(bio::Sequence::protein_from_letters(
+      "q", "MKVLARNDCQEGHIKWFPSTYV"));
+  const WordLookup lookup(queries, 3, 11, bio::SubstitutionMatrix::blosum62());
+  // BLAST neighbourhoods at T=11 average some tens of words per position.
+  EXPECT_GT(lookup.mean_neighborhood(), 1.0);
+  EXPECT_LT(lookup.mean_neighborhood(), 500.0);
+}
+
+TEST(WordLookup, InvalidWordSizeThrows) {
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  queries.add(bio::Sequence::protein_from_letters("q", "MKV"));
+  EXPECT_THROW(WordLookup(queries, 0, 11, bio::SubstitutionMatrix::blosum62()),
+               std::invalid_argument);
+  EXPECT_THROW(WordLookup(queries, 6, 11, bio::SubstitutionMatrix::blosum62()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psc::blast

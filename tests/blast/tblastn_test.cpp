@@ -1,0 +1,249 @@
+#include "blast/tblastn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/genome_generator.hpp"
+#include "sim/mutation.hpp"
+#include "sim/protein_generator.hpp"
+
+namespace psc::blast {
+namespace {
+
+TEST(Tblastn, FindsIdenticalProteinInSubjects) {
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  util::Xoshiro256 rng(1);
+  queries.add(sim::generate_protein("q", 80, rng));
+
+  bio::SequenceBank subjects(bio::SequenceKind::kProtein);
+  subjects.add(sim::generate_protein("noise", 200, rng));
+  // Subject 1 embeds the query.
+  bio::Sequence host = sim::generate_protein("host", 200, rng);
+  for (std::size_t k = 0; k < queries[0].size(); ++k) {
+    host.mutable_residues()[50 + k] = queries[0][k];
+  }
+  subjects.add(std::move(host));
+
+  TblastnOptions options;
+  const TblastnResult result = tblastn_search(
+      queries, subjects, bio::SubstitutionMatrix::blosum62(), options);
+  ASSERT_FALSE(result.hits.empty());
+  EXPECT_EQ(result.hits[0].query, 0u);
+  EXPECT_EQ(result.hits[0].subject, 1u);
+  EXPECT_LE(result.hits[0].e_value, options.e_value_cutoff);
+  EXPECT_GT(result.hits[0].bit_score, 50.0);
+}
+
+TEST(Tblastn, NoHitsBetweenUnrelatedSequences) {
+  util::Xoshiro256 rng(2);
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  queries.add(sim::generate_protein("q", 60, rng));
+  bio::SequenceBank subjects(bio::SequenceKind::kProtein);
+  for (int i = 0; i < 5; ++i) {
+    subjects.add(sim::generate_protein("s" + std::to_string(i), 100, rng));
+  }
+  const TblastnResult result =
+      tblastn_search(queries, subjects, bio::SubstitutionMatrix::blosum62(),
+                     TblastnOptions{});
+  EXPECT_TRUE(result.hits.empty());
+  EXPECT_GT(result.counters.subject_words, 0u);
+}
+
+TEST(Tblastn, FindsDivergedHomolog) {
+  util::Xoshiro256 rng(3);
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  const bio::Sequence ancestor = sim::generate_protein("anc", 150, rng);
+  queries.add(bio::Sequence("q", bio::SequenceKind::kProtein,
+                            std::vector<std::uint8_t>(ancestor.residues())));
+
+  sim::MutationConfig divergence;
+  divergence.substitution_rate = 0.25;
+  bio::SequenceBank subjects(bio::SequenceKind::kProtein);
+  subjects.add(sim::mutate_protein(ancestor, divergence, rng));
+  subjects.add(sim::generate_protein("noise", 300, rng));
+
+  const TblastnResult result =
+      tblastn_search(queries, subjects, bio::SubstitutionMatrix::blosum62(),
+                     TblastnOptions{});
+  ASSERT_FALSE(result.hits.empty());
+  EXPECT_EQ(result.hits[0].subject, 0u);
+}
+
+TEST(Tblastn, EmptyInputsGiveEmptyResults) {
+  bio::SequenceBank empty(bio::SequenceKind::kProtein);
+  bio::SequenceBank one(bio::SequenceKind::kProtein);
+  one.add(bio::Sequence::protein_from_letters("p", "MKVLARND"));
+  EXPECT_TRUE(tblastn_search(empty, one, bio::SubstitutionMatrix::blosum62(),
+                             TblastnOptions{})
+                  .hits.empty());
+  EXPECT_TRUE(tblastn_search(one, empty, bio::SubstitutionMatrix::blosum62(),
+                             TblastnOptions{})
+                  .hits.empty());
+}
+
+TEST(Tblastn, TwoHitStricterThanOneHit) {
+  util::Xoshiro256 rng(4);
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  queries.add(sim::generate_protein("q", 100, rng));
+  bio::SequenceBank subjects(bio::SequenceKind::kProtein);
+  bio::Sequence host = sim::generate_protein("host", 300, rng);
+  for (std::size_t k = 0; k < 40; ++k) {
+    host.mutable_residues()[100 + k] = queries[0][20 + k];
+  }
+  subjects.add(std::move(host));
+
+  TblastnOptions one_hit;
+  one_hit.two_hit = false;
+  TblastnOptions two_hit;
+  two_hit.two_hit = true;
+  const auto r1 = tblastn_search(queries, subjects,
+                                 bio::SubstitutionMatrix::blosum62(), one_hit);
+  const auto r2 = tblastn_search(queries, subjects,
+                                 bio::SubstitutionMatrix::blosum62(), two_hit);
+  EXPECT_GE(r1.counters.triggers, r2.counters.triggers);
+  // Both still find the strong 40-residue identity.
+  EXPECT_FALSE(r1.hits.empty());
+  EXPECT_FALSE(r2.hits.empty());
+}
+
+TEST(Tblastn, EValueCutoffFilters) {
+  util::Xoshiro256 rng(5);
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  queries.add(sim::generate_protein("q", 80, rng));
+  bio::SequenceBank subjects(bio::SequenceKind::kProtein);
+  bio::Sequence host = sim::generate_protein("host", 200, rng);
+  for (std::size_t k = 0; k < queries[0].size(); ++k) {
+    host.mutable_residues()[50 + k] = queries[0][k];
+  }
+  subjects.add(std::move(host));
+
+  TblastnOptions strict;
+  strict.e_value_cutoff = 1e-300;
+  const auto result = tblastn_search(
+      queries, subjects, bio::SubstitutionMatrix::blosum62(), strict);
+  EXPECT_TRUE(result.hits.empty());
+}
+
+TEST(Tblastn, TracebackProducesOps) {
+  util::Xoshiro256 rng(6);
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  queries.add(sim::generate_protein("q", 60, rng));
+  bio::SequenceBank subjects(bio::SequenceKind::kProtein);
+  bio::Sequence host = sim::generate_protein("host", 150, rng);
+  for (std::size_t k = 0; k < queries[0].size(); ++k) {
+    host.mutable_residues()[40 + k] = queries[0][k];
+  }
+  subjects.add(std::move(host));
+
+  TblastnOptions options;
+  options.with_traceback = true;
+  const auto result = tblastn_search(
+      queries, subjects, bio::SubstitutionMatrix::blosum62(), options);
+  ASSERT_FALSE(result.hits.empty());
+  EXPECT_FALSE(result.hits[0].alignment.ops.empty());
+}
+
+TEST(Tblastn, GenomeSearchFindsPlantedGene) {
+  util::Xoshiro256 rng(7);
+  sim::GenomeConfig genome_config;
+  genome_config.length = 30000;
+  genome_config.seed = 7;
+  bio::Sequence genome = sim::generate_genome(genome_config);
+
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  queries.add(sim::generate_protein("q", 90, rng));
+  sim::plant_gene(genome, queries[0], 9000, /*forward=*/true, rng);
+
+  const TblastnResult result = tblastn_search_genome(
+      queries, genome, bio::SubstitutionMatrix::blosum62(), TblastnOptions{});
+  ASSERT_FALSE(result.hits.empty());
+  EXPECT_EQ(result.hits[0].query, 0u);
+}
+
+TEST(Tblastn, GenomeSearchFindsReverseStrandGene) {
+  util::Xoshiro256 rng(8);
+  sim::GenomeConfig genome_config;
+  genome_config.length = 30000;
+  genome_config.seed = 8;
+  bio::Sequence genome = sim::generate_genome(genome_config);
+
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  queries.add(sim::generate_protein("q", 90, rng));
+  sim::plant_gene(genome, queries[0], 9001, /*forward=*/false, rng);
+
+  const TblastnResult result = tblastn_search_genome(
+      queries, genome, bio::SubstitutionMatrix::blosum62(), TblastnOptions{});
+  ASSERT_FALSE(result.hits.empty());
+}
+
+TEST(Tblastn, HitsSortedByEValue) {
+  util::Xoshiro256 rng(9);
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  queries.add(sim::generate_protein("q", 120, rng));
+  bio::SequenceBank subjects(bio::SequenceKind::kProtein);
+  // Strong full-length copy and a weaker partial copy.
+  bio::Sequence strong = sim::generate_protein("strong", 200, rng);
+  for (std::size_t k = 0; k < 120; ++k) {
+    strong.mutable_residues()[30 + k] = queries[0][k];
+  }
+  bio::Sequence weak = sim::generate_protein("weak", 200, rng);
+  for (std::size_t k = 0; k < 50; ++k) {
+    weak.mutable_residues()[30 + k] = queries[0][k];
+  }
+  subjects.add(std::move(strong));
+  subjects.add(std::move(weak));
+
+  const TblastnResult result = tblastn_search(
+      queries, subjects, bio::SubstitutionMatrix::blosum62(), TblastnOptions{});
+  ASSERT_GE(result.hits.size(), 2u);
+  for (std::size_t i = 1; i < result.hits.size(); ++i) {
+    EXPECT_LE(result.hits[i - 1].e_value, result.hits[i].e_value);
+  }
+}
+
+TEST(Tblastn, CompositionStatsChangeEValuesNotHits) {
+  util::Xoshiro256 rng(11);
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  // A biased query: background plus a long alanine-rich insert.
+  bio::Sequence biased = sim::generate_protein("biased", 120, rng);
+  for (std::size_t k = 40; k < 80; ++k) {
+    biased.mutable_residues()[k] = bio::encode_protein('A');
+  }
+  queries.add(std::move(biased));
+  bio::SequenceBank subjects(bio::SequenceKind::kProtein);
+  bio::Sequence host = sim::generate_protein("host", 250, rng);
+  for (std::size_t k = 0; k < 120; ++k) {
+    host.mutable_residues()[60 + k] = queries[0][k];
+  }
+  subjects.add(std::move(host));
+
+  TblastnOptions plain;
+  TblastnOptions adjusted;
+  adjusted.composition_based_stats = true;
+  const auto a = tblastn_search(queries, subjects,
+                                bio::SubstitutionMatrix::blosum62(), plain);
+  const auto b = tblastn_search(queries, subjects,
+                                bio::SubstitutionMatrix::blosum62(), adjusted);
+  ASSERT_FALSE(a.hits.empty());
+  ASSERT_FALSE(b.hits.empty());
+  // Same alignment, different statistics: the biased query's E-value is
+  // more conservative (larger) under composition-based statistics.
+  EXPECT_EQ(a.hits[0].alignment.score, b.hits[0].alignment.score);
+  EXPECT_GT(b.hits[0].e_value, a.hits[0].e_value);
+}
+
+TEST(Tblastn, CountersAreConsistent) {
+  util::Xoshiro256 rng(10);
+  bio::SequenceBank queries(bio::SequenceKind::kProtein);
+  queries.add(sim::generate_protein("q", 80, rng));
+  bio::SequenceBank subjects(bio::SequenceKind::kProtein);
+  subjects.add(sim::generate_protein("s", 200, rng));
+  const TblastnResult result = tblastn_search(
+      queries, subjects, bio::SubstitutionMatrix::blosum62(), TblastnOptions{});
+  EXPECT_EQ(result.counters.subject_words, 200u - 3 + 1);
+  EXPECT_GE(result.counters.word_hits, result.counters.triggers);
+  EXPECT_GE(result.counters.triggers, result.counters.ungapped_passed);
+  EXPECT_GE(result.counters.ungapped_passed, result.counters.gapped_runs * 0);
+}
+
+}  // namespace
+}  // namespace psc::blast

@@ -1,0 +1,96 @@
+#include "blast/two_hit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psc::blast {
+namespace {
+
+TEST(DiagonalTracker, FirstHitNeverTriggers) {
+  DiagonalTracker tracker(100, 100, 40);
+  tracker.new_subject();
+  EXPECT_FALSE(tracker.register_hit(10, 20, 3));
+}
+
+TEST(DiagonalTracker, SecondHitOnDiagonalWithinWindowTriggers) {
+  DiagonalTracker tracker(100, 100, 40);
+  tracker.new_subject();
+  EXPECT_FALSE(tracker.register_hit(10, 20, 3));
+  // Same diagonal: query 10 + d, subject 20 + d.
+  EXPECT_TRUE(tracker.register_hit(20, 30, 3));
+}
+
+TEST(DiagonalTracker, DifferentDiagonalDoesNotTrigger) {
+  DiagonalTracker tracker(100, 100, 40);
+  tracker.new_subject();
+  EXPECT_FALSE(tracker.register_hit(10, 20, 3));
+  EXPECT_FALSE(tracker.register_hit(10, 25, 3));  // diagonal moved by 5
+}
+
+TEST(DiagonalTracker, OverlappingHitsDoNotTrigger) {
+  DiagonalTracker tracker(100, 100, 40);
+  tracker.new_subject();
+  EXPECT_FALSE(tracker.register_hit(10, 20, 3));
+  // Distance 2 < word size 3: overlapping words.
+  EXPECT_FALSE(tracker.register_hit(12, 22, 3));
+}
+
+TEST(DiagonalTracker, BeyondWindowDoesNotTrigger) {
+  DiagonalTracker tracker(200, 200, 40);
+  tracker.new_subject();
+  EXPECT_FALSE(tracker.register_hit(10, 20, 3));
+  EXPECT_FALSE(tracker.register_hit(61, 71, 3));  // distance 51 > 40
+  // But the tracker remembered the newer hit: a third within range works.
+  EXPECT_TRUE(tracker.register_hit(71, 81, 3));
+}
+
+TEST(DiagonalTracker, NewSubjectForgetsHits) {
+  DiagonalTracker tracker(100, 100, 40);
+  tracker.new_subject();
+  EXPECT_FALSE(tracker.register_hit(10, 20, 3));
+  tracker.new_subject();
+  EXPECT_FALSE(tracker.register_hit(20, 30, 3));  // would trigger otherwise
+}
+
+TEST(DiagonalTracker, ExtendedRegionSuppressesRetrigger) {
+  DiagonalTracker tracker(100, 200, 40);
+  tracker.new_subject();
+  tracker.register_hit(10, 20, 3);
+  tracker.mark_extended(10, 20, 60);
+  EXPECT_TRUE(tracker.covered(30, 40));   // same diagonal, inside region
+  EXPECT_FALSE(tracker.covered(30, 90));  // same diagonal, past region
+  // Hits inside the covered region do not trigger.
+  EXPECT_FALSE(tracker.register_hit(30, 40, 3));
+}
+
+TEST(DiagonalTracker, CoverageIsPerDiagonal) {
+  DiagonalTracker tracker(100, 200, 40);
+  tracker.new_subject();
+  tracker.mark_extended(10, 20, 60);
+  EXPECT_FALSE(tracker.covered(12, 40));  // different diagonal
+}
+
+TEST(DiagonalTracker, NegativeDiagonalsWork) {
+  // Query position greater than subject position.
+  DiagonalTracker tracker(100, 100, 40);
+  tracker.new_subject();
+  EXPECT_FALSE(tracker.register_hit(80, 5, 3));
+  EXPECT_TRUE(tracker.register_hit(85, 10, 3));
+}
+
+TEST(DiagonalTracker, SubjectTooLongThrows) {
+  DiagonalTracker tracker(10, 10, 40);
+  tracker.new_subject();
+  EXPECT_THROW(tracker.register_hit(0, 50, 3), std::out_of_range);
+}
+
+TEST(DiagonalTracker, ManySubjectsEpochSafety) {
+  DiagonalTracker tracker(50, 50, 40);
+  for (int s = 0; s < 1000; ++s) {
+    tracker.new_subject();
+    EXPECT_FALSE(tracker.register_hit(10, 20, 3));
+    EXPECT_TRUE(tracker.register_hit(15, 25, 3));
+  }
+}
+
+}  // namespace
+}  // namespace psc::blast

@@ -1,0 +1,111 @@
+#include "core/modes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/genome_generator.hpp"
+#include "sim/protein_generator.hpp"
+
+namespace psc::core {
+namespace {
+
+/// Reverse-translates `protein` into DNA at the start of a random genome.
+bio::Sequence genome_encoding(const bio::Sequence& protein,
+                              std::size_t genome_length, std::uint64_t seed) {
+  sim::GenomeConfig config;
+  config.length = genome_length;
+  config.seed = seed;
+  bio::Sequence genome = sim::generate_genome(config);
+  util::Xoshiro256 rng(seed ^ 0xabcdULL);
+  sim::plant_gene(genome, protein, 3000, true, rng);
+  return genome;
+}
+
+struct Shared {
+  bio::Sequence protein;
+  bio::SequenceBank protein_bank{bio::SequenceKind::kProtein};
+  bio::Sequence genome;
+
+  explicit Shared(std::uint64_t seed) {
+    util::Xoshiro256 rng(seed);
+    protein = sim::generate_protein("shared", 120, rng);
+    protein_bank.add(bio::Sequence("q", bio::SequenceKind::kProtein,
+                                   std::vector<std::uint8_t>(protein.residues())));
+    protein_bank.add(sim::generate_protein("noise", 150, rng));
+    genome = genome_encoding(protein, 20000, seed);
+  }
+};
+
+TEST(Modes, BlastpFindsProteinInProteinBank) {
+  const Shared shared(1);
+  bio::SequenceBank subjects(bio::SequenceKind::kProtein);
+  subjects.add(bio::Sequence("t", bio::SequenceKind::kProtein,
+                             std::vector<std::uint8_t>(shared.protein.residues())));
+  const ModeResult result =
+      blastp(shared.protein_bank, subjects, PipelineOptions{});
+  ASSERT_FALSE(result.pipeline.matches.empty());
+  EXPECT_EQ(result.pipeline.matches[0].bank0_sequence, 0u);
+  EXPECT_TRUE(result.bank0_fragments.empty());
+  EXPECT_TRUE(result.bank1_fragments.empty());
+}
+
+TEST(Modes, TblastnFindsGeneWithProvenance) {
+  const Shared shared(2);
+  const ModeResult result =
+      tblastn(shared.protein_bank, shared.genome, PipelineOptions{});
+  ASSERT_FALSE(result.pipeline.matches.empty());
+  EXPECT_TRUE(result.bank0_fragments.empty());
+  ASSERT_FALSE(result.bank1_fragments.empty());
+  // The best match's fragment must cover the planted region [3000, 3360).
+  const Match& best = result.pipeline.matches[0];
+  const bio::FrameFragment& fragment =
+      result.bank1_fragments[best.bank1_sequence];
+  EXPECT_LT(fragment.genome_begin, 3360u);
+  EXPECT_GT(fragment.genome_end, 3000u);
+}
+
+TEST(Modes, BlastxFindsProteinFromDnaQuery) {
+  const Shared shared(3);
+  const ModeResult result =
+      blastx(shared.genome, shared.protein_bank, PipelineOptions{});
+  ASSERT_FALSE(result.pipeline.matches.empty());
+  ASSERT_FALSE(result.bank0_fragments.empty());
+  EXPECT_TRUE(result.bank1_fragments.empty());
+  // The match's subject must be the shared protein, not the noise.
+  EXPECT_EQ(result.pipeline.matches[0].bank1_sequence, 0u);
+}
+
+TEST(Modes, TblastxFindsGeneInBothGenomes) {
+  const Shared shared(4);
+  // A second genome encoding the same protein elsewhere.
+  const bio::Sequence genome2 = genome_encoding(shared.protein, 20000, 99);
+  const ModeResult result =
+      tblastx(shared.genome, genome2, PipelineOptions{});
+  ASSERT_FALSE(result.pipeline.matches.empty());
+  EXPECT_FALSE(result.bank0_fragments.empty());
+  EXPECT_FALSE(result.bank1_fragments.empty());
+}
+
+TEST(Modes, TblastxNoHitsOnUnrelatedGenomes) {
+  sim::GenomeConfig config;
+  config.length = 15000;
+  config.seed = 5;
+  const bio::Sequence g1 = sim::generate_genome(config);
+  config.seed = 6;
+  const bio::Sequence g2 = sim::generate_genome(config);
+  const ModeResult result = tblastx(g1, g2, PipelineOptions{});
+  EXPECT_LE(result.pipeline.matches.size(), 1u);  // noise tolerance
+}
+
+TEST(Modes, AllModesShareTheRascBackend) {
+  const Shared shared(7);
+  PipelineOptions options;
+  options.backend = Step2Backend::kRasc;
+  options.rasc.psc.num_pes = 32;
+  const ModeResult result =
+      tblastn(shared.protein_bank, shared.genome, options);
+  ASSERT_FALSE(result.pipeline.matches.empty());
+  EXPECT_GT(result.pipeline.operator_stats.cycles_total(), 0u);
+}
+
+}  // namespace
+}  // namespace psc::core

@@ -1,0 +1,149 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/pipeline.hpp"
+#include "sim/genome_generator.hpp"
+#include "sim/protein_generator.hpp"
+
+namespace psc::core {
+namespace {
+
+struct ReportFixture {
+  bio::SequenceBank proteins{bio::SequenceKind::kProtein};
+  bio::Sequence genome;
+  bio::SequenceBank genome_bank;
+  std::vector<bio::FrameFragment> fragments;
+  PipelineResult result;
+
+  ReportFixture() {
+    util::Xoshiro256 rng(55);
+    proteins.add(sim::generate_protein("queryA", 90, rng));
+    proteins.add(sim::generate_protein("queryB", 90, rng));
+    sim::GenomeConfig config;
+    config.length = 15000;
+    config.seed = 56;
+    genome = sim::generate_genome(config);
+    sim::plant_gene(genome, proteins[0], 4000, true, rng);
+    sim::plant_gene(genome, proteins[1], 9000, false, rng);
+    genome_bank = bio::frames_to_bank_mapped(
+        bio::translate_six_frames(genome), genome.size(), 20, fragments);
+    PipelineOptions options;
+    options.with_traceback = true;
+    result = run_pipeline(proteins, genome_bank, options);
+  }
+};
+
+TEST(Report, TabularHasTwelveColumnsPerMatch) {
+  const ReportFixture fixture;
+  ASSERT_GE(fixture.result.matches.size(), 2u);
+  std::ostringstream out;
+  write_tabular(out, fixture.result.matches, fixture.proteins,
+                fixture.genome_bank);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    std::size_t tabs = 0;
+    for (const char c : line) tabs += c == '\t' ? 1 : 0;
+    EXPECT_EQ(tabs, 11u) << line;
+  }
+  EXPECT_EQ(count, fixture.result.matches.size());
+}
+
+TEST(Report, TabularIdentityIsHighForPlantedGene) {
+  const ReportFixture fixture;
+  std::ostringstream out;
+  write_tabular(out, fixture.result.matches, fixture.proteins,
+                fixture.genome_bank);
+  // First (best) line: qseqid \t sseqid \t pident ...
+  std::istringstream first_line(out.str());
+  std::string qseqid, sseqid, pident;
+  std::getline(first_line, qseqid, '\t');
+  std::getline(first_line, sseqid, '\t');
+  std::getline(first_line, pident, '\t');
+  EXPECT_TRUE(qseqid == "queryA" || qseqid == "queryB");
+  EXPECT_GT(std::stod(pident), 95.0);  // exact planted copy
+}
+
+TEST(Report, TabularCoordinatesAreOneBasedInclusive) {
+  const ReportFixture fixture;
+  std::ostringstream out;
+  write_tabular(out, fixture.result.matches, fixture.proteins,
+                fixture.genome_bank);
+  std::istringstream fields(out.str());
+  std::string token;
+  for (int i = 0; i < 6; ++i) std::getline(fields, token, '\t');
+  std::getline(fields, token, '\t');  // qstart
+  EXPECT_GE(std::stoul(token), 1u);
+}
+
+TEST(Report, MatchGenomeRangeForwardAndReverse) {
+  bio::FrameFragment forward;
+  forward.frame = 2;
+  forward.genome_begin = 100;
+  forward.genome_end = 400;
+  Match match;
+  match.alignment.begin1 = 10;
+  match.alignment.end1 = 20;
+  {
+    const auto [lo, hi] = match_genome_range(match, forward);
+    EXPECT_EQ(lo, 130u);
+    EXPECT_EQ(hi, 160u);
+  }
+  bio::FrameFragment reverse = forward;
+  reverse.frame = -1;
+  {
+    const auto [lo, hi] = match_genome_range(match, reverse);
+    EXPECT_EQ(lo, 400u - 60);
+    EXPECT_EQ(hi, 400u - 30);
+  }
+}
+
+TEST(Report, Gff3CoversPlantedRegions) {
+  const ReportFixture fixture;
+  std::ostringstream out;
+  write_gff3(out, fixture.result.matches, fixture.proteins,
+             fixture.fragments, "chr-test");
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("##gff-version 3\n", 0), 0u);
+  EXPECT_NE(text.find("chr-test\tpsclib\tprotein_match"), std::string::npos);
+  // One planted gene per strand: both strand symbols appear.
+  EXPECT_NE(text.find("\t+\t"), std::string::npos);
+  EXPECT_NE(text.find("\t-\t"), std::string::npos);
+  // Forward gene occupies [4000, 4270); the GFF line must mention a start
+  // near 4001 (1-based).
+  EXPECT_NE(text.find("\t4001\t"), std::string::npos);
+}
+
+TEST(Report, EmptyMatchListWritesHeaderOnly) {
+  std::ostringstream tab, gff;
+  const bio::SequenceBank empty(bio::SequenceKind::kProtein);
+  write_tabular(tab, {}, empty, empty);
+  EXPECT_TRUE(tab.str().empty());
+  write_gff3(gff, {}, empty, {}, "g");
+  EXPECT_EQ(gff.str(), "##gff-version 3\n");
+}
+
+TEST(Report, NoTracebackDegradesGracefully) {
+  const ReportFixture fixture;
+  // Strip ops to simulate a score-only run.
+  std::vector<Match> stripped = fixture.result.matches;
+  for (auto& match : stripped) match.alignment.ops.clear();
+  std::ostringstream out;
+  write_tabular(out, stripped, fixture.proteins, fixture.genome_bank);
+  std::istringstream fields(out.str());
+  std::string token;
+  std::getline(fields, token, '\t');  // qseqid
+  std::getline(fields, token, '\t');  // sseqid
+  std::getline(fields, token, '\t');  // pident
+  EXPECT_DOUBLE_EQ(std::stod(token), 0.0);
+  std::getline(fields, token, '\t');  // length (from ranges)
+  EXPECT_GT(std::stoul(token), 0u);
+}
+
+}  // namespace
+}  // namespace psc::core

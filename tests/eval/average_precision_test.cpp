@@ -1,0 +1,64 @@
+#include "eval/average_precision.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psc::eval {
+namespace {
+
+TEST(AveragePrecision, AllPositivesIsOne) {
+  EXPECT_DOUBLE_EQ(average_precision({true, true, true}), 1.0);
+}
+
+TEST(AveragePrecision, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(average_precision({false, false}), 0.0);
+  EXPECT_DOUBLE_EQ(average_precision({}), 0.0);
+}
+
+TEST(AveragePrecision, SinglePositiveAtRankK) {
+  EXPECT_DOUBLE_EQ(average_precision({true}), 1.0);
+  EXPECT_DOUBLE_EQ(average_precision({false, true}), 0.5);
+  EXPECT_DOUBLE_EQ(average_precision({false, false, false, true}), 0.25);
+}
+
+TEST(AveragePrecision, PaperFormulaOnMixedList) {
+  // T F T: TP1 at pos 1 -> 1/1; TP2 at pos 3 -> 2/3; AP = (1 + 2/3)/2.
+  EXPECT_DOUBLE_EQ(average_precision({true, false, true}),
+                   (1.0 + 2.0 / 3.0) / 2.0);
+}
+
+TEST(AveragePrecision, EarlierPositivesScoreHigher) {
+  EXPECT_GT(average_precision({true, false, false, true}),
+            average_precision({false, true, false, true}));
+}
+
+TEST(AveragePrecision, TruncatesAtMaxRank) {
+  // Positive beyond the cutoff is invisible.
+  std::vector<bool> labels(60, false);
+  labels[55] = true;
+  EXPECT_DOUBLE_EQ(average_precision(labels, 50), 0.0);
+  EXPECT_GT(average_precision(labels, 60), 0.0);
+}
+
+TEST(AveragePrecision, NeverExceedsOne) {
+  std::vector<bool> labels;
+  for (int i = 0; i < 50; ++i) labels.push_back((i % 4) == 1);
+  const double ap = average_precision(labels);
+  EXPECT_GE(ap, 0.0);
+  EXPECT_LE(ap, 1.0);
+}
+
+TEST(AveragePrecision, SwappingAdjacentTpFpPairHelps) {
+  // ... F T ... -> ... T F ... strictly improves AP.
+  std::vector<bool> before = {true, false, true, false};
+  std::vector<bool> after = {true, true, false, false};
+  EXPECT_GT(average_precision(after), average_precision(before));
+}
+
+TEST(AveragePrecision, DefaultCutoffIsFifty) {
+  std::vector<bool> labels(49, false);
+  labels.push_back(true);  // rank 50, inside the default cutoff
+  EXPECT_DOUBLE_EQ(average_precision(labels), 1.0 / 50.0);
+}
+
+}  // namespace
+}  // namespace psc::eval

@@ -1,0 +1,137 @@
+#include "eval/benchmark_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psc::eval {
+namespace {
+
+QualityBenchmarkConfig tiny_config() {
+  QualityBenchmarkConfig config;
+  config.family.families = 4;
+  config.family.members_per_family = 4;
+  config.family.ancestor_length = 120;
+  config.queries_per_family = 2;
+  config.genome_length = 60000;
+  return config;
+}
+
+TEST(BuildQualityBenchmark, CountsAndLabels) {
+  const QualityBenchmark benchmark = build_quality_benchmark(tiny_config());
+  EXPECT_EQ(benchmark.queries.size(), 8u);
+  EXPECT_EQ(benchmark.query_family.size(), 8u);
+  EXPECT_EQ(benchmark.plants.size(), 8u);  // 2 non-query members x 4 families
+  EXPECT_EQ(benchmark.plant_family.size(), benchmark.plants.size());
+  for (const std::size_t p : benchmark.positives_per_family) {
+    EXPECT_EQ(p, 2u);
+  }
+}
+
+TEST(BuildQualityBenchmark, GenomeBankNonEmptyAndMapped) {
+  const QualityBenchmark benchmark = build_quality_benchmark(tiny_config());
+  EXPECT_GT(benchmark.genome_bank.size(), 0u);
+  EXPECT_EQ(benchmark.genome_bank.size(), benchmark.fragments.size());
+  for (const auto& fragment : benchmark.fragments) {
+    EXPECT_LE(fragment.genome_begin, fragment.genome_end);
+    EXPECT_LE(fragment.genome_end, benchmark.genome.size());
+  }
+}
+
+TEST(BuildQualityBenchmark, TooManyQueriesThrows) {
+  QualityBenchmarkConfig config = tiny_config();
+  config.queries_per_family = 4;  // == members_per_family
+  EXPECT_THROW(build_quality_benchmark(config), std::invalid_argument);
+}
+
+TEST(HitFamily, PlantedRegionMapsToFamily) {
+  const QualityBenchmark benchmark = build_quality_benchmark(tiny_config());
+  // Build a hit covering the first planted gene exactly: find the fragment
+  // overlapping it with the right strand.
+  const sim::PlantedGene& plant = benchmark.plants[0];
+  const std::size_t gene_lo = plant.genome_begin;
+  const std::size_t gene_hi = gene_lo + 3 * plant.protein_length;
+
+  bool tested = false;
+  for (std::uint32_t f = 0; f < benchmark.fragments.size(); ++f) {
+    const auto& fragment = benchmark.fragments[f];
+    const bool forward_ok = plant.forward_strand == (fragment.frame > 0);
+    if (!forward_ok) continue;
+    const std::size_t lo = std::max(fragment.genome_begin, gene_lo);
+    const std::size_t hi = std::min(fragment.genome_end, gene_hi);
+    if (hi <= lo || (hi - lo) * 2 <= (gene_hi - gene_lo)) continue;
+    // Protein-space range of the overlap within the fragment.
+    GenericHit hit;
+    hit.query = 0;
+    hit.subject = f;
+    if (fragment.frame > 0) {
+      hit.begin1 = (lo - fragment.genome_begin) / 3;
+      hit.end1 = (hi - fragment.genome_begin) / 3;
+    } else {
+      hit.begin1 = (fragment.genome_end - hi) / 3;
+      hit.end1 = (fragment.genome_end - lo) / 3;
+    }
+    if (hit.end1 <= hit.begin1) continue;
+    EXPECT_EQ(benchmark.hit_family(hit), benchmark.plant_family[0]);
+    tested = true;
+    break;
+  }
+  EXPECT_TRUE(tested);
+}
+
+TEST(HitFamily, RandomRegionIsNoFamily) {
+  const QualityBenchmark benchmark = build_quality_benchmark(tiny_config());
+  // A 10-residue hit at the very start of fragment 0 is overwhelmingly
+  // unlikely to overlap a planted gene by half.
+  GenericHit hit;
+  hit.query = 0;
+  hit.subject = 0;
+  hit.begin1 = 0;
+  hit.end1 = 3;
+  const auto [lo, hi] = benchmark.hit_genome_range(hit);
+  bool overlaps_plant = false;
+  for (const auto& plant : benchmark.plants) {
+    const std::size_t gene_lo = plant.genome_begin;
+    const std::size_t gene_hi = gene_lo + 3 * plant.protein_length;
+    if (lo < gene_hi && gene_lo < hi) overlaps_plant = true;
+  }
+  if (!overlaps_plant) {
+    EXPECT_EQ(benchmark.hit_family(hit), QualityBenchmark::kNoFamily);
+  }
+}
+
+TEST(PerQueryLabels, RanksByEValueAndTruncates) {
+  const QualityBenchmark benchmark = build_quality_benchmark(tiny_config());
+  std::vector<GenericHit> hits;
+  // Two hits for query 0 with different E-values on the same nonsense
+  // region (both false).
+  GenericHit a;
+  a.query = 0;
+  a.subject = 0;
+  a.begin1 = 0;
+  a.end1 = 3;
+  a.e_value = 1e-5;
+  GenericHit b = a;
+  b.e_value = 1e-9;
+  hits.push_back(a);
+  hits.push_back(b);
+  const auto labels = benchmark.per_query_labels(hits, 1);
+  ASSERT_EQ(labels.size(), benchmark.queries.size());
+  EXPECT_EQ(labels[0].size(), 1u);  // truncated to max_rank
+  EXPECT_TRUE(labels[1].empty());
+}
+
+TEST(HitGenomeRange, ForwardAndReverseConsistent) {
+  const QualityBenchmark benchmark = build_quality_benchmark(tiny_config());
+  for (std::uint32_t f = 0; f < std::min<std::size_t>(benchmark.fragments.size(), 50); ++f) {
+    const auto& fragment = benchmark.fragments[f];
+    GenericHit hit;
+    hit.subject = f;
+    hit.begin1 = 0;
+    hit.end1 = fragment.length;
+    const auto [lo, hi] = benchmark.hit_genome_range(hit);
+    EXPECT_EQ(lo, fragment.genome_begin);
+    EXPECT_EQ(hi, fragment.genome_end);
+  }
+}
+
+}  // namespace
+}  // namespace psc::eval

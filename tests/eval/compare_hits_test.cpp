@@ -1,0 +1,96 @@
+#include "eval/compare_hits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psc::eval {
+namespace {
+
+GenericHit hit(std::uint32_t q, std::uint32_t s, std::size_t b,
+               std::size_t e) {
+  GenericHit h;
+  h.query = q;
+  h.subject = s;
+  h.begin1 = b;
+  h.end1 = e;
+  return h;
+}
+
+TEST(CompareHits, IdenticalSetsFullyShared) {
+  const std::vector<GenericHit> a = {hit(0, 1, 10, 50), hit(1, 2, 5, 30)};
+  const OverlapStats stats = compare_hits(a, a);
+  EXPECT_EQ(stats.shared, 2u);
+  EXPECT_EQ(stats.only_a, 0u);
+  EXPECT_EQ(stats.only_b, 0u);
+  EXPECT_DOUBLE_EQ(stats.jaccard(), 1.0);
+}
+
+TEST(CompareHits, DisjointSets) {
+  const std::vector<GenericHit> a = {hit(0, 1, 10, 50)};
+  const std::vector<GenericHit> b = {hit(0, 2, 10, 50), hit(3, 1, 10, 50)};
+  const OverlapStats stats = compare_hits(a, b);
+  EXPECT_EQ(stats.shared, 0u);
+  EXPECT_EQ(stats.only_a, 1u);
+  EXPECT_EQ(stats.only_b, 2u);
+  EXPECT_DOUBLE_EQ(stats.jaccard(), 0.0);
+}
+
+TEST(CompareHits, OverlappingRangesMatch) {
+  const std::vector<GenericHit> a = {hit(0, 1, 10, 50)};
+  const std::vector<GenericHit> b = {hit(0, 1, 40, 90)};
+  const OverlapStats stats = compare_hits(a, b);
+  EXPECT_EQ(stats.shared, 1u);
+}
+
+TEST(CompareHits, AdjacentRangesDoNotMatch) {
+  const std::vector<GenericHit> a = {hit(0, 1, 10, 50)};
+  const std::vector<GenericHit> b = {hit(0, 1, 50, 90)};
+  const OverlapStats stats = compare_hits(a, b);
+  EXPECT_EQ(stats.shared, 0u);
+}
+
+TEST(CompareHits, OneToOnePairing) {
+  // Two hits in A overlapping one hit in B: only one pairs.
+  const std::vector<GenericHit> a = {hit(0, 1, 10, 50), hit(0, 1, 20, 60)};
+  const std::vector<GenericHit> b = {hit(0, 1, 15, 55)};
+  const OverlapStats stats = compare_hits(a, b);
+  EXPECT_EQ(stats.shared, 1u);
+  EXPECT_EQ(stats.only_a, 1u);
+  EXPECT_EQ(stats.only_b, 0u);
+}
+
+TEST(CompareHits, EmptySets) {
+  const OverlapStats stats = compare_hits({}, {});
+  EXPECT_EQ(stats.shared, 0u);
+  EXPECT_DOUBLE_EQ(stats.jaccard(), 1.0);  // vacuous agreement
+}
+
+TEST(ToGeneric, ConvertsMatches) {
+  std::vector<core::Match> matches(1);
+  matches[0].bank0_sequence = 3;
+  matches[0].bank1_sequence = 7;
+  matches[0].alignment.begin1 = 11;
+  matches[0].alignment.end1 = 42;
+  matches[0].e_value = 1e-8;
+  const auto generic = to_generic(matches);
+  ASSERT_EQ(generic.size(), 1u);
+  EXPECT_EQ(generic[0].query, 3u);
+  EXPECT_EQ(generic[0].subject, 7u);
+  EXPECT_EQ(generic[0].begin1, 11u);
+  EXPECT_EQ(generic[0].end1, 42u);
+  EXPECT_DOUBLE_EQ(generic[0].e_value, 1e-8);
+}
+
+TEST(ToGeneric, ConvertsBlastHits) {
+  std::vector<blast::BlastHit> hits(1);
+  hits[0].query = 1;
+  hits[0].subject = 2;
+  hits[0].alignment.begin1 = 5;
+  hits[0].alignment.end1 = 25;
+  hits[0].e_value = 1e-4;
+  const auto generic = to_generic(hits);
+  ASSERT_EQ(generic.size(), 1u);
+  EXPECT_EQ(generic[0].subject, 2u);
+}
+
+}  // namespace
+}  // namespace psc::eval

@@ -1,0 +1,88 @@
+#include "eval/roc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace psc::eval {
+namespace {
+
+TEST(RocN, PerfectRankingScoresOne) {
+  // All P positives first, then false positives.
+  std::vector<bool> labels = {true, true, true, false, false};
+  // Every FP has all 3 TPs above it; with 2 observed FPs and n=2:
+  EXPECT_DOUBLE_EQ(roc_n(labels, 2, 3), 1.0);
+}
+
+TEST(RocN, WorstRankingScoresZero) {
+  std::vector<bool> labels = {false, false, true, true};
+  EXPECT_DOUBLE_EQ(roc_n(labels, 2, 2), 0.0);
+}
+
+TEST(RocN, InterleavedRanking) {
+  // T F T F: first FP has 1 TP above, second has 2. n=2, P=2.
+  std::vector<bool> labels = {true, false, true, false};
+  EXPECT_DOUBLE_EQ(roc_n(labels, 2, 2), (1.0 + 2.0) / (2.0 * 2.0));
+}
+
+TEST(RocN, StopsAfterNFalsePositives) {
+  // Positives after the n-th FP must not count.
+  std::vector<bool> labels = {false, false, true, true};
+  EXPECT_DOUBLE_EQ(roc_n(labels, 1, 2), 0.0);
+}
+
+TEST(RocN, VirtualFalsePositivesAfterExhaustion) {
+  // Only one FP in the list but n=3: the two virtual FPs rank below the
+  // retrieved TP, each contributing 1.
+  std::vector<bool> labels = {true, false};
+  EXPECT_DOUBLE_EQ(roc_n(labels, 3, 1), (1.0 + 1.0 + 1.0) / (3.0 * 1.0));
+}
+
+TEST(RocN, MissingPositivesLowerScore) {
+  // Same ranking, larger family -> lower ROC.
+  std::vector<bool> labels = {true, false, false};
+  EXPECT_GT(roc_n(labels, 2, 1), roc_n(labels, 2, 4));
+}
+
+TEST(RocN, EmptyListIsZero) {
+  EXPECT_DOUBLE_EQ(roc_n({}, 50, 3), 0.0);
+}
+
+TEST(RocN, ZeroPositivesIsZero) {
+  std::vector<bool> labels = {false, false};
+  EXPECT_DOUBLE_EQ(roc_n(labels, 50, 0), 0.0);
+}
+
+TEST(Roc50, UsesFiftyFalsePositives) {
+  // 50 TPs then 100 FPs, P = 50: perfect prefix -> 1.0.
+  std::vector<bool> labels(50, true);
+  labels.insert(labels.end(), 100, false);
+  EXPECT_DOUBLE_EQ(roc50(labels, 50), 1.0);
+}
+
+TEST(RocN, MonotoneInRankingQuality) {
+  // Moving a true positive earlier in the list never lowers ROC.
+  std::vector<bool> worse = {false, true, false, true};
+  std::vector<bool> better = {true, false, false, true};
+  EXPECT_GE(roc_n(better, 2, 2), roc_n(worse, 2, 2));
+}
+
+TEST(RocN, BoundedByOne) {
+  // Random label patterns never exceed 1.
+  std::vector<bool> labels;
+  for (int i = 0; i < 64; ++i) labels.push_back((i * 7 % 3) == 0);
+  const std::size_t positives = static_cast<std::size_t>(
+      std::count(labels.begin(), labels.end(), true));
+  const double score = roc_n(labels, 50, positives);
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+}
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace psc::eval

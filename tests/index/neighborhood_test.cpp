@@ -1,0 +1,120 @@
+#include "index/neighborhood.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psc::index {
+namespace {
+
+bio::SequenceBank one_protein(const char* letters) {
+  bio::SequenceBank bank(bio::SequenceKind::kProtein);
+  bank.add(bio::Sequence::protein_from_letters("p", letters));
+  return bank;
+}
+
+TEST(WindowShape, LengthFormula) {
+  EXPECT_EQ((WindowShape{4, 30}).length(), 64u);
+  EXPECT_EQ((WindowShape{3, 0}).length(), 3u);
+  EXPECT_EQ((WindowShape{1, 5}).length(), 11u);
+}
+
+TEST(WindowBatch, CentersSeedInWindow) {
+  const auto bank = one_protein("ARNDCQEGHILKMFPSTWYV");
+  const WindowShape shape{4, 2};  // length 8
+  WindowBatch batch(shape.length());
+  batch.append(bank, Occurrence{0, 5}, shape);
+  ASSERT_EQ(batch.size(), 1u);
+  const auto window = batch.window(0);
+  // Window = positions 3..10 of the sequence.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(window[i], bank[0][3 + i]);
+  }
+}
+
+TEST(WindowBatch, PadsLeftBoundaryWithX) {
+  const auto bank = one_protein("MKVLARND");
+  const WindowShape shape{4, 3};  // length 10, seed at 0 -> 3 pads left
+  WindowBatch batch(shape.length());
+  batch.append(bank, Occurrence{0, 0}, shape);
+  const auto window = batch.window(0);
+  EXPECT_EQ(window[0], bio::kUnknownX);
+  EXPECT_EQ(window[1], bio::kUnknownX);
+  EXPECT_EQ(window[2], bio::kUnknownX);
+  EXPECT_EQ(window[3], bank[0][0]);
+}
+
+TEST(WindowBatch, PadsRightBoundaryWithX) {
+  const auto bank = one_protein("MKVLARND");  // length 8
+  const WindowShape shape{4, 3};
+  WindowBatch batch(shape.length());
+  batch.append(bank, Occurrence{0, 4}, shape);  // seed 4..8, right flank past end
+  const auto window = batch.window(0);
+  // Window covers sequence positions [1, 11); positions 8..10 are pads.
+  EXPECT_EQ(window[9], bio::kUnknownX);
+  EXPECT_EQ(window[8], bio::kUnknownX);
+  EXPECT_EQ(window[7], bio::kUnknownX);
+  EXPECT_EQ(window[6], bank[0][7]);
+}
+
+TEST(WindowBatch, SourceTagsPreserved) {
+  const auto bank = one_protein("MKVLARND");
+  const WindowShape shape{4, 1};
+  WindowBatch batch(shape.length());
+  batch.append(bank, Occurrence{0, 2}, shape);
+  batch.append(bank, Occurrence{0, 3}, shape);
+  EXPECT_EQ(batch.source(0).offset, 2u);
+  EXPECT_EQ(batch.source(1).offset, 3u);
+}
+
+TEST(WindowBatch, ShapeMismatchThrows) {
+  const auto bank = one_protein("MKVLARND");
+  WindowBatch batch(10);
+  EXPECT_THROW(batch.append(bank, Occurrence{0, 0}, WindowShape{4, 1}),
+               std::invalid_argument);
+}
+
+TEST(WindowBatch, ClearResets) {
+  const auto bank = one_protein("MKVLARND");
+  const WindowShape shape{4, 0};
+  WindowBatch batch(shape.length());
+  batch.append(bank, Occurrence{0, 0}, shape);
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.flat().size(), 0u);
+}
+
+TEST(ExtractWindows, ExtractsAllOccurrences) {
+  const auto bank = one_protein("MKVLARNDMKVLARND");
+  const WindowShape shape{4, 2};
+  const std::vector<Occurrence> list = {{0, 0}, {0, 8}, {0, 12}};
+  WindowBatch batch(shape.length());
+  extract_windows(bank, list, shape, batch);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.flat().size(), 3u * shape.length());
+}
+
+TEST(ExtractWindows, IdenticalContextsGiveIdenticalWindows) {
+  const auto bank = one_protein("AAMKVLAANDAAMKVLAAND");
+  const WindowShape shape{4, 2};
+  const std::vector<Occurrence> list = {{0, 2}, {0, 12}};
+  WindowBatch batch(shape.length());
+  extract_windows(bank, list, shape, batch);
+  const auto w0 = batch.window(0);
+  const auto w1 = batch.window(1);
+  EXPECT_TRUE(std::equal(w0.begin(), w0.end(), w1.begin()));
+}
+
+TEST(ExtractWindows, TinySequenceIsAllPadsAroundSeed) {
+  bio::SequenceBank bank(bio::SequenceKind::kProtein);
+  bank.add(bio::Sequence::protein_from_letters("tiny", "MKVL"));
+  const WindowShape shape{4, 5};  // length 14, sequence only 4 residues
+  WindowBatch batch(shape.length());
+  batch.append(bank, Occurrence{0, 0}, shape);
+  const auto window = batch.window(0);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(window[i], bio::kUnknownX);
+  for (std::size_t i = 9; i < 14; ++i) EXPECT_EQ(window[i], bio::kUnknownX);
+  EXPECT_EQ(window[5], bank[0][0]);
+  EXPECT_EQ(window[8], bank[0][3]);
+}
+
+}  // namespace
+}  // namespace psc::index

@@ -1,0 +1,162 @@
+#include "index/seed_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bio/alphabet.hpp"
+#include "util/rng.hpp"
+
+namespace psc::index {
+namespace {
+
+std::vector<std::uint8_t> word(const char* letters) {
+  std::vector<std::uint8_t> out;
+  for (const char* p = letters; *p != '\0'; ++p) {
+    out.push_back(bio::encode_protein(*p));
+  }
+  return out;
+}
+
+TEST(SeedModel, ContiguousKeySpace) {
+  EXPECT_EQ(SeedModel::contiguous(3).key_space(), 8000u);
+  EXPECT_EQ(SeedModel::contiguous(4).key_space(), 160000u);
+  EXPECT_EQ(SeedModel::contiguous(1).key_space(), 20u);
+}
+
+TEST(SeedModel, ContiguousDistinctWordsDistinctKeys) {
+  const SeedModel model = SeedModel::contiguous(3);
+  std::set<SeedKey> keys;
+  const char* words[] = {"ARN", "ARD", "RNA", "AAA", "VVV", "NRA"};
+  for (const char* w : words) keys.insert(model.key(word(w).data()));
+  EXPECT_EQ(keys.size(), 6u);
+}
+
+TEST(SeedModel, ContiguousSameWordSameKey) {
+  const SeedModel model = SeedModel::contiguous(4);
+  EXPECT_EQ(model.key(word("MKVL").data()), model.key(word("MKVL").data()));
+  EXPECT_TRUE(model.matches(word("MKVL").data(), word("MKVL").data()));
+}
+
+TEST(SeedModel, NonStandardResidueInvalidatesKey) {
+  const SeedModel model = SeedModel::contiguous(3);
+  EXPECT_EQ(model.key(word("AXA").data()), kInvalidSeedKey);
+  EXPECT_EQ(model.key(word("AA*").data()), kInvalidSeedKey);
+  EXPECT_EQ(model.key(word("BAA").data()), kInvalidSeedKey);
+  EXPECT_FALSE(model.matches(word("AXA").data(), word("AXA").data()));
+}
+
+TEST(SeedModel, SubsetW4Properties) {
+  const SeedModel model = SeedModel::subset_w4();
+  EXPECT_EQ(model.width(), 4u);
+  EXPECT_EQ(model.groups_at(0), 20u);
+  EXPECT_EQ(model.groups_at(1), 12u);
+  EXPECT_EQ(model.groups_at(2), 12u);
+  EXPECT_EQ(model.groups_at(3), 20u);
+  EXPECT_EQ(model.key_space(), 20u * 12 * 12 * 20);
+}
+
+TEST(SeedModel, SubsetSeedMatchesSimilarInnerResidues) {
+  const SeedModel model = SeedModel::subset_w4();
+  // I and L are in the same similarity group; outer positions exact.
+  EXPECT_TRUE(model.matches(word("AIKA").data(), word("ALKA").data()));
+  EXPECT_TRUE(model.matches(word("ASTA").data(), word("ATSA").data()));
+}
+
+TEST(SeedModel, SubsetSeedRejectsOuterMismatch) {
+  const SeedModel model = SeedModel::subset_w4();
+  EXPECT_FALSE(model.matches(word("AIKA").data(), word("LIKA").data()));
+  EXPECT_FALSE(model.matches(word("AIKA").data(), word("AIKL").data()));
+}
+
+TEST(SeedModel, SubsetSeedRejectsDissimilarInnerResidues) {
+  const SeedModel model = SeedModel::subset_w4();
+  // W and G are in different groups.
+  EXPECT_FALSE(model.matches(word("AWKA").data(), word("AGKA").data()));
+}
+
+TEST(SeedModel, SubsetSeedMoreSensitiveThanExact) {
+  const SeedModel subset = SeedModel::subset_w4();
+  const SeedModel exact = SeedModel::contiguous(4);
+  // Exact model separates AIKA/ALKA; subset unifies them.
+  EXPECT_FALSE(exact.matches(word("AIKA").data(), word("ALKA").data()));
+  EXPECT_TRUE(subset.matches(word("AIKA").data(), word("ALKA").data()));
+}
+
+TEST(SeedModel, SimilarityGroupsAreDense) {
+  const auto& groups = SeedModel::similarity_groups12();
+  std::set<std::uint8_t> distinct(groups.begin(), groups.end());
+  EXPECT_EQ(distinct.size(), 12u);
+  EXPECT_EQ(*distinct.begin(), 0u);
+  EXPECT_EQ(*distinct.rbegin(), 11u);
+}
+
+TEST(SeedModel, KeysAreDenseWithinKeySpace) {
+  const SeedModel model = SeedModel::subset_w4();
+  const char* words[] = {"MKVL", "WWWW", "AAAA", "VYHR"};
+  for (const char* w : words) {
+    const SeedKey key = model.key(word(w).data());
+    ASSERT_NE(key, kInvalidSeedKey);
+    EXPECT_LT(key, model.key_space());
+  }
+}
+
+TEST(SeedModel, InvalidConstructionThrows) {
+  EXPECT_THROW(SeedModel::contiguous(0), std::invalid_argument);
+  EXPECT_THROW(SeedModel::contiguous(7), std::invalid_argument);
+  EXPECT_THROW(SeedModel("empty", {}), std::invalid_argument);
+}
+
+TEST(SeedModel, BlastW3IsExactWidth3) {
+  const SeedModel model = SeedModel::blast_w3();
+  EXPECT_EQ(model.width(), 3u);
+  EXPECT_EQ(model.key_space(), 8000u);
+}
+
+TEST(SeedModel, CoarseSubsetKeySpace) {
+  const SeedModel model = SeedModel::subset_w4_coarse();
+  EXPECT_EQ(model.width(), 4u);
+  EXPECT_EQ(model.groups_at(0), 12u);
+  EXPECT_EQ(model.groups_at(1), 8u);
+  EXPECT_EQ(model.key_space(), 12u * 8 * 8 * 12);
+}
+
+TEST(SeedModel, CoarseSubsetIsStrictlyCoarser) {
+  // Every pair the paper-fidelity seed unifies, the coarse seed unifies
+  // too (its groups are unions of the finer groups).
+  const SeedModel fine = SeedModel::subset_w4();
+  const SeedModel coarse = SeedModel::subset_w4_coarse();
+  util::Xoshiro256 rng(99);
+  int fine_matches = 0;
+  int coarse_matches = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::uint8_t a[4], b[4];
+    for (int i = 0; i < 4; ++i) {
+      a[i] = static_cast<std::uint8_t>(rng.bounded(20));
+      b[i] = static_cast<std::uint8_t>(rng.bounded(20));
+    }
+    const bool fm = fine.matches(a, b);
+    const bool cm = coarse.matches(a, b);
+    if (fm) {
+      EXPECT_TRUE(cm) << "coarse seed must contain the fine seed's matches";
+      ++fine_matches;
+    }
+    if (cm) ++coarse_matches;
+  }
+  EXPECT_GE(coarse_matches, fine_matches);
+}
+
+TEST(SeedModel, MurphyGroupsAreDense) {
+  const auto& groups = SeedModel::murphy_groups8();
+  std::set<std::uint8_t> distinct(groups.begin(), groups.end());
+  EXPECT_EQ(distinct.size(), 8u);
+  EXPECT_EQ(*distinct.rbegin(), 7u);
+  // Spot checks: the LVIMC hydrophobic class.
+  EXPECT_EQ(groups[bio::encode_protein('L')], groups[bio::encode_protein('V')]);
+  EXPECT_EQ(groups[bio::encode_protein('I')], groups[bio::encode_protein('M')]);
+  EXPECT_EQ(groups[bio::encode_protein('C')], groups[bio::encode_protein('L')]);
+  EXPECT_NE(groups[bio::encode_protein('L')], groups[bio::encode_protein('P')]);
+}
+
+}  // namespace
+}  // namespace psc::index

@@ -1,0 +1,110 @@
+// Cross-method integration: the bank-versus-bank pipeline and the tblastn
+// baseline must find essentially the same biology -- the paper's section
+// 4.4 argument ("Theoretically, both approaches have the same
+// sensitivity").
+#include <gtest/gtest.h>
+
+#include "blast/tblastn.hpp"
+#include "core/pipeline.hpp"
+#include "eval/compare_hits.hpp"
+#include "sim/genome_generator.hpp"
+#include "sim/mutation.hpp"
+#include "sim/protein_generator.hpp"
+
+namespace psc {
+namespace {
+
+struct Fixture {
+  bio::SequenceBank proteins{bio::SequenceKind::kProtein};
+  bio::Sequence genome;
+  std::vector<std::size_t> planted;  // protein indices with genome copies
+
+  Fixture() {
+    util::Xoshiro256 rng(77);
+    for (int i = 0; i < 8; ++i) {
+      proteins.add(sim::generate_protein("p" + std::to_string(i), 120, rng));
+    }
+    sim::GenomeConfig config;
+    config.length = 60000;
+    config.seed = 78;
+    genome = sim::generate_genome(config);
+    sim::MutationConfig divergence;
+    divergence.substitution_rate = 0.2;
+    divergence.indel_rate = 0.005;
+    std::size_t position = 5000;
+    for (const std::size_t i : {0u, 3u, 5u}) {
+      const bio::Sequence copy =
+          sim::mutate_protein(proteins[i], divergence, rng);
+      sim::plant_gene(genome, copy, position, (i % 2) == 0, rng);
+      planted.push_back(i);
+      position += 8000;
+    }
+  }
+};
+
+TEST(PipelineVsBlast, BothFindEveryPlantedGene) {
+  const Fixture fixture;
+
+  core::PipelineOptions pipeline_options;
+  const core::PipelineResult pipeline_result = core::run_pipeline_genome(
+      fixture.proteins, fixture.genome, pipeline_options);
+
+  blast::TblastnOptions blast_options;
+  const blast::TblastnResult blast_result = blast::tblastn_search_genome(
+      fixture.proteins, fixture.genome, bio::SubstitutionMatrix::blosum62(),
+      blast_options);
+
+  for (const std::size_t planted_index : fixture.planted) {
+    bool pipeline_found = false;
+    for (const auto& match : pipeline_result.matches) {
+      if (match.bank0_sequence == planted_index) pipeline_found = true;
+    }
+    bool blast_found = false;
+    for (const auto& hit : blast_result.hits) {
+      if (hit.query == planted_index) blast_found = true;
+    }
+    EXPECT_TRUE(pipeline_found) << "pipeline missed protein " << planted_index;
+    EXPECT_TRUE(blast_found) << "baseline missed protein " << planted_index;
+  }
+}
+
+TEST(PipelineVsBlast, ResultSetsLargelyOverlap) {
+  const Fixture fixture;
+  core::PipelineOptions pipeline_options;
+  const core::PipelineResult pipeline_result = core::run_pipeline_genome(
+      fixture.proteins, fixture.genome, pipeline_options);
+  const blast::TblastnResult blast_result = blast::tblastn_search_genome(
+      fixture.proteins, fixture.genome, bio::SubstitutionMatrix::blosum62(),
+      blast::TblastnOptions{});
+
+  const auto a = eval::to_generic(pipeline_result.matches);
+  const auto b = eval::to_generic(blast_result.hits);
+  const eval::OverlapStats stats = eval::compare_hits(a, b);
+  // The strong planted homologies must be found by both methods.
+  EXPECT_GE(stats.shared, fixture.planted.size());
+}
+
+TEST(PipelineVsBlast, NeitherHallucinatesOnPureNoise) {
+  util::Xoshiro256 rng(99);
+  bio::SequenceBank proteins(bio::SequenceKind::kProtein);
+  for (int i = 0; i < 4; ++i) {
+    proteins.add(sim::generate_protein("p" + std::to_string(i), 100, rng));
+  }
+  sim::GenomeConfig config;
+  config.length = 30000;
+  config.seed = 100;
+  const bio::Sequence genome = sim::generate_genome(config);
+
+  const core::PipelineResult pipeline_result =
+      core::run_pipeline_genome(proteins, genome, core::PipelineOptions{});
+  const blast::TblastnResult blast_result = blast::tblastn_search_genome(
+      proteins, genome, bio::SubstitutionMatrix::blosum62(),
+      blast::TblastnOptions{});
+  // At E <= 1e-3 over this small search space, random hits should be
+  // essentially absent.
+  EXPECT_LE(pipeline_result.matches.size(), 2u);
+  EXPECT_LE(blast_result.hits.size(), 2u);
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,110 @@
+#include "rasc/controllers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psc::rasc {
+namespace {
+
+index::WindowBatch make_batch(std::initializer_list<const char*> windows) {
+  bio::SequenceBank bank(bio::SequenceKind::kProtein);
+  std::size_t length = 0;
+  for (const char* w : windows) length = std::string(w).size();
+  index::WindowBatch batch(length);
+  index::WindowShape shape{length, 0};
+  std::uint32_t i = 0;
+  for (const char* w : windows) {
+    bank.add(bio::Sequence::protein_from_letters("w" + std::to_string(i), w));
+    batch.append(bank, index::Occurrence{i, 0}, shape);
+    ++i;
+  }
+  return batch;
+}
+
+TEST(InputController, StreamsResiduesInOrder) {
+  const auto batch = make_batch({"MKVL"});
+  InputController controller(batch);
+  std::string streamed;
+  while (auto emission = controller.next()) {
+    streamed.push_back(bio::decode_protein(emission->residue));
+  }
+  EXPECT_EQ(streamed, "MKVL");
+  EXPECT_TRUE(controller.exhausted());
+}
+
+TEST(InputController, MarksWindowBoundaries) {
+  const auto batch = make_batch({"MKVL", "ARND"});
+  InputController controller(batch);
+  std::vector<bool> completes;
+  std::vector<std::uint32_t> indices;
+  while (auto emission = controller.next()) {
+    completes.push_back(emission->window_complete);
+    indices.push_back(emission->window_index);
+  }
+  ASSERT_EQ(completes.size(), 8u);
+  EXPECT_FALSE(completes[0]);
+  EXPECT_TRUE(completes[3]);
+  EXPECT_TRUE(completes[7]);
+  EXPECT_EQ(indices[0], 0u);
+  EXPECT_EQ(indices[4], 1u);
+}
+
+TEST(InputController, RestrictLimitsStream) {
+  const auto batch = make_batch({"MKVL", "ARND", "CQEG"});
+  InputController controller(batch);
+  controller.restrict(1, 1);
+  std::string streamed;
+  while (auto emission = controller.next()) {
+    streamed.push_back(bio::decode_protein(emission->residue));
+    EXPECT_EQ(emission->window_index, 1u);
+  }
+  EXPECT_EQ(streamed, "ARND");
+}
+
+TEST(InputController, RewindReplaysStream) {
+  const auto batch = make_batch({"MK"});
+  // Window length 2 here; make_batch uses last window's length -- both 2.
+  InputController controller(batch);
+  int first_count = 0;
+  while (controller.next()) ++first_count;
+  controller.rewind();
+  int second_count = 0;
+  while (controller.next()) ++second_count;
+  EXPECT_EQ(first_count, second_count);
+}
+
+TEST(InputController, RestrictPastEndThrows) {
+  const auto batch = make_batch({"MKVL"});
+  InputController controller(batch);
+  EXPECT_THROW(controller.restrict(2, 1), std::out_of_range);
+}
+
+TEST(InputController, RestrictCountClampsToBatch) {
+  const auto batch = make_batch({"MKVL", "ARND"});
+  InputController controller(batch);
+  controller.restrict(1, 100);
+  int windows = 0;
+  while (auto emission = controller.next()) {
+    windows += emission->window_complete ? 1 : 0;
+  }
+  EXPECT_EQ(windows, 1);
+}
+
+TEST(OutputController, CollectsAndTakes) {
+  OutputController controller;
+  controller.accept(ResultRecord{1, 2, 3});
+  controller.accept(ResultRecord{4, 5, 6});
+  EXPECT_EQ(controller.results().size(), 2u);
+  const auto taken = controller.take();
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[1].il1_index, 5u);
+}
+
+TEST(OutputController, ClearEmpties) {
+  OutputController controller;
+  controller.accept(ResultRecord{1, 2, 3});
+  controller.clear();
+  EXPECT_TRUE(controller.results().empty());
+}
+
+}  // namespace
+}  // namespace psc::rasc

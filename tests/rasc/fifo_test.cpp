@@ -1,0 +1,114 @@
+#include "rasc/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psc::rasc {
+namespace {
+
+ResultRecord record(std::uint32_t i) { return ResultRecord{i, i * 10, 42}; }
+
+TEST(BoundedFifo, PushPopFifoOrder) {
+  BoundedFifo fifo(4);
+  EXPECT_TRUE(fifo.try_push(record(1)));
+  EXPECT_TRUE(fifo.try_push(record(2)));
+  EXPECT_EQ(fifo.size(), 2u);
+  EXPECT_EQ(fifo.try_pop()->il0_index, 1u);
+  EXPECT_EQ(fifo.try_pop()->il0_index, 2u);
+  EXPECT_FALSE(fifo.try_pop().has_value());
+}
+
+TEST(BoundedFifo, RejectsWhenFull) {
+  BoundedFifo fifo(2);
+  EXPECT_TRUE(fifo.try_push(record(1)));
+  EXPECT_TRUE(fifo.try_push(record(2)));
+  EXPECT_TRUE(fifo.full());
+  EXPECT_FALSE(fifo.try_push(record(3)));
+  EXPECT_EQ(fifo.rejected_pushes(), 1u);
+  EXPECT_EQ(fifo.total_pushed(), 2u);
+}
+
+TEST(BoundedFifo, HighWatermarkTracksPeak) {
+  BoundedFifo fifo(8);
+  fifo.try_push(record(1));
+  fifo.try_push(record(2));
+  fifo.try_push(record(3));
+  fifo.try_pop();
+  fifo.try_pop();
+  EXPECT_EQ(fifo.high_watermark(), 3u);
+  EXPECT_EQ(fifo.size(), 1u);
+}
+
+TEST(BoundedFifo, ReusableAfterDrain) {
+  BoundedFifo fifo(1);
+  EXPECT_TRUE(fifo.try_push(record(1)));
+  EXPECT_FALSE(fifo.try_push(record(2)));
+  fifo.try_pop();
+  EXPECT_TRUE(fifo.try_push(record(3)));
+  EXPECT_EQ(fifo.try_pop()->il0_index, 3u);
+}
+
+TEST(FifoCascade, DrainsFromTail) {
+  FifoCascade cascade(3, 4);
+  cascade.slot(2).try_push(record(7));
+  const auto out = cascade.cycle();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->il0_index, 7u);
+  EXPECT_EQ(cascade.backlog(), 0u);
+}
+
+TEST(FifoCascade, ForwardsTowardTail) {
+  FifoCascade cascade(3, 4);
+  cascade.slot(0).try_push(record(5));
+  // Hop 0 -> 1, then 1 -> 2, then pop: three cycles to surface.
+  EXPECT_FALSE(cascade.cycle().has_value());
+  EXPECT_FALSE(cascade.cycle().has_value());
+  const auto out = cascade.cycle();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->il0_index, 5u);
+}
+
+TEST(FifoCascade, OneRecordPerCycle) {
+  FifoCascade cascade(2, 8);
+  for (std::uint32_t i = 0; i < 5; ++i) cascade.slot(1).try_push(record(i));
+  std::size_t popped = 0;
+  for (int c = 0; c < 5; ++c) {
+    if (cascade.cycle().has_value()) ++popped;
+  }
+  EXPECT_EQ(popped, 5u);
+  EXPECT_EQ(cascade.backlog(), 0u);
+}
+
+TEST(FifoCascade, PreservesOrderWithinSlot) {
+  FifoCascade cascade(1, 8);
+  for (std::uint32_t i = 0; i < 4; ++i) cascade.slot(0).try_push(record(i));
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const auto out = cascade.cycle();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->il0_index, i);
+  }
+}
+
+TEST(FifoCascade, BackpressureHoldsRecords) {
+  FifoCascade cascade(2, 1);  // tiny FIFOs
+  cascade.slot(0).try_push(record(1));
+  cascade.slot(1).try_push(record(2));
+  // Cycle: tail pops record 2; record 1 forwards into the freed slot.
+  const auto out = cascade.cycle();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->il0_index, 2u);
+  EXPECT_EQ(cascade.slot(1).size(), 1u);
+  EXPECT_EQ(cascade.slot(0).size(), 0u);
+}
+
+TEST(FifoCascade, CapacityIsSummed) {
+  FifoCascade cascade(3, 16);
+  EXPECT_EQ(cascade.total_capacity(), 48u);
+  EXPECT_EQ(cascade.slots(), 3u);
+}
+
+TEST(FifoCascade, ZeroSlotsThrows) {
+  EXPECT_THROW(FifoCascade(0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psc::rasc

@@ -1,0 +1,168 @@
+#include "rasc/gap_operator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/protein_generator.hpp"
+#include "util/rng.hpp"
+
+namespace psc::rasc {
+namespace {
+
+struct Pairs {
+  bio::SequenceBank bank{bio::SequenceKind::kProtein};
+  index::WindowBatch batch0;
+  index::WindowBatch batch1;
+
+  Pairs(std::size_t window_length, std::size_t count, std::uint64_t seed)
+      : batch0(window_length), batch1(window_length) {
+    util::Xoshiro256 rng(seed);
+    bank.add(sim::generate_protein("pool", 3000, rng));
+    const index::WindowShape shape{4, (window_length - 4) / 2};
+    for (std::uint32_t i = 0; i < count; ++i) {
+      batch0.append(bank, index::Occurrence{0, 60 + 19 * i}, shape);
+      batch1.append(bank, index::Occurrence{0, 61 + 23 * i}, shape);
+    }
+  }
+};
+
+GapOperatorConfig make_config(std::size_t lanes = 4, int threshold = 0,
+                              std::size_t window = 32) {
+  GapOperatorConfig config;
+  config.num_lanes = lanes;
+  config.band = 8;
+  config.window_length = window;
+  config.threshold = threshold;
+  return config;
+}
+
+TEST(GapOperator, ScoresMatchBandedKernel) {
+  const Pairs pairs(32, 7, 1);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const align::GapParams params;
+  GapOperator op(make_config(), m, params);
+  std::vector<ResultRecord> out;
+  op.run_pairs(pairs.batch0, pairs.batch1, out);
+  ASSERT_EQ(out.size(), 7u);  // threshold 0: every pair reported
+  for (const ResultRecord& record : out) {
+    EXPECT_EQ(record.il0_index, record.il1_index);
+    EXPECT_EQ(record.score,
+              align::banded_window_score(pairs.batch0.window(record.il0_index),
+                                         pairs.batch1.window(record.il1_index),
+                                         8, params, m));
+  }
+}
+
+TEST(GapOperator, ThresholdFilters) {
+  const Pairs pairs(32, 10, 2);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  GapOperator loose(make_config(4, 0), m, align::GapParams{});
+  GapOperator tight(make_config(4, 60), m, align::GapParams{});
+  std::vector<ResultRecord> all, few;
+  loose.run_pairs(pairs.batch0, pairs.batch1, all);
+  tight.run_pairs(pairs.batch0, pairs.batch1, few);
+  EXPECT_EQ(all.size(), 10u);
+  EXPECT_LT(few.size(), all.size());
+  EXPECT_EQ(tight.stats().pairs, 10u);
+  EXPECT_EQ(tight.stats().survivors, few.size());
+}
+
+TEST(GapOperator, CycleModelFollowsClosedForm) {
+  const std::size_t window = 32;
+  const Pairs pairs(window, 9, 3);
+  GapOperator op(make_config(4, 0, window), bio::SubstitutionMatrix::blosum62(),
+                 align::GapParams{});
+  std::vector<ResultRecord> out;
+  op.run_pairs(pairs.batch0, pairs.batch1, out);
+  // 9 pairs over 4 lanes -> 3 rounds; per round M load + 2M-1 compute.
+  EXPECT_EQ(op.stats().cycles_load, 3u * window);
+  EXPECT_EQ(op.stats().cycles_compute, 3u * (2 * window - 1));
+  EXPECT_NEAR(op.modeled_seconds(),
+              static_cast<double>(op.stats().cycles_total()) / 100e6, 1e-15);
+}
+
+TEST(GapOperator, LaneUtilization) {
+  const Pairs pairs(32, 9, 4);
+  GapOperator op(make_config(4, 0), bio::SubstitutionMatrix::blosum62(),
+                 align::GapParams{});
+  std::vector<ResultRecord> out;
+  op.run_pairs(pairs.batch0, pairs.batch1, out);
+  // 9 busy lane-ticks of 12 (3 rounds x 4 lanes).
+  EXPECT_NEAR(op.stats().utilization(), 9.0 / 12.0, 1e-12);
+}
+
+TEST(GapOperator, MoreLanesFewerCycles) {
+  const Pairs pairs(32, 16, 5);
+  GapOperator narrow(make_config(2, 0), bio::SubstitutionMatrix::blosum62(),
+                     align::GapParams{});
+  GapOperator wide(make_config(16, 0), bio::SubstitutionMatrix::blosum62(),
+                   align::GapParams{});
+  std::vector<ResultRecord> out;
+  narrow.run_pairs(pairs.batch0, pairs.batch1, out);
+  out.clear();
+  wide.run_pairs(pairs.batch0, pairs.batch1, out);
+  EXPECT_GT(narrow.stats().cycles_total(), wide.stats().cycles_total());
+}
+
+TEST(GapOperator, EmptyBatchIsNoop) {
+  index::WindowBatch empty0(32), empty1(32);
+  GapOperator op(make_config(), bio::SubstitutionMatrix::blosum62(),
+                 align::GapParams{});
+  std::vector<ResultRecord> out;
+  op.run_pairs(empty0, empty1, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(op.stats().cycles_total(), 0u);
+}
+
+TEST(GapOperator, MismatchedInputsThrow) {
+  const Pairs pairs(32, 3, 6);
+  index::WindowBatch other(32);
+  GapOperator op(make_config(), bio::SubstitutionMatrix::blosum62(),
+                 align::GapParams{});
+  std::vector<ResultRecord> out;
+  EXPECT_THROW(op.run_pairs(pairs.batch0, other, out), std::invalid_argument);
+  index::WindowBatch wrong_len(16);
+  EXPECT_THROW(op.run_pairs(wrong_len, wrong_len, out), std::invalid_argument);
+}
+
+TEST(GapOperator, InvalidConfigThrows) {
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  GapOperatorConfig config = make_config();
+  config.num_lanes = 0;
+  EXPECT_THROW(GapOperator(config, m, align::GapParams{}),
+               std::invalid_argument);
+  config = make_config();
+  config.band = 0;
+  EXPECT_THROW(GapOperator(config, m, align::GapParams{}),
+               std::invalid_argument);
+}
+
+TEST(GapOperator, HomologousPairScoresAboveNoise) {
+  util::Xoshiro256 rng(7);
+  bio::SequenceBank bank(bio::SequenceKind::kProtein);
+  bio::Sequence a = sim::generate_protein("a", 200, rng);
+  bio::Sequence b = sim::generate_protein("b", 200, rng);
+  // Copy a 40-residue stretch from a into b at a slightly shifted spot.
+  for (std::size_t k = 0; k < 40; ++k) {
+    b.mutable_residues()[82 + k] = a[80 + k];
+  }
+  bank.add(std::move(a));
+  bank.add(std::move(b));
+
+  const index::WindowShape shape{4, 30};  // window 64
+  index::WindowBatch w0(shape.length()), w1(shape.length());
+  w0.append(bank, index::Occurrence{0, 95}, shape);   // inside the copy
+  w1.append(bank, index::Occurrence{1, 97}, shape);   // shifted by 2
+  w0.append(bank, index::Occurrence{0, 160}, shape);  // noise pair
+  w1.append(bank, index::Occurrence{1, 30}, shape);
+
+  GapOperatorConfig config = make_config(2, 0, shape.length());
+  GapOperator op(config, bio::SubstitutionMatrix::blosum62(),
+                 align::GapParams{});
+  std::vector<ResultRecord> out;
+  op.run_pairs(w0, w1, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_GT(out[0].score, out[1].score + 40);  // homology dominates
+}
+
+}  // namespace
+}  // namespace psc::rasc

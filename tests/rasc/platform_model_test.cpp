@@ -1,0 +1,81 @@
+#include "rasc/platform_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psc::rasc {
+namespace {
+
+TEST(PlatformModel, TransferSecondsLatencyPlusBandwidth) {
+  PlatformConfig config;
+  config.dma_bandwidth = 1e9;
+  config.dma_latency = 1e-5;
+  config.sram_bytes = 1 << 20;
+  const PlatformModel model(config);
+  // Single chunk: latency + bytes/bw.
+  EXPECT_NEAR(model.transfer_seconds(1000), 1e-5 + 1000 / 1e9, 1e-12);
+  EXPECT_DOUBLE_EQ(model.transfer_seconds(0), 0.0);
+}
+
+TEST(PlatformModel, LargeStreamsChunkBySram) {
+  PlatformConfig config;
+  config.dma_bandwidth = 1e9;
+  config.dma_latency = 1e-4;
+  config.sram_bytes = 1000;
+  const PlatformModel model(config);
+  // 2500 bytes -> 3 chunks -> 3 latencies.
+  EXPECT_NEAR(model.transfer_seconds(2500), 3e-4 + 2500 / 1e9, 1e-12);
+}
+
+TEST(PlatformModel, AccumulatesStreams) {
+  PlatformModel model;
+  model.add_input_stream(1000);
+  model.add_input_stream(500);
+  model.add_result_stream(10);
+  EXPECT_EQ(model.bytes_in(), 1500u);
+  EXPECT_EQ(model.bytes_out(), 10u * model.config().result_record_bytes);
+  EXPECT_GT(model.input_seconds(), 0.0);
+  EXPECT_GT(model.output_seconds(), 0.0);
+  EXPECT_NEAR(model.total_seconds(),
+              model.input_seconds() + model.output_seconds() +
+                  model.overhead_seconds(),
+              1e-15);
+}
+
+TEST(PlatformModel, OverheadsAccumulate) {
+  PlatformModel model;
+  model.add_invocation();
+  model.add_invocation();
+  EXPECT_NEAR(model.overhead_seconds(),
+              2 * model.config().invocation_overhead, 1e-12);
+  model.add_bitstream_load();
+  EXPECT_NEAR(model.overhead_seconds(),
+              2 * model.config().invocation_overhead +
+                  model.config().bitstream_load_seconds,
+              1e-12);
+}
+
+TEST(PlatformModel, ResetClearsState) {
+  PlatformModel model;
+  model.add_input_stream(1000);
+  model.add_bitstream_load();
+  model.reset();
+  EXPECT_DOUBLE_EQ(model.total_seconds(), 0.0);
+  EXPECT_EQ(model.bytes_in(), 0u);
+}
+
+TEST(PlatformModel, InvalidConfigThrows) {
+  PlatformConfig bad_bw;
+  bad_bw.dma_bandwidth = 0.0;
+  EXPECT_THROW(PlatformModel{bad_bw}, std::invalid_argument);
+  PlatformConfig bad_sram;
+  bad_sram.sram_bytes = 0;
+  EXPECT_THROW(PlatformModel{bad_sram}, std::invalid_argument);
+}
+
+TEST(PlatformModel, MoreDataTakesLonger) {
+  const PlatformModel model;
+  EXPECT_LT(model.transfer_seconds(1 << 10), model.transfer_seconds(1 << 24));
+}
+
+}  // namespace
+}  // namespace psc::rasc

@@ -1,0 +1,128 @@
+#include "rasc/processing_element.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/ungapped.hpp"
+#include "util/rng.hpp"
+
+namespace psc::rasc {
+namespace {
+
+std::vector<std::uint8_t> encode(const std::string& letters) {
+  std::vector<std::uint8_t> out;
+  for (const char c : letters) out.push_back(bio::encode_protein(c));
+  return out;
+}
+
+void load(ProcessingElement& pe, const std::vector<std::uint8_t>& window,
+          std::uint32_t index = 0) {
+  for (const std::uint8_t r : window) pe.load_residue(r, index);
+}
+
+TEST(ProcessingElement, LoadsInWindowLengthSteps) {
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  ProcessingElement pe(4, m);
+  EXPECT_FALSE(pe.loaded());
+  const auto window = encode("MKVL");
+  pe.load_residue(window[0], 3);
+  pe.load_residue(window[1], 3);
+  EXPECT_FALSE(pe.loaded());
+  pe.load_residue(window[2], 3);
+  pe.load_residue(window[3], 3);
+  EXPECT_TRUE(pe.loaded());
+  EXPECT_EQ(pe.il0_index(), 3u);
+}
+
+TEST(ProcessingElement, OverloadThrows) {
+  ProcessingElement pe(2, bio::SubstitutionMatrix::blosum62());
+  load(pe, encode("MK"));
+  EXPECT_THROW(pe.load_residue(0, 0), std::logic_error);
+}
+
+TEST(ProcessingElement, ComputeBeforeLoadThrows) {
+  ProcessingElement pe(2, bio::SubstitutionMatrix::blosum62());
+  EXPECT_THROW(pe.compute_cycle(0), std::logic_error);
+  EXPECT_THROW(pe.compute_window(nullptr), std::logic_error);
+}
+
+TEST(ProcessingElement, CycleByCycleEqualsScalarKernel) {
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const auto a = encode("MKVLARND");
+  const auto b = encode("MKVWARND");
+  ProcessingElement pe(a.size(), m);
+  load(pe, a);
+
+  std::optional<int> result;
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    result = pe.compute_cycle(b[k]);
+    if (k + 1 < b.size()) EXPECT_FALSE(result.has_value());
+  }
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, align::ungapped_window_score(a, b, m));
+}
+
+TEST(ProcessingElement, ComputeWindowEqualsCycleByCycle) {
+  util::Xoshiro256 rng(12);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> a(32), b(32);
+    for (auto& r : a) r = static_cast<std::uint8_t>(rng.bounded(20));
+    for (auto& r : b) r = static_cast<std::uint8_t>(rng.bounded(20));
+    ProcessingElement pe(32, m);
+    load(pe, a);
+    const int fast = pe.compute_window(b.data());
+    std::optional<int> slow;
+    for (const auto r : b) slow = pe.compute_cycle(r);
+    ASSERT_TRUE(slow.has_value());
+    EXPECT_EQ(fast, *slow);
+  }
+}
+
+TEST(ProcessingElement, ShiftRegisterFeedbackAllowsReuse) {
+  // The same stored IL0 window must score several IL1 windows in a row
+  // (feedback loop of Figure 2).
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const auto stored = encode("MKVLARND");
+  ProcessingElement pe(stored.size(), m);
+  load(pe, stored);
+  const auto b1 = encode("MKVLARND");
+  const auto b2 = encode("WWWWWWWW");
+  const auto b3 = encode("MKVLWRND");
+  EXPECT_EQ(pe.compute_window(b1.data()),
+            align::ungapped_window_score(stored, b1, m));
+  EXPECT_EQ(pe.compute_window(b2.data()),
+            align::ungapped_window_score(stored, b2, m));
+  std::optional<int> r;
+  for (const auto c : b3) r = pe.compute_cycle(c);
+  EXPECT_EQ(*r, align::ungapped_window_score(stored, b3, m));
+}
+
+TEST(ProcessingElement, ResetAllowsNewWindow) {
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  ProcessingElement pe(4, m);
+  load(pe, encode("MKVL"), 1);
+  pe.reset();
+  EXPECT_FALSE(pe.loaded());
+  load(pe, encode("WWWW"), 2);
+  EXPECT_EQ(pe.il0_index(), 2u);
+  const auto b = encode("WWWW");
+  EXPECT_EQ(pe.compute_window(b.data()),
+            align::ungapped_window_score(encode("WWWW"), b, m));
+}
+
+TEST(ProcessingElement, ZeroWindowLengthThrows) {
+  EXPECT_THROW(ProcessingElement(0, bio::SubstitutionMatrix::blosum62()),
+               std::invalid_argument);
+}
+
+TEST(ProcessingElement, ScoreIsClampedNonNegative) {
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const auto a = encode("GGGG");
+  const auto b = encode("WWWW");
+  ProcessingElement pe(4, m);
+  load(pe, a);
+  EXPECT_EQ(pe.compute_window(b.data()), 0);
+}
+
+}  // namespace
+}  // namespace psc::rasc

@@ -1,0 +1,191 @@
+#include "rasc/rasc_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/protein_generator.hpp"
+
+namespace psc::rasc {
+namespace {
+
+struct Banks {
+  bio::SequenceBank bank0{bio::SequenceKind::kProtein};
+  bio::SequenceBank bank1{bio::SequenceKind::kProtein};
+
+  explicit Banks(std::uint64_t seed) {
+    util::Xoshiro256 rng(seed);
+    // Shared homologous stretch so seeds and hits exist.
+    const bio::Sequence shared = sim::generate_protein("core", 40, rng);
+    auto patch = [&shared](bio::Sequence& seq, std::size_t at) {
+      for (std::size_t k = 0; k < shared.size(); ++k) {
+        seq.mutable_residues()[at + k] = shared[k];
+      }
+    };
+    for (int i = 0; i < 6; ++i) {
+      bio::Sequence seq = sim::generate_protein("q" + std::to_string(i), 120, rng);
+      if (i == 0) patch(seq, 30);
+      bank0.add(std::move(seq));
+    }
+    for (int i = 0; i < 10; ++i) {
+      bio::Sequence seq = sim::generate_protein("s" + std::to_string(i), 150, rng);
+      if (i == 3) patch(seq, 60);
+      if (i == 7) patch(seq, 10);
+      bank1.add(std::move(seq));
+    }
+  }
+};
+
+RascStep2Config make_config(std::size_t fpgas = 1) {
+  RascStep2Config config;
+  config.psc.num_pes = 16;
+  config.psc.slot_size = 4;
+  config.psc.window_length = 32;
+  config.psc.threshold = 25;
+  config.psc.fifo_depth = 16;
+  config.shape = index::WindowShape{4, 14};
+  config.num_fpgas = fpgas;
+  return config;
+}
+
+TEST(RascBackend, FindsPlantedHomology) {
+  const Banks banks(1);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const index::IndexTable t0(banks.bank0, model);
+  const index::IndexTable t1(banks.bank1, model);
+  const RascStep2Result result =
+      run_rasc_step2(banks.bank0, t0, banks.bank1, t1,
+                     bio::SubstitutionMatrix::blosum62(), make_config());
+  ASSERT_FALSE(result.hits.empty());
+  bool hits_seq3 = false;
+  for (const auto& hit : result.hits) {
+    if (hit.bank0.sequence == 0 && hit.bank1.sequence == 3) hits_seq3 = true;
+    EXPECT_GE(hit.score, 25);
+  }
+  EXPECT_TRUE(hits_seq3);
+  EXPECT_GT(result.modeled_seconds, 0.0);
+  EXPECT_EQ(result.fpgas.size(), 1u);
+}
+
+TEST(RascBackend, TwoFpgasSameHitsAsOne) {
+  const Banks banks(2);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const index::IndexTable t0(banks.bank0, model);
+  const index::IndexTable t1(banks.bank1, model);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  RascStep2Result one = run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m,
+                                       make_config(1));
+  RascStep2Result two = run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m,
+                                       make_config(2));
+  auto key = [](const align::SeedPairHit& h) {
+    return std::tuple(h.bank0.sequence, h.bank0.offset, h.bank1.sequence,
+                      h.bank1.offset, h.score);
+  };
+  auto sort_hits = [&](std::vector<align::SeedPairHit>& hits) {
+    std::sort(hits.begin(), hits.end(),
+              [&](const auto& a, const auto& b) { return key(a) < key(b); });
+  };
+  sort_hits(one.hits);
+  sort_hits(two.hits);
+  EXPECT_EQ(one.hits, two.hits);
+  EXPECT_EQ(two.fpgas.size(), 2u);
+}
+
+TEST(RascBackend, TwoFpgasReduceModeledTime) {
+  const Banks banks(3);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const index::IndexTable t0(banks.bank0, model);
+  const index::IndexTable t1(banks.bank1, model);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const RascStep2Result one =
+      run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, make_config(1));
+  const RascStep2Result two =
+      run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, make_config(2));
+  // Compute cycles split across the boards; modeled wall time must drop
+  // (fixed bitstream cost keeps the ratio below 2).
+  EXPECT_LT(two.modeled_seconds, one.modeled_seconds);
+  const std::uint64_t cycles_one = one.stats.cycles_total();
+  const std::uint64_t cycles_two = std::max(
+      two.fpgas[0].stats.cycles_total(), two.fpgas[1].stats.cycles_total());
+  EXPECT_LT(cycles_two, cycles_one);
+}
+
+TEST(RascBackend, ThreadedAndSequentialDriversAgree) {
+  const Banks banks(4);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const index::IndexTable t0(banks.bank0, model);
+  const index::IndexTable t1(banks.bank1, model);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  RascStep2Config threaded = make_config(2);
+  threaded.threaded = true;
+  RascStep2Config sequential = make_config(2);
+  sequential.threaded = false;
+  RascStep2Result a =
+      run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, threaded);
+  RascStep2Result b =
+      run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, sequential);
+  EXPECT_EQ(a.hits.size(), b.hits.size());
+  EXPECT_DOUBLE_EQ(a.modeled_seconds, b.modeled_seconds);
+}
+
+TEST(RascBackend, CycleExactEngineAgreesWithBatch) {
+  const Banks banks(5);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const index::IndexTable t0(banks.bank0, model);
+  const index::IndexTable t1(banks.bank1, model);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  RascStep2Config batch = make_config(1);
+  RascStep2Config exact = make_config(1);
+  exact.cycle_exact = true;
+  RascStep2Result rb = run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, batch);
+  RascStep2Result re = run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, exact);
+  auto as_set = [](std::vector<align::SeedPairHit> hits) {
+    std::sort(hits.begin(), hits.end(), [](const auto& a, const auto& b) {
+      return std::tuple(a.bank0.sequence, a.bank0.offset, a.bank1.sequence,
+                        a.bank1.offset) <
+             std::tuple(b.bank0.sequence, b.bank0.offset, b.bank1.sequence,
+                        b.bank1.offset);
+    });
+    return hits;
+  };
+  EXPECT_EQ(as_set(rb.hits), as_set(re.hits));
+}
+
+TEST(RascBackend, ConfigValidation) {
+  const Banks banks(6);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const index::IndexTable t0(banks.bank0, model);
+  const index::IndexTable t1(banks.bank1, model);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  RascStep2Config bad_shape = make_config();
+  bad_shape.shape = index::WindowShape{4, 10};  // length 24 != 32
+  EXPECT_THROW(run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, bad_shape),
+               std::invalid_argument);
+  RascStep2Config bad_fpgas = make_config();
+  bad_fpgas.num_fpgas = 3;
+  EXPECT_THROW(run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, bad_fpgas),
+               std::invalid_argument);
+}
+
+TEST(RascBackend, ReportsTransferAndOverhead) {
+  const Banks banks(7);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const index::IndexTable t0(banks.bank0, model);
+  const index::IndexTable t1(banks.bank1, model);
+  const RascStep2Result result =
+      run_rasc_step2(banks.bank0, t0, banks.bank1, t1,
+                     bio::SubstitutionMatrix::blosum62(), make_config());
+  const FpgaRunReport& report = result.fpgas[0];
+  EXPECT_GT(report.compute_seconds, 0.0);
+  EXPECT_GT(report.transfer_seconds, 0.0);
+  // Bitstream load dominates the small test overheads.
+  EXPECT_GE(report.overhead_seconds,
+            PlatformConfig{}.bitstream_load_seconds);
+  EXPECT_NEAR(report.total_seconds(),
+              report.compute_seconds + report.transfer_seconds +
+                  report.overhead_seconds,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace psc::rasc

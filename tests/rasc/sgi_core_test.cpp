@@ -1,0 +1,85 @@
+#include "rasc/sgi_core.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psc::rasc {
+namespace {
+
+TEST(SgiCore, RegisterWriteReadRoundTrip) {
+  SgiCore core;
+  core.write_register(AdrRegister::kThreshold, 38);
+  core.write_register(AdrRegister::kWindowLength, 64);
+  EXPECT_EQ(core.read_register(AdrRegister::kThreshold), 38u);
+  EXPECT_EQ(core.read_register(AdrRegister::kWindowLength), 64u);
+}
+
+TEST(SgiCore, DoorbellProtocol) {
+  SgiCore core;
+  EXPECT_FALSE(core.busy());
+  EXPECT_EQ(core.read_register(AdrRegister::kStatus), 0u);
+  core.ring_doorbell();
+  EXPECT_TRUE(core.busy());
+  EXPECT_EQ(core.read_register(AdrRegister::kStatus), 1u);
+  core.complete(123, 4567);
+  EXPECT_FALSE(core.busy());
+  EXPECT_EQ(core.read_register(AdrRegister::kResultCount), 123u);
+  EXPECT_EQ(core.read_register(AdrRegister::kCycleCounter), 4567u);
+}
+
+TEST(SgiCore, DoorbellWhileBusyThrows) {
+  SgiCore core;
+  core.ring_doorbell();
+  EXPECT_THROW(core.ring_doorbell(), std::logic_error);
+}
+
+TEST(SgiCore, CompleteWhileIdleThrows) {
+  SgiCore core;
+  EXPECT_THROW(core.complete(0, 0), std::logic_error);
+}
+
+TEST(SgiCore, ConfigWriteWhileBusyThrows) {
+  SgiCore core;
+  core.ring_doorbell();
+  EXPECT_THROW(core.write_register(AdrRegister::kThreshold, 1),
+               std::logic_error);
+  // Control register stays writable (abort/reset path).
+  EXPECT_NO_THROW(core.write_register(AdrRegister::kControl, 0));
+}
+
+TEST(SgiCore, DeviceOwnedRegistersAreReadOnly) {
+  SgiCore core;
+  EXPECT_THROW(core.write_register(AdrRegister::kStatus, 1), std::logic_error);
+  EXPECT_THROW(core.write_register(AdrRegister::kResultCount, 1),
+               std::logic_error);
+  EXPECT_THROW(core.write_register(AdrRegister::kCycleCounter, 1),
+               std::logic_error);
+}
+
+TEST(SgiCore, DoorbellClearsDeviceCounters) {
+  SgiCore core;
+  core.ring_doorbell();
+  core.complete(99, 100);
+  core.ring_doorbell();
+  EXPECT_EQ(core.read_register(AdrRegister::kResultCount), 0u);
+  EXPECT_EQ(core.read_register(AdrRegister::kCycleCounter), 0u);
+  core.complete(1, 2);
+}
+
+TEST(SgiCore, MmioTimeAccumulates) {
+  SgiCore core(1e-6);
+  core.write_register(AdrRegister::kThreshold, 1);  // 1 write
+  core.ring_doorbell();                             // 1 doorbell
+  core.complete(0, 0);                              // device side: free
+  core.read_register(AdrRegister::kStatus);         // 1 read
+  EXPECT_NEAR(core.mmio_seconds(), 3e-6, 1e-12);
+  EXPECT_EQ(core.writes(), 1u);
+  EXPECT_EQ(core.reads(), 1u);
+  EXPECT_EQ(core.doorbells(), 1u);
+}
+
+TEST(SgiCore, NegativeLatencyThrows) {
+  EXPECT_THROW(SgiCore(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psc::rasc

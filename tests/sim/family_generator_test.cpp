@@ -1,0 +1,106 @@
+#include "sim/family_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/gapped.hpp"
+
+namespace psc::sim {
+namespace {
+
+TEST(GenerateFamilies, CountsMatchConfig) {
+  FamilyConfig config;
+  config.families = 5;
+  config.members_per_family = 4;
+  const FamilyBenchmark benchmark = generate_families(config);
+  EXPECT_EQ(benchmark.members.size(), 20u);
+  EXPECT_EQ(benchmark.family_of.size(), 20u);
+  EXPECT_EQ(benchmark.family_count, 5u);
+}
+
+TEST(GenerateFamilies, FamilyLabelsAreBlocked) {
+  FamilyConfig config;
+  config.families = 3;
+  config.members_per_family = 2;
+  const FamilyBenchmark benchmark = generate_families(config);
+  EXPECT_EQ(benchmark.family_of[0], 0u);
+  EXPECT_EQ(benchmark.family_of[1], 0u);
+  EXPECT_EQ(benchmark.family_of[2], 1u);
+  EXPECT_EQ(benchmark.family_of[5], 2u);
+}
+
+TEST(GenerateFamilies, MembersOfSameFamilyAreSimilar) {
+  FamilyConfig config;
+  config.families = 2;
+  config.members_per_family = 3;
+  config.ancestor_length = 200;
+  config.divergence.substitution_rate = 0.15;
+  const FamilyBenchmark benchmark = generate_families(config);
+
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const auto& a = benchmark.members[0];
+  const auto& b = benchmark.members[1];  // same family
+  const auto& c = benchmark.members[3];  // different family
+  const align::Alignment same = align::smith_waterman(
+      {a.data(), a.size()}, {b.data(), b.size()}, m, align::GapParams{});
+  const align::Alignment diff = align::smith_waterman(
+      {a.data(), a.size()}, {c.data(), c.size()}, m, align::GapParams{});
+  EXPECT_GT(same.score, 3 * diff.score);
+}
+
+TEST(GenerateFamilies, Deterministic) {
+  FamilyConfig config;
+  config.families = 2;
+  config.members_per_family = 2;
+  const FamilyBenchmark a = generate_families(config);
+  const FamilyBenchmark b = generate_families(config);
+  for (std::size_t i = 0; i < a.members.size(); ++i) {
+    EXPECT_EQ(a.members[i].residues(), b.members[i].residues());
+  }
+}
+
+TEST(GenerateFamilies, EmptyFamilyThrows) {
+  FamilyConfig config;
+  config.members_per_family = 0;
+  EXPECT_THROW(generate_families(config), std::invalid_argument);
+}
+
+TEST(SplitQueries, SplitsPerFamily) {
+  FamilyConfig config;
+  config.families = 4;
+  config.members_per_family = 5;
+  const FamilyBenchmark benchmark = generate_families(config);
+  const QueryTargetSplit split = split_queries(benchmark, 2);
+  EXPECT_EQ(split.queries.size(), 8u);
+  EXPECT_EQ(split.targets.size(), 12u);
+  EXPECT_EQ(split.query_family.size(), 8u);
+  EXPECT_EQ(split.target_family.size(), 12u);
+}
+
+TEST(SplitQueries, EveryFamilyRepresentedOnBothSides) {
+  FamilyConfig config;
+  config.families = 3;
+  config.members_per_family = 4;
+  const FamilyBenchmark benchmark = generate_families(config);
+  const QueryTargetSplit split = split_queries(benchmark, 1);
+  std::vector<int> queries_per(3, 0);
+  std::vector<int> targets_per(3, 0);
+  for (const auto f : split.query_family) ++queries_per[f];
+  for (const auto f : split.target_family) ++targets_per[f];
+  for (int f = 0; f < 3; ++f) {
+    EXPECT_EQ(queries_per[f], 1);
+    EXPECT_EQ(targets_per[f], 3);
+  }
+}
+
+TEST(SplitQueries, ZeroQueriesMeansAllTargets) {
+  FamilyConfig config;
+  config.families = 2;
+  config.members_per_family = 3;
+  const FamilyBenchmark benchmark = generate_families(config);
+  const QueryTargetSplit split = split_queries(benchmark, 0);
+  EXPECT_EQ(split.queries.size(), 0u);
+  EXPECT_EQ(split.targets.size(), 6u);
+}
+
+}  // namespace
+}  // namespace psc::sim

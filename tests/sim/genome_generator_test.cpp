@@ -1,0 +1,149 @@
+#include "sim/genome_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/translate.hpp"
+
+namespace psc::sim {
+namespace {
+
+TEST(GenerateGenome, RespectsLength) {
+  GenomeConfig config;
+  config.length = 5000;
+  const bio::Sequence genome = generate_genome(config);
+  EXPECT_EQ(genome.size(), 5000u);
+  EXPECT_EQ(genome.kind(), bio::SequenceKind::kDna);
+}
+
+TEST(GenerateGenome, Deterministic) {
+  GenomeConfig config;
+  config.length = 2000;
+  config.seed = 123;
+  const bio::Sequence a = generate_genome(config);
+  const bio::Sequence b = generate_genome(config);
+  EXPECT_EQ(a.residues(), b.residues());
+}
+
+TEST(GenerateGenome, SeedChangesOutput) {
+  GenomeConfig config;
+  config.length = 2000;
+  config.seed = 1;
+  const bio::Sequence a = generate_genome(config);
+  config.seed = 2;
+  const bio::Sequence b = generate_genome(config);
+  EXPECT_NE(a.residues(), b.residues());
+}
+
+TEST(GenerateGenome, GcContentApproximatelyRespected) {
+  GenomeConfig config;
+  config.length = 100000;
+  config.gc_content = 0.41;
+  config.markov_strength = 0.0;  // i.i.d. so the check is exact-ish
+  const bio::Sequence genome = generate_genome(config);
+  std::size_t gc = 0;
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    if (genome[i] == 1 || genome[i] == 2) ++gc;
+  }
+  EXPECT_NEAR(static_cast<double>(gc) / static_cast<double>(genome.size()),
+              0.41, 0.02);
+}
+
+TEST(GenerateGenome, OnlyValidNucleotides) {
+  GenomeConfig config;
+  config.length = 10000;
+  const bio::Sequence genome = generate_genome(config);
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    EXPECT_LT(genome[i], 4);
+  }
+}
+
+TEST(GenerateGenome, MarkovStructureSuppressesCpG) {
+  GenomeConfig config;
+  config.length = 200000;
+  config.markov_strength = 1.0;
+  const bio::Sequence genome = generate_genome(config);
+  std::size_t cg = 0;  // C followed by G
+  std::size_t gc = 0;  // G followed by C
+  for (std::size_t i = 0; i + 1 < genome.size(); ++i) {
+    if (genome[i] == 1 && genome[i + 1] == 2) ++cg;
+    if (genome[i] == 2 && genome[i + 1] == 1) ++gc;
+  }
+  EXPECT_LT(cg, gc / 2);  // CpG strongly depleted relative to GpC
+}
+
+TEST(PlantGene, ForwardStrandTranslatesBack) {
+  GenomeConfig config;
+  config.length = 1000;
+  bio::Sequence genome = generate_genome(config);
+  const bio::Sequence protein =
+      bio::Sequence::protein_from_letters("p", "MKVLARNDCQEGHIKW");
+  util::Xoshiro256 rng(7);
+  plant_gene(genome, protein, 120, /*forward=*/true, rng);
+
+  const auto frame = bio::translate_frame(genome, 1 + (120 % 3));
+  const std::string translated = frame.protein.to_letters();
+  EXPECT_NE(translated.find("MKVLARNDCQEGHIKW"), std::string::npos);
+}
+
+TEST(PlantGene, ReverseStrandTranslatesBack) {
+  GenomeConfig config;
+  config.length = 1000;
+  bio::Sequence genome = generate_genome(config);
+  const bio::Sequence protein =
+      bio::Sequence::protein_from_letters("p", "MKVLARNDCQEGHIKW");
+  util::Xoshiro256 rng(7);
+  plant_gene(genome, protein, 123, /*forward=*/false, rng);
+
+  // The protein must appear in one of the three reverse frames.
+  bool found = false;
+  for (int frame : {-1, -2, -3}) {
+    const auto tf = bio::translate_frame(genome, frame);
+    if (tf.protein.to_letters().find("MKVLARNDCQEGHIKW") !=
+        std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlantGene, DoesNotFitThrows) {
+  GenomeConfig config;
+  config.length = 30;
+  bio::Sequence genome = generate_genome(config);
+  const bio::Sequence protein =
+      bio::Sequence::protein_from_letters("p", "MKVLARNDCQEGHIKW");
+  util::Xoshiro256 rng(7);
+  EXPECT_THROW(plant_gene(genome, protein, 0, true, rng), std::out_of_range);
+}
+
+TEST(PlantBank, PlantsEveryProtein) {
+  GenomeConfig config;
+  config.length = 20000;
+  bio::Sequence genome = generate_genome(config);
+  bio::SequenceBank bank(bio::SequenceKind::kProtein);
+  for (int i = 0; i < 5; ++i) {
+    bank.add(bio::Sequence::protein_from_letters(
+        "p" + std::to_string(i), "MKVLARNDCQEGHIKWMKVLARNDCQEGHIKW"));
+  }
+  util::Xoshiro256 rng(9);
+  const auto plants = plant_bank(genome, bank, rng);
+  ASSERT_EQ(plants.size(), 5u);
+  for (std::size_t i = 0; i + 1 < plants.size(); ++i) {
+    EXPECT_LE(plants[i].genome_begin + 3 * plants[i].protein_length,
+              plants[i + 1].genome_begin + 3 * plants[i + 1].protein_length);
+  }
+}
+
+TEST(PlantBank, GenomeTooSmallThrows) {
+  GenomeConfig config;
+  config.length = 100;
+  bio::Sequence genome = generate_genome(config);
+  bio::SequenceBank bank(bio::SequenceKind::kProtein);
+  bank.add(bio::Sequence::protein_from_letters(
+      "p", std::string(200, 'A').c_str()));
+  util::Xoshiro256 rng(9);
+  EXPECT_THROW(plant_bank(genome, bank, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psc::sim

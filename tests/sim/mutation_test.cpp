@@ -1,0 +1,100 @@
+#include "sim/mutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/substitution_matrix.hpp"
+#include "sim/protein_generator.hpp"
+
+namespace psc::sim {
+namespace {
+
+TEST(MutateProtein, ZeroRatesLeaveSequenceIntact) {
+  util::Xoshiro256 rng(1);
+  const bio::Sequence original = generate_protein("p", 200, rng);
+  MutationConfig config;
+  config.substitution_rate = 0.0;
+  config.indel_rate = 0.0;
+  const bio::Sequence mutated = mutate_protein(original, config, rng);
+  EXPECT_EQ(mutated.residues(), original.residues());
+  EXPECT_NE(mutated.id().find("|mut"), std::string::npos);
+}
+
+TEST(MutateProtein, SubstitutionRateControlsIdentity) {
+  util::Xoshiro256 rng(2);
+  const bio::Sequence original = generate_protein("p", 5000, rng);
+  MutationConfig config;
+  config.substitution_rate = 0.3;
+  config.indel_rate = 0.0;
+  const bio::Sequence mutated = mutate_protein(original, config, rng);
+  ASSERT_EQ(mutated.size(), original.size());
+  std::size_t identical = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (original[i] == mutated[i]) ++identical;
+  }
+  const double identity =
+      static_cast<double>(identical) / static_cast<double>(original.size());
+  EXPECT_NEAR(identity, expected_identity(config), 0.03);
+}
+
+TEST(MutateProtein, SubstitutionsPreferConservativeReplacements) {
+  util::Xoshiro256 rng(3);
+  const bio::Sequence original = generate_protein("p", 20000, rng);
+  MutationConfig config;
+  config.substitution_rate = 1.0;  // mutate every position
+  config.indel_rate = 0.0;
+  config.conservation = 1.0;
+  const bio::Sequence mutated = mutate_protein(original, config, rng);
+  const auto& matrix = bio::SubstitutionMatrix::blosum62();
+  double mean_score = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    mean_score += matrix.score(original[i], mutated[i]);
+  }
+  mean_score /= static_cast<double>(original.size());
+  // Random replacement would average well below zero (about -1); the
+  // BLOSUM-conditioned model must stay distinctly higher.
+  EXPECT_GT(mean_score, -0.5);
+}
+
+TEST(MutateProtein, IndelsChangeLength) {
+  util::Xoshiro256 rng(4);
+  const bio::Sequence original = generate_protein("p", 1000, rng);
+  MutationConfig config;
+  config.substitution_rate = 0.0;
+  config.indel_rate = 0.05;
+  const bio::Sequence mutated = mutate_protein(original, config, rng);
+  EXPECT_NE(mutated.size(), original.size());
+}
+
+TEST(MutateProtein, OutputsOnlyStandardResidues) {
+  util::Xoshiro256 rng(5);
+  const bio::Sequence original = generate_protein("p", 500, rng);
+  MutationConfig config;
+  config.substitution_rate = 0.5;
+  config.indel_rate = 0.05;
+  const bio::Sequence mutated = mutate_protein(original, config, rng);
+  for (std::size_t i = 0; i < mutated.size(); ++i) {
+    EXPECT_LT(mutated[i], bio::kNumAminoAcids);
+  }
+}
+
+TEST(MutateProtein, LengthStaysCloseWithBalancedIndels) {
+  util::Xoshiro256 rng(6);
+  const bio::Sequence original = generate_protein("p", 5000, rng);
+  MutationConfig config;
+  config.substitution_rate = 0.0;
+  config.indel_rate = 0.02;
+  const bio::Sequence mutated = mutate_protein(original, config, rng);
+  // Insertions and deletions are symmetric; expect within 5%.
+  EXPECT_NEAR(static_cast<double>(mutated.size()),
+              static_cast<double>(original.size()),
+              0.05 * static_cast<double>(original.size()));
+}
+
+TEST(ExpectedIdentity, Formula) {
+  MutationConfig config;
+  config.substitution_rate = 0.25;
+  EXPECT_DOUBLE_EQ(expected_identity(config), 0.75);
+}
+
+}  // namespace
+}  // namespace psc::sim

@@ -1,0 +1,92 @@
+#include "sim/protein_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace psc::sim {
+namespace {
+
+TEST(GenerateProtein, ExactLengthAndStandardResidues) {
+  util::Xoshiro256 rng(1);
+  const bio::Sequence protein = generate_protein("p", 123, rng);
+  EXPECT_EQ(protein.size(), 123u);
+  EXPECT_EQ(protein.id(), "p");
+  for (std::size_t i = 0; i < protein.size(); ++i) {
+    EXPECT_LT(protein[i], bio::kNumAminoAcids);
+  }
+}
+
+TEST(GenerateProtein, CompositionTracksRobinsonFrequencies) {
+  util::Xoshiro256 rng(2);
+  std::array<std::size_t, bio::kNumAminoAcids> counts{};
+  const std::size_t total = 200000;
+  const bio::Sequence protein = generate_protein("p", total, rng);
+  for (std::size_t i = 0; i < protein.size(); ++i) ++counts[protein[i]];
+  const auto& freq = bio::robinson_frequencies();
+  for (std::size_t r = 0; r < bio::kNumAminoAcids; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / static_cast<double>(total),
+                freq[r], 0.01);
+  }
+}
+
+TEST(GenerateProteinBank, CountAndIds) {
+  ProteinBankConfig config;
+  config.count = 25;
+  config.id_prefix = "q";
+  const bio::SequenceBank bank = generate_protein_bank(config);
+  ASSERT_EQ(bank.size(), 25u);
+  EXPECT_EQ(bank[0].id(), "q0");
+  EXPECT_EQ(bank[24].id(), "q24");
+}
+
+TEST(GenerateProteinBank, Deterministic) {
+  ProteinBankConfig config;
+  config.count = 10;
+  config.seed = 5;
+  const bio::SequenceBank a = generate_protein_bank(config);
+  const bio::SequenceBank b = generate_protein_bank(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].residues(), b[i].residues());
+  }
+}
+
+TEST(GenerateProteinBank, LengthsWithinBounds) {
+  ProteinBankConfig config;
+  config.count = 200;
+  config.mean_length = 100;
+  config.min_length = 40;
+  config.max_length = 400;
+  const bio::SequenceBank bank = generate_protein_bank(config);
+  for (const auto& protein : bank) {
+    EXPECT_GE(protein.size(), 40u);
+    EXPECT_LE(protein.size(), 400u);
+  }
+}
+
+TEST(GenerateProteinBank, MeanLengthRoughlyRespected) {
+  ProteinBankConfig config;
+  config.count = 2000;
+  config.mean_length = 300;
+  config.min_length = 1;
+  config.max_length = 10000;
+  const bio::SequenceBank bank = generate_protein_bank(config);
+  const double mean = static_cast<double>(bank.total_residues()) /
+                      static_cast<double>(bank.size());
+  EXPECT_NEAR(mean, 300.0, 30.0);
+}
+
+TEST(GenerateProteinBank, LengthsVary) {
+  ProteinBankConfig config;
+  config.count = 50;
+  const bio::SequenceBank bank = generate_protein_bank(config);
+  std::size_t distinct = 0;
+  for (std::size_t i = 1; i < bank.size(); ++i) {
+    if (bank[i].size() != bank[0].size()) ++distinct;
+  }
+  EXPECT_GT(distinct, 10u);
+}
+
+}  // namespace
+}  // namespace psc::sim

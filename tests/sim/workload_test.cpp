@@ -1,0 +1,97 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace psc::sim {
+namespace {
+
+ScaledWorkloadConfig tiny_config() {
+  ScaledWorkloadConfig config;
+  config.scale = 0.0003;  // ~66 knt genome, a few proteins per bank
+  return config;
+}
+
+TEST(PaperBankSizes, MatchThePaper) {
+  const auto& sizes = paper_bank_sizes();
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0].second, 1000u);
+  EXPECT_EQ(sizes[3].second, 30000u);
+  EXPECT_EQ(paper_genome_size(), 220'000'000u);
+}
+
+TEST(BuildPaperWorkload, FourNestedBanks) {
+  const PaperWorkload workload = build_paper_workload(tiny_config());
+  ASSERT_EQ(workload.banks.size(), 4u);
+  EXPECT_EQ(workload.banks[0].label, "1K");
+  EXPECT_EQ(workload.banks[3].label, "30K");
+  // Nested: each bank is a prefix of the next.
+  for (std::size_t b = 0; b + 1 < workload.banks.size(); ++b) {
+    const auto& small = workload.banks[b].proteins;
+    const auto& large = workload.banks[b + 1].proteins;
+    ASSERT_LE(small.size(), large.size());
+    for (std::size_t i = 0; i < small.size(); ++i) {
+      EXPECT_EQ(small[i].residues(), large[i].residues());
+    }
+  }
+}
+
+TEST(BuildPaperWorkload, BankSizesScale) {
+  ScaledWorkloadConfig config;
+  config.scale = 0.01;
+  const PaperWorkload workload = build_paper_workload(config);
+  EXPECT_EQ(workload.banks[0].proteins.size(), 10u);
+  EXPECT_EQ(workload.banks[1].proteins.size(), 30u);
+  EXPECT_EQ(workload.banks[2].proteins.size(), 100u);
+  EXPECT_EQ(workload.banks[3].proteins.size(), 300u);
+  EXPECT_EQ(workload.genome.size(), 2'200'000u);
+}
+
+TEST(BuildPaperWorkload, GenomeBankIsTranslatedFragments) {
+  const PaperWorkload workload = build_paper_workload(tiny_config());
+  EXPECT_GT(workload.genome_bank.size(), 0u);
+  EXPECT_EQ(workload.genome_bank.kind(), bio::SequenceKind::kProtein);
+  for (std::size_t i = 0; i < std::min<std::size_t>(20, workload.genome_bank.size()); ++i) {
+    EXPECT_GE(workload.genome_bank[i].size(), 20u);
+  }
+}
+
+TEST(BuildPaperWorkload, PlantsHomologs) {
+  const PaperWorkload workload = build_paper_workload(tiny_config());
+  EXPECT_GT(workload.planted_genes, 0u);
+}
+
+TEST(BuildPaperWorkload, Deterministic) {
+  const PaperWorkload a = build_paper_workload(tiny_config());
+  const PaperWorkload b = build_paper_workload(tiny_config());
+  EXPECT_EQ(a.genome.residues(), b.genome.residues());
+  EXPECT_EQ(a.banks[0].proteins[0].residues(),
+            b.banks[0].proteins[0].residues());
+}
+
+TEST(BuildPaperWorkload, InvalidScaleThrows) {
+  ScaledWorkloadConfig config;
+  config.scale = 0.0;
+  EXPECT_THROW(build_paper_workload(config), std::invalid_argument);
+  config.scale = 1.5;
+  EXPECT_THROW(build_paper_workload(config), std::invalid_argument);
+}
+
+TEST(ScaleFromEnv, ParsesKeywordsAndNumbers) {
+  ::setenv("PSC_SCALE", "small", 1);
+  EXPECT_DOUBLE_EQ(scale_from_env(), 0.01);
+  ::setenv("PSC_SCALE", "medium", 1);
+  EXPECT_DOUBLE_EQ(scale_from_env(), 0.05);
+  ::setenv("PSC_SCALE", "large", 1);
+  EXPECT_DOUBLE_EQ(scale_from_env(), 0.2);
+  ::setenv("PSC_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(scale_from_env(), 0.5);
+  ::setenv("PSC_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(scale_from_env(), 0.01);
+  ::unsetenv("PSC_SCALE");
+  EXPECT_DOUBLE_EQ(scale_from_env(), 0.01);
+}
+
+}  // namespace
+}  // namespace psc::sim

@@ -1,0 +1,92 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psc::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser("test", "unit test parser");
+  parser.add_option("count", "10", "how many");
+  parser.add_option("name", "default", "a name");
+  parser.add_option("ratio", "0.5", "a ratio");
+  parser.add_flag("verbose", "talk more");
+  return parser;
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"test"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get_int("count"), 10);
+  EXPECT_EQ(parser.get("name"), "default");
+  EXPECT_DOUBLE_EQ(parser.get_double("ratio"), 0.5);
+  EXPECT_FALSE(parser.get_flag("verbose"));
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"test", "--count=42", "--name=alpha"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int("count"), 42);
+  EXPECT_EQ(parser.get("name"), "alpha");
+}
+
+TEST(ArgParser, SpaceSyntax) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"test", "--count", "7"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int("count"), 7);
+}
+
+TEST(ArgParser, FlagSetsTrue) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"test", "--verbose"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.get_flag("verbose"));
+}
+
+TEST(ArgParser, UnknownOptionFails) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"test", "--bogus=1"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParser, MissingValueFails) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"test", "--count"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"test", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParser, PositionalCollected) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"test", "input.fa", "--count=1", "output.fa"};
+  ASSERT_TRUE(parser.parse(4, argv));
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.fa");
+  EXPECT_EQ(parser.positional()[1], "output.fa");
+}
+
+TEST(ArgParser, UsageListsOptions) {
+  ArgParser parser = make_parser();
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+}
+
+TEST(ArgParser, UndeclaredGetThrows) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"test"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_THROW(parser.get("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psc::util

@@ -1,0 +1,61 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace psc::util {
+namespace {
+
+/// Restores the global log level on scope exit so tests don't leak state.
+struct LevelGuard {
+  LogLevel saved = log_level();
+  ~LevelGuard() { set_log_level(saved); }
+};
+
+TEST(Logging, DefaultLevelIsWarn) {
+  // The library must not spam stdout/stderr by default.
+  LevelGuard guard;
+  EXPECT_EQ(static_cast<int>(log_level()),
+            static_cast<int>(LogLevel::kWarn));
+}
+
+TEST(Logging, SetAndGetLevel) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(static_cast<int>(log_level()),
+            static_cast<int>(LogLevel::kDebug));
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(static_cast<int>(log_level()), static_cast<int>(LogLevel::kOff));
+}
+
+TEST(Logging, SuppressedLevelsDoNotCrash) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  log_line(LogLevel::kError, "must be discarded silently");
+  log_debug() << "also discarded " << 42;
+  log_info() << "and this";
+}
+
+TEST(Logging, StreamInterfaceFormats) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kOff);  // nothing printed; exercise the path
+  log_warn() << "value=" << 3.5 << " name=" << std::string("x");
+  log_error() << 1 << 2 << 3;
+}
+
+TEST(Logging, ConcurrentLoggingIsSafe) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 200; ++i) log_line(LogLevel::kError, "stress");
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace
+}  // namespace psc::util

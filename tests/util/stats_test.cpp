@@ -1,0 +1,79 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace psc::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(5.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSeries) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats stats;
+  stats.add(-3.0);
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), -3.0);
+}
+
+TEST(Percentile, MedianOfOddList) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 9.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 9.0}, 1.0), 9.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAntiCorrelation) {
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputsAreZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);  // zero variance
+  EXPECT_DOUBLE_EQ(pearson({1, 2}, {1}), 0.0);           // length mismatch
+  EXPECT_DOUBLE_EQ(pearson({1}, {1}), 0.0);              // too short
+}
+
+}  // namespace
+}  // namespace psc::util

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace psc::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table;
+  table.set_header({"bank", "time"});
+  table.add_row({"1K", "2379"});
+  table.add_row({"3K", "7089"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("bank"), std::string::npos);
+  EXPECT_NE(out.find("2,379") == std::string::npos ? out.find("2379")
+                                                   : out.find("2379"),
+            std::string::npos);
+  EXPECT_NE(out.find("3K"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumbersAreRightAligned) {
+  TextTable table;
+  table.set_header({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"y", "12345"});
+  const std::string out = table.render();
+  // "1" should be padded on the left to the width of "12345".
+  EXPECT_NE(out.find("    1 |"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 1), "2.0");
+  EXPECT_EQ(TextTable::num(-0.5, 2), "-0.50");
+}
+
+TEST(TextTable, CountInsertsSeparators) {
+  EXPECT_EQ(TextTable::count(0), "0");
+  EXPECT_EQ(TextTable::count(999), "999");
+  EXPECT_EQ(TextTable::count(1000), "1,000");
+  EXPECT_EQ(TextTable::count(1234567), "1,234,567");
+  EXPECT_EQ(TextTable::count(-12345), "-12,345");
+}
+
+TEST(TextTable, RuleSeparatesSections) {
+  TextTable table;
+  table.set_header({"col"});
+  table.add_row({"above"});
+  table.add_rule();
+  table.add_row({"below"});
+  const std::string out = table.render();
+  // Header rule + top + bottom + explicit = at least 4 rules.
+  std::size_t rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(TextTable, EmptyTableStillRenders) {
+  TextTable table;
+  EXPECT_FALSE(table.render().empty());
+  EXPECT_EQ(table.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace psc::util

@@ -1,0 +1,110 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace psc::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(257);
+  pool.parallel_for(0, touched.size(), [&touched](std::size_t i) {
+    touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10,
+                        [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolBlocks, EvenSplit) {
+  const auto blocks = ThreadPool::blocks(0, 12, 3);
+  ASSERT_EQ(blocks.size(), 3u);
+  const auto expected0 = std::make_pair<std::size_t, std::size_t>(0, 4);
+  const auto expected1 = std::make_pair<std::size_t, std::size_t>(4, 8);
+  const auto expected2 = std::make_pair<std::size_t, std::size_t>(8, 12);
+  EXPECT_EQ(blocks[0], expected0);
+  EXPECT_EQ(blocks[1], expected1);
+  EXPECT_EQ(blocks[2], expected2);
+}
+
+TEST(ThreadPoolBlocks, RemainderGoesToFirstBlocks) {
+  const auto blocks = ThreadPool::blocks(0, 10, 4);
+  ASSERT_EQ(blocks.size(), 4u);
+  std::size_t total = 0;
+  std::size_t previous_end = 0;
+  for (const auto& [lo, hi] : blocks) {
+    EXPECT_EQ(lo, previous_end);
+    total += hi - lo;
+    previous_end = hi;
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(blocks[0].second - blocks[0].first, 3u);
+}
+
+TEST(ThreadPoolBlocks, MorePartsThanItems) {
+  const auto blocks = ThreadPool::blocks(0, 2, 8);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].second - blocks[0].first, 1u);
+}
+
+TEST(ThreadPoolBlocks, EmptyRange) {
+  EXPECT_TRUE(ThreadPool::blocks(5, 5, 4).empty());
+  EXPECT_TRUE(ThreadPool::blocks(7, 3, 4).empty());
+}
+
+TEST(DefaultThreadCount, IsPositive) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace psc::util

@@ -1,0 +1,79 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace psc::util {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.seconds(), 0.015);
+  EXPECT_LT(timer.seconds(), 5.0);
+}
+
+TEST(Timer, ResetRestartsClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 0.015);
+}
+
+TEST(PhaseProfiler, AccumulatesNamedPhases) {
+  PhaseProfiler profiler;
+  profiler.add("step1", 1.0);
+  profiler.add("step2", 3.0);
+  profiler.add("step1", 1.0);
+  EXPECT_DOUBLE_EQ(profiler.total("step1"), 2.0);
+  EXPECT_DOUBLE_EQ(profiler.total("step2"), 3.0);
+  EXPECT_DOUBLE_EQ(profiler.grand_total(), 5.0);
+}
+
+TEST(PhaseProfiler, PercentSumsToHundred) {
+  PhaseProfiler profiler;
+  profiler.add("a", 1.0);
+  profiler.add("b", 2.0);
+  profiler.add("c", 7.0);
+  EXPECT_NEAR(profiler.percent("a") + profiler.percent("b") +
+                  profiler.percent("c"),
+              100.0, 1e-9);
+  EXPECT_NEAR(profiler.percent("c"), 70.0, 1e-9);
+}
+
+TEST(PhaseProfiler, UnknownPhaseIsZero) {
+  PhaseProfiler profiler;
+  EXPECT_DOUBLE_EQ(profiler.total("nothing"), 0.0);
+  EXPECT_DOUBLE_EQ(profiler.percent("nothing"), 0.0);
+}
+
+TEST(PhaseProfiler, PreservesFirstUseOrder) {
+  PhaseProfiler profiler;
+  profiler.add("z", 1.0);
+  profiler.add("a", 1.0);
+  profiler.add("z", 1.0);
+  ASSERT_EQ(profiler.names().size(), 2u);
+  EXPECT_EQ(profiler.names()[0], "z");
+  EXPECT_EQ(profiler.names()[1], "a");
+}
+
+TEST(PhaseProfiler, ScopeRecordsOnDestruction) {
+  PhaseProfiler profiler;
+  {
+    auto scope = profiler.scope("timed");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(profiler.total("timed"), 0.005);
+}
+
+TEST(PhaseProfiler, ClearResetsEverything) {
+  PhaseProfiler profiler;
+  profiler.add("x", 1.0);
+  profiler.clear();
+  EXPECT_TRUE(profiler.names().empty());
+  EXPECT_DOUBLE_EQ(profiler.grand_total(), 0.0);
+}
+
+}  // namespace
+}  // namespace psc::util
