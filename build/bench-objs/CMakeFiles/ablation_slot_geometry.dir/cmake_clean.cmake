@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_slot_geometry"
+  "../bench/ablation_slot_geometry.pdb"
+  "CMakeFiles/ablation_slot_geometry.dir/ablation_slot_geometry.cpp.o"
+  "CMakeFiles/ablation_slot_geometry.dir/ablation_slot_geometry.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slot_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

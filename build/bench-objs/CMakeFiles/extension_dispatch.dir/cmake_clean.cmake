@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_dispatch"
+  "../bench/extension_dispatch.pdb"
+  "CMakeFiles/extension_dispatch.dir/extension_dispatch.cpp.o"
+  "CMakeFiles/extension_dispatch.dir/extension_dispatch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

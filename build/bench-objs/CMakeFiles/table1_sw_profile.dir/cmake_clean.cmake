@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_sw_profile"
+  "../bench/table1_sw_profile.pdb"
+  "CMakeFiles/table1_sw_profile.dir/table1_sw_profile.cpp.o"
+  "CMakeFiles/table1_sw_profile.dir/table1_sw_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sw_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

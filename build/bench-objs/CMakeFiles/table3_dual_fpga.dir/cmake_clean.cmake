@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_dual_fpga"
+  "../bench/table3_dual_fpga.pdb"
+  "CMakeFiles/table3_dual_fpga.dir/table3_dual_fpga.cpp.o"
+  "CMakeFiles/table3_dual_fpga.dir/table3_dual_fpga.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dual_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_throughput"
+  "../bench/table5_throughput.pdb"
+  "CMakeFiles/table5_throughput.dir/table5_throughput.cpp.o"
+  "CMakeFiles/table5_throughput.dir/table5_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

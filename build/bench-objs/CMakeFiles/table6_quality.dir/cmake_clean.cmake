@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_quality"
+  "../bench/table6_quality.pdb"
+  "CMakeFiles/table6_quality.dir/table6_quality.cpp.o"
+  "CMakeFiles/table6_quality.dir/table6_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

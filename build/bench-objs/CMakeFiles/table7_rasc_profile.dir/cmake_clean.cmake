@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_rasc_profile"
+  "../bench/table7_rasc_profile.pdb"
+  "CMakeFiles/table7_rasc_profile.dir/table7_rasc_profile.cpp.o"
+  "CMakeFiles/table7_rasc_profile.dir/table7_rasc_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_rasc_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate_genome.dir/annotate_genome.cpp.o"
+  "CMakeFiles/annotate_genome.dir/annotate_genome.cpp.o.d"
+  "annotate_genome"
+  "annotate_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_search.dir/psc_search.cpp.o"
+  "CMakeFiles/psc_search.dir/psc_search.cpp.o.d"
+  "psc_search"
+  "psc_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

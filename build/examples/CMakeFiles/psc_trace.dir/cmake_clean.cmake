@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_trace.dir/psc_trace.cpp.o"
+  "CMakeFiles/psc_trace.dir/psc_trace.cpp.o.d"
+  "psc_trace"
+  "psc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_eval.dir/sensitivity_eval.cpp.o"
+  "CMakeFiles/sensitivity_eval.dir/sensitivity_eval.cpp.o.d"
+  "sensitivity_eval"
+  "sensitivity_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

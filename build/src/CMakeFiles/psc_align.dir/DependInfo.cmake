@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/banded.cpp" "src/CMakeFiles/psc_align.dir/align/banded.cpp.o" "gcc" "src/CMakeFiles/psc_align.dir/align/banded.cpp.o.d"
+  "/root/repo/src/align/gapped.cpp" "src/CMakeFiles/psc_align.dir/align/gapped.cpp.o" "gcc" "src/CMakeFiles/psc_align.dir/align/gapped.cpp.o.d"
+  "/root/repo/src/align/karlin.cpp" "src/CMakeFiles/psc_align.dir/align/karlin.cpp.o" "gcc" "src/CMakeFiles/psc_align.dir/align/karlin.cpp.o.d"
+  "/root/repo/src/align/ungapped.cpp" "src/CMakeFiles/psc_align.dir/align/ungapped.cpp.o" "gcc" "src/CMakeFiles/psc_align.dir/align/ungapped.cpp.o.d"
+  "/root/repo/src/align/xdrop.cpp" "src/CMakeFiles/psc_align.dir/align/xdrop.cpp.o" "gcc" "src/CMakeFiles/psc_align.dir/align/xdrop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_align.dir/align/banded.cpp.o"
+  "CMakeFiles/psc_align.dir/align/banded.cpp.o.d"
+  "CMakeFiles/psc_align.dir/align/gapped.cpp.o"
+  "CMakeFiles/psc_align.dir/align/gapped.cpp.o.d"
+  "CMakeFiles/psc_align.dir/align/karlin.cpp.o"
+  "CMakeFiles/psc_align.dir/align/karlin.cpp.o.d"
+  "CMakeFiles/psc_align.dir/align/ungapped.cpp.o"
+  "CMakeFiles/psc_align.dir/align/ungapped.cpp.o.d"
+  "CMakeFiles/psc_align.dir/align/xdrop.cpp.o"
+  "CMakeFiles/psc_align.dir/align/xdrop.cpp.o.d"
+  "libpsc_align.a"
+  "libpsc_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

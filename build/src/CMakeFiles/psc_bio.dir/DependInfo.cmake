@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/alphabet.cpp" "src/CMakeFiles/psc_bio.dir/bio/alphabet.cpp.o" "gcc" "src/CMakeFiles/psc_bio.dir/bio/alphabet.cpp.o.d"
+  "/root/repo/src/bio/complexity.cpp" "src/CMakeFiles/psc_bio.dir/bio/complexity.cpp.o" "gcc" "src/CMakeFiles/psc_bio.dir/bio/complexity.cpp.o.d"
+  "/root/repo/src/bio/fasta.cpp" "src/CMakeFiles/psc_bio.dir/bio/fasta.cpp.o" "gcc" "src/CMakeFiles/psc_bio.dir/bio/fasta.cpp.o.d"
+  "/root/repo/src/bio/genetic_code.cpp" "src/CMakeFiles/psc_bio.dir/bio/genetic_code.cpp.o" "gcc" "src/CMakeFiles/psc_bio.dir/bio/genetic_code.cpp.o.d"
+  "/root/repo/src/bio/sequence.cpp" "src/CMakeFiles/psc_bio.dir/bio/sequence.cpp.o" "gcc" "src/CMakeFiles/psc_bio.dir/bio/sequence.cpp.o.d"
+  "/root/repo/src/bio/substitution_matrix.cpp" "src/CMakeFiles/psc_bio.dir/bio/substitution_matrix.cpp.o" "gcc" "src/CMakeFiles/psc_bio.dir/bio/substitution_matrix.cpp.o.d"
+  "/root/repo/src/bio/translate.cpp" "src/CMakeFiles/psc_bio.dir/bio/translate.cpp.o" "gcc" "src/CMakeFiles/psc_bio.dir/bio/translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_bio.dir/bio/alphabet.cpp.o"
+  "CMakeFiles/psc_bio.dir/bio/alphabet.cpp.o.d"
+  "CMakeFiles/psc_bio.dir/bio/complexity.cpp.o"
+  "CMakeFiles/psc_bio.dir/bio/complexity.cpp.o.d"
+  "CMakeFiles/psc_bio.dir/bio/fasta.cpp.o"
+  "CMakeFiles/psc_bio.dir/bio/fasta.cpp.o.d"
+  "CMakeFiles/psc_bio.dir/bio/genetic_code.cpp.o"
+  "CMakeFiles/psc_bio.dir/bio/genetic_code.cpp.o.d"
+  "CMakeFiles/psc_bio.dir/bio/sequence.cpp.o"
+  "CMakeFiles/psc_bio.dir/bio/sequence.cpp.o.d"
+  "CMakeFiles/psc_bio.dir/bio/substitution_matrix.cpp.o"
+  "CMakeFiles/psc_bio.dir/bio/substitution_matrix.cpp.o.d"
+  "CMakeFiles/psc_bio.dir/bio/translate.cpp.o"
+  "CMakeFiles/psc_bio.dir/bio/translate.cpp.o.d"
+  "libpsc_bio.a"
+  "libpsc_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

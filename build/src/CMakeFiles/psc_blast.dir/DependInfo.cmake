@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blast/neighborhood_words.cpp" "src/CMakeFiles/psc_blast.dir/blast/neighborhood_words.cpp.o" "gcc" "src/CMakeFiles/psc_blast.dir/blast/neighborhood_words.cpp.o.d"
+  "/root/repo/src/blast/tblastn.cpp" "src/CMakeFiles/psc_blast.dir/blast/tblastn.cpp.o" "gcc" "src/CMakeFiles/psc_blast.dir/blast/tblastn.cpp.o.d"
+  "/root/repo/src/blast/two_hit.cpp" "src/CMakeFiles/psc_blast.dir/blast/two_hit.cpp.o" "gcc" "src/CMakeFiles/psc_blast.dir/blast/two_hit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_blast.dir/blast/neighborhood_words.cpp.o"
+  "CMakeFiles/psc_blast.dir/blast/neighborhood_words.cpp.o.d"
+  "CMakeFiles/psc_blast.dir/blast/tblastn.cpp.o"
+  "CMakeFiles/psc_blast.dir/blast/tblastn.cpp.o.d"
+  "CMakeFiles/psc_blast.dir/blast/two_hit.cpp.o"
+  "CMakeFiles/psc_blast.dir/blast/two_hit.cpp.o.d"
+  "libpsc_blast.a"
+  "libpsc_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

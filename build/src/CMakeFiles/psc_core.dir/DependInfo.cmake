@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dispatch.cpp" "src/CMakeFiles/psc_core.dir/core/dispatch.cpp.o" "gcc" "src/CMakeFiles/psc_core.dir/core/dispatch.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/CMakeFiles/psc_core.dir/core/hybrid.cpp.o" "gcc" "src/CMakeFiles/psc_core.dir/core/hybrid.cpp.o.d"
+  "/root/repo/src/core/modes.cpp" "src/CMakeFiles/psc_core.dir/core/modes.cpp.o" "gcc" "src/CMakeFiles/psc_core.dir/core/modes.cpp.o.d"
+  "/root/repo/src/core/options.cpp" "src/CMakeFiles/psc_core.dir/core/options.cpp.o" "gcc" "src/CMakeFiles/psc_core.dir/core/options.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/psc_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/psc_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/psc_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/psc_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/result.cpp" "src/CMakeFiles/psc_core.dir/core/result.cpp.o" "gcc" "src/CMakeFiles/psc_core.dir/core/result.cpp.o.d"
+  "/root/repo/src/core/step1_index.cpp" "src/CMakeFiles/psc_core.dir/core/step1_index.cpp.o" "gcc" "src/CMakeFiles/psc_core.dir/core/step1_index.cpp.o.d"
+  "/root/repo/src/core/step2_host.cpp" "src/CMakeFiles/psc_core.dir/core/step2_host.cpp.o" "gcc" "src/CMakeFiles/psc_core.dir/core/step2_host.cpp.o.d"
+  "/root/repo/src/core/step3_gapped.cpp" "src/CMakeFiles/psc_core.dir/core/step3_gapped.cpp.o" "gcc" "src/CMakeFiles/psc_core.dir/core/step3_gapped.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_rasc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

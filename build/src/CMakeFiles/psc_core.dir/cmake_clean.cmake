@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_core.dir/core/dispatch.cpp.o"
+  "CMakeFiles/psc_core.dir/core/dispatch.cpp.o.d"
+  "CMakeFiles/psc_core.dir/core/hybrid.cpp.o"
+  "CMakeFiles/psc_core.dir/core/hybrid.cpp.o.d"
+  "CMakeFiles/psc_core.dir/core/modes.cpp.o"
+  "CMakeFiles/psc_core.dir/core/modes.cpp.o.d"
+  "CMakeFiles/psc_core.dir/core/options.cpp.o"
+  "CMakeFiles/psc_core.dir/core/options.cpp.o.d"
+  "CMakeFiles/psc_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/psc_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/psc_core.dir/core/report.cpp.o"
+  "CMakeFiles/psc_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/psc_core.dir/core/result.cpp.o"
+  "CMakeFiles/psc_core.dir/core/result.cpp.o.d"
+  "CMakeFiles/psc_core.dir/core/step1_index.cpp.o"
+  "CMakeFiles/psc_core.dir/core/step1_index.cpp.o.d"
+  "CMakeFiles/psc_core.dir/core/step2_host.cpp.o"
+  "CMakeFiles/psc_core.dir/core/step2_host.cpp.o.d"
+  "CMakeFiles/psc_core.dir/core/step3_gapped.cpp.o"
+  "CMakeFiles/psc_core.dir/core/step3_gapped.cpp.o.d"
+  "libpsc_core.a"
+  "libpsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_eval.dir/eval/average_precision.cpp.o"
+  "CMakeFiles/psc_eval.dir/eval/average_precision.cpp.o.d"
+  "CMakeFiles/psc_eval.dir/eval/benchmark_set.cpp.o"
+  "CMakeFiles/psc_eval.dir/eval/benchmark_set.cpp.o.d"
+  "CMakeFiles/psc_eval.dir/eval/compare_hits.cpp.o"
+  "CMakeFiles/psc_eval.dir/eval/compare_hits.cpp.o.d"
+  "CMakeFiles/psc_eval.dir/eval/roc.cpp.o"
+  "CMakeFiles/psc_eval.dir/eval/roc.cpp.o.d"
+  "libpsc_eval.a"
+  "libpsc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

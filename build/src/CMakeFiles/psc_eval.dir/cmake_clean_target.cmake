@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsc_eval.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/index_table.cpp" "src/CMakeFiles/psc_index.dir/index/index_table.cpp.o" "gcc" "src/CMakeFiles/psc_index.dir/index/index_table.cpp.o.d"
+  "/root/repo/src/index/neighborhood.cpp" "src/CMakeFiles/psc_index.dir/index/neighborhood.cpp.o" "gcc" "src/CMakeFiles/psc_index.dir/index/neighborhood.cpp.o.d"
+  "/root/repo/src/index/seed_model.cpp" "src/CMakeFiles/psc_index.dir/index/seed_model.cpp.o" "gcc" "src/CMakeFiles/psc_index.dir/index/seed_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_index.dir/index/index_table.cpp.o"
+  "CMakeFiles/psc_index.dir/index/index_table.cpp.o.d"
+  "CMakeFiles/psc_index.dir/index/neighborhood.cpp.o"
+  "CMakeFiles/psc_index.dir/index/neighborhood.cpp.o.d"
+  "CMakeFiles/psc_index.dir/index/seed_model.cpp.o"
+  "CMakeFiles/psc_index.dir/index/seed_model.cpp.o.d"
+  "libpsc_index.a"
+  "libpsc_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rasc/controllers.cpp" "src/CMakeFiles/psc_rasc.dir/rasc/controllers.cpp.o" "gcc" "src/CMakeFiles/psc_rasc.dir/rasc/controllers.cpp.o.d"
+  "/root/repo/src/rasc/fifo.cpp" "src/CMakeFiles/psc_rasc.dir/rasc/fifo.cpp.o" "gcc" "src/CMakeFiles/psc_rasc.dir/rasc/fifo.cpp.o.d"
+  "/root/repo/src/rasc/gap_operator.cpp" "src/CMakeFiles/psc_rasc.dir/rasc/gap_operator.cpp.o" "gcc" "src/CMakeFiles/psc_rasc.dir/rasc/gap_operator.cpp.o.d"
+  "/root/repo/src/rasc/pe_slot.cpp" "src/CMakeFiles/psc_rasc.dir/rasc/pe_slot.cpp.o" "gcc" "src/CMakeFiles/psc_rasc.dir/rasc/pe_slot.cpp.o.d"
+  "/root/repo/src/rasc/platform_model.cpp" "src/CMakeFiles/psc_rasc.dir/rasc/platform_model.cpp.o" "gcc" "src/CMakeFiles/psc_rasc.dir/rasc/platform_model.cpp.o.d"
+  "/root/repo/src/rasc/processing_element.cpp" "src/CMakeFiles/psc_rasc.dir/rasc/processing_element.cpp.o" "gcc" "src/CMakeFiles/psc_rasc.dir/rasc/processing_element.cpp.o.d"
+  "/root/repo/src/rasc/psc_operator.cpp" "src/CMakeFiles/psc_rasc.dir/rasc/psc_operator.cpp.o" "gcc" "src/CMakeFiles/psc_rasc.dir/rasc/psc_operator.cpp.o.d"
+  "/root/repo/src/rasc/rasc_backend.cpp" "src/CMakeFiles/psc_rasc.dir/rasc/rasc_backend.cpp.o" "gcc" "src/CMakeFiles/psc_rasc.dir/rasc/rasc_backend.cpp.o.d"
+  "/root/repo/src/rasc/sgi_core.cpp" "src/CMakeFiles/psc_rasc.dir/rasc/sgi_core.cpp.o" "gcc" "src/CMakeFiles/psc_rasc.dir/rasc/sgi_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_rasc.dir/rasc/controllers.cpp.o"
+  "CMakeFiles/psc_rasc.dir/rasc/controllers.cpp.o.d"
+  "CMakeFiles/psc_rasc.dir/rasc/fifo.cpp.o"
+  "CMakeFiles/psc_rasc.dir/rasc/fifo.cpp.o.d"
+  "CMakeFiles/psc_rasc.dir/rasc/gap_operator.cpp.o"
+  "CMakeFiles/psc_rasc.dir/rasc/gap_operator.cpp.o.d"
+  "CMakeFiles/psc_rasc.dir/rasc/pe_slot.cpp.o"
+  "CMakeFiles/psc_rasc.dir/rasc/pe_slot.cpp.o.d"
+  "CMakeFiles/psc_rasc.dir/rasc/platform_model.cpp.o"
+  "CMakeFiles/psc_rasc.dir/rasc/platform_model.cpp.o.d"
+  "CMakeFiles/psc_rasc.dir/rasc/processing_element.cpp.o"
+  "CMakeFiles/psc_rasc.dir/rasc/processing_element.cpp.o.d"
+  "CMakeFiles/psc_rasc.dir/rasc/psc_operator.cpp.o"
+  "CMakeFiles/psc_rasc.dir/rasc/psc_operator.cpp.o.d"
+  "CMakeFiles/psc_rasc.dir/rasc/rasc_backend.cpp.o"
+  "CMakeFiles/psc_rasc.dir/rasc/rasc_backend.cpp.o.d"
+  "CMakeFiles/psc_rasc.dir/rasc/sgi_core.cpp.o"
+  "CMakeFiles/psc_rasc.dir/rasc/sgi_core.cpp.o.d"
+  "libpsc_rasc.a"
+  "libpsc_rasc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_rasc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/family_generator.cpp" "src/CMakeFiles/psc_sim.dir/sim/family_generator.cpp.o" "gcc" "src/CMakeFiles/psc_sim.dir/sim/family_generator.cpp.o.d"
+  "/root/repo/src/sim/genome_generator.cpp" "src/CMakeFiles/psc_sim.dir/sim/genome_generator.cpp.o" "gcc" "src/CMakeFiles/psc_sim.dir/sim/genome_generator.cpp.o.d"
+  "/root/repo/src/sim/mutation.cpp" "src/CMakeFiles/psc_sim.dir/sim/mutation.cpp.o" "gcc" "src/CMakeFiles/psc_sim.dir/sim/mutation.cpp.o.d"
+  "/root/repo/src/sim/protein_generator.cpp" "src/CMakeFiles/psc_sim.dir/sim/protein_generator.cpp.o" "gcc" "src/CMakeFiles/psc_sim.dir/sim/protein_generator.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/CMakeFiles/psc_sim.dir/sim/workload.cpp.o" "gcc" "src/CMakeFiles/psc_sim.dir/sim/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

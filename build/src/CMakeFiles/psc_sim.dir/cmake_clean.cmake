@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_sim.dir/sim/family_generator.cpp.o"
+  "CMakeFiles/psc_sim.dir/sim/family_generator.cpp.o.d"
+  "CMakeFiles/psc_sim.dir/sim/genome_generator.cpp.o"
+  "CMakeFiles/psc_sim.dir/sim/genome_generator.cpp.o.d"
+  "CMakeFiles/psc_sim.dir/sim/mutation.cpp.o"
+  "CMakeFiles/psc_sim.dir/sim/mutation.cpp.o.d"
+  "CMakeFiles/psc_sim.dir/sim/protein_generator.cpp.o"
+  "CMakeFiles/psc_sim.dir/sim/protein_generator.cpp.o.d"
+  "CMakeFiles/psc_sim.dir/sim/workload.cpp.o"
+  "CMakeFiles/psc_sim.dir/sim/workload.cpp.o.d"
+  "libpsc_sim.a"
+  "libpsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

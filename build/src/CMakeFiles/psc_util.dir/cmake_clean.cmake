@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_util.dir/util/args.cpp.o"
+  "CMakeFiles/psc_util.dir/util/args.cpp.o.d"
+  "CMakeFiles/psc_util.dir/util/logging.cpp.o"
+  "CMakeFiles/psc_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/psc_util.dir/util/stats.cpp.o"
+  "CMakeFiles/psc_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/psc_util.dir/util/table.cpp.o"
+  "CMakeFiles/psc_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/psc_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/psc_util.dir/util/thread_pool.cpp.o.d"
+  "CMakeFiles/psc_util.dir/util/timer.cpp.o"
+  "CMakeFiles/psc_util.dir/util/timer.cpp.o.d"
+  "libpsc_util.a"
+  "libpsc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_test.dir/align/banded_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/banded_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/gapped_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/gapped_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/karlin_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/karlin_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/ungapped_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/ungapped_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/xdrop_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/xdrop_test.cpp.o.d"
+  "align_test"
+  "align_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bio/alphabet_test.cpp" "tests/CMakeFiles/bio_test.dir/bio/alphabet_test.cpp.o" "gcc" "tests/CMakeFiles/bio_test.dir/bio/alphabet_test.cpp.o.d"
+  "/root/repo/tests/bio/complexity_test.cpp" "tests/CMakeFiles/bio_test.dir/bio/complexity_test.cpp.o" "gcc" "tests/CMakeFiles/bio_test.dir/bio/complexity_test.cpp.o.d"
+  "/root/repo/tests/bio/fasta_test.cpp" "tests/CMakeFiles/bio_test.dir/bio/fasta_test.cpp.o" "gcc" "tests/CMakeFiles/bio_test.dir/bio/fasta_test.cpp.o.d"
+  "/root/repo/tests/bio/genetic_code_test.cpp" "tests/CMakeFiles/bio_test.dir/bio/genetic_code_test.cpp.o" "gcc" "tests/CMakeFiles/bio_test.dir/bio/genetic_code_test.cpp.o.d"
+  "/root/repo/tests/bio/sequence_test.cpp" "tests/CMakeFiles/bio_test.dir/bio/sequence_test.cpp.o" "gcc" "tests/CMakeFiles/bio_test.dir/bio/sequence_test.cpp.o.d"
+  "/root/repo/tests/bio/substitution_matrix_test.cpp" "tests/CMakeFiles/bio_test.dir/bio/substitution_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/bio_test.dir/bio/substitution_matrix_test.cpp.o.d"
+  "/root/repo/tests/bio/translate_test.cpp" "tests/CMakeFiles/bio_test.dir/bio/translate_test.cpp.o" "gcc" "tests/CMakeFiles/bio_test.dir/bio/translate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_rasc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

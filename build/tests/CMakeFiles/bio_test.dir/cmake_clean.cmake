@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_test.dir/bio/alphabet_test.cpp.o"
+  "CMakeFiles/bio_test.dir/bio/alphabet_test.cpp.o.d"
+  "CMakeFiles/bio_test.dir/bio/complexity_test.cpp.o"
+  "CMakeFiles/bio_test.dir/bio/complexity_test.cpp.o.d"
+  "CMakeFiles/bio_test.dir/bio/fasta_test.cpp.o"
+  "CMakeFiles/bio_test.dir/bio/fasta_test.cpp.o.d"
+  "CMakeFiles/bio_test.dir/bio/genetic_code_test.cpp.o"
+  "CMakeFiles/bio_test.dir/bio/genetic_code_test.cpp.o.d"
+  "CMakeFiles/bio_test.dir/bio/sequence_test.cpp.o"
+  "CMakeFiles/bio_test.dir/bio/sequence_test.cpp.o.d"
+  "CMakeFiles/bio_test.dir/bio/substitution_matrix_test.cpp.o"
+  "CMakeFiles/bio_test.dir/bio/substitution_matrix_test.cpp.o.d"
+  "CMakeFiles/bio_test.dir/bio/translate_test.cpp.o"
+  "CMakeFiles/bio_test.dir/bio/translate_test.cpp.o.d"
+  "bio_test"
+  "bio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

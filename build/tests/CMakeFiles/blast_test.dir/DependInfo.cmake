@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/blast/neighborhood_words_test.cpp" "tests/CMakeFiles/blast_test.dir/blast/neighborhood_words_test.cpp.o" "gcc" "tests/CMakeFiles/blast_test.dir/blast/neighborhood_words_test.cpp.o.d"
+  "/root/repo/tests/blast/tblastn_test.cpp" "tests/CMakeFiles/blast_test.dir/blast/tblastn_test.cpp.o" "gcc" "tests/CMakeFiles/blast_test.dir/blast/tblastn_test.cpp.o.d"
+  "/root/repo/tests/blast/two_hit_test.cpp" "tests/CMakeFiles/blast_test.dir/blast/two_hit_test.cpp.o" "gcc" "tests/CMakeFiles/blast_test.dir/blast/two_hit_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_rasc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

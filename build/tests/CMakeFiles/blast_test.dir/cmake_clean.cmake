@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_test.dir/blast/neighborhood_words_test.cpp.o"
+  "CMakeFiles/blast_test.dir/blast/neighborhood_words_test.cpp.o.d"
+  "CMakeFiles/blast_test.dir/blast/tblastn_test.cpp.o"
+  "CMakeFiles/blast_test.dir/blast/tblastn_test.cpp.o.d"
+  "CMakeFiles/blast_test.dir/blast/two_hit_test.cpp.o"
+  "CMakeFiles/blast_test.dir/blast/two_hit_test.cpp.o.d"
+  "blast_test"
+  "blast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

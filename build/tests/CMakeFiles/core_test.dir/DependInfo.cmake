@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/dispatch_test.cpp" "tests/CMakeFiles/core_test.dir/core/dispatch_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/dispatch_test.cpp.o.d"
+  "/root/repo/tests/core/hybrid_test.cpp" "tests/CMakeFiles/core_test.dir/core/hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/hybrid_test.cpp.o.d"
+  "/root/repo/tests/core/modes_test.cpp" "tests/CMakeFiles/core_test.dir/core/modes_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/modes_test.cpp.o.d"
+  "/root/repo/tests/core/options_test.cpp" "tests/CMakeFiles/core_test.dir/core/options_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/options_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/core_test.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_test.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/step2_host_test.cpp" "tests/CMakeFiles/core_test.dir/core/step2_host_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/step2_host_test.cpp.o.d"
+  "/root/repo/tests/core/step3_test.cpp" "tests/CMakeFiles/core_test.dir/core/step3_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/step3_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_rasc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

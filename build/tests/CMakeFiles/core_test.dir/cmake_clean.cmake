@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/dispatch_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/dispatch_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/hybrid_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/hybrid_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/modes_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/modes_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/options_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/options_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/step2_host_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/step2_host_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/step3_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/step3_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

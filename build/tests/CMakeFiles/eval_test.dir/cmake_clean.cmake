@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_test.dir/eval/average_precision_test.cpp.o"
+  "CMakeFiles/eval_test.dir/eval/average_precision_test.cpp.o.d"
+  "CMakeFiles/eval_test.dir/eval/benchmark_set_test.cpp.o"
+  "CMakeFiles/eval_test.dir/eval/benchmark_set_test.cpp.o.d"
+  "CMakeFiles/eval_test.dir/eval/compare_hits_test.cpp.o"
+  "CMakeFiles/eval_test.dir/eval/compare_hits_test.cpp.o.d"
+  "CMakeFiles/eval_test.dir/eval/roc_test.cpp.o"
+  "CMakeFiles/eval_test.dir/eval/roc_test.cpp.o.d"
+  "eval_test"
+  "eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rasc/controllers_test.cpp" "tests/CMakeFiles/rasc_test.dir/rasc/controllers_test.cpp.o" "gcc" "tests/CMakeFiles/rasc_test.dir/rasc/controllers_test.cpp.o.d"
+  "/root/repo/tests/rasc/fifo_test.cpp" "tests/CMakeFiles/rasc_test.dir/rasc/fifo_test.cpp.o" "gcc" "tests/CMakeFiles/rasc_test.dir/rasc/fifo_test.cpp.o.d"
+  "/root/repo/tests/rasc/gap_operator_test.cpp" "tests/CMakeFiles/rasc_test.dir/rasc/gap_operator_test.cpp.o" "gcc" "tests/CMakeFiles/rasc_test.dir/rasc/gap_operator_test.cpp.o.d"
+  "/root/repo/tests/rasc/pe_slot_test.cpp" "tests/CMakeFiles/rasc_test.dir/rasc/pe_slot_test.cpp.o" "gcc" "tests/CMakeFiles/rasc_test.dir/rasc/pe_slot_test.cpp.o.d"
+  "/root/repo/tests/rasc/platform_model_test.cpp" "tests/CMakeFiles/rasc_test.dir/rasc/platform_model_test.cpp.o" "gcc" "tests/CMakeFiles/rasc_test.dir/rasc/platform_model_test.cpp.o.d"
+  "/root/repo/tests/rasc/processing_element_test.cpp" "tests/CMakeFiles/rasc_test.dir/rasc/processing_element_test.cpp.o" "gcc" "tests/CMakeFiles/rasc_test.dir/rasc/processing_element_test.cpp.o.d"
+  "/root/repo/tests/rasc/psc_operator_test.cpp" "tests/CMakeFiles/rasc_test.dir/rasc/psc_operator_test.cpp.o" "gcc" "tests/CMakeFiles/rasc_test.dir/rasc/psc_operator_test.cpp.o.d"
+  "/root/repo/tests/rasc/rasc_backend_test.cpp" "tests/CMakeFiles/rasc_test.dir/rasc/rasc_backend_test.cpp.o" "gcc" "tests/CMakeFiles/rasc_test.dir/rasc/rasc_backend_test.cpp.o.d"
+  "/root/repo/tests/rasc/sgi_core_test.cpp" "tests/CMakeFiles/rasc_test.dir/rasc/sgi_core_test.cpp.o" "gcc" "tests/CMakeFiles/rasc_test.dir/rasc/sgi_core_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_rasc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

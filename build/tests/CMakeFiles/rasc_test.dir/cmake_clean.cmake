@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_test.dir/rasc/controllers_test.cpp.o"
+  "CMakeFiles/rasc_test.dir/rasc/controllers_test.cpp.o.d"
+  "CMakeFiles/rasc_test.dir/rasc/fifo_test.cpp.o"
+  "CMakeFiles/rasc_test.dir/rasc/fifo_test.cpp.o.d"
+  "CMakeFiles/rasc_test.dir/rasc/gap_operator_test.cpp.o"
+  "CMakeFiles/rasc_test.dir/rasc/gap_operator_test.cpp.o.d"
+  "CMakeFiles/rasc_test.dir/rasc/pe_slot_test.cpp.o"
+  "CMakeFiles/rasc_test.dir/rasc/pe_slot_test.cpp.o.d"
+  "CMakeFiles/rasc_test.dir/rasc/platform_model_test.cpp.o"
+  "CMakeFiles/rasc_test.dir/rasc/platform_model_test.cpp.o.d"
+  "CMakeFiles/rasc_test.dir/rasc/processing_element_test.cpp.o"
+  "CMakeFiles/rasc_test.dir/rasc/processing_element_test.cpp.o.d"
+  "CMakeFiles/rasc_test.dir/rasc/psc_operator_test.cpp.o"
+  "CMakeFiles/rasc_test.dir/rasc/psc_operator_test.cpp.o.d"
+  "CMakeFiles/rasc_test.dir/rasc/rasc_backend_test.cpp.o"
+  "CMakeFiles/rasc_test.dir/rasc/rasc_backend_test.cpp.o.d"
+  "CMakeFiles/rasc_test.dir/rasc/sgi_core_test.cpp.o"
+  "CMakeFiles/rasc_test.dir/rasc/sgi_core_test.cpp.o.d"
+  "rasc_test"
+  "rasc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/family_generator_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/family_generator_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/genome_generator_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/genome_generator_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/mutation_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/mutation_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/protein_generator_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/protein_generator_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/workload_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/workload_test.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

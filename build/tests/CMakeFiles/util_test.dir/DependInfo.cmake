@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/args_test.cpp" "tests/CMakeFiles/util_test.dir/util/args_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/args_test.cpp.o.d"
+  "/root/repo/tests/util/logging_test.cpp" "tests/CMakeFiles/util_test.dir/util/logging_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/logging_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/util_test.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/util_test.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/util/timer_test.cpp" "tests/CMakeFiles/util_test.dir/util/timer_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/timer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_rasc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

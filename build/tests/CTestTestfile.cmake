@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;psc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bio_test "/root/repo/build/tests/bio_test")
+set_tests_properties(bio_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;psc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(index_test "/root/repo/build/tests/index_test")
+set_tests_properties(index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;28;psc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(align_test "/root/repo/build/tests/align_test")
+set_tests_properties(align_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;33;psc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;40;psc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(blast_test "/root/repo/build/tests/blast_test")
+set_tests_properties(blast_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;47;psc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rasc_test "/root/repo/build/tests/rasc_test")
+set_tests_properties(rasc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;52;psc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;63;psc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eval_test "/root/repo/build/tests/eval_test")
+set_tests_properties(eval_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;73;psc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;79;psc_add_test;/root/repo/tests/CMakeLists.txt;0;")
