@@ -1,17 +1,27 @@
 // Google-benchmark microkernels for the library's hot paths: the
 // ungapped window kernel (the PE datapath), index construction, the
 // X-drop extensions, six-frame translation and the two simulator engines.
+//
+// The custom main() additionally runs a calibrated scalar/blocked/SIMD
+// step-2 kernel shoot-out and writes BENCH_step2_kernels.json
+// (cells/sec and speedup vs scalar) for machine consumption.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
 
 #include "align/gapped.hpp"
 #include "align/ungapped.hpp"
+#include "align/ungapped_simd.hpp"
 #include "align/xdrop.hpp"
 #include "bio/translate.hpp"
 #include "index/index_table.hpp"
+#include "index/neighborhood.hpp"
 #include "rasc/psc_operator.hpp"
 #include "sim/genome_generator.hpp"
 #include "sim/protein_generator.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -189,6 +199,105 @@ void BM_OperatorEngine(benchmark::State& state) {
 BENCHMARK(BM_OperatorEngine<false>)->Name("BM_OperatorBatch");
 BENCHMARK(BM_OperatorEngine<true>)->Name("BM_OperatorCycleExact");
 
+// ---- step-2 kernel shoot-out --------------------------------------------
+// Direct calibrated timing of the three host kernels on the same
+// many-vs-one workload the step-2 engines run per seed key: one IL0
+// window scored against a batch of IL1 windows. The SIMD rows include
+// the per-IL0 score-profile build, matching the integrated cost; the
+// striped transpose is per-key and amortized, so it stays outside.
+
+struct KernelTiming {
+  const char* name;
+  double cells_per_sec = 0.0;
+};
+
+template <typename Fn>
+double calibrated_cells_per_sec(std::size_t cells_per_call, Fn&& call) {
+  // Warm up, then grow the repetition count until the run is long enough
+  // for the steady-state rate to dominate timer overhead.
+  call();
+  std::size_t reps = 16;
+  for (;;) {
+    util::Timer timer;
+    for (std::size_t r = 0; r < reps; ++r) call();
+    const double seconds = timer.seconds();
+    if (seconds >= 0.2) {
+      return static_cast<double>(reps * cells_per_call) / seconds;
+    }
+    reps *= 4;
+  }
+}
+
+void run_step2_kernel_shootout() {
+  const index::WindowShape shape{4, 30};
+  const std::size_t length = shape.length();
+  const std::size_t count = 512;
+  util::Xoshiro256 rng(31);
+  bio::SequenceBank bank(bio::SequenceKind::kProtein);
+  bank.add(sim::generate_protein("pool", 8000, rng));
+  index::WindowBatch batch(length);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    batch.append(bank, index::Occurrence{0, 40 + 13 * i}, shape);
+  }
+  index::WindowBatch one(length);
+  one.append(bank, index::Occurrence{0, 500}, shape);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const std::size_t cells = count * length;
+
+  index::StripedWindows striped;
+  striped.assign(batch);
+  std::vector<int> scores;
+  align::ScoreProfile profile;
+
+  KernelTiming timings[] = {
+      {"scalar"}, {"blocked"}, {"simd-portable"}, {"simd"}};
+  timings[0].cells_per_sec = calibrated_cells_per_sec(cells, [&] {
+    align::ungapped_score_one_vs_many(one.window(0), batch, m, scores);
+    benchmark::DoNotOptimize(scores.data());
+  });
+  timings[1].cells_per_sec = calibrated_cells_per_sec(cells, [&] {
+    align::ungapped_score_one_vs_many_blocked(one.window(0), batch, m, scores);
+    benchmark::DoNotOptimize(scores.data());
+  });
+  timings[2].cells_per_sec = calibrated_cells_per_sec(cells, [&] {
+    profile.build(one.window(0), m);
+    align::ungapped_score_profile_vs_striped_portable(profile, striped,
+                                                      scores);
+    benchmark::DoNotOptimize(scores.data());
+  });
+  timings[3].cells_per_sec = calibrated_cells_per_sec(cells, [&] {
+    profile.build(one.window(0), m);
+    align::ungapped_score_profile_vs_striped(profile, striped, scores);
+    benchmark::DoNotOptimize(scores.data());
+  });
+
+  const double scalar_rate = timings[0].cells_per_sec;
+  const char* tier = align::simd_tier_name(align::best_simd_tier());
+  std::fprintf(stderr, "\n=== step-2 kernel shoot-out (tier %s) ===\n", tier);
+  std::ofstream json("BENCH_step2_kernels.json");
+  json << "{\n  \"window_length\": " << length
+       << ",\n  \"windows\": " << count << ",\n  \"simd_tier\": \"" << tier
+       << "\",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double speedup = timings[i].cells_per_sec / scalar_rate;
+    std::fprintf(stderr, "  %-14s %8.1f Mcells/s  %5.2fx vs scalar\n",
+                 timings[i].name, timings[i].cells_per_sec / 1e6, speedup);
+    json << "    {\"kernel\": \"" << timings[i].name
+         << "\", \"cells_per_sec\": " << timings[i].cells_per_sec
+         << ", \"speedup_vs_scalar\": " << speedup << "}"
+         << (i + 1 < 4 ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::fprintf(stderr, "wrote BENCH_step2_kernels.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_step2_kernel_shootout();
+  return 0;
+}

@@ -83,6 +83,8 @@ int main(int argc, char** argv) {
   args.add_option("subject", "", "subject FASTA (protein or DNA per mode)");
   args.add_option("format", "tabular", "tabular | gff3 | pairwise");
   args.add_option("backend", "rasc", "rasc | host | host-parallel");
+  args.add_option("step2-kernel", "auto",
+                  "host ungapped kernel: auto | scalar | blocked | simd");
   args.add_option("pes", "192", "PSC processing elements (rasc backend)");
   args.add_option("fpgas", "1", "simulated FPGAs (1 or 2)");
   args.add_option("evalue", "1e-3", "E-value cutoff");
@@ -108,6 +110,13 @@ int main(int argc, char** argv) {
     options.backend = core::Step2Backend::kHostParallel;
   } else {
     std::fprintf(stderr, "unknown backend '%s'\n", backend.c_str());
+    return 1;
+  }
+  try {
+    options.step2_kernel = core::parse_step2_kernel(args.get("step2-kernel"));
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "unknown step2 kernel '%s'\n",
+                 args.get("step2-kernel").c_str());
     return 1;
   }
 
@@ -215,5 +224,10 @@ int main(int argc, char** argv) {
                mode.c_str(), result.pipeline.matches.size(),
                core::backend_name(options.backend).c_str(),
                result.pipeline.times.step2_ungapped);
+  {
+    std::ostringstream step2_report;
+    core::write_step2_report(step2_report, result.pipeline);
+    std::fprintf(stderr, "# %s", step2_report.str().c_str());
+  }
   return 0;
 }

@@ -1,0 +1,37 @@
+#include "align/score_profile.hpp"
+
+#include <stdexcept>
+
+namespace psc::align {
+
+bool ScoreProfile::representable(
+    const bio::SubstitutionMatrix& matrix) noexcept {
+  return matrix.min_score() >= -128 && matrix.max_score() <= 127;
+}
+
+void ScoreProfile::build(std::span<const std::uint8_t> window,
+                         const bio::SubstitutionMatrix& matrix) {
+  if (!representable(matrix)) {
+    throw std::invalid_argument(
+        "ScoreProfile::build: matrix scores exceed int8 range");
+  }
+  length_ = window.size();
+  cells_.resize(length_ * kStride);
+  for (std::size_t k = 0; k < length_; ++k) {
+    std::int8_t* row = cells_.data() + k * kStride;
+    const std::uint8_t a = window[k];
+    for (std::size_t c = 0; c < bio::kProteinAlphabetSize; ++c) {
+      row[c] = static_cast<std::int8_t>(
+          matrix.score(a, static_cast<bio::Residue>(c)));
+    }
+    // Padding columns clamp to X, mirroring SubstitutionMatrix::score for
+    // out-of-alphabet codes.
+    const std::int8_t x_score =
+        static_cast<std::int8_t>(matrix.score(a, bio::kUnknownX));
+    for (std::size_t c = bio::kProteinAlphabetSize; c < kStride; ++c) {
+      row[c] = x_score;
+    }
+  }
+}
+
+}  // namespace psc::align

@@ -4,20 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "align/score_profile.hpp"
+
 namespace psc::blast {
-
-namespace {
-
-/// Per-position maximum substitution score against a fixed residue.
-int row_max(const bio::SubstitutionMatrix& matrix, std::uint8_t residue) {
-  int best = matrix.score(residue, 0);
-  for (std::uint8_t r = 1; r < bio::kNumAminoAcids; ++r) {
-    best = std::max(best, static_cast<int>(matrix.score(residue, r)));
-  }
-  return best;
-}
-
-}  // namespace
 
 void enumerate_neighborhood(std::span<const std::uint8_t> word,
                             const bio::SubstitutionMatrix& matrix,
@@ -30,10 +19,27 @@ void enumerate_neighborhood(std::span<const std::uint8_t> word,
     if (r >= bio::kNumAminoAcids) return;  // masked word: no neighbourhood
   }
 
+  // Pre-expand the word's substitution rows (align/score_profile.hpp):
+  // the DFS below reads score(word[depth], choice) for every candidate
+  // residue, which the profile serves as one contiguous byte row per
+  // position instead of a strided matrix gather. Matrices whose scores
+  // exceed int8 (no BLOSUM/PAM does) fall back to direct matrix lookups.
+  align::ScoreProfile profile;
+  const bool profiled = align::ScoreProfile::representable(matrix);
+  if (profiled) profile.build(word, matrix);
+  const auto score_at = [&](std::size_t depth, std::uint8_t c) -> int {
+    return profiled ? profile.row(depth)[c]
+                    : static_cast<int>(matrix.score(word[depth], c));
+  };
+
   // suffix_max[i] = best achievable score for positions i..w-1.
   std::vector<int> suffix_max(w + 1, 0);
   for (std::size_t i = w; i-- > 0;) {
-    suffix_max[i] = suffix_max[i + 1] + row_max(matrix, word[i]);
+    int best = score_at(i, 0);
+    for (std::uint8_t r = 1; r < bio::kNumAminoAcids; ++r) {
+      best = std::max(best, score_at(i, r));
+    }
+    suffix_max[i] = suffix_max[i + 1] + best;
   }
 
   // Iterative DFS over residue choices with pruning.
@@ -48,8 +54,7 @@ void enumerate_neighborhood(std::span<const std::uint8_t> word,
       ++choice[depth];
       continue;
     }
-    const int score =
-        partial[depth] + matrix.score(word[depth], choice[depth]);
+    const int score = partial[depth] + score_at(depth, choice[depth]);
     if (score + suffix_max[depth + 1] < threshold) {
       ++choice[depth];
       continue;

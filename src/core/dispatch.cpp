@@ -60,7 +60,7 @@ DispatchResult run_step2_dispatch(const bio::SequenceBank& bank0,
     util::Timer timer;
     HostStep2Result host = run_step2_host_keys(
         bank0, table0, bank1, table1, matrix, config.shape, config.threshold,
-        host_keys, config.host_threads);
+        host_keys, config.host_threads, config.kernel);
     result.host_seconds = timer.seconds();
     result.hits = std::move(host.hits);
   }

@@ -25,6 +25,8 @@ struct DispatchConfig {
   /// the accelerator, 1 = all on the host).
   double host_fraction = 0.25;
   std::size_t host_threads = 0;  ///< 0 = hardware concurrency
+  /// Ungapped kernel for the host half (kAuto = striped SIMD when exact).
+  align::UngappedKernel kernel = align::UngappedKernel::kAuto;
   rasc::RascStep2Config rasc{};
   index::WindowShape shape{4, 30};
   int threshold = 38;

@@ -1,7 +1,9 @@
 #include "core/hybrid.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "core/dispatch.hpp"
 #include "core/step1_index.hpp"
 #include "core/step3_gapped.hpp"
 #include "rasc/rasc_backend.hpp"
@@ -18,6 +20,10 @@ HybridResult run_hybrid_pipeline(const bio::SequenceBank& bank0,
   base.rasc.num_fpgas = 1;  // FPGA 1 is occupied by the gap operator
   base.validate();
   options.gap.validate();
+  if (options.host_fraction < 0.0 || options.host_fraction > 1.0) {
+    throw std::invalid_argument(
+        "run_hybrid_pipeline: host_fraction must be in [0,1]");
+  }
 
   HybridResult result;
 
@@ -28,17 +34,40 @@ HybridResult run_hybrid_pipeline(const bio::SequenceBank& bank0,
   result.counters.bank0_occurrences = step1.table0.total_occurrences();
   result.counters.bank1_occurrences = step1.table1.total_occurrences();
 
-  // ---- step 2: PSC operator on FPGA 0 -------------------------------------
+  // ---- step 2: PSC operator on FPGA 0 (+ optional host share) -------------
   rasc::RascStep2Config psc_config = base.rasc;
   psc_config.psc.window_length = base.shape.length();
   psc_config.psc.threshold = base.ungapped_threshold;
   psc_config.shape = base.shape;
-  rasc::RascStep2Result step2 = rasc::run_rasc_step2(
-      bank0, step1.table0, bank1, step1.table1, matrix, psc_config);
-  result.psc_seconds = step2.modeled_seconds;
-  result.psc_stats = step2.stats;
-  result.counters.step2_pairs = step2.stats.comparisons;
-  result.counters.step2_hits = step2.hits.size();
+  std::vector<align::SeedPairHit> step2_hits;
+  if (options.host_fraction > 0.0) {
+    // Cores + FPGA co-execution: the key space is weight-split between
+    // the host's SIMD kernel and the PSC operator (core/dispatch.hpp);
+    // identical kernels on both sides keep the merged hit set exact.
+    DispatchConfig dispatch;
+    dispatch.host_fraction = options.host_fraction;
+    dispatch.host_threads = base.host_threads;
+    dispatch.kernel = base.step2_kernel;
+    dispatch.rasc = psc_config;
+    dispatch.shape = base.shape;
+    dispatch.threshold = base.ungapped_threshold;
+    DispatchResult dispatched = run_step2_dispatch(
+        bank0, step1.table0, bank1, step1.table1, matrix, dispatch);
+    result.psc_seconds = dispatched.accel_seconds;
+    result.host_step2_seconds = dispatched.host_seconds;
+    result.counters.step2_pairs = dispatched.pairs;
+    step2_hits = std::move(dispatched.hits);
+  } else {
+    rasc::RascStep2Result step2 = rasc::run_rasc_step2(
+        bank0, step1.table0, bank1, step1.table1, matrix, psc_config);
+    result.psc_seconds = step2.modeled_seconds;
+    result.psc_stats = step2.stats;
+    result.counters.step2_pairs = step2.stats.comparisons;
+    step2_hits = std::move(step2.hits);
+  }
+  result.counters.step2_cells =
+      result.counters.step2_pairs * base.shape.length();
+  result.counters.step2_hits = step2_hits.size();
 
   // ---- banded screen: gap operator on FPGA 1 ------------------------------
   // Extract the longer gapped windows around every surviving hit pair and
@@ -51,7 +80,7 @@ HybridResult run_hybrid_pipeline(const bio::SequenceBank& bank0,
 
   index::WindowBatch windows0(gap_shape.length());
   index::WindowBatch windows1(gap_shape.length());
-  for (const align::SeedPairHit& hit : step2.hits) {
+  for (const align::SeedPairHit& hit : step2_hits) {
     windows0.append(bank0, hit.bank0, gap_shape);
     windows1.append(bank1, hit.bank1, gap_shape);
   }
@@ -66,7 +95,7 @@ HybridResult run_hybrid_pipeline(const bio::SequenceBank& bank0,
   std::vector<align::SeedPairHit> survivors;
   survivors.reserve(screened.size());
   for (const rasc::ResultRecord& record : screened) {
-    survivors.push_back(step2.hits[record.il0_index]);
+    survivors.push_back(step2_hits[record.il0_index]);
   }
 
   // ---- residual step 3: host extension of survivors ----------------------

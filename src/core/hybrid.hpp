@@ -7,6 +7,8 @@
 // the two stages rather than their sum.
 #pragma once
 
+#include <algorithm>
+
 #include "core/options.hpp"
 #include "core/result.hpp"
 #include "rasc/gap_operator.hpp"
@@ -21,6 +23,11 @@ struct HybridOptions {
   /// below the raw score implied by the E-value cutoff so no final match
   /// is lost (validated by the integration tests).
   rasc::GapOperatorConfig gap{};
+  /// Share of step-2 pair work co-executed on the host's SIMD kernel
+  /// (base.step2_kernel) while FPGA 0 runs the rest -- the paper's
+  /// closing "cores + FPGA" question applied to the dual-FPGA pipeline.
+  /// 0 keeps the classic all-FPGA step 2.
+  double host_fraction = 0.0;
 };
 
 struct HybridResult {
@@ -31,6 +38,7 @@ struct HybridResult {
   double step1_seconds = 0.0;
   double psc_seconds = 0.0;        ///< FPGA 0, modeled
   double gap_seconds = 0.0;        ///< FPGA 1, modeled
+  double host_step2_seconds = 0.0; ///< host co-executed share, measured
   double host_step3_seconds = 0.0; ///< residual host extension, measured
 
   std::uint64_t screen_survivors = 0;  ///< hits passing the banded screen
@@ -38,10 +46,12 @@ struct HybridResult {
   rasc::OperatorStats psc_stats;
   rasc::GapOperatorStats gap_stats;
 
-  /// Steady-state modeled wall time: host indexing, then the two
-  /// streaming FPGA stages overlapped, then the residual host work.
+  /// Steady-state modeled wall time: host indexing, then the streaming
+  /// FPGA stages and the host's co-executed step-2 share overlapped, then
+  /// the residual host work.
   double overall_seconds() const {
-    return step1_seconds + std::max(psc_seconds, gap_seconds) +
+    return step1_seconds +
+           std::max({psc_seconds, gap_seconds, host_step2_seconds}) +
            host_step3_seconds;
   }
 };

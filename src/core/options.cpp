@@ -44,4 +44,15 @@ std::string backend_name(Step2Backend backend) {
   return "unknown";
 }
 
+std::string step2_kernel_name(align::UngappedKernel kernel) {
+  return align::ungapped_kernel_name(kernel);
+}
+
+align::UngappedKernel parse_step2_kernel(const std::string& name) {
+  if (const auto kernel = align::parse_ungapped_kernel(name)) return *kernel;
+  throw std::invalid_argument(
+      "parse_step2_kernel: expected auto|scalar|blocked|simd, got '" + name +
+      "'");
+}
+
 }  // namespace psc::core

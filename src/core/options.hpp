@@ -8,6 +8,7 @@
 
 #include "align/gapped.hpp"
 #include "align/karlin.hpp"
+#include "align/ungapped_simd.hpp"
 #include "index/neighborhood.hpp"
 #include "index/seed_model.hpp"
 #include "rasc/rasc_backend.hpp"
@@ -41,6 +42,12 @@ struct PipelineOptions {
   Step2Backend backend = Step2Backend::kHostSequential;
   std::size_t host_threads = 0;  ///< 0 = hardware concurrency
 
+  /// Which ungapped kernel the host backends run (--step2-kernel). kAuto
+  /// resolves to the striped SIMD kernel whenever it is exact for the
+  /// matrix/window configuration; all kernels produce bit-identical hit
+  /// sets, so this is purely a speed/diagnostic knob.
+  align::UngappedKernel step2_kernel = align::UngappedKernel::kAuto;
+
   /// Worker threads for step 3 (gapped extension); Table 7 shows step 3
   /// dominating the accelerated pipeline, and the paper's conclusion
   /// points at multicore hosts. 0 or 1 = sequential.
@@ -68,5 +75,12 @@ index::SeedModel make_seed_model(SeedModelKind kind);
 
 /// Human-readable backend name (for tables and logs).
 std::string backend_name(Step2Backend backend);
+
+/// Human-readable kernel name ("auto", "scalar", "blocked", "simd").
+std::string step2_kernel_name(align::UngappedKernel kernel);
+
+/// Parses a --step2-kernel value; throws std::invalid_argument on an
+/// unknown name.
+align::UngappedKernel parse_step2_kernel(const std::string& name);
 
 }  // namespace psc::core

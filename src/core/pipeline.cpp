@@ -27,10 +27,12 @@ PipelineResult run_pipeline(const bio::SequenceBank& bank0,
   std::vector<align::SeedPairHit> hits;
   switch (options.backend) {
     case Step2Backend::kHostSequential: {
-      HostStep2Result step2 =
-          run_step2_host(bank0, step1.table0, bank1, step1.table1, matrix,
-                         options.shape, options.ungapped_threshold);
+      HostStep2Result step2 = run_step2_host(
+          bank0, step1.table0, bank1, step1.table1, matrix, options.shape,
+          options.ungapped_threshold, options.step2_kernel);
       result.counters.step2_pairs = step2.pairs;
+      result.counters.step2_cells = step2.cells;
+      result.step2_engine = step2_kernel_name(step2.kernel);
       hits = std::move(step2.hits);
       result.step2_wall_seconds = step2_timer.seconds();
       result.times.step2_ungapped = result.step2_wall_seconds;
@@ -39,8 +41,11 @@ PipelineResult run_pipeline(const bio::SequenceBank& bank0,
     case Step2Backend::kHostParallel: {
       HostStep2Result step2 = run_step2_host_parallel(
           bank0, step1.table0, bank1, step1.table1, matrix, options.shape,
-          options.ungapped_threshold, options.host_threads);
+          options.ungapped_threshold, options.host_threads,
+          options.step2_kernel);
       result.counters.step2_pairs = step2.pairs;
+      result.counters.step2_cells = step2.cells;
+      result.step2_engine = step2_kernel_name(step2.kernel);
       hits = std::move(step2.hits);
       result.step2_wall_seconds = step2_timer.seconds();
       result.times.step2_ungapped = result.step2_wall_seconds;
@@ -55,6 +60,9 @@ PipelineResult run_pipeline(const bio::SequenceBank& bank0,
           rasc::run_rasc_step2(bank0, step1.table0, bank1, step1.table1,
                                matrix, config);
       result.counters.step2_pairs = step2.stats.comparisons;
+      result.counters.step2_cells =
+          step2.stats.comparisons * options.shape.length();
+      result.step2_engine = "rasc-psc";
       hits = std::move(step2.hits);
       result.step2_wall_seconds = step2_timer.seconds();
       // The paper's Tables 2-4 report the accelerator's execution time,

@@ -111,4 +111,25 @@ void write_gff3(std::ostream& out, const std::vector<Match>& matches,
   out.unsetf(std::ios::floatfield);
 }
 
+void write_step2_report(std::ostream& out, const PipelineResult& result) {
+  const double seconds = result.step2_wall_seconds;
+  const double mcells =
+      seconds > 0.0
+          ? static_cast<double>(result.counters.step2_cells) / seconds / 1e6
+          : 0.0;
+  const auto old_precision = out.precision();
+  out << "step2 engine="
+      << (result.step2_engine.empty() ? "none" : result.step2_engine)
+      << " pairs=" << result.counters.step2_pairs
+      << " hits=" << result.counters.step2_hits
+      << " cells=" << result.counters.step2_cells;
+  out.setf(std::ios::fixed, std::ios::floatfield);
+  out.precision(4);
+  out << " seconds=" << seconds;
+  out.precision(1);
+  out << " mcells_per_s=" << mcells << '\n';
+  out.unsetf(std::ios::floatfield);
+  out.precision(old_precision);
+}
+
 }  // namespace psc::core

@@ -35,4 +35,11 @@ void write_gff3(std::ostream& out, const std::vector<Match>& matches,
                 const std::vector<bio::FrameFragment>& fragments,
                 const std::string& genome_id);
 
+/// Writes the step-2 engine diagnostics of a pipeline run: which kernel
+/// (or accelerator operator) executed, pairs/hits, and the cell
+/// throughput the engine sustained -- the software counterpart of the
+/// paper's Tables 2/4 "software" rows. One `key value` pair per token:
+///   step2 engine=simd pairs=... hits=... cells=... seconds=... mcells_per_s=...
+void write_step2_report(std::ostream& out, const PipelineResult& result);
+
 }  // namespace psc::core

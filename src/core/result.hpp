@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "align/gapped.hpp"
@@ -25,6 +26,7 @@ struct PipelineCounters {
   std::uint64_t bank0_occurrences = 0;  ///< indexed words, bank 0
   std::uint64_t bank1_occurrences = 0;  ///< indexed words, bank 1
   std::uint64_t step2_pairs = 0;        ///< ungapped extensions performed
+  std::uint64_t step2_cells = 0;        ///< substitution cells evaluated
   std::uint64_t step2_hits = 0;         ///< pairs reaching the threshold
   std::uint64_t step3_extensions = 0;   ///< gapped extensions performed
 };
@@ -52,6 +54,10 @@ struct PipelineResult {
   /// Host wall time actually spent simulating step 2 (diagnostic; equals
   /// times.step2_ungapped for host backends).
   double step2_wall_seconds = 0.0;
+  /// Engine step 2 actually ran: the resolved host kernel name ("simd",
+  /// "blocked", "scalar") or "rasc-psc" for the accelerator backend. Used
+  /// by the per-kernel throughput report (core/report.hpp).
+  std::string step2_engine;
   /// Accelerator details when the RASC backend ran (empty otherwise).
   std::vector<rasc::FpgaRunReport> fpga_reports;
   rasc::OperatorStats operator_stats;

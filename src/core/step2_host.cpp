@@ -11,29 +11,72 @@ namespace psc::core {
 
 namespace {
 
-/// Processes one seed key, appending hits. Window batches are
-/// caller-provided scratch so the hot loop performs no allocation.
+/// Per-worker kernel state: window batches, the SIMD path's striped image
+/// and score profile, and the score buffer. One instance is owned by each
+/// engine thread and threaded through process_key, so kernel scratch
+/// ownership is explicit (no function-local TLS) and the hot loop
+/// performs no allocation once the buffers have grown to steady state.
+struct Step2Scratch {
+  index::WindowBatch batch0;
+  index::WindowBatch batch1;
+  index::StripedWindows striped1;
+  align::ScoreProfile profile;
+  std::vector<int> scores;
+
+  explicit Step2Scratch(std::size_t window_length)
+      : batch0(window_length), batch1(window_length) {}
+};
+
+/// Processes one seed key with the resolved kernel, appending hits.
 std::uint64_t process_key(
     const bio::SequenceBank& bank0, const index::IndexTable& table0,
     const bio::SequenceBank& bank1, const index::IndexTable& table1,
     const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
-    int threshold, index::SeedKey key, index::WindowBatch& batch0,
-    index::WindowBatch& batch1, std::vector<align::SeedPairHit>& hits) {
+    int threshold, align::UngappedKernel kernel, index::SeedKey key,
+    Step2Scratch& scratch, std::vector<align::SeedPairHit>& hits) {
   const auto list0 = table0.occurrences(key);
   const auto list1 = table1.occurrences(key);
   if (list0.empty() || list1.empty()) return 0;
 
-  index::extract_windows(bank0, list0, shape, batch0);
-  index::extract_windows(bank1, list1, shape, batch1);
+  index::extract_windows(bank0, list0, shape, scratch.batch0);
+  index::extract_windows(bank1, list1, shape, scratch.batch1);
 
-  // Blocked kernel: one IL0 window against the whole IL1 batch with four
-  // interleaved accumulators (see align/ungapped.hpp). This mirrors the
-  // PE array's structure and is what makes the "software" rows of
-  // Tables 2/4 a fair, optimized baseline.
-  thread_local std::vector<int> scores;
+  // One IL0 window against the whole IL1 batch per kernel invocation --
+  // the software mirror of a PE's duty in the array. The kernels agree
+  // bit-for-bit (enforced by resolve_ungapped_kernel and the align
+  // property tests), so the hit set is independent of the choice.
+  const index::WindowBatch& batch0 = scratch.batch0;
+  const index::WindowBatch& batch1 = scratch.batch1;
+  std::vector<int>& scores = scratch.scores;
+  // The striped transpose and per-IL0 profile build only pay off once the
+  // IL1 list fills a couple of lane groups; below that the blocked kernel
+  // wins, and since the kernels agree bit-for-bit the per-key switch
+  // cannot change the hit set.
+  constexpr std::size_t kSimdMinBatch = 2 * index::StripedWindows::kLaneWidth;
+  align::UngappedKernel key_kernel = kernel;
+  if (kernel == align::UngappedKernel::kSimd) {
+    if (batch1.size() >= kSimdMinBatch) {
+      scratch.striped1.assign(batch1);
+    } else {
+      key_kernel = align::UngappedKernel::kBlocked;
+    }
+  }
   for (std::size_t i0 = 0; i0 < batch0.size(); ++i0) {
-    align::ungapped_score_one_vs_many_blocked(batch0.window(i0), batch1,
-                                              matrix, scores);
+    switch (key_kernel) {
+      case align::UngappedKernel::kSimd:
+        scratch.profile.build(batch0.window(i0), matrix);
+        align::ungapped_score_profile_vs_striped(scratch.profile,
+                                                 scratch.striped1, scores);
+        break;
+      case align::UngappedKernel::kScalar:
+        align::ungapped_score_one_vs_many(batch0.window(i0), batch1, matrix,
+                                          scores);
+        break;
+      default:
+        align::ungapped_score_one_vs_many_blocked(batch0.window(i0), batch1,
+                                                  matrix, scores);
+        break;
+    }
     for (std::size_t i1 = 0; i1 < scores.size(); ++i1) {
       if (scores[i1] >= threshold) {
         hits.push_back(align::SeedPairHit{batch0.source(i0),
@@ -49,14 +92,14 @@ std::uint64_t process_key_range(
     const bio::SequenceBank& bank0, const index::IndexTable& table0,
     const bio::SequenceBank& bank1, const index::IndexTable& table1,
     const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
-    int threshold, std::size_t first, std::size_t last,
-    index::WindowBatch& batch0, index::WindowBatch& batch1,
+    int threshold, align::UngappedKernel kernel, std::size_t first,
+    std::size_t last, Step2Scratch& scratch,
     std::vector<align::SeedPairHit>& hits) {
   std::uint64_t pairs = 0;
   for (std::size_t k = first; k < last; ++k) {
     pairs += process_key(bank0, table0, bank1, table1, matrix, shape,
-                         threshold, static_cast<index::SeedKey>(k), batch0,
-                         batch1, hits);
+                         threshold, kernel, static_cast<index::SeedKey>(k),
+                         scratch, hits);
   }
   return pairs;
 }
@@ -78,19 +121,18 @@ void normalize(std::vector<align::SeedPairHit>& hits) {
 
 }  // namespace
 
-HostStep2Result run_step2_host(const bio::SequenceBank& bank0,
-                               const index::IndexTable& table0,
-                               const bio::SequenceBank& bank1,
-                               const index::IndexTable& table1,
-                               const bio::SubstitutionMatrix& matrix,
-                               const index::WindowShape& shape,
-                               int threshold) {
+HostStep2Result run_step2_host(
+    const bio::SequenceBank& bank0, const index::IndexTable& table0,
+    const bio::SequenceBank& bank1, const index::IndexTable& table1,
+    const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
+    int threshold, align::UngappedKernel kernel) {
   HostStep2Result out;
-  index::WindowBatch batch0(shape.length());
-  index::WindowBatch batch1(shape.length());
+  out.kernel = align::resolve_ungapped_kernel(kernel, matrix, shape.length());
+  Step2Scratch scratch(shape.length());
   out.pairs = process_key_range(bank0, table0, bank1, table1, matrix, shape,
-                                threshold, 0, table0.key_space(), batch0,
-                                batch1, out.hits);
+                                threshold, out.kernel, 0, table0.key_space(),
+                                scratch, out.hits);
+  out.cells = out.pairs * shape.length();
   return out;
 }
 
@@ -98,19 +140,20 @@ HostStep2Result run_step2_host_keys(
     const bio::SequenceBank& bank0, const index::IndexTable& table0,
     const bio::SequenceBank& bank1, const index::IndexTable& table1,
     const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
-    int threshold, std::span<const index::SeedKey> keys,
-    std::size_t threads) {
+    int threshold, std::span<const index::SeedKey> keys, std::size_t threads,
+    align::UngappedKernel kernel) {
   HostStep2Result out;
+  out.kernel = align::resolve_ungapped_kernel(kernel, matrix, shape.length());
   if (keys.empty()) return out;
   const std::size_t workers =
       threads == 0 ? util::default_thread_count() : threads;
   if (workers <= 1) {
-    index::WindowBatch batch0(shape.length());
-    index::WindowBatch batch1(shape.length());
+    Step2Scratch scratch(shape.length());
     for (const index::SeedKey key : keys) {
       out.pairs += process_key(bank0, table0, bank1, table1, matrix, shape,
-                               threshold, key, batch0, batch1, out.hits);
+                               threshold, out.kernel, key, scratch, out.hits);
     }
+    out.cells = out.pairs * shape.length();
     normalize(out.hits);
     return out;
   }
@@ -119,13 +162,13 @@ HostStep2Result run_step2_host_keys(
   const auto chunks = util::ThreadPool::blocks(0, keys.size(), workers);
   std::vector<HostStep2Result> partial(chunks.size());
   for (std::size_t c = 0; c < chunks.size(); ++c) {
-    pool.submit([&, c] {
-      index::WindowBatch batch0(shape.length());
-      index::WindowBatch batch1(shape.length());
+    pool.submit([&, c, kernel_used = out.kernel] {
+      Step2Scratch scratch(shape.length());
       for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i) {
         partial[c].pairs +=
             process_key(bank0, table0, bank1, table1, matrix, shape,
-                        threshold, keys[i], batch0, batch1, partial[c].hits);
+                        threshold, kernel_used, keys[i], scratch,
+                        partial[c].hits);
       }
     });
   }
@@ -134,6 +177,7 @@ HostStep2Result run_step2_host_keys(
     out.pairs += p.pairs;
     out.hits.insert(out.hits.end(), p.hits.begin(), p.hits.end());
   }
+  out.cells = out.pairs * shape.length();
   normalize(out.hits);
   return out;
 }
@@ -142,7 +186,9 @@ HostStep2Result run_step2_host_parallel(
     const bio::SequenceBank& bank0, const index::IndexTable& table0,
     const bio::SequenceBank& bank1, const index::IndexTable& table1,
     const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
-    int threshold, std::size_t threads) {
+    int threshold, std::size_t threads, align::UngappedKernel kernel) {
+  const align::UngappedKernel kernel_used =
+      align::resolve_ungapped_kernel(kernel, matrix, shape.length());
   const std::size_t workers =
       threads == 0 ? util::default_thread_count() : threads;
   util::ThreadPool pool(workers);
@@ -153,18 +199,19 @@ HostStep2Result run_step2_host_parallel(
   std::atomic<std::uint64_t> total_pairs{0};
   for (std::size_t c = 0; c < chunks.size(); ++c) {
     pool.submit([&, c] {
-      index::WindowBatch batch0(shape.length());
-      index::WindowBatch batch1(shape.length());
+      Step2Scratch scratch(shape.length());
       partial[c].pairs = process_key_range(
-          bank0, table0, bank1, table1, matrix, shape, threshold,
-          chunks[c].first, chunks[c].second, batch0, batch1, partial[c].hits);
+          bank0, table0, bank1, table1, matrix, shape, threshold, kernel_used,
+          chunks[c].first, chunks[c].second, scratch, partial[c].hits);
       total_pairs.fetch_add(partial[c].pairs, std::memory_order_relaxed);
     });
   }
   pool.wait_idle();
 
   HostStep2Result out;
+  out.kernel = kernel_used;
   out.pairs = total_pairs.load();
+  out.cells = out.pairs * shape.length();
   std::size_t total_hits = 0;
   for (const auto& p : partial) total_hits += p.hits.size();
   out.hits.reserve(total_hits);

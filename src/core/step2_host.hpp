@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "align/hit.hpp"
+#include "align/ungapped_simd.hpp"
 #include "bio/substitution_matrix.hpp"
 #include "core/options.hpp"
 #include "index/index_table.hpp"
@@ -23,15 +24,19 @@ namespace psc::core {
 struct HostStep2Result {
   std::vector<align::SeedPairHit> hits;
   std::uint64_t pairs = 0;  ///< window pairs scored
+  std::uint64_t cells = 0;  ///< substitution cells evaluated (pairs * len)
+  /// Kernel the engine actually ran (the resolution of the request
+  /// against the matrix/window configuration and the host CPU).
+  align::UngappedKernel kernel = align::UngappedKernel::kScalar;
 };
 
 /// Sequential engine.
-HostStep2Result run_step2_host(const bio::SequenceBank& bank0,
-                               const index::IndexTable& table0,
-                               const bio::SequenceBank& bank1,
-                               const index::IndexTable& table1,
-                               const bio::SubstitutionMatrix& matrix,
-                               const index::WindowShape& shape, int threshold);
+HostStep2Result run_step2_host(
+    const bio::SequenceBank& bank0, const index::IndexTable& table0,
+    const bio::SequenceBank& bank1, const index::IndexTable& table1,
+    const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
+    int threshold,
+    align::UngappedKernel kernel = align::UngappedKernel::kAuto);
 
 /// Thread-pool engine; `threads == 0` uses hardware concurrency. Hit
 /// order is normalized (sorted) so results are deterministic regardless
@@ -40,7 +45,8 @@ HostStep2Result run_step2_host_parallel(
     const bio::SequenceBank& bank0, const index::IndexTable& table0,
     const bio::SequenceBank& bank1, const index::IndexTable& table1,
     const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
-    int threshold, std::size_t threads);
+    int threshold, std::size_t threads,
+    align::UngappedKernel kernel = align::UngappedKernel::kAuto);
 
 /// Processes only the given seed keys (used by the host/FPGA dispatch
 /// extension, which splits the key space between the two resources).
@@ -49,6 +55,7 @@ HostStep2Result run_step2_host_keys(
     const bio::SequenceBank& bank1, const index::IndexTable& table1,
     const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
     int threshold, std::span<const index::SeedKey> keys,
-    std::size_t threads = 1);
+    std::size_t threads = 1,
+    align::UngappedKernel kernel = align::UngappedKernel::kAuto);
 
 }  // namespace psc::core

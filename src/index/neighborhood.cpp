@@ -32,4 +32,18 @@ void extract_windows(const bio::SequenceBank& bank,
   for (const Occurrence& occ : list) out.append(bank, occ, shape);
 }
 
+void StripedWindows::assign(const WindowBatch& batch) {
+  window_length_ = batch.window_length();
+  count_ = batch.size();
+  stride_ = (count_ + kLaneWidth - 1) / kLaneWidth * kLaneWidth;
+  residues_.assign(window_length_ * stride_, bio::kUnknownX);
+  const std::uint8_t* flat = batch.flat().data();
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::uint8_t* window = flat + i * window_length_;
+    for (std::size_t k = 0; k < window_length_; ++k) {
+      residues_[k * stride_ + i] = window[k];
+    }
+  }
+}
+
 }  // namespace psc::index

@@ -68,4 +68,37 @@ void extract_windows(const bio::SequenceBank& bank,
                      std::span<const Occurrence> list,
                      const WindowShape& shape, WindowBatch& out);
 
+/// A WindowBatch transposed into striped (position-major) order for the
+/// SIMD many-vs-one kernel: residue of window i at position k lives at
+/// position(k)[i], so the 16 windows a vector register carries read 16
+/// contiguous bytes per position instead of 16 strided ones. The window
+/// count is padded to a multiple of kLaneWidth with X so kernels never
+/// need a remainder loop; padded lanes score like real windows and their
+/// results are simply dropped.
+class StripedWindows {
+ public:
+  /// Windows per vector group; matches the 16 x 16-bit lanes of a 256-bit
+  /// register and divides evenly into the portable tier's lane arrays.
+  static constexpr std::size_t kLaneWidth = 16;
+
+  /// Rebuilds the striped image of `batch` (reuses storage across calls).
+  void assign(const WindowBatch& batch);
+
+  std::size_t window_length() const { return window_length_; }
+  std::size_t size() const { return count_; }          ///< real windows
+  std::size_t padded_size() const { return stride_; }  ///< incl. X lanes
+  bool empty() const { return count_ == 0; }
+
+  /// The padded_size() residues of position k, one byte per window.
+  const std::uint8_t* position(std::size_t k) const {
+    return residues_.data() + k * stride_;
+  }
+
+ private:
+  std::size_t window_length_ = 0;
+  std::size_t count_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<std::uint8_t> residues_;
+};
+
 }  // namespace psc::index

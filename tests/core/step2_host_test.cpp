@@ -108,6 +108,33 @@ TEST(HostStep2, ParallelMatchesSequential) {
   }
 }
 
+TEST(HostStep2, AllKernelsProduceIdenticalHitSets) {
+  const TestBanks banks(6);
+  const index::IndexTable t0(banks.bank0, banks.model);
+  const index::IndexTable t1(banks.bank1, banks.model);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const HostStep2Result scalar =
+      run_step2_host(banks.bank0, t0, banks.bank1, t1, m, banks.shape, 26,
+                     align::UngappedKernel::kScalar);
+  EXPECT_EQ(scalar.kernel, align::UngappedKernel::kScalar);
+  EXPECT_EQ(scalar.cells, scalar.pairs * banks.shape.length());
+  ASSERT_FALSE(scalar.hits.empty());
+  for (const auto kernel :
+       {align::UngappedKernel::kAuto, align::UngappedKernel::kBlocked,
+        align::UngappedKernel::kSimd}) {
+    const HostStep2Result other = run_step2_host(
+        banks.bank0, t0, banks.bank1, t1, m, banks.shape, 26, kernel);
+    EXPECT_EQ(sorted(other.hits), sorted(scalar.hits))
+        << align::ungapped_kernel_name(kernel);
+    EXPECT_EQ(other.pairs, scalar.pairs);
+    const HostStep2Result parallel =
+        run_step2_host_parallel(banks.bank0, t0, banks.bank1, t1, m,
+                                banks.shape, 26, 3, kernel);
+    EXPECT_EQ(sorted(parallel.hits), sorted(scalar.hits))
+        << align::ungapped_kernel_name(kernel);
+  }
+}
+
 TEST(HostStep2, ThresholdMonotonicity) {
   const TestBanks banks(4);
   const index::IndexTable t0(banks.bank0, banks.model);
