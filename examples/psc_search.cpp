@@ -21,16 +21,18 @@
 #include "sim/genome_generator.hpp"
 #include "sim/mutation.hpp"
 #include "sim/protein_generator.hpp"
+#include "store/index_store.hpp"
+#include "store/bank_store.hpp"
 #include "util/args.hpp"
 
 namespace {
 
 using namespace psc;
 
-void print_pairwise(const core::ModeResult& result,
+void print_pairwise(const std::vector<core::Match>& matches,
                     const bio::SequenceBank& bank0,
                     const bio::SequenceBank& bank1) {
-  for (const core::Match& match : result.pipeline.matches) {
+  for (const core::Match& match : matches) {
     const bio::Sequence& s0 = bank0[match.bank0_sequence];
     const bio::Sequence& s1 = bank1[match.bank1_sequence];
     std::printf("> %s x %s  score=%d bits=%.1f E=%.2g\n", s0.id().c_str(),
@@ -81,6 +83,10 @@ int main(int argc, char** argv) {
   args.add_option("mode", "tblastn", "tblastn | blastp | blastx | tblastx");
   args.add_option("query", "", "query FASTA (protein or DNA per mode)");
   args.add_option("subject", "", "subject FASTA (protein or DNA per mode)");
+  args.add_option("subject-index", "",
+                  "prebuilt subject store prefix from psc_index "
+                  "(<prefix>.pscbank + <prefix>.pscidx); skips step-1 "
+                  "indexing of the subject and implies a protein query");
   args.add_option("format", "tabular", "tabular | gff3 | pairwise");
   args.add_option("backend", "rasc", "rasc | host | host-parallel");
   args.add_option("step2-kernel", "auto",
@@ -118,6 +124,65 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown step2 kernel '%s'\n",
                  args.get("step2-kernel").c_str());
     return 1;
+  }
+
+  // Prebuilt-subject flow: the index-once / query-many path. The store
+  // remembers which seed model built the index, so the search configures
+  // itself to match and step 1 only touches the query.
+  if (!args.get("subject-index").empty()) {
+    const std::string prefix = args.get("subject-index");
+    if (args.get("query").empty()) {
+      std::fprintf(stderr, "--subject-index requires --query\n");
+      return 1;
+    }
+    if (format == "gff3") {
+      std::fprintf(stderr,
+                   "gff3 output needs genome coordinates; a prebuilt index "
+                   "stores translated fragments (use tabular/pairwise)\n");
+      return 1;
+    }
+    try {
+      const store::IndexFileInfo info =
+          store::inspect_index(prefix + ".pscidx");
+      options.seed_model = core::parse_seed_model_kind(info.model_name);
+      const index::SeedModel model = core::make_seed_model(options.seed_model);
+      options.shape.seed_width = model.width();
+
+      bio::SequenceBank query = bio::read_fasta_file(
+          args.get("query"), bio::SequenceKind::kProtein);
+      if (args.get_flag("mask")) {
+        const std::size_t masked = bio::mask_low_complexity(query);
+        std::fprintf(stderr, "# masked %zu low-complexity query residues\n",
+                     masked);
+      }
+      const bio::SequenceBank subject = store::load_bank(prefix + ".pscbank");
+      const store::LoadedIndex loaded =
+          store::load_index(prefix + ".pscidx", model, &subject);
+      std::fprintf(stderr,
+                   "# loaded %s: %zu subject sequence(s), %zu occurrence(s) "
+                   "under %s\n",
+                   prefix.c_str(), subject.size(),
+                   loaded.table.total_occurrences(), model.name().c_str());
+
+      const core::PipelineResult pipeline =
+          core::run_pipeline_with_index(query, subject, loaded.table, options);
+      if (format == "tabular") {
+        std::ostringstream out;
+        core::write_tabular(out, pipeline.matches, query, subject);
+        std::fputs(out.str().c_str(), stdout);
+      } else {
+        print_pairwise(pipeline.matches, query, subject);
+      }
+      std::fprintf(stderr, "# prebuilt-index search: %zu match(es); "
+                   "step1 %.3f s, step2 %s: %.3f s\n",
+                   pipeline.matches.size(), pipeline.times.step1_index,
+                   core::backend_name(options.backend).c_str(),
+                   pipeline.times.step2_ungapped);
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "psc_search: %s\n", e.what());
+      return 1;
+    }
   }
 
   // Load inputs (or fall back to the demo for an arg-less run).
@@ -214,7 +279,7 @@ int main(int argc, char** argv) {
                      result.bank1_fragments, subject_dna.id());
     std::fputs(out.str().c_str(), stdout);
   } else if (format == "pairwise") {
-    print_pairwise(result, bank0, bank1);
+    print_pairwise(result.pipeline.matches, bank0, bank1);
   } else {
     std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
     return 1;

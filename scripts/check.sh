@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure + build + full ctest, then rebuild the
-# align kernels under ASan/UBSan (PSC_ENABLE_SANITIZERS) and rerun the
-# align tests so the SIMD kernel's lane loads/stores are memory-checked.
+# align kernels plus the store/service layers under ASan/UBSan
+# (PSC_ENABLE_SANITIZERS) and rerun their tests, so the SIMD kernel's
+# lane loads/stores and the mmap-backed index views (including the
+# corrupted-file rejection paths) are memory-checked.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -13,13 +15,15 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
-echo "== sanitizers: align tests under ASan/UBSan =="
+echo "== sanitizers: align/core/store/service tests under ASan/UBSan =="
 cmake -B build-asan -S . \
   -DPSC_ENABLE_SANITIZERS=ON \
   -DPSC_BUILD_BENCH=OFF \
   -DPSC_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-asan -j "$jobs" --target align_test core_test
+cmake --build build-asan -j "$jobs" --target align_test core_test \
+  store_test service_test
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-asan --output-on-failure -R '^(align|core)_test$'
+  ctest --test-dir build-asan --output-on-failure \
+  -R '^(align|core|store|service)_test$'
 
 echo "== all checks passed =="

@@ -7,6 +7,30 @@
 namespace psc::bio {
 
 namespace {
+
+// Reads one line, accepting any of the conventions FASTA files arrive
+// in: '\n' (Unix), "\r\n" (Windows) and lone '\r' (classic Mac). A final
+// record without a trailing newline is returned as an ordinary line.
+// Returns false only at end of stream with nothing consumed.
+bool read_line(std::istream& in, std::string& line) {
+  line.clear();
+  std::streambuf* buf = in.rdbuf();
+  if (buf == nullptr || !in.good()) return false;
+  for (;;) {
+    const int c = buf->sbumpc();
+    if (c == std::char_traits<char>::eof()) {
+      in.setstate(std::ios::eofbit);
+      return !line.empty();
+    }
+    if (c == '\n') return true;
+    if (c == '\r') {
+      if (buf->sgetc() == '\n') buf->sbumpc();
+      return true;
+    }
+    line.push_back(static_cast<char>(c));
+  }
+}
+
 std::string header_token(const std::string& line) {
   std::size_t begin = 1;  // skip '>'
   while (begin < line.size() && std::isspace(static_cast<unsigned char>(line[begin]))) {
@@ -35,8 +59,7 @@ SequenceBank read_fasta(std::istream& in, SequenceKind kind) {
   };
 
   std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+  while (read_line(in, line)) {
     if (line.empty()) continue;
     if (line[0] == '>') {
       flush();

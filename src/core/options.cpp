@@ -35,6 +35,27 @@ index::SeedModel make_seed_model(SeedModelKind kind) {
   throw std::invalid_argument("make_seed_model: unknown kind");
 }
 
+std::string seed_model_kind_name(SeedModelKind kind) {
+  switch (kind) {
+    case SeedModelKind::kSubsetW4: return "subset-w4";
+    case SeedModelKind::kSubsetW4Coarse: return "subset-w4-coarse";
+    case SeedModelKind::kExactW4: return "exact-w4";
+    case SeedModelKind::kExactW3: return "exact-w3";
+  }
+  return "unknown";
+}
+
+SeedModelKind parse_seed_model_kind(const std::string& name) {
+  if (name == "subset-w4") return SeedModelKind::kSubsetW4;
+  if (name == "subset-w4-coarse") return SeedModelKind::kSubsetW4Coarse;
+  if (name == "exact-w4") return SeedModelKind::kExactW4;
+  if (name == "exact-w3") return SeedModelKind::kExactW3;
+  throw std::invalid_argument(
+      "parse_seed_model_kind: expected subset-w4|subset-w4-coarse|exact-w4|"
+      "exact-w3, got '" +
+      name + "'");
+}
+
 std::string backend_name(Step2Backend backend) {
   switch (backend) {
     case Step2Backend::kHostSequential: return "host-sequential";

@@ -73,6 +73,16 @@ struct PipelineOptions {
 /// Builds the configured seed model.
 index::SeedModel make_seed_model(SeedModelKind kind);
 
+/// Canonical name of a seed model kind; equals the name() of the model
+/// make_seed_model builds ("subset-w4", "subset-w4-coarse", "exact-w4",
+/// "exact-w3"), which is also what the index store records in .pscidx
+/// files.
+std::string seed_model_kind_name(SeedModelKind kind);
+
+/// Parses a seed model kind from its canonical name; throws
+/// std::invalid_argument on an unknown name.
+SeedModelKind parse_seed_model_kind(const std::string& name);
+
 /// Human-readable backend name (for tables and logs).
 std::string backend_name(Step2Backend backend);
 

@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include <stdexcept>
+
 #include "bio/translate.hpp"
 #include "core/step1_index.hpp"
 #include "core/step2_host.hpp"
@@ -8,27 +10,22 @@
 
 namespace psc::core {
 
-PipelineResult run_pipeline(const bio::SequenceBank& bank0,
-                            const bio::SequenceBank& bank1,
-                            const PipelineOptions& options,
-                            const bio::SubstitutionMatrix& matrix) {
-  options.validate();
-  PipelineResult result;
+namespace {
 
-  // ---- step 1: indexing -------------------------------------------------
-  util::Timer step1_timer;
-  const Step1Result step1 = run_step1(bank0, bank1, options);
-  result.times.step1_index = step1_timer.seconds();
-  result.counters.bank0_occurrences = step1.table0.total_occurrences();
-  result.counters.bank1_occurrences = step1.table1.total_occurrences();
-
-  // ---- step 2: ungapped extension ---------------------------------------
+/// Runs the configured step-2 backend over prebuilt tables, filling the
+/// result's counters/engine/timing fields. Shared by run_pipeline and
+/// run_pipeline_with_index so both paths stay bit-identical.
+std::vector<align::SeedPairHit> run_step2_backend(
+    const bio::SequenceBank& bank0, const index::IndexTable& table0,
+    const bio::SequenceBank& bank1, const index::IndexTable& table1,
+    const bio::SubstitutionMatrix& matrix, const PipelineOptions& options,
+    PipelineResult& result) {
   util::Timer step2_timer;
   std::vector<align::SeedPairHit> hits;
   switch (options.backend) {
     case Step2Backend::kHostSequential: {
       HostStep2Result step2 = run_step2_host(
-          bank0, step1.table0, bank1, step1.table1, matrix, options.shape,
+          bank0, table0, bank1, table1, matrix, options.shape,
           options.ungapped_threshold, options.step2_kernel);
       result.counters.step2_pairs = step2.pairs;
       result.counters.step2_cells = step2.cells;
@@ -40,7 +37,7 @@ PipelineResult run_pipeline(const bio::SequenceBank& bank0,
     }
     case Step2Backend::kHostParallel: {
       HostStep2Result step2 = run_step2_host_parallel(
-          bank0, step1.table0, bank1, step1.table1, matrix, options.shape,
+          bank0, table0, bank1, table1, matrix, options.shape,
           options.ungapped_threshold, options.host_threads,
           options.step2_kernel);
       result.counters.step2_pairs = step2.pairs;
@@ -57,8 +54,7 @@ PipelineResult run_pipeline(const bio::SequenceBank& bank0,
       config.psc.threshold = options.ungapped_threshold;
       config.shape = options.shape;
       rasc::RascStep2Result step2 =
-          rasc::run_rasc_step2(bank0, step1.table0, bank1, step1.table1,
-                               matrix, config);
+          rasc::run_rasc_step2(bank0, table0, bank1, table1, matrix, config);
       result.counters.step2_pairs = step2.stats.comparisons;
       result.counters.step2_cells =
           step2.stats.comparisons * options.shape.length();
@@ -74,8 +70,64 @@ PipelineResult run_pipeline(const bio::SequenceBank& bank0,
     }
   }
   result.counters.step2_hits = hits.size();
+  return hits;
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const bio::SequenceBank& bank0,
+                            const bio::SequenceBank& bank1,
+                            const PipelineOptions& options,
+                            const bio::SubstitutionMatrix& matrix) {
+  options.validate();
+  PipelineResult result;
+
+  // ---- step 1: indexing -------------------------------------------------
+  util::Timer step1_timer;
+  const Step1Result step1 = run_step1(bank0, bank1, options);
+  result.times.step1_index = step1_timer.seconds();
+  result.counters.bank0_occurrences = step1.table0.total_occurrences();
+  result.counters.bank1_occurrences = step1.table1.total_occurrences();
+
+  // ---- step 2: ungapped extension ---------------------------------------
+  std::vector<align::SeedPairHit> hits = run_step2_backend(
+      bank0, step1.table0, bank1, step1.table1, matrix, options, result);
 
   // ---- step 3: gapped extension ------------------------------------------
+  util::Timer step3_timer;
+  Step3Result step3 =
+      run_step3(bank0, bank1, std::move(hits), matrix, options);
+  result.times.step3_gapped = step3_timer.seconds();
+  result.counters.step3_extensions = step3.extensions;
+  result.matches = std::move(step3.matches);
+  return result;
+}
+
+PipelineResult run_pipeline_with_index(const bio::SequenceBank& bank0,
+                                       const bio::SequenceBank& bank1,
+                                       const index::IndexTable& table1,
+                                       const PipelineOptions& options,
+                                       const bio::SubstitutionMatrix& matrix) {
+  options.validate();
+  const index::SeedModel model = make_seed_model(options.seed_model);
+  if (model.key_space() != table1.key_space()) {
+    throw std::invalid_argument(
+        "run_pipeline_with_index: table1 key space does not match the "
+        "configured seed model");
+  }
+  PipelineResult result;
+
+  // ---- step 1: only the query side needs indexing -----------------------
+  util::Timer step1_timer;
+  const index::IndexTable table0(bank0, model);
+  result.times.step1_index = step1_timer.seconds();
+  result.counters.bank0_occurrences = table0.total_occurrences();
+  result.counters.bank1_occurrences = table1.total_occurrences();
+
+  // ---- steps 2 + 3 -------------------------------------------------------
+  std::vector<align::SeedPairHit> hits = run_step2_backend(
+      bank0, table0, bank1, table1, matrix, options, result);
+
   util::Timer step3_timer;
   Step3Result step3 =
       run_step3(bank0, bank1, std::move(hits), matrix, options);

@@ -16,6 +16,7 @@
 #include "bio/substitution_matrix.hpp"
 #include "core/options.hpp"
 #include "core/result.hpp"
+#include "index/index_table.hpp"
 
 namespace psc::core {
 
@@ -33,5 +34,18 @@ PipelineResult run_pipeline_genome(const bio::SequenceBank& bank0,
                                    const PipelineOptions& options,
                                    const bio::SubstitutionMatrix& matrix =
                                        bio::SubstitutionMatrix::blosum62());
+
+/// Index-once / query-many entry point: runs the pipeline against a bank
+/// whose T1 index already exists (loaded from the store or kept resident
+/// by the search service). Only bank0 is indexed here, so step 1 cost is
+/// proportional to the query, not the reference. `table1` must have been
+/// built over `bank1` under options.seed_model -- the key spaces are
+/// checked, and hits are bit-identical to a fresh run_pipeline call.
+PipelineResult run_pipeline_with_index(const bio::SequenceBank& bank0,
+                                       const bio::SequenceBank& bank1,
+                                       const index::IndexTable& table1,
+                                       const PipelineOptions& options,
+                                       const bio::SubstitutionMatrix& matrix =
+                                           bio::SubstitutionMatrix::blosum62());
 
 }  // namespace psc::core

@@ -47,8 +47,43 @@ class IndexTable {
                                    std::size_t threads = 0,
                                    std::size_t stride = 1);
 
+  /// Zero-copy construction over externally owned memory (the mmap-backed
+  /// store reader, store/index_store.hpp): the table becomes a *view* and
+  /// the caller must keep the backing memory alive and unchanged for the
+  /// table's lifetime. Validates the layout invariants -- starts[0] == 0,
+  /// monotone starts, starts.back() == occurrences.size() -- and throws
+  /// std::invalid_argument on violation so a corrupt file cannot produce
+  /// out-of-bounds list spans.
+  static IndexTable from_raw_spans(std::span<const std::size_t> starts,
+                                   std::span<const Occurrence> occurrences);
+
+  /// True when the table views external memory (from_raw_spans) rather
+  /// than owning its arrays.
+  bool is_view() const { return starts_storage_.empty() && !starts_.empty(); }
+
+  // Copies/moves must re-point the spans at the destination's storage
+  // when the source owns its arrays (views keep aliasing the external
+  // memory, whose lifetime the caller manages).
+  IndexTable(const IndexTable& other);
+  IndexTable& operator=(const IndexTable& other);
+  IndexTable(IndexTable&& other) noexcept;
+  IndexTable& operator=(IndexTable&& other) noexcept;
+  ~IndexTable() = default;
+
   std::size_t key_space() const { return starts_.size() - 1; }
   std::size_t total_occurrences() const { return occurrences_.size(); }
+
+  /// The raw arrays (store writer + tests). `starts()` has key_space()+1
+  /// entries; `all_occurrences()` is every list concatenated in key order.
+  std::span<const std::size_t> starts() const { return starts_; }
+  std::span<const Occurrence> all_occurrences() const { return occurrences_; }
+
+  /// Checks every occurrence addresses a real word start in `bank`
+  /// (sequence in range, offset + width within the sequence). Used by the
+  /// store loader so a stale or corrupted index can never index out of
+  /// bounds during step 2.
+  bool consistent_with(const bio::SequenceBank& bank,
+                       std::size_t seed_width) const;
 
   /// The index list IL_k for a key: all occurrences of words mapping to k.
   std::span<const Occurrence> occurrences(SeedKey key) const {
@@ -72,10 +107,19 @@ class IndexTable {
   static std::uint64_t pair_count(const IndexTable& t0, const IndexTable& t1);
 
  private:
-  IndexTable() = default;  // for build_parallel
+  IndexTable() = default;  // for build_parallel / from_raw_spans
 
-  std::vector<std::size_t> starts_;       // key -> begin offset; size key_space+1
-  std::vector<Occurrence> occurrences_;   // grouped by key
+  /// Re-points the spans at the owned vectors after they are (re)filled.
+  void adopt_storage();
+
+  // The accessors above all go through these spans. An owning table
+  // points them at the storage vectors below; a view (from_raw_spans)
+  // points them at caller-owned memory and leaves the vectors empty.
+  std::span<const std::size_t> starts_;      // key -> begin; size key_space+1
+  std::span<const Occurrence> occurrences_;  // grouped by key
+
+  std::vector<std::size_t> starts_storage_;
+  std::vector<Occurrence> occurrences_storage_;
 };
 
 }  // namespace psc::index

@@ -77,6 +77,22 @@ SeedModel::murphy_groups8() noexcept {
   return kGroups;
 }
 
+std::uint64_t SeedModel::fingerprint() const noexcept {
+  // FNV-1a over the structural bytes; any change to width, a radix or a
+  // single group assignment changes the digest.
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  mix(groups_.size());
+  for (std::size_t p = 0; p < groups_.size(); ++p) {
+    mix(radices_[p]);
+    for (const std::uint8_t g : groups_[p]) mix(g);
+  }
+  return h;
+}
+
 SeedModel SeedModel::subset_w4_coarse() {
   std::vector<std::array<std::uint8_t, bio::kNumAminoAcids>> positions;
   positions.push_back(similarity_groups12());

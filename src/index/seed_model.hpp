@@ -65,6 +65,18 @@ class SeedModel {
   /// Number of groups at position p.
   std::size_t groups_at(std::size_t p) const { return radices_[p]; }
 
+  /// Group id of residue r (0..19) at position p.
+  std::uint8_t group_of(std::size_t p, std::uint8_t r) const {
+    return groups_[p][r];
+  }
+
+  /// Stable 64-bit digest of the model *structure* (width, radices and
+  /// every position's residue->group table; the name is excluded so a
+  /// renamed-but-identical model still matches). Persisted by the index
+  /// store so a saved table is only ever paired with the model that
+  /// built it.
+  std::uint64_t fingerprint() const noexcept;
+
   /// Key of the word starting at `word` (width() residues). Returns
   /// kInvalidSeedKey if any residue is non-standard.
   SeedKey key(const std::uint8_t* word) const noexcept {

@@ -1,0 +1,255 @@
+#include "service/search_service.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "store/bank_store.hpp"
+#include "store/format.hpp"
+
+namespace psc::service {
+
+core::PipelineOptions default_service_options() {
+  core::PipelineOptions options;
+  options.backend = core::Step2Backend::kHostParallel;
+  return options;
+}
+
+SearchService::SearchService(ServiceConfig config)
+    : config_(std::move(config)),
+      model_(core::make_seed_model(config_.options.seed_model)) {
+  config_.options.validate();
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+SearchService::~SearchService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::string SearchService::cache_key(const std::string& prefix) const {
+  // Store path + seed model: a model change (new service config) never
+  // aliases a resident built under the old one.
+  return prefix + "|" + model_.name();
+}
+
+std::future<QueryResult> SearchService::submit(bio::SequenceBank query,
+                                               std::string bank_prefix) {
+  if (query.kind() != bio::SequenceKind::kProtein) {
+    throw std::invalid_argument(
+        "SearchService::submit: query bank must be protein "
+        "(translate DNA before submitting)");
+  }
+  Request request;
+  request.query = std::move(query);
+  request.prefix = std::move(bank_prefix);
+  request.enqueued = std::chrono::steady_clock::now();
+  std::future<QueryResult> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      throw std::runtime_error("SearchService::submit: service is stopping");
+    }
+    queue_.push_back(std::move(request));
+    ++stats_.queries_submitted;
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::vector<std::future<QueryResult>> SearchService::submit_batch(
+    std::vector<bio::SequenceBank> queries, const std::string& bank_prefix) {
+  for (const bio::SequenceBank& query : queries) {
+    if (query.kind() != bio::SequenceKind::kProtein) {
+      throw std::invalid_argument(
+          "SearchService::submit_batch: query banks must be protein");
+    }
+  }
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(queries.size());
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      throw std::runtime_error(
+          "SearchService::submit_batch: service is stopping");
+    }
+    for (bio::SequenceBank& query : queries) {
+      Request request;
+      request.query = std::move(query);
+      request.prefix = bank_prefix;
+      request.enqueued = now;
+      futures.push_back(request.promise.get_future());
+      queue_.push_back(std::move(request));
+      ++stats_.queries_submitted;
+    }
+  }
+  cv_.notify_one();
+  return futures;
+}
+
+QueryResult SearchService::search(bio::SequenceBank query,
+                                  const std::string& bank_prefix) {
+  return submit(std::move(query), bank_prefix).get();
+}
+
+ServiceStats SearchService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats snapshot = stats_;
+  snapshot.queue_depth = queue_.size();
+  return snapshot;
+}
+
+void SearchService::worker_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      // Drain everything queued: whatever piled up while the previous
+      // pass ran becomes one coalescing opportunity.
+      batch.reserve(queue_.size());
+      for (Request& request : queue_) batch.push_back(std::move(request));
+      queue_.clear();
+    }
+
+    // Group by target bank, preserving submission order within a group.
+    std::map<std::string, std::vector<Request*>> groups;
+    for (Request& request : batch) {
+      groups[request.prefix].push_back(&request);
+    }
+    for (auto& [prefix, group] : groups) {
+      process_group(prefix, group);
+    }
+  }
+}
+
+std::shared_ptr<SearchService::Resident> SearchService::acquire(
+    const std::string& prefix, bool& was_hit) {
+  const std::string key = cache_key(prefix);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    was_hit = true;
+    it->second->last_use = ++use_tick_;
+    return it->second;
+  }
+  was_hit = false;
+
+  bio::SequenceBank bank =
+      store::load_bank(prefix + ".pscbank", config_.verify_checksums);
+  store::LoadedIndex index = store::load_index(
+      prefix + ".pscidx", model_, &bank, config_.verify_checksums);
+  auto resident = std::make_shared<Resident>(
+      Resident{std::move(bank), std::move(index), ++use_tick_});
+
+  if (config_.max_resident == 0) return resident;  // transient: never cached
+  if (cache_.size() >= config_.max_resident) {
+    auto victim = cache_.begin();
+    for (auto candidate = cache_.begin(); candidate != cache_.end();
+         ++candidate) {
+      if (candidate->second->last_use < victim->second->last_use) {
+        victim = candidate;
+      }
+    }
+    cache_.erase(victim);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.evictions;
+  }
+  cache_.emplace(key, resident);
+  return resident;
+}
+
+void SearchService::process_group(const std::string& prefix,
+                                  std::vector<Request*>& group) {
+  // Stats are published before any promise is fulfilled, so a caller
+  // waking from future.get() always observes counters that include its
+  // own query.
+  const auto fail_all = [&](std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.queries_failed += group.size();
+    }
+    for (Request* request : group) request->promise.set_exception(error);
+  };
+
+  bool was_hit = false;
+  std::shared_ptr<Resident> resident;
+  try {
+    resident = acquire(prefix, was_hit);
+  } catch (...) {
+    fail_all(std::current_exception());
+    return;
+  }
+
+  // One combined query bank; each request owns a contiguous index range
+  // so the shared pass's matches can be split back apart afterwards.
+  bio::SequenceBank combined(bio::SequenceKind::kProtein);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(group.size());
+  for (const Request* request : group) {
+    const std::size_t base = combined.size();
+    for (const bio::Sequence& sequence : request->query) {
+      combined.add(sequence);
+    }
+    ranges.emplace_back(base, request->query.size());
+  }
+
+  core::PipelineResult result;
+  try {
+    result = core::run_pipeline_with_index(combined, resident->bank,
+                                           resident->index.table,
+                                           config_.options, config_.matrix);
+  } catch (...) {
+    fail_all(std::current_exception());
+    return;
+  }
+
+  const auto completed = std::chrono::steady_clock::now();
+  double latency_sum = 0.0;
+  std::vector<QueryResult> replies(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    QueryResult& reply = replies[i];
+    reply.batch_size = group.size();
+    reply.bank_was_resident = was_hit;
+    const auto [base, count] = ranges[i];
+    for (const core::Match& match : result.matches) {
+      if (match.bank0_sequence >= base && match.bank0_sequence < base + count) {
+        core::Match remapped = match;
+        remapped.bank0_sequence -= static_cast<std::uint32_t>(base);
+        reply.matches.push_back(std::move(remapped));
+      }
+    }
+    reply.latency_seconds =
+        std::chrono::duration<double>(completed - group[i]->enqueued).count();
+    latency_sum += reply.latency_seconds;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.batches;
+    stats_.max_batch = std::max(stats_.max_batch, group.size());
+    stats_.queries_completed += group.size();
+    stats_.total_latency_seconds += latency_sum;
+    if (was_hit) {
+      ++stats_.cache_hits;
+    } else {
+      ++stats_.cache_misses;
+    }
+    stats_.resident_banks = cache_.size();
+  }
+
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    group[i]->promise.set_value(std::move(replies[i]));
+  }
+}
+
+}  // namespace psc::service

@@ -1,0 +1,145 @@
+// A resident, batched front-end over the pipeline: the process-lifetime
+// analogue of the paper's accelerator workflow, where one reference bank
+// is loaded onto the board once and queries stream past it. The service
+// keeps hot (bank, index) pairs mmap-resident in an LRU cache keyed by
+// store path + seed model, and coalesces queries that are queued against
+// the same bank into one shared step-2/step-3 pass -- the amortization
+// every later scaling layer (sharding, network front-end) builds on.
+//
+//   service::SearchService svc;                 // subset-w4, host-parallel
+//   auto future = svc.submit(queries, "nr");    // nr.pscbank + nr.pscidx
+//   const service::QueryResult r = future.get();
+//
+// Thread safety: submit()/search()/stats() may be called from any number
+// of threads. All pipeline work happens on one internal worker thread,
+// which is what makes coalescing natural: requests arriving while a pass
+// is running pile up and become the next batch.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "bio/substitution_matrix.hpp"
+#include "core/pipeline.hpp"
+#include "store/index_store.hpp"
+
+namespace psc::service {
+
+/// Pipeline options tuned for service use: multicore step 2 by default
+/// (the reference bank is large; queries are small).
+core::PipelineOptions default_service_options();
+
+struct ServiceConfig {
+  /// Resident (bank, index) pairs kept alive; 0 disables caching (every
+  /// batch reloads from the store -- the bench's "cold load" mode).
+  std::size_t max_resident = 4;
+  /// Verify store payload checksums on load. Leave on outside benches.
+  bool verify_checksums = true;
+  core::PipelineOptions options = default_service_options();
+  bio::SubstitutionMatrix matrix = bio::SubstitutionMatrix::blosum62();
+};
+
+/// What one submitted query bank gets back.
+struct QueryResult {
+  /// Matches with bank0_sequence remapped to indices into the *submitted*
+  /// query bank (the coalesced pass's combined numbering never leaks).
+  std::vector<core::Match> matches;
+  double latency_seconds = 0.0;    ///< submit() to completion
+  std::size_t batch_size = 0;      ///< queries sharing this pass
+  bool bank_was_resident = false;  ///< target served from the LRU cache
+};
+
+/// Monotonic service-level counters plus snapshot-time gauges.
+struct ServiceStats {
+  std::uint64_t queries_submitted = 0;
+  std::uint64_t queries_completed = 0;
+  std::uint64_t queries_failed = 0;
+  std::uint64_t batches = 0;           ///< shared passes executed
+  std::uint64_t cache_hits = 0;        ///< batches served from residents
+  std::uint64_t cache_misses = 0;      ///< batches that loaded from disk
+  std::uint64_t evictions = 0;         ///< residents dropped by LRU
+  std::size_t max_batch = 0;           ///< largest coalesced batch
+  double total_latency_seconds = 0.0;  ///< sum over completed queries
+  std::size_t queue_depth = 0;         ///< pending requests right now
+  std::size_t resident_banks = 0;      ///< cache occupancy right now
+};
+
+class SearchService {
+ public:
+  explicit SearchService(ServiceConfig config = {});
+  ~SearchService();  ///< drains every pending request, then joins
+
+  SearchService(const SearchService&) = delete;
+  SearchService& operator=(const SearchService&) = delete;
+
+  /// Enqueues a protein query bank against the bank stored at
+  /// `bank_prefix` (expects <prefix>.pscbank and <prefix>.pscidx). Load
+  /// and pipeline failures surface as exceptions on the returned future
+  /// (store::StoreError for missing/corrupt/mismatched files). Throws
+  /// immediately on a non-protein bank or after shutdown began.
+  std::future<QueryResult> submit(bio::SequenceBank query,
+                                  std::string bank_prefix);
+
+  /// Enqueues several query banks under one lock acquisition, so the
+  /// worker observes them together -- when it is idle they are guaranteed
+  /// to coalesce into one shared pass (independent submit() calls only
+  /// coalesce when they happen to queue while a pass is running).
+  std::vector<std::future<QueryResult>> submit_batch(
+      std::vector<bio::SequenceBank> queries, const std::string& bank_prefix);
+
+  /// Blocking convenience: submit() + get().
+  QueryResult search(bio::SequenceBank query, const std::string& bank_prefix);
+
+  ServiceStats stats() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    bio::SequenceBank query;
+    std::string prefix;
+    std::promise<QueryResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// A resident reference bank: the decoded sequences plus the mmap-backed
+  /// index view (LoadedIndex keeps the mapping alive).
+  struct Resident {
+    bio::SequenceBank bank;
+    store::LoadedIndex index;
+    std::uint64_t last_use = 0;
+  };
+
+  void worker_loop();
+  void process_group(const std::string& prefix, std::vector<Request*>& group);
+  std::shared_ptr<Resident> acquire(const std::string& prefix, bool& was_hit);
+  std::string cache_key(const std::string& prefix) const;
+
+  ServiceConfig config_;
+  index::SeedModel model_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stop_ = false;
+  ServiceStats stats_;
+
+  // Touched only by the worker thread; no locking needed.
+  std::unordered_map<std::string, std::shared_ptr<Resident>> cache_;
+  std::uint64_t use_tick_ = 0;
+
+  std::thread worker_;
+};
+
+}  // namespace psc::service

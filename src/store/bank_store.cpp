@@ -1,0 +1,165 @@
+#include "store/bank_store.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "bio/alphabet.hpp"
+#include "store/format.hpp"
+#include "store/mmap_file.hpp"
+
+namespace psc::store {
+
+namespace {
+
+std::uint64_t kind_code(bio::SequenceKind kind) {
+  return kind == bio::SequenceKind::kProtein ? 0 : 1;
+}
+
+/// Highest valid encoded residue value + 1 for a bank kind.
+std::uint8_t alphabet_limit(bio::SequenceKind kind) {
+  return kind == bio::SequenceKind::kProtein
+             ? static_cast<std::uint8_t>(bio::kProteinAlphabetSize)
+             : static_cast<std::uint8_t>(bio::kNucleotideN + 1);
+}
+
+class ChecksummingWriter {
+ public:
+  explicit ChecksummingWriter(std::ofstream& out) : out_(out) {}
+
+  void write(const void* data, std::size_t size) {
+    checksum_.update(data, size);
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    written_ += size;
+  }
+
+  std::uint64_t bytes_written() const { return written_; }
+  std::uint64_t digest() const { return checksum_.digest(); }
+
+ private:
+  std::ofstream& out_;
+  Fnv1a64 checksum_;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace
+
+void save_bank(const std::string& path, const bio::SequenceBank& bank) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw StoreError(StoreErrorCode::kIo, "cannot create bank file: " + path);
+  }
+
+  FileHeader header;
+  header.magic = kBankMagic;
+  header.meta[0] = kind_code(bank.kind());
+  header.meta[1] = bank.size();
+  header.meta[2] = bank.total_residues();
+  // Placeholder header; rewritten with payload length + checksum below.
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+
+  ChecksummingWriter writer(out);
+  for (const bio::Sequence& seq : bank) {
+    if (seq.id().size() > std::numeric_limits<std::uint32_t>::max() ||
+        seq.size() > std::numeric_limits<std::uint32_t>::max()) {
+      throw StoreError(StoreErrorCode::kIo,
+                       "save_bank: sequence too large for format");
+    }
+    const std::uint32_t id_bytes = static_cast<std::uint32_t>(seq.id().size());
+    const std::uint32_t residue_bytes = static_cast<std::uint32_t>(seq.size());
+    writer.write(&id_bytes, sizeof(id_bytes));
+    writer.write(&residue_bytes, sizeof(residue_bytes));
+    writer.write(seq.id().data(), id_bytes);
+    writer.write(seq.data(), residue_bytes);
+  }
+
+  header.payload_bytes = writer.bytes_written();
+  header.payload_checksum = writer.digest();
+  out.seekp(0);
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.flush();
+  if (!out) {
+    throw StoreError(StoreErrorCode::kIo, "cannot write bank file: " + path);
+  }
+}
+
+bio::SequenceBank load_bank(const std::string& path, bool verify_checksum) {
+  const MmapFile file = MmapFile::open(path);
+  if (file.size() < sizeof(FileHeader)) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "bank file truncated before header: " + path);
+  }
+  FileHeader header;
+  std::memcpy(&header, file.data(), sizeof(header));
+  if (header.magic != kBankMagic) {
+    throw StoreError(StoreErrorCode::kBadMagic,
+                     "not a .pscbank file: " + path);
+  }
+  if (header.version != kFormatVersion) {
+    throw StoreError(StoreErrorCode::kBadVersion,
+                     "unsupported bank format version " +
+                         std::to_string(header.version) + ": " + path);
+  }
+  if (header.payload_bytes != file.size() - sizeof(FileHeader)) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "bank payload length mismatch: " + path);
+  }
+  const std::uint8_t* payload = file.data() + sizeof(FileHeader);
+  if (verify_checksum &&
+      fnv1a64(payload, header.payload_bytes) != header.payload_checksum) {
+    throw StoreError(StoreErrorCode::kChecksum,
+                     "bank payload checksum mismatch: " + path);
+  }
+  if (header.meta[0] > 1) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "bank kind field out of range: " + path);
+  }
+  const bio::SequenceKind kind = header.meta[0] == 0
+                                     ? bio::SequenceKind::kProtein
+                                     : bio::SequenceKind::kDna;
+  const std::uint8_t limit = alphabet_limit(kind);
+
+  bio::SequenceBank bank(kind);
+  std::uint64_t cursor = 0;
+  const std::uint64_t end = header.payload_bytes;
+  for (std::uint64_t s = 0; s < header.meta[1]; ++s) {
+    if (end - cursor < 2 * sizeof(std::uint32_t)) {
+      throw StoreError(StoreErrorCode::kCorrupt,
+                       "bank record header truncated: " + path);
+    }
+    std::uint32_t id_bytes = 0;
+    std::uint32_t residue_bytes = 0;
+    std::memcpy(&id_bytes, payload + cursor, sizeof(id_bytes));
+    std::memcpy(&residue_bytes, payload + cursor + sizeof(id_bytes),
+                sizeof(residue_bytes));
+    cursor += 2 * sizeof(std::uint32_t);
+    if (end - cursor < std::uint64_t{id_bytes} + residue_bytes) {
+      throw StoreError(StoreErrorCode::kCorrupt,
+                       "bank record body truncated: " + path);
+    }
+    std::string id(reinterpret_cast<const char*>(payload + cursor), id_bytes);
+    cursor += id_bytes;
+    std::vector<std::uint8_t> residues(payload + cursor,
+                                       payload + cursor + residue_bytes);
+    cursor += residue_bytes;
+    for (const std::uint8_t code : residues) {
+      if (code >= limit) {
+        throw StoreError(StoreErrorCode::kCorrupt,
+                         "bank residue code out of alphabet: " + path);
+      }
+    }
+    bank.add(bio::Sequence(std::move(id), kind, std::move(residues)));
+  }
+  if (cursor != end) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "bank has trailing bytes after last record: " + path);
+  }
+  if (bank.total_residues() != header.meta[2]) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "bank residue total mismatch: " + path);
+  }
+  return bank;
+}
+
+}  // namespace psc::store

@@ -1,0 +1,29 @@
+// Persistent SequenceBank storage (.pscbank): the sequences of one bank
+// in encoded form, so a genome translated and encoded once can be
+// reloaded by every later query run without re-parsing FASTA.
+//
+// Payload layout (after the common FileHeader; see format.hpp):
+//   repeat sequence_count times:
+//     u32 id_bytes | u32 residue_bytes | id | encoded residues
+// Header meta: [0] sequence kind, [1] sequence count, [2] total residues.
+#pragma once
+
+#include <string>
+
+#include "bio/sequence.hpp"
+
+namespace psc::store {
+
+/// Writes `bank` to `path`, overwriting any existing file. Throws
+/// StoreError(kIo) on filesystem failure.
+void save_bank(const std::string& path, const bio::SequenceBank& bank);
+
+/// Reads a bank back. Residue codes are range-checked against the bank's
+/// alphabet and every length field is bounds-checked, so a damaged file
+/// throws a typed StoreError instead of corrupting downstream stages.
+/// `verify_checksum` (default on) additionally rejects any payload whose
+/// digest differs from the recorded one.
+bio::SequenceBank load_bank(const std::string& path,
+                            bool verify_checksum = true);
+
+}  // namespace psc::store

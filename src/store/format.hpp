@@ -1,0 +1,145 @@
+// The on-disk format shared by the bank (.pscbank) and index (.pscidx)
+// stores: a fixed little-endian 64-byte header -- magic, format version,
+// payload length, payload checksum and four type-specific metadata words
+// -- followed by the type's payload sections, each 8-byte aligned so the
+// mmap-backed index reader can hand out properly aligned views.
+//
+// Every malformed input (truncation, bad magic, version skew, checksum
+// mismatch, model/kind mismatch) is reported as a typed StoreError; the
+// readers never trust a length or offset from the file without bounds-
+// checking it first.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace psc::store {
+
+/// Format version; bump on any layout change. Readers reject other
+/// versions rather than guessing.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+// Magic values are asymmetric byte strings ("PSCIDX01" / "PSCBNK01" as
+// little-endian u64) so a byte-swapped read on a big-endian host fails
+// the magic check instead of misparsing lengths.
+inline constexpr std::uint64_t kIndexMagic = 0x3130584449435350ull;  // "PSCIDX01"
+inline constexpr std::uint64_t kBankMagic = 0x31304b4e42435350ull;   // "PSCBNK01"
+
+/// What went wrong, for callers that branch on failure kind (the service
+/// turns kIo into "no such bank" and the rest into "corrupt store").
+enum class StoreErrorCode {
+  kIo,             ///< open/read/write/map failure
+  kBadMagic,       ///< not a store file (or wrong file type / endianness)
+  kBadVersion,     ///< produced by an incompatible format version
+  kCorrupt,        ///< structural damage: truncation, bad lengths/offsets
+  kChecksum,       ///< payload bytes do not match the recorded digest
+  kModelMismatch,  ///< index built under a different seed model
+  kKindMismatch,   ///< bank holds the other sequence kind
+};
+
+class StoreError : public std::runtime_error {
+ public:
+  StoreError(StoreErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  StoreErrorCode code() const noexcept { return code_; }
+
+ private:
+  StoreErrorCode code_;
+};
+
+/// The common file header. Exactly 64 bytes; `meta` is interpreted per
+/// file type (see bank_store.cpp / index_store.cpp).
+struct FileHeader {
+  std::uint64_t magic = 0;
+  std::uint32_t version = kFormatVersion;
+  std::uint32_t reserved = 0;
+  std::uint64_t payload_bytes = 0;     ///< bytes following this header
+  std::uint64_t payload_checksum = 0;  ///< fnv1a64 over those bytes
+  std::uint64_t meta[4] = {0, 0, 0, 0};
+};
+static_assert(sizeof(FileHeader) == 64, "header must stay 64 bytes");
+
+/// Incremental payload checksum: eight interleaved FNV-1a (64-bit)
+/// lanes, each consuming one u64 per 64-byte block, folded together
+/// with the total length at digest time. The lanes break FNV's serial
+/// multiply dependency chain, so verifying a mapped index costs a small
+/// fraction of rebuilding it while still covering every payload byte
+/// (it is an integrity check, not an authenticity one). The digest is
+/// independent of how the input was chunked across update() calls.
+class Fnv1a64 {
+ public:
+  void update(const void* data, std::size_t size) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    total_ += size;
+    while (size > 0) {
+      if (buffered_ == 0 && size >= kBlock) {
+        // Fast path: consume whole blocks straight from the input.
+        const std::size_t blocks = size / kBlock;
+        absorb(bytes, blocks);
+        bytes += blocks * kBlock;
+        size -= blocks * kBlock;
+        continue;
+      }
+      const std::size_t take = std::min(size, kBlock - buffered_);
+      std::memcpy(buffer_ + buffered_, bytes, take);
+      buffered_ += take;
+      bytes += take;
+      size -= take;
+      if (buffered_ == kBlock) {
+        absorb(buffer_, 1);
+        buffered_ = 0;
+      }
+    }
+  }
+
+  std::uint64_t digest() const noexcept {
+    std::uint64_t h = kBasis;
+    for (const std::uint64_t lane : lanes_) {
+      h = (h ^ lane) * kPrime;
+    }
+    for (std::size_t i = 0; i < buffered_; ++i) {
+      h = (h ^ buffer_[i]) * kPrime;
+    }
+    return (h ^ total_) * kPrime;
+  }
+
+ private:
+  static constexpr std::size_t kLanes = 8;
+  static constexpr std::size_t kBlock = kLanes * sizeof(std::uint64_t);
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+  static constexpr std::uint64_t kBasis = 14695981039346656037ull;
+
+  void absorb(const unsigned char* block, std::size_t blocks) noexcept {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        std::uint64_t word = 0;
+        std::memcpy(&word, block + b * kBlock + lane * sizeof(word),
+                    sizeof(word));
+        lanes_[lane] = (lanes_[lane] ^ word) * kPrime;
+      }
+    }
+  }
+
+  std::uint64_t lanes_[kLanes] = {kBasis,     kBasis + 1, kBasis + 2, kBasis + 3,
+                                 kBasis + 4, kBasis + 5, kBasis + 6, kBasis + 7};
+  unsigned char buffer_[kBlock] = {};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept {
+  Fnv1a64 h;
+  h.update(data, size);
+  return h.digest();
+}
+
+/// Rounds `n` up to the next multiple of 8 (section alignment).
+inline constexpr std::uint64_t pad8(std::uint64_t n) noexcept {
+  return (n + 7) & ~std::uint64_t{7};
+}
+
+}  // namespace psc::store

@@ -1,0 +1,167 @@
+#include "store/index_store.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "store/format.hpp"
+
+namespace psc::store {
+
+// The zero-copy reader reinterprets file bytes as the in-memory arrays,
+// so the format is only valid where these hold (true on every supported
+// 64-bit little-endian target; the magic check rejects the rest).
+static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+              "index store requires 64-bit size_t");
+static_assert(sizeof(index::Occurrence) == 8 &&
+                  std::is_trivially_copyable_v<index::Occurrence>,
+              "Occurrence must stay a packed pair of u32");
+
+namespace {
+
+FileHeader read_header(const MmapFile& file, const std::string& path) {
+  if (file.size() < sizeof(FileHeader)) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "index file truncated before header: " + path);
+  }
+  FileHeader header;
+  std::memcpy(&header, file.data(), sizeof(header));
+  if (header.magic != kIndexMagic) {
+    throw StoreError(StoreErrorCode::kBadMagic, "not a .pscidx file: " + path);
+  }
+  if (header.version != kFormatVersion) {
+    throw StoreError(StoreErrorCode::kBadVersion,
+                     "unsupported index format version " +
+                         std::to_string(header.version) + ": " + path);
+  }
+  return header;
+}
+
+}  // namespace
+
+void save_index(const std::string& path, const index::IndexTable& table,
+                const index::SeedModel& model) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw StoreError(StoreErrorCode::kIo, "cannot create index file: " + path);
+  }
+
+  const std::string& name = model.name();
+  const std::uint64_t padded_name = pad8(name.size());
+  const std::span<const std::size_t> starts = table.starts();
+  const std::span<const index::Occurrence> occurrences =
+      table.all_occurrences();
+
+  FileHeader header;
+  header.magic = kIndexMagic;
+  header.meta[0] = model.fingerprint();
+  header.meta[1] = model.key_space();
+  header.meta[2] = occurrences.size();
+  header.meta[3] = name.size();
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+
+  Fnv1a64 checksum;
+  auto write = [&](const void* data, std::size_t size) {
+    checksum.update(data, size);
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  };
+  static constexpr char kZeros[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  write(name.data(), name.size());
+  write(kZeros, padded_name - name.size());
+  write(starts.data(), starts.size_bytes());
+  write(occurrences.data(), occurrences.size_bytes());
+
+  header.payload_bytes =
+      padded_name + starts.size_bytes() + occurrences.size_bytes();
+  header.payload_checksum = checksum.digest();
+  out.seekp(0);
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.flush();
+  if (!out) {
+    throw StoreError(StoreErrorCode::kIo, "cannot write index file: " + path);
+  }
+}
+
+IndexFileInfo inspect_index(const std::string& path) {
+  const MmapFile file = MmapFile::open(path);
+  const FileHeader header = read_header(file, path);
+  IndexFileInfo info;
+  info.version = header.version;
+  info.model_fingerprint = header.meta[0];
+  info.key_space = header.meta[1];
+  info.occurrence_count = header.meta[2];
+  const std::uint64_t name_bytes = header.meta[3];
+  if (sizeof(FileHeader) + name_bytes > file.size()) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "index model name truncated: " + path);
+  }
+  info.model_name.assign(
+      reinterpret_cast<const char*>(file.data() + sizeof(FileHeader)),
+      name_bytes);
+  return info;
+}
+
+LoadedIndex load_index(const std::string& path, const index::SeedModel& model,
+                       const bio::SequenceBank* bank, bool verify_checksum) {
+  MmapFile file = MmapFile::open(path);
+  const FileHeader header = read_header(file, path);
+  if (header.payload_bytes != file.size() - sizeof(FileHeader)) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "index payload length mismatch: " + path);
+  }
+  const std::uint8_t* payload = file.data() + sizeof(FileHeader);
+  if (verify_checksum &&
+      fnv1a64(payload, header.payload_bytes) != header.payload_checksum) {
+    throw StoreError(StoreErrorCode::kChecksum,
+                     "index payload checksum mismatch: " + path);
+  }
+  if (header.meta[0] != model.fingerprint()) {
+    throw StoreError(
+        StoreErrorCode::kModelMismatch,
+        "index was built under a different seed model (file: " +
+            std::to_string(header.meta[0]) +
+            ", requested: " + std::to_string(model.fingerprint()) + "): " +
+            path);
+  }
+  if (header.meta[1] != model.key_space()) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "index key space disagrees with its fingerprint: " + path);
+  }
+
+  // Section geometry, all bounds-checked against the payload length
+  // before any span is formed.
+  const std::uint64_t padded_name = pad8(header.meta[3]);
+  const std::uint64_t starts_count = header.meta[1] + 1;
+  const std::uint64_t starts_bytes = starts_count * sizeof(std::uint64_t);
+  const std::uint64_t occ_bytes =
+      header.meta[2] * sizeof(index::Occurrence);
+  if (padded_name > header.payload_bytes ||
+      header.payload_bytes - padded_name != starts_bytes + occ_bytes) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "index section sizes disagree with header: " + path);
+  }
+
+  std::string model_name(reinterpret_cast<const char*>(payload),
+                         header.meta[3]);
+  const auto* starts =
+      reinterpret_cast<const std::size_t*>(payload + padded_name);
+  const auto* occurrences = reinterpret_cast<const index::Occurrence*>(
+      payload + padded_name + starts_bytes);
+  index::IndexTable table = [&] {
+    try {
+      return index::IndexTable::from_raw_spans({starts, starts_count},
+                                               {occurrences, header.meta[2]});
+    } catch (const std::invalid_argument& e) {
+      throw StoreError(StoreErrorCode::kCorrupt,
+                       std::string(e.what()) + ": " + path);
+    }
+  }();
+  if (bank != nullptr && !table.consistent_with(*bank, model.width())) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "index occurrences fall outside the bank: " + path);
+  }
+  return LoadedIndex{std::move(file), std::move(table),
+                     std::move(model_name)};
+}
+
+}  // namespace psc::store

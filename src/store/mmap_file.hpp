@@ -1,0 +1,48 @@
+// Read-only memory-mapped file with RAII unmapping. The index store
+// reads through this so a saved table loads in O(mmap) -- the kernel
+// pages occurrence data in lazily as step 2 walks the index lists --
+// and multiple service workers can share one physical copy.
+//
+// On platforms without POSIX mmap the class falls back to reading the
+// file into an owned buffer; callers see the same bytes() view either
+// way.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace psc::store {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  /// Maps `path` read-only. Throws StoreError(kIo) on open/map failure.
+  static MmapFile open(const std::string& path);
+
+  const std::uint8_t* data() const noexcept {
+    return static_cast<const std::uint8_t*>(addr_);
+  }
+  std::size_t size() const noexcept { return size_; }
+  std::span<const std::uint8_t> bytes() const noexcept {
+    return {data(), size_};
+  }
+
+ private:
+  void reset() noexcept;
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;                  // true: munmap on destruction
+  std::vector<std::uint8_t> fallback_;   // non-mmap platforms own the bytes
+};
+
+}  // namespace psc::store

@@ -46,6 +46,55 @@ TEST(Fasta, HandlesWindowsLineEndings) {
   EXPECT_EQ(bank[0].to_letters(), "MK");
 }
 
+TEST(Fasta, HandlesCrlfMultiRecordFiles) {
+  std::istringstream in(">a desc\r\nMK\r\nVL\r\n\r\n>b\r\nAR\r\n");
+  const SequenceBank bank = read_fasta(in, SequenceKind::kProtein);
+  ASSERT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank[0].id(), "a");
+  EXPECT_EQ(bank[0].to_letters(), "MKVL");
+  EXPECT_EQ(bank[1].to_letters(), "AR");
+}
+
+TEST(Fasta, HandlesClassicMacLineEndings) {
+  std::istringstream in(">a\rMK\rVL\r>b\rAR\r");
+  const SequenceBank bank = read_fasta(in, SequenceKind::kProtein);
+  ASSERT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank[0].to_letters(), "MKVL");
+  EXPECT_EQ(bank[1].to_letters(), "AR");
+}
+
+TEST(Fasta, FinalRecordWithoutTrailingNewline) {
+  std::istringstream in(">a\nMK\n>b\nVLAR");
+  const SequenceBank bank = read_fasta(in, SequenceKind::kProtein);
+  ASSERT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank[1].id(), "b");
+  EXPECT_EQ(bank[1].to_letters(), "VLAR");
+}
+
+TEST(Fasta, FinalCrlfRecordWithoutTrailingNewline) {
+  std::istringstream in(">a\r\nMK\r\n>b\r\nVLAR");
+  const SequenceBank bank = read_fasta(in, SequenceKind::kProtein);
+  ASSERT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank[1].to_letters(), "VLAR");
+}
+
+TEST(Fasta, HeaderOnlyFinalRecordWithoutNewline) {
+  // A trailing header with no residues still creates an (empty) record.
+  std::istringstream in(">a\nMK\n>empty");
+  const SequenceBank bank = read_fasta(in, SequenceKind::kProtein);
+  ASSERT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank[1].id(), "empty");
+  EXPECT_TRUE(bank[1].empty());
+}
+
+TEST(Fasta, MixedLineEndingsWithinOneFile) {
+  std::istringstream in(">a\nMK\r\nVL\r>b\r\nAR");
+  const SequenceBank bank = read_fasta(in, SequenceKind::kProtein);
+  ASSERT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank[0].to_letters(), "MKVL");
+  EXPECT_EQ(bank[1].to_letters(), "AR");
+}
+
 TEST(Fasta, ResidueBeforeHeaderThrows) {
   std::istringstream in("MKVLA\n>late\nAR\n");
   EXPECT_THROW(read_fasta(in, SequenceKind::kProtein), std::runtime_error);

@@ -1,0 +1,221 @@
+#include "service/search_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "bio/translate.hpp"
+#include "index/index_table.hpp"
+#include "sim/genome_generator.hpp"
+#include "sim/mutation.hpp"
+#include "sim/protein_generator.hpp"
+#include "store/bank_store.hpp"
+#include "store/format.hpp"
+#include "store/index_store.hpp"
+#include "util/rng.hpp"
+
+namespace psc::service {
+namespace {
+
+/// A saved reference bank: proteins planted into a genome, translated,
+/// indexed and written to <prefix>.pscbank/.pscidx for the service to
+/// load. Removes the files on destruction.
+struct SavedBank {
+  bio::SequenceBank proteins{bio::SequenceKind::kProtein};
+  bio::SequenceBank genome_bank{bio::SequenceKind::kProtein};
+  std::string prefix;
+
+  explicit SavedBank(std::uint64_t seed, const std::string& name) {
+    util::Xoshiro256 rng(seed);
+    for (int i = 0; i < 5; ++i) {
+      proteins.add(sim::generate_protein("p" + std::to_string(i), 100, rng));
+    }
+    sim::GenomeConfig config;
+    config.length = 20000;
+    config.seed = seed;
+    bio::Sequence genome = sim::generate_genome(config);
+    sim::MutationConfig divergence;
+    divergence.substitution_rate = 0.15;
+    divergence.indel_rate = 0.0;
+    sim::plant_gene(genome, sim::mutate_protein(proteins[0], divergence, rng),
+                    3000, true, rng);
+    sim::plant_gene(genome, sim::mutate_protein(proteins[2], divergence, rng),
+                    9001, false, rng);
+    genome_bank = bio::frames_to_bank(bio::translate_six_frames(genome));
+
+    prefix = ::testing::TempDir() + "/" + name;
+    const index::SeedModel model = index::SeedModel::subset_w4();
+    const index::IndexTable table(genome_bank, model);
+    store::save_bank(prefix + ".pscbank", genome_bank);
+    store::save_index(prefix + ".pscidx", table, model);
+  }
+
+  ~SavedBank() {
+    std::remove((prefix + ".pscbank").c_str());
+    std::remove((prefix + ".pscidx").c_str());
+  }
+
+  /// A single-protein query bank around member `i`.
+  bio::SequenceBank query(std::size_t i) const {
+    bio::SequenceBank bank(bio::SequenceKind::kProtein);
+    bank.add(proteins[i]);
+    return bank;
+  }
+};
+
+TEST(SearchService, MatchesDirectPipelineRun) {
+  const SavedBank saved(1, "svc_direct");
+  ServiceConfig config;
+  SearchService service(config);
+  const QueryResult reply = service.search(saved.proteins, saved.prefix);
+
+  core::PipelineResult direct = core::run_pipeline(
+      saved.proteins, saved.genome_bank, config.options, config.matrix);
+  ASSERT_FALSE(reply.matches.empty());
+  ASSERT_EQ(reply.matches.size(), direct.matches.size());
+  for (std::size_t i = 0; i < reply.matches.size(); ++i) {
+    EXPECT_EQ(reply.matches[i].bank0_sequence,
+              direct.matches[i].bank0_sequence);
+    EXPECT_EQ(reply.matches[i].bank1_sequence,
+              direct.matches[i].bank1_sequence);
+    EXPECT_EQ(reply.matches[i].alignment.score,
+              direct.matches[i].alignment.score);
+  }
+  EXPECT_GT(reply.latency_seconds, 0.0);
+  EXPECT_EQ(reply.batch_size, 1u);
+  EXPECT_FALSE(reply.bank_was_resident);
+}
+
+TEST(SearchService, CacheHitsOnRepeatQueries) {
+  const SavedBank saved(2, "svc_cache");
+  SearchService service;
+  const QueryResult first = service.search(saved.query(0), saved.prefix);
+  const QueryResult second = service.search(saved.query(2), saved.prefix);
+  EXPECT_FALSE(first.bank_was_resident);
+  EXPECT_TRUE(second.bank_was_resident);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries_submitted, 2u);
+  EXPECT_EQ(stats.queries_completed, 2u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.resident_banks, 1u);
+  EXPECT_EQ(stats.queries_failed, 0u);
+  EXPECT_GT(stats.total_latency_seconds, 0.0);
+}
+
+TEST(SearchService, CoalescesBatchedQueriesIntoOnePass) {
+  const SavedBank saved(3, "svc_batch");
+  SearchService service;
+  // Warm the cache so the batch below is one clean coalesced pass.
+  service.search(saved.query(1), saved.prefix);
+
+  std::vector<bio::SequenceBank> queries;
+  for (const std::size_t i : {0u, 2u, 4u}) queries.push_back(saved.query(i));
+  auto futures = service.submit_batch(std::move(queries), saved.prefix);
+  ASSERT_EQ(futures.size(), 3u);
+
+  // Each coalesced reply must equal its own individual search.
+  const std::size_t members[] = {0, 2, 4};
+  for (std::size_t q = 0; q < futures.size(); ++q) {
+    const QueryResult reply = futures[q].get();
+    EXPECT_EQ(reply.batch_size, 3u);
+    EXPECT_TRUE(reply.bank_was_resident);
+    const QueryResult solo = service.search(saved.query(members[q]), saved.prefix);
+    ASSERT_EQ(reply.matches.size(), solo.matches.size());
+    for (std::size_t m = 0; m < reply.matches.size(); ++m) {
+      EXPECT_EQ(reply.matches[m].bank0_sequence, 0u);
+      EXPECT_EQ(reply.matches[m].bank1_sequence,
+                solo.matches[m].bank1_sequence);
+      EXPECT_EQ(reply.matches[m].alignment.score,
+                solo.matches[m].alignment.score);
+    }
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.max_batch, 3u);
+  // 1 warmup + 1 coalesced + 3 solo = 5 passes, 7 queries.
+  EXPECT_EQ(stats.batches, 5u);
+  EXPECT_EQ(stats.queries_completed, 7u);
+}
+
+TEST(SearchService, LruEvictsLeastRecentlyUsedBank) {
+  const SavedBank a(4, "svc_lru_a");
+  const SavedBank b(5, "svc_lru_b");
+  const SavedBank c(6, "svc_lru_c");
+  ServiceConfig config;
+  config.max_resident = 2;
+  SearchService service(config);
+
+  service.search(a.query(0), a.prefix);  // miss, cache {a}
+  service.search(b.query(0), b.prefix);  // miss, cache {a,b}
+  service.search(a.query(1), a.prefix);  // hit, a freshened
+  service.search(c.query(0), c.prefix);  // miss, evicts b
+  const QueryResult again_a = service.search(a.query(2), a.prefix);  // hit
+  EXPECT_TRUE(again_a.bank_was_resident);
+  const QueryResult again_b = service.search(b.query(1), b.prefix);  // miss
+  EXPECT_FALSE(again_b.bank_was_resident);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_misses, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.resident_banks, 2u);
+}
+
+TEST(SearchService, CapacityZeroNeverCaches) {
+  const SavedBank saved(7, "svc_nocache");
+  ServiceConfig config;
+  config.max_resident = 0;
+  SearchService service(config);
+  service.search(saved.query(0), saved.prefix);
+  const QueryResult second = service.search(saved.query(0), saved.prefix);
+  EXPECT_FALSE(second.bank_was_resident);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.resident_banks, 0u);
+}
+
+TEST(SearchService, MissingBankFailsThatQueryOnly) {
+  const SavedBank saved(8, "svc_missing");
+  SearchService service;
+  auto bad = service.submit(saved.query(0), saved.prefix + "_nonexistent");
+  EXPECT_THROW(
+      {
+        try {
+          bad.get();
+        } catch (const store::StoreError& e) {
+          EXPECT_EQ(e.code(), store::StoreErrorCode::kIo);
+          throw;
+        }
+      },
+      store::StoreError);
+  // The service keeps serving after a failed load.
+  const QueryResult good = service.search(saved.proteins, saved.prefix);
+  EXPECT_FALSE(good.matches.empty());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries_failed, 1u);
+  EXPECT_EQ(stats.queries_completed, 1u);
+}
+
+TEST(SearchService, RejectsNonProteinQueries) {
+  SearchService service;
+  bio::SequenceBank dna(bio::SequenceKind::kDna);
+  dna.add(bio::Sequence::dna_from_letters("g", "ACGT"));
+  EXPECT_THROW(service.submit(dna, "anything"), std::invalid_argument);
+}
+
+TEST(SearchService, DrainsPendingQueriesOnShutdown) {
+  const SavedBank saved(9, "svc_drain");
+  std::future<QueryResult> pending;
+  {
+    SearchService service;
+    pending = service.submit(saved.query(0), saved.prefix);
+  }  // destructor joins after draining
+  const QueryResult reply = pending.get();
+  EXPECT_EQ(reply.batch_size, 1u);
+}
+
+}  // namespace
+}  // namespace psc::service
