@@ -190,47 +190,55 @@ void SearchService::process_group(const std::string& prefix,
     return;
   }
 
-  // One combined query bank; each request owns a contiguous index range
-  // so the shared pass's matches can be split back apart afterwards.
-  bio::SequenceBank combined(bio::SequenceKind::kProtein);
-  std::vector<std::pair<std::size_t, std::size_t>> ranges;
-  ranges.reserve(group.size());
-  for (const Request* request : group) {
-    const std::size_t base = combined.size();
-    for (const bio::Sequence& sequence : request->query) {
-      combined.add(sequence);
-    }
-    ranges.emplace_back(base, request->query.size());
-  }
-
-  core::PipelineResult result;
+  // Everything between acquire and promise fulfillment can throw (a
+  // large coalesced batch can bad_alloc while building the combined
+  // bank or the replies); any escape here would unwind through
+  // worker_loop into std::terminate with the promises forever
+  // unfulfilled, so it all routes to fail_all instead.
+  double latency_sum = 0.0;
+  std::vector<QueryResult> replies;
   try {
-    result = core::run_pipeline_with_index(combined, resident->bank,
-                                           resident->index.table,
-                                           config_.options, config_.matrix);
+    // One combined query bank; each request owns a contiguous index
+    // range so the shared pass's matches can be split back apart
+    // afterwards.
+    bio::SequenceBank combined(bio::SequenceKind::kProtein);
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    ranges.reserve(group.size());
+    for (const Request* request : group) {
+      const std::size_t base = combined.size();
+      for (const bio::Sequence& sequence : request->query) {
+        combined.add(sequence);
+      }
+      ranges.emplace_back(base, request->query.size());
+    }
+
+    const core::PipelineResult result = core::run_pipeline_with_index(
+        combined, resident->bank, resident->index.table, config_.options,
+        config_.matrix);
+
+    const auto completed = std::chrono::steady_clock::now();
+    replies.resize(group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      QueryResult& reply = replies[i];
+      reply.batch_size = group.size();
+      reply.bank_was_resident = was_hit;
+      const auto [base, count] = ranges[i];
+      for (const core::Match& match : result.matches) {
+        if (match.bank0_sequence >= base &&
+            match.bank0_sequence < base + count) {
+          core::Match remapped = match;
+          remapped.bank0_sequence -= static_cast<std::uint32_t>(base);
+          reply.matches.push_back(std::move(remapped));
+        }
+      }
+      reply.latency_seconds =
+          std::chrono::duration<double>(completed - group[i]->enqueued)
+              .count();
+      latency_sum += reply.latency_seconds;
+    }
   } catch (...) {
     fail_all(std::current_exception());
     return;
-  }
-
-  const auto completed = std::chrono::steady_clock::now();
-  double latency_sum = 0.0;
-  std::vector<QueryResult> replies(group.size());
-  for (std::size_t i = 0; i < group.size(); ++i) {
-    QueryResult& reply = replies[i];
-    reply.batch_size = group.size();
-    reply.bank_was_resident = was_hit;
-    const auto [base, count] = ranges[i];
-    for (const core::Match& match : result.matches) {
-      if (match.bank0_sequence >= base && match.bank0_sequence < base + count) {
-        core::Match remapped = match;
-        remapped.bank0_sequence -= static_cast<std::uint32_t>(base);
-        reply.matches.push_back(std::move(remapped));
-      }
-    }
-    reply.latency_seconds =
-        std::chrono::duration<double>(completed - group[i]->enqueued).count();
-    latency_sum += reply.latency_seconds;
   }
 
   {

@@ -90,8 +90,11 @@ IndexFileInfo inspect_index(const std::string& path) {
   info.model_fingerprint = header.meta[0];
   info.key_space = header.meta[1];
   info.occurrence_count = header.meta[2];
+  // Subtract on the trusted side: read_header guarantees
+  // file.size() >= sizeof(FileHeader), and adding the file-controlled
+  // name_bytes instead could wrap past the check.
   const std::uint64_t name_bytes = header.meta[3];
-  if (sizeof(FileHeader) + name_bytes > file.size()) {
+  if (name_bytes > file.size() - sizeof(FileHeader)) {
     throw StoreError(StoreErrorCode::kCorrupt,
                      "index model name truncated: " + path);
   }
@@ -129,7 +132,15 @@ LoadedIndex load_index(const std::string& path, const index::SeedModel& model,
   }
 
   // Section geometry, all bounds-checked against the payload length
-  // before any span is formed.
+  // before any span is formed. The element counts are file-controlled
+  // u64s, so each is bounded against payload_bytes (itself equal to the
+  // real file length) before any multiplication or padding that could
+  // wrap; only then are byte sizes derived.
+  if (header.meta[3] > header.payload_bytes ||
+      header.meta[2] > header.payload_bytes / sizeof(index::Occurrence)) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "index section sizes disagree with header: " + path);
+  }
   const std::uint64_t padded_name = pad8(header.meta[3]);
   const std::uint64_t starts_count = header.meta[1] + 1;
   const std::uint64_t starts_bytes = starts_count * sizeof(std::uint64_t);

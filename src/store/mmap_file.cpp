@@ -91,10 +91,17 @@ MmapFile MmapFile::open(const std::string& path) {
   if (fp == nullptr) {
     throw StoreError(StoreErrorCode::kIo, "cannot open store file: " + path);
   }
-  std::fseek(fp, 0, SEEK_END);
+  if (std::fseek(fp, 0, SEEK_END) != 0) {
+    std::fclose(fp);
+    throw StoreError(StoreErrorCode::kIo, "cannot seek store file: " + path);
+  }
   const long end = std::ftell(fp);
-  std::fseek(fp, 0, SEEK_SET);
-  file.fallback_.resize(end > 0 ? static_cast<std::size_t>(end) : 0);
+  if (end < 0 || std::fseek(fp, 0, SEEK_SET) != 0) {
+    std::fclose(fp);
+    throw StoreError(StoreErrorCode::kIo,
+                     "cannot determine store file size: " + path);
+  }
+  file.fallback_.resize(static_cast<std::size_t>(end));
   if (!file.fallback_.empty() &&
       std::fread(file.fallback_.data(), 1, file.fallback_.size(), fp) !=
           file.fallback_.size()) {

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "bio/translate.hpp"
@@ -54,6 +58,20 @@ std::vector<char> slurp(const std::string& path) {
 void spit(const std::string& path, const std::vector<char>& bytes) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void poke_u64(std::vector<char>& bytes, std::size_t offset,
+              std::uint64_t value) {
+  std::memcpy(bytes.data() + offset, &value, sizeof(value));
+}
+
+/// Recomputes the payload checksum after tampering, as an attacker
+/// would: the FNV digest is an integrity check, not an authenticity one,
+/// so it must never be what stands between a crafted file and UB.
+void reseal(std::vector<char>& bytes) {
+  const std::uint64_t digest = fnv1a64(bytes.data() + sizeof(FileHeader),
+                                       bytes.size() - sizeof(FileHeader));
+  poke_u64(bytes, offsetof(FileHeader, payload_checksum), digest);
 }
 
 StoreErrorCode code_of(const std::function<void()>& fn) {
@@ -260,6 +278,45 @@ TEST(IndexStore, RejectsDamageAndMismatch) {
 
   EXPECT_EQ(code_of([&] { load_index(temp_path("no_such.pscidx"), model); }),
             StoreErrorCode::kIo);
+  std::remove(path.c_str());
+}
+
+TEST(IndexStore, RejectsWrappingSectionCounts) {
+  // Crafted headers whose section counts make the byte-size arithmetic
+  // wrap must fail the geometry checks, not slip past them: with
+  // meta[2] = 2^61, occ_bytes = meta[2] * sizeof(Occurrence) wraps to 0,
+  // and a starts array ending at 2^61 would then hand step 2 a span
+  // claiming 2^61 occurrences backed by no bytes at all.
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  bio::SequenceBank empty(bio::SequenceKind::kProtein);
+  const index::IndexTable table(empty, model);
+  const std::string path = temp_path("index_overflow.pscidx");
+  save_index(path, table, model);
+  const std::vector<char> good = slurp(path);
+  constexpr std::size_t kMetaOffset = offsetof(FileHeader, meta);
+
+  constexpr std::uint64_t kHuge = std::uint64_t{1} << 61;
+  std::vector<char> crafted = good;
+  poke_u64(crafted, kMetaOffset + 2 * sizeof(std::uint64_t), kHuge);
+  // Make starts.back() (the file's final u64: the bank is empty, so the
+  // occurrence section is absent) agree with the lying header, keeping
+  // starts monotone and from_raw_spans otherwise satisfied.
+  poke_u64(crafted, crafted.size() - sizeof(std::uint64_t), kHuge);
+  reseal(crafted);
+  spit(path, crafted);
+  EXPECT_EQ(code_of([&] { load_index(path, model, &empty); }),
+            StoreErrorCode::kCorrupt);
+
+  // A name length within 64 of 2^64 wraps `header + name_bytes`-style
+  // truncation checks; both readers must reject it with a typed error
+  // instead of feeding it to string::assign.
+  std::vector<char> huge_name = good;
+  poke_u64(huge_name, kMetaOffset + 3 * sizeof(std::uint64_t),
+           std::numeric_limits<std::uint64_t>::max() - 32);
+  spit(path, huge_name);
+  EXPECT_EQ(code_of([&] { inspect_index(path); }), StoreErrorCode::kCorrupt);
+  EXPECT_EQ(code_of([&] { load_index(path, model, &empty); }),
+            StoreErrorCode::kCorrupt);
   std::remove(path.c_str());
 }
 
