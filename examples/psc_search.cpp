@@ -91,6 +91,9 @@ int main(int argc, char** argv) {
   args.add_option("backend", "rasc", "rasc | host | host-parallel");
   args.add_option("step2-kernel", "auto",
                   "host ungapped kernel: auto | scalar | blocked | simd");
+  args.add_option("threads", "0",
+                  "worker threads for BOTH step 2 and step 3 on the host "
+                  "backends (0 = all cores)");
   args.add_option("pes", "192", "PSC processing elements (rasc backend)");
   args.add_option("fpgas", "1", "simulated FPGAs (1 or 2)");
   args.add_option("evalue", "1e-3", "E-value cutoff");
@@ -102,6 +105,14 @@ int main(int argc, char** argv) {
   const std::string format = args.get("format");
 
   core::PipelineOptions options;
+  {
+    const auto threads = args.get_int("threads");
+    if (threads < 0) {
+      std::fprintf(stderr, "--threads must be >= 0\n");
+      return 1;
+    }
+    options.set_threads(static_cast<std::size_t>(threads));
+  }
   options.e_value_cutoff = args.get_double("evalue");
   options.with_traceback = format != "gff3";
   options.composition_based_stats = args.get_flag("composition");

@@ -26,4 +26,14 @@ ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure \
   -R '^(align|core|store|service)_test$'
 
+echo "== sanitizers: executor/overlap/service tests under TSan =="
+cmake -B build-tsan -S . \
+  -DPSC_ENABLE_SANITIZERS=thread \
+  -DPSC_BUILD_BENCH=OFF \
+  -DPSC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j "$jobs" --target util_test core_test service_test
+TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/scripts/tsan.supp" \
+  ctest --test-dir build-tsan --output-on-failure \
+  -R '^(util|core|service)_test$'
+
 echo "== all checks passed =="

@@ -2,7 +2,16 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace psc::core {
+
+void PipelineOptions::set_threads(std::size_t threads) {
+  host_threads = threads;
+  // step3_threads uses 0 and 1 both to mean "sequential", so the
+  // hardware-concurrency convention of 0 must not leak through here.
+  step3_threads = threads == 0 ? util::default_thread_count() : threads;
+}
 
 void PipelineOptions::validate() const {
   if (shape.seed_width == 0) {
@@ -74,6 +83,21 @@ align::UngappedKernel parse_step2_kernel(const std::string& name) {
   throw std::invalid_argument(
       "parse_step2_kernel: expected auto|scalar|blocked|simd, got '" + name +
       "'");
+}
+
+std::string step2_schedule_name(Step2Schedule schedule) {
+  switch (schedule) {
+    case Step2Schedule::kStatic: return "static";
+    case Step2Schedule::kCostAware: return "cost-aware";
+  }
+  return "unknown";
+}
+
+Step2Schedule parse_step2_schedule(const std::string& name) {
+  if (name == "static") return Step2Schedule::kStatic;
+  if (name == "cost-aware") return Step2Schedule::kCostAware;
+  throw std::invalid_argument(
+      "parse_step2_schedule: expected static|cost-aware, got '" + name + "'");
 }
 
 }  // namespace psc::core

@@ -13,6 +13,10 @@
 #include "index/seed_model.hpp"
 #include "rasc/rasc_backend.hpp"
 
+namespace psc::util {
+class Executor;
+}  // namespace psc::util
+
 namespace psc::core {
 
 /// Where step 2 (ungapped extension, 97% of software runtime) executes.
@@ -20,6 +24,12 @@ enum class Step2Backend {
   kHostSequential,  ///< the paper's software baseline structure
   kHostParallel,    ///< thread-pool over seed keys (multicore host)
   kRasc,            ///< deported to the simulated RASC-100 accelerator
+};
+
+/// How the host backends carve the seed-key space into parallel chunks.
+enum class Step2Schedule {
+  kStatic,     ///< equal key *counts* per chunk (the historical split)
+  kCostAware,  ///< equal estimated *work* per chunk: sum of |IL0k|*|IL1k|
 };
 
 /// Which seed model indexes the banks.
@@ -41,6 +51,24 @@ struct PipelineOptions {
 
   Step2Backend backend = Step2Backend::kHostSequential;
   std::size_t host_threads = 0;  ///< 0 = hardware concurrency
+
+  /// Chunking policy for the parallel host backends. Per-key cost is
+  /// |IL0k|x|IL1k| and wildly skewed, so equal key counts leave one
+  /// mega-bucket serializing the tail; cost-aware is the default.
+  Step2Schedule step2_schedule = Step2Schedule::kCostAware;
+
+  /// Overlap step 3 (gapped extension) with step 2 (ungapped scoring)
+  /// when the backend is kHostParallel: finished hit batches flow
+  /// through a bounded channel and extension starts while scoring is
+  /// still in flight. Output stays bit-identical to the sequential
+  /// path. Ignored (barrier semantics) when fewer than 2 workers
+  /// resolve.
+  bool overlap_steps23 = true;
+
+  /// Optional shared executor for the parallel host/index/FPGA paths.
+  /// nullptr = use the process-wide util::Executor::shared(). A
+  /// long-lived owner (SearchService) points this at its own pool.
+  util::Executor* executor = nullptr;
 
   /// Which ungapped kernel the host backends run (--step2-kernel). kAuto
   /// resolves to the striped SIMD kernel whenever it is exact for the
@@ -67,6 +95,11 @@ struct PipelineOptions {
   /// al. 2006); see align::composition_adjusted.
   bool composition_based_stats = false;
 
+  /// One knob for both compute stages: sets host_threads and
+  /// step3_threads (step 3 otherwise defaults to 1 and silently runs
+  /// serial). 0 = hardware concurrency for both.
+  void set_threads(std::size_t threads);
+
   void validate() const;
 };
 
@@ -92,5 +125,12 @@ std::string step2_kernel_name(align::UngappedKernel kernel);
 /// Parses a --step2-kernel value; throws std::invalid_argument on an
 /// unknown name.
 align::UngappedKernel parse_step2_kernel(const std::string& name);
+
+/// Human-readable schedule name ("static", "cost-aware").
+std::string step2_schedule_name(Step2Schedule schedule);
+
+/// Parses a --step2-schedule value; throws std::invalid_argument on an
+/// unknown name.
+Step2Schedule parse_step2_schedule(const std::string& name);
 
 }  // namespace psc::core

@@ -4,8 +4,10 @@
 
 #include "bio/translate.hpp"
 #include "core/step1_index.hpp"
+#include "core/step23_overlap.hpp"
 #include "core/step2_host.hpp"
 #include "core/step3_gapped.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace psc::core {
@@ -39,7 +41,7 @@ std::vector<align::SeedPairHit> run_step2_backend(
       HostStep2Result step2 = run_step2_host_parallel(
           bank0, table0, bank1, table1, matrix, options.shape,
           options.ungapped_threshold, options.host_threads,
-          options.step2_kernel);
+          options.step2_kernel, options.step2_schedule, options.executor);
       result.counters.step2_pairs = step2.pairs;
       result.counters.step2_cells = step2.cells;
       result.step2_engine = step2_kernel_name(step2.kernel);
@@ -73,6 +75,51 @@ std::vector<align::SeedPairHit> run_step2_backend(
   return hits;
 }
 
+/// Steps 2+3 over prebuilt tables: either the overlapped driver (host
+/// parallel backend with >= 2 workers and overlap enabled) or the
+/// classic barrier sequence. Both fill the same result fields and
+/// produce bit-identical matches.
+void run_steps23(const bio::SequenceBank& bank0,
+                 const index::IndexTable& table0,
+                 const bio::SequenceBank& bank1,
+                 const index::IndexTable& table1,
+                 const bio::SubstitutionMatrix& matrix,
+                 const PipelineOptions& options, PipelineResult& result) {
+  const std::size_t workers = options.host_threads == 0
+                                  ? util::default_thread_count()
+                                  : options.host_threads;
+  const bool overlap = options.backend == Step2Backend::kHostParallel &&
+                       options.overlap_steps23 && workers > 1;
+  if (overlap) {
+    OverlapOutcome outcome = run_steps23_overlapped(
+        bank0, table0, bank1, table1, matrix, options, workers);
+    result.counters.step2_pairs = outcome.pairs;
+    result.counters.step2_cells = outcome.cells;
+    result.counters.step2_hits = outcome.hits;
+    result.counters.step3_extensions = outcome.extensions;
+    result.counters.step3_eager_extensions = outcome.eager_extensions;
+    result.step2_engine = step2_kernel_name(outcome.kernel);
+    result.step2_wall_seconds = outcome.step2_seconds;
+    result.times.step2_ungapped = outcome.step2_seconds;
+    // The extension tail past step 2 plus the deterministic replay; the
+    // extensions running *under* step 2 are the overlap's payoff and by
+    // construction don't show up as step-3 wall.
+    result.times.step3_gapped = outcome.total_seconds - outcome.step2_seconds;
+    result.matches = std::move(outcome.matches);
+    return;
+  }
+
+  std::vector<align::SeedPairHit> hits = run_step2_backend(
+      bank0, table0, bank1, table1, matrix, options, result);
+  util::Timer step3_timer;
+  Step3Result step3 =
+      run_step3(bank0, bank1, std::move(hits), matrix, options);
+  result.times.step3_gapped = step3_timer.seconds();
+  result.counters.step3_extensions = step3.extensions;
+  result.counters.step3_eager_extensions = step3.extensions;
+  result.matches = std::move(step3.matches);
+}
+
 }  // namespace
 
 PipelineResult run_pipeline(const bio::SequenceBank& bank0,
@@ -89,17 +136,9 @@ PipelineResult run_pipeline(const bio::SequenceBank& bank0,
   result.counters.bank0_occurrences = step1.table0.total_occurrences();
   result.counters.bank1_occurrences = step1.table1.total_occurrences();
 
-  // ---- step 2: ungapped extension ---------------------------------------
-  std::vector<align::SeedPairHit> hits = run_step2_backend(
-      bank0, step1.table0, bank1, step1.table1, matrix, options, result);
-
-  // ---- step 3: gapped extension ------------------------------------------
-  util::Timer step3_timer;
-  Step3Result step3 =
-      run_step3(bank0, bank1, std::move(hits), matrix, options);
-  result.times.step3_gapped = step3_timer.seconds();
-  result.counters.step3_extensions = step3.extensions;
-  result.matches = std::move(step3.matches);
+  // ---- steps 2 + 3 (overlapped when the backend allows) ------------------
+  run_steps23(bank0, step1.table0, bank1, step1.table1, matrix, options,
+              result);
   return result;
 }
 
@@ -124,16 +163,8 @@ PipelineResult run_pipeline_with_index(const bio::SequenceBank& bank0,
   result.counters.bank0_occurrences = table0.total_occurrences();
   result.counters.bank1_occurrences = table1.total_occurrences();
 
-  // ---- steps 2 + 3 -------------------------------------------------------
-  std::vector<align::SeedPairHit> hits = run_step2_backend(
-      bank0, table0, bank1, table1, matrix, options, result);
-
-  util::Timer step3_timer;
-  Step3Result step3 =
-      run_step3(bank0, bank1, std::move(hits), matrix, options);
-  result.times.step3_gapped = step3_timer.seconds();
-  result.counters.step3_extensions = step3.extensions;
-  result.matches = std::move(step3.matches);
+  // ---- steps 2 + 3 (overlapped when the backend allows) ------------------
+  run_steps23(bank0, table0, bank1, table1, matrix, options, result);
   return result;
 }
 

@@ -29,6 +29,10 @@ struct PipelineCounters {
   std::uint64_t step2_cells = 0;        ///< substitution cells evaluated
   std::uint64_t step2_hits = 0;         ///< pairs reaching the threshold
   std::uint64_t step3_extensions = 0;   ///< gapped extensions performed
+  /// Extensions actually computed, including the overlapped pipeline's
+  /// eager ones whose seed a later coverage decision would have
+  /// skipped; equals step3_extensions on the barrier paths.
+  std::uint64_t step3_eager_extensions = 0;
 };
 
 /// Wall/modeled seconds per step. For the host backends step2 is measured

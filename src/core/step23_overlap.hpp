@@ -1,0 +1,53 @@
+// Overlapped execution of step 2 (ungapped scoring) and step 3 (gapped
+// extension): the software mirror of the paper's output controller,
+// where scored windows drain through cascaded FIFOs while the PE array
+// is still comparing (section 3). Here, pipeline workers push finished
+// hit batches through a bounded channel and start extending them while
+// other chunks are still being scored; a final deterministic replay of
+// the coverage-suppression walk keeps the output bit-identical to the
+// sequential path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/ungapped_simd.hpp"
+#include "bio/substitution_matrix.hpp"
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "index/index_table.hpp"
+
+namespace psc::core {
+
+struct OverlapOutcome {
+  std::vector<Match> matches;  ///< finalized (deduped, E-sorted)
+  std::uint64_t pairs = 0;     ///< window pairs scored by step 2
+  std::uint64_t cells = 0;     ///< substitution cells evaluated
+  std::uint64_t hits = 0;      ///< pairs reaching the threshold
+  /// Gapped extensions the *sequential* walk would run (the replayed
+  /// aligner-call count) -- comparable across backends.
+  std::uint64_t extensions = 0;
+  /// Gapped extensions actually computed: eager ones (per-worker
+  /// coverage filter applied, global coverage unknown at the time) plus
+  /// replay recomputes of skipped-but-needed hits. Always >=
+  /// extensions; the difference is the overlap's waste.
+  std::uint64_t eager_extensions = 0;
+  double step2_seconds = 0.0;  ///< wall until the last chunk was scored
+  double total_seconds = 0.0;  ///< wall including extension tail + replay
+  align::UngappedKernel kernel = align::UngappedKernel::kScalar;
+};
+
+/// Runs steps 2+3 with `workers` (>= 2) pipeline workers on
+/// options.executor (or the shared executor). Each worker loops: drain
+/// a hit batch from the channel and extend it eagerly; else claim the
+/// next step-2 key chunk, score it, and push its hits; else block until
+/// the channel closes. Extension is a pure per-hit function, so eager
+/// results replayed in the canonical order reproduce the sequential
+/// output exactly.
+OverlapOutcome run_steps23_overlapped(
+    const bio::SequenceBank& bank0, const index::IndexTable& table0,
+    const bio::SequenceBank& bank1, const index::IndexTable& table1,
+    const bio::SubstitutionMatrix& matrix, const PipelineOptions& options,
+    std::size_t workers);
+
+}  // namespace psc::core

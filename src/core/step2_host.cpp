@@ -5,11 +5,17 @@
 
 #include "align/ungapped.hpp"
 #include "index/neighborhood.hpp"
+#include "util/executor.hpp"
 #include "util/thread_pool.hpp"
 
 namespace psc::core {
 
 namespace {
+
+/// Initial capacity for each chunk's private hit vector: skips the
+/// first few growth doublings on every chunk of every query without
+/// committing meaningful memory (a hit is a few dozen bytes).
+constexpr std::size_t kStep2PartialReserve = 256;
 
 /// Per-worker kernel state: window batches, the SIMD path's striped image
 /// and score profile, and the score buffer. One instance is owned by each
@@ -104,7 +110,37 @@ std::uint64_t process_key_range(
   return pairs;
 }
 
-void normalize(std::vector<align::SeedPairHit>& hits) {
+/// Greedy cut of a per-item cost vector into at most `parts` contiguous
+/// ranges of approximately equal total cost. All-zero costs degrade to
+/// equal-count blocks so empty tables still spread across workers.
+std::vector<std::pair<std::size_t, std::size_t>> chunks_by_cost(
+    const std::vector<std::uint64_t>& cost, std::size_t parts) {
+  const std::size_t count = cost.size();
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  if (count == 0) return chunks;
+  if (parts == 0) parts = 1;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : cost) total += c;
+  if (total == 0) return util::ThreadPool::blocks(0, count, parts);
+  const std::uint64_t target = (total + parts - 1) / parts;
+  chunks.reserve(parts);
+  std::size_t begin = 0;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    acc += cost[i];
+    if (acc >= target && chunks.size() + 1 < parts) {
+      chunks.emplace_back(begin, i + 1);
+      begin = i + 1;
+      acc = 0;
+    }
+  }
+  if (begin < count) chunks.emplace_back(begin, count);
+  return chunks;
+}
+
+}  // namespace
+
+void normalize_step2_hits(std::vector<align::SeedPairHit>& hits) {
   std::sort(hits.begin(), hits.end(), [](const align::SeedPairHit& a,
                                          const align::SeedPairHit& b) {
     if (a.bank0.sequence != b.bank0.sequence) {
@@ -119,7 +155,29 @@ void normalize(std::vector<align::SeedPairHit>& hits) {
   });
 }
 
-}  // namespace
+std::vector<std::pair<std::size_t, std::size_t>> cost_aware_key_chunks(
+    const index::IndexTable& table0, const index::IndexTable& table1,
+    std::size_t parts) {
+  const std::size_t keys = table0.key_space();
+  std::vector<std::uint64_t> cost(keys);
+  for (std::size_t k = 0; k < keys; ++k) {
+    const auto key = static_cast<index::SeedKey>(k);
+    cost[k] = static_cast<std::uint64_t>(table0.list_length(key)) *
+              table1.list_length(key);
+  }
+  return chunks_by_cost(cost, parts);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> cost_aware_key_chunks(
+    const index::IndexTable& table0, const index::IndexTable& table1,
+    std::span<const index::SeedKey> keys, std::size_t parts) {
+  std::vector<std::uint64_t> cost(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    cost[i] = static_cast<std::uint64_t>(table0.list_length(keys[i])) *
+              table1.list_length(keys[i]);
+  }
+  return chunks_by_cost(cost, parts);
+}
 
 HostStep2Result run_step2_host(
     const bio::SequenceBank& bank0, const index::IndexTable& table0,
@@ -141,7 +199,8 @@ HostStep2Result run_step2_host_keys(
     const bio::SequenceBank& bank1, const index::IndexTable& table1,
     const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
     int threshold, std::span<const index::SeedKey> keys, std::size_t threads,
-    align::UngappedKernel kernel) {
+    align::UngappedKernel kernel, Step2Schedule schedule,
+    util::Executor* executor) {
   HostStep2Result out;
   out.kernel = align::resolve_ungapped_kernel(kernel, matrix, shape.length());
   if (keys.empty()) return out;
@@ -154,16 +213,22 @@ HostStep2Result run_step2_host_keys(
                                threshold, out.kernel, key, scratch, out.hits);
     }
     out.cells = out.pairs * shape.length();
-    normalize(out.hits);
+    normalize_step2_hits(out.hits);
     return out;
   }
 
-  util::ThreadPool pool(workers);
-  const auto chunks = util::ThreadPool::blocks(0, keys.size(), workers);
+  const auto chunks =
+      schedule == Step2Schedule::kCostAware
+          ? cost_aware_key_chunks(table0, table1, keys,
+                                  workers * kStep2ChunksPerWorker)
+          : util::ThreadPool::blocks(0, keys.size(), workers);
+  util::Executor& exec = executor ? *executor : util::Executor::shared();
+  util::Executor::TaskGroup group(exec, workers);
   std::vector<HostStep2Result> partial(chunks.size());
   for (std::size_t c = 0; c < chunks.size(); ++c) {
-    pool.submit([&, c, kernel_used = out.kernel] {
+    group.run([&, c, kernel_used = out.kernel] {
       Step2Scratch scratch(shape.length());
+      partial[c].hits.reserve(kStep2PartialReserve);
       for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i) {
         partial[c].pairs +=
             process_key(bank0, table0, bank1, table1, matrix, shape,
@@ -172,13 +237,16 @@ HostStep2Result run_step2_host_keys(
       }
     });
   }
-  pool.wait_idle();
+  group.wait();
+  std::size_t total_hits = 0;
+  for (const auto& p : partial) total_hits += p.hits.size();
+  out.hits.reserve(total_hits);
   for (auto& p : partial) {
     out.pairs += p.pairs;
     out.hits.insert(out.hits.end(), p.hits.begin(), p.hits.end());
   }
   out.cells = out.pairs * shape.length();
-  normalize(out.hits);
+  normalize_step2_hits(out.hits);
   return out;
 }
 
@@ -186,27 +254,33 @@ HostStep2Result run_step2_host_parallel(
     const bio::SequenceBank& bank0, const index::IndexTable& table0,
     const bio::SequenceBank& bank1, const index::IndexTable& table1,
     const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
-    int threshold, std::size_t threads, align::UngappedKernel kernel) {
+    int threshold, std::size_t threads, align::UngappedKernel kernel,
+    Step2Schedule schedule, util::Executor* executor) {
   const align::UngappedKernel kernel_used =
       align::resolve_ungapped_kernel(kernel, matrix, shape.length());
   const std::size_t workers =
       threads == 0 ? util::default_thread_count() : threads;
-  util::ThreadPool pool(workers);
   const auto chunks =
-      util::ThreadPool::blocks(0, table0.key_space(), workers);
+      schedule == Step2Schedule::kCostAware
+          ? cost_aware_key_chunks(table0, table1,
+                                  workers * kStep2ChunksPerWorker)
+          : util::ThreadPool::blocks(0, table0.key_space(), workers);
 
+  util::Executor& exec = executor ? *executor : util::Executor::shared();
+  util::Executor::TaskGroup group(exec, workers);
   std::vector<HostStep2Result> partial(chunks.size());
   std::atomic<std::uint64_t> total_pairs{0};
   for (std::size_t c = 0; c < chunks.size(); ++c) {
-    pool.submit([&, c] {
+    group.run([&, c] {
       Step2Scratch scratch(shape.length());
+      partial[c].hits.reserve(kStep2PartialReserve);
       partial[c].pairs = process_key_range(
           bank0, table0, bank1, table1, matrix, shape, threshold, kernel_used,
           chunks[c].first, chunks[c].second, scratch, partial[c].hits);
       total_pairs.fetch_add(partial[c].pairs, std::memory_order_relaxed);
     });
   }
-  pool.wait_idle();
+  group.wait();
 
   HostStep2Result out;
   out.kernel = kernel_used;
@@ -218,8 +292,55 @@ HostStep2Result run_step2_host_parallel(
   for (auto& p : partial) {
     out.hits.insert(out.hits.end(), p.hits.begin(), p.hits.end());
   }
-  normalize(out.hits);
+  normalize_step2_hits(out.hits);
   return out;
+}
+
+struct Step2KeyScorer::Impl {
+  const bio::SequenceBank& bank0;
+  const index::IndexTable& table0;
+  const bio::SequenceBank& bank1;
+  const index::IndexTable& table1;
+  const bio::SubstitutionMatrix& matrix;
+  index::WindowShape shape;
+  int threshold;
+  align::UngappedKernel kernel;
+  Step2Scratch scratch;
+
+  Impl(const bio::SequenceBank& b0, const index::IndexTable& t0,
+       const bio::SequenceBank& b1, const index::IndexTable& t1,
+       const bio::SubstitutionMatrix& m, const index::WindowShape& s,
+       int threshold_in, align::UngappedKernel k)
+      : bank0(b0),
+        table0(t0),
+        bank1(b1),
+        table1(t1),
+        matrix(m),
+        shape(s),
+        threshold(threshold_in),
+        kernel(align::resolve_ungapped_kernel(k, m, s.length())),
+        scratch(s.length()) {}
+};
+
+Step2KeyScorer::Step2KeyScorer(
+    const bio::SequenceBank& bank0, const index::IndexTable& table0,
+    const bio::SequenceBank& bank1, const index::IndexTable& table1,
+    const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
+    int threshold, align::UngappedKernel kernel)
+    : impl_(std::make_unique<Impl>(bank0, table0, bank1, table1, matrix,
+                                   shape, threshold, kernel)) {}
+
+Step2KeyScorer::~Step2KeyScorer() = default;
+
+align::UngappedKernel Step2KeyScorer::kernel() const { return impl_->kernel; }
+
+std::uint64_t Step2KeyScorer::score_range(
+    std::size_t first_key, std::size_t last_key,
+    std::vector<align::SeedPairHit>& hits) {
+  return process_key_range(impl_->bank0, impl_->table0, impl_->bank1,
+                           impl_->table1, impl_->matrix, impl_->shape,
+                           impl_->threshold, impl_->kernel, first_key,
+                           last_key, impl_->scratch, hits);
 }
 
 }  // namespace psc::core

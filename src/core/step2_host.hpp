@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "align/hit.hpp"
@@ -19,7 +21,31 @@
 #include "core/options.hpp"
 #include "index/index_table.hpp"
 
+namespace psc::util {
+class Executor;
+}  // namespace psc::util
+
 namespace psc::core {
+
+/// Cost-aware chunks per worker: fine enough that the TaskGroup's
+/// dynamic dispatch smooths residual skew, coarse enough that per-chunk
+/// scratch setup stays noise.
+inline constexpr std::size_t kStep2ChunksPerWorker = 8;
+
+/// Greedy contiguous partition of the whole key space into at most
+/// `parts` chunks of approximately equal estimated work, where a key's
+/// cost is |IL0k| * |IL1k| (the window pairs step 2 will score for it).
+/// Ranges are half-open [first, last) over seed keys and cover the key
+/// space exactly.
+std::vector<std::pair<std::size_t, std::size_t>> cost_aware_key_chunks(
+    const index::IndexTable& table0, const index::IndexTable& table1,
+    std::size_t parts);
+
+/// Same, over an explicit key subset (the host/FPGA dispatch path);
+/// returned ranges index into `keys`.
+std::vector<std::pair<std::size_t, std::size_t>> cost_aware_key_chunks(
+    const index::IndexTable& table0, const index::IndexTable& table1,
+    std::span<const index::SeedKey> keys, std::size_t parts);
 
 struct HostStep2Result {
   std::vector<align::SeedPairHit> hits;
@@ -38,15 +64,19 @@ HostStep2Result run_step2_host(
     int threshold,
     align::UngappedKernel kernel = align::UngappedKernel::kAuto);
 
-/// Thread-pool engine; `threads == 0` uses hardware concurrency. Hit
-/// order is normalized (sorted) so results are deterministic regardless
-/// of scheduling.
+/// Parallel engine on the shared work-stealing executor; `threads == 0`
+/// uses hardware concurrency (the TaskGroup caps occupancy at `threads`
+/// even when the executor is wider). Hit order is normalized (sorted)
+/// so results are deterministic regardless of scheduling. `executor`
+/// nullptr = util::Executor::shared().
 HostStep2Result run_step2_host_parallel(
     const bio::SequenceBank& bank0, const index::IndexTable& table0,
     const bio::SequenceBank& bank1, const index::IndexTable& table1,
     const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
     int threshold, std::size_t threads,
-    align::UngappedKernel kernel = align::UngappedKernel::kAuto);
+    align::UngappedKernel kernel = align::UngappedKernel::kAuto,
+    Step2Schedule schedule = Step2Schedule::kCostAware,
+    util::Executor* executor = nullptr);
 
 /// Processes only the given seed keys (used by the host/FPGA dispatch
 /// extension, which splits the key space between the two resources).
@@ -56,6 +86,42 @@ HostStep2Result run_step2_host_keys(
     const bio::SubstitutionMatrix& matrix, const index::WindowShape& shape,
     int threshold, std::span<const index::SeedKey> keys,
     std::size_t threads = 1,
-    align::UngappedKernel kernel = align::UngappedKernel::kAuto);
+    align::UngappedKernel kernel = align::UngappedKernel::kAuto,
+    Step2Schedule schedule = Step2Schedule::kCostAware,
+    util::Executor* executor = nullptr);
+
+/// Normalizes hit order (sort by sequence pair, then offsets, then
+/// score) -- what the parallel engines apply before returning, exposed
+/// so other drivers can produce the identical ordering.
+void normalize_step2_hits(std::vector<align::SeedPairHit>& hits);
+
+/// Reusable single-thread scorer: wraps kernel resolution and per-thread
+/// scratch so the overlapped step2/step3 driver can score arbitrary key
+/// ranges between extension bursts without re-allocating kernel state.
+class Step2KeyScorer {
+ public:
+  Step2KeyScorer(const bio::SequenceBank& bank0,
+                 const index::IndexTable& table0,
+                 const bio::SequenceBank& bank1,
+                 const index::IndexTable& table1,
+                 const bio::SubstitutionMatrix& matrix,
+                 const index::WindowShape& shape, int threshold,
+                 align::UngappedKernel kernel);
+  ~Step2KeyScorer();
+  Step2KeyScorer(const Step2KeyScorer&) = delete;
+  Step2KeyScorer& operator=(const Step2KeyScorer&) = delete;
+
+  /// The resolved kernel this scorer runs.
+  align::UngappedKernel kernel() const;
+
+  /// Scores keys [first_key, last_key), appending hits in key order;
+  /// returns the number of window pairs scored.
+  std::uint64_t score_range(std::size_t first_key, std::size_t last_key,
+                            std::vector<align::SeedPairHit>& hits);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace psc::core

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "util/executor.hpp"
 #include "util/thread_pool.hpp"
 
 namespace psc::index {
@@ -173,13 +174,13 @@ IndexTable IndexTable::build_parallel(const bio::SequenceBank& bank,
 
   const auto chunks = util::ThreadPool::blocks(0, bank.size(), workers);
   if (chunks.empty()) return table;
-  util::ThreadPool pool(chunks.size());
+  util::Executor::TaskGroup group(util::Executor::shared(), workers);
 
   // Pass 1: per-chunk histograms.
   std::vector<std::vector<std::size_t>> counts(
       chunks.size(), std::vector<std::size_t>(keys, 0));
   for (std::size_t c = 0; c < chunks.size(); ++c) {
-    pool.submit([&, c] {
+    group.run([&, c] {
       auto& local = counts[c];
       for (std::size_t s = chunks[c].first; s < chunks[c].second; ++s) {
         const bio::Sequence& seq = bank[s];
@@ -193,7 +194,7 @@ IndexTable IndexTable::build_parallel(const bio::SequenceBank& bank,
       }
     });
   }
-  pool.wait_idle();
+  group.wait();
 
   // Merge: global starts plus each chunk's base cursor per key, laid out
   // so chunk order within a key matches bank order (serial equivalence).
@@ -212,7 +213,7 @@ IndexTable IndexTable::build_parallel(const bio::SequenceBank& bank,
 
   // Pass 2: parallel placement through the per-chunk cursors.
   for (std::size_t c = 0; c < chunks.size(); ++c) {
-    pool.submit([&, c] {
+    group.run([&, c] {
       auto& cursor = cursors[c];
       for (std::size_t s = chunks[c].first; s < chunks[c].second; ++s) {
         const bio::Sequence& seq = bank[s];
@@ -228,7 +229,7 @@ IndexTable IndexTable::build_parallel(const bio::SequenceBank& bank,
       }
     });
   }
-  pool.wait_idle();
+  group.wait();
   table.adopt_storage();
   return table;
 }

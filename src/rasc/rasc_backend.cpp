@@ -4,7 +4,8 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <thread>
+
+#include "util/executor.hpp"
 
 namespace psc::rasc {
 
@@ -155,17 +156,17 @@ RascStep2Result run_rasc_step2_keys(const bio::SequenceBank& bank0,
     }
   }
 
-  // Drive each FPGA, in its own thread when asked (the paper's pthread
-  // version used one process per FPGA).
+  // Drive each FPGA concurrently when asked (the paper's pthread version
+  // used one process per FPGA); the shared executor supplies the
+  // concurrency instead of spawning throwaway threads per call.
   if (config.threaded && config.num_fpgas > 1) {
-    std::vector<std::thread> threads;
-    threads.reserve(tasks.size());
+    util::Executor::TaskGroup group(util::Executor::shared(), tasks.size());
     for (auto& task : tasks) {
-      threads.emplace_back([&] {
+      group.run([&bank0, &table0, &bank1, &table1, &matrix, &config, &task] {
         run_partition(bank0, table0, bank1, table1, matrix, config, task);
       });
     }
-    for (auto& thread : threads) thread.join();
+    group.wait();
   } else {
     for (auto& task : tasks) {
       run_partition(bank0, table0, bank1, table1, matrix, config, task);

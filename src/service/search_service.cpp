@@ -20,6 +20,11 @@ SearchService::SearchService(ServiceConfig config)
     : config_(std::move(config)),
       model_(core::make_seed_model(config_.options.seed_model)) {
   config_.options.validate();
+  // Route every pass through the service-owned pool (unless the caller
+  // wired in an executor of their own).
+  if (config_.options.executor == nullptr) {
+    config_.options.executor = &executor_;
+  }
   worker_ = std::thread([this] { worker_loop(); });
 }
 

@@ -33,6 +33,7 @@
 #include "bio/substitution_matrix.hpp"
 #include "core/pipeline.hpp"
 #include "store/index_store.hpp"
+#include "util/executor.hpp"
 
 namespace psc::service {
 
@@ -128,6 +129,13 @@ class SearchService {
 
   ServiceConfig config_;
   index::SeedModel model_;
+
+  /// Service-lifetime work-stealing pool: every pipeline pass (parallel
+  /// step 2, overlapped step 3, parallel index builds) schedules here
+  /// instead of spawning threads per batch. Declared before worker_ and
+  /// joined after it (members destroy in reverse order), so no pass can
+  /// outlive the pool.
+  util::Executor executor_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -1,0 +1,101 @@
+// Bounded multi-producer/multi-consumer channel.
+//
+// The software analogue of the PSC operator's output FIFO cascade: step-2
+// producers push completed hit batches, step-3 consumers drain them while
+// scoring is still in flight, and the bound applies backpressure so a
+// fast producer cannot buffer the whole hit set ahead of extension.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace psc::util {
+
+template <typename T>
+class BoundedChannel {
+ public:
+  explicit BoundedChannel(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedChannel(const BoundedChannel&) = delete;
+  BoundedChannel& operator=(const BoundedChannel&) = delete;
+
+  /// Blocks while the channel is full. Throws if the channel is (or
+  /// becomes, while blocked) closed: a producer outliving close() is a
+  /// sequencing bug, not a condition to swallow.
+  void push(T value) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) {
+        throw std::logic_error("BoundedChannel::push: channel is closed");
+      }
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Non-blocking: true and fills `out` if an item was available.
+  bool try_pop(T& out) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return false;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the channel is closed and drained;
+  /// nullopt means no item will ever come again.
+  std::optional<T> pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Idempotent. Wakes all blocked producers (they throw) and consumers
+  /// (they drain the remaining items, then see nullopt).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace psc::util

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
 namespace psc::core {
 namespace {
 
@@ -50,6 +54,32 @@ TEST(PipelineOptions, ZeroSeedWidthThrows) {
   PipelineOptions options;
   options.shape.seed_width = 0;
   EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(PipelineOptions, SetThreadsMapsBothStages) {
+  PipelineOptions options;
+  options.set_threads(5);
+  EXPECT_EQ(options.host_threads, 5u);
+  EXPECT_EQ(options.step3_threads, 5u);
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(PipelineOptions, SetThreadsZeroMeansAllCores) {
+  // step3_threads treats 0 and 1 both as "sequential", so "all cores"
+  // must be resolved eagerly for step 3; host_threads resolves 0 itself.
+  PipelineOptions options;
+  options.set_threads(0);
+  EXPECT_EQ(options.host_threads, 0u);
+  EXPECT_EQ(options.step3_threads, util::default_thread_count());
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(Step2ScheduleNames, RoundTrip) {
+  EXPECT_EQ(step2_schedule_name(Step2Schedule::kStatic), "static");
+  EXPECT_EQ(step2_schedule_name(Step2Schedule::kCostAware), "cost-aware");
+  EXPECT_EQ(parse_step2_schedule("static"), Step2Schedule::kStatic);
+  EXPECT_EQ(parse_step2_schedule("cost-aware"), Step2Schedule::kCostAware);
+  EXPECT_THROW(parse_step2_schedule("fifo"), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,205 @@
+#include "core/step23_overlap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/step2_host.hpp"
+#include "core/step3_gapped.hpp"
+#include "sim/genome_generator.hpp"
+#include "sim/mutation.hpp"
+#include "sim/protein_generator.hpp"
+
+namespace psc::core {
+namespace {
+
+struct TestBanks {
+  bio::SequenceBank proteins{bio::SequenceKind::kProtein};
+  bio::Sequence genome;
+
+  explicit TestBanks(std::uint64_t seed, std::size_t n_proteins = 4,
+                     std::size_t genome_length = 12000) {
+    util::Xoshiro256 rng(seed);
+    for (std::size_t i = 0; i < n_proteins; ++i) {
+      proteins.add(sim::generate_protein("p" + std::to_string(i), 100, rng));
+    }
+    sim::GenomeConfig config;
+    config.length = genome_length;
+    config.seed = seed;
+    genome = sim::generate_genome(config);
+    sim::MutationConfig divergence;
+    divergence.substitution_rate = 0.15;
+    divergence.indel_rate = 0.0;
+    sim::plant_gene(genome, sim::mutate_protein(proteins[0], divergence, rng),
+                    2500, true, rng);
+    sim::plant_gene(genome, sim::mutate_protein(proteins[2], divergence, rng),
+                    8001, false, rng);
+  }
+};
+
+/// Bit-identical match comparison: every field, including the alignment
+/// geometry, traceback ops and the floating-point statistics. This is
+/// the property the overlapped pipeline promises.
+void expect_identical(const std::vector<Match>& a, const std::vector<Match>& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bank0_sequence, b[i].bank0_sequence) << label << " #" << i;
+    EXPECT_EQ(a[i].bank1_sequence, b[i].bank1_sequence) << label << " #" << i;
+    EXPECT_EQ(a[i].alignment.score, b[i].alignment.score) << label << " #" << i;
+    EXPECT_EQ(a[i].alignment.begin0, b[i].alignment.begin0) << label << " #" << i;
+    EXPECT_EQ(a[i].alignment.end0, b[i].alignment.end0) << label << " #" << i;
+    EXPECT_EQ(a[i].alignment.begin1, b[i].alignment.begin1) << label << " #" << i;
+    EXPECT_EQ(a[i].alignment.end1, b[i].alignment.end1) << label << " #" << i;
+    EXPECT_EQ(a[i].alignment.ops, b[i].alignment.ops) << label << " #" << i;
+    EXPECT_EQ(a[i].bit_score, b[i].bit_score) << label << " #" << i;
+    EXPECT_EQ(a[i].e_value, b[i].e_value) << label << " #" << i;
+  }
+}
+
+// The determinism property of the ISSUE: for every tested worker count,
+// both the barrier and the overlapped host-parallel paths, and both
+// schedules, the pipeline output is bit-identical to kHostSequential.
+TEST(OverlapDeterminism, AllThreadCountsMatchSequential) {
+  const TestBanks banks(21);
+  PipelineOptions reference;
+  reference.backend = Step2Backend::kHostSequential;
+  reference.with_traceback = true;
+  const PipelineResult ref =
+      run_pipeline_genome(banks.proteins, banks.genome, reference);
+  ASSERT_FALSE(ref.matches.empty());
+
+  const std::size_t hardware = std::thread::hardware_concurrency() == 0
+                                   ? 1
+                                   : std::thread::hardware_concurrency();
+  for (const std::size_t threads :
+       std::vector<std::size_t>{1, 2, 7, hardware}) {
+    for (const bool overlap : {false, true}) {
+      for (const Step2Schedule schedule :
+           {Step2Schedule::kStatic, Step2Schedule::kCostAware}) {
+        PipelineOptions options;
+        options.backend = Step2Backend::kHostParallel;
+        options.with_traceback = true;
+        options.host_threads = threads;
+        options.step3_threads = threads;
+        options.overlap_steps23 = overlap;
+        options.step2_schedule = schedule;
+        const PipelineResult result =
+            run_pipeline_genome(banks.proteins, banks.genome, options);
+        const std::string label =
+            "threads=" + std::to_string(threads) +
+            " overlap=" + std::to_string(overlap) +
+            " schedule=" + step2_schedule_name(schedule);
+        expect_identical(ref.matches, result.matches, label);
+        EXPECT_EQ(result.counters.step2_pairs, ref.counters.step2_pairs)
+            << label;
+        EXPECT_EQ(result.counters.step2_hits, ref.counters.step2_hits)
+            << label;
+        EXPECT_EQ(result.counters.step3_extensions,
+                  ref.counters.step3_extensions)
+            << label;
+        EXPECT_GE(result.counters.step3_eager_extensions,
+                  result.counters.step3_extensions)
+            << label;
+      }
+    }
+  }
+}
+
+TEST(OverlapDriver, DirectOutcomeMatchesBarrierReference) {
+  // Drive run_steps23_overlapped directly against prebuilt tables and
+  // compare with the sequential step2 + step3 composition.
+  util::Xoshiro256 rng(33);
+  bio::SequenceBank bank0(bio::SequenceKind::kProtein);
+  bio::SequenceBank bank1(bio::SequenceKind::kProtein);
+  for (int i = 0; i < 5; ++i) {
+    bank0.add(sim::generate_protein("q" + std::to_string(i), 120, rng));
+  }
+  for (int i = 0; i < 8; ++i) {
+    bank1.add(sim::generate_protein("t" + std::to_string(i), 150, rng));
+  }
+  // Shared regions so step 3 has real work.
+  for (std::size_t k = 0; k < 40; ++k) {
+    bank1.mutable_sequence(2).mutable_residues()[30 + k] = bank0[1][10 + k];
+    bank1.mutable_sequence(5).mutable_residues()[60 + k] = bank0[3][40 + k];
+  }
+
+  PipelineOptions options;
+  options.backend = Step2Backend::kHostParallel;
+  options.with_traceback = true;
+  options.ungapped_threshold = 30;
+  const index::SeedModel model = make_seed_model(options.seed_model);
+  const index::IndexTable t0(bank0, model);
+  const index::IndexTable t1(bank1, model);
+  const auto& matrix = bio::SubstitutionMatrix::blosum62();
+
+  HostStep2Result step2 =
+      run_step2_host(bank0, t0, bank1, t1, matrix, options.shape,
+                     options.ungapped_threshold, options.step2_kernel);
+  ASSERT_FALSE(step2.hits.empty());
+  const std::size_t expected_hits = step2.hits.size();
+  const Step3Result step3 =
+      run_step3(bank0, bank1, std::move(step2.hits), matrix, options);
+
+  const OverlapOutcome outcome = run_steps23_overlapped(
+      bank0, t0, bank1, t1, matrix, options, /*workers=*/3);
+  expect_identical(step3.matches, outcome.matches, "direct overlap");
+  EXPECT_EQ(outcome.pairs, step2.pairs);
+  EXPECT_EQ(outcome.hits, expected_hits);
+  EXPECT_EQ(outcome.extensions, step3.extensions);
+  // Every replayed aligner call is either a precomputed eager result or
+  // a counted recompute, so total computed work bounds the sequential
+  // count from above; the per-worker coverage filter bounds it by the
+  // hit count plus recomputes from below-optimal skips.
+  EXPECT_GE(outcome.eager_extensions, outcome.extensions);
+  EXPECT_LE(outcome.eager_extensions, expected_hits + outcome.extensions);
+  EXPECT_GE(outcome.total_seconds, outcome.step2_seconds);
+}
+
+TEST(OverlapDriver, CompositionStatsSurviveOverlap) {
+  const TestBanks banks(22);
+  PipelineOptions reference;
+  reference.backend = Step2Backend::kHostSequential;
+  reference.composition_based_stats = true;
+  const PipelineResult ref =
+      run_pipeline_genome(banks.proteins, banks.genome, reference);
+
+  PipelineOptions overlapped = reference;
+  overlapped.backend = Step2Backend::kHostParallel;
+  overlapped.host_threads = 3;
+  overlapped.step3_threads = 3;
+  overlapped.overlap_steps23 = true;
+  const PipelineResult result =
+      run_pipeline_genome(banks.proteins, banks.genome, overlapped);
+  expect_identical(ref.matches, result.matches, "composition stats");
+}
+
+TEST(OverlapDriver, EmptyHitStreamProducesNoMatches) {
+  // Banks with nothing in common below the threshold: workers must
+  // close the channel cleanly with zero batches.
+  util::Xoshiro256 rng(44);
+  bio::SequenceBank bank0(bio::SequenceKind::kProtein);
+  bio::SequenceBank bank1(bio::SequenceKind::kProtein);
+  bank0.add(sim::generate_protein("q", 60, rng));
+  bank1.add(sim::generate_protein("t", 60, rng));
+
+  PipelineOptions options;
+  options.backend = Step2Backend::kHostParallel;
+  options.ungapped_threshold = 1000;  // unreachable
+  const index::SeedModel model = make_seed_model(options.seed_model);
+  const index::IndexTable t0(bank0, model);
+  const index::IndexTable t1(bank1, model);
+  const OverlapOutcome outcome =
+      run_steps23_overlapped(bank0, t0, bank1, t1,
+                             bio::SubstitutionMatrix::blosum62(), options,
+                             /*workers=*/4);
+  EXPECT_TRUE(outcome.matches.empty());
+  EXPECT_EQ(outcome.hits, 0u);
+  EXPECT_EQ(outcome.extensions, 0u);
+}
+
+}  // namespace
+}  // namespace psc::core

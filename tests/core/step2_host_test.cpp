@@ -7,6 +7,7 @@
 #include "align/ungapped.hpp"
 #include "index/neighborhood.hpp"
 #include "sim/protein_generator.hpp"
+#include "util/executor.hpp"
 
 namespace psc::core {
 namespace {
@@ -159,6 +160,90 @@ TEST(HostStep2, EmptyBanksNoHits) {
                      bio::SubstitutionMatrix::blosum62(), banks.shape, 10);
   EXPECT_TRUE(result.hits.empty());
   EXPECT_EQ(result.pairs, 0u);
+}
+
+TEST(HostStep2, CostAwareChunksPartitionKeySpace) {
+  const TestBanks banks(6);
+  const index::IndexTable t0(banks.bank0, banks.model);
+  const index::IndexTable t1(banks.bank1, banks.model);
+  for (const std::size_t parts : {1u, 2u, 5u, 16u}) {
+    const auto chunks = cost_aware_key_chunks(t0, t1, parts);
+    ASSERT_FALSE(chunks.empty());
+    EXPECT_LE(chunks.size(), parts);
+    // Contiguous, non-overlapping, exhaustive cover of [0, key_space).
+    EXPECT_EQ(chunks.front().first, 0u);
+    for (std::size_t i = 1; i < chunks.size(); ++i) {
+      EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+      EXPECT_LT(chunks[i].first, chunks[i].second);
+    }
+    EXPECT_EQ(chunks.back().second, t0.key_space());
+  }
+}
+
+TEST(HostStep2, CostAwareChunksBalanceWork) {
+  const TestBanks banks(7);
+  const index::IndexTable t0(banks.bank0, banks.model);
+  const index::IndexTable t1(banks.bank1, banks.model);
+  auto chunk_cost = [&](std::size_t first, std::size_t last) {
+    std::uint64_t cost = 0;
+    for (std::size_t k = first; k < last; ++k) {
+      const auto key = static_cast<index::SeedKey>(k);
+      cost += static_cast<std::uint64_t>(t0.list_length(key)) *
+              t1.list_length(key);
+    }
+    return cost;
+  };
+  const std::uint64_t total = chunk_cost(0, t0.key_space());
+  ASSERT_GT(total, 0u);
+  const std::size_t parts = 4;
+  const auto chunks = cost_aware_key_chunks(t0, t1, parts);
+  const std::uint64_t target = (total + parts - 1) / parts;
+  // The greedy cut closes a chunk at the first key crossing the target,
+  // so no chunk exceeds target by more than one key's cost -- and no
+  // key's cost can exceed the total.
+  for (const auto& [first, last] : chunks) {
+    EXPECT_LE(chunk_cost(first, last), 2 * target + total / parts);
+  }
+}
+
+TEST(HostStep2, EmptyTablesFallBackToStaticChunks) {
+  bio::SequenceBank empty(bio::SequenceKind::kProtein);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const index::IndexTable t_empty(empty, model);
+  const auto chunks = cost_aware_key_chunks(t_empty, t_empty, 4);
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, 0u);
+  EXPECT_EQ(chunks.back().second, t_empty.key_space());
+}
+
+TEST(HostStep2, SchedulesProduceIdenticalHits) {
+  const TestBanks banks(8);
+  const index::IndexTable t0(banks.bank0, banks.model);
+  const index::IndexTable t1(banks.bank1, banks.model);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const HostStep2Result fixed = run_step2_host_parallel(
+      banks.bank0, t0, banks.bank1, t1, m, banks.shape, 26, 3,
+      align::UngappedKernel::kAuto, Step2Schedule::kStatic);
+  const HostStep2Result balanced = run_step2_host_parallel(
+      banks.bank0, t0, banks.bank1, t1, m, banks.shape, 26, 3,
+      align::UngappedKernel::kAuto, Step2Schedule::kCostAware);
+  EXPECT_EQ(fixed.hits, balanced.hits);  // both normalized
+  EXPECT_EQ(fixed.pairs, balanced.pairs);
+  EXPECT_EQ(fixed.cells, balanced.cells);
+}
+
+TEST(HostStep2, RunsOnPrivateExecutor) {
+  const TestBanks banks(9);
+  const index::IndexTable t0(banks.bank0, banks.model);
+  const index::IndexTable t1(banks.bank1, banks.model);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+  const HostStep2Result reference =
+      run_step2_host(banks.bank0, t0, banks.bank1, t1, m, banks.shape, 26);
+  util::Executor executor(2);
+  const HostStep2Result result = run_step2_host_parallel(
+      banks.bank0, t0, banks.bank1, t1, m, banks.shape, 26, 2,
+      align::UngappedKernel::kAuto, Step2Schedule::kCostAware, &executor);
+  EXPECT_EQ(sorted(result.hits), sorted(reference.hits));
 }
 
 }  // namespace

@@ -172,6 +172,29 @@ TEST(IndexStore, RoundTripIsZeroCopyAndBitIdentical) {
   std::remove(path.c_str());
 }
 
+TEST(IndexStore, ParallelBuildSerializesByteIdentical) {
+  // psc_index defaults to the parallel builder; the escape-hatch
+  // guarantee is that serial and parallel builds produce the same file
+  // down to the last byte, for any thread count.
+  const Workload workload(9);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const index::IndexTable serial(workload.genome_bank, model);
+  const std::string serial_path = temp_path("index_serial.pscidx");
+  save_index(serial_path, serial, model);
+  const std::vector<char> serial_bytes = slurp(serial_path);
+  ASSERT_FALSE(serial_bytes.empty());
+  for (const std::size_t threads : {1u, 2u, 7u}) {
+    const index::IndexTable parallel =
+        index::IndexTable::build_parallel(workload.genome_bank, model,
+                                          threads);
+    const std::string path = temp_path("index_parallel.pscidx");
+    save_index(path, parallel, model);
+    EXPECT_EQ(slurp(path), serial_bytes) << "threads=" << threads;
+    std::remove(path.c_str());
+  }
+  std::remove(serial_path.c_str());
+}
+
 TEST(IndexStore, InspectReportsHeader) {
   const Workload workload(4);
   const index::SeedModel model = index::SeedModel::subset_w4();

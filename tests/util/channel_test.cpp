@@ -1,0 +1,95 @@
+#include "util/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace psc::util {
+namespace {
+
+TEST(BoundedChannel, PushPopRoundTrip) {
+  BoundedChannel<int> channel(4);
+  channel.push(1);
+  channel.push(2);
+  int out = 0;
+  EXPECT_TRUE(channel.try_pop(out));
+  EXPECT_EQ(out, 1);
+  const auto second = channel.pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 2);
+  EXPECT_FALSE(channel.try_pop(out));
+}
+
+TEST(BoundedChannel, PopDrainsThenSignalsClosed) {
+  BoundedChannel<int> channel(4);
+  channel.push(7);
+  channel.close();
+  EXPECT_TRUE(channel.closed());
+  const auto first = channel.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 7);
+  EXPECT_FALSE(channel.pop().has_value());
+}
+
+TEST(BoundedChannel, PushAfterCloseThrows) {
+  BoundedChannel<int> channel(4);
+  channel.close();
+  EXPECT_THROW(channel.push(1), std::logic_error);
+}
+
+TEST(BoundedChannel, BlockingPushResumesWhenDrained) {
+  BoundedChannel<int> channel(1);
+  channel.push(1);
+  std::thread producer([&] { channel.push(2); });  // blocks: full
+  int out = 0;
+  while (!channel.try_pop(out)) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(out, 1);
+  producer.join();
+  const auto second = channel.pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 2);
+}
+
+TEST(BoundedChannel, BlockedPopWakesOnClose) {
+  BoundedChannel<int> channel(2);
+  std::thread consumer([&] { EXPECT_FALSE(channel.pop().has_value()); });
+  channel.close();
+  consumer.join();
+}
+
+TEST(BoundedChannel, ManyProducersOneConsumer) {
+  BoundedChannel<int> channel(3);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&channel, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        channel.push(p * kPerProducer + i);
+      }
+    });
+  }
+  std::thread closer([&] {
+    for (auto& producer : producers) producer.join();
+    channel.close();
+  });
+  long long sum = 0;
+  int count = 0;
+  while (const auto item = channel.pop()) {
+    sum += *item;
+    ++count;
+  }
+  closer.join();
+  EXPECT_EQ(count, kProducers * kPerProducer);
+  const int n = kProducers * kPerProducer;
+  EXPECT_EQ(sum, static_cast<long long>(n) * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace psc::util

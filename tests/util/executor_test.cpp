@@ -1,0 +1,175 @@
+#include "util/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace psc::util {
+namespace {
+
+TEST(Executor, RunsSubmittedTasks) {
+  Executor executor(4);
+  Executor::TaskGroup group(executor);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    group.run([&counter] { counter.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(Executor, ZeroThreadsMeansHardwareConcurrency) {
+  Executor executor(0);
+  EXPECT_GE(executor.size(), 1u);
+}
+
+TEST(Executor, SharedSingletonIsStable) {
+  Executor& a = Executor::shared();
+  Executor& b = Executor::shared();
+  EXPECT_EQ(&a, &b);
+  Executor::TaskGroup group(a);
+  std::atomic<bool> ran{false};
+  group.run([&ran] { ran = true; });
+  group.wait();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Executor, GroupIsReusableAfterWait) {
+  Executor executor(2);
+  Executor::TaskGroup group(executor);
+  std::atomic<int> counter{0};
+  group.run([&counter] { counter.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(counter.load(), 1);
+  for (int i = 0; i < 50; ++i) {
+    group.run([&counter] { counter.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 51);
+}
+
+TEST(Executor, WorkSpreadsAcrossWorkers) {
+  // Many slow-ish tasks on a wide executor must not all land on one
+  // thread: submission round-robins and idle workers steal. Exact
+  // distribution is scheduling-dependent; require more than one thread
+  // to have participated (time slicing on a 1-core box still yields
+  // distinct thread ids).
+  Executor executor(4);
+  Executor::TaskGroup group(executor);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  for (int i = 0; i < 64; ++i) {
+    group.run([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  group.wait();
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(Executor, MaxParallelCapsConcurrency) {
+  Executor executor(8);
+  Executor::TaskGroup group(executor, 2);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 40; ++i) {
+    group.run([&] {
+      const int now = running.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      running.fetch_sub(1);
+    });
+  }
+  group.wait();
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(Executor, NestedSubmitAndWait) {
+  // A task spawns its own child group on the same executor and waits on
+  // it; wait() help-runs queued tasks, so this must not deadlock even
+  // when tasks outnumber workers.
+  Executor executor(2);
+  Executor::TaskGroup outer(executor);
+  std::atomic<int> children{0};
+  for (int i = 0; i < 8; ++i) {
+    outer.run([&executor, &children] {
+      Executor::TaskGroup inner(executor);
+      for (int j = 0; j < 8; ++j) {
+        inner.run([&children] { children.fetch_add(1); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(children.load(), 64);
+}
+
+TEST(Executor, WaitRethrowsFirstTaskException) {
+  Executor executor(2);
+  Executor::TaskGroup group(executor);
+  for (int i = 0; i < 4; ++i) {
+    group.run([] { throw std::runtime_error("task failed"); });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // The group recovers: a clean batch after the failure works.
+  std::atomic<bool> ran{false};
+  group.run([&ran] { ran = true; });
+  group.wait();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Executor, FailureAbandonsBacklog) {
+  // With a cap of 1 the group queues tasks internally; a throw cancels
+  // the not-yet-started remainder, and wait() still returns (then
+  // rethrows) instead of hanging on abandoned work.
+  Executor executor(2);
+  Executor::TaskGroup group(executor, 1);
+  std::atomic<int> ran{0};
+  group.run([&] {
+    ran.fetch_add(1);
+    throw std::runtime_error("first task failed");
+  });
+  for (int i = 0; i < 16; ++i) {
+    group.run([&] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // The real assertion is that wait() returned at all; how many of the
+  // queued tasks slipped in before the failure landed is scheduling-
+  // dependent, but the thrower itself certainly ran.
+  EXPECT_GE(ran.load(), 1);
+}
+
+TEST(Executor, ManySmallBatches) {
+  // The service pattern: one long-lived executor, many short task
+  // groups. Exercises the sleep/wake path repeatedly.
+  Executor executor(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 100; ++batch) {
+    Executor::TaskGroup group(executor);
+    for (int i = 0; i < 4; ++i) {
+      group.run([&total] { total.fetch_add(1); });
+    }
+    group.wait();
+  }
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(Executor, WaitOnEmptyGroupReturnsImmediately) {
+  Executor executor(2);
+  Executor::TaskGroup group(executor);
+  group.wait();  // no tasks: must not block
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace psc::util

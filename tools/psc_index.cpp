@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
   args.add_option("seed-model", "subset-w4",
                   "subset-w4 | subset-w4-coarse | exact-w4 | exact-w3");
   args.add_option("threads", "0", "index build threads (0 = all cores)");
+  args.add_flag("serial-index",
+                "build the index with the serial constructor instead of the "
+                "parallel builder (escape hatch; the layouts are identical)");
   args.add_option("out", "", "output path prefix (writes <out>.pscbank and "
                              "<out>.pscidx)");
   args.add_option("inspect", "",
@@ -110,8 +113,12 @@ int main(int argc, char** argv) {
     const index::SeedModel model = core::make_seed_model(kind_enum);
 
     util::Timer build_timer;
-    const index::IndexTable table = index::IndexTable::build_parallel(
-        bank, model, static_cast<std::size_t>(args.get_int("threads")));
+    const index::IndexTable table =
+        args.get_flag("serial-index")
+            ? index::IndexTable(bank, model)
+            : index::IndexTable::build_parallel(
+                  bank, model,
+                  static_cast<std::size_t>(args.get_int("threads")));
     std::fprintf(stderr,
                  "# indexed under %s: %zu occurrence(s) over %zu keys "
                  "(%.3f s)\n",
