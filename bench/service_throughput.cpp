@@ -71,7 +71,7 @@ double service_qps(service::SearchService& service,
     for (auto& future : futures) matches += future.get().matches.size();
   } else {
     for (const bio::SequenceBank& query : queries) {
-      matches += service.search(query, prefix).matches.size();
+      matches += service.submit(query, prefix).get().matches.size();
     }
   }
   const double seconds = timer.seconds();
@@ -121,7 +121,7 @@ int main() {
   double resident_blocking_qps = 0.0;
   {
     service::SearchService service(resident_config);
-    service.search(queries.front(), prefix);  // warm the cache
+    service.submit(queries.front(), prefix).get();  // warm the cache
     std::fprintf(stderr, "# resident service, pipelined submits:\n");
     resident_qps = service_qps(service, queries, prefix, /*pipelined=*/true);
     std::fprintf(stderr, "# resident service, blocking submits:\n");
@@ -139,7 +139,7 @@ int main() {
     service::SearchService service(cold_config);
     std::fprintf(stderr, "# cold-load service (max_resident=0, blocking):\n");
     cold_qps = service_qps(service, queries, prefix, /*pipelined=*/false);
-    cold_batches = service.stats().batches;
+    cold_batches = service.snapshot().batches;
   }
 
   double rebuild_qps = 0.0;

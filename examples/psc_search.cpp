@@ -16,8 +16,10 @@
 
 #include "bio/complexity.hpp"
 #include "bio/fasta.hpp"
+#include "core/cli_options.hpp"
 #include "core/modes.hpp"
 #include "core/report.hpp"
+#include "core/result_codec.hpp"
 #include "sim/genome_generator.hpp"
 #include "sim/mutation.hpp"
 #include "sim/protein_generator.hpp"
@@ -88,54 +90,27 @@ int main(int argc, char** argv) {
                   "(<prefix>.pscbank + <prefix>.pscidx); skips step-1 "
                   "indexing of the subject and implies a protein query");
   args.add_option("format", "tabular", "tabular | gff3 | pairwise");
-  args.add_option("backend", "rasc", "rasc | host | host-parallel");
-  args.add_option("step2-kernel", "auto",
-                  "host ungapped kernel: auto | scalar | blocked | simd");
-  args.add_option("threads", "0",
-                  "worker threads for BOTH step 2 and step 3 on the host "
-                  "backends (0 = all cores)");
-  args.add_option("pes", "192", "PSC processing elements (rasc backend)");
-  args.add_option("fpgas", "1", "simulated FPGAs (1 or 2)");
-  args.add_option("evalue", "1e-3", "E-value cutoff");
+  args.add_flag("output-binary",
+                "write the versioned match encoding to stdout instead of "
+                "text (diffable against psc_client --output-binary)");
   args.add_flag("mask", "mask low-complexity query regions (SEG-style)");
-  args.add_flag("composition", "composition-based E-value statistics");
+  // The shared flag surface (core/cli_options.hpp): psc_serve and the
+  // benches register these same spellings.
+  core::PipelineOptions defaults;
+  defaults.backend = core::Step2Backend::kRasc;
+  core::add_pipeline_options(args, defaults);
+  core::add_matrix_option(args);
   if (!args.parse(argc, argv)) return 1;
 
   const std::string mode = args.get("mode");
   const std::string format = args.get("format");
+  const bool output_binary = args.get_flag("output-binary");
 
   core::PipelineOptions options;
-  {
-    const auto threads = args.get_int("threads");
-    if (threads < 0) {
-      std::fprintf(stderr, "--threads must be >= 0\n");
-      return 1;
-    }
-    options.set_threads(static_cast<std::size_t>(threads));
-  }
-  options.e_value_cutoff = args.get_double("evalue");
-  options.with_traceback = format != "gff3";
-  options.composition_based_stats = args.get_flag("composition");
-  const std::string backend = args.get("backend");
-  if (backend == "rasc") {
-    options.backend = core::Step2Backend::kRasc;
-    options.rasc.psc.num_pes = static_cast<std::size_t>(args.get_int("pes"));
-    options.rasc.num_fpgas = static_cast<std::size_t>(args.get_int("fpgas"));
-  } else if (backend == "host") {
-    options.backend = core::Step2Backend::kHostSequential;
-  } else if (backend == "host-parallel") {
-    options.backend = core::Step2Backend::kHostParallel;
-  } else {
-    std::fprintf(stderr, "unknown backend '%s'\n", backend.c_str());
-    return 1;
-  }
-  try {
-    options.step2_kernel = core::parse_step2_kernel(args.get("step2-kernel"));
-  } catch (const std::invalid_argument&) {
-    std::fprintf(stderr, "unknown step2 kernel '%s'\n",
-                 args.get("step2-kernel").c_str());
-    return 1;
-  }
+  if (!core::parse_pipeline_options(args, options)) return 1;
+  bio::SubstitutionMatrix matrix;
+  if (!core::parse_matrix_option(args, matrix)) return 1;
+  options.with_traceback = output_binary || format != "gff3";
 
   // Prebuilt-subject flow: the index-once / query-many path. The store
   // remembers which seed model built the index, so the search configures
@@ -146,7 +121,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--subject-index requires --query\n");
       return 1;
     }
-    if (format == "gff3") {
+    if (!output_binary && format == "gff3") {
       std::fprintf(stderr,
                    "gff3 output needs genome coordinates; a prebuilt index "
                    "stores translated fragments (use tabular/pairwise)\n");
@@ -175,9 +150,13 @@ int main(int argc, char** argv) {
                    prefix.c_str(), subject.size(),
                    loaded.table.total_occurrences(), model.name().c_str());
 
-      const core::PipelineResult pipeline =
-          core::run_pipeline_with_index(query, subject, loaded.table, options);
-      if (format == "tabular") {
+      const core::PipelineResult pipeline = core::run_pipeline_with_index(
+          query, subject, loaded.table, options, matrix);
+      if (output_binary) {
+        const std::vector<std::uint8_t> bytes =
+            core::encode_matches(pipeline.matches);
+        std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+      } else if (format == "tabular") {
         std::ostringstream out;
         core::write_tabular(out, pipeline.matches, query, subject);
         std::fputs(out.str().c_str(), stdout);
@@ -253,13 +232,13 @@ int main(int argc, char** argv) {
   // Run the requested mode.
   core::ModeResult result;
   if (mode == "tblastn") {
-    result = core::tblastn(query_proteins, subject_dna, options);
+    result = core::tblastn(query_proteins, subject_dna, options, matrix);
   } else if (mode == "blastp") {
-    result = core::blastp(query_proteins, subject_proteins, options);
+    result = core::blastp(query_proteins, subject_proteins, options, matrix);
   } else if (mode == "blastx") {
-    result = core::blastx(query_dna, subject_proteins, options);
+    result = core::blastx(query_dna, subject_proteins, options, matrix);
   } else if (mode == "tblastx") {
-    result = core::tblastx(query_dna, subject_dna, options);
+    result = core::tblastx(query_dna, subject_dna, options, matrix);
   } else {
     std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
     return 1;
@@ -276,7 +255,11 @@ int main(int argc, char** argv) {
           ? bio::frames_to_bank(bio::translate_six_frames(subject_dna))
           : std::move(subject_proteins);
 
-  if (format == "tabular") {
+  if (output_binary) {
+    const std::vector<std::uint8_t> bytes =
+        core::encode_matches(result.pipeline.matches);
+    std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+  } else if (format == "tabular") {
     std::ostringstream out;
     core::write_tabular(out, result.pipeline.matches, bank0, bank1);
     std::fputs(out.str().c_str(), stdout);

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure + build + full ctest, then rebuild the
-# align kernels plus the store/service layers under ASan/UBSan
+# Tier-1 verification: configure + build + full ctest + the loopback
+# integration check (psc_serve/psc_client round-trip), then rebuild the
+# align kernels plus the store/service/net layers under ASan/UBSan
 # (PSC_ENABLE_SANITIZERS) and rerun their tests, so the SIMD kernel's
-# lane loads/stores and the mmap-backed index views (including the
-# corrupted-file rejection paths) are memory-checked.
+# lane loads/stores, the mmap-backed index views (including the
+# corrupted-file rejection paths), and the wire-frame parsers (including
+# the malformed-frame rejection paths) are memory-checked.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -15,16 +17,19 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
-echo "== sanitizers: align/core/store/service tests under ASan/UBSan =="
+echo "== tier 1: loopback integration check =="
+scripts/loopback_check.sh build
+
+echo "== sanitizers: align/core/store/service/net tests under ASan/UBSan =="
 cmake -B build-asan -S . \
   -DPSC_ENABLE_SANITIZERS=ON \
   -DPSC_BUILD_BENCH=OFF \
   -DPSC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$jobs" --target align_test core_test \
-  store_test service_test
+  store_test service_test net_test
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure \
-  -R '^(align|core|store|service)_test$'
+  -R '^(align|core|store|service|net)_test$'
 
 echo "== sanitizers: executor/overlap/service tests under TSan =="
 cmake -B build-tsan -S . \

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Loopback integration check: start psc_serve over a prebuilt store, run
+# psc_client queries against it, and require the remote reply to be
+# bit-for-bit identical to an in-process psc_search over the same store
+# (both sides emit the versioned match encoding via --output-binary, so
+# `cmp` is the whole comparison). Then fire concurrent clients and
+# require coalescing to be visible in the stats frame
+# (batches < queries_completed).
+#
+# Usage: scripts/loopback_check.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+build=${1:-build}
+
+index="$build/tools/psc_index"
+serve="$build/tools/psc_serve"
+client="$build/tools/psc_client"
+search="$build/examples/psc_search"
+for binary in "$index" "$serve" "$client" "$search"; do
+  if [[ ! -x $binary ]]; then
+    echo "loopback_check: missing $binary (build the default targets first)" >&2
+    exit 1
+  fi
+done
+
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [[ -n $server_pid ]] && kill "$server_pid" 2>/dev/null || true
+  [[ -n $server_pid ]] && wait "$server_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# --- a tiny bank + queries (deterministic, checked-in inline) -----------
+cat > "$work/bank.fa" <<'EOF'
+>ref0
+MKVLITGAGSGIGLELAKQFAREGYKVAVTDINEEKLQELKEELGDNVIGIVGDVSSEED
+VKRAVAEAVERFGRIDVLVNNAGITRDNLLMRMKEEEWDDVIDTNLKGVFNCTQAVSRIM
+>ref1
+MSTNPKPQRKTKRNTNRRPQDVKFPGGGQIVGGVYLLPRRGPRLGVRATRKTSERSQPRG
+RRQPIPKARRPEGRTWAQPGYPWPLYGNEGCGWAGWLLSPRGSRPSWGPTDPRRRSRNLG
+>ref2
+MAHHHHHHMGTLEAQTQGPGSMSDKIIHLTDDSFDTDVLKADGAILVDFWAEWCGPCKMI
+APILDEIADEYQGKLTVAKLNIDQNPGTAPKYGIRGIPTLLLFKNGEVAATKVGALSKGQ
+EOF
+
+cat > "$work/queries.fa" <<'EOF'
+>q0_ref0_like
+MKVLITGAGSGIGLELAKQFAREGYKVAVTDINEEKLQELKEELGDNVIGIVGDVSSEED
+>q1_ref2_like
+APILDEIADEYQGKLTVAKLNIDQNPGTAPKYGIRGIPTLLLFKNGEVAATKVGALSKGQ
+>q2_random
+QWERTYIPASDFGHKLCVNMQWERTYIPASDFGHKLCVNMQWERTYIPASDFGHKLCVNM
+EOF
+
+echo "== loopback: building the store =="
+"$index" --input="$work/bank.fa" --kind=protein --out="$work/bank"
+
+echo "== loopback: in-process reference (psc_search --output-binary) =="
+"$search" --subject-index="$work/bank" --query="$work/queries.fa" \
+  --backend=host-parallel --output-binary > "$work/reference.bin"
+
+echo "== loopback: starting psc_serve =="
+"$serve" --bank-root="$work" --port=0 --port-file="$work/port.txt" \
+  --backend=host-parallel &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s $work/port.txt ]] && break
+  sleep 0.1
+done
+[[ -s $work/port.txt ]] || { echo "server never wrote its port" >&2; exit 1; }
+port=$(cat "$work/port.txt")
+
+"$client" --port="$port" --ping
+
+echo "== loopback: remote query must be bit-identical =="
+"$client" --port="$port" --bank=bank --query="$work/queries.fa" \
+  --output-binary > "$work/remote.bin"
+cmp "$work/reference.bin" "$work/remote.bin"
+echo "   bit-for-bit OK ($(wc -c < "$work/remote.bin") bytes)"
+
+echo "== loopback: concurrent clients must coalesce =="
+coalesced=0
+for round in 1 2 3 4 5; do
+  pids=()
+  for i in 1 2 3 4; do
+    "$client" --port="$port" --bank=bank --query="$work/queries.fa" \
+      --output-binary > "$work/concurrent_$i.bin" 2>/dev/null &
+    pids+=($!)
+  done
+  for pid in "${pids[@]}"; do wait "$pid"; done
+  for i in 1 2 3 4; do cmp "$work/reference.bin" "$work/concurrent_$i.bin"; done
+  batches=$("$client" --port="$port" --stats | sed -n 's/^batches=//p')
+  completed=$("$client" --port="$port" --stats | sed -n 's/^queries_completed=//p')
+  if [[ $batches -lt $completed ]]; then
+    coalesced=1
+    echo "   round $round: $completed queries in $batches batches"
+    break
+  fi
+done
+if [[ $coalesced -ne 1 ]]; then
+  echo "loopback_check: concurrent clients never coalesced" >&2
+  exit 1
+fi
+
+echo "== loopback: typed errors on the wire =="
+if "$client" --port="$port" --bank=no_such_bank --query="$work/queries.fa" \
+    > /dev/null 2> "$work/err.txt"; then
+  echo "loopback_check: expected a bank-not-found failure" >&2
+  exit 1
+fi
+grep -q "bank-not-found" "$work/err.txt"
+
+echo "== loopback check passed =="

@@ -1,0 +1,96 @@
+#include "core/result_codec.hpp"
+
+namespace psc::core {
+
+namespace {
+
+/// Bytes of one match record with an empty ops vector: the divisor for
+/// the count-versus-remaining-bytes sanity check (a crafted count cannot
+/// reserve more memory than the buffer could possibly describe).
+constexpr std::uint64_t kMinMatchBytes = 3 * sizeof(std::uint32_t) +
+                                         4 * sizeof(std::uint64_t) +
+                                         2 * sizeof(std::uint64_t) +
+                                         sizeof(std::uint64_t);
+
+}  // namespace
+
+void append_matches(std::vector<std::uint8_t>& out,
+                    std::span<const Match> matches) {
+  codec::put_u32(out, kMatchCodecVersion);
+  codec::put_u32(out, 0);
+  codec::put_u64(out, matches.size());
+  for (const Match& match : matches) {
+    codec::put_u32(out, match.bank0_sequence);
+    codec::put_u32(out, match.bank1_sequence);
+    codec::put_i32(out, match.alignment.score);
+    codec::put_u64(out, match.alignment.begin0);
+    codec::put_u64(out, match.alignment.end0);
+    codec::put_u64(out, match.alignment.begin1);
+    codec::put_u64(out, match.alignment.end1);
+    codec::put_f64(out, match.bit_score);
+    codec::put_f64(out, match.e_value);
+    codec::put_u64(out, match.alignment.ops.size());
+    for (const align::Op op : match.alignment.ops) {
+      out.push_back(static_cast<std::uint8_t>(op));
+    }
+  }
+}
+
+std::vector<std::uint8_t> encode_matches(std::span<const Match> matches) {
+  std::vector<std::uint8_t> out;
+  append_matches(out, matches);
+  return out;
+}
+
+std::vector<Match> decode_matches(codec::Reader& reader) {
+  const std::uint32_t version = reader.u32("match section version");
+  if (version != kMatchCodecVersion) {
+    throw CodecError("codec: unsupported match section version " +
+                     std::to_string(version));
+  }
+  reader.u32("match section reserved word");
+  const std::uint64_t count = reader.u64("match count");
+  // Each record needs at least kMinMatchBytes more bytes; a count beyond
+  // that is structurally impossible, reject before any allocation.
+  if (count > reader.remaining() / kMinMatchBytes) {
+    throw CodecError("codec: match count exceeds payload size");
+  }
+  std::vector<Match> matches;
+  matches.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Match match;
+    match.bank0_sequence = reader.u32("match bank0 sequence");
+    match.bank1_sequence = reader.u32("match bank1 sequence");
+    match.alignment.score = reader.i32("match score");
+    match.alignment.begin0 =
+        static_cast<std::size_t>(reader.u64("match begin0"));
+    match.alignment.end0 = static_cast<std::size_t>(reader.u64("match end0"));
+    match.alignment.begin1 =
+        static_cast<std::size_t>(reader.u64("match begin1"));
+    match.alignment.end1 = static_cast<std::size_t>(reader.u64("match end1"));
+    match.bit_score = reader.f64("match bit score");
+    match.e_value = reader.f64("match e-value");
+    const std::uint64_t ops_count = reader.u64("match ops count");
+    const auto ops_bytes = reader.bytes(ops_count, "match ops");
+    match.alignment.ops.reserve(static_cast<std::size_t>(ops_count));
+    for (const std::uint8_t code : ops_bytes) {
+      if (code > static_cast<std::uint8_t>(align::Op::kInsert1)) {
+        throw CodecError("codec: match op byte out of range");
+      }
+      match.alignment.ops.push_back(static_cast<align::Op>(code));
+    }
+    matches.push_back(std::move(match));
+  }
+  return matches;
+}
+
+std::vector<Match> decode_matches(std::span<const std::uint8_t> data) {
+  codec::Reader reader(data);
+  std::vector<Match> matches = decode_matches(reader);
+  if (!reader.done()) {
+    throw CodecError("codec: trailing bytes after match section");
+  }
+  return matches;
+}
+
+}  // namespace psc::core

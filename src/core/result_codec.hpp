@@ -1,0 +1,151 @@
+// Stable binary serialization of pipeline results (core::Match), in the
+// store's style: a versioned little-endian layout whose reader bounds-
+// checks every length and count against the bytes actually present
+// before trusting it (see store/index_store.cpp for the pattern). The
+// encoding is the payload of the network front-end's SearchResult frame
+// and of `psc_search --output-binary`, so a wire reply and a local run
+// over the same store can be compared bit-for-bit.
+//
+// Match section layout (all integers little-endian):
+//   u32 codec version (kMatchCodecVersion)
+//   u32 reserved (0)
+//   u64 match count
+//   per match:
+//     u32 bank0_sequence | u32 bank1_sequence | i32 alignment score
+//     u64 begin0 | u64 end0 | u64 begin1 | u64 end1
+//     f64 bit_score | f64 e_value
+//     u64 ops count | ops bytes (one per edit op, values 0..2)
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+
+namespace psc::core {
+
+/// Match-section format version; bump on any layout change. Decoders
+/// reject other versions rather than guessing.
+inline constexpr std::uint32_t kMatchCodecVersion = 1;
+
+/// Thrown by every decoder in the codec family (matches, query results,
+/// wire payloads) when the input cannot be a valid encoding: truncation,
+/// counts that do not fit the remaining bytes, version skew, out-of-range
+/// enum values.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+namespace codec {
+
+inline void put_bytes(std::vector<std::uint8_t>& out, const void* data,
+                      std::size_t size) {
+  if (size == 0) return;
+  const std::size_t old_size = out.size();
+  out.resize(old_size + size);
+  std::memcpy(out.data() + old_size, data, size);
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  put_bytes(out, &value, sizeof(value));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  put_bytes(out, &value, sizeof(value));
+}
+
+inline void put_i32(std::vector<std::uint8_t>& out, std::int32_t value) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  put_u32(out, bits);
+}
+
+inline void put_f64(std::vector<std::uint8_t>& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// Bounds-checked cursor over an encoded buffer: every read states how
+/// many bytes it needs and throws CodecError instead of walking past the
+/// end, so a truncated or hostile input can never read out of bounds.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - cursor_; }
+  bool done() const { return cursor_ == data_.size(); }
+
+  std::uint32_t u32(const char* what) {
+    std::uint32_t value = 0;
+    copy(&value, sizeof(value), what);
+    return value;
+  }
+
+  std::uint64_t u64(const char* what) {
+    std::uint64_t value = 0;
+    copy(&value, sizeof(value), what);
+    return value;
+  }
+
+  std::int32_t i32(const char* what) {
+    const std::uint32_t bits = u32(what);
+    std::int32_t value = 0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  double f64(const char* what) {
+    const std::uint64_t bits = u64(what);
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  std::span<const std::uint8_t> bytes(std::uint64_t size, const char* what) {
+    if (size > remaining()) {
+      throw CodecError(std::string("codec: truncated ") + what);
+    }
+    const auto view = data_.subspan(cursor_, static_cast<std::size_t>(size));
+    cursor_ += static_cast<std::size_t>(size);
+    return view;
+  }
+
+ private:
+  void copy(void* into, std::size_t size, const char* what) {
+    if (size > remaining()) {
+      throw CodecError(std::string("codec: truncated ") + what);
+    }
+    std::memcpy(into, data_.data() + cursor_, size);
+    cursor_ += size;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace codec
+
+/// Appends the versioned match section for `matches` to `out`.
+void append_matches(std::vector<std::uint8_t>& out,
+                    std::span<const Match> matches);
+
+/// The match section alone, as a fresh buffer.
+std::vector<std::uint8_t> encode_matches(std::span<const Match> matches);
+
+/// Decodes one match section starting at `reader`'s cursor, leaving the
+/// cursor just past it (so a containing format can embed the section).
+/// Throws CodecError on any malformed input.
+std::vector<Match> decode_matches(codec::Reader& reader);
+
+/// Whole-buffer convenience: decodes one match section and rejects
+/// trailing bytes.
+std::vector<Match> decode_matches(std::span<const std::uint8_t> data);
+
+}  // namespace psc::core

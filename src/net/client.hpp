@@ -1,0 +1,63 @@
+// psc::net::Client -- a small blocking client for the psc wire protocol
+// (net/wire.hpp). One connection, one request/response at a time; wire
+// Error frames come back as thrown WireError, so callers branch on
+// WireErrorCode instead of parsing message strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "service/api.hpp"
+
+namespace psc::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Receive limit for frames the *server* sends us.
+  std::uint64_t max_payload_bytes = 256ull << 20;
+  /// Socket-level send/receive timeout; 0 disables (block forever).
+  double timeout_seconds = 0.0;
+};
+
+class Client {
+ public:
+  /// Connects immediately. Throws std::system_error when the server is
+  /// unreachable.
+  explicit Client(ClientConfig config);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Round-trips a Ping. Throws on protocol violation or disconnect.
+  void ping();
+
+  /// Fetches the service counters snapshot.
+  service::ServiceStats stats();
+
+  /// Runs a search: the query travels as FASTA text, the reply is the
+  /// same QueryResult an in-process submit() yields. Throws WireError
+  /// with the server's code (kBankNotFound, kBadRequest, ...) when the
+  /// server answers with an Error frame.
+  service::QueryResult search(const std::string& bank_prefix,
+                              const std::string& query_fasta,
+                              const service::QueryOptions& options = {});
+
+ private:
+  /// Sends `request` and blocks for one frame. An Error frame throws
+  /// WireError; a frame of any type other than `expected` throws
+  /// WireError(kBadFrame).
+  Frame round_trip(const std::vector<std::uint8_t>& request,
+                   MessageType expected);
+  void send_all(const std::vector<std::uint8_t>& bytes);
+  Frame read_frame();
+
+  ClientConfig config_;
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace psc::net

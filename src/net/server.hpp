@@ -1,0 +1,91 @@
+// psc::net::Server -- the network front-end over SearchService. A small
+// poll(2) loop on one thread accepts loopback/TCP connections, assembles
+// frames (net/wire.hpp), and forwards Search requests straight into the
+// service's submission queue; because every remote query goes through
+// the same queue as in-process ones, cross-client coalescing falls out
+// for free: two clients querying the same bank while a pass runs share
+// the next pass (visible as batches < queries in the Stats frame).
+//
+// Per-connection limits guard the wire boundary: a receive payload cap,
+// an in-flight request cap, and a read timeout for stalled mid-frame
+// peers. Anything a client can mis-send is answered with a typed Error
+// frame (or a clean close when the stream cannot be resynchronized) --
+// exceptions never cross the wire boundary and never kill the loop.
+//
+// Responses are delivered strictly in request order per connection, so a
+// client may pipeline requests and pair replies by position.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "net/wire.hpp"
+#include "service/search_service.hpp"
+
+namespace psc::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the result back with port().
+  std::uint16_t port = 0;
+  /// Search bank prefixes resolve under this directory; requests cannot
+  /// escape it (absolute prefixes and ".." components are rejected).
+  std::string bank_root = ".";
+  /// Receive limit per frame; a client declaring more gets
+  /// kPayloadTooLarge and the connection closes.
+  std::uint64_t max_payload_bytes = 64ull << 20;
+  /// Searches a connection may have submitted-but-unanswered; beyond it
+  /// each extra Search is answered with kTooManyInFlight (connection
+  /// stays usable).
+  std::size_t max_in_flight = 32;
+  /// How long a peer may sit mid-frame before the server answers
+  /// kTimeout and closes.
+  double read_timeout_seconds = 30.0;
+  /// Accepted sockets beyond this are closed immediately.
+  std::size_t max_connections = 64;
+};
+
+class Server {
+ public:
+  /// The service must outlive the server.
+  Server(service::SearchService& service, ServerConfig config = {});
+  ~Server();  ///< stop()s if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the loop thread. Throws
+  /// std::system_error on socket/bind/listen failure.
+  void start();
+
+  /// Closes the listener and every connection, then joins the loop.
+  /// In-flight searches keep running inside the service (its own
+  /// destructor drains them); their replies are discarded. Idempotent.
+  void stop();
+
+  /// The bound port (useful with config.port == 0). Valid after start().
+  std::uint16_t port() const { return port_; }
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Connection;
+
+  void loop();
+  void handle_frame(Connection& connection, const Frame& frame);
+  void append_frame(Connection& connection, std::vector<std::uint8_t> frame);
+  bool drain_ready(Connection& connection);
+  bool flush(Connection& connection);
+
+  service::SearchService* service_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace psc::net

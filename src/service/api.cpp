@@ -1,0 +1,111 @@
+#include "service/api.hpp"
+
+namespace psc::service {
+
+namespace {
+
+// QueryResult header flag bits.
+constexpr std::uint32_t kFlagBankWasResident = 1u << 0;
+
+}  // namespace
+
+std::uint64_t QueryOptions::fingerprint() const noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &e_value_cutoff, sizeof(e_value_cutoff));
+  // The cutoff occupies the full word; fold the flag bits in with a
+  // multiply-xor so (cutoff, flags) pairs stay distinct.
+  std::uint64_t flags = 0;
+  if (with_traceback) flags |= 1u;
+  if (composition_based_stats) flags |= 2u;
+  return (bits * 0x9e3779b97f4a7c15ull) ^ flags;
+}
+
+void append_query_result(std::vector<std::uint8_t>& out,
+                         const QueryResult& result) {
+  core::codec::put_u32(out, kQueryResultCodecVersion);
+  std::uint32_t flags = 0;
+  if (result.bank_was_resident) flags |= kFlagBankWasResident;
+  core::codec::put_u32(out, flags);
+  core::codec::put_u64(out, result.batch_size);
+  core::codec::put_f64(out, result.latency_seconds);
+  core::append_matches(out, result.matches);
+}
+
+std::vector<std::uint8_t> encode_query_result(const QueryResult& result) {
+  std::vector<std::uint8_t> out;
+  append_query_result(out, result);
+  return out;
+}
+
+QueryResult decode_query_result(std::span<const std::uint8_t> data) {
+  core::codec::Reader reader(data);
+  const std::uint32_t version = reader.u32("query result version");
+  if (version != kQueryResultCodecVersion) {
+    throw core::CodecError("codec: unsupported query result version " +
+                           std::to_string(version));
+  }
+  const std::uint32_t flags = reader.u32("query result flags");
+  QueryResult result;
+  result.bank_was_resident = (flags & kFlagBankWasResident) != 0;
+  result.batch_size =
+      static_cast<std::size_t>(reader.u64("query result batch size"));
+  result.latency_seconds = reader.f64("query result latency");
+  result.matches = core::decode_matches(reader);
+  if (!reader.done()) {
+    throw core::CodecError("codec: trailing bytes after query result");
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> encode_service_stats(const ServiceStats& stats) {
+  std::vector<std::uint8_t> out;
+  core::codec::put_u32(out, kServiceStatsCodecVersion);
+  core::codec::put_u32(out, 0);
+  core::codec::put_u64(out, stats.queries_submitted);
+  core::codec::put_u64(out, stats.queries_completed);
+  core::codec::put_u64(out, stats.queries_failed);
+  core::codec::put_u64(out, stats.batches);
+  core::codec::put_u64(out, stats.cache_hits);
+  core::codec::put_u64(out, stats.cache_misses);
+  core::codec::put_u64(out, stats.evictions);
+  core::codec::put_u64(out, stats.max_batch);
+  core::codec::put_f64(out, stats.total_latency_seconds);
+  core::codec::put_f64(out, stats.total_batch_latency_seconds);
+  core::codec::put_f64(out, stats.max_batch_latency_seconds);
+  core::codec::put_f64(out, stats.mean_batch_latency_seconds);
+  core::codec::put_u64(out, stats.queue_depth);
+  core::codec::put_u64(out, stats.resident_banks);
+  return out;
+}
+
+ServiceStats decode_service_stats(std::span<const std::uint8_t> data) {
+  core::codec::Reader reader(data);
+  const std::uint32_t version = reader.u32("service stats version");
+  if (version != kServiceStatsCodecVersion) {
+    throw core::CodecError("codec: unsupported service stats version " +
+                           std::to_string(version));
+  }
+  reader.u32("service stats reserved word");
+  ServiceStats stats;
+  stats.queries_submitted = reader.u64("queries submitted");
+  stats.queries_completed = reader.u64("queries completed");
+  stats.queries_failed = reader.u64("queries failed");
+  stats.batches = reader.u64("batches");
+  stats.cache_hits = reader.u64("cache hits");
+  stats.cache_misses = reader.u64("cache misses");
+  stats.evictions = reader.u64("evictions");
+  stats.max_batch = static_cast<std::size_t>(reader.u64("max batch"));
+  stats.total_latency_seconds = reader.f64("total latency");
+  stats.total_batch_latency_seconds = reader.f64("total batch latency");
+  stats.max_batch_latency_seconds = reader.f64("max batch latency");
+  stats.mean_batch_latency_seconds = reader.f64("mean batch latency");
+  stats.queue_depth = static_cast<std::size_t>(reader.u64("queue depth"));
+  stats.resident_banks =
+      static_cast<std::size_t>(reader.u64("resident banks"));
+  if (!reader.done()) {
+    throw core::CodecError("codec: trailing bytes after service stats");
+  }
+  return stats;
+}
+
+}  // namespace psc::service

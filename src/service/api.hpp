@@ -1,0 +1,105 @@
+// The service-facing API: one ServiceRequest/ServiceResponse pair shared
+// by every caller of SearchService -- in-process code submits the structs
+// directly, the network front-end (src/net/) decodes its Search frame
+// into the same ServiceRequest and encodes the same ServiceResponse back
+// out. Keeping the pair here (not in net/) is what guarantees a remote
+// query and a local one take the identical path through the service, so
+// cross-client coalescing and the stats counters mean the same thing for
+// both.
+//
+// The codecs follow the store's hardened-reader discipline (versioned
+// layouts, every count bounds-checked before use); see core/result_codec
+// for the shared primitives and the match section they embed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "core/result_codec.hpp"
+
+namespace psc::service {
+
+/// QueryResult wire-format version; bump on layout change.
+inline constexpr std::uint32_t kQueryResultCodecVersion = 1;
+/// ServiceStats wire-format version; bump on layout change.
+inline constexpr std::uint32_t kServiceStatsCodecVersion = 1;
+
+/// The per-request option subset a caller may vary without reconfiguring
+/// the service. Requests only coalesce into one shared pass when their
+/// options agree (the pass is executed once for the whole group), so the
+/// worker groups by (bank prefix, options fingerprint).
+struct QueryOptions {
+  double e_value_cutoff = 1e-3;
+  bool with_traceback = false;
+  bool composition_based_stats = false;
+
+  /// Stable grouping key over every field; equal options always have
+  /// equal fingerprints and the field space is small enough that the
+  /// reverse holds too (bit-packed, not hashed).
+  std::uint64_t fingerprint() const noexcept;
+};
+
+/// One unit of service work: a protein query bank aimed at the bank
+/// stored under `bank_prefix` (<prefix>.pscbank + <prefix>.pscidx).
+struct ServiceRequest {
+  bio::SequenceBank query{bio::SequenceKind::kProtein};
+  std::string bank_prefix;
+  QueryOptions options;
+};
+
+/// What one submitted query bank gets back.
+struct QueryResult {
+  /// Matches with bank0_sequence remapped to indices into the *submitted*
+  /// query bank (the coalesced pass's combined numbering never leaks).
+  std::vector<core::Match> matches;
+  double latency_seconds = 0.0;    ///< submit() to completion
+  std::size_t batch_size = 0;      ///< queries sharing this pass
+  bool bank_was_resident = false;  ///< target served from the LRU cache
+};
+
+/// The response side of the pair. A search either yields a QueryResult or
+/// an exception on the future; the wire boundary translates the latter
+/// into typed error frames (net/wire.hpp).
+using ServiceResponse = QueryResult;
+
+/// Monotonic service-level counters plus snapshot-time gauges. This
+/// struct *is* the payload of the network Stats frame, field for field
+/// (encode_service_stats/decode_service_stats), so a remote client sees
+/// exactly what SearchService::snapshot() returns.
+struct ServiceStats {
+  std::uint64_t queries_submitted = 0;
+  std::uint64_t queries_completed = 0;
+  std::uint64_t queries_failed = 0;
+  std::uint64_t batches = 0;           ///< shared passes executed
+  std::uint64_t cache_hits = 0;        ///< batches served from residents
+  std::uint64_t cache_misses = 0;      ///< batches that loaded from disk
+  std::uint64_t evictions = 0;         ///< residents dropped by LRU
+  std::size_t max_batch = 0;           ///< largest coalesced batch
+  double total_latency_seconds = 0.0;  ///< sum over completed queries
+  /// Per-batch latency (enqueue of the batch's earliest member to batch
+  /// completion): the quantities a client needs to judge service health
+  /// without bookkeeping every reply itself.
+  double total_batch_latency_seconds = 0.0;  ///< sum over batches
+  double max_batch_latency_seconds = 0.0;    ///< slowest batch so far
+  double mean_batch_latency_seconds = 0.0;   ///< filled at snapshot time
+  std::size_t queue_depth = 0;         ///< pending requests right now
+  std::size_t resident_banks = 0;      ///< cache occupancy right now
+};
+
+/// Appends the versioned QueryResult encoding (header fields followed by
+/// the embedded match section) to `out`.
+void append_query_result(std::vector<std::uint8_t>& out,
+                         const QueryResult& result);
+std::vector<std::uint8_t> encode_query_result(const QueryResult& result);
+
+/// Decodes a whole-buffer QueryResult; throws core::CodecError on
+/// truncation, version skew or trailing bytes.
+QueryResult decode_query_result(std::span<const std::uint8_t> data);
+
+std::vector<std::uint8_t> encode_service_stats(const ServiceStats& stats);
+ServiceStats decode_service_stats(std::span<const std::uint8_t> data);
+
+}  // namespace psc::service

@@ -43,40 +43,55 @@ std::string SearchService::cache_key(const std::string& prefix) const {
   return prefix + "|" + model_.name();
 }
 
-std::future<QueryResult> SearchService::submit(bio::SequenceBank query,
-                                               std::string bank_prefix) {
-  if (query.kind() != bio::SequenceKind::kProtein) {
+QueryOptions SearchService::default_query_options() const {
+  QueryOptions options;
+  options.e_value_cutoff = config_.options.e_value_cutoff;
+  options.with_traceback = config_.options.with_traceback;
+  options.composition_based_stats = config_.options.composition_based_stats;
+  return options;
+}
+
+std::future<ServiceResponse> SearchService::submit(ServiceRequest request) {
+  if (request.query.kind() != bio::SequenceKind::kProtein) {
     throw std::invalid_argument(
         "SearchService::submit: query bank must be protein "
         "(translate DNA before submitting)");
   }
-  Request request;
-  request.query = std::move(query);
-  request.prefix = std::move(bank_prefix);
-  request.enqueued = std::chrono::steady_clock::now();
-  std::future<QueryResult> future = request.promise.get_future();
+  Request queued;
+  queued.request = std::move(request);
+  queued.enqueued = std::chrono::steady_clock::now();
+  std::future<ServiceResponse> future = queued.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stop_) {
       throw std::runtime_error("SearchService::submit: service is stopping");
     }
-    queue_.push_back(std::move(request));
+    queue_.push_back(std::move(queued));
     ++stats_.queries_submitted;
   }
   cv_.notify_one();
   return future;
 }
 
-std::vector<std::future<QueryResult>> SearchService::submit_batch(
-    std::vector<bio::SequenceBank> queries, const std::string& bank_prefix) {
-  for (const bio::SequenceBank& query : queries) {
-    if (query.kind() != bio::SequenceKind::kProtein) {
+std::future<ServiceResponse> SearchService::submit(bio::SequenceBank query,
+                                                   std::string bank_prefix) {
+  ServiceRequest request;
+  request.query = std::move(query);
+  request.bank_prefix = std::move(bank_prefix);
+  request.options = default_query_options();
+  return submit(std::move(request));
+}
+
+std::vector<std::future<ServiceResponse>> SearchService::submit_batch(
+    std::vector<ServiceRequest> requests) {
+  for (const ServiceRequest& request : requests) {
+    if (request.query.kind() != bio::SequenceKind::kProtein) {
       throw std::invalid_argument(
           "SearchService::submit_batch: query banks must be protein");
     }
   }
-  std::vector<std::future<QueryResult>> futures;
-  futures.reserve(queries.size());
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(requests.size());
   const auto now = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -84,13 +99,12 @@ std::vector<std::future<QueryResult>> SearchService::submit_batch(
       throw std::runtime_error(
           "SearchService::submit_batch: service is stopping");
     }
-    for (bio::SequenceBank& query : queries) {
-      Request request;
-      request.query = std::move(query);
-      request.prefix = bank_prefix;
-      request.enqueued = now;
-      futures.push_back(request.promise.get_future());
-      queue_.push_back(std::move(request));
+    for (ServiceRequest& request : requests) {
+      Request queued;
+      queued.request = std::move(request);
+      queued.enqueued = now;
+      futures.push_back(queued.promise.get_future());
+      queue_.push_back(std::move(queued));
       ++stats_.queries_submitted;
     }
   }
@@ -98,17 +112,38 @@ std::vector<std::future<QueryResult>> SearchService::submit_batch(
   return futures;
 }
 
+std::vector<std::future<ServiceResponse>> SearchService::submit_batch(
+    std::vector<bio::SequenceBank> queries, const std::string& bank_prefix) {
+  std::vector<ServiceRequest> requests;
+  requests.reserve(queries.size());
+  for (bio::SequenceBank& query : queries) {
+    ServiceRequest request;
+    request.query = std::move(query);
+    request.bank_prefix = bank_prefix;
+    request.options = default_query_options();
+    requests.push_back(std::move(request));
+  }
+  return submit_batch(std::move(requests));
+}
+
 QueryResult SearchService::search(bio::SequenceBank query,
                                   const std::string& bank_prefix) {
   return submit(std::move(query), bank_prefix).get();
 }
 
-ServiceStats SearchService::stats() const {
+ServiceStats SearchService::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   ServiceStats snapshot = stats_;
   snapshot.queue_depth = queue_.size();
+  snapshot.mean_batch_latency_seconds =
+      snapshot.batches > 0
+          ? snapshot.total_batch_latency_seconds /
+                static_cast<double>(snapshot.batches)
+          : 0.0;
   return snapshot;
 }
+
+ServiceStats SearchService::stats() const { return snapshot(); }
 
 void SearchService::worker_loop() {
   for (;;) {
@@ -127,13 +162,18 @@ void SearchService::worker_loop() {
       queue_.clear();
     }
 
-    // Group by target bank, preserving submission order within a group.
-    std::map<std::string, std::vector<Request*>> groups;
+    // Group by (target bank, per-query options) -- a pass runs under one
+    // option set, so only requests that agree may share it. Submission
+    // order is preserved within a group.
+    std::map<std::pair<std::string, std::uint64_t>, std::vector<Request*>>
+        groups;
     for (Request& request : batch) {
-      groups[request.prefix].push_back(&request);
+      groups[{request.request.bank_prefix,
+              request.request.options.fingerprint()}]
+          .push_back(&request);
     }
-    for (auto& [prefix, group] : groups) {
-      process_group(prefix, group);
+    for (auto& [key, group] : groups) {
+      process_group(key.first, group.front()->request.options, group);
     }
   }
 }
@@ -174,6 +214,7 @@ std::shared_ptr<SearchService::Resident> SearchService::acquire(
 }
 
 void SearchService::process_group(const std::string& prefix,
+                                  const QueryOptions& options,
                                   std::vector<Request*>& group) {
   // Stats are published before any promise is fulfilled, so a caller
   // waking from future.get() always observes counters that include its
@@ -201,6 +242,7 @@ void SearchService::process_group(const std::string& prefix,
   // worker_loop into std::terminate with the promises forever
   // unfulfilled, so it all routes to fail_all instead.
   double latency_sum = 0.0;
+  double batch_latency = 0.0;
   std::vector<QueryResult> replies;
   try {
     // One combined query bank; each request owns a contiguous index
@@ -211,14 +253,21 @@ void SearchService::process_group(const std::string& prefix,
     ranges.reserve(group.size());
     for (const Request* request : group) {
       const std::size_t base = combined.size();
-      for (const bio::Sequence& sequence : request->query) {
+      for (const bio::Sequence& sequence : request->request.query) {
         combined.add(sequence);
       }
-      ranges.emplace_back(base, request->query.size());
+      ranges.emplace_back(base, request->request.query.size());
     }
 
+    // The pass runs under the group's per-query options overlaid on the
+    // service configuration (backend, threads, thresholds stay global).
+    core::PipelineOptions pass_options = config_.options;
+    pass_options.e_value_cutoff = options.e_value_cutoff;
+    pass_options.with_traceback = options.with_traceback;
+    pass_options.composition_based_stats = options.composition_based_stats;
+
     const core::PipelineResult result = core::run_pipeline_with_index(
-        combined, resident->bank, resident->index.table, config_.options,
+        combined, resident->bank, resident->index.table, pass_options,
         config_.matrix);
 
     const auto completed = std::chrono::steady_clock::now();
@@ -240,6 +289,7 @@ void SearchService::process_group(const std::string& prefix,
           std::chrono::duration<double>(completed - group[i]->enqueued)
               .count();
       latency_sum += reply.latency_seconds;
+      batch_latency = std::max(batch_latency, reply.latency_seconds);
     }
   } catch (...) {
     fail_all(std::current_exception());
@@ -252,6 +302,9 @@ void SearchService::process_group(const std::string& prefix,
     stats_.max_batch = std::max(stats_.max_batch, group.size());
     stats_.queries_completed += group.size();
     stats_.total_latency_seconds += latency_sum;
+    stats_.total_batch_latency_seconds += batch_latency;
+    stats_.max_batch_latency_seconds =
+        std::max(stats_.max_batch_latency_seconds, batch_latency);
     if (was_hit) {
       ++stats_.cache_hits;
     } else {

@@ -3,15 +3,19 @@
 // is loaded onto the board once and queries stream past it. The service
 // keeps hot (bank, index) pairs mmap-resident in an LRU cache keyed by
 // store path + seed model, and coalesces queries that are queued against
-// the same bank into one shared step-2/step-3 pass -- the amortization
-// every later scaling layer (sharding, network front-end) builds on.
+// the same bank *with the same per-query options* into one shared
+// step-2/step-3 pass -- the amortization every later scaling layer
+// (sharding, the network front-end in src/net/) builds on.
 //
 //   service::SearchService svc;                 // subset-w4, host-parallel
-//   auto future = svc.submit(queries, "nr");    // nr.pscbank + nr.pscidx
-//   const service::QueryResult r = future.get();
+//   service::ServiceRequest request;
+//   request.query = queries;                    // protein bank
+//   request.bank_prefix = "nr";                 // nr.pscbank + nr.pscidx
+//   auto future = svc.submit(std::move(request));
+//   const service::ServiceResponse r = future.get();
 //
-// Thread safety: submit()/search()/stats() may be called from any number
-// of threads. All pipeline work happens on one internal worker thread,
+// Thread safety: submit()/snapshot() may be called from any number of
+// threads. All pipeline work happens on one internal worker thread,
 // which is what makes coalescing natural: requests arriving while a pass
 // is running pile up and become the next batch.
 #pragma once
@@ -21,7 +25,6 @@
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,6 +35,7 @@
 #include "bio/sequence.hpp"
 #include "bio/substitution_matrix.hpp"
 #include "core/pipeline.hpp"
+#include "service/api.hpp"
 #include "store/index_store.hpp"
 #include "util/executor.hpp"
 
@@ -51,31 +55,6 @@ struct ServiceConfig {
   bio::SubstitutionMatrix matrix = bio::SubstitutionMatrix::blosum62();
 };
 
-/// What one submitted query bank gets back.
-struct QueryResult {
-  /// Matches with bank0_sequence remapped to indices into the *submitted*
-  /// query bank (the coalesced pass's combined numbering never leaks).
-  std::vector<core::Match> matches;
-  double latency_seconds = 0.0;    ///< submit() to completion
-  std::size_t batch_size = 0;      ///< queries sharing this pass
-  bool bank_was_resident = false;  ///< target served from the LRU cache
-};
-
-/// Monotonic service-level counters plus snapshot-time gauges.
-struct ServiceStats {
-  std::uint64_t queries_submitted = 0;
-  std::uint64_t queries_completed = 0;
-  std::uint64_t queries_failed = 0;
-  std::uint64_t batches = 0;           ///< shared passes executed
-  std::uint64_t cache_hits = 0;        ///< batches served from residents
-  std::uint64_t cache_misses = 0;      ///< batches that loaded from disk
-  std::uint64_t evictions = 0;         ///< residents dropped by LRU
-  std::size_t max_batch = 0;           ///< largest coalesced batch
-  double total_latency_seconds = 0.0;  ///< sum over completed queries
-  std::size_t queue_depth = 0;         ///< pending requests right now
-  std::size_t resident_banks = 0;      ///< cache occupancy right now
-};
-
 class SearchService {
  public:
   explicit SearchService(ServiceConfig config = {});
@@ -84,33 +63,53 @@ class SearchService {
   SearchService(const SearchService&) = delete;
   SearchService& operator=(const SearchService&) = delete;
 
-  /// Enqueues a protein query bank against the bank stored at
-  /// `bank_prefix` (expects <prefix>.pscbank and <prefix>.pscidx). Load
-  /// and pipeline failures surface as exceptions on the returned future
-  /// (store::StoreError for missing/corrupt/mismatched files). Throws
-  /// immediately on a non-protein bank or after shutdown began.
-  std::future<QueryResult> submit(bio::SequenceBank query,
-                                  std::string bank_prefix);
+  /// The one submission path. Enqueues `request.query` (a protein bank)
+  /// against the bank stored at `request.bank_prefix` (expects
+  /// <prefix>.pscbank and <prefix>.pscidx). Load and pipeline failures
+  /// surface as exceptions on the returned future (store::StoreError for
+  /// missing/corrupt/mismatched files). Throws immediately on a
+  /// non-protein query bank or after shutdown began.
+  std::future<ServiceResponse> submit(ServiceRequest request);
 
-  /// Enqueues several query banks under one lock acquisition, so the
-  /// worker observes them together -- when it is idle they are guaranteed
-  /// to coalesce into one shared pass (independent submit() calls only
-  /// coalesce when they happen to queue while a pass is running).
-  std::vector<std::future<QueryResult>> submit_batch(
+  /// Convenience: submits with the service configuration's own option
+  /// values as the per-query options (see default_query_options()).
+  std::future<ServiceResponse> submit(bio::SequenceBank query,
+                                      std::string bank_prefix);
+
+  /// Enqueues several requests under one lock acquisition, so the worker
+  /// observes them together -- when it is idle, requests that agree on
+  /// (bank_prefix, options) are guaranteed to coalesce into one shared
+  /// pass (independent submit() calls only coalesce when they happen to
+  /// queue while a pass is running).
+  std::vector<std::future<ServiceResponse>> submit_batch(
+      std::vector<ServiceRequest> requests);
+
+  /// Convenience: one prefix, service-default options for every bank.
+  std::vector<std::future<ServiceResponse>> submit_batch(
       std::vector<bio::SequenceBank> queries, const std::string& bank_prefix);
 
-  /// Blocking convenience: submit() + get().
-  QueryResult search(bio::SequenceBank query, const std::string& bank_prefix);
+  /// Deprecated blocking convenience that copies the reply out of the
+  /// future; call submit(...).get() instead.
+  [[deprecated("use submit(...).get()")]] QueryResult search(
+      bio::SequenceBank query, const std::string& bank_prefix);
 
-  ServiceStats stats() const;
+  /// One coherent snapshot of the service counters and gauges; the
+  /// network front-end's Stats frame is this struct, encoded verbatim.
+  ServiceStats snapshot() const;
+
+  /// Deprecated alias of snapshot().
+  [[deprecated("use snapshot()")]] ServiceStats stats() const;
+
+  /// The per-query options a convenience submit() runs under: the
+  /// service configuration's own cutoff/traceback/composition values.
+  QueryOptions default_query_options() const;
 
   const ServiceConfig& config() const { return config_; }
 
  private:
   struct Request {
-    bio::SequenceBank query;
-    std::string prefix;
-    std::promise<QueryResult> promise;
+    ServiceRequest request;
+    std::promise<ServiceResponse> promise;
     std::chrono::steady_clock::time_point enqueued;
   };
 
@@ -123,7 +122,8 @@ class SearchService {
   };
 
   void worker_loop();
-  void process_group(const std::string& prefix, std::vector<Request*>& group);
+  void process_group(const std::string& prefix, const QueryOptions& options,
+                     std::vector<Request*>& group);
   std::shared_ptr<Resident> acquire(const std::string& prefix, bool& was_hit);
   std::string cache_key(const std::string& prefix) const;
 

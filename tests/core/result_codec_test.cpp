@@ -1,0 +1,146 @@
+#include "core/result_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+namespace psc::core {
+namespace {
+
+Match sample_match(std::uint32_t query, std::uint32_t subject) {
+  Match match;
+  match.bank0_sequence = query;
+  match.bank1_sequence = subject;
+  match.alignment.score = 52;
+  match.alignment.begin0 = 3;
+  match.alignment.end0 = 33;
+  match.alignment.begin1 = 1000;
+  match.alignment.end1 = 1031;
+  match.alignment.ops = {align::Op::kMatch, align::Op::kMatch,
+                         align::Op::kInsert0, align::Op::kInsert1};
+  match.bit_score = 24.75;
+  match.e_value = 3e-7;
+  return match;
+}
+
+TEST(ResultCodec, EmptySectionRoundTrips) {
+  const std::vector<std::uint8_t> bytes = encode_matches({});
+  const std::vector<Match> decoded = decode_matches(bytes);
+  EXPECT_TRUE(decoded.empty());
+  // version + reserved + count
+  EXPECT_EQ(bytes.size(), 4u + 4u + 8u);
+}
+
+TEST(ResultCodec, MatchesRoundTripExactly) {
+  std::vector<Match> matches;
+  matches.push_back(sample_match(0, 7));
+  matches.push_back(sample_match(3, 1));
+  matches[1].alignment.ops.clear();  // traceback-free match
+  matches[1].alignment.score = -4;
+
+  const std::vector<std::uint8_t> bytes = encode_matches(matches);
+  const std::vector<Match> decoded = decode_matches(bytes);
+  ASSERT_EQ(decoded.size(), matches.size());
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    EXPECT_EQ(decoded[i].bank0_sequence, matches[i].bank0_sequence);
+    EXPECT_EQ(decoded[i].bank1_sequence, matches[i].bank1_sequence);
+    EXPECT_EQ(decoded[i].alignment.score, matches[i].alignment.score);
+    EXPECT_EQ(decoded[i].alignment.begin0, matches[i].alignment.begin0);
+    EXPECT_EQ(decoded[i].alignment.end0, matches[i].alignment.end0);
+    EXPECT_EQ(decoded[i].alignment.begin1, matches[i].alignment.begin1);
+    EXPECT_EQ(decoded[i].alignment.end1, matches[i].alignment.end1);
+    EXPECT_EQ(decoded[i].alignment.ops, matches[i].alignment.ops);
+    EXPECT_DOUBLE_EQ(decoded[i].bit_score, matches[i].bit_score);
+    EXPECT_DOUBLE_EQ(decoded[i].e_value, matches[i].e_value);
+  }
+  // Determinism: the same matches always encode to the same bytes.
+  EXPECT_EQ(encode_matches(matches), bytes);
+}
+
+TEST(ResultCodec, EveryTruncationThrows) {
+  const std::vector<Match> matches = {sample_match(1, 2)};
+  const std::vector<std::uint8_t> bytes = encode_matches(matches);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW(decode_matches(prefix), CodecError) << "cut=" << cut;
+  }
+}
+
+TEST(ResultCodec, RejectsTrailingBytes) {
+  std::vector<std::uint8_t> bytes = encode_matches({});
+  bytes.push_back(0x00);
+  EXPECT_THROW(decode_matches(std::span<const std::uint8_t>(bytes)),
+               CodecError);
+}
+
+TEST(ResultCodec, RejectsVersionSkew) {
+  std::vector<std::uint8_t> bytes = encode_matches({});
+  bytes[0] = 0x2a;
+  EXPECT_THROW(decode_matches(std::span<const std::uint8_t>(bytes)),
+               CodecError);
+}
+
+TEST(ResultCodec, RejectsHostileMatchCountBeforeAllocating) {
+  // version 1 | reserved | count = 2^63: structurally impossible for a
+  // 16-byte buffer; must throw before reserving anything.
+  std::vector<std::uint8_t> bytes;
+  codec::put_u32(bytes, kMatchCodecVersion);
+  codec::put_u32(bytes, 0);
+  codec::put_u64(bytes, std::uint64_t{1} << 63);
+  EXPECT_THROW(decode_matches(std::span<const std::uint8_t>(bytes)),
+               CodecError);
+}
+
+TEST(ResultCodec, RejectsHostileOpsCount) {
+  std::vector<Match> matches = {sample_match(0, 0)};
+  std::vector<std::uint8_t> bytes = encode_matches(matches);
+  // The ops count is the u64 right before the 4 op bytes at the tail.
+  const std::size_t ops_count_offset = bytes.size() - 4 - 8;
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[ops_count_offset + i] = 0xff;
+  }
+  EXPECT_THROW(decode_matches(std::span<const std::uint8_t>(bytes)),
+               CodecError);
+}
+
+TEST(ResultCodec, RejectsOutOfRangeOpByte) {
+  std::vector<Match> matches = {sample_match(0, 0)};
+  std::vector<std::uint8_t> bytes = encode_matches(matches);
+  bytes.back() = 0x03;  // one past align::Op::kInsert1
+  EXPECT_THROW(decode_matches(std::span<const std::uint8_t>(bytes)),
+               CodecError);
+}
+
+TEST(ResultCodec, EmbeddedSectionLeavesCursorAtEnd) {
+  std::vector<std::uint8_t> bytes;
+  codec::put_u32(bytes, 0xdeadbeef);  // container field before the section
+  append_matches(bytes, std::vector<Match>{sample_match(5, 6)});
+  codec::put_u32(bytes, 0xfeedface);  // container field after the section
+
+  codec::Reader reader(bytes);
+  EXPECT_EQ(reader.u32("before"), 0xdeadbeefu);
+  const std::vector<Match> decoded = decode_matches(reader);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(reader.u32("after"), 0xfeedfaceu);
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(CodecReader, BoundsCheckedPrimitives) {
+  std::vector<std::uint8_t> bytes;
+  codec::put_u32(bytes, 7);
+  codec::put_i32(bytes, -3);
+  codec::put_u64(bytes, 1234567890123ull);
+  codec::put_f64(bytes, -0.5);
+
+  codec::Reader reader(bytes);
+  EXPECT_EQ(reader.u32("a"), 7u);
+  EXPECT_EQ(reader.i32("b"), -3);
+  EXPECT_EQ(reader.u64("c"), 1234567890123ull);
+  EXPECT_DOUBLE_EQ(reader.f64("d"), -0.5);
+  EXPECT_TRUE(reader.done());
+  EXPECT_THROW(reader.u32("past the end"), CodecError);
+}
+
+}  // namespace
+}  // namespace psc::core

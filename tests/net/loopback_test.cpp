@@ -1,0 +1,402 @@
+// End-to-end tests of the network front-end over a real loopback
+// socket: a psc_serve-shaped Server wrapping a SearchService, driven by
+// the Client library and by raw sockets sending malformed streams. The
+// load-bearing property is bit-for-bit equality between a remote search
+// and the in-process pipeline over the same store.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bio/fasta.hpp"
+#include "bio/translate.hpp"
+#include "core/result_codec.hpp"
+#include "index/index_table.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "sim/genome_generator.hpp"
+#include "sim/mutation.hpp"
+#include "sim/protein_generator.hpp"
+#include "store/bank_store.hpp"
+#include "store/index_store.hpp"
+#include "util/rng.hpp"
+
+namespace psc::net {
+namespace {
+
+/// A saved reference bank under the server's bank root (same recipe as
+/// the service tests). Removes the store files on destruction.
+struct SavedBank {
+  bio::SequenceBank proteins{bio::SequenceKind::kProtein};
+  bio::SequenceBank genome_bank{bio::SequenceKind::kProtein};
+  std::string name;    ///< prefix relative to the bank root (the wire form)
+  std::string prefix;  ///< absolute store prefix
+
+  explicit SavedBank(std::uint64_t seed, const std::string& bank_name)
+      : name(bank_name) {
+    util::Xoshiro256 rng(seed);
+    for (int i = 0; i < 5; ++i) {
+      proteins.add(sim::generate_protein("p" + std::to_string(i), 100, rng));
+    }
+    sim::GenomeConfig config;
+    config.length = 20000;
+    config.seed = seed;
+    bio::Sequence genome = sim::generate_genome(config);
+    sim::MutationConfig divergence;
+    divergence.substitution_rate = 0.15;
+    divergence.indel_rate = 0.0;
+    sim::plant_gene(genome, sim::mutate_protein(proteins[0], divergence, rng),
+                    3000, true, rng);
+    sim::plant_gene(genome, sim::mutate_protein(proteins[2], divergence, rng),
+                    9001, false, rng);
+    genome_bank = bio::frames_to_bank(bio::translate_six_frames(genome));
+
+    prefix = ::testing::TempDir() + "/" + name;
+    const index::SeedModel model = index::SeedModel::subset_w4();
+    const index::IndexTable table(genome_bank, model);
+    store::save_bank(prefix + ".pscbank", genome_bank);
+    store::save_index(prefix + ".pscidx", table, model);
+  }
+
+  ~SavedBank() {
+    std::remove((prefix + ".pscbank").c_str());
+    std::remove((prefix + ".pscidx").c_str());
+  }
+
+  std::string fasta() const {
+    std::ostringstream out;
+    for (const bio::Sequence& protein : proteins) {
+      out << ">" << protein.id() << "\n" << protein.to_letters() << "\n";
+    }
+    return out.str();
+  }
+};
+
+/// A raw loopback connection for sending byte streams the Client would
+/// refuse to produce.
+class RawConnection {
+ public:
+  explicit RawConnection(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0);
+  }
+
+  ~RawConnection() { close(); }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  void send_bytes(std::span<const std::uint8_t> bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Reads one frame; nullopt on orderly EOF (or receive timeout).
+  std::optional<Frame> read_frame() {
+    for (;;) {
+      if (auto frame = reader_.next()) return frame;
+      std::uint8_t buffer[4096];
+      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n <= 0) return std::nullopt;
+      reader_.feed({buffer, static_cast<std::size_t>(n)});
+    }
+  }
+
+  /// True when the peer closed and no more frames are buffered.
+  bool at_eof() {
+    std::uint8_t byte = 0;
+    const ssize_t n = ::recv(fd_, &byte, 1, 0);
+    return n == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_{1 << 20};
+};
+
+WireErrorCode expect_error_frame(const std::optional<Frame>& frame) {
+  EXPECT_TRUE(frame.has_value());
+  if (!frame) return WireErrorCode::kInternal;
+  EXPECT_EQ(frame->type, static_cast<std::uint16_t>(MessageType::kError));
+  return decode_error_payload(frame->payload).code();
+}
+
+class LoopbackTest : public ::testing::Test {
+ protected:
+  void start(ServerConfig config = {}) {
+    config.bank_root = ::testing::TempDir();
+    service_ = std::make_unique<service::SearchService>();
+    server_ = std::make_unique<Server>(*service_, config);
+    server_->start();
+  }
+
+  Client connect() {
+    ClientConfig config;
+    config.port = server_->port();
+    config.timeout_seconds = 20.0;
+    return Client(config);
+  }
+
+  std::unique_ptr<service::SearchService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(LoopbackTest, SearchIsBitIdenticalToInProcessPipeline) {
+  const SavedBank saved(21, "net_bitident");
+  start();
+
+  service::QueryOptions options;
+  options.with_traceback = true;
+  Client client = connect();
+  const service::QueryResult remote =
+      client.search(saved.name, saved.fasta(), options);
+  ASSERT_FALSE(remote.matches.empty());
+
+  // The same pass, in process: the service's own option baseline with
+  // the per-query subset overlaid, over the same store files.
+  core::PipelineOptions direct_options = service::default_service_options();
+  direct_options.e_value_cutoff = options.e_value_cutoff;
+  direct_options.with_traceback = options.with_traceback;
+  direct_options.composition_based_stats = options.composition_based_stats;
+  const bio::SequenceBank subject = store::load_bank(saved.prefix + ".pscbank");
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const store::LoadedIndex loaded =
+      store::load_index(saved.prefix + ".pscidx", model, &subject);
+  const core::PipelineResult direct = core::run_pipeline_with_index(
+      saved.proteins, subject, loaded.table, direct_options);
+
+  EXPECT_EQ(core::encode_matches(remote.matches),
+            core::encode_matches(direct.matches));
+}
+
+TEST_F(LoopbackTest, PingAndStatsRoundTrip) {
+  const SavedBank saved(22, "net_pingstats");
+  start();
+  Client client = connect();
+  client.ping();
+
+  const service::ServiceStats before = client.stats();
+  EXPECT_EQ(before.queries_completed, 0u);
+
+  client.search(saved.name, saved.fasta());
+  const service::ServiceStats after = client.stats();
+  EXPECT_EQ(after.queries_submitted, 1u);
+  EXPECT_EQ(after.queries_completed, 1u);
+  EXPECT_EQ(after.batches, 1u);
+  EXPECT_GT(after.total_batch_latency_seconds, 0.0);
+}
+
+TEST_F(LoopbackTest, ConcurrentClientsCoalesceIntoOneBatch) {
+  const SavedBank saved(23, "net_coalesce");
+  start();
+
+  // A deliberately heavy in-process submit keeps the single worker busy;
+  // the two remote searches below arrive meanwhile and must come out of
+  // one shared pass (batches < queries in the stats frame).
+  bio::SequenceBank heavy(bio::SequenceKind::kProtein);
+  for (int repeat = 0; repeat < 8; ++repeat) {
+    for (const bio::Sequence& protein : saved.proteins) heavy.add(protein);
+  }
+
+  bool coalesced = false;
+  for (int attempt = 0; attempt < 5 && !coalesced; ++attempt) {
+    auto priming = service_->submit(heavy, saved.prefix);
+    service::QueryResult a, b;
+    std::thread first([&] {
+      Client client = connect();
+      a = client.search(saved.name, saved.fasta());
+    });
+    std::thread second([&] {
+      Client client = connect();
+      b = client.search(saved.name, saved.fasta());
+    });
+    first.join();
+    second.join();
+    priming.get();
+    EXPECT_EQ(core::encode_matches(a.matches), core::encode_matches(b.matches));
+    coalesced = a.batch_size == 2 && b.batch_size == 2;
+  }
+  EXPECT_TRUE(coalesced) << "two concurrent clients never shared a pass";
+
+  Client client = connect();
+  const service::ServiceStats stats = client.stats();
+  EXPECT_LT(stats.batches, stats.queries_completed);
+}
+
+TEST_F(LoopbackTest, TypedErrorsForBadRequests) {
+  const SavedBank saved(24, "net_errors");
+  start();
+  Client client = connect();
+
+  const auto code_of = [&](const std::string& bank, const std::string& fasta) {
+    try {
+      client.search(bank, fasta);
+      ADD_FAILURE() << "expected WireError for bank=" << bank;
+      return WireErrorCode::kInternal;
+    } catch (const WireError& e) {
+      return e.code();
+    }
+  };
+
+  EXPECT_EQ(code_of("no_such_bank", saved.fasta()),
+            WireErrorCode::kBankNotFound);
+  EXPECT_EQ(code_of("../escape", saved.fasta()), WireErrorCode::kBadRequest);
+  EXPECT_EQ(code_of("/absolute", saved.fasta()), WireErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(saved.name, ""), WireErrorCode::kBadRequest);
+
+  // The connection survives every typed error.
+  client.ping();
+  const service::QueryResult good = client.search(saved.name, saved.fasta());
+  EXPECT_FALSE(good.matches.empty());
+}
+
+TEST_F(LoopbackTest, WrongMagicGetsErrorFrameThenClose) {
+  start();
+  RawConnection raw(server_->port());
+  std::vector<std::uint8_t> junk(sizeof(FrameHeader), 0x5a);
+  raw.send_bytes(junk);
+  EXPECT_EQ(expect_error_frame(raw.read_frame()), WireErrorCode::kBadFrame);
+  EXPECT_TRUE(raw.at_eof());
+}
+
+TEST_F(LoopbackTest, OversizedPayloadLengthGetsErrorFrameThenClose) {
+  ServerConfig config;
+  config.max_payload_bytes = 1024;
+  start(config);
+  RawConnection raw(server_->port());
+  FrameHeader header;
+  header.type = static_cast<std::uint16_t>(MessageType::kSearch);
+  header.payload_bytes = std::uint64_t{1} << 40;
+  std::vector<std::uint8_t> bytes(sizeof(header));
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  raw.send_bytes(bytes);
+  EXPECT_EQ(expect_error_frame(raw.read_frame()),
+            WireErrorCode::kPayloadTooLarge);
+  EXPECT_TRUE(raw.at_eof());
+}
+
+TEST_F(LoopbackTest, UnknownMessageTypeKeepsConnectionOpen) {
+  start();
+  RawConnection raw(server_->port());
+  raw.send_bytes(encode_frame(static_cast<MessageType>(0x7777)));
+  EXPECT_EQ(expect_error_frame(raw.read_frame()), WireErrorCode::kBadFrame);
+  // Stream stayed in sync: a Ping on the same connection still answers.
+  raw.send_bytes(encode_frame(MessageType::kPing));
+  const auto pong = raw.read_frame();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->type, static_cast<std::uint16_t>(MessageType::kPong));
+}
+
+TEST_F(LoopbackTest, UndecodableSearchPayloadIsBadRequestNotClose) {
+  start();
+  RawConnection raw(server_->port());
+  const std::vector<std::uint8_t> garbage = {0xde, 0xad, 0xbe, 0xef};
+  raw.send_bytes(encode_frame(MessageType::kSearch, garbage));
+  EXPECT_EQ(expect_error_frame(raw.read_frame()), WireErrorCode::kBadRequest);
+  raw.send_bytes(encode_frame(MessageType::kPing));
+  const auto pong = raw.read_frame();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->type, static_cast<std::uint16_t>(MessageType::kPong));
+}
+
+TEST_F(LoopbackTest, MidStreamDisconnectLeavesServerServing) {
+  const SavedBank saved(25, "net_disconnect");
+  start();
+  {
+    RawConnection raw(server_->port());
+    const std::vector<std::uint8_t> frame = encode_frame(MessageType::kPing);
+    raw.send_bytes({frame.data(), frame.size() / 2});
+    // Drop the connection mid-frame; the server must treat it as a clean
+    // close, not an error worth crashing over.
+  }
+  Client client = connect();
+  client.ping();
+  EXPECT_FALSE(client.search(saved.name, saved.fasta()).matches.empty());
+}
+
+TEST_F(LoopbackTest, StalledMidFramePeerGetsTimeoutThenClose) {
+  ServerConfig config;
+  config.read_timeout_seconds = 0.15;
+  start(config);
+  RawConnection raw(server_->port());
+  const std::vector<std::uint8_t> frame = encode_frame(MessageType::kPing);
+  raw.send_bytes({frame.data(), frame.size() / 2});
+  EXPECT_EQ(expect_error_frame(raw.read_frame()), WireErrorCode::kTimeout);
+  EXPECT_TRUE(raw.at_eof());
+}
+
+TEST_F(LoopbackTest, PipelinedRequestsAnswerInOrderAndCapInFlight) {
+  const SavedBank saved(26, "net_pipeline");
+  ServerConfig config;
+  config.max_in_flight = 1;
+  start(config);
+
+  SearchRequestFrame request;
+  request.bank_prefix = saved.name;
+  request.query_fasta = saved.fasta();
+  request.options.with_traceback = true;
+  const std::vector<std::uint8_t> search =
+      encode_frame(MessageType::kSearch, encode_search_request(request));
+
+  RawConnection raw(server_->port());
+  std::vector<std::uint8_t> burst;
+  burst.insert(burst.end(), search.begin(), search.end());
+  burst.insert(burst.end(), search.begin(), search.end());
+  const std::vector<std::uint8_t> ping = encode_frame(MessageType::kPing);
+  burst.insert(burst.end(), ping.begin(), ping.end());
+  raw.send_bytes(burst);
+
+  // Reply order must mirror request order: result for the first search,
+  // the in-flight-cap error for the second, then the pong.
+  const auto first = raw.read_frame();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type,
+            static_cast<std::uint16_t>(MessageType::kSearchResult));
+  EXPECT_FALSE(service::decode_query_result(first->payload).matches.empty());
+  EXPECT_EQ(expect_error_frame(raw.read_frame()),
+            WireErrorCode::kTooManyInFlight);
+  const auto pong = raw.read_frame();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->type, static_cast<std::uint16_t>(MessageType::kPong));
+}
+
+TEST_F(LoopbackTest, ServerStopsCleanlyWithIdleConnections) {
+  start();
+  RawConnection raw(server_->port());
+  raw.send_bytes(encode_frame(MessageType::kPing));
+  ASSERT_TRUE(raw.read_frame().has_value());
+  server_->stop();
+  EXPECT_TRUE(raw.at_eof());
+}
+
+}  // namespace
+}  // namespace psc::net

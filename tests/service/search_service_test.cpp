@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <span>
 
 #include "bio/translate.hpp"
 #include "index/index_table.hpp"
@@ -67,7 +68,7 @@ TEST(SearchService, MatchesDirectPipelineRun) {
   const SavedBank saved(1, "svc_direct");
   ServiceConfig config;
   SearchService service(config);
-  const QueryResult reply = service.search(saved.proteins, saved.prefix);
+  const QueryResult reply = service.submit(saved.proteins, saved.prefix).get();
 
   core::PipelineResult direct = core::run_pipeline(
       saved.proteins, saved.genome_bank, config.options, config.matrix);
@@ -89,12 +90,12 @@ TEST(SearchService, MatchesDirectPipelineRun) {
 TEST(SearchService, CacheHitsOnRepeatQueries) {
   const SavedBank saved(2, "svc_cache");
   SearchService service;
-  const QueryResult first = service.search(saved.query(0), saved.prefix);
-  const QueryResult second = service.search(saved.query(2), saved.prefix);
+  const QueryResult first = service.submit(saved.query(0), saved.prefix).get();
+  const QueryResult second = service.submit(saved.query(2), saved.prefix).get();
   EXPECT_FALSE(first.bank_was_resident);
   EXPECT_TRUE(second.bank_was_resident);
 
-  const ServiceStats stats = service.stats();
+  const ServiceStats stats = service.snapshot();
   EXPECT_EQ(stats.queries_submitted, 2u);
   EXPECT_EQ(stats.queries_completed, 2u);
   EXPECT_EQ(stats.cache_misses, 1u);
@@ -108,7 +109,7 @@ TEST(SearchService, CoalescesBatchedQueriesIntoOnePass) {
   const SavedBank saved(3, "svc_batch");
   SearchService service;
   // Warm the cache so the batch below is one clean coalesced pass.
-  service.search(saved.query(1), saved.prefix);
+  service.submit(saved.query(1), saved.prefix).get();
 
   std::vector<bio::SequenceBank> queries;
   for (const std::size_t i : {0u, 2u, 4u}) queries.push_back(saved.query(i));
@@ -121,7 +122,7 @@ TEST(SearchService, CoalescesBatchedQueriesIntoOnePass) {
     const QueryResult reply = futures[q].get();
     EXPECT_EQ(reply.batch_size, 3u);
     EXPECT_TRUE(reply.bank_was_resident);
-    const QueryResult solo = service.search(saved.query(members[q]), saved.prefix);
+    const QueryResult solo = service.submit(saved.query(members[q]), saved.prefix).get();
     ASSERT_EQ(reply.matches.size(), solo.matches.size());
     for (std::size_t m = 0; m < reply.matches.size(); ++m) {
       EXPECT_EQ(reply.matches[m].bank0_sequence, 0u);
@@ -132,7 +133,7 @@ TEST(SearchService, CoalescesBatchedQueriesIntoOnePass) {
     }
   }
 
-  const ServiceStats stats = service.stats();
+  const ServiceStats stats = service.snapshot();
   EXPECT_EQ(stats.max_batch, 3u);
   // 1 warmup + 1 coalesced + 3 solo = 5 passes, 7 queries.
   EXPECT_EQ(stats.batches, 5u);
@@ -147,16 +148,16 @@ TEST(SearchService, LruEvictsLeastRecentlyUsedBank) {
   config.max_resident = 2;
   SearchService service(config);
 
-  service.search(a.query(0), a.prefix);  // miss, cache {a}
-  service.search(b.query(0), b.prefix);  // miss, cache {a,b}
-  service.search(a.query(1), a.prefix);  // hit, a freshened
-  service.search(c.query(0), c.prefix);  // miss, evicts b
-  const QueryResult again_a = service.search(a.query(2), a.prefix);  // hit
+  service.submit(a.query(0), a.prefix).get();  // miss, cache {a}
+  service.submit(b.query(0), b.prefix).get();  // miss, cache {a,b}
+  service.submit(a.query(1), a.prefix).get();  // hit, a freshened
+  service.submit(c.query(0), c.prefix).get();  // miss, evicts b
+  const QueryResult again_a = service.submit(a.query(2), a.prefix).get();  // hit
   EXPECT_TRUE(again_a.bank_was_resident);
-  const QueryResult again_b = service.search(b.query(1), b.prefix);  // miss
+  const QueryResult again_b = service.submit(b.query(1), b.prefix).get();  // miss
   EXPECT_FALSE(again_b.bank_was_resident);
 
-  const ServiceStats stats = service.stats();
+  const ServiceStats stats = service.snapshot();
   EXPECT_EQ(stats.cache_hits, 2u);
   EXPECT_EQ(stats.cache_misses, 4u);
   EXPECT_EQ(stats.evictions, 2u);
@@ -168,10 +169,10 @@ TEST(SearchService, CapacityZeroNeverCaches) {
   ServiceConfig config;
   config.max_resident = 0;
   SearchService service(config);
-  service.search(saved.query(0), saved.prefix);
-  const QueryResult second = service.search(saved.query(0), saved.prefix);
+  service.submit(saved.query(0), saved.prefix).get();
+  const QueryResult second = service.submit(saved.query(0), saved.prefix).get();
   EXPECT_FALSE(second.bank_was_resident);
-  const ServiceStats stats = service.stats();
+  const ServiceStats stats = service.snapshot();
   EXPECT_EQ(stats.cache_misses, 2u);
   EXPECT_EQ(stats.cache_hits, 0u);
   EXPECT_EQ(stats.resident_banks, 0u);
@@ -192,9 +193,9 @@ TEST(SearchService, MissingBankFailsThatQueryOnly) {
       },
       store::StoreError);
   // The service keeps serving after a failed load.
-  const QueryResult good = service.search(saved.proteins, saved.prefix);
+  const QueryResult good = service.submit(saved.proteins, saved.prefix).get();
   EXPECT_FALSE(good.matches.empty());
-  const ServiceStats stats = service.stats();
+  const ServiceStats stats = service.snapshot();
   EXPECT_EQ(stats.queries_failed, 1u);
   EXPECT_EQ(stats.queries_completed, 1u);
 }
@@ -204,6 +205,171 @@ TEST(SearchService, RejectsNonProteinQueries) {
   bio::SequenceBank dna(bio::SequenceKind::kDna);
   dna.add(bio::Sequence::dna_from_letters("g", "ACGT"));
   EXPECT_THROW(service.submit(dna, "anything"), std::invalid_argument);
+}
+
+TEST(SearchService, TracksPerBatchLatency) {
+  const SavedBank saved(10, "svc_latency");
+  SearchService service;
+  service.submit(saved.query(0), saved.prefix).get();
+  ServiceStats stats = service.snapshot();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_GT(stats.total_batch_latency_seconds, 0.0);
+  EXPECT_GT(stats.max_batch_latency_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_latency_seconds,
+                   stats.total_batch_latency_seconds);
+  // A batch's latency is its slowest member's, so the per-batch total can
+  // never exceed the per-query total.
+  EXPECT_LE(stats.total_batch_latency_seconds,
+            stats.total_latency_seconds + 1e-12);
+
+  service.submit(saved.query(1), saved.prefix).get();
+  stats = service.snapshot();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_NEAR(stats.mean_batch_latency_seconds,
+              stats.total_batch_latency_seconds / 2.0, 1e-12);
+  EXPECT_GE(stats.max_batch_latency_seconds,
+            stats.mean_batch_latency_seconds);
+  EXPECT_LE(stats.max_batch_latency_seconds,
+            stats.total_batch_latency_seconds + 1e-12);
+}
+
+TEST(SearchService, RequestsWithDifferingOptionsDoNotCoalesce) {
+  const SavedBank saved(11, "svc_opts_split");
+  SearchService service;
+  service.submit(saved.query(0), saved.prefix).get();  // warm the cache
+
+  std::vector<ServiceRequest> requests(2);
+  for (ServiceRequest& request : requests) {
+    request.query = saved.query(0);
+    request.bank_prefix = saved.prefix;
+    request.options = service.default_query_options();
+  }
+  requests[1].options.e_value_cutoff *= 10.0;
+  auto futures = service.submit_batch(std::move(requests));
+  EXPECT_EQ(futures[0].get().batch_size, 1u);
+  EXPECT_EQ(futures[1].get().batch_size, 1u);
+  const ServiceStats stats = service.snapshot();
+  EXPECT_EQ(stats.batches, 3u);  // warm-up pass + one per option group
+  EXPECT_EQ(stats.queries_completed, 3u);
+}
+
+TEST(SearchService, PerQueryOptionsControlTraceback) {
+  const SavedBank saved(12, "svc_opts_tb");
+  SearchService service;
+  ServiceRequest with;
+  with.query = saved.proteins;
+  with.bank_prefix = saved.prefix;
+  with.options = service.default_query_options();
+  with.options.with_traceback = true;
+  ServiceRequest without = with;
+  without.query = saved.proteins;
+  without.options.with_traceback = false;
+
+  const QueryResult traced = service.submit(std::move(with)).get();
+  const QueryResult plain = service.submit(std::move(without)).get();
+  ASSERT_FALSE(traced.matches.empty());
+  ASSERT_EQ(traced.matches.size(), plain.matches.size());
+  EXPECT_FALSE(traced.matches.front().alignment.ops.empty());
+  for (const core::Match& match : plain.matches) {
+    EXPECT_TRUE(match.alignment.ops.empty());
+  }
+}
+
+TEST(QueryOptions, FingerprintSeparatesEveryField) {
+  const QueryOptions base;
+  QueryOptions traceback = base;
+  traceback.with_traceback = true;
+  QueryOptions composition = base;
+  composition.composition_based_stats = true;
+  QueryOptions cutoff = base;
+  cutoff.e_value_cutoff = 10.0;
+
+  EXPECT_EQ(base.fingerprint(), QueryOptions{}.fingerprint());
+  EXPECT_NE(base.fingerprint(), traceback.fingerprint());
+  EXPECT_NE(base.fingerprint(), composition.fingerprint());
+  EXPECT_NE(base.fingerprint(), cutoff.fingerprint());
+  EXPECT_NE(traceback.fingerprint(), composition.fingerprint());
+}
+
+TEST(ServiceCodec, QueryResultRoundTrips) {
+  QueryResult result;
+  result.latency_seconds = 0.25;
+  result.batch_size = 3;
+  result.bank_was_resident = true;
+  core::Match match;
+  match.bank0_sequence = 1;
+  match.bank1_sequence = 9;
+  match.alignment.score = 77;
+  match.alignment.begin0 = 4;
+  match.alignment.end0 = 40;
+  match.alignment.begin1 = 5;
+  match.alignment.end1 = 41;
+  match.alignment.ops = {align::Op::kMatch, align::Op::kInsert0,
+                         align::Op::kInsert1, align::Op::kMatch};
+  match.bit_score = 33.5;
+  match.e_value = 1e-9;
+  result.matches.push_back(match);
+
+  const std::vector<std::uint8_t> bytes = encode_query_result(result);
+  const QueryResult decoded = decode_query_result(bytes);
+  EXPECT_EQ(decoded.batch_size, result.batch_size);
+  EXPECT_EQ(decoded.bank_was_resident, result.bank_was_resident);
+  EXPECT_DOUBLE_EQ(decoded.latency_seconds, result.latency_seconds);
+  ASSERT_EQ(decoded.matches.size(), 1u);
+  EXPECT_EQ(decoded.matches[0].bank1_sequence, 9u);
+  EXPECT_EQ(decoded.matches[0].alignment.ops, match.alignment.ops);
+
+  // Truncations and trailing garbage are typed errors, never crashes.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW(decode_query_result(prefix), core::CodecError);
+  }
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW(decode_query_result(padded), core::CodecError);
+}
+
+TEST(ServiceCodec, ServiceStatsRoundTrips) {
+  ServiceStats stats;
+  stats.queries_submitted = 11;
+  stats.queries_completed = 10;
+  stats.queries_failed = 1;
+  stats.batches = 4;
+  stats.cache_hits = 3;
+  stats.cache_misses = 1;
+  stats.evictions = 2;
+  stats.max_batch = 5;
+  stats.total_latency_seconds = 1.5;
+  stats.total_batch_latency_seconds = 0.9;
+  stats.max_batch_latency_seconds = 0.5;
+  stats.mean_batch_latency_seconds = 0.225;
+  stats.queue_depth = 7;
+  stats.resident_banks = 2;
+
+  const std::vector<std::uint8_t> bytes = encode_service_stats(stats);
+  const ServiceStats decoded = decode_service_stats(bytes);
+  EXPECT_EQ(decoded.queries_submitted, stats.queries_submitted);
+  EXPECT_EQ(decoded.queries_completed, stats.queries_completed);
+  EXPECT_EQ(decoded.queries_failed, stats.queries_failed);
+  EXPECT_EQ(decoded.batches, stats.batches);
+  EXPECT_EQ(decoded.cache_hits, stats.cache_hits);
+  EXPECT_EQ(decoded.cache_misses, stats.cache_misses);
+  EXPECT_EQ(decoded.evictions, stats.evictions);
+  EXPECT_EQ(decoded.max_batch, stats.max_batch);
+  EXPECT_DOUBLE_EQ(decoded.total_latency_seconds,
+                   stats.total_latency_seconds);
+  EXPECT_DOUBLE_EQ(decoded.total_batch_latency_seconds,
+                   stats.total_batch_latency_seconds);
+  EXPECT_DOUBLE_EQ(decoded.max_batch_latency_seconds,
+                   stats.max_batch_latency_seconds);
+  EXPECT_DOUBLE_EQ(decoded.mean_batch_latency_seconds,
+                   stats.mean_batch_latency_seconds);
+  EXPECT_EQ(decoded.queue_depth, stats.queue_depth);
+  EXPECT_EQ(decoded.resident_banks, stats.resident_banks);
+
+  std::vector<std::uint8_t> skewed = bytes;
+  skewed[0] = 0xff;  // version byte
+  EXPECT_THROW(decode_service_stats(skewed), core::CodecError);
 }
 
 TEST(SearchService, DrainsPendingQueriesOnShutdown) {

@@ -1,0 +1,162 @@
+// psc_client: command-line client for psc_serve.
+//
+//   $ ./psc_client --port=7878 --ping
+//   $ ./psc_client --port=7878 --stats
+//   $ ./psc_client --port=7878 --bank=bank --query=queries.fa
+//   $ ./psc_client --port=7878 --bank=bank --query=queries.fa
+//         --output-binary > matches.bin      (one line)
+//
+// --output-binary writes the versioned match encoding
+// (core/result_codec.hpp) to stdout -- the same bytes psc_search
+// --output-binary emits for the identical search, so the two can be
+// diffed bit-for-bit.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bio/fasta.hpp"
+#include "core/result_codec.hpp"
+#include "net/client.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace psc;
+
+void print_stats(const service::ServiceStats& stats) {
+  std::printf("queries_submitted=%llu\n",
+              static_cast<unsigned long long>(stats.queries_submitted));
+  std::printf("queries_completed=%llu\n",
+              static_cast<unsigned long long>(stats.queries_completed));
+  std::printf("queries_failed=%llu\n",
+              static_cast<unsigned long long>(stats.queries_failed));
+  std::printf("batches=%llu\n", static_cast<unsigned long long>(stats.batches));
+  std::printf("cache_hits=%llu\n",
+              static_cast<unsigned long long>(stats.cache_hits));
+  std::printf("cache_misses=%llu\n",
+              static_cast<unsigned long long>(stats.cache_misses));
+  std::printf("evictions=%llu\n",
+              static_cast<unsigned long long>(stats.evictions));
+  std::printf("max_batch=%zu\n", stats.max_batch);
+  std::printf("total_latency_seconds=%.6f\n", stats.total_latency_seconds);
+  std::printf("total_batch_latency_seconds=%.6f\n",
+              stats.total_batch_latency_seconds);
+  std::printf("max_batch_latency_seconds=%.6f\n",
+              stats.max_batch_latency_seconds);
+  std::printf("mean_batch_latency_seconds=%.6f\n",
+              stats.mean_batch_latency_seconds);
+  std::printf("queue_depth=%zu\n", stats.queue_depth);
+  std::printf("resident_banks=%zu\n", stats.resident_banks);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("psc_client",
+                       "query a psc_serve instance over the wire protocol");
+  args.add_option("host", "127.0.0.1", "server address");
+  args.add_option("port", "0", "server port (required)");
+  args.add_option("timeout", "30", "socket timeout in seconds (0 = none)");
+  args.add_flag("ping", "round-trip a Ping frame and exit");
+  args.add_flag("stats", "print the service stats snapshot and exit");
+  args.add_option("bank", "",
+                  "bank prefix, relative to the server's --bank-root");
+  args.add_option("query", "", "query FASTA file (protein)");
+  args.add_option("evalue", "1e-3", "per-query E-value cutoff");
+  args.add_flag("composition", "composition-based E-value statistics");
+  args.add_flag("no-traceback",
+                "skip alignment traceback (scores and coordinates only)");
+  args.add_flag("output-binary",
+                "write the versioned match encoding to stdout instead of "
+                "text (diffable against psc_search --output-binary)");
+  if (!args.parse(argc, argv)) return 1;
+
+  const std::int64_t port = args.get_int("port");
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "psc_client: --port is required (1..65535)\n");
+    return 1;
+  }
+
+  net::ClientConfig config;
+  config.host = args.get("host");
+  config.port = static_cast<std::uint16_t>(port);
+  config.timeout_seconds = args.get_double("timeout");
+
+  try {
+    net::Client client(config);
+
+    if (args.get_flag("ping")) {
+      client.ping();
+      std::printf("pong\n");
+      return 0;
+    }
+    if (args.get_flag("stats")) {
+      print_stats(client.stats());
+      return 0;
+    }
+
+    const std::string bank = args.get("bank");
+    const std::string query_path = args.get("query");
+    if (bank.empty() || query_path.empty()) {
+      std::fprintf(stderr, "psc_client: --bank and --query are required\n%s",
+                   args.usage().c_str());
+      return 1;
+    }
+
+    std::ifstream in(query_path);
+    if (!in) {
+      std::fprintf(stderr, "psc_client: cannot open %s\n", query_path.c_str());
+      return 1;
+    }
+    std::ostringstream fasta;
+    fasta << in.rdbuf();
+    const std::string query_fasta = fasta.str();
+    // Parse locally too: ids for the text output, and the client fails
+    // fast on FASTA the server would reject anyway.
+    std::istringstream parse_stream(query_fasta);
+    const bio::SequenceBank query =
+        bio::read_fasta(parse_stream, bio::SequenceKind::kProtein);
+    if (query.empty()) {
+      std::fprintf(stderr, "psc_client: %s holds no sequences\n",
+                   query_path.c_str());
+      return 1;
+    }
+
+    service::QueryOptions options;
+    options.e_value_cutoff = args.get_double("evalue");
+    options.with_traceback = !args.get_flag("no-traceback");
+    options.composition_based_stats = args.get_flag("composition");
+
+    const service::QueryResult result =
+        client.search(bank, query_fasta, options);
+
+    if (args.get_flag("output-binary")) {
+      const std::vector<std::uint8_t> bytes =
+          core::encode_matches(result.matches);
+      std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+    } else {
+      for (const core::Match& match : result.matches) {
+        const std::string& id = query[match.bank0_sequence].id();
+        std::printf("%s\tsubject:%u\t%d\t%.1f\t%.2g\t%zu\t%zu\t%zu\t%zu\n",
+                    id.c_str(), match.bank1_sequence, match.alignment.score,
+                    match.bit_score, match.e_value, match.alignment.begin0,
+                    match.alignment.end0, match.alignment.begin1,
+                    match.alignment.end1);
+      }
+    }
+    std::fprintf(stderr,
+                 "# %zu match(es); batch of %zu, bank %s, latency %.3f s\n",
+                 result.matches.size(), result.batch_size,
+                 result.bank_was_resident ? "resident" : "loaded",
+                 result.latency_seconds);
+    return 0;
+  } catch (const net::WireError& e) {
+    std::fprintf(stderr, "psc_client: server error [%s]: %s\n",
+                 net::wire_error_code_name(e.code()).c_str(), e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psc_client: %s\n", e.what());
+    return 1;
+  }
+}

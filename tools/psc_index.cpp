@@ -12,7 +12,7 @@
 
 #include "bio/fasta.hpp"
 #include "bio/translate.hpp"
-#include "core/options.hpp"
+#include "core/cli_options.hpp"
 #include "index/index_table.hpp"
 #include "store/bank_store.hpp"
 #include "store/format.hpp"
@@ -52,9 +52,8 @@ int main(int argc, char** argv) {
   args.add_flag("translate",
                 "six-frame-translate a DNA input into the protein fragment "
                 "bank the pipeline compares against");
-  args.add_option("seed-model", "subset-w4",
-                  "subset-w4 | subset-w4-coarse | exact-w4 | exact-w3");
-  args.add_option("threads", "0", "index build threads (0 = all cores)");
+  core::add_seed_model_option(args, core::SeedModelKind::kSubsetW4);
+  core::add_threads_option(args, "index build threads (0 = all cores)");
   args.add_flag("serial-index",
                 "build the index with the serial constructor instead of the "
                 "parallel builder (escape hatch; the layouts are identical)");
@@ -108,17 +107,17 @@ int main(int argc, char** argv) {
                    "searches protein space (use --translate)\n");
     }
 
-    const core::SeedModelKind kind_enum =
-        core::parse_seed_model_kind(args.get("seed-model"));
+    core::SeedModelKind kind_enum = core::SeedModelKind::kSubsetW4;
+    if (!core::parse_seed_model_option(args, kind_enum)) return 1;
+    std::size_t threads = 0;
+    if (!core::parse_threads_option(args, threads)) return 1;
     const index::SeedModel model = core::make_seed_model(kind_enum);
 
     util::Timer build_timer;
     const index::IndexTable table =
         args.get_flag("serial-index")
             ? index::IndexTable(bank, model)
-            : index::IndexTable::build_parallel(
-                  bank, model,
-                  static_cast<std::size_t>(args.get_int("threads")));
+            : index::IndexTable::build_parallel(bank, model, threads);
     std::fprintf(stderr,
                  "# indexed under %s: %zu occurrence(s) over %zu keys "
                  "(%.3f s)\n",

@@ -1,0 +1,125 @@
+// psc_serve: the network front-end as a process. Hosts one
+// SearchService (resident banks, coalescing worker) behind the psc wire
+// protocol (src/net/), so any number of psc_client processes share the
+// residents and the batching.
+//
+//   $ ./psc_index --input=bank.fa --kind=protein --out=store/bank
+//   $ ./psc_serve --bank-root=store --port=7878
+//   $ ./psc_serve --bank-root=store --port=0 --port-file=port.txt &
+//       -> binds an ephemeral port and writes it to port.txt
+//
+// Runs until SIGINT/SIGTERM.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "core/cli_options.hpp"
+#include "net/server.hpp"
+#include "service/search_service.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psc;
+
+  util::ArgParser args("psc_serve",
+                       "serve SearchService over the psc wire protocol");
+  args.add_option("bind", "127.0.0.1", "listen address");
+  args.add_option("port", "0", "listen port (0 = ephemeral; see --port-file)");
+  args.add_option("port-file", "",
+                  "write the bound port to this file once listening (for "
+                  "scripts using --port=0)");
+  args.add_option("bank-root", ".",
+                  "directory bank prefixes resolve under; requests cannot "
+                  "escape it");
+  args.add_option("max-resident", "4",
+                  "resident (bank, index) pairs kept in the LRU cache");
+  args.add_option("max-payload-mb", "64", "per-frame receive limit (MiB)");
+  args.add_option("max-in-flight", "32",
+                  "searches one connection may have unanswered");
+  args.add_option("read-timeout", "30",
+                  "seconds a peer may stall mid-frame before kTimeout");
+  args.add_option("max-connections", "64", "concurrent connections accepted");
+  core::add_pipeline_options(args, service::default_service_options());
+  core::add_matrix_option(args);
+  if (!args.parse(argc, argv)) return 1;
+
+  service::ServiceConfig service_config;
+  service_config.options = service::default_service_options();
+  if (!core::parse_pipeline_options(args, service_config.options)) return 1;
+  if (!core::parse_matrix_option(args, service_config.matrix)) return 1;
+  {
+    const std::int64_t max_resident = args.get_int("max-resident");
+    if (max_resident < 0) {
+      std::fprintf(stderr, "--max-resident must be >= 0\n");
+      return 1;
+    }
+    service_config.max_resident = static_cast<std::size_t>(max_resident);
+  }
+  // The service-global traceback setting is the serving default; remote
+  // queries carry their own per-query value in the Search frame.
+  service_config.options.with_traceback = true;
+
+  net::ServerConfig server_config;
+  server_config.bind_address = args.get("bind");
+  server_config.bank_root = args.get("bank-root");
+  const std::int64_t port = args.get_int("port");
+  const std::int64_t payload_mb = args.get_int("max-payload-mb");
+  const std::int64_t in_flight = args.get_int("max-in-flight");
+  const std::int64_t connections = args.get_int("max-connections");
+  const double read_timeout = args.get_double("read-timeout");
+  if (port < 0 || port > 65535 || payload_mb <= 0 || in_flight <= 0 ||
+      connections <= 0 || read_timeout <= 0.0) {
+    std::fprintf(stderr,
+                 "psc_serve: --port must be 0..65535 and the limit options "
+                 "positive\n");
+    return 1;
+  }
+  server_config.port = static_cast<std::uint16_t>(port);
+  server_config.max_payload_bytes =
+      static_cast<std::uint64_t>(payload_mb) << 20;
+  server_config.max_in_flight = static_cast<std::size_t>(in_flight);
+  server_config.max_connections = static_cast<std::size_t>(connections);
+  server_config.read_timeout_seconds = read_timeout;
+
+  try {
+    service::SearchService service(service_config);
+    net::Server server(service, server_config);
+    server.start();
+    std::fprintf(stderr,
+                 "# psc_serve listening on %s:%u (bank root %s, backend %s)\n",
+                 server_config.bind_address.c_str(), server.port(),
+                 server_config.bank_root.c_str(),
+                 core::backend_name(service_config.options.backend).c_str());
+    if (!args.get("port-file").empty()) {
+      std::ofstream out(args.get("port-file"));
+      out << server.port() << "\n";
+      if (!out) {
+        std::fprintf(stderr, "psc_serve: cannot write %s\n",
+                     args.get("port-file").c_str());
+        return 1;
+      }
+    }
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::fprintf(stderr, "# psc_serve: shutting down\n");
+    server.stop();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psc_serve: %s\n", e.what());
+    return 1;
+  }
+}
