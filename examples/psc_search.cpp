@@ -20,11 +20,13 @@
 #include "core/modes.hpp"
 #include "core/report.hpp"
 #include "core/result_codec.hpp"
+#include "service/shard_query.hpp"
 #include "sim/genome_generator.hpp"
 #include "sim/mutation.hpp"
 #include "sim/protein_generator.hpp"
 #include "store/index_store.hpp"
 #include "store/bank_store.hpp"
+#include "store/shard_store.hpp"
 #include "util/args.hpp"
 
 namespace {
@@ -128,8 +130,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     try {
-      const store::IndexFileInfo info =
-          store::inspect_index(prefix + ".pscidx");
+      // A sharded store records its seed model identically in every
+      // shard's index; sniff it from the first file either way.
+      const bool sharded = store::manifest_exists(prefix);
+      const store::IndexFileInfo info = store::inspect_index(
+          (sharded ? store::shard_prefix(prefix, 0) : prefix) + ".pscidx");
       options.seed_model = core::parse_seed_model_kind(info.model_name);
       const index::SeedModel model = core::make_seed_model(options.seed_model);
       options.shape.seed_width = model.width();
@@ -141,17 +146,26 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "# masked %zu low-complexity query residues\n",
                      masked);
       }
-      const bio::SequenceBank subject = store::load_bank(prefix + ".pscbank");
-      const store::LoadedIndex loaded =
-          store::load_index(prefix + ".pscidx", model, &subject);
+      const service::LoadedBankSet set =
+          service::load_bank_set(prefix, model, /*verify_checksums=*/true);
       std::fprintf(stderr,
-                   "# loaded %s: %zu subject sequence(s), %zu occurrence(s) "
-                   "under %s\n",
-                   prefix.c_str(), subject.size(),
-                   loaded.table.total_occurrences(), model.name().c_str());
+                   "# loaded %s: %llu subject sequence(s) across %zu "
+                   "shard(s) under %s\n",
+                   prefix.c_str(),
+                   static_cast<unsigned long long>(set.total_sequences),
+                   set.shard_count(), model.name().c_str());
 
-      const core::PipelineResult pipeline = core::run_pipeline_with_index(
-          query, subject, loaded.table, options, matrix);
+      const core::PipelineResult pipeline =
+          service::run_query_over_set(query, set, options, matrix);
+
+      // Text formats index the subject bank by the matches' (global)
+      // subject ids; stitch the shards back into one bank in base order.
+      bio::SequenceBank subject(set.shards.front().bank.kind());
+      for (const service::LoadedShard& shard : set.shards) {
+        for (const bio::Sequence& sequence : shard.bank) {
+          subject.add(sequence);
+        }
+      }
       if (output_binary) {
         const std::vector<std::uint8_t> bytes =
             core::encode_matches(pipeline.matches);

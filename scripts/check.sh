@@ -20,6 +20,9 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 echo "== tier 1: loopback integration check =="
 scripts/loopback_check.sh build
 
+echo "== tier 1: sharding equivalence check =="
+scripts/shard_check.sh build
+
 echo "== sanitizers: align/core/store/service/net tests under ASan/UBSan =="
 cmake -B build-asan -S . \
   -DPSC_ENABLE_SANITIZERS=ON \

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Sharding equivalence check: index the same bank unsharded and at
+# several --shard-max-bytes caps, then require every sharded store to
+# answer queries bit-for-bit identically to the unsharded one (both
+# sides emit the versioned match encoding via --output-binary, so `cmp`
+# is the whole comparison). The caps are chosen so the shard counts
+# cover 1 (a one-shard manifest must degenerate cleanly), 2, and
+# one-sequence-per-shard.
+#
+# Usage: scripts/shard_check.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+build=${1:-build}
+
+index="$build/tools/psc_index"
+search="$build/examples/psc_search"
+for binary in "$index" "$search"; do
+  if [[ ! -x $binary ]]; then
+    echo "shard_check: missing $binary (build the default targets first)" >&2
+    exit 1
+  fi
+done
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# --- a tiny bank + queries (deterministic, checked-in inline) -----------
+cat > "$work/bank.fa" <<'EOF'
+>ref0
+MKVLITGAGSGIGLELAKQFAREGYKVAVTDINEEKLQELKEELGDNVIGIVGDVSSEED
+VKRAVAEAVERFGRIDVLVNNAGITRDNLLMRMKEEEWDDVIDTNLKGVFNCTQAVSRIM
+>ref1
+MSTNPKPQRKTKRNTNRRPQDVKFPGGGQIVGGVYLLPRRGPRLGVRATRKTSERSQPRG
+RRQPIPKARRPEGRTWAQPGYPWPLYGNEGCGWAGWLLSPRGSRPSWGPTDPRRRSRNLG
+>ref2
+MAHHHHHHMGTLEAQTQGPGSMSDKIIHLTDDSFDTDVLKADGAILVDFWAEWCGPCKMI
+APILDEIADEYQGKLTVAKLNIDQNPGTAPKYGIRGIPTLLLFKNGEVAATKVGALSKGQ
+EOF
+
+cat > "$work/queries.fa" <<'EOF'
+>q0_ref0_like
+MKVLITGAGSGIGLELAKQFAREGYKVAVTDINEEKLQELKEELGDNVIGIVGDVSSEED
+>q1_ref2_like
+APILDEIADEYQGKLTVAKLNIDQNPGTAPKYGIRGIPTLLLFKNGEVAATKVGALSKGQ
+>q2_random
+QWERTYIPASDFGHKLCVNMQWERTYIPASDFGHKLCVNMQWERTYIPASDFGHKLCVNM
+EOF
+
+echo "== shard: unsharded reference store =="
+"$index" --input="$work/bank.fa" --kind=protein --out="$work/plain"
+"$search" --subject-index="$work/plain" --query="$work/queries.fa" \
+  --backend=host-parallel --output-binary > "$work/reference.bin"
+echo "   reference: $(wc -c < "$work/reference.bin") bytes"
+
+# Caps picked for the inline bank above (each record encodes to 132
+# bytes): a huge cap collapses to one shard, 300 bytes splits after two
+# sequences, and 1 byte forces every sequence into its own shard
+# (oversized sequences get a private shard).
+counts=()
+for cap in 10000000 300 1; do
+  prefix="$work/sharded_$cap"
+  echo "== shard: --shard-max-bytes=$cap =="
+  "$index" --input="$work/bank.fa" --kind=protein --out="$prefix" \
+    --shard-max-bytes="$cap"
+  [[ -f $prefix.pscman ]] || { echo "shard_check: no manifest for cap $cap" >&2; exit 1; }
+  shards=$(ls "$prefix".shard*.pscbank | wc -l)
+  counts+=("$shards")
+  echo "   $shards shard(s)"
+  "$search" --subject-index="$prefix" --query="$work/queries.fa" \
+    --backend=host-parallel --output-binary > "$prefix.bin"
+  cmp "$work/reference.bin" "$prefix.bin"
+  echo "   bit-for-bit OK"
+done
+
+# The three caps must actually exercise three distinct shard counts,
+# and the huge cap must degenerate to a single shard.
+if [[ ${counts[0]} -ne 1 ]]; then
+  echo "shard_check: huge cap produced ${counts[0]} shards, expected 1" >&2
+  exit 1
+fi
+if [[ ${counts[0]} -eq ${counts[1]} || ${counts[1]} -eq ${counts[2]} ||
+      ${counts[0]} -eq ${counts[2]} ]]; then
+  echo "shard_check: caps did not produce distinct shard counts (${counts[*]})" >&2
+  exit 1
+fi
+
+echo "== shard: --inspect reads the manifest =="
+"$index" --inspect="$work/sharded_300" | tee "$work/inspect.txt"
+grep -q "shard" "$work/inspect.txt"
+
+echo "== shard check passed (counts: ${counts[*]}) =="

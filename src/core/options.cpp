@@ -25,6 +25,9 @@ void PipelineOptions::validate() const {
   if (e_value_cutoff <= 0.0) {
     throw std::invalid_argument("PipelineOptions: e_value_cutoff <= 0");
   }
+  if (search_space_residues < 0.0) {
+    throw std::invalid_argument("PipelineOptions: search_space_residues < 0");
+  }
   if (backend == Step2Backend::kRasc) {
     rasc.psc.validate();
     if (rasc.num_fpgas == 0 || rasc.num_fpgas > 2) {

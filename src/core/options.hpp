@@ -89,6 +89,13 @@ struct PipelineOptions {
   /// Step-3 gapped extension parameters.
   align::GapParams gap{};
   double e_value_cutoff = 1e-3;
+  /// E-value search space override: the subject-side residue total n in
+  /// E = m*n*K*exp(-lambda*S). 0 (default) uses the subject bank's own
+  /// total. The shard fan-out sets this to the *whole* bank's total from
+  /// the manifest, so per-shard passes report the exact E-values the
+  /// unsharded bank would (per-shard statistics would inflate every
+  /// shard's significance).
+  double search_space_residues = 0.0;
   bool with_traceback = false;
   align::KarlinParams stats = align::blosum62_gapped_11_1();
   /// Per-query composition-adjusted lambda for step-3 E-values (Gertz et

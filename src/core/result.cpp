@@ -19,19 +19,58 @@ bool overlaps_mostly(const Match& a, const Match& b) {
          overlap(a.alignment.begin1, a.alignment.end1, b.alignment.begin1,
                  b.alignment.end1);
 }
+/// Tie-break shared by both orders once the leading keys agree: the
+/// alignment coordinates. Two matches that still compare equal here are
+/// identical in every field the dedup and the output encode.
+bool coordinate_order(const Match& a, const Match& b) {
+  if (a.alignment.begin0 != b.alignment.begin0) {
+    return a.alignment.begin0 < b.alignment.begin0;
+  }
+  if (a.alignment.begin1 != b.alignment.begin1) {
+    return a.alignment.begin1 < b.alignment.begin1;
+  }
+  if (a.alignment.end0 != b.alignment.end0) {
+    return a.alignment.end0 < b.alignment.end0;
+  }
+  return a.alignment.end1 < b.alignment.end1;
+}
+
+/// Dedup walk order: grouped by pair, strongest first. Total for the
+/// same reason as match_order: with an order that left equal-score ties
+/// unspecified, which duplicate survives could depend on how the input
+/// happened to be arranged, and a sharded run would not be bit-identical
+/// to the unsharded one.
+bool dedup_order(const Match& a, const Match& b) {
+  if (a.bank0_sequence != b.bank0_sequence) {
+    return a.bank0_sequence < b.bank0_sequence;
+  }
+  if (a.bank1_sequence != b.bank1_sequence) {
+    return a.bank1_sequence < b.bank1_sequence;
+  }
+  if (a.alignment.score != b.alignment.score) {
+    return a.alignment.score > b.alignment.score;
+  }
+  return coordinate_order(a, b);
+}
+
 }  // namespace
 
+bool match_order(const Match& a, const Match& b) {
+  if (a.e_value != b.e_value) return a.e_value < b.e_value;
+  if (a.bank0_sequence != b.bank0_sequence) {
+    return a.bank0_sequence < b.bank0_sequence;
+  }
+  if (a.bank1_sequence != b.bank1_sequence) {
+    return a.bank1_sequence < b.bank1_sequence;
+  }
+  if (a.alignment.score != b.alignment.score) {
+    return a.alignment.score > b.alignment.score;
+  }
+  return coordinate_order(a, b);
+}
+
 void finalize_matches(std::vector<Match>& matches) {
-  std::sort(matches.begin(), matches.end(),
-            [](const Match& a, const Match& b) {
-              if (a.bank0_sequence != b.bank0_sequence) {
-                return a.bank0_sequence < b.bank0_sequence;
-              }
-              if (a.bank1_sequence != b.bank1_sequence) {
-                return a.bank1_sequence < b.bank1_sequence;
-              }
-              return a.alignment.score > b.alignment.score;
-            });
+  std::sort(matches.begin(), matches.end(), dedup_order);
   std::vector<Match> kept;
   kept.reserve(matches.size());
   for (auto& match : matches) {
@@ -48,9 +87,7 @@ void finalize_matches(std::vector<Match>& matches) {
     }
     if (!duplicate) kept.push_back(std::move(match));
   }
-  std::sort(kept.begin(), kept.end(), [](const Match& a, const Match& b) {
-    return a.e_value < b.e_value;
-  });
+  std::sort(kept.begin(), kept.end(), match_order);
   matches = std::move(kept);
 }
 

@@ -67,9 +67,19 @@ struct PipelineResult {
   rasc::OperatorStats operator_stats;
 };
 
+/// The pipeline's total output order: ascending E-value, then query id,
+/// subject id, descending score, and alignment coordinates as the final
+/// tie-breaks. Total (no two distinct matches compare equal unless they
+/// are byte-identical in every ordered field), which is what lets a
+/// sharded fan-out merge per-shard results into exactly the sequence the
+/// unsharded pass produces.
+bool match_order(const Match& a, const Match& b);
+
 /// Removes near-duplicate matches (same sequence pair with mostly
-/// overlapping regions; the higher score wins) and sorts the survivors by
-/// ascending E-value. Called by the pipeline after step 3.
+/// overlapping regions; the higher score wins) and sorts the survivors
+/// with match_order. Called by the pipeline after step 3; both its sorts
+/// use total comparators, so the output sequence depends only on the
+/// match *set*, never on the input order or the sort implementation.
 void finalize_matches(std::vector<Match>& matches);
 
 }  // namespace psc::core

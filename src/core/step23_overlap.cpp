@@ -97,7 +97,9 @@ OverlapOutcome run_steps23_overlapped(
   std::vector<std::vector<ExtendedHit>> extended(workers);
 
   const double total_bank1_residues =
-      static_cast<double>(bank1.total_residues());
+      options.search_space_residues > 0.0
+          ? options.search_space_residues
+          : static_cast<double>(bank1.total_residues());
   Step3StatsCache stats(bank0, matrix, options);
 
   // Strongest seeds first (the step-3 walk order) so the coverage

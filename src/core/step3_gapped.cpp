@@ -119,7 +119,9 @@ Step3Result run_step3(const bio::SequenceBank& bank0,
   sort_hits_for_step3(hits);
 
   const double total_bank1_residues =
-      static_cast<double>(bank1.total_residues());
+      options.search_space_residues > 0.0
+          ? options.search_space_residues
+          : static_cast<double>(bank1.total_residues());
   Step3StatsCache stats(bank0, matrix, options);
   const auto groups = pair_group_ranges(hits);
 

@@ -8,10 +8,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <list>
 #include <sstream>
 #include <string_view>
@@ -117,7 +119,17 @@ void Server::start() {
   port_ = ntohs(bound.sin_port);
   set_nonblocking(listen_fd_);
 
+  if (::pipe(wake_fds_) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::system_error(saved, std::generic_category(), "pipe");
+  }
+  set_nonblocking(wake_fds_[0]);
+  set_nonblocking(wake_fds_[1]);
+
   stop_.store(false);
+  poll_wakeups_.store(0);
   started_ = true;
   thread_ = std::thread([this] { loop(); });
 }
@@ -125,10 +137,20 @@ void Server::start() {
 void Server::stop() {
   if (!started_) return;
   stop_.store(true);
+  // Wake a loop blocked in poll with nothing pending; without this the
+  // join would wait for traffic that may never come.
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
   if (thread_.joinable()) thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
   }
   started_ = false;
 }
@@ -289,12 +311,51 @@ void Server::loop() {
           (connection.out_cursor < connection.out.size() ? POLLOUT : 0));
       fds.push_back(entry);
     }
+    pollfd waker{};
+    waker.fd = wake_fds_[0];
+    waker.events = POLLIN;
+    fds.push_back(waker);
 
-    // A short tick doubles as the completion poll for deferred futures
-    // (the service worker fulfills them on its own thread).
-    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 10);
+    // The timeout comes from what the loop is actually waiting on.
+    // Deferred search futures are fulfilled on the service's worker
+    // thread with no fd to poll, so while any are outstanding a short
+    // tick doubles as their completion poll. Otherwise the only timed
+    // event is the nearest mid-frame read deadline; with none armed the
+    // loop blocks indefinitely (stop() wakes it through the self-pipe)
+    // instead of spinning 100x/s while idle.
+    int timeout_ms = -1;
+    bool any_deferred = false;
+    bool have_deadline = false;
+    Clock::time_point nearest{};
+    for (const Connection& connection : connections) {
+      if (connection.deferred > 0) any_deferred = true;
+      if (connection.deadline_armed &&
+          (!have_deadline || connection.deadline < nearest)) {
+        have_deadline = true;
+        nearest = connection.deadline;
+      }
+    }
+    if (any_deferred) {
+      timeout_ms = 10;
+    } else if (have_deadline) {
+      const auto wait = std::chrono::ceil<std::chrono::milliseconds>(
+          nearest - Clock::now());
+      const long long ms = wait.count();
+      timeout_ms = ms <= 0 ? 0
+                           : static_cast<int>(std::min<long long>(
+                                 ms, std::numeric_limits<int>::max()));
+    }
+
+    const int rc =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    poll_wakeups_.fetch_add(1, std::memory_order_relaxed);
     if (rc < 0 && errno != EINTR) break;
     if (stop_.load()) break;
+    if ((fds.back().revents & POLLIN) != 0) {
+      std::uint8_t drain[64];
+      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
 
     if ((fds[0].revents & POLLIN) != 0) {
       for (;;) {

@@ -68,6 +68,13 @@ class Server {
   /// The bound port (useful with config.port == 0). Valid after start().
   std::uint16_t port() const { return port_; }
 
+  /// Times the loop has returned from poll(2) since start(). An idle
+  /// server blocks in poll indefinitely (stop() wakes it through a
+  /// self-pipe), so this gauge stays flat with no traffic -- the
+  /// regression handle for the historical fixed 10 ms tick that woke
+  /// the process 100x/s doing nothing.
+  std::uint64_t poll_wakeups() const { return poll_wakeups_.load(); }
+
   const ServerConfig& config() const { return config_; }
 
  private:
@@ -82,8 +89,12 @@ class Server {
   service::SearchService* service_;
   ServerConfig config_;
   int listen_fd_ = -1;
+  /// Self-pipe: stop() writes one byte so a poll blocked with no
+  /// deadline pending wakes immediately instead of never.
+  int wake_fds_[2] = {-1, -1};
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> poll_wakeups_{0};
   bool started_ = false;
   std::thread thread_;
 };

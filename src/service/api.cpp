@@ -9,14 +9,22 @@ constexpr std::uint32_t kFlagBankWasResident = 1u << 0;
 
 }  // namespace
 
-std::uint64_t QueryOptions::fingerprint() const noexcept {
+std::pair<std::uint64_t, std::uint64_t> QueryOptions::group_key()
+    const noexcept {
   std::uint64_t bits = 0;
   std::memcpy(&bits, &e_value_cutoff, sizeof(e_value_cutoff));
-  // The cutoff occupies the full word; fold the flag bits in with a
-  // multiply-xor so (cutoff, flags) pairs stay distinct.
   std::uint64_t flags = 0;
   if (with_traceback) flags |= 1u;
   if (composition_based_stats) flags |= 2u;
+  return {bits, flags};
+}
+
+std::uint64_t QueryOptions::fingerprint() const noexcept {
+  // A hash, not a key: the multiply folds 66 bits of state into 64, so
+  // collisions exist (e.g. cutoff bit patterns differing by the odd
+  // multiplier's inverse times a flag delta). Grouping goes through
+  // group_key(), which keeps the fields separate.
+  const auto [bits, flags] = group_key();
   return (bits * 0x9e3779b97f4a7c15ull) ^ flags;
 }
 
@@ -75,6 +83,7 @@ std::vector<std::uint8_t> encode_service_stats(const ServiceStats& stats) {
   core::codec::put_f64(out, stats.mean_batch_latency_seconds);
   core::codec::put_u64(out, stats.queue_depth);
   core::codec::put_u64(out, stats.resident_banks);
+  core::codec::put_u64(out, stats.resident_shards);
   return out;
 }
 
@@ -102,6 +111,8 @@ ServiceStats decode_service_stats(std::span<const std::uint8_t> data) {
   stats.queue_depth = static_cast<std::size_t>(reader.u64("queue depth"));
   stats.resident_banks =
       static_cast<std::size_t>(reader.u64("resident banks"));
+  stats.resident_shards =
+      static_cast<std::size_t>(reader.u64("resident shards"));
   if (!reader.done()) {
     throw core::CodecError("codec: trailing bytes after service stats");
   }

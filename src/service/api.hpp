@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bio/sequence.hpp"
@@ -24,21 +25,32 @@ namespace psc::service {
 
 /// QueryResult wire-format version; bump on layout change.
 inline constexpr std::uint32_t kQueryResultCodecVersion = 1;
-/// ServiceStats wire-format version; bump on layout change.
-inline constexpr std::uint32_t kServiceStatsCodecVersion = 1;
+/// ServiceStats wire-format version; bump on layout change. v2 adds the
+/// resident_shards gauge.
+inline constexpr std::uint32_t kServiceStatsCodecVersion = 2;
 
 /// The per-request option subset a caller may vary without reconfiguring
 /// the service. Requests only coalesce into one shared pass when their
 /// options agree (the pass is executed once for the whole group), so the
-/// worker groups by (bank prefix, options fingerprint).
+/// worker groups by bank prefix plus *every option field exactly*
+/// (QueryOptions::group_key) -- never by fingerprint alone.
 struct QueryOptions {
   double e_value_cutoff = 1e-3;
   bool with_traceback = false;
   bool composition_based_stats = false;
 
-  /// Stable grouping key over every field; equal options always have
-  /// equal fingerprints and the field space is small enough that the
-  /// reverse holds too (bit-packed, not hashed).
+  /// Exact grouping key: the cutoff's bit pattern plus the flag bits.
+  /// Distinct option sets always map to distinct keys (it is the fields
+  /// themselves, not a hash), so two requests can only coalesce when a
+  /// single pass is valid for both. Compared bitwise, so cutoffs that
+  /// differ only in representation (-0.0 vs 0.0, NaN payloads) count as
+  /// different -- the safe direction for a coalescing decision.
+  std::pair<std::uint64_t, std::uint64_t> group_key() const noexcept;
+
+  /// One-word *hash* of the options for logs and stats. NOT injective
+  /// (64 bits of cutoff plus 2 flag bits fold into one word, so the
+  /// multiply-xor collides by pigeonhole); never use it to decide
+  /// whether two option sets may share a pass -- that is group_key().
   std::uint64_t fingerprint() const noexcept;
 };
 
@@ -86,7 +98,10 @@ struct ServiceStats {
   double max_batch_latency_seconds = 0.0;    ///< slowest batch so far
   double mean_batch_latency_seconds = 0.0;   ///< filled at snapshot time
   std::size_t queue_depth = 0;         ///< pending requests right now
-  std::size_t resident_banks = 0;      ///< cache occupancy right now
+  std::size_t resident_banks = 0;      ///< resident targets (shard sets)
+  /// Resident shard files across all targets (a plain unsharded bank
+  /// counts as one shard); this is what the cache capacity bounds.
+  std::size_t resident_shards = 0;
 };
 
 /// Appends the versioned QueryResult encoding (header fields followed by

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
-#include "store/bank_store.hpp"
 #include "store/format.hpp"
 
 namespace psc::service {
@@ -163,22 +163,34 @@ void SearchService::worker_loop() {
     }
 
     // Group by (target bank, per-query options) -- a pass runs under one
-    // option set, so only requests that agree may share it. Submission
-    // order is preserved within a group.
-    std::map<std::pair<std::string, std::uint64_t>, std::vector<Request*>>
-        groups;
+    // option set, so only requests that agree may share it. The key is
+    // the exact option fields (group_key), never a hash: a fingerprint
+    // collision between distinct option sets must not merge two passes
+    // that would compute different answers. Submission order is
+    // preserved within a group.
+    using GroupKey = std::tuple<std::string, std::uint64_t, std::uint64_t>;
+    std::map<GroupKey, std::vector<Request*>> groups;
     for (Request& request : batch) {
-      groups[{request.request.bank_prefix,
-              request.request.options.fingerprint()}]
+      const auto [cutoff_bits, flag_bits] =
+          request.request.options.group_key();
+      groups[{request.request.bank_prefix, cutoff_bits, flag_bits}]
           .push_back(&request);
     }
     for (auto& [key, group] : groups) {
-      process_group(key.first, group.front()->request.options, group);
+      process_group(std::get<0>(key), group.front()->request.options, group);
     }
   }
 }
 
-std::shared_ptr<SearchService::Resident> SearchService::acquire(
+std::size_t SearchService::resident_shard_count() const {
+  std::size_t shards = 0;
+  for (const auto& [key, resident] : cache_) {
+    shards += resident->set.shard_count();
+  }
+  return shards;
+}
+
+std::shared_ptr<SearchService::ResidentSet> SearchService::acquire(
     const std::string& prefix, bool& was_hit) {
   const std::string key = cache_key(prefix);
   const auto it = cache_.find(key);
@@ -189,27 +201,46 @@ std::shared_ptr<SearchService::Resident> SearchService::acquire(
   }
   was_hit = false;
 
-  bio::SequenceBank bank =
-      store::load_bank(prefix + ".pscbank", config_.verify_checksums);
-  store::LoadedIndex index = store::load_index(
-      prefix + ".pscidx", model_, &bank, config_.verify_checksums);
-  auto resident = std::make_shared<Resident>(
-      Resident{std::move(bank), std::move(index), ++use_tick_});
+  // Assemble the whole set before touching the cache: the incoming
+  // entry is never a candidate for its own eviction pass, and a load
+  // failure leaves the cache exactly as it was.
+  auto resident = std::make_shared<ResidentSet>();
+  resident->set =
+      load_bank_set(prefix, model_, config_.verify_checksums);
+  resident->last_use = ++use_tick_;
 
-  if (config_.max_resident == 0) return resident;  // transient: never cached
-  if (cache_.size() >= config_.max_resident) {
-    auto victim = cache_.begin();
+  const std::size_t incoming = resident->set.shard_count();
+  if (config_.max_resident == 0 || incoming > config_.max_resident) {
+    // Transient: caching is off, or the set could never fit the cap.
+    // Serving it from the batch's own reference (without first evicting
+    // every other resident for a set that cannot stay anyway) is the
+    // "shard set larger than the cap" case of the eviction audit.
+    return resident;
+  }
+
+  // Evict whole sets, oldest first, until the newcomer fits. An entry
+  // whose use_count exceeds the cache's own reference is pinned: some
+  // still-running batch holds it, and dropping the cache's reference
+  // out from under that batch would free nothing *and* lose residency
+  // the moment the batch completes.
+  while (resident_shard_count() + incoming > config_.max_resident) {
+    auto victim = cache_.end();
     for (auto candidate = cache_.begin(); candidate != cache_.end();
          ++candidate) {
-      if (candidate->second->last_use < victim->second->last_use) {
+      if (candidate->second.use_count() > 1) continue;  // pinned: in use
+      if (victim == cache_.end() ||
+          candidate->second->last_use < victim->second->last_use) {
         victim = candidate;
       }
     }
+    if (victim == cache_.end()) break;  // everything pinned; serve transient
     cache_.erase(victim);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.evictions;
   }
-  cache_.emplace(key, resident);
+  if (resident_shard_count() + incoming <= config_.max_resident) {
+    cache_.emplace(key, resident);
+  }
   return resident;
 }
 
@@ -228,7 +259,7 @@ void SearchService::process_group(const std::string& prefix,
   };
 
   bool was_hit = false;
-  std::shared_ptr<Resident> resident;
+  std::shared_ptr<ResidentSet> resident;
   try {
     resident = acquire(prefix, was_hit);
   } catch (...) {
@@ -266,9 +297,8 @@ void SearchService::process_group(const std::string& prefix,
     pass_options.with_traceback = options.with_traceback;
     pass_options.composition_based_stats = options.composition_based_stats;
 
-    const core::PipelineResult result = core::run_pipeline_with_index(
-        combined, resident->bank, resident->index.table, pass_options,
-        config_.matrix);
+    const core::PipelineResult result = run_query_over_set(
+        combined, resident->set, pass_options, config_.matrix);
 
     const auto completed = std::chrono::steady_clock::now();
     replies.resize(group.size());
@@ -311,6 +341,7 @@ void SearchService::process_group(const std::string& prefix,
       ++stats_.cache_misses;
     }
     stats_.resident_banks = cache_.size();
+    stats_.resident_shards = resident_shard_count();
   }
 
   for (std::size_t i = 0; i < group.size(); ++i) {

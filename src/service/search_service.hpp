@@ -1,11 +1,14 @@
 // A resident, batched front-end over the pipeline: the process-lifetime
 // analogue of the paper's accelerator workflow, where one reference bank
 // is loaded onto the board once and queries stream past it. The service
-// keeps hot (bank, index) pairs mmap-resident in an LRU cache keyed by
-// store path + seed model, and coalesces queries that are queued against
-// the same bank *with the same per-query options* into one shared
-// step-2/step-3 pass -- the amortization every later scaling layer
-// (sharding, the network front-end in src/net/) builds on.
+// keeps hot targets -- a plain (bank, index) pair or a whole shard set
+// (store/shard_store.hpp) -- mmap-resident in an LRU cache keyed by
+// store path + seed model, fans each pass out across the target's
+// shards (service/shard_query.hpp; co-queried shards stay resident
+// together, whole sets evict atomically), and coalesces queries that
+// are queued against the same bank *with the same per-query options*
+// into one shared step-2/step-3 pass -- the amortization every later
+// scaling layer (the network front-end in src/net/) builds on.
 //
 //   service::SearchService svc;                 // subset-w4, host-parallel
 //   service::ServiceRequest request;
@@ -36,7 +39,7 @@
 #include "bio/substitution_matrix.hpp"
 #include "core/pipeline.hpp"
 #include "service/api.hpp"
-#include "store/index_store.hpp"
+#include "service/shard_query.hpp"
 #include "util/executor.hpp"
 
 namespace psc::service {
@@ -46,8 +49,13 @@ namespace psc::service {
 core::PipelineOptions default_service_options();
 
 struct ServiceConfig {
-  /// Resident (bank, index) pairs kept alive; 0 disables caching (every
-  /// batch reloads from the store -- the bench's "cold load" mode).
+  /// Resident *shard files* kept alive across all cached targets: a
+  /// plain unsharded bank costs 1, a sharded bank costs its shard count
+  /// (the set stays resident together or not at all -- the LRU evicts
+  /// whole sets, never a partial one, and a set larger than this cap is
+  /// served transiently without evicting anything). 0 disables caching
+  /// (every batch reloads from the store -- the bench's "cold load"
+  /// mode).
   std::size_t max_resident = 4;
   /// Verify store payload checksums on load. Leave on outside benches.
   bool verify_checksums = true;
@@ -113,19 +121,21 @@ class SearchService {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  /// A resident reference bank: the decoded sequences plus the mmap-backed
-  /// index view (LoadedIndex keeps the mapping alive).
-  struct Resident {
-    bio::SequenceBank bank;
-    store::LoadedIndex index;
+  /// A resident target: the whole shard set (one shard for a plain
+  /// bank), kept or evicted as a unit. The batch that is querying a set
+  /// holds the shared_ptr, which is what pins it against eviction.
+  struct ResidentSet {
+    LoadedBankSet set;
     std::uint64_t last_use = 0;
   };
 
   void worker_loop();
   void process_group(const std::string& prefix, const QueryOptions& options,
                      std::vector<Request*>& group);
-  std::shared_ptr<Resident> acquire(const std::string& prefix, bool& was_hit);
+  std::shared_ptr<ResidentSet> acquire(const std::string& prefix,
+                                       bool& was_hit);
   std::string cache_key(const std::string& prefix) const;
+  std::size_t resident_shard_count() const;  ///< worker thread only
 
   ServiceConfig config_;
   index::SeedModel model_;
@@ -144,7 +154,7 @@ class SearchService {
   ServiceStats stats_;
 
   // Touched only by the worker thread; no locking needed.
-  std::unordered_map<std::string, std::shared_ptr<Resident>> cache_;
+  std::unordered_map<std::string, std::shared_ptr<ResidentSet>> cache_;
   std::uint64_t use_tick_ = 0;
 
   std::thread worker_;

@@ -1,0 +1,124 @@
+#include "service/shard_query.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "store/bank_store.hpp"
+#include "store/format.hpp"
+
+namespace psc::service {
+
+namespace {
+
+/// Loads one (bank, index) pair, pinning the pairing through the bank's
+/// recorded payload checksum: the loaded index must either record that
+/// checksum or record none (v1 files).
+LoadedShard load_pair(const std::string& pair_prefix,
+                      const index::SeedModel& model, bool verify_checksums,
+                      std::uint64_t sequence_base) {
+  const store::BankFileInfo info =
+      store::inspect_bank(pair_prefix + ".pscbank");
+  bio::SequenceBank bank =
+      store::load_bank(pair_prefix + ".pscbank", verify_checksums);
+  store::LoadedIndex index =
+      store::load_index(pair_prefix + ".pscidx", model, &bank,
+                        verify_checksums, info.payload_checksum);
+  return LoadedShard{std::move(bank), std::move(index), sequence_base};
+}
+
+}  // namespace
+
+LoadedBankSet load_bank_set(const std::string& prefix,
+                            const index::SeedModel& model,
+                            bool verify_checksums) {
+  LoadedBankSet set;
+  if (!store::manifest_exists(prefix)) {
+    set.shards.push_back(load_pair(prefix, model, verify_checksums, 0));
+    set.total_sequences = set.shards.front().bank.size();
+    set.total_residues = set.shards.front().bank.total_residues();
+    return set;
+  }
+
+  const store::ShardManifest manifest =
+      store::load_manifest(store::manifest_path(prefix), verify_checksums);
+  set.sharded = true;
+  set.total_sequences = manifest.total_sequences;
+  set.total_residues = manifest.total_residues;
+  set.shards.reserve(manifest.shards.size());
+  for (std::size_t i = 0; i < manifest.shards.size(); ++i) {
+    const store::ShardInfo& slot = manifest.shards[i];
+    const std::string pair_prefix = store::shard_prefix(prefix, i);
+    // The shard file must be the very bank the manifest was built over,
+    // not merely *a* self-consistent bank/index pair: a shard swapped
+    // for another bank's files would silently change the result set.
+    const store::BankFileInfo info =
+        store::inspect_bank(pair_prefix + ".pscbank");
+    if (info.payload_checksum != slot.bank_checksum) {
+      throw store::StoreError(
+          store::StoreErrorCode::kBankMismatch,
+          "shard bank is not the one the manifest records: " + pair_prefix +
+              ".pscbank");
+    }
+    LoadedShard shard =
+        load_pair(pair_prefix, model, verify_checksums, slot.sequence_base);
+    if (shard.bank.kind() != manifest.kind ||
+        shard.bank.size() != slot.sequence_count ||
+        shard.bank.total_residues() != slot.residues) {
+      throw store::StoreError(
+          store::StoreErrorCode::kCorrupt,
+          "shard bank contents disagree with the manifest: " + pair_prefix +
+              ".pscbank");
+    }
+    set.shards.push_back(std::move(shard));
+  }
+  return set;
+}
+
+core::PipelineResult run_query_over_set(
+    const bio::SequenceBank& query, const LoadedBankSet& set,
+    const core::PipelineOptions& options,
+    const bio::SubstitutionMatrix& matrix) {
+  core::PipelineOptions pass = options;
+  // The one global quantity: E-values must be computed against the whole
+  // set's search space, not a shard's slice of it.
+  pass.search_space_residues = static_cast<double>(set.total_residues);
+
+  core::PipelineResult merged;
+  for (const LoadedShard& shard : set.shards) {
+    core::PipelineResult piece = core::run_pipeline_with_index(
+        query, shard.bank, shard.index.table, pass, matrix);
+
+    // The query-side index is rebuilt per pass and identical each time;
+    // everything else accumulates across shards.
+    merged.counters.bank0_occurrences = piece.counters.bank0_occurrences;
+    merged.counters.bank1_occurrences += piece.counters.bank1_occurrences;
+    merged.counters.step2_pairs += piece.counters.step2_pairs;
+    merged.counters.step2_cells += piece.counters.step2_cells;
+    merged.counters.step2_hits += piece.counters.step2_hits;
+    merged.counters.step3_extensions += piece.counters.step3_extensions;
+    merged.counters.step3_eager_extensions +=
+        piece.counters.step3_eager_extensions;
+    merged.times.step1_index += piece.times.step1_index;
+    merged.times.step2_ungapped += piece.times.step2_ungapped;
+    merged.times.step3_gapped += piece.times.step3_gapped;
+    merged.step2_wall_seconds += piece.step2_wall_seconds;
+    if (merged.step2_engine.empty()) merged.step2_engine = piece.step2_engine;
+    merged.fpga_reports.insert(merged.fpga_reports.end(),
+                               piece.fpga_reports.begin(),
+                               piece.fpga_reports.end());
+
+    const auto base = static_cast<std::uint32_t>(shard.sequence_base);
+    merged.matches.reserve(merged.matches.size() + piece.matches.size());
+    for (core::Match& match : piece.matches) {
+      match.bank1_sequence += base;
+      merged.matches.push_back(std::move(match));
+    }
+  }
+  // Per-shard passes each end in finalize_matches, so every per-pair
+  // dedup decision is already made (pairs never span shards); one total-
+  // order sort over the union reproduces the unsharded output sequence.
+  std::sort(merged.matches.begin(), merged.matches.end(), core::match_order);
+  return merged;
+}
+
+}  // namespace psc::service

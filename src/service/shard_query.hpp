@@ -1,0 +1,73 @@
+// Shard-set loading and query fan-out/merge: the seam between the store
+// layer's sharded files (store/shard_store.hpp) and the pipeline. A
+// LoadedBankSet is either one plain (bank, index) pair or a manifest's
+// whole shard set; run_query_over_set runs the step-2/3 pipeline per
+// shard, remaps per-shard subject ids through the manifest's bases and
+// merges the matches into the exact sequence the unsharded bank would
+// produce.
+//
+// Why the merge is bit-identical (and tested to be, tests/service +
+// scripts/shard_check.sh):
+//  - every (query, subject) pair's hits live in exactly one shard, and
+//    step 3's dedup + coverage suppression are per pair, so the match
+//    *set* per pair is shard-local;
+//  - the only global quantity in an E-value is the subject-side search
+//    space n, which each per-shard pass overrides with the manifest's
+//    whole-set residue total (PipelineOptions::search_space_residues);
+//  - core::match_order is total, so sorting the concatenated per-shard
+//    matches reproduces the unsharded finalize_matches order exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "bio/substitution_matrix.hpp"
+#include "core/pipeline.hpp"
+#include "store/index_store.hpp"
+#include "store/shard_store.hpp"
+
+namespace psc::service {
+
+/// One resident shard: the decoded sequences plus the mmap-backed index
+/// view, and where its local sequence 0 sits in the unsharded numbering.
+struct LoadedShard {
+  bio::SequenceBank bank;
+  store::LoadedIndex index;
+  std::uint64_t sequence_base = 0;
+};
+
+/// A whole resident target: every shard of a sharded bank (the LRU keeps
+/// or evicts this as one unit), or a single "shard" with base 0 for a
+/// plain unsharded store.
+struct LoadedBankSet {
+  std::vector<LoadedShard> shards;
+  bool sharded = false;            ///< loaded through a manifest
+  std::uint64_t total_sequences = 0;
+  std::uint64_t total_residues = 0;
+
+  std::size_t shard_count() const { return shards.size(); }
+};
+
+/// Loads the target under `prefix`: through `<prefix>.pscman` when a
+/// manifest exists (validating each shard against the manifest's
+/// recorded bank checksum and the index against its shard's bank),
+/// otherwise the plain `<prefix>.pscbank`/`.pscidx` pair (the index
+/// checked against the bank's recorded checksum). Throws store::StoreError
+/// -- kBankMismatch on any wrong pairing -- before any query can run.
+LoadedBankSet load_bank_set(const std::string& prefix,
+                            const index::SeedModel& model,
+                            bool verify_checksums);
+
+/// Runs `query` against every shard of `set` under `options` and merges
+/// the per-shard results: subject ids remapped through the shard bases,
+/// counters and step times summed, matches re-sorted with
+/// core::match_order. E-values are computed against the set's total
+/// residue count regardless of options.search_space_residues.
+core::PipelineResult run_query_over_set(
+    const bio::SequenceBank& query, const LoadedBankSet& set,
+    const core::PipelineOptions& options,
+    const bio::SubstitutionMatrix& matrix);
+
+}  // namespace psc::service

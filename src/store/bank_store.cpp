@@ -43,9 +43,29 @@ class ChecksummingWriter {
   std::uint64_t written_ = 0;
 };
 
+FileHeader read_bank_header(const MmapFile& file, const std::string& path) {
+  if (file.size() < sizeof(FileHeader)) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "bank file truncated before header: " + path);
+  }
+  FileHeader header;
+  std::memcpy(&header, file.data(), sizeof(header));
+  if (header.magic != kBankMagic) {
+    throw StoreError(StoreErrorCode::kBadMagic,
+                     "not a .pscbank file: " + path);
+  }
+  if (header.version < kMinFormatVersion || header.version > kFormatVersion) {
+    throw StoreError(StoreErrorCode::kBadVersion,
+                     "unsupported bank format version " +
+                         std::to_string(header.version) + ": " + path);
+  }
+  return header;
+}
+
 }  // namespace
 
-void save_bank(const std::string& path, const bio::SequenceBank& bank) {
+std::uint64_t save_bank(const std::string& path,
+                        const bio::SequenceBank& bank) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     throw StoreError(StoreErrorCode::kIo, "cannot create bank file: " + path);
@@ -82,25 +102,29 @@ void save_bank(const std::string& path, const bio::SequenceBank& bank) {
   if (!out) {
     throw StoreError(StoreErrorCode::kIo, "cannot write bank file: " + path);
   }
+  return header.payload_checksum;
+}
+
+BankFileInfo inspect_bank(const std::string& path) {
+  const MmapFile file = MmapFile::open(path);
+  const FileHeader header = read_bank_header(file, path);
+  if (header.meta[0] > 1) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "bank kind field out of range: " + path);
+  }
+  BankFileInfo info;
+  info.version = header.version;
+  info.kind = header.meta[0] == 0 ? bio::SequenceKind::kProtein
+                                  : bio::SequenceKind::kDna;
+  info.sequence_count = header.meta[1];
+  info.total_residues = header.meta[2];
+  info.payload_checksum = header.payload_checksum;
+  return info;
 }
 
 bio::SequenceBank load_bank(const std::string& path, bool verify_checksum) {
   const MmapFile file = MmapFile::open(path);
-  if (file.size() < sizeof(FileHeader)) {
-    throw StoreError(StoreErrorCode::kCorrupt,
-                     "bank file truncated before header: " + path);
-  }
-  FileHeader header;
-  std::memcpy(&header, file.data(), sizeof(header));
-  if (header.magic != kBankMagic) {
-    throw StoreError(StoreErrorCode::kBadMagic,
-                     "not a .pscbank file: " + path);
-  }
-  if (header.version != kFormatVersion) {
-    throw StoreError(StoreErrorCode::kBadVersion,
-                     "unsupported bank format version " +
-                         std::to_string(header.version) + ": " + path);
-  }
+  const FileHeader header = read_bank_header(file, path);
   if (header.payload_bytes != file.size() - sizeof(FileHeader)) {
     throw StoreError(StoreErrorCode::kCorrupt,
                      "bank payload length mismatch: " + path);

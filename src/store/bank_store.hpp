@@ -8,15 +8,33 @@
 // Header meta: [0] sequence kind, [1] sequence count, [2] total residues.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "bio/sequence.hpp"
 
 namespace psc::store {
 
+/// Header-level description of a bank file (no payload decode); cheap
+/// enough to call before every index load, which is how the service and
+/// tools obtain the bank checksum a v2 index records.
+struct BankFileInfo {
+  std::uint32_t version = 0;
+  bio::SequenceKind kind = bio::SequenceKind::kProtein;
+  std::uint64_t sequence_count = 0;
+  std::uint64_t total_residues = 0;
+  std::uint64_t payload_checksum = 0;
+};
+
 /// Writes `bank` to `path`, overwriting any existing file. Throws
-/// StoreError(kIo) on filesystem failure.
-void save_bank(const std::string& path, const bio::SequenceBank& bank);
+/// StoreError(kIo) on filesystem failure. Returns the payload checksum,
+/// which callers pass to save_index so the index records which bank it
+/// belongs to.
+std::uint64_t save_bank(const std::string& path, const bio::SequenceBank& bank);
+
+/// Reads a bank's header only. Throws StoreError on anything that is not
+/// a readable, supported-version .pscbank file.
+BankFileInfo inspect_bank(const std::string& path);
 
 /// Reads a bank back. Residue codes are range-checked against the bank's
 /// alphabet and every length field is bounds-checked, so a damaged file

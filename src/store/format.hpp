@@ -18,15 +18,22 @@
 
 namespace psc::store {
 
-/// Format version; bump on any layout change. Readers reject other
-/// versions rather than guessing.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Current format version; bump on any layout change. Writers always
+/// emit the current version; readers accept [kMinFormatVersion,
+/// kFormatVersion] and branch on the recorded version rather than
+/// guessing. v2 adds the bank-payload checksum section to .pscidx (so a
+/// mismatched bank/index pair is rejected before any query) and the
+/// shard manifest file type; v1 files read back unchanged, with the bank
+/// checksum reported as "unrecorded".
+inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kMinFormatVersion = 1;
 
-// Magic values are asymmetric byte strings ("PSCIDX01" / "PSCBNK01" as
-// little-endian u64) so a byte-swapped read on a big-endian host fails
-// the magic check instead of misparsing lengths.
+// Magic values are asymmetric byte strings ("PSCIDX01" / "PSCBNK01" /
+// "PSCMAN01" as little-endian u64) so a byte-swapped read on a
+// big-endian host fails the magic check instead of misparsing lengths.
 inline constexpr std::uint64_t kIndexMagic = 0x3130584449435350ull;  // "PSCIDX01"
 inline constexpr std::uint64_t kBankMagic = 0x31304b4e42435350ull;   // "PSCBNK01"
+inline constexpr std::uint64_t kManifestMagic = 0x31304e414d435350ull;  // "PSCMAN01"
 
 /// What went wrong, for callers that branch on failure kind (the service
 /// turns kIo into "no such bank" and the rest into "corrupt store").
@@ -38,6 +45,7 @@ enum class StoreErrorCode {
   kChecksum,       ///< payload bytes do not match the recorded digest
   kModelMismatch,  ///< index built under a different seed model
   kKindMismatch,   ///< bank holds the other sequence kind
+  kBankMismatch,   ///< index (or manifest) belongs to a different bank
 };
 
 class StoreError : public std::runtime_error {

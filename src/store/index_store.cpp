@@ -28,7 +28,7 @@ FileHeader read_header(const MmapFile& file, const std::string& path) {
   if (header.magic != kIndexMagic) {
     throw StoreError(StoreErrorCode::kBadMagic, "not a .pscidx file: " + path);
   }
-  if (header.version != kFormatVersion) {
+  if (header.version < kMinFormatVersion || header.version > kFormatVersion) {
     throw StoreError(StoreErrorCode::kBadVersion,
                      "unsupported index format version " +
                          std::to_string(header.version) + ": " + path);
@@ -36,10 +36,31 @@ FileHeader read_header(const MmapFile& file, const std::string& path) {
   return header;
 }
 
+/// Bytes the bank-checksum section occupies for a given file version
+/// (v1 predates it).
+std::uint64_t bank_checksum_bytes(std::uint32_t version) {
+  return version >= 2 ? sizeof(std::uint64_t) : 0;
+}
+
+/// Reads the recorded bank checksum (0 when the version has no section
+/// or none was recorded), bounds-checking the section exists first.
+std::uint64_t read_bank_checksum(const FileHeader& header,
+                                 const std::uint8_t* payload,
+                                 const std::string& path) {
+  if (header.version < 2) return 0;
+  if (header.payload_bytes < sizeof(std::uint64_t)) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "index bank-checksum section truncated: " + path);
+  }
+  std::uint64_t checksum = 0;
+  std::memcpy(&checksum, payload, sizeof(checksum));
+  return checksum;
+}
+
 }  // namespace
 
 void save_index(const std::string& path, const index::IndexTable& table,
-                const index::SeedModel& model) {
+                const index::SeedModel& model, std::uint64_t bank_checksum) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     throw StoreError(StoreErrorCode::kIo, "cannot create index file: " + path);
@@ -66,13 +87,14 @@ void save_index(const std::string& path, const index::IndexTable& table,
               static_cast<std::streamsize>(size));
   };
   static constexpr char kZeros[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  write(&bank_checksum, sizeof(bank_checksum));
   write(name.data(), name.size());
   write(kZeros, padded_name - name.size());
   write(starts.data(), starts.size_bytes());
   write(occurrences.data(), occurrences.size_bytes());
 
-  header.payload_bytes =
-      padded_name + starts.size_bytes() + occurrences.size_bytes();
+  header.payload_bytes = sizeof(bank_checksum) + padded_name +
+                         starts.size_bytes() + occurrences.size_bytes();
   header.payload_checksum = checksum.digest();
   out.seekp(0);
   out.write(reinterpret_cast<const char*>(&header), sizeof(header));
@@ -93,19 +115,30 @@ IndexFileInfo inspect_index(const std::string& path) {
   // Subtract on the trusted side: read_header guarantees
   // file.size() >= sizeof(FileHeader), and adding the file-controlled
   // name_bytes instead could wrap past the check.
+  const std::uint64_t extra = bank_checksum_bytes(header.version);
+  if (extra > file.size() - sizeof(FileHeader)) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "index bank-checksum section truncated: " + path);
+  }
+  std::uint64_t checksum = 0;
+  if (extra != 0) {
+    std::memcpy(&checksum, file.data() + sizeof(FileHeader), sizeof(checksum));
+  }
+  info.bank_checksum = checksum;
   const std::uint64_t name_bytes = header.meta[3];
-  if (name_bytes > file.size() - sizeof(FileHeader)) {
+  if (name_bytes > file.size() - sizeof(FileHeader) - extra) {
     throw StoreError(StoreErrorCode::kCorrupt,
                      "index model name truncated: " + path);
   }
   info.model_name.assign(
-      reinterpret_cast<const char*>(file.data() + sizeof(FileHeader)),
+      reinterpret_cast<const char*>(file.data() + sizeof(FileHeader) + extra),
       name_bytes);
   return info;
 }
 
 LoadedIndex load_index(const std::string& path, const index::SeedModel& model,
-                       const bio::SequenceBank* bank, bool verify_checksum) {
+                       const bio::SequenceBank* bank, bool verify_checksum,
+                       std::uint64_t expected_bank_checksum) {
   MmapFile file = MmapFile::open(path);
   const FileHeader header = read_header(file, path);
   if (header.payload_bytes != file.size() - sizeof(FileHeader)) {
@@ -131,13 +164,31 @@ LoadedIndex load_index(const std::string& path, const index::SeedModel& model,
                      "index key space disagrees with its fingerprint: " + path);
   }
 
+  // Bank pairing, rejected before any table section is even sized: the
+  // caller passes the checksum of the bank it intends to query (from
+  // save_bank or inspect_bank); a recorded value that disagrees means
+  // this index was built from a different bank. Either side being 0
+  // (v1 file, or no expectation) skips the check.
+  const std::uint64_t recorded_bank_checksum =
+      read_bank_checksum(header, payload, path);
+  if (expected_bank_checksum != 0 && recorded_bank_checksum != 0 &&
+      recorded_bank_checksum != expected_bank_checksum) {
+    throw StoreError(StoreErrorCode::kBankMismatch,
+                     "index belongs to a different bank (recorded bank "
+                     "checksum disagrees): " +
+                         path);
+  }
+  const std::uint64_t extra = bank_checksum_bytes(header.version);
+  const std::uint64_t body_bytes = header.payload_bytes - extra;
+  const std::uint8_t* body = payload + extra;
+
   // Section geometry, all bounds-checked against the payload length
   // before any span is formed. The element counts are file-controlled
-  // u64s, so each is bounded against payload_bytes (itself equal to the
-  // real file length) before any multiplication or padding that could
-  // wrap; only then are byte sizes derived.
-  if (header.meta[3] > header.payload_bytes ||
-      header.meta[2] > header.payload_bytes / sizeof(index::Occurrence)) {
+  // u64s, so each is bounded against body_bytes (derived from the real
+  // file length) before any multiplication or padding that could wrap;
+  // only then are byte sizes derived.
+  if (header.meta[3] > body_bytes ||
+      header.meta[2] > body_bytes / sizeof(index::Occurrence)) {
     throw StoreError(StoreErrorCode::kCorrupt,
                      "index section sizes disagree with header: " + path);
   }
@@ -146,18 +197,17 @@ LoadedIndex load_index(const std::string& path, const index::SeedModel& model,
   const std::uint64_t starts_bytes = starts_count * sizeof(std::uint64_t);
   const std::uint64_t occ_bytes =
       header.meta[2] * sizeof(index::Occurrence);
-  if (padded_name > header.payload_bytes ||
-      header.payload_bytes - padded_name != starts_bytes + occ_bytes) {
+  if (padded_name > body_bytes ||
+      body_bytes - padded_name != starts_bytes + occ_bytes) {
     throw StoreError(StoreErrorCode::kCorrupt,
                      "index section sizes disagree with header: " + path);
   }
 
-  std::string model_name(reinterpret_cast<const char*>(payload),
-                         header.meta[3]);
+  std::string model_name(reinterpret_cast<const char*>(body), header.meta[3]);
   const auto* starts =
-      reinterpret_cast<const std::size_t*>(payload + padded_name);
+      reinterpret_cast<const std::size_t*>(body + padded_name);
   const auto* occurrences = reinterpret_cast<const index::Occurrence*>(
-      payload + padded_name + starts_bytes);
+      body + padded_name + starts_bytes);
   index::IndexTable table = [&] {
     try {
       return index::IndexTable::from_raw_spans({starts, starts_count},
@@ -171,8 +221,8 @@ LoadedIndex load_index(const std::string& path, const index::SeedModel& model,
     throw StoreError(StoreErrorCode::kCorrupt,
                      "index occurrences fall outside the bank: " + path);
   }
-  return LoadedIndex{std::move(file), std::move(table),
-                     std::move(model_name)};
+  return LoadedIndex{std::move(file), std::move(table), std::move(model_name),
+                     recorded_bank_checksum};
 }
 
 }  // namespace psc::store

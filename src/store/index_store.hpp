@@ -3,6 +3,8 @@
 // index-once / query-many seam the resident search service builds on.
 //
 // Payload layout (after the common FileHeader; all sections 8-aligned):
+//   bank checksum: u64 (v2+ only; the .pscbank payload checksum this
+//                  index was built from, 0 = unrecorded)
 //   seed-model name (meta[3] bytes, zero-padded to 8)
 //   starts:      (key_space + 1) x u64
 //   occurrences: occurrence_count x {u32 sequence, u32 offset}
@@ -33,6 +35,9 @@ struct IndexFileInfo {
   std::uint64_t model_fingerprint = 0;
   std::uint64_t key_space = 0;
   std::uint64_t occurrence_count = 0;
+  /// Payload checksum of the .pscbank this index was built from (v2+;
+  /// 0 for v1 files and for indexes saved without one).
+  std::uint64_t bank_checksum = 0;
 };
 
 /// A loaded index: `table` is a view into `file`'s mapping, so the pair
@@ -41,23 +46,33 @@ struct LoadedIndex {
   MmapFile file;
   index::IndexTable table;
   std::string model_name;
+  std::uint64_t bank_checksum = 0;  ///< as recorded (0 = unrecorded)
 };
 
-/// Writes `table` (built under `model`) to `path`.
+/// Writes `table` (built under `model`) to `path`. `bank_checksum` is the
+/// payload checksum save_bank returned for the bank the table indexes;
+/// recording it (non-zero) lets every later load reject an index paired
+/// with the wrong bank before any query runs. 0 = unrecorded (tables not
+/// derived from a saved bank).
 void save_index(const std::string& path, const index::IndexTable& table,
-                const index::SeedModel& model);
+                const index::SeedModel& model,
+                std::uint64_t bank_checksum = 0);
 
 /// Reads the header of a saved index. Throws StoreError on anything that
-/// is not a readable, current-version .pscidx file.
+/// is not a readable, supported-version .pscidx file.
 IndexFileInfo inspect_index(const std::string& path);
 
 /// Maps `path` and returns a zero-copy view table. Throws StoreError:
 ///  - kModelMismatch when `model`'s fingerprint differs from the file's;
+///  - kBankMismatch when both `expected_bank_checksum` and the recorded
+///    bank checksum are non-zero and disagree (the index belongs to a
+///    different bank) -- checked before any payload section is touched;
 ///  - kCorrupt/kChecksum/kBadMagic/kBadVersion on damaged input;
 ///  - kCorrupt when `bank` is given and any occurrence falls outside it
 ///    (the saved index does not belong to that bank).
 LoadedIndex load_index(const std::string& path, const index::SeedModel& model,
                        const bio::SequenceBank* bank = nullptr,
-                       bool verify_checksum = true);
+                       bool verify_checksum = true,
+                       std::uint64_t expected_bank_checksum = 0);
 
 }  // namespace psc::store

@@ -1,0 +1,97 @@
+// Bank sharding: splitting one logical bank into fixed-size-bounded
+// shards -- `<prefix>.shardNN.pscbank` / `.pscidx` pairs plus one small
+// manifest (`<prefix>.pscman`) -- so a reference bank larger than memory
+// can stay "resident" as a set of independently mmap'ed pieces that a
+// query fans out across.
+//
+// The manifest is what makes the fan-out exact: it records each shard's
+// sequence-id base (so per-shard subject ids remap to the unsharded
+// numbering), the global sequence/residue totals (so E-values are
+// computed against the whole bank's search space, not a shard's), and a
+// whole-set checksum folded from the per-shard bank checksums (so a
+// shard swapped for a different bank's file is rejected before any
+// query).
+//
+// Manifest payload layout (after the common FileHeader):
+//   u64 set_checksum
+//   shard_count x { u64 sequence_base, u64 sequence_count,
+//                   u64 residues,      u64 bank_checksum }
+// Header meta: [0] sequence kind, [1] shard count, [2] total sequences,
+// [3] total residues.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "index/seed_model.hpp"
+
+namespace psc::store {
+
+/// One shard's slot in the manifest.
+struct ShardInfo {
+  std::uint64_t sequence_base = 0;   ///< unsharded id of local sequence 0
+  std::uint64_t sequence_count = 0;  ///< sequences stored in this shard
+  std::uint64_t residues = 0;        ///< residues stored in this shard
+  std::uint64_t bank_checksum = 0;   ///< the shard's .pscbank payload digest
+};
+
+struct ShardManifest {
+  std::uint32_t version = 0;
+  bio::SequenceKind kind = bio::SequenceKind::kProtein;
+  std::uint64_t total_sequences = 0;
+  std::uint64_t total_residues = 0;
+  std::uint64_t set_checksum = 0;  ///< fold of the per-shard bank checksums
+  std::vector<ShardInfo> shards;
+};
+
+/// "<prefix>.shardNN" (two digits minimum, widening past 99).
+std::string shard_prefix(const std::string& prefix, std::size_t shard);
+
+/// "<prefix>.pscman".
+std::string manifest_path(const std::string& prefix);
+
+/// True when a manifest file exists under `prefix` -- how callers decide
+/// between the sharded and plain load paths.
+bool manifest_exists(const std::string& prefix);
+
+/// Greedy split of `bank` into contiguous [begin, end) sequence ranges
+/// whose *encoded* .pscbank payload (8 bytes of lengths + id + residues
+/// per record) stays at or under `shard_max_bytes`. A single sequence
+/// larger than the cap gets a shard of its own (a shard always holds at
+/// least one sequence). `shard_max_bytes == 0` means unbounded: one
+/// shard covering the whole bank.
+std::vector<std::pair<std::size_t, std::size_t>> plan_shards(
+    const bio::SequenceBank& bank, std::uint64_t shard_max_bytes);
+
+/// The whole-set checksum: fnv1a64 over the shards' bank checksums in
+/// order. Recomputed on load and compared against the stored value.
+std::uint64_t fold_set_checksum(const std::vector<ShardInfo>& shards);
+
+/// Writes `manifest` to `path` under the common header discipline.
+void save_manifest(const std::string& path, const ShardManifest& manifest);
+
+/// Reads a manifest back, validating every invariant the fan-out relies
+/// on: contiguous sequence bases starting at 0,
+/// totals matching the header metadata, total sequences small enough
+/// that every remapped subject id fits the Match u32, and the stored
+/// set checksum matching the fold of the per-shard checksums. Throws a
+/// typed StoreError on violation.
+ShardManifest load_manifest(const std::string& path,
+                            bool verify_checksum = true);
+
+/// Splits `bank` per plan_shards, writes each shard's .pscbank/.pscidx
+/// (the index built under `model`, with the shard's bank checksum
+/// recorded) and the manifest, and returns the manifest. `threads`
+/// follows IndexTable::build_parallel (0 = hardware concurrency);
+/// `serial_index` forces the serial constructor (identical layout).
+ShardManifest write_sharded_store(const std::string& prefix,
+                                  const bio::SequenceBank& bank,
+                                  const index::SeedModel& model,
+                                  std::uint64_t shard_max_bytes,
+                                  std::size_t threads = 0,
+                                  bool serial_index = false);
+
+}  // namespace psc::store

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -396,6 +397,97 @@ TEST_F(LoopbackTest, ServerStopsCleanlyWithIdleConnections) {
   ASSERT_TRUE(raw.read_frame().has_value());
   server_->stop();
   EXPECT_TRUE(raw.at_eof());
+}
+
+TEST_F(LoopbackTest, IdleServerBlocksInPollInsteadOfTicking) {
+  // Regression for the fixed 10 ms poll tick: an idle server (even one
+  // with a quiet connection open) used to wake 100x/s doing nothing.
+  // With no deferred future and no read deadline armed, the loop must
+  // block in poll, so the wakeup gauge stays flat across an idle window.
+  start();
+  RawConnection raw(server_->port());
+  raw.send_bytes(encode_frame(MessageType::kPing));
+  ASSERT_TRUE(raw.read_frame().has_value());
+
+  const std::uint64_t before = server_->poll_wakeups();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const std::uint64_t during_idle = server_->poll_wakeups() - before;
+  // The old tick would clock ~40 wakeups here; allow a few strays for
+  // EINTR and scheduling noise.
+  EXPECT_LE(during_idle, 3u);
+
+  // And the loop is still alive, not deadlocked in poll.
+  raw.send_bytes(encode_frame(MessageType::kPing));
+  ASSERT_TRUE(raw.read_frame().has_value());
+}
+
+TEST_F(LoopbackTest, StalledWriterDeadlineIsMetWithoutSpinning) {
+  // A peer stalled mid-frame arms the read deadline; the poll timeout is
+  // computed from that deadline, so the timeout answer arrives at the
+  // deadline (not a tick late) and the wait itself costs a handful of
+  // wakeups, not deadline/10ms of them.
+  ServerConfig config;
+  config.read_timeout_seconds = 0.25;
+  start(config);
+  RawConnection raw(server_->port());
+  const std::uint64_t before = server_->poll_wakeups();
+  const std::vector<std::uint8_t> frame = encode_frame(MessageType::kPing);
+  const auto stalled_at = std::chrono::steady_clock::now();
+  raw.send_bytes({frame.data(), frame.size() / 2});
+
+  EXPECT_EQ(expect_error_frame(raw.read_frame()), WireErrorCode::kTimeout);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    stalled_at)
+          .count();
+  EXPECT_TRUE(raw.at_eof());
+  // Not early, and missed by at most one tick (plus scheduling slack) --
+  // never by a full extra poll period.
+  EXPECT_GE(elapsed, 0.24);
+  EXPECT_LE(elapsed, 0.40);
+  // Accept + half-frame + deadline wakeup + close bookkeeping: single
+  // digits. The historical tick would have burned ~25 wakeups waiting.
+  EXPECT_LE(server_->poll_wakeups() - before, 10u);
+}
+
+TEST_F(LoopbackTest, ClientsWithDifferentOptionsNeverShareAPass) {
+  // Two clients querying the same bank with *different* per-query
+  // options must not coalesce, even when both are queued while the
+  // worker is busy -- and each reply must reflect its own options.
+  const SavedBank saved(27, "net_mixed_options");
+  start();
+
+  bio::SequenceBank heavy(bio::SequenceKind::kProtein);
+  for (int repeat = 0; repeat < 8; ++repeat) {
+    for (const bio::Sequence& protein : saved.proteins) heavy.add(protein);
+  }
+  auto priming = service_->submit(heavy, saved.prefix);
+
+  service::QueryOptions traced_options;
+  traced_options.with_traceback = true;
+  service::QueryOptions plain_options;
+  plain_options.with_traceback = false;
+  service::QueryResult traced, plain;
+  std::thread first([&] {
+    Client client = connect();
+    traced = client.search(saved.name, saved.fasta(), traced_options);
+  });
+  std::thread second([&] {
+    Client client = connect();
+    plain = client.search(saved.name, saved.fasta(), plain_options);
+  });
+  first.join();
+  second.join();
+  priming.get();
+
+  EXPECT_EQ(traced.batch_size, 1u);
+  EXPECT_EQ(plain.batch_size, 1u);
+  ASSERT_FALSE(traced.matches.empty());
+  ASSERT_EQ(traced.matches.size(), plain.matches.size());
+  EXPECT_FALSE(traced.matches.front().alignment.ops.empty());
+  for (const core::Match& match : plain.matches) {
+    EXPECT_TRUE(match.alignment.ops.empty());
+  }
 }
 
 }  // namespace

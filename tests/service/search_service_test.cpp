@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <span>
+#include <utility>
 
 #include "bio/translate.hpp"
 #include "index/index_table.hpp"
@@ -289,6 +292,85 @@ TEST(QueryOptions, FingerprintSeparatesEveryField) {
   EXPECT_NE(base.fingerprint(), composition.fingerprint());
   EXPECT_NE(base.fingerprint(), cutoff.fingerprint());
   EXPECT_NE(traceback.fingerprint(), composition.fingerprint());
+}
+
+TEST(QueryOptions, GroupKeySeparatesTheFullOptionGrid) {
+  // The grouping key must keep every distinct option set apart -- the
+  // property the coalescer relies on. Walk the whole grid: a spread of
+  // cutoffs (including denormal, huge and sign-of-zero cases) crossed
+  // with every flag combination.
+  const double cutoffs[] = {1e-300, 1e-12,  1e-6, 1e-3, 0.5,
+                            1.0,    10.0,   1e6,  1e300, 5e-324,
+                            0.0,    -0.0};
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> keys;
+  for (const double cutoff : cutoffs) {
+    for (const bool traceback : {false, true}) {
+      for (const bool composition : {false, true}) {
+        QueryOptions options;
+        options.e_value_cutoff = cutoff;
+        options.with_traceback = traceback;
+        options.composition_based_stats = composition;
+        keys.push_back(options.group_key());
+      }
+    }
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_NE(keys[i], keys[j]) << "grid entries " << i << " and " << j
+                                  << " coalesced";
+    }
+  }
+}
+
+/// Two *distinct* option sets engineered to share a fingerprint: with
+/// fp = (bits * K) ^ flags and K odd (so invertible mod 2^64), picking
+/// bits' = ((bits * K) ^ 1) * K^-1 and flipping with_traceback collides
+/// exactly. The worker must still keep them in separate passes.
+std::pair<QueryOptions, QueryOptions> colliding_options() {
+  constexpr std::uint64_t kMultiplier = 0x9e3779b97f4a7c15ull;
+  std::uint64_t inverse = kMultiplier;  // Newton: doubles correct bits
+  for (int i = 0; i < 6; ++i) {
+    inverse *= 2 - kMultiplier * inverse;
+  }
+  QueryOptions a;
+  a.e_value_cutoff = 1e-3;
+  a.with_traceback = false;
+  std::uint64_t a_bits = 0;
+  std::memcpy(&a_bits, &a.e_value_cutoff, sizeof(a_bits));
+  QueryOptions b;
+  const std::uint64_t b_bits = ((a_bits * kMultiplier) ^ 1u) * inverse;
+  std::memcpy(&b.e_value_cutoff, &b_bits, sizeof(b_bits));
+  b.with_traceback = true;
+  return {a, b};
+}
+
+TEST(QueryOptions, EngineeredFingerprintCollisionKeepsDistinctGroupKeys) {
+  const auto [a, b] = colliding_options();
+  ASSERT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.group_key(), b.group_key());
+}
+
+TEST(SearchService, FingerprintCollisionDoesNotCoalescePasses) {
+  // The regression the exact grouping key exists for: were the worker to
+  // group by fingerprint(), these two requests would share one pass and
+  // one of them would be answered under the other's cutoff.
+  const SavedBank saved(13, "svc_collision");
+  SearchService service;
+  service.submit(saved.query(0), saved.prefix).get();  // warm the cache
+
+  const auto [a, b] = colliding_options();
+  std::vector<ServiceRequest> requests(2);
+  requests[0].query = saved.query(0);
+  requests[0].bank_prefix = saved.prefix;
+  requests[0].options = a;
+  requests[1].query = saved.query(0);
+  requests[1].bank_prefix = saved.prefix;
+  requests[1].options = b;
+  auto futures = service.submit_batch(std::move(requests));
+  EXPECT_EQ(futures[0].get().batch_size, 1u);
+  EXPECT_EQ(futures[1].get().batch_size, 1u);
+  const ServiceStats stats = service.snapshot();
+  EXPECT_EQ(stats.batches, 3u);  // warm-up + one per colliding option set
 }
 
 TEST(ServiceCodec, QueryResultRoundTrips) {

@@ -48,6 +48,7 @@ void print_stats(const service::ServiceStats& stats) {
               stats.mean_batch_latency_seconds);
   std::printf("queue_depth=%zu\n", stats.queue_depth);
   std::printf("resident_banks=%zu\n", stats.resident_banks);
+  std::printf("resident_shards=%zu\n", stats.resident_shards);
 }
 
 }  // namespace

@@ -6,6 +6,9 @@
 //   $ ./psc_index --input=genome.fa --kind=dna --translate --out=genome
 //       -> genome.pscbank (six-frame ORF fragments) + genome.pscidx
 //   $ ./psc_index --input=bank.fa --kind=protein --out=bank
+//   $ ./psc_index --input=nr.fa --out=nr --shard-max-bytes=1000000
+//       -> nr.pscman + nr.shardNN.pscbank/.pscidx (queries fan out and
+//          merge bit-identically to the unsharded store)
 //   $ ./psc_index --inspect=genome      # print header info of saved files
 #include <cstdio>
 #include <string>
@@ -17,6 +20,7 @@
 #include "store/bank_store.hpp"
 #include "store/format.hpp"
 #include "store/index_store.hpp"
+#include "store/shard_store.hpp"
 #include "util/args.hpp"
 #include "util/timer.hpp"
 
@@ -24,7 +28,7 @@ namespace {
 
 using namespace psc;
 
-int inspect(const std::string& prefix) {
+void inspect_pair(const std::string& prefix) {
   const store::IndexFileInfo info =
       store::inspect_index(prefix + ".pscidx");
   const bio::SequenceBank bank = store::load_bank(prefix + ".pscbank");
@@ -33,11 +37,37 @@ int inspect(const std::string& prefix) {
               bank.kind() == bio::SequenceKind::kProtein ? "protein" : "dna");
   std::printf(
       "%s.pscidx: version %u, seed model %s (fingerprint %016llx), "
-      "%llu keys, %llu occurrence(s)\n",
+      "%llu keys, %llu occurrence(s), bank checksum %016llx\n",
       prefix.c_str(), info.version, info.model_name.c_str(),
       static_cast<unsigned long long>(info.model_fingerprint),
       static_cast<unsigned long long>(info.key_space),
-      static_cast<unsigned long long>(info.occurrence_count));
+      static_cast<unsigned long long>(info.occurrence_count),
+      static_cast<unsigned long long>(info.bank_checksum));
+}
+
+int inspect(const std::string& prefix) {
+  if (!store::manifest_exists(prefix)) {
+    inspect_pair(prefix);
+    return 0;
+  }
+  const store::ShardManifest manifest =
+      store::load_manifest(store::manifest_path(prefix));
+  std::printf(
+      "%s.pscman: version %u, %zu shard(s), %llu sequence(s), "
+      "%llu residues, kind=%s, set checksum %016llx\n",
+      prefix.c_str(), manifest.version, manifest.shards.size(),
+      static_cast<unsigned long long>(manifest.total_sequences),
+      static_cast<unsigned long long>(manifest.total_residues),
+      manifest.kind == bio::SequenceKind::kProtein ? "protein" : "dna",
+      static_cast<unsigned long long>(manifest.set_checksum));
+  for (std::size_t i = 0; i < manifest.shards.size(); ++i) {
+    const store::ShardInfo& shard = manifest.shards[i];
+    std::printf("  shard %02zu: base %llu, %llu sequence(s), %llu residues\n",
+                i, static_cast<unsigned long long>(shard.sequence_base),
+                static_cast<unsigned long long>(shard.sequence_count),
+                static_cast<unsigned long long>(shard.residues));
+    inspect_pair(store::shard_prefix(prefix, i));
+  }
   return 0;
 }
 
@@ -59,6 +89,10 @@ int main(int argc, char** argv) {
                 "parallel builder (escape hatch; the layouts are identical)");
   args.add_option("out", "", "output path prefix (writes <out>.pscbank and "
                              "<out>.pscidx)");
+  args.add_option("shard-max-bytes", "0",
+                  "split the bank into shards whose encoded payload stays at "
+                  "or under this many bytes (writes <out>.pscman plus "
+                  "<out>.shardNN.pscbank/.pscidx); 0 = unsharded");
   args.add_option("inspect", "",
                   "print header info for a saved <prefix> instead of building");
   if (!args.parse(argc, argv)) return 1;
@@ -113,6 +147,25 @@ int main(int argc, char** argv) {
     if (!core::parse_threads_option(args, threads)) return 1;
     const index::SeedModel model = core::make_seed_model(kind_enum);
 
+    const std::int64_t shard_max = args.get_int("shard-max-bytes");
+    if (shard_max < 0) {
+      std::fprintf(stderr, "--shard-max-bytes must be >= 0\n");
+      return 1;
+    }
+    if (shard_max > 0) {
+      util::Timer shard_timer;
+      const store::ShardManifest manifest = store::write_sharded_store(
+          out, bank, model, static_cast<std::uint64_t>(shard_max), threads,
+          args.get_flag("serial-index"));
+      std::fprintf(stderr,
+                   "# wrote %s.pscman + %zu shard pair(s) under %s "
+                   "(set checksum %016llx, %.3f s)\n",
+                   out.c_str(), manifest.shards.size(), model.name().c_str(),
+                   static_cast<unsigned long long>(manifest.set_checksum),
+                   shard_timer.seconds());
+      return 0;
+    }
+
     util::Timer build_timer;
     const index::IndexTable table =
         args.get_flag("serial-index")
@@ -125,8 +178,8 @@ int main(int argc, char** argv) {
                  table.key_space(), build_timer.seconds());
 
     util::Timer save_timer;
-    store::save_bank(out + ".pscbank", bank);
-    store::save_index(out + ".pscidx", table, model);
+    const std::uint64_t bank_checksum = store::save_bank(out + ".pscbank", bank);
+    store::save_index(out + ".pscidx", table, model, bank_checksum);
     std::fprintf(stderr, "# wrote %s.pscbank + %s.pscidx (%.3f s)\n",
                  out.c_str(), out.c_str(), save_timer.seconds());
     return 0;
