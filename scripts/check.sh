@@ -17,6 +17,9 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+echo "== tier 1: step-3 kernel shoot-out bench builds =="
+cmake --build build -j "$jobs" --target step3_kernels
+
 echo "== tier 1: loopback integration check =="
 scripts/loopback_check.sh build
 
@@ -34,6 +37,15 @@ ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure \
   -R '^(align|core|store|service|net)_test$'
 
+echo "== sanitizers: step-3 kernel equality focused run under ASan =="
+# Redundant with the suite runs above on purpose: the bit-identity
+# property (every kernel tier x worker count x barrier/overlap path)
+# must stay memory-checked even if the suites above are reshuffled.
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-asan/tests/align_test --gtest_filter='GappedSimd.*'
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-asan/tests/core_test --gtest_filter='Step3Kernels.*'
+
 echo "== sanitizers: executor/overlap/service tests under TSan =="
 cmake -B build-tsan -S . \
   -DPSC_ENABLE_SANITIZERS=thread \
@@ -43,5 +55,9 @@ cmake --build build-tsan -j "$jobs" --target util_test core_test service_test
 TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/scripts/tsan.supp" \
   ctest --test-dir build-tsan --output-on-failure \
   -R '^(util|core|service)_test$'
+
+echo "== sanitizers: step-3 kernel equality (incl. overlap path) under TSan =="
+TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/scripts/tsan.supp" \
+  ./build-tsan/tests/core_test --gtest_filter='Step3Kernels.*'
 
 echo "== all checks passed =="

@@ -38,6 +38,9 @@ int banded_window_score(std::span<const std::uint8_t> s0,
                                              static_cast<std::ptrdiff_t>(i) + b);
     std::fill(h_cur.begin(), h_cur.end(), kNegInf);
     std::fill(f_cur.begin(), f_cur.end(), kNegInf);
+    // Hoist the substitution row for s0[i-1]; the inner loop only varies
+    // in s1[j-1].
+    const auto* row = cells + s0[i - 1] * bio::kProteinAlphabetSize;
     int e = kNegInf;
     for (std::ptrdiff_t js = lo; js <= hi; ++js) {
       const auto j = static_cast<std::size_t>(js);
@@ -66,10 +69,7 @@ int banded_window_score(std::span<const std::uint8_t> s0,
         value = std::max(value, e);
         // Diagonal.
         if (h_prev[j - 1] > kNegInf / 2) {
-          value = std::max(
-              value, h_prev[j - 1] +
-                         cells[s0[i - 1] * bio::kProteinAlphabetSize +
-                               s1[j - 1]]);
+          value = std::max(value, h_prev[j - 1] + row[s1[j - 1]]);
         }
       }
       if (value < 0) value = 0;  // local alignment clamp

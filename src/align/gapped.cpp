@@ -282,6 +282,12 @@ HalfExtension xdrop_gapped_half(std::span<const std::uint8_t> a,
     std::fill(f_cur.begin(), f_cur.end(), kNegInf);
     const std::size_t row_lo = lo;
     const std::size_t row_hi = std::min(hi + 1, m);  // band may grow by one
+    // One matrix row per a-residue: the inner loop indexes it directly
+    // instead of re-deriving the row base from a[i-1] per cell.
+    const bio::Residue ra = a[i - 1] < bio::kProteinAlphabetSize
+                                ? a[i - 1]
+                                : bio::kUnknownX;
+    const auto* row = matrix.cells().data() + ra * bio::kProteinAlphabetSize;
     int e = kNegInf;
     std::size_t new_lo = row_hi + 1;
     std::size_t new_hi = 0;
@@ -298,8 +304,10 @@ HalfExtension xdrop_gapped_half(std::span<const std::uint8_t> a,
         e = std::max(e_open, e - params.extend);
         value = std::max(value, e);
         if (h_prev[j - 1] > kNegInf / 2) {
-          value = std::max(value,
-                           h_prev[j - 1] + matrix.score(a[i - 1], b[j - 1]));
+          const bio::Residue rb = b[j - 1] < bio::kProteinAlphabetSize
+                                      ? b[j - 1]
+                                      : bio::kUnknownX;
+          value = std::max(value, h_prev[j - 1] + row[rb]);
         }
       }
       if (value < best - params.x_drop) {

@@ -1,0 +1,312 @@
+// AVX2 tier of the step-3 gapped kernels. Same TU discipline as
+// ungapped_avx2.cpp: per-function target("avx2") attributes so the rest
+// of the library builds for the baseline ISA; align/cpu_features.hpp
+// gates entry at runtime.
+//
+// Both kernels run rows of the Gotoh recurrence in 16 x 16-bit biased
+// unsigned lanes (see gapped_simd.hpp for the exactness argument). The
+// intra-row E dependency is resolved with the lazy-E decayed prefix-max:
+// within a 16-lane block by log-step shift-maxes, across blocks by a
+// scalar carry from lane 15. Buffers are +1-offset (index 0 is a
+// permanent sentinel) and over-allocated so unaligned block loads and
+// stores never leave the allocation; lanes past the live range carry
+// junk that is either masked (banded best) or simply never read (the
+// xdrop scan stops at row_hi), and one position past each row's live
+// range is cleared so the next row's loads see sentinels instead of
+// stale cells from two rows ago.
+#include "align/gapped_simd.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace psc::align {
+
+bool gapped_avx2_available() noexcept {
+  const CpuFeatures& features = cpu_features();
+  return features.avx2 && features.ssse3 && features.sse41;
+}
+
+namespace {
+
+constexpr std::uint32_t kBias = 32768;
+constexpr int kGuardBest = 32767 - 256;
+
+inline std::uint32_t sub_sat32(std::uint32_t v, std::uint32_t c) {
+  return v > c ? v - c : 0;
+}
+
+/// Shift every 16-bit lane up by kBytes/2 positions, zero-filling from
+/// the bottom (the zero fill is the domain's -inf sentinel).
+template <int kBytes>
+__attribute__((target("avx2"))) inline __m256i shift_up(__m256i x) {
+  const __m256i permuted = _mm256_permute2x128_si256(x, x, 0x08);
+  if constexpr (kBytes == 16) {
+    return permuted;
+  } else {
+    return _mm256_alignr_epi8(x, permuted, 16 - kBytes);
+  }
+}
+
+/// 32-entry bias-128 row lookup for 16 residues: shuffle both 16-byte
+/// halves, select by residue >= 16, widen unsigned to 16-bit.
+__attribute__((target("avx2"))) inline __m256i lookup_row16(
+    const std::uint8_t* row, const std::uint8_t* residues) {
+  const __m128i resid =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(residues));
+  const __m128i row_lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(row));
+  const __m128i row_hi =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + 16));
+  const __m128i hi_sel = _mm_cmpgt_epi8(resid, _mm_set1_epi8(15));
+  const __m128i vals8 = _mm_blendv_epi8(_mm_shuffle_epi8(row_lo, resid),
+                                        _mm_shuffle_epi8(row_hi, resid), hi_sel);
+  return _mm256_cvtepu8_epi16(vals8);
+}
+
+struct GapVectors {
+  __m256i go, ge1, ge2, ge4, ge8, bias128;
+  std::uint32_t go_s, ge_s;
+
+  __attribute__((target("avx2"))) explicit GapVectors(const GapParams& params) {
+    go_s = static_cast<std::uint32_t>(params.open + params.extend);
+    ge_s = static_cast<std::uint32_t>(params.extend);
+    go = _mm256_set1_epi16(static_cast<short>(go_s));
+    ge1 = _mm256_set1_epi16(static_cast<short>(ge_s));
+    ge2 = _mm256_set1_epi16(static_cast<short>(2 * ge_s));
+    ge4 = _mm256_set1_epi16(static_cast<short>(4 * ge_s));
+    ge8 = _mm256_set1_epi16(static_cast<short>(8 * ge_s));
+    bias128 = _mm256_set1_epi16(128);
+  }
+};
+
+/// E lanes for one block from the candidate-only sources `c` (lane l =
+/// C(j0+l)) and the previous block's lane-15 carries: the decayed
+/// prefix-max E(j0+l) = max_{k<=l}(t0(k) - (l-k)*extend) with t0(0) =
+/// E(j0) and t0(l>=1) = C(j0+l-1) - (open+extend).
+__attribute__((target("avx2"))) inline __m256i lazy_e_block(
+    __m256i c, std::uint32_t carry_c, std::uint32_t carry_e,
+    const GapVectors& gv) {
+  __m256i t = shift_up<2>(_mm256_subs_epu16(c, gv.go));
+  const std::uint32_t e0 =
+      std::max(sub_sat32(carry_c, gv.go_s), sub_sat32(carry_e, gv.ge_s));
+  t = _mm256_insert_epi16(t, static_cast<short>(e0), 0);
+  t = _mm256_max_epu16(t, _mm256_subs_epu16(shift_up<2>(t), gv.ge1));
+  t = _mm256_max_epu16(t, _mm256_subs_epu16(shift_up<4>(t), gv.ge2));
+  t = _mm256_max_epu16(t, _mm256_subs_epu16(shift_up<8>(t), gv.ge4));
+  t = _mm256_max_epu16(t, _mm256_subs_epu16(shift_up<16>(t), gv.ge8));
+  return t;
+}
+
+__attribute__((target("avx2"))) inline std::uint32_t horizontal_max_epu16(
+    __m256i v) {
+  __m128i m = _mm_max_epu16(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  m = _mm_max_epu16(m, _mm_srli_si128(m, 8));
+  m = _mm_max_epu16(m, _mm_srli_si128(m, 4));
+  m = _mm_max_epu16(m, _mm_srli_si128(m, 2));
+  return static_cast<std::uint32_t>(_mm_extract_epi16(m, 0));
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) std::optional<HalfExtension>
+xdrop_gapped_half_avx2(std::span<const std::uint8_t> a,
+                       std::span<const std::uint8_t> b,
+                       const GappedSimdMatrix& rows, const GapParams& params) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  HalfExtension out;
+  if (n == 0 || m == 0) return out;
+
+  const GapVectors gv(params);
+  const auto x = static_cast<std::uint32_t>(params.x_drop);
+
+  // +1-offset buffers: index j + 1 holds logical column j, index 0 is a
+  // permanent sentinel; padded so 16-lane loads/stores at the last live
+  // block stay inside the allocation.
+  const std::size_t cap = m + 2 + 32;
+  std::vector<std::uint16_t> h_prev(cap, 0), f_prev(cap, 0);
+  std::vector<std::uint16_t> h_cur(cap, 0), f_cur(cap, 0);
+  std::vector<std::uint16_t> cand(cap, 0);
+  std::vector<std::uint8_t> bbuf(m + 1 + 32, 0);
+  std::copy(b.begin(), b.end(), bbuf.begin() + 1);
+
+  int best = 0;
+  std::size_t best_i = 0, best_j = 0;
+
+  // Row 0 (scalar, one row): store-then-break like the reference.
+  std::size_t lo = 0, hi = 0;
+  h_prev[1] = kBias;
+  {
+    std::uint32_t e = 0;
+    for (std::size_t j = 1; j <= m; ++j) {
+      e = std::max(sub_sat32(h_prev[j], gv.go_s), sub_sat32(e, gv.ge_s));
+      h_prev[j + 1] = static_cast<std::uint16_t>(e);
+      if (e < kBias - x) break;
+      hi = j;
+    }
+  }
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t row_lo = lo;
+    const std::size_t row_hi = std::min(hi + 1, m);
+    const std::uint8_t* row = rows.row(a[i - 1]);
+
+    // Phase 1: prune-free candidates + F for every block of the range.
+    std::uint32_t carry_c = 0, carry_e = 0;
+    for (std::size_t j0 = row_lo; j0 <= row_hi; j0 += 16) {
+      const __m256i hdiag = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(h_prev.data() + j0));
+      const __m256i habove = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(h_prev.data() + j0 + 1));
+      const __m256i fabove = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(f_prev.data() + j0 + 1));
+      const __m256i fv = _mm256_max_epu16(_mm256_subs_epu16(habove, gv.go),
+                                          _mm256_subs_epu16(fabove, gv.ge1));
+      const __m256i vals = lookup_row16(row, bbuf.data() + j0);
+      const __m256i diag = _mm256_subs_epu16(_mm256_adds_epu16(hdiag, vals),
+                                             gv.bias128);
+      const __m256i c = _mm256_max_epu16(fv, diag);
+      const __m256i ev = lazy_e_block(c, carry_c, carry_e, gv);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(f_cur.data() + j0 + 1),
+                          fv);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(cand.data() + j0 + 1),
+                          _mm256_max_epu16(c, ev));
+      carry_c = static_cast<std::uint32_t>(
+          static_cast<std::uint16_t>(_mm256_extract_epi16(c, 15)));
+      carry_e = static_cast<std::uint32_t>(
+          static_cast<std::uint16_t>(_mm256_extract_epi16(ev, 15)));
+    }
+
+    // Phase 2: scan-order prune / best updates, exactly the scalar
+    // interleaving (prune-free candidates only differ where they are
+    // pruned anyway -- see the header's two-pass argument).
+    std::size_t new_lo = row_hi + 1;
+    std::size_t new_hi = 0;
+    bool any_live = false;
+    std::uint32_t threshold = kBias + static_cast<std::uint32_t>(best) - x;
+    for (std::size_t j = row_lo; j <= row_hi; ++j) {
+      const std::uint32_t value = cand[j + 1];
+      if (value < threshold) {
+        h_cur[j + 1] = 0;
+        continue;
+      }
+      h_cur[j + 1] = static_cast<std::uint16_t>(value);
+      any_live = true;
+      new_lo = std::min(new_lo, j);
+      new_hi = j;
+      if (value > kBias + static_cast<std::uint32_t>(best)) {
+        best = static_cast<int>(value - kBias);
+        best_i = i;
+        best_j = j;
+        threshold = value - x;
+      }
+    }
+    // One position past the live range (the next row reads at most that
+    // far) and one before it (diagonal source of the next row's first
+    // column) must read as sentinels, not stale cells.
+    h_cur[row_hi + 2] = 0;
+    f_cur[row_hi + 2] = 0;
+    h_cur[row_lo] = 0;
+    f_cur[row_lo] = 0;
+    if (!any_live) break;
+    if (best >= kGuardBest) return std::nullopt;
+    lo = new_lo;
+    hi = new_hi;
+    std::swap(h_prev, h_cur);
+    std::swap(f_prev, f_cur);
+  }
+
+  out.score = best;
+  out.end0 = best_i;
+  out.end1 = best_j;
+  return out;
+}
+
+__attribute__((target("avx2"))) std::optional<int> banded_window_score_avx2(
+    std::span<const std::uint8_t> s0, std::span<const std::uint8_t> s1,
+    std::size_t band, const GapParams& params, const GappedSimdMatrix& rows) {
+  const std::size_t n = std::min(s0.size(), s1.size());
+  if (n == 0) return 0;
+
+  const GapVectors gv(params);
+  const __m256i bias_v = _mm256_set1_epi16(static_cast<short>(kBias));
+  const __m256i lane_idx =
+      _mm256_setr_epi16(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+
+  const std::size_t cap = n + 2 + 32;
+  std::vector<std::uint16_t> h_prev(cap, 0), f_prev(cap, 0);
+  std::vector<std::uint16_t> h_cur(cap, 0), f_cur(cap, 0);
+  std::vector<std::uint8_t> bbuf(n + 1 + 32, 0);
+  std::copy(s1.begin(), s1.begin() + static_cast<std::ptrdiff_t>(n),
+            bbuf.begin() + 1);
+
+  for (std::size_t j = 0; j <= std::min(band, n); ++j) {
+    h_prev[j + 1] = kBias;
+  }
+
+  __m256i vbest = bias_v;
+  std::uint32_t best = kBias;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t lo = i > band ? i - band : 0;
+    const std::size_t hi = std::min(n, i + band);
+    const std::uint8_t* row = rows.row(s0[i - 1]);
+
+    std::uint32_t carry_c = 0, carry_e = 0;
+    for (std::size_t j0 = lo; j0 <= hi; j0 += 16) {
+      const __m256i hdiag = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(h_prev.data() + j0));
+      const __m256i habove = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(h_prev.data() + j0 + 1));
+      const __m256i fabove = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(f_prev.data() + j0 + 1));
+      const __m256i fv = _mm256_max_epu16(_mm256_subs_epu16(habove, gv.go),
+                                          _mm256_subs_epu16(fabove, gv.ge1));
+      const __m256i vals = lookup_row16(row, bbuf.data() + j0);
+      const __m256i diag = _mm256_subs_epu16(_mm256_adds_epu16(hdiag, vals),
+                                             gv.bias128);
+      // Local-alignment clamp folded into the candidate: C = max(F,
+      // diag, 0); the lazy-E source is then exactly the stored cell.
+      const __m256i c =
+          _mm256_max_epu16(_mm256_max_epu16(fv, diag), bias_v);
+      const __m256i ev = lazy_e_block(c, carry_c, carry_e, gv);
+      const __m256i stored = _mm256_max_epu16(c, ev);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(f_cur.data() + j0 + 1),
+                          fv);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(h_cur.data() + j0 + 1),
+                          stored);
+      const std::size_t valid = hi - j0 + 1;
+      if (valid >= 16) {
+        vbest = _mm256_max_epu16(vbest, stored);
+      } else {
+        // Junk lanes past the band can look real (their diagonal source
+        // may be a live cell); mask them out of the running best.
+        const __m256i mask = _mm256_cmpgt_epi16(
+            _mm256_set1_epi16(static_cast<short>(valid)), lane_idx);
+        vbest = _mm256_max_epu16(vbest, _mm256_and_si256(stored, mask));
+      }
+      carry_c = static_cast<std::uint32_t>(
+          static_cast<std::uint16_t>(_mm256_extract_epi16(c, 15)));
+      carry_e = static_cast<std::uint32_t>(
+          static_cast<std::uint16_t>(_mm256_extract_epi16(ev, 15)));
+    }
+    // Clear one block past the band edge so the next row's loads (which
+    // reach one block past its own edge) see sentinels, not junk stores.
+    for (std::size_t t = hi + 1; t <= hi + 16; ++t) {
+      h_cur[t + 1] = 0;
+      f_cur[t + 1] = 0;
+    }
+    best = horizontal_max_epu16(vbest);
+    if (static_cast<int>(best - kBias) >= kGuardBest) return std::nullopt;
+    std::swap(h_prev, h_cur);
+    std::swap(f_prev, f_cur);
+  }
+  return static_cast<int>(best - kBias);
+}
+
+}  // namespace psc::align
+
+#endif  // x86 && GNUC

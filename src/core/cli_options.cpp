@@ -35,6 +35,8 @@ void add_pipeline_options(util::ArgParser& args,
   args.add_option("step2-schedule",
                   step2_schedule_name(defaults.step2_schedule),
                   "host chunking policy: static | cost-aware");
+  args.add_option("step3-kernel", step3_kernel_name(defaults.step3_kernel),
+                  "gapped-extension kernel: auto | scalar | portable | avx2");
   add_threads_option(args,
                      "worker threads for BOTH step 2 and step 3 on the host "
                      "backends (0 = all cores)");
@@ -72,6 +74,13 @@ bool parse_pipeline_options(const util::ArgParser& args,
   } catch (const std::invalid_argument&) {
     std::fprintf(stderr, "unknown step2 schedule '%s'\n",
                  args.get("step2-schedule").c_str());
+    return false;
+  }
+  try {
+    options.step3_kernel = parse_step3_kernel(args.get("step3-kernel"));
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "unknown step3 kernel '%s'\n",
+                 args.get("step3-kernel").c_str());
     return false;
   }
   std::size_t threads = 0;

@@ -77,6 +77,10 @@ HybridResult run_hybrid_pipeline(const bio::SequenceBank& bank0,
       (options.gap.window_length - base.shape.seed_width) / 2};
   rasc::GapOperatorConfig gap_config = options.gap;
   gap_config.window_length = gap_shape.length();  // honour odd sizes
+  // The functional banded pass rides the same --step3-kernel selection
+  // as the host extension stage (bit-identical, so the screen's
+  // survivor set is unchanged).
+  gap_config.kernel = base.step3_kernel;
 
   index::WindowBatch windows0(gap_shape.length());
   index::WindowBatch windows1(gap_shape.length());

@@ -88,6 +88,17 @@ align::UngappedKernel parse_step2_kernel(const std::string& name) {
       "'");
 }
 
+std::string step3_kernel_name(align::GappedKernel kernel) {
+  return align::gapped_kernel_name(kernel);
+}
+
+align::GappedKernel parse_step3_kernel(const std::string& name) {
+  if (const auto kernel = align::parse_gapped_kernel(name)) return *kernel;
+  throw std::invalid_argument(
+      "parse_step3_kernel: expected auto|scalar|portable|avx2, got '" + name +
+      "'");
+}
+
 std::string step2_schedule_name(Step2Schedule schedule) {
   switch (schedule) {
     case Step2Schedule::kStatic: return "static";

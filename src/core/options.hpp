@@ -8,6 +8,7 @@
 
 #include "align/gapped.hpp"
 #include "align/karlin.hpp"
+#include "align/gapped_simd.hpp"
 #include "align/ungapped_simd.hpp"
 #include "index/neighborhood.hpp"
 #include "index/seed_model.hpp"
@@ -88,6 +89,13 @@ struct PipelineOptions {
 
   /// Step-3 gapped extension parameters.
   align::GapParams gap{};
+
+  /// Which gapped kernel step 3 runs (--step3-kernel). kAuto resolves to
+  /// the best SIMD tier that is exact for the matrix/gap configuration;
+  /// every kernel is bit-identical to scalar (the 16-bit tiers re-run a
+  /// call through the scalar reference when the overflow guard trips),
+  /// so this is purely a speed/diagnostic knob.
+  align::GappedKernel step3_kernel = align::GappedKernel::kAuto;
   double e_value_cutoff = 1e-3;
   /// E-value search space override: the subject-side residue total n in
   /// E = m*n*K*exp(-lambda*S). 0 (default) uses the subject bank's own
@@ -132,6 +140,14 @@ std::string step2_kernel_name(align::UngappedKernel kernel);
 /// Parses a --step2-kernel value; throws std::invalid_argument on an
 /// unknown name.
 align::UngappedKernel parse_step2_kernel(const std::string& name);
+
+/// Human-readable step-3 kernel name ("auto", "scalar", "portable",
+/// "avx2").
+std::string step3_kernel_name(align::GappedKernel kernel);
+
+/// Parses a --step3-kernel value; throws std::invalid_argument on an
+/// unknown name.
+align::GappedKernel parse_step3_kernel(const std::string& name);
 
 /// Human-readable schedule name ("static", "cost-aware").
 std::string step2_schedule_name(Step2Schedule schedule);

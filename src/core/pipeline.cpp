@@ -99,6 +99,7 @@ void run_steps23(const bio::SequenceBank& bank0,
     result.counters.step3_extensions = outcome.extensions;
     result.counters.step3_eager_extensions = outcome.eager_extensions;
     result.step2_engine = step2_kernel_name(outcome.kernel);
+    result.step3_engine = step3_kernel_name(outcome.gapped_kernel);
     result.step2_wall_seconds = outcome.step2_seconds;
     result.times.step2_ungapped = outcome.step2_seconds;
     // The extension tail past step 2 plus the deterministic replay; the
@@ -115,6 +116,7 @@ void run_steps23(const bio::SequenceBank& bank0,
   Step3Result step3 =
       run_step3(bank0, bank1, std::move(hits), matrix, options);
   result.times.step3_gapped = step3_timer.seconds();
+  result.step3_engine = step3_kernel_name(step3.kernel);
   result.counters.step3_extensions = step3.extensions;
   result.counters.step3_eager_extensions = step3.extensions;
   result.matches = std::move(step3.matches);

@@ -127,7 +127,11 @@ void write_step2_report(std::ostream& out, const PipelineResult& result) {
   out.precision(4);
   out << " seconds=" << seconds;
   out.precision(1);
-  out << " mcells_per_s=" << mcells << '\n';
+  out << " mcells_per_s=" << mcells;
+  out.unsetf(std::ios::floatfield);
+  out << " step3_engine="
+      << (result.step3_engine.empty() ? "none" : result.step3_engine) << '\n';
+  out.setf(std::ios::fixed, std::ios::floatfield);
   out.unsetf(std::ios::floatfield);
   out.precision(old_precision);
 }

@@ -62,6 +62,10 @@ struct PipelineResult {
   /// "blocked", "scalar") or "rasc-psc" for the accelerator backend. Used
   /// by the per-kernel throughput report (core/report.hpp).
   std::string step2_engine;
+  /// Gapped kernel step 3 actually dispatched to (the resolved
+  /// --step3-kernel: "avx2", "portable" or "scalar"); empty when step 3
+  /// never ran.
+  std::string step3_engine;
   /// Accelerator details when the RASC backend ran (empty otherwise).
   std::vector<rasc::FpgaRunReport> fpga_reports;
   rasc::OperatorStats operator_stats;

@@ -76,6 +76,12 @@ OverlapOutcome run_steps23_overlapped(
   OverlapOutcome out;
   out.kernel = align::resolve_ungapped_kernel(options.step2_kernel, matrix,
                                               options.shape.length());
+  // One extender shared read-only by every worker and the replay: all
+  // kernels are bit-identical, so eager and replayed extensions may
+  // freely mix tiers (an overflow fallback in one never shows).
+  const align::GappedExtender extender(matrix, options.gap,
+                                       options.step3_kernel);
+  out.gapped_kernel = extender.kernel();
   if (workers < 2) workers = 2;
 
   const auto chunks =
@@ -114,7 +120,7 @@ OverlapOutcome run_steps23_overlapped(
         mine.push_back({hit, {}, false});
         continue;
       }
-      ExtendedHit e{hit, extend_seed_hit(bank0, bank1, hit, matrix, options),
+      ExtendedHit e{hit, extend_seed_hit(bank0, bank1, hit, extender, options),
                     true};
       // Mirror the replay's acceptance test: only alignments that pass
       // the E-value cutoff suppress later seeds there, so only those
@@ -211,7 +217,7 @@ OverlapOutcome run_steps23_overlapped(
             // Eagerly skipped but not covered in the replay's order:
             // compute it now (pure, so identical to an eager result).
             ++out.eager_extensions;
-            return extend_seed_hit(bank0, bank1, e.hit, matrix, options);
+            return extend_seed_hit(bank0, bank1, e.hit, extender, options);
           }
           return std::move(e.alignment);
         },

@@ -35,6 +35,8 @@ struct OverlapOutcome {
   double step2_seconds = 0.0;  ///< wall until the last chunk was scored
   double total_seconds = 0.0;  ///< wall including extension tail + replay
   align::UngappedKernel kernel = align::UngappedKernel::kScalar;
+  /// Gapped kernel the step-3 extensions dispatched to.
+  align::GappedKernel gapped_kernel = align::GappedKernel::kScalar;
 };
 
 /// Runs steps 2+3 with `workers` (>= 2) pipeline workers on

@@ -56,6 +56,18 @@ align::Alignment extend_seed_hit(const bio::SequenceBank& bank0,
       options.with_traceback);
 }
 
+align::Alignment extend_seed_hit(const bio::SequenceBank& bank0,
+                                 const bio::SequenceBank& bank1,
+                                 const align::SeedPairHit& hit,
+                                 const align::GappedExtender& extender,
+                                 const PipelineOptions& options) {
+  const bio::Sequence& s0 = bank0[hit.bank0.sequence];
+  const bio::Sequence& s1 = bank1[hit.bank1.sequence];
+  return extender.extend({s0.data(), s0.size()}, {s1.data(), s1.size()},
+                         hit.bank0.offset, hit.bank1.offset,
+                         options.shape.seed_width, options.with_traceback);
+}
+
 std::uint64_t extend_pair_group(
     const bio::SequenceBank& bank0, std::span<const align::SeedPairHit> group,
     const std::function<align::Alignment(std::size_t)>& aligner,
@@ -114,6 +126,9 @@ Step3Result run_step3(const bio::SequenceBank& bank0,
                       const bio::SubstitutionMatrix& matrix,
                       const PipelineOptions& options) {
   Step3Result out;
+  const align::GappedExtender extender(matrix, options.gap,
+                                       options.step3_kernel);
+  out.kernel = extender.kernel();
   if (hits.empty()) return out;
 
   sort_hits_for_step3(hits);
@@ -133,7 +148,7 @@ Step3Result run_step3(const bio::SequenceBank& bank0,
     return extend_pair_group(
         bank0, group,
         [&](std::size_t i) {
-          return extend_seed_hit(bank0, bank1, group[i], matrix, options);
+          return extend_seed_hit(bank0, bank1, group[i], extender, options);
         },
         options, stats.for_query(hits[begin].bank0.sequence),
         total_bank1_residues, matches);

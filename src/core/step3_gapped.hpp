@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "align/gapped.hpp"
+#include "align/gapped_simd.hpp"
 #include "align/hit.hpp"
 #include "align/karlin.hpp"
 #include "bio/substitution_matrix.hpp"
@@ -24,6 +25,9 @@ namespace psc::core {
 struct Step3Result {
   std::vector<Match> matches;       ///< finalized (deduped, E-sorted)
   std::uint64_t extensions = 0;     ///< gapped extensions actually run
+  /// Kernel the extensions actually dispatched to (options.step3_kernel
+  /// resolved against the CPU and matrix/gap configuration).
+  align::GappedKernel kernel = align::GappedKernel::kScalar;
 };
 
 /// Extends every hit whose seed is not already covered by an accepted
@@ -63,6 +67,15 @@ align::Alignment extend_seed_hit(const bio::SequenceBank& bank0,
                                  const bio::SequenceBank& bank1,
                                  const align::SeedPairHit& hit,
                                  const bio::SubstitutionMatrix& matrix,
+                                 const PipelineOptions& options);
+
+/// Same extension through a prebuilt extender (one kernel resolution +
+/// matrix repack per run instead of per hit); the extender must have
+/// been built from the same matrix and options.gap.
+align::Alignment extend_seed_hit(const bio::SequenceBank& bank0,
+                                 const bio::SequenceBank& bank1,
+                                 const align::SeedPairHit& hit,
+                                 const align::GappedExtender& extender,
                                  const PipelineOptions& options);
 
 /// Extends one sequence-pair group with coverage suppression: once an

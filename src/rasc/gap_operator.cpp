@@ -16,7 +16,10 @@ void GapOperatorConfig::validate() const {
 GapOperator::GapOperator(const GapOperatorConfig& config,
                          const bio::SubstitutionMatrix& rom,
                          const align::GapParams& gap_params)
-    : config_(config), rom_(&rom), gap_params_(gap_params) {
+    : config_(config),
+      rom_(&rom),
+      gap_params_(gap_params),
+      extender_(rom, gap_params, config.kernel) {
   config_.validate();
 }
 
@@ -37,8 +40,9 @@ void GapOperator::run_pairs(const index::WindowBatch& batch0,
   // Functional pass: every lane evaluates the same banded recurrence, so
   // the host kernel is the lane's exact behaviour.
   for (std::size_t i = 0; i < pairs; ++i) {
-    const int score = align::banded_window_score(
-        batch0.window(i), batch1.window(i), config_.band, gap_params_, *rom_);
+    const int score =
+        extender_.banded_window(batch0.window(i), batch1.window(i),
+                                config_.band);
     ++stats_.pairs;
     if (score >= config_.threshold) {
       ++stats_.survivors;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "align/banded.hpp"
+#include "align/gapped_simd.hpp"
 #include "index/neighborhood.hpp"
 #include "rasc/fifo.hpp"
 
@@ -31,6 +32,9 @@ struct GapOperatorConfig {
   std::size_t window_length = 128;  ///< M residues per window
   int threshold = 45;               ///< banded score that survives
   double clock_hz = 100e6;
+  /// Host kernel used for the functional pass (the modeled cycle counts
+  /// are content-independent, so this only changes simulation speed).
+  align::GappedKernel kernel = align::GappedKernel::kAuto;
 
   void validate() const;
 };
@@ -79,6 +83,7 @@ class GapOperator {
   GapOperatorConfig config_;
   const bio::SubstitutionMatrix* rom_;
   align::GapParams gap_params_;
+  align::GappedExtender extender_;
   GapOperatorStats stats_;
 };
 

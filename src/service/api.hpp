@@ -34,6 +34,14 @@ inline constexpr std::uint32_t kServiceStatsCodecVersion = 2;
 /// options agree (the pass is executed once for the whole group), so the
 /// worker groups by bank prefix plus *every option field exactly*
 /// (QueryOptions::group_key) -- never by fingerprint alone.
+///
+/// Execution knobs that cannot change any output bit stay OUT of this
+/// struct and of group_key: the step-2/step-3 kernel selections
+/// (--step2-kernel / --step3-kernel) live in the service-level
+/// PipelineOptions because every kernel tier is bit-identical, so a
+/// coalesced pass is valid for its whole group no matter which kernel
+/// the service happens to run. Adding a field here is only required
+/// when the option can alter results.
 struct QueryOptions {
   double e_value_cutoff = 1e-3;
   bool with_traceback = false;

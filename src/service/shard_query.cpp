@@ -103,6 +103,7 @@ core::PipelineResult run_query_over_set(
     merged.times.step3_gapped += piece.times.step3_gapped;
     merged.step2_wall_seconds += piece.step2_wall_seconds;
     if (merged.step2_engine.empty()) merged.step2_engine = piece.step2_engine;
+    if (merged.step3_engine.empty()) merged.step3_engine = piece.step3_engine;
     merged.fpga_reports.insert(merged.fpga_reports.end(),
                                piece.fpga_reports.begin(),
                                piece.fpga_reports.end());

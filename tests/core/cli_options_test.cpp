@@ -63,6 +63,19 @@ TEST(CliOptions, ParsesKernelScheduleAndThreads) {
   EXPECT_FALSE(parse_with({"--threads=-1"}, options));
 }
 
+TEST(CliOptions, ParsesStep3Kernel) {
+  PipelineOptions options;
+  ASSERT_TRUE(parse_with({}, options));
+  EXPECT_EQ(options.step3_kernel, align::GappedKernel::kAuto);
+  ASSERT_TRUE(parse_with({"--step3-kernel=scalar"}, options));
+  EXPECT_EQ(options.step3_kernel, align::GappedKernel::kScalar);
+  ASSERT_TRUE(parse_with({"--step3-kernel=portable"}, options));
+  EXPECT_EQ(options.step3_kernel, align::GappedKernel::kPortable);
+  ASSERT_TRUE(parse_with({"--step3-kernel=avx2"}, options));
+  EXPECT_EQ(options.step3_kernel, align::GappedKernel::kAvx2);
+  EXPECT_FALSE(parse_with({"--step3-kernel=fpga"}, options));
+}
+
 TEST(CliOptions, ParsesAcceleratorShapeAndStats) {
   PipelineOptions options;
   ASSERT_TRUE(parse_with({"--backend=rasc", "--pes=64", "--fpgas=2",
