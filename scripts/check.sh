@@ -26,16 +26,19 @@ scripts/loopback_check.sh build
 echo "== tier 1: sharding equivalence check =="
 scripts/shard_check.sh build
 
-echo "== sanitizers: align/core/store/service/net tests under ASan/UBSan =="
+echo "== tier 1: cluster fan-out check (router vs unsharded) =="
+scripts/cluster_check.sh build
+
+echo "== sanitizers: align/core/store/service/net/cluster tests under ASan/UBSan =="
 cmake -B build-asan -S . \
   -DPSC_ENABLE_SANITIZERS=ON \
   -DPSC_BUILD_BENCH=OFF \
   -DPSC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$jobs" --target align_test core_test \
-  store_test service_test net_test
+  store_test service_test net_test cluster_test
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure \
-  -R '^(align|core|store|service|net)_test$'
+  -R '^(align|core|store|service|net|cluster)_test$'
 
 echo "== sanitizers: step-3 kernel equality focused run under ASan =="
 # Redundant with the suite runs above on purpose: the bit-identity
@@ -46,15 +49,16 @@ ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ./build-asan/tests/core_test --gtest_filter='Step3Kernels.*'
 
-echo "== sanitizers: executor/overlap/service tests under TSan =="
+echo "== sanitizers: executor/overlap/service/cluster tests under TSan =="
 cmake -B build-tsan -S . \
   -DPSC_ENABLE_SANITIZERS=thread \
   -DPSC_BUILD_BENCH=OFF \
   -DPSC_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j "$jobs" --target util_test core_test service_test
+cmake --build build-tsan -j "$jobs" --target util_test core_test \
+  service_test cluster_test
 TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/scripts/tsan.supp" \
   ctest --test-dir build-tsan --output-on-failure \
-  -R '^(util|core|service)_test$'
+  -R '^(util|core|service|cluster)_test$'
 
 echo "== sanitizers: step-3 kernel equality (incl. overlap path) under TSan =="
 TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/scripts/tsan.supp" \

@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# Cluster integration check: shard a store, serve the shards from three
+# psc_serve replicas with a redundant shard map, put psc_router in front,
+# and require the routed reply to be bit-for-bit identical to an
+# in-process psc_search over the unsharded store (both sides emit the
+# versioned match encoding via --output-binary, so `cmp` is the whole
+# comparison). Then kill a replica whose shards are all redundantly held
+# and require the identical bytes again; finally kill the remaining
+# replicas and require a typed error frame -- never a hang.
+#
+# Usage: scripts/cluster_check.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+build=${1:-build}
+
+index="$build/tools/psc_index"
+serve="$build/tools/psc_serve"
+client="$build/tools/psc_client"
+router="$build/tools/psc_router"
+search="$build/examples/psc_search"
+for binary in "$index" "$serve" "$client" "$router" "$search"; do
+  if [[ ! -x $binary ]]; then
+    echo "cluster_check: missing $binary (build the default targets first)" >&2
+    exit 1
+  fi
+done
+
+work=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  for pid in "${pids[@]}"; do wait "$pid" 2>/dev/null || true; done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# --- a tiny bank + queries (deterministic, checked-in inline) -----------
+cat > "$work/bank.fa" <<'EOF'
+>ref0
+MKVLITGAGSGIGLELAKQFAREGYKVAVTDINEEKLQELKEELGDNVIGIVGDVSSEED
+VKRAVAEAVERFGRIDVLVNNAGITRDNLLMRMKEEEWDDVIDTNLKGVFNCTQAVSRIM
+>ref1
+MSTNPKPQRKTKRNTNRRPQDVKFPGGGQIVGGVYLLPRRGPRLGVRATRKTSERSQPRG
+RRQPIPKARRPEGRTWAQPGYPWPLYGNEGCGWAGWLLSPRGSRPSWGPTDPRRRSRNLG
+>ref2
+MAHHHHHHMGTLEAQTQGPGSMSDKIIHLTDDSFDTDVLKADGAILVDFWAEWCGPCKMI
+APILDEIADEYQGKLTVAKLNIDQNPGTAPKYGIRGIPTLLLFKNGEVAATKVGALSKGQ
+EOF
+
+cat > "$work/queries.fa" <<'EOF'
+>q0_ref0_like
+MKVLITGAGSGIGLELAKQFAREGYKVAVTDINEEKLQELKEELGDNVIGIVGDVSSEED
+>q1_ref2_like
+APILDEIADEYQGKLTVAKLNIDQNPGTAPKYGIRGIPTLLLFKNGEVAATKVGALSKGQ
+>q2_random
+QWERTYIPASDFGHKLCVNMQWERTYIPASDFGHKLCVNMQWERTYIPASDFGHKLCVNM
+EOF
+
+echo "== cluster: unsharded reference store =="
+"$index" --input="$work/bank.fa" --kind=protein --out="$work/plain"
+"$search" --subject-index="$work/plain" --query="$work/queries.fa" \
+  --backend=host-parallel --output-binary > "$work/reference.bin"
+echo "   reference: $(wc -c < "$work/reference.bin") bytes"
+
+echo "== cluster: sharded store (one sequence per shard) =="
+"$index" --input="$work/bank.fa" --kind=protein --out="$work/bank" \
+  --shard-max-bytes=1
+shards=$(ls "$work"/bank.shard*.pscbank | wc -l)
+if [[ $shards -ne 3 ]]; then
+  echo "cluster_check: expected 3 shards, got $shards" >&2
+  exit 1
+fi
+
+# Redundant map: every shard is held by exactly two of the three
+# replicas, so any single replica is expendable.
+declare -a shard_maps=("bank:0,1" "bank:1,2" "bank:0,2")
+declare -a replica_specs=("0,1" "1,2" "0,2")
+declare -a ports
+echo "== cluster: starting 3 psc_serve replicas =="
+for i in 0 1 2; do
+  "$serve" --bank-root="$work" --shards="${shard_maps[$i]}" --port=0 \
+    --port-file="$work/replica_$i.port" --backend=host-parallel &
+  pids+=($!)
+done
+for i in 0 1 2; do
+  for _ in $(seq 1 100); do
+    [[ -s $work/replica_$i.port ]] && break
+    sleep 0.1
+  done
+  [[ -s $work/replica_$i.port ]] || {
+    echo "replica $i never wrote its port" >&2; exit 1; }
+  ports[$i]=$(cat "$work/replica_$i.port")
+done
+
+replicas=""
+for i in 0 1 2; do
+  replicas+="127.0.0.1:${ports[$i]}=${replica_specs[$i]};"
+done
+
+echo "== cluster: starting psc_router =="
+"$router" --manifest="$work/bank" --bank=bank --replicas="$replicas" \
+  --port=0 --port-file="$work/router.port" \
+  --max-attempts=3 --retry-backoff=0.05 --health-interval=0.5 &
+router_pid=$!
+pids+=($router_pid)
+for _ in $(seq 1 100); do
+  [[ -s $work/router.port ]] && break
+  sleep 0.1
+done
+[[ -s $work/router.port ]] || { echo "router never wrote its port" >&2; exit 1; }
+router_port=$(cat "$work/router.port")
+
+"$client" --port="$router_port" --ping
+
+echo "== cluster: routed query must be bit-identical =="
+"$client" --port="$router_port" --bank=bank --query="$work/queries.fa" \
+  --output-binary > "$work/routed.bin"
+cmp "$work/reference.bin" "$work/routed.bin"
+echo "   bit-for-bit OK ($(wc -c < "$work/routed.bin") bytes)"
+
+echo "== cluster: stats frame reports all three replicas up =="
+"$client" --port="$router_port" --stats | tee "$work/stats.txt"
+if [[ $(grep -c '^replica=.* up=1 ' "$work/stats.txt") -ne 3 ]]; then
+  echo "cluster_check: expected 3 live replica rows" >&2
+  exit 1
+fi
+
+echo "== cluster: killing replica 2 (all its shards are redundant) =="
+kill "${pids[2]}" 2>/dev/null
+wait "${pids[2]}" 2>/dev/null || true
+"$client" --port="$router_port" --bank=bank --query="$work/queries.fa" \
+  --output-binary > "$work/degraded.bin"
+cmp "$work/reference.bin" "$work/degraded.bin"
+echo "   bit-for-bit OK with a dead replica"
+
+echo "== cluster: wrong bank name is a typed error =="
+if "$client" --port="$router_port" --bank=no_such_bank \
+    --query="$work/queries.fa" > /dev/null 2> "$work/err.txt"; then
+  echo "cluster_check: expected a bank-not-found failure" >&2
+  exit 1
+fi
+grep -q "bank-not-found" "$work/err.txt"
+
+echo "== cluster: killing the remaining replicas uncovers the shards =="
+kill "${pids[0]}" "${pids[1]}" 2>/dev/null
+wait "${pids[0]}" 2>/dev/null || true
+wait "${pids[1]}" 2>/dev/null || true
+# First failure may read as unreachable (the dead replicas are being
+# discovered mid-query); once they are benched, the typed verdict must
+# be shard-unavailable. Both are typed error frames, never a hang.
+if "$client" --port="$router_port" --bank=bank --query="$work/queries.fa" \
+    > /dev/null 2> "$work/err1.txt"; then
+  echo "cluster_check: expected a failure with every replica dead" >&2
+  exit 1
+fi
+grep -Eq "shard-unavailable|unreachable" "$work/err1.txt"
+if "$client" --port="$router_port" --bank=bank --query="$work/queries.fa" \
+    > /dev/null 2> "$work/err2.txt"; then
+  echo "cluster_check: expected a failure with every replica dead" >&2
+  exit 1
+fi
+grep -q "shard-unavailable" "$work/err2.txt"
+echo "   typed shard-unavailable error, connection intact:"
+"$client" --port="$router_port" --ping
+
+echo "== cluster: stats frame reports the replicas down =="
+"$client" --port="$router_port" --stats | tee "$work/stats2.txt"
+if [[ $(grep -c '^replica=.* up=0 ' "$work/stats2.txt") -ne 3 ]]; then
+  echo "cluster_check: expected 3 dead replica rows" >&2
+  exit 1
+fi
+
+echo "== cluster check passed =="

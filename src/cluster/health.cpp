@@ -1,0 +1,69 @@
+#include "cluster/health.hpp"
+
+#include <chrono>
+
+#include "net/client.hpp"
+
+namespace psc::cluster {
+
+HealthChecker::HealthChecker(ReplicaTable& table, HealthConfig config)
+    : table_(&table), config_(config) {}
+
+HealthChecker::~HealthChecker() { stop(); }
+
+bool HealthChecker::probe_one(std::size_t replica) {
+  const ReplicaEndpoint& endpoint = table_->endpoint(replica);
+  try {
+    net::ClientConfig config;
+    config.host = endpoint.host;
+    config.port = endpoint.port;
+    config.timeout_seconds = config_.timeout_seconds;
+    net::Client client(config);
+    client.ping();
+    return true;
+  } catch (const std::exception&) {
+    // Connect refused, timeout, protocol garbage -- all the same
+    // verdict: do not route here until a later probe succeeds.
+    return false;
+  }
+}
+
+void HealthChecker::probe_all() {
+  for (std::size_t i = 0; i < table_->size(); ++i) {
+    table_->set_up(i, probe_one(i));
+  }
+}
+
+void HealthChecker::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return;
+  stop_ = false;
+  started_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void HealthChecker::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  started_ = false;
+}
+
+void HealthChecker::loop() {
+  const auto interval = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::duration<double>(config_.interval_seconds));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (cv_.wait_for(lock, interval, [this] { return stop_; })) return;
+    }
+    probe_all();
+  }
+}
+
+}  // namespace psc::cluster

@@ -1,0 +1,57 @@
+// Periodic replica health checking: one background thread round-robins
+// Ping frames at every configured endpoint and flips the replica table's
+// up/down state from what actually happens on the wire. Routing reads
+// the table, never probes inline -- a down replica costs queries nothing
+// until a probe brings it back.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "cluster/replica_table.hpp"
+
+namespace psc::cluster {
+
+struct HealthConfig {
+  /// Seconds between probe rounds.
+  double interval_seconds = 2.0;
+  /// Per-probe connect/IO timeout; a replica slower than this to answer
+  /// a Ping is down for routing purposes.
+  double timeout_seconds = 2.0;
+};
+
+class HealthChecker {
+ public:
+  /// The table must outlive the checker.
+  HealthChecker(ReplicaTable& table, HealthConfig config = {});
+  ~HealthChecker();  ///< stop()s if still running
+
+  HealthChecker(const HealthChecker&) = delete;
+  HealthChecker& operator=(const HealthChecker&) = delete;
+
+  /// Synchronously probes every replica once, updating the table. Used
+  /// at router startup (so the first query routes on evidence, not
+  /// optimism) and callable any time for tests.
+  void probe_all();
+
+  /// Starts the periodic background loop.
+  void start();
+
+  /// Stops and joins the loop; idempotent.
+  void stop();
+
+ private:
+  bool probe_one(std::size_t replica);
+  void loop();
+
+  ReplicaTable* table_;
+  HealthConfig config_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace psc::cluster

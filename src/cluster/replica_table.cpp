@@ -1,0 +1,180 @@
+#include "cluster/replica_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psc::cluster {
+
+namespace {
+
+/// Splits `text` on `sep`, keeping empty pieces (they are reported as
+/// errors by the callers, not silently dropped).
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::size_t parse_number(const std::string& text, const char* what) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument(std::string("replica list: bad ") + what +
+                                " '" + text + "'");
+  }
+  return static_cast<std::size_t>(std::stoull(text));
+}
+
+}  // namespace
+
+std::vector<ReplicaEndpoint> parse_replica_list(const std::string& spec) {
+  std::vector<ReplicaEndpoint> endpoints;
+  for (const std::string& entry : split(spec, ';')) {
+    if (entry.empty()) continue;  // tolerate a trailing ';'
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(
+          "replica list: missing '=<shards>' in '" + entry + "'");
+    }
+    const std::string address = entry.substr(0, eq);
+    const std::size_t colon = address.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw std::invalid_argument("replica list: expected host:port in '" +
+                                  address + "'");
+    }
+    ReplicaEndpoint endpoint;
+    endpoint.host = address.substr(0, colon);
+    const std::size_t port = parse_number(address.substr(colon + 1), "port");
+    if (port == 0 || port > 65535) {
+      throw std::invalid_argument("replica list: port out of range in '" +
+                                  address + "'");
+    }
+    endpoint.port = static_cast<std::uint16_t>(port);
+    for (const std::string& shard : split(entry.substr(eq + 1), ',')) {
+      endpoint.shards.push_back(parse_number(shard, "shard index"));
+    }
+    if (endpoint.shards.empty()) {
+      throw std::invalid_argument("replica list: '" + address +
+                                  "' serves no shards");
+    }
+    endpoints.push_back(std::move(endpoint));
+  }
+  if (endpoints.empty()) {
+    throw std::invalid_argument("replica list: no endpoints");
+  }
+  return endpoints;
+}
+
+ReplicaTable::ReplicaTable(std::vector<ReplicaEndpoint> endpoints)
+    : endpoints_(std::move(endpoints)), states_(endpoints_.size()) {}
+
+std::size_t ReplicaTable::shard_span() const {
+  std::size_t span = 0;
+  for (const ReplicaEndpoint& endpoint : endpoints_) {
+    for (const std::size_t shard : endpoint.shards) {
+      span = std::max(span, shard + 1);
+    }
+  }
+  return span;
+}
+
+std::vector<std::size_t> ReplicaTable::live_candidates(
+    std::size_t shard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (!states_[i].up) continue;
+    const auto& shards = endpoints_[i].shards;
+    if (std::find(shards.begin(), shards.end(), shard) != shards.end()) {
+      out.push_back(i);
+    }
+  }
+  std::sort(out.begin(), out.end(), [this](std::size_t a, std::size_t b) {
+    if (states_[a].inflight != states_[b].inflight) {
+      return states_[a].inflight < states_[b].inflight;
+    }
+    return a < b;
+  });
+  return out;
+}
+
+bool ReplicaTable::is_up(std::size_t replica) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return states_[replica].up;
+}
+
+void ReplicaTable::set_up(std::size_t replica, bool up) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  states_[replica].up = up;
+}
+
+void ReplicaTable::attempt_started(std::size_t replica, AttemptKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State& state = states_[replica];
+  ++state.inflight;
+  ++state.requests;
+  if (kind == AttemptKind::kRetry) ++state.retries;
+  if (kind == AttemptKind::kHedge) ++state.hedges;
+}
+
+void ReplicaTable::attempt_finished(std::size_t replica, bool success,
+                                    double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State& state = states_[replica];
+  if (state.inflight > 0) --state.inflight;
+  if (!success) {
+    ++state.failures;
+    return;
+  }
+  state.max_latency_seconds =
+      std::max(state.max_latency_seconds, latency_seconds);
+  if (state.latency_window.size() < kLatencyWindow) {
+    state.latency_window.push_back(latency_seconds);
+  } else {
+    state.latency_window[state.latency_next] = latency_seconds;
+    state.latency_next = (state.latency_next + 1) % kLatencyWindow;
+  }
+}
+
+void ReplicaTable::attempt_cancelled(std::size_t replica) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State& state = states_[replica];
+  if (state.inflight > 0) --state.inflight;
+}
+
+std::vector<service::ReplicaStats> ReplicaTable::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<service::ReplicaStats> out;
+  out.reserve(endpoints_.size());
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    const State& state = states_[i];
+    service::ReplicaStats row;
+    row.endpoint = endpoints_[i].name();
+    row.up = state.up;
+    row.inflight = state.inflight;
+    row.requests = state.requests;
+    row.retries = state.retries;
+    row.hedges = state.hedges;
+    row.failures = state.failures;
+    row.max_latency_seconds = state.max_latency_seconds;
+    if (!state.latency_window.empty()) {
+      std::vector<double> window = state.latency_window;
+      const std::size_t mid = window.size() / 2;
+      std::nth_element(window.begin(),
+                       window.begin() + static_cast<std::ptrdiff_t>(mid),
+                       window.end());
+      row.p50_latency_seconds = window[mid];
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace psc::cluster

@@ -1,0 +1,122 @@
+// psc::cluster::Router -- the cluster coordinator. Owns the sharded
+// store's .pscman manifest, a ReplicaTable of shard-holding psc_serve
+// endpoints, and a HealthChecker; implements service::SearchBackend so
+// net::Server serves it exactly like a single-node SearchService.
+//
+// One submitted query fans out as one Search frame per manifest shard,
+// sent to a live replica serving that shard with the E-value search
+// space overridden to the manifest's whole-set residue total (wire codec
+// v2). Replies come back with shard-local subject ids; the router remaps
+// them through the manifest's per-shard sequence bases, concatenates,
+// and re-sorts with core::match_order -- the identical merge the
+// in-process fan-out (service/shard_query) performs, so the merged
+// encode_matches bytes equal a single unsharded node's, bit for bit
+// (proof sketch in DESIGN.md §14).
+//
+// Robustness: per-shard attempts retry with exponential backoff across
+// live replicas (connection-level failures mark the replica down on the
+// spot); a straggling attempt is hedged with a duplicate to another
+// replica after hedge_delay, first valid reply wins and the loser's
+// socket is shut down from the winner's side so its thread drains
+// immediately; a shard with no live replica fails the whole query with
+// WireError(kShardUnavailable) -- a typed error frame at the wire
+// boundary, never a hang. Per-replica traffic counters surface through
+// stats_snapshot() as ServiceStats::replicas (codec v3).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/health.hpp"
+#include "cluster/replica_table.hpp"
+#include "service/backend.hpp"
+#include "store/shard_store.hpp"
+
+namespace psc::cluster {
+
+struct RouterConfig {
+  /// Local path prefix of the sharded store; <prefix>.pscman must
+  /// exist (the router owns the manifest; replicas own the shards).
+  std::string manifest_prefix;
+  /// The bank name on the wire: what clients put in their Search frame
+  /// and what shard prefixes are derived from on replica requests
+  /// ("<bank_prefix>.shardNN" relative to each replica's --bank-root).
+  std::string bank_prefix;
+  /// The cluster: every endpoint with the manifest shard indices it
+  /// serves. Every manifest shard must be covered by at least one.
+  std::vector<ReplicaEndpoint> replicas;
+  /// Attempt rounds per shard (first try + retries), each against the
+  /// currently least-loaded live candidate.
+  std::size_t max_attempts = 3;
+  /// Backoff before retry round n doubles from this base.
+  double retry_backoff_seconds = 0.05;
+  /// Seconds a primary attempt may run before a duplicate is hedged to
+  /// another live replica; <= 0 disables hedging.
+  double hedge_delay_seconds = 0.25;
+  /// Per-attempt socket timeout (connect + each send/recv).
+  double request_timeout_seconds = 30.0;
+  /// Health probe cadence and per-probe timeout.
+  HealthConfig health;
+  /// Verify the manifest checksum on load.
+  bool verify_checksums = true;
+};
+
+class Router : public service::SearchBackend {
+ public:
+  /// Loads the manifest, validates replica coverage (throws
+  /// std::invalid_argument when a manifest shard has no configured
+  /// replica at all), runs one synchronous probe round so the first
+  /// query routes on real up/down state, and starts the periodic
+  /// health checker.
+  explicit Router(RouterConfig config);
+  ~Router();  ///< drains in-flight fan-outs, then stops health checks
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // SearchBackend. The future fails with net::WireError
+  // (kShardUnavailable / kUnreachable / server-forwarded codes) or
+  // succeeds with the byte-identical merged result.
+  std::future<service::ServiceResponse> submit_search(
+      service::ServiceRequest request) override;
+  service::ServiceStats stats_snapshot() const override;
+
+  const store::ShardManifest& manifest() const { return manifest_; }
+  ReplicaTable& replicas() { return table_; }
+  HealthChecker& health() { return health_checker_; }
+  const RouterConfig& config() const { return config_; }
+
+ private:
+  struct Race;
+
+  service::ServiceResponse run_fanout(const service::ServiceRequest& request);
+  service::QueryResult query_shard(std::size_t shard,
+                                   const std::string& query_fasta,
+                                   const service::QueryOptions& options);
+  void run_attempt(const std::shared_ptr<Race>& race, std::size_t replica,
+                   std::size_t shard, AttemptKind kind,
+                   const std::string& query_fasta,
+                   const service::QueryOptions& options);
+
+  RouterConfig config_;
+  store::ShardManifest manifest_;
+  ReplicaTable table_;
+  HealthChecker health_checker_;
+
+  mutable std::mutex stats_mutex_;
+  service::ServiceStats stats_;
+
+  /// In-flight fan-out count; the destructor waits for zero so no
+  /// worker can touch a dead router. Guarded by drain_mutex_.
+  std::size_t active_ = 0;
+  mutable std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  bool stopping_ = false;  // guarded by drain_mutex_
+};
+
+}  // namespace psc::cluster

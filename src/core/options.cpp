@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "util/thread_pool.hpp"
+#include "util/executor.hpp"
 
 namespace psc::core {
 

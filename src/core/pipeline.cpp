@@ -7,7 +7,7 @@
 #include "core/step23_overlap.hpp"
 #include "core/step2_host.hpp"
 #include "core/step3_gapped.hpp"
-#include "util/thread_pool.hpp"
+#include "util/executor.hpp"
 #include "util/timer.hpp"
 
 namespace psc::core {

@@ -10,7 +10,7 @@
 #include "core/step3_gapped.hpp"
 #include "util/channel.hpp"
 #include "util/executor.hpp"
-#include "util/thread_pool.hpp"
+#include "util/executor.hpp"
 #include "util/timer.hpp"
 
 namespace psc::core {
@@ -88,7 +88,7 @@ OverlapOutcome run_steps23_overlapped(
       options.step2_schedule == Step2Schedule::kCostAware
           ? cost_aware_key_chunks(table0, table1,
                                   workers * kStep2ChunksPerWorker)
-          : util::ThreadPool::blocks(0, table0.key_space(), workers);
+          : util::blocks(0, table0.key_space(), workers);
 
   util::Timer timer;
   // Drain-first workers keep the queue length around `workers`; the

@@ -6,7 +6,7 @@
 #include "align/ungapped.hpp"
 #include "index/neighborhood.hpp"
 #include "util/executor.hpp"
-#include "util/thread_pool.hpp"
+#include "util/executor.hpp"
 
 namespace psc::core {
 
@@ -121,7 +121,7 @@ std::vector<std::pair<std::size_t, std::size_t>> chunks_by_cost(
   if (parts == 0) parts = 1;
   std::uint64_t total = 0;
   for (const std::uint64_t c : cost) total += c;
-  if (total == 0) return util::ThreadPool::blocks(0, count, parts);
+  if (total == 0) return util::blocks(0, count, parts);
   const std::uint64_t target = (total + parts - 1) / parts;
   chunks.reserve(parts);
   std::size_t begin = 0;
@@ -221,7 +221,7 @@ HostStep2Result run_step2_host_keys(
       schedule == Step2Schedule::kCostAware
           ? cost_aware_key_chunks(table0, table1, keys,
                                   workers * kStep2ChunksPerWorker)
-          : util::ThreadPool::blocks(0, keys.size(), workers);
+          : util::blocks(0, keys.size(), workers);
   util::Executor& exec = executor ? *executor : util::Executor::shared();
   util::Executor::TaskGroup group(exec, workers);
   std::vector<HostStep2Result> partial(chunks.size());
@@ -264,7 +264,7 @@ HostStep2Result run_step2_host_parallel(
       schedule == Step2Schedule::kCostAware
           ? cost_aware_key_chunks(table0, table1,
                                   workers * kStep2ChunksPerWorker)
-          : util::ThreadPool::blocks(0, table0.key_space(), workers);
+          : util::blocks(0, table0.key_space(), workers);
 
   util::Executor& exec = executor ? *executor : util::Executor::shared();
   util::Executor::TaskGroup group(exec, workers);

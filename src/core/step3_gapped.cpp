@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "util/executor.hpp"
-#include "util/thread_pool.hpp"
+#include "util/executor.hpp"
 
 namespace psc::core {
 
@@ -167,7 +167,7 @@ Step3Result run_step3(const bio::SequenceBank& bank0,
     // order afterwards. Chunks finer than the worker cap let the
     // TaskGroup backlog soak up skewed groups.
     const auto chunks =
-        util::ThreadPool::blocks(0, groups.size(), workers * 4);
+        util::blocks(0, groups.size(), workers * 4);
     util::Executor& exec =
         options.executor ? *options.executor : util::Executor::shared();
     util::Executor::TaskGroup task_group(exec, workers);

@@ -5,7 +5,7 @@
 #include <stdexcept>
 
 #include "util/executor.hpp"
-#include "util/thread_pool.hpp"
+#include "util/executor.hpp"
 
 namespace psc::index {
 
@@ -172,7 +172,7 @@ IndexTable IndexTable::build_parallel(const bio::SequenceBank& bank,
   table.starts_storage_.assign(keys + 1, 0);
   table.adopt_storage();
 
-  const auto chunks = util::ThreadPool::blocks(0, bank.size(), workers);
+  const auto chunks = util::blocks(0, bank.size(), workers);
   if (chunks.empty()) return table;
   util::Executor::TaskGroup group(util::Executor::shared(), workers);
 

@@ -18,7 +18,8 @@ Client::Client(ClientConfig config)
     : config_(std::move(config)), reader_(config_.max_payload_bytes) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
-    throw std::system_error(errno, std::generic_category(), "socket");
+    throw WireError(WireErrorCode::kUnreachable,
+                    std::string("socket: ") + std::strerror(errno));
   }
 
   if (config_.timeout_seconds > 0.0) {
@@ -39,17 +40,18 @@ Client::Client(ClientConfig config)
   if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd_);
     fd_ = -1;
-    throw std::system_error(EINVAL, std::generic_category(),
-                            "bad host address: " + config_.host);
+    throw WireError(WireErrorCode::kUnreachable,
+                    "bad host address: " + config_.host);
   }
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     const int saved = errno;
     ::close(fd_);
     fd_ = -1;
-    throw std::system_error(saved, std::generic_category(),
-                            "connect to " + config_.host + ":" +
-                                std::to_string(config_.port));
+    throw WireError(WireErrorCode::kUnreachable,
+                    "connect to " + config_.host + ":" +
+                        std::to_string(config_.port) + ": " +
+                        std::strerror(saved));
   }
 }
 
@@ -67,7 +69,8 @@ void Client::send_all(const std::vector<std::uint8_t>& bytes) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    throw std::system_error(errno, std::generic_category(), "send");
+    throw WireError(WireErrorCode::kUnreachable,
+                    std::string("send: ") + std::strerror(errno));
   }
 }
 
@@ -89,7 +92,8 @@ Frame Client::read_frame() {
       throw WireError(WireErrorCode::kTimeout,
                       "no response within the client timeout");
     }
-    throw std::system_error(errno, std::generic_category(), "recv");
+    throw WireError(WireErrorCode::kUnreachable,
+                    std::string("recv: ") + std::strerror(errno));
   }
 }
 
@@ -98,7 +102,15 @@ Frame Client::round_trip(const std::vector<std::uint8_t>& request,
   send_all(request);
   Frame frame = read_frame();
   if (frame.type == static_cast<std::uint16_t>(MessageType::kError)) {
-    throw decode_error_payload(frame.payload);
+    try {
+      throw decode_error_payload(frame.payload);
+    } catch (const core::CodecError& e) {
+      // Even a malformed *error* payload surfaces as a typed failure:
+      // a caller (the router's retry loop above all) must be able to
+      // catch WireError and know it has seen every way a reply can go
+      // wrong.
+      throw WireError(WireErrorCode::kBadFrame, e.what());
+    }
   }
   if (frame.type != static_cast<std::uint16_t>(expected)) {
     throw WireError(WireErrorCode::kBadFrame,
@@ -118,7 +130,11 @@ void Client::ping() {
 service::ServiceStats Client::stats() {
   const Frame frame = round_trip(encode_frame(MessageType::kStats),
                                  MessageType::kStatsResult);
-  return service::decode_service_stats(frame.payload);
+  try {
+    return service::decode_service_stats(frame.payload);
+  } catch (const core::CodecError& e) {
+    throw WireError(WireErrorCode::kBadFrame, e.what());
+  }
 }
 
 service::QueryResult Client::search(const std::string& bank_prefix,
@@ -132,7 +148,20 @@ service::QueryResult Client::search(const std::string& bank_prefix,
       round_trip(encode_frame(MessageType::kSearch,
                               encode_search_request(request)),
                  MessageType::kSearchResult);
-  return service::decode_query_result(frame.payload);
+  try {
+    return service::decode_query_result(frame.payload);
+  } catch (const core::CodecError& e) {
+    // A truncated or corrupt SearchResult payload is a protocol failure
+    // like any other: typed, never a stray codec exception.
+    throw WireError(WireErrorCode::kBadFrame, e.what());
+  }
+}
+
+void Client::shutdown_now() noexcept {
+  // shutdown(2), not close(2): the fd stays valid (no reuse race with a
+  // thread mid-recv on it) while both directions are torn down, so any
+  // blocked send/recv returns immediately.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 }  // namespace psc::net

@@ -24,8 +24,10 @@ struct ClientConfig {
 
 class Client {
  public:
-  /// Connects immediately. Throws std::system_error when the server is
-  /// unreachable.
+  /// Connects immediately. Throws WireError(kUnreachable) when the
+  /// server is unreachable (connect refused, bad address) -- a *typed*
+  /// failure, because a router treats "this replica is down" as routine
+  /// and branches on the code.
   explicit Client(ClientConfig config);
   ~Client();
 
@@ -45,6 +47,14 @@ class Client {
   service::QueryResult search(const std::string& bank_prefix,
                               const std::string& query_fasta,
                               const service::QueryOptions& options = {});
+
+  /// Tears the socket down from *any* thread: a blocked send/recv on
+  /// this client wakes immediately and fails with a typed WireError.
+  /// This is how a router cancels the losing attempt of a hedged pair
+  /// -- the loser's thread is stuck in recv() on its own Client, and
+  /// the winner calls shutdown_now() on it. Idempotent; the client is
+  /// unusable afterwards.
+  void shutdown_now() noexcept;
 
  private:
   /// Sends `request` and blocks for one frame. An Error frame throws

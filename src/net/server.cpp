@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <deque>
 #include <limits>
@@ -82,8 +83,8 @@ struct Server::Connection {
   Clock::time_point deadline{};
 };
 
-Server::Server(service::SearchService& service, ServerConfig config)
-    : service_(&service), config_(std::move(config)) {}
+Server::Server(service::SearchBackend& backend, ServerConfig config)
+    : backend_(&backend), config_(std::move(config)) {}
 
 Server::~Server() { stop(); }
 
@@ -170,9 +171,9 @@ void Server::handle_frame(Connection& connection, const Frame& frame) {
       break;
 
     case MessageType::kStats:
-      pending.frame =
-          encode_frame(MessageType::kStatsResult,
-                       service::encode_service_stats(service_->snapshot()));
+      pending.frame = encode_frame(
+          MessageType::kStatsResult,
+          service::encode_service_stats(backend_->stats_snapshot()));
       break;
 
     case MessageType::kSearch: {
@@ -197,6 +198,22 @@ void Server::handle_frame(Connection& connection, const Frame& frame) {
             "bank prefix must be a relative path without '..' components");
         break;
       }
+      if (!config_.allowed_prefixes.empty() &&
+          std::find(config_.allowed_prefixes.begin(),
+                    config_.allowed_prefixes.end(),
+                    request.bank_prefix) == config_.allowed_prefixes.end()) {
+        pending.frame = encode_error_frame(
+            WireErrorCode::kBankNotFound,
+            "bank prefix not served here: " + request.bank_prefix);
+        break;
+      }
+      if (!std::isfinite(request.options.search_space_residues) ||
+          request.options.search_space_residues < 0.0) {
+        pending.frame = encode_error_frame(
+            WireErrorCode::kBadRequest,
+            "search space override must be finite and non-negative");
+        break;
+      }
       service::ServiceRequest submission;
       submission.bank_prefix =
           config_.bank_root + "/" + request.bank_prefix;
@@ -217,7 +234,7 @@ void Server::handle_frame(Connection& connection, const Frame& frame) {
         break;
       }
       try {
-        pending.future = service_->submit(std::move(submission));
+        pending.future = backend_->submit_search(std::move(submission));
         pending.immediate = false;
         ++connection.deferred;
       } catch (const std::exception&) {
@@ -263,6 +280,11 @@ bool Server::drain_ready(Connection& connection) {
                                      ? WireErrorCode::kBankNotFound
                                      : WireErrorCode::kCorruptStore,
                                  e.what());
+    } catch (const WireError& e) {
+      // A cluster backend fails futures with typed wire errors (e.g.
+      // kShardUnavailable when no live replica covers a shard); forward
+      // the code so the client sees the router's verdict, not kInternal.
+      frame = encode_error_frame(e.code(), e.what());
     } catch (const std::exception& e) {
       frame = encode_error_frame(WireErrorCode::kInternal, e.what());
     }

@@ -1,10 +1,12 @@
-// psc::net::Server -- the network front-end over SearchService. A small
-// poll(2) loop on one thread accepts loopback/TCP connections, assembles
-// frames (net/wire.hpp), and forwards Search requests straight into the
-// service's submission queue; because every remote query goes through
-// the same queue as in-process ones, cross-client coalescing falls out
-// for free: two clients querying the same bank while a pass runs share
-// the next pass (visible as batches < queries in the Stats frame).
+// psc::net::Server -- the network front-end over a SearchBackend
+// (service/backend.hpp): a single-node SearchService or a cluster
+// Router, served identically. A small poll(2) loop on one thread
+// accepts loopback/TCP connections, assembles frames (net/wire.hpp),
+// and forwards Search requests straight into the backend's submission
+// queue; because every remote query goes through the same queue as
+// in-process ones, cross-client coalescing falls out for free: two
+// clients querying the same bank while a pass runs share the next pass
+// (visible as batches < queries in the Stats frame).
 //
 // Per-connection limits guard the wire boundary: a receive payload cap,
 // an in-flight request cap, and a read timeout for stalled mid-frame
@@ -20,9 +22,10 @@
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "net/wire.hpp"
-#include "service/search_service.hpp"
+#include "service/backend.hpp"
 
 namespace psc::net {
 
@@ -45,12 +48,18 @@ struct ServerConfig {
   double read_timeout_seconds = 30.0;
   /// Accepted sockets beyond this are closed immediately.
   std::size_t max_connections = 64;
+  /// When non-empty, only these exact bank prefixes (relative to
+  /// bank_root) may be searched; anything else answers kBankNotFound.
+  /// This is how `psc_serve --shards` scopes a replica to the shard
+  /// subset it actually holds -- a fat-fingered router cannot make it
+  /// load a shard it never advertised.
+  std::vector<std::string> allowed_prefixes;
 };
 
 class Server {
  public:
-  /// The service must outlive the server.
-  Server(service::SearchService& service, ServerConfig config = {});
+  /// The backend must outlive the server.
+  Server(service::SearchBackend& backend, ServerConfig config = {});
   ~Server();  ///< stop()s if still running
 
   Server(const Server&) = delete;
@@ -86,7 +95,7 @@ class Server {
   bool drain_ready(Connection& connection);
   bool flush(Connection& connection);
 
-  service::SearchService* service_;
+  service::SearchBackend* backend_;
   ServerConfig config_;
   int listen_fd_ = -1;
   /// Self-pipe: stop() writes one byte so a poll blocked with no

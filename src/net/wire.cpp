@@ -41,6 +41,8 @@ std::string wire_error_code_name(WireErrorCode code) {
     case WireErrorCode::kShutdown: return "shutdown";
     case WireErrorCode::kInternal: return "internal";
     case WireErrorCode::kTimeout: return "timeout";
+    case WireErrorCode::kShardUnavailable: return "shard-unavailable";
+    case WireErrorCode::kUnreachable: return "unreachable";
   }
   return "unknown";
 }
@@ -72,7 +74,7 @@ WireError decode_error_payload(std::span<const std::uint8_t> payload) {
     throw core::CodecError("codec: trailing bytes after error payload");
   }
   if (code < static_cast<std::uint32_t>(WireErrorCode::kBadFrame) ||
-      code > static_cast<std::uint32_t>(WireErrorCode::kTimeout)) {
+      code > static_cast<std::uint32_t>(WireErrorCode::kUnreachable)) {
     throw core::CodecError("codec: error code out of range");
   }
   return WireError(
@@ -89,6 +91,7 @@ std::vector<std::uint8_t> encode_search_request(
   if (request.options.composition_based_stats) flags |= kFlagCompositionStats;
   put_u32(out, flags);
   put_f64(out, request.options.e_value_cutoff);
+  put_f64(out, request.options.search_space_residues);
   put_u64(out, request.bank_prefix.size());
   put_bytes(out, request.bank_prefix.data(), request.bank_prefix.size());
   put_u64(out, request.query_fasta.size());
@@ -99,7 +102,7 @@ std::vector<std::uint8_t> encode_search_request(
 SearchRequestFrame decode_search_request(std::span<const std::uint8_t> data) {
   core::codec::Reader reader(data);
   const std::uint32_t version = reader.u32("search request version");
-  if (version != kSearchRequestCodecVersion) {
+  if (version != 1 && version != kSearchRequestCodecVersion) {
     throw core::CodecError("codec: unsupported search request version " +
                            std::to_string(version));
   }
@@ -109,6 +112,10 @@ SearchRequestFrame decode_search_request(std::span<const std::uint8_t> data) {
   request.options.composition_based_stats =
       (flags & kFlagCompositionStats) != 0;
   request.options.e_value_cutoff = reader.f64("search request e-value");
+  if (version >= 2) {
+    request.options.search_space_residues =
+        reader.f64("search request search space");
+  }
   const std::uint64_t prefix_bytes = reader.u64("bank prefix length");
   const auto prefix = reader.bytes(prefix_bytes, "bank prefix");
   request.bank_prefix.assign(reinterpret_cast<const char*>(prefix.data()),

@@ -43,8 +43,11 @@ inline constexpr std::uint16_t kWireVersion = 1;
 /// fails the magic check instead of misparsing lengths.
 inline constexpr std::uint32_t kWireMagic = 0x4e435350u;
 
-/// Search-request payload version (inside the Search frame).
-inline constexpr std::uint32_t kSearchRequestCodecVersion = 1;
+/// Search-request payload version (inside the Search frame). v2 appends
+/// the E-value search-space override (QueryOptions::search_space_residues)
+/// a router sets on per-shard requests; decode still accepts v1, which
+/// leaves the override at its 0 ("bank's own total") default.
+inline constexpr std::uint32_t kSearchRequestCodecVersion = 2;
 
 enum class MessageType : std::uint16_t {
   kPing = 1,
@@ -68,6 +71,8 @@ enum class WireErrorCode : std::uint32_t {
   kShutdown = 7,         ///< server is stopping
   kInternal = 8,         ///< unexpected server-side failure
   kTimeout = 9,          ///< peer stalled mid-frame past the read timeout
+  kShardUnavailable = 10,  ///< router: a needed shard has no live replica
+  kUnreachable = 11,       ///< client: connect/socket-level failure
 };
 
 /// Human-readable code name ("bad-frame", "bank-not-found", ...).

@@ -9,23 +9,29 @@ constexpr std::uint32_t kFlagBankWasResident = 1u << 0;
 
 }  // namespace
 
-std::pair<std::uint64_t, std::uint64_t> QueryOptions::group_key()
-    const noexcept {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &e_value_cutoff, sizeof(e_value_cutoff));
+std::array<std::uint64_t, 3> QueryOptions::group_key() const noexcept {
+  std::uint64_t cutoff_bits = 0;
+  std::memcpy(&cutoff_bits, &e_value_cutoff, sizeof(e_value_cutoff));
+  std::uint64_t space_bits = 0;
+  std::memcpy(&space_bits, &search_space_residues,
+              sizeof(search_space_residues));
   std::uint64_t flags = 0;
   if (with_traceback) flags |= 1u;
   if (composition_based_stats) flags |= 2u;
-  return {bits, flags};
+  return {cutoff_bits, space_bits, flags};
 }
 
 std::uint64_t QueryOptions::fingerprint() const noexcept {
-  // A hash, not a key: the multiply folds 66 bits of state into 64, so
+  // A hash, not a key: the multiply folds 130 bits of state into 64, so
   // collisions exist (e.g. cutoff bit patterns differing by the odd
   // multiplier's inverse times a flag delta). Grouping goes through
-  // group_key(), which keeps the fields separate.
-  const auto [bits, flags] = group_key();
-  return (bits * 0x9e3779b97f4a7c15ull) ^ flags;
+  // group_key(), which keeps the fields separate. The default search
+  // space (0.0) contributes a zero term, so single-node fingerprints
+  // are unchanged by the field's addition.
+  const auto [cutoff_bits, space_bits, flags] = group_key();
+  const std::uint64_t mixed =
+      cutoff_bits ^ (space_bits * 0xff51afd7ed558ccdull);
+  return (mixed * 0x9e3779b97f4a7c15ull) ^ flags;
 }
 
 void append_query_result(std::vector<std::uint8_t>& out,
@@ -84,13 +90,28 @@ std::vector<std::uint8_t> encode_service_stats(const ServiceStats& stats) {
   core::codec::put_u64(out, stats.queue_depth);
   core::codec::put_u64(out, stats.resident_banks);
   core::codec::put_u64(out, stats.resident_shards);
+  core::codec::put_u64(out, stats.replicas.size());
+  for (const ReplicaStats& replica : stats.replicas) {
+    core::codec::put_u32(out,
+                         static_cast<std::uint32_t>(replica.endpoint.size()));
+    core::codec::put_bytes(out, replica.endpoint.data(),
+                           replica.endpoint.size());
+    core::codec::put_u32(out, replica.up ? 1u : 0u);
+    core::codec::put_u64(out, replica.inflight);
+    core::codec::put_u64(out, replica.requests);
+    core::codec::put_u64(out, replica.retries);
+    core::codec::put_u64(out, replica.hedges);
+    core::codec::put_u64(out, replica.failures);
+    core::codec::put_f64(out, replica.p50_latency_seconds);
+    core::codec::put_f64(out, replica.max_latency_seconds);
+  }
   return out;
 }
 
 ServiceStats decode_service_stats(std::span<const std::uint8_t> data) {
   core::codec::Reader reader(data);
   const std::uint32_t version = reader.u32("service stats version");
-  if (version != kServiceStatsCodecVersion) {
+  if (version != 2 && version != kServiceStatsCodecVersion) {
     throw core::CodecError("codec: unsupported service stats version " +
                            std::to_string(version));
   }
@@ -113,6 +134,33 @@ ServiceStats decode_service_stats(std::span<const std::uint8_t> data) {
       static_cast<std::size_t>(reader.u64("resident banks"));
   stats.resident_shards =
       static_cast<std::size_t>(reader.u64("resident shards"));
+  if (version >= 3) {
+    const std::uint64_t count = reader.u64("replica count");
+    // Every replica row needs at least its fixed-width fields; bounding
+    // the count by the remaining bytes rejects hostile counts before any
+    // allocation (the store readers' discipline).
+    constexpr std::uint64_t kMinRowBytes = 4 + 4 + 5 * 8 + 2 * 8;
+    if (count > data.size() / kMinRowBytes) {
+      throw core::CodecError("codec: replica count exceeds payload");
+    }
+    stats.replicas.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ReplicaStats replica;
+      const std::uint32_t name_len = reader.u32("replica endpoint length");
+      const auto name = reader.bytes(name_len, "replica endpoint");
+      replica.endpoint.assign(reinterpret_cast<const char*>(name.data()),
+                              name.size());
+      replica.up = reader.u32("replica up flag") != 0;
+      replica.inflight = reader.u64("replica inflight");
+      replica.requests = reader.u64("replica requests");
+      replica.retries = reader.u64("replica retries");
+      replica.hedges = reader.u64("replica hedges");
+      replica.failures = reader.u64("replica failures");
+      replica.p50_latency_seconds = reader.f64("replica p50 latency");
+      replica.max_latency_seconds = reader.f64("replica max latency");
+      stats.replicas.push_back(std::move(replica));
+    }
+  }
   if (!reader.done()) {
     throw core::CodecError("codec: trailing bytes after service stats");
   }

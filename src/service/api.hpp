@@ -12,6 +12,7 @@
 // for the shared primitives and the match section they embed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -26,8 +27,9 @@ namespace psc::service {
 /// QueryResult wire-format version; bump on layout change.
 inline constexpr std::uint32_t kQueryResultCodecVersion = 1;
 /// ServiceStats wire-format version; bump on layout change. v2 adds the
-/// resident_shards gauge.
-inline constexpr std::uint32_t kServiceStatsCodecVersion = 2;
+/// resident_shards gauge; v3 appends the per-replica table a router
+/// reports (decode still accepts v2 payloads, yielding no replicas).
+inline constexpr std::uint32_t kServiceStatsCodecVersion = 3;
 
 /// The per-request option subset a caller may vary without reconfiguring
 /// the service. Requests only coalesce into one shared pass when their
@@ -46,17 +48,26 @@ struct QueryOptions {
   double e_value_cutoff = 1e-3;
   bool with_traceback = false;
   bool composition_based_stats = false;
+  /// E-value search space override in residues; 0 means "use the subject
+  /// bank's own residue total" (the single-node default). A router fans
+  /// one query across shard-holding replicas and sets this to the
+  /// manifest's whole-set total on every per-shard request, which is
+  /// what keeps each replica's E-values -- and therefore the merged
+  /// byte stream -- identical to an unsharded node (DESIGN.md §14).
+  /// Alters results, so it participates in group_key().
+  double search_space_residues = 0.0;
 
-  /// Exact grouping key: the cutoff's bit pattern plus the flag bits.
-  /// Distinct option sets always map to distinct keys (it is the fields
-  /// themselves, not a hash), so two requests can only coalesce when a
-  /// single pass is valid for both. Compared bitwise, so cutoffs that
-  /// differ only in representation (-0.0 vs 0.0, NaN payloads) count as
-  /// different -- the safe direction for a coalescing decision.
-  std::pair<std::uint64_t, std::uint64_t> group_key() const noexcept;
+  /// Exact grouping key: the cutoff's and search-space's bit patterns
+  /// plus the flag bits. Distinct option sets always map to distinct
+  /// keys (it is the fields themselves, not a hash), so two requests can
+  /// only coalesce when a single pass is valid for both. Compared
+  /// bitwise, so values that differ only in representation (-0.0 vs
+  /// 0.0, NaN payloads) count as different -- the safe direction for a
+  /// coalescing decision.
+  std::array<std::uint64_t, 3> group_key() const noexcept;
 
   /// One-word *hash* of the options for logs and stats. NOT injective
-  /// (64 bits of cutoff plus 2 flag bits fold into one word, so the
+  /// (128 bits of doubles plus 2 flag bits fold into one word, so the
   /// multiply-xor collides by pigeonhole); never use it to decide
   /// whether two option sets may share a pass -- that is group_key().
   std::uint64_t fingerprint() const noexcept;
@@ -85,6 +96,23 @@ struct QueryResult {
 /// into typed error frames (net/wire.hpp).
 using ServiceResponse = QueryResult;
 
+/// One replica's health and traffic as seen by a router: which endpoint
+/// it is, whether the health checker currently believes it is up, and
+/// the per-replica request counters the hedging/retry policy exposes.
+/// Rides inside ServiceStats (codec v3) so the existing Stats/
+/// StatsResult frames surface cluster state without a new message type.
+struct ReplicaStats {
+  std::string endpoint;            ///< "host:port"
+  bool up = false;                 ///< last health probe succeeded
+  std::uint64_t inflight = 0;      ///< attempts running right now
+  std::uint64_t requests = 0;      ///< attempts started (incl. hedges)
+  std::uint64_t retries = 0;       ///< attempts that were retries
+  std::uint64_t hedges = 0;        ///< attempts that were hedges
+  std::uint64_t failures = 0;      ///< attempts that errored
+  double p50_latency_seconds = 0.0;  ///< median completed-attempt latency
+  double max_latency_seconds = 0.0;  ///< slowest completed attempt
+};
+
 /// Monotonic service-level counters plus snapshot-time gauges. This
 /// struct *is* the payload of the network Stats frame, field for field
 /// (encode_service_stats/decode_service_stats), so a remote client sees
@@ -110,6 +138,9 @@ struct ServiceStats {
   /// Resident shard files across all targets (a plain unsharded bank
   /// counts as one shard); this is what the cache capacity bounds.
   std::size_t resident_shards = 0;
+  /// Per-replica rows (codec v3). Empty for a single-node service; a
+  /// router fills one row per configured replica endpoint.
+  std::vector<ReplicaStats> replicas;
 };
 
 /// Appends the versioned QueryResult encoding (header fields followed by

@@ -126,11 +126,6 @@ std::vector<std::future<ServiceResponse>> SearchService::submit_batch(
   return submit_batch(std::move(requests));
 }
 
-QueryResult SearchService::search(bio::SequenceBank query,
-                                  const std::string& bank_prefix) {
-  return submit(std::move(query), bank_prefix).get();
-}
-
 ServiceStats SearchService::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   ServiceStats snapshot = stats_;
@@ -142,8 +137,6 @@ ServiceStats SearchService::snapshot() const {
           : 0.0;
   return snapshot;
 }
-
-ServiceStats SearchService::stats() const { return snapshot(); }
 
 void SearchService::worker_loop() {
   for (;;) {
@@ -168,12 +161,10 @@ void SearchService::worker_loop() {
     // collision between distinct option sets must not merge two passes
     // that would compute different answers. Submission order is
     // preserved within a group.
-    using GroupKey = std::tuple<std::string, std::uint64_t, std::uint64_t>;
+    using GroupKey = std::tuple<std::string, std::array<std::uint64_t, 3>>;
     std::map<GroupKey, std::vector<Request*>> groups;
     for (Request& request : batch) {
-      const auto [cutoff_bits, flag_bits] =
-          request.request.options.group_key();
-      groups[{request.request.bank_prefix, cutoff_bits, flag_bits}]
+      groups[{request.request.bank_prefix, request.request.options.group_key()}]
           .push_back(&request);
     }
     for (auto& [key, group] : groups) {
@@ -296,6 +287,7 @@ void SearchService::process_group(const std::string& prefix,
     pass_options.e_value_cutoff = options.e_value_cutoff;
     pass_options.with_traceback = options.with_traceback;
     pass_options.composition_based_stats = options.composition_based_stats;
+    pass_options.search_space_residues = options.search_space_residues;
 
     const core::PipelineResult result = run_query_over_set(
         combined, resident->set, pass_options, config_.matrix);

@@ -33,12 +33,14 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bio/sequence.hpp"
 #include "bio/substitution_matrix.hpp"
 #include "core/pipeline.hpp"
 #include "service/api.hpp"
+#include "service/backend.hpp"
 #include "service/shard_query.hpp"
 #include "util/executor.hpp"
 
@@ -63,7 +65,7 @@ struct ServiceConfig {
   bio::SubstitutionMatrix matrix = bio::SubstitutionMatrix::blosum62();
 };
 
-class SearchService {
+class SearchService : public SearchBackend {
  public:
   explicit SearchService(ServiceConfig config = {});
   ~SearchService();  ///< drains every pending request, then joins
@@ -96,17 +98,15 @@ class SearchService {
   std::vector<std::future<ServiceResponse>> submit_batch(
       std::vector<bio::SequenceBank> queries, const std::string& bank_prefix);
 
-  /// Deprecated blocking convenience that copies the reply out of the
-  /// future; call submit(...).get() instead.
-  [[deprecated("use submit(...).get()")]] QueryResult search(
-      bio::SequenceBank query, const std::string& bank_prefix);
-
   /// One coherent snapshot of the service counters and gauges; the
   /// network front-end's Stats frame is this struct, encoded verbatim.
   ServiceStats snapshot() const;
 
-  /// Deprecated alias of snapshot().
-  [[deprecated("use snapshot()")]] ServiceStats stats() const;
+  // SearchBackend: the network front-end's view of this service.
+  std::future<ServiceResponse> submit_search(ServiceRequest request) override {
+    return submit(std::move(request));
+  }
+  ServiceStats stats_snapshot() const override { return snapshot(); }
 
   /// The per-query options a convenience submit() runs under: the
   /// service configuration's own cutoff/traceback/composition values.

@@ -80,8 +80,13 @@ core::PipelineResult run_query_over_set(
     const bio::SubstitutionMatrix& matrix) {
   core::PipelineOptions pass = options;
   // The one global quantity: E-values must be computed against the whole
-  // set's search space, not a shard's slice of it.
-  pass.search_space_residues = static_cast<double>(set.total_residues);
+  // search space, not a shard's slice of it. By default that is this
+  // set's residue total; an explicit caller value wins so a router can
+  // substitute the cluster-wide total when this set is itself one shard
+  // of a larger partition.
+  if (pass.search_space_residues == 0.0) {
+    pass.search_space_residues = static_cast<double>(set.total_residues);
+  }
 
   core::PipelineResult merged;
   for (const LoadedShard& shard : set.shards) {

@@ -63,8 +63,11 @@ LoadedBankSet load_bank_set(const std::string& prefix,
 /// Runs `query` against every shard of `set` under `options` and merges
 /// the per-shard results: subject ids remapped through the shard bases,
 /// counters and step times summed, matches re-sorted with
-/// core::match_order. E-values are computed against the set's total
-/// residue count regardless of options.search_space_residues.
+/// core::match_order. With options.search_space_residues == 0 (the
+/// default), E-values are computed against the set's total residue
+/// count; a nonzero value wins instead, which is how a router makes a
+/// replica serving one shard price E-values against the *cluster-wide*
+/// total (DESIGN.md §14).
 core::PipelineResult run_query_over_set(
     const bio::SequenceBank& query, const LoadedBankSet& set,
     const core::PipelineOptions& options,

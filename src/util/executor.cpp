@@ -1,11 +1,34 @@
 #include "util/executor.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
-#include "util/thread_pool.hpp"
-
 namespace psc::util {
+
+std::size_t default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> blocks(std::size_t begin,
+                                                        std::size_t end,
+                                                        std::size_t parts) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (end <= begin || parts == 0) return out;
+  const std::size_t total = end - begin;
+  const std::size_t used = std::min(parts, total);
+  out.reserve(used);
+  const std::size_t base = total / used;
+  const std::size_t extra = total % used;
+  std::size_t lo = begin;
+  for (std::size_t i = 0; i < used; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    out.emplace_back(lo, lo + len);
+    lo += len;
+  }
+  return out;
+}
 
 namespace {
 

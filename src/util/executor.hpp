@@ -25,9 +25,20 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace psc::util {
+
+/// Number of workers to use by default: hardware concurrency, at least 1.
+std::size_t default_thread_count();
+
+/// Block-decomposes [begin,end) into `parts` contiguous [lo,hi) chunks;
+/// exposed so callers can do per-chunk setup (e.g. per-thread RNG) before
+/// submitting the chunks to an executor.
+std::vector<std::pair<std::size_t, std::size_t>> blocks(std::size_t begin,
+                                                        std::size_t end,
+                                                        std::size_t parts);
 
 class Executor {
  public:

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -27,6 +28,7 @@
 #include "index/index_table.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "service/search_service.hpp"
 #include "sim/genome_generator.hpp"
 #include "sim/mutation.hpp"
 #include "sim/protein_generator.hpp"
@@ -487,6 +489,166 @@ TEST_F(LoopbackTest, ClientsWithDifferentOptionsNeverShareAPass) {
   EXPECT_FALSE(traced.matches.front().alignment.ops.empty());
   for (const core::Match& match : plain.matches) {
     EXPECT_TRUE(match.alignment.ops.empty());
+  }
+}
+
+/// A scripted fake server: accepts exactly one connection on an
+/// ephemeral loopback port and hands the connected fd to `script`,
+/// which plays whatever bytes the test needs before the fd is closed.
+/// For driving the *client's* failure paths with streams a real Server
+/// would never produce.
+class ScriptedServer {
+ public:
+  explicit ScriptedServer(std::function<void(int fd)> script) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 1), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this, script = std::move(script)] {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      script(fd);
+      ::close(fd);
+    });
+  }
+
+  ~ScriptedServer() {
+    thread_.join();
+    ::close(listen_fd_);
+  }
+
+  std::uint16_t port() const { return port_; }
+
+  /// Reads and discards one request frame so the scripted reply is not
+  /// racing the client's send.
+  static void drain_one_frame(int fd) {
+    FrameReader reader(std::uint64_t{1} << 30);
+    std::uint8_t buffer[64 * 1024];
+    while (!reader.next()) {
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n <= 0) return;
+      reader.feed({buffer, static_cast<std::size_t>(n)});
+    }
+  }
+
+  static void send_all(int fd, const std::vector<std::uint8_t>& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return;
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+template <typename Call>
+WireErrorCode client_error_of(std::uint16_t port, Call call) {
+  ClientConfig config;
+  config.port = port;
+  config.timeout_seconds = 5.0;  // the never-hang backstop
+  try {
+    Client client(config);
+    call(client);
+  } catch (const WireError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected a WireError";
+  return WireErrorCode::kInternal;
+}
+
+TEST(ClientFailureTest, ConnectRefusedIsTypedUnreachable) {
+  // Grab an ephemeral port and release it again: connecting to it now
+  // gets ECONNREFUSED (nobody re-binds it that fast).
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(
+      ::bind(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  EXPECT_EQ(client_error_of(dead_port, [](Client& client) { client.ping(); }),
+            WireErrorCode::kUnreachable);
+}
+
+TEST(ClientFailureTest, ServerClosingMidReplyIsTypedBadFrame) {
+  ScriptedServer server([](int fd) {
+    ScriptedServer::drain_one_frame(fd);
+    // Half a Pong header, then close: the client sees EOF mid-frame.
+    const std::vector<std::uint8_t> pong = encode_frame(MessageType::kPong);
+    ScriptedServer::send_all(fd, {pong.begin(),
+                                  pong.begin() + sizeof(FrameHeader) / 2});
+  });
+  EXPECT_EQ(
+      client_error_of(server.port(), [](Client& client) { client.ping(); }),
+      WireErrorCode::kBadFrame);
+}
+
+TEST(ClientFailureTest, TruncatedSearchResultFrameIsTypedBadFrame) {
+  ScriptedServer server([](int fd) {
+    ScriptedServer::drain_one_frame(fd);
+    // A structurally valid frame of the right type whose payload stops
+    // short of what the result codec needs: a decode failure, not EOF.
+    const std::vector<std::uint8_t> truncated_payload = {0x01, 0x00};
+    ScriptedServer::send_all(
+        fd, encode_frame(MessageType::kSearchResult, truncated_payload));
+  });
+  EXPECT_EQ(client_error_of(server.port(),
+                            [](Client& client) {
+                              client.search("bank", ">q\nMKV\n");
+                            }),
+            WireErrorCode::kBadFrame);
+}
+
+TEST(ClientFailureTest, MalformedErrorPayloadIsTypedBadFrame) {
+  ScriptedServer server([](int fd) {
+    ScriptedServer::drain_one_frame(fd);
+    // An Error frame whose own payload does not decode: still typed.
+    const std::vector<std::uint8_t> garbage = {0xff};
+    ScriptedServer::send_all(fd, encode_frame(MessageType::kError, garbage));
+  });
+  EXPECT_EQ(
+      client_error_of(server.port(), [](Client& client) { client.ping(); }),
+      WireErrorCode::kBadFrame);
+}
+
+TEST(ClientFailureTest, SilentServerHitsClientTimeoutNotAHang) {
+  ScriptedServer server([](int fd) {
+    // Read the request and say nothing until the client gives up.
+    ScriptedServer::drain_one_frame(fd);
+    ScriptedServer::drain_one_frame(fd);  // blocks until client closes
+  });
+  ClientConfig config;
+  config.port = server.port();
+  config.timeout_seconds = 0.2;
+  Client client(config);
+  try {
+    client.ping();
+    ADD_FAILURE() << "expected a WireError";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), WireErrorCode::kTimeout);
   }
 }
 

@@ -302,15 +302,19 @@ TEST(QueryOptions, GroupKeySeparatesTheFullOptionGrid) {
   const double cutoffs[] = {1e-300, 1e-12,  1e-6, 1e-3, 0.5,
                             1.0,    10.0,   1e6,  1e300, 5e-324,
                             0.0,    -0.0};
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> keys;
+  const double spaces[] = {0.0, 1.0, 2.5e7};
+  std::vector<std::array<std::uint64_t, 3>> keys;
   for (const double cutoff : cutoffs) {
-    for (const bool traceback : {false, true}) {
-      for (const bool composition : {false, true}) {
-        QueryOptions options;
-        options.e_value_cutoff = cutoff;
-        options.with_traceback = traceback;
-        options.composition_based_stats = composition;
-        keys.push_back(options.group_key());
+    for (const double space : spaces) {
+      for (const bool traceback : {false, true}) {
+        for (const bool composition : {false, true}) {
+          QueryOptions options;
+          options.e_value_cutoff = cutoff;
+          options.search_space_residues = space;
+          options.with_traceback = traceback;
+          options.composition_based_stats = composition;
+          keys.push_back(options.group_key());
+        }
       }
     }
   }

@@ -171,5 +171,39 @@ TEST(Executor, WaitOnEmptyGroupReturnsImmediately) {
   SUCCEED();
 }
 
+TEST(Blocks, EvenSplit) {
+  const auto chunks = blocks(0, 12, 3);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>(0, 4)));
+  EXPECT_EQ(chunks[1], (std::pair<std::size_t, std::size_t>(4, 8)));
+  EXPECT_EQ(chunks[2], (std::pair<std::size_t, std::size_t>(8, 12)));
+}
+
+TEST(Blocks, RemainderGoesToFirstBlocks) {
+  const auto chunks = blocks(0, 10, 4);
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>(0, 3)));
+  EXPECT_EQ(chunks[1], (std::pair<std::size_t, std::size_t>(3, 6)));
+  EXPECT_EQ(chunks[2], (std::pair<std::size_t, std::size_t>(6, 8)));
+  EXPECT_EQ(chunks[3], (std::pair<std::size_t, std::size_t>(8, 10)));
+}
+
+TEST(Blocks, MorePartsThanItems) {
+  const auto chunks = blocks(0, 2, 8);
+  ASSERT_EQ(chunks.size(), 2u);  // never emits empty chunks
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>(0, 1)));
+  EXPECT_EQ(chunks[1], (std::pair<std::size_t, std::size_t>(1, 2)));
+}
+
+TEST(Blocks, EmptyRange) {
+  EXPECT_TRUE(blocks(5, 5, 4).empty());
+  EXPECT_TRUE(blocks(7, 3, 4).empty());
+  EXPECT_TRUE(blocks(0, 9, 0).empty());
+}
+
+TEST(Blocks, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
 }  // namespace
 }  // namespace psc::util

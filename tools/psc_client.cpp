@@ -49,6 +49,21 @@ void print_stats(const service::ServiceStats& stats) {
   std::printf("queue_depth=%zu\n", stats.queue_depth);
   std::printf("resident_banks=%zu\n", stats.resident_banks);
   std::printf("resident_shards=%zu\n", stats.resident_shards);
+  // A router backend (codec v3) reports its replica table; a plain
+  // psc_serve has no rows and prints nothing extra.
+  for (const service::ReplicaStats& replica : stats.replicas) {
+    std::printf(
+        "replica=%s up=%d inflight=%llu requests=%llu retries=%llu "
+        "hedges=%llu failures=%llu p50_latency_seconds=%.6f "
+        "max_latency_seconds=%.6f\n",
+        replica.endpoint.c_str(), replica.up ? 1 : 0,
+        static_cast<unsigned long long>(replica.inflight),
+        static_cast<unsigned long long>(replica.requests),
+        static_cast<unsigned long long>(replica.retries),
+        static_cast<unsigned long long>(replica.hedges),
+        static_cast<unsigned long long>(replica.failures),
+        replica.p50_latency_seconds, replica.max_latency_seconds);
+  }
 }
 
 }  // namespace

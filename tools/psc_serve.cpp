@@ -7,6 +7,9 @@
 //   $ ./psc_serve --bank-root=store --port=7878
 //   $ ./psc_serve --bank-root=store --port=0 --port-file=port.txt &
 //       -> binds an ephemeral port and writes it to port.txt
+//   $ ./psc_serve --bank-root=store --shards=bank:0,1 --port=7001
+//       -> cluster replica: only the listed shard prefixes of a
+//          sharded store are served; anything else -> kBankNotFound
 //
 // Runs until SIGINT/SIGTERM.
 #include <csignal>
@@ -14,10 +17,12 @@
 #include <fstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/cli_options.hpp"
 #include "net/server.hpp"
 #include "service/search_service.hpp"
+#include "store/shard_store.hpp"
 #include "util/args.hpp"
 
 namespace {
@@ -25,6 +30,50 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 
 void handle_signal(int) { g_stop = 1; }
+
+/// Expands a --shards spec into the exact wire prefixes this replica
+/// serves. Entries are ';'-separated; "bank:0,2" expands the indices
+/// through store::shard_prefix ("bank.shard00", "bank.shard02"), a
+/// plain entry is taken as a literal prefix. Throws on malformed input.
+std::vector<std::string> parse_shards_spec(const std::string& spec) {
+  std::vector<std::string> prefixes;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t end = spec.find(';', start);
+    const std::string entry =
+        spec.substr(start, end == std::string::npos ? end : end - start);
+    start = end == std::string::npos ? spec.size() + 1 : end + 1;
+    if (entry.empty()) continue;  // tolerate a trailing ';'
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      prefixes.push_back(entry);
+      continue;
+    }
+    const std::string bank = entry.substr(0, colon);
+    if (bank.empty()) {
+      throw std::invalid_argument("--shards: empty bank prefix in '" + entry +
+                                  "'");
+    }
+    std::size_t pos = colon + 1;
+    while (pos <= entry.size()) {
+      const std::size_t comma = entry.find(',', pos);
+      const std::string index = entry.substr(
+          pos, comma == std::string::npos ? comma : comma - pos);
+      pos = comma == std::string::npos ? entry.size() + 1 : comma + 1;
+      if (index.empty() ||
+          index.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument("--shards: bad shard index '" + index +
+                                    "' in '" + entry + "'");
+      }
+      prefixes.push_back(psc::store::shard_prefix(
+          bank, static_cast<std::size_t>(std::stoull(index))));
+    }
+  }
+  if (prefixes.empty()) {
+    throw std::invalid_argument("--shards: no prefixes in '" + spec + "'");
+  }
+  return prefixes;
+}
 
 }  // namespace
 
@@ -41,6 +90,11 @@ int main(int argc, char** argv) {
   args.add_option("bank-root", ".",
                   "directory bank prefixes resolve under; requests cannot "
                   "escape it");
+  args.add_option("shards", "",
+                  "serve only these prefixes: 'bank:0,1' expands shard "
+                  "indices, ';' separates entries, a plain entry is a "
+                  "literal prefix (empty = serve everything under "
+                  "--bank-root)");
   args.add_option("max-resident", "4",
                   "resident (bank, index) pairs kept in the LRU cache");
   args.add_option("max-payload-mb", "64", "per-frame receive limit (MiB)");
@@ -90,6 +144,14 @@ int main(int argc, char** argv) {
   server_config.max_in_flight = static_cast<std::size_t>(in_flight);
   server_config.max_connections = static_cast<std::size_t>(connections);
   server_config.read_timeout_seconds = read_timeout;
+  if (!args.get("shards").empty()) {
+    try {
+      server_config.allowed_prefixes = parse_shards_spec(args.get("shards"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "psc_serve: %s\n", e.what());
+      return 1;
+    }
+  }
 
   try {
     service::SearchService service(service_config);
