@@ -20,6 +20,9 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 echo "== tier 1: step-3 kernel shoot-out bench builds =="
 cmake --build build -j "$jobs" --target step3_kernels
 
+echo "== tier 1: board-residency bench builds =="
+cmake --build build -j "$jobs" --target board_residency
+
 echo "== tier 1: loopback integration check =="
 scripts/loopback_check.sh build
 
@@ -29,16 +32,25 @@ scripts/shard_check.sh build
 echo "== tier 1: cluster fan-out check (router vs unsharded) =="
 scripts/cluster_check.sh build
 
-echo "== sanitizers: align/core/store/service/net/cluster tests under ASan/UBSan =="
+echo "== sanitizers: align/core/rasc/store/service/net/cluster tests under ASan/UBSan =="
 cmake -B build-asan -S . \
   -DPSC_ENABLE_SANITIZERS=ON \
   -DPSC_BUILD_BENCH=OFF \
   -DPSC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$jobs" --target align_test core_test \
-  store_test service_test net_test cluster_test
+  rasc_test store_test service_test net_test cluster_test
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure \
-  -R '^(align|core|store|service|net|cluster)_test$'
+  -R '^(align|core|rasc|store|service|net|cluster)_test$'
+
+echo "== sanitizers: board cache + scheduler focused run under ASan =="
+# The board cache is shared mutable state across worker passes and the
+# scheduler reorders the worker's own queue; keep both memory-checked
+# even if the suite regexes above are reshuffled.
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-asan/tests/rasc_test --gtest_filter='BoardCache.*'
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-asan/tests/service_test --gtest_filter='BoardScheduler.*'
 
 echo "== sanitizers: step-3 kernel equality focused run under ASan =="
 # Redundant with the suite runs above on purpose: the bit-identity
@@ -63,5 +75,11 @@ TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/scripts/tsan.supp" \
 echo "== sanitizers: step-3 kernel equality (incl. overlap path) under TSan =="
 TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/scripts/tsan.supp" \
   ./build-tsan/tests/core_test --gtest_filter='Step3Kernels.*'
+
+echo "== sanitizers: board scheduler byte-identity under TSan =="
+# The affinity scheduler changes which thread touches the board cache
+# when; the byte-identity property tests drive the full worker loop.
+TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/scripts/tsan.supp" \
+  ./build-tsan/tests/service_test --gtest_filter='BoardScheduler.*'
 
 echo "== all checks passed =="

@@ -74,6 +74,7 @@ DispatchResult run_step2_dispatch(const bio::SequenceBank& bank0,
     rasc::RascStep2Result accel = rasc::run_rasc_step2_keys(
         bank0, table0, bank1, table1, matrix, rasc_config, accel_keys);
     result.accel_seconds = accel.modeled_seconds;
+    result.fpga_reports = std::move(accel.fpgas);
     result.hits.insert(result.hits.end(), accel.hits.begin(),
                        accel.hits.end());
   }

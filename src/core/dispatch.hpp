@@ -39,6 +39,10 @@ struct DispatchResult {
   std::uint64_t accel_pairs = 0;
   double host_seconds = 0.0;      ///< measured wall clock
   double accel_seconds = 0.0;     ///< modeled accelerator time
+  /// Per-FPGA reports from the accelerator half (empty when every key
+  /// ran on the host): where the board-residency accounting --
+  /// uploads paid, swaps, seconds saved -- surfaces to callers.
+  std::vector<rasc::FpgaRunReport> fpga_reports;
   /// Combined step-2 time under concurrent execution.
   double combined_seconds() const {
     return host_seconds > accel_seconds ? host_seconds : accel_seconds;

@@ -56,6 +56,7 @@ HybridResult run_hybrid_pipeline(const bio::SequenceBank& bank0,
     result.psc_seconds = dispatched.accel_seconds;
     result.host_step2_seconds = dispatched.host_seconds;
     result.counters.step2_pairs = dispatched.pairs;
+    result.fpga_reports = std::move(dispatched.fpga_reports);
     step2_hits = std::move(dispatched.hits);
   } else {
     rasc::RascStep2Result step2 = rasc::run_rasc_step2(
@@ -63,6 +64,7 @@ HybridResult run_hybrid_pipeline(const bio::SequenceBank& bank0,
     result.psc_seconds = step2.modeled_seconds;
     result.psc_stats = step2.stats;
     result.counters.step2_pairs = step2.stats.comparisons;
+    result.fpga_reports = std::move(step2.fpgas);
     step2_hits = std::move(step2.hits);
   }
   result.counters.step2_cells =

@@ -45,6 +45,9 @@ struct HybridResult {
 
   rasc::OperatorStats psc_stats;
   rasc::GapOperatorStats gap_stats;
+  /// Per-FPGA reports from the step-2 accelerator runs, carrying the
+  /// board-residency accounting (core::board_stats sums them).
+  std::vector<rasc::FpgaRunReport> fpga_reports;
 
   /// Steady-state modeled wall time: host indexing, then the streaming
   /// FPGA stages and the host's co-executed step-2 share overlapped, then

@@ -131,6 +131,19 @@ void write_step2_report(std::ostream& out, const PipelineResult& result) {
   out.unsetf(std::ios::floatfield);
   out << " step3_engine="
       << (result.step3_engine.empty() ? "none" : result.step3_engine) << '\n';
+  if (!result.fpga_reports.empty()) {
+    const BoardStats board = board_stats(result.fpga_reports);
+    out << "board swaps=" << board.board_swaps
+        << " uploads=" << board.bank_uploads
+        << " uploads_skipped=" << board.bank_uploads_skipped
+        << " bitstream_loads=" << board.bitstream_loads;
+    out.setf(std::ios::fixed, std::ios::floatfield);
+    out.precision(6);
+    out << " upload_seconds=" << board.upload_seconds
+        << " upload_seconds_saved=" << board.upload_seconds_saved;
+    out.unsetf(std::ios::floatfield);
+    out << '\n';
+  }
   out.setf(std::ios::fixed, std::ios::floatfield);
   out.unsetf(std::ios::floatfield);
   out.precision(old_precision);

@@ -4,6 +4,29 @@
 
 namespace psc::core {
 
+BoardStats& BoardStats::operator+=(const BoardStats& other) {
+  bitstream_loads += other.bitstream_loads;
+  bank_uploads += other.bank_uploads;
+  board_swaps += other.board_swaps;
+  bank_uploads_skipped += other.bank_uploads_skipped;
+  upload_seconds += other.upload_seconds;
+  upload_seconds_saved += other.upload_seconds_saved;
+  return *this;
+}
+
+BoardStats board_stats(const std::vector<rasc::FpgaRunReport>& reports) {
+  BoardStats out;
+  for (const rasc::FpgaRunReport& report : reports) {
+    out.bitstream_loads += report.bitstream_loads;
+    out.bank_uploads += report.bank_uploads;
+    out.board_swaps += report.board_swaps;
+    out.bank_uploads_skipped += report.bank_uploads_skipped;
+    out.upload_seconds += report.upload_seconds;
+    out.upload_seconds_saved += report.upload_seconds_saved;
+  }
+  return out;
+}
+
 namespace {
 bool overlaps_mostly(const Match& a, const Match& b) {
   auto overlap = [](std::size_t b0, std::size_t e0, std::size_t b1,

@@ -71,6 +71,26 @@ struct PipelineResult {
   rasc::OperatorStats operator_stats;
 };
 
+/// Board-residency accounting of one run, summed over its FPGA reports
+/// (rasc/board_cache.hpp): what the run paid in bank-image DMA and what
+/// the resident images saved. All zeros for host backends and for the
+/// legacy stateless accelerator accounting (no BoardCache configured),
+/// except bitstream_loads, which legacy charges every run.
+struct BoardStats {
+  std::uint64_t bitstream_loads = 0;
+  std::uint64_t bank_uploads = 0;
+  std::uint64_t board_swaps = 0;
+  std::uint64_t bank_uploads_skipped = 0;
+  double upload_seconds = 0.0;
+  double upload_seconds_saved = 0.0;
+
+  BoardStats& operator+=(const BoardStats& other);
+};
+
+/// Sums the residency fields of `reports` (a PipelineResult's
+/// fpga_reports, possibly concatenated across shard passes).
+BoardStats board_stats(const std::vector<rasc::FpgaRunReport>& reports);
+
 /// The pipeline's total output order: ascending E-value, then query id,
 /// subject id, descending score, and alignment coordinates as the final
 /// tie-breaks. Total (no two distinct matches compare equal unless they

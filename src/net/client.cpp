@@ -128,7 +128,13 @@ void Client::ping() {
 }
 
 service::ServiceStats Client::stats() {
-  const Frame frame = round_trip(encode_frame(MessageType::kStats),
+  // Ask for the newest stats layout this build decodes; an older server
+  // ignores the payload and answers with its own (older) version, which
+  // decode_service_stats also accepts.
+  std::vector<std::uint8_t> desired(sizeof(std::uint32_t));
+  const std::uint32_t version = service::kServiceStatsCodecVersion;
+  std::memcpy(desired.data(), &version, sizeof(version));
+  const Frame frame = round_trip(encode_frame(MessageType::kStats, desired),
                                  MessageType::kStatsResult);
   try {
     return service::decode_service_stats(frame.payload);

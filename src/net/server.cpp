@@ -170,11 +170,25 @@ void Server::handle_frame(Connection& connection, const Frame& frame) {
       pending.frame = encode_frame(MessageType::kPong);
       break;
 
-    case MessageType::kStats:
+    case MessageType::kStats: {
+      // Version negotiation: the Stats payload optionally carries the
+      // stats codec version the client wants (a little-endian u32). An
+      // empty payload is a legacy client that predates negotiation --
+      // it gets v3, the newest layout such clients decode. Requests
+      // outside the supported window clamp rather than error, so a
+      // client newer than this server still gets the newest frame the
+      // server can produce.
+      std::uint32_t version = 3;
+      if (frame.payload.size() >= sizeof(std::uint32_t)) {
+        std::memcpy(&version, frame.payload.data(), sizeof(version));
+        version = std::max(version, service::kMinServiceStatsCodecVersion);
+        version = std::min(version, service::kServiceStatsCodecVersion);
+      }
       pending.frame = encode_frame(
           MessageType::kStatsResult,
-          service::encode_service_stats(backend_->stats_snapshot()));
+          service::encode_service_stats(backend_->stats_snapshot(), version));
       break;
+    }
 
     case MessageType::kSearch: {
       if (connection.deferred >= config_.max_in_flight) {

@@ -54,6 +54,11 @@ enum class MessageType : std::uint16_t {
   kPong = 2,
   kSearch = 3,
   kSearchResult = 4,
+  /// Stats request. Payload is either empty (legacy clients; the server
+  /// answers with stats codec v3, the newest layout those clients
+  /// decode) or a little-endian u32 naming the stats codec version the
+  /// client wants, which the server clamps to its supported window --
+  /// so mixed-vintage fleets always exchange well-formed stats frames.
   kStats = 5,
   kStatsResult = 6,
   kError = 7,

@@ -1,0 +1,61 @@
+#include "rasc/board_cache.hpp"
+
+#include <stdexcept>
+
+namespace psc::rasc {
+
+BoardCache::BoardCache(std::size_t num_fpgas) : fpgas_(num_fpgas) {
+  if (num_fpgas == 0) {
+    throw std::invalid_argument("BoardCache: num_fpgas == 0");
+  }
+}
+
+BoardTouch BoardCache::touch(std::size_t fpga, std::uint64_t bank_image,
+                             double upload_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fpga >= fpgas_.size()) {
+    throw std::out_of_range("BoardCache::touch: FPGA index out of range");
+  }
+  FpgaState& state = fpgas_[fpga];
+  BoardTouch result;
+  if (!state.configured) {
+    state.configured = true;
+    result.load_bitstream = true;
+    ++stats_.bitstream_loads;
+  }
+  if (state.has_image && state.image == bank_image) {
+    ++stats_.uploads_skipped;
+    stats_.upload_seconds_saved += upload_seconds;
+    return result;
+  }
+  result.upload_bank = true;
+  result.swapped = state.has_image;
+  if (state.has_image) ++stats_.board_swaps;
+  state.has_image = true;
+  state.image = bank_image;
+  ++stats_.bank_uploads;
+  stats_.upload_seconds += upload_seconds;
+  return result;
+}
+
+std::optional<std::uint64_t> BoardCache::resident(std::size_t fpga) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fpga >= fpgas_.size()) {
+    throw std::out_of_range("BoardCache::resident: FPGA index out of range");
+  }
+  if (!fpgas_[fpga].has_image) return std::nullopt;
+  return fpgas_[fpga].image;
+}
+
+BoardCacheStats BoardCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void BoardCache::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (FpgaState& state : fpgas_) state = FpgaState{};
+  stats_ = BoardCacheStats{};
+}
+
+}  // namespace psc::rasc

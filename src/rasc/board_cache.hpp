@@ -1,0 +1,87 @@
+// Cross-invocation board state of the RASC-100: which bank image each
+// FPGA currently holds in its SRAM, and whether its bitstream has been
+// configured at all. The paper's economic argument (Tables 2/3) is that
+// the accelerator only wins once these setup costs -- one bitstream
+// load, one NUMAlink DMA of the reference bank into board SRAM -- are
+// amortized over enough streamed queries. A stateless model re-pays
+// both on every run; this cache lets the driver charge them only when
+// the board actually changes state:
+//
+//   * bitstream: once per FPGA per process lifetime (the loader module
+//     keeps the configuration between algorithm invocations);
+//   * bank upload: only when the requested bank image differs from the
+//     one resident in that FPGA's SRAM (a "board swap").
+//
+// The cache is shared by consecutive accelerator runs (the service's
+// batch scheduler owns one and threads it through RascStep2Config), so
+// it is mutex-protected: with num_fpgas == 2 the two partition drivers
+// touch it concurrently from executor threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace psc::rasc {
+
+/// What one accelerator run must pay for on one FPGA, decided against
+/// the board's current state.
+struct BoardTouch {
+  bool load_bitstream = false;  ///< FPGA not yet configured this process
+  bool upload_bank = false;     ///< bank image absent: charge the DMA
+  bool swapped = false;         ///< the upload replaced a different image
+};
+
+/// Monotonic counters over every touch() since construction/reset.
+struct BoardCacheStats {
+  std::uint64_t bitstream_loads = 0;   ///< configurations charged
+  std::uint64_t bank_uploads = 0;      ///< bank DMAs charged (cold + swap)
+  std::uint64_t board_swaps = 0;       ///< uploads that evicted an image
+  std::uint64_t uploads_skipped = 0;   ///< runs served by a resident image
+  /// Modeled DMA seconds actually charged for the uploads performed.
+  double upload_seconds = 0.0;
+  /// Modeled DMA seconds the resident images saved (what a stateless
+  /// model would have charged for the skipped uploads).
+  double upload_seconds_saved = 0.0;
+};
+
+class BoardCache {
+ public:
+  /// RASC-100 carries two Virtex-4 FPGAs; `num_fpgas` sizes the board.
+  explicit BoardCache(std::size_t num_fpgas = 2);
+
+  /// Declares that `fpga` is about to run against `bank_image` (any
+  /// stable identifier of the reference bank's content -- the store
+  /// layer uses the bank payload checksum). Returns what this run must
+  /// pay and updates the board state and counters. `upload_seconds` is
+  /// the modeled DMA cost of the bank image, accumulated into
+  /// upload_seconds_saved when the upload is skipped. Throws
+  /// std::out_of_range on a bad FPGA index.
+  BoardTouch touch(std::size_t fpga, std::uint64_t bank_image,
+                   double upload_seconds);
+
+  /// The image resident on `fpga`, or nullopt when nothing is loaded.
+  std::optional<std::uint64_t> resident(std::size_t fpga) const;
+
+  BoardCacheStats stats() const;
+
+  std::size_t num_fpgas() const { return fpgas_.size(); }
+
+  /// Forgets residency, configuration and counters (bench harness use).
+  void reset();
+
+ private:
+  struct FpgaState {
+    bool configured = false;
+    bool has_image = false;
+    std::uint64_t image = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<FpgaState> fpgas_;
+  BoardCacheStats stats_;
+};
+
+}  // namespace psc::rasc

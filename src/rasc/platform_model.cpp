@@ -16,10 +16,13 @@ PlatformModel::PlatformModel(const PlatformConfig& config) : config_(config) {
 
 double PlatformModel::transfer_seconds(std::size_t bytes) const {
   if (bytes == 0) return 0.0;
-  const auto chunks = static_cast<double>(
-      (bytes + config_.sram_bytes - 1) / config_.sram_bytes);
-  return chunks * config_.dma_latency +
+  return static_cast<double>(chunk_count(bytes)) * config_.dma_latency +
          static_cast<double>(bytes) / config_.dma_bandwidth;
+}
+
+std::size_t PlatformModel::chunk_count(std::size_t bytes) const {
+  if (bytes == 0) return 0;
+  return 1 + (bytes - 1) / config_.sram_bytes;
 }
 
 void PlatformModel::add_input_stream(std::size_t residues) {

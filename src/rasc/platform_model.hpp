@@ -40,8 +40,14 @@ class PlatformModel {
 
   const PlatformConfig& config() const { return config_; }
 
-  /// Seconds to DMA `bytes` one way, including per-chunk latency.
+  /// Seconds to DMA `bytes` one way, including per-chunk latency. A
+  /// zero-byte stream costs exactly 0 (no descriptor is ever issued).
   double transfer_seconds(std::size_t bytes) const;
+
+  /// DMA descriptors needed for `bytes`: ceil(bytes / sram_bytes), 0 for
+  /// an empty stream. Exact SRAM multiples take exactly bytes/sram_bytes
+  /// chunks -- the rounding the driver's invocation count must share.
+  std::size_t chunk_count(std::size_t bytes) const;
 
   /// Records an input stream of `residues` residues.
   void add_input_stream(std::size_t residues);

@@ -71,9 +71,15 @@ QueryResult decode_query_result(std::span<const std::uint8_t> data) {
   return result;
 }
 
-std::vector<std::uint8_t> encode_service_stats(const ServiceStats& stats) {
+std::vector<std::uint8_t> encode_service_stats(const ServiceStats& stats,
+                                               std::uint32_t version) {
+  if (version < kMinServiceStatsCodecVersion ||
+      version > kServiceStatsCodecVersion) {
+    throw core::CodecError("codec: cannot encode service stats version " +
+                           std::to_string(version));
+  }
   std::vector<std::uint8_t> out;
-  core::codec::put_u32(out, kServiceStatsCodecVersion);
+  core::codec::put_u32(out, version);
   core::codec::put_u32(out, 0);
   core::codec::put_u64(out, stats.queries_submitted);
   core::codec::put_u64(out, stats.queries_completed);
@@ -90,6 +96,24 @@ std::vector<std::uint8_t> encode_service_stats(const ServiceStats& stats) {
   core::codec::put_u64(out, stats.queue_depth);
   core::codec::put_u64(out, stats.resident_banks);
   core::codec::put_u64(out, stats.resident_shards);
+  if (version >= 4) {
+    core::codec::put_u64(out, stats.board_bitstream_loads);
+    core::codec::put_u64(out, stats.board_bank_uploads);
+    core::codec::put_u64(out, stats.board_swaps);
+    core::codec::put_u64(out, stats.bank_uploads_skipped);
+    core::codec::put_f64(out, stats.board_upload_seconds);
+    core::codec::put_f64(out, stats.board_upload_seconds_saved);
+    core::codec::put_f64(out, stats.accel_modeled_seconds);
+    core::codec::put_u64(out, stats.scheduler_rounds);
+    core::codec::put_u64(out, stats.scheduler_reorders);
+    core::codec::put_u64(out, stats.starvation_promotions);
+    core::codec::put_u64(out, stats.bank_switches);
+    core::codec::put_u32(
+        out, static_cast<std::uint32_t>(stats.scheduler_policy.size()));
+    core::codec::put_bytes(out, stats.scheduler_policy.data(),
+                           stats.scheduler_policy.size());
+  }
+  if (version == 2) return out;
   core::codec::put_u64(out, stats.replicas.size());
   for (const ReplicaStats& replica : stats.replicas) {
     core::codec::put_u32(out,
@@ -111,7 +135,8 @@ std::vector<std::uint8_t> encode_service_stats(const ServiceStats& stats) {
 ServiceStats decode_service_stats(std::span<const std::uint8_t> data) {
   core::codec::Reader reader(data);
   const std::uint32_t version = reader.u32("service stats version");
-  if (version != 2 && version != kServiceStatsCodecVersion) {
+  if (version < kMinServiceStatsCodecVersion ||
+      version > kServiceStatsCodecVersion) {
     throw core::CodecError("codec: unsupported service stats version " +
                            std::to_string(version));
   }
@@ -134,6 +159,23 @@ ServiceStats decode_service_stats(std::span<const std::uint8_t> data) {
       static_cast<std::size_t>(reader.u64("resident banks"));
   stats.resident_shards =
       static_cast<std::size_t>(reader.u64("resident shards"));
+  if (version >= 4) {
+    stats.board_bitstream_loads = reader.u64("board bitstream loads");
+    stats.board_bank_uploads = reader.u64("board bank uploads");
+    stats.board_swaps = reader.u64("board swaps");
+    stats.bank_uploads_skipped = reader.u64("bank uploads skipped");
+    stats.board_upload_seconds = reader.f64("board upload seconds");
+    stats.board_upload_seconds_saved = reader.f64("board upload saved");
+    stats.accel_modeled_seconds = reader.f64("accel modeled seconds");
+    stats.scheduler_rounds = reader.u64("scheduler rounds");
+    stats.scheduler_reorders = reader.u64("scheduler reorders");
+    stats.starvation_promotions = reader.u64("starvation promotions");
+    stats.bank_switches = reader.u64("bank switches");
+    const std::uint32_t policy_len = reader.u32("scheduler policy length");
+    const auto policy = reader.bytes(policy_len, "scheduler policy");
+    stats.scheduler_policy.assign(
+        reinterpret_cast<const char*>(policy.data()), policy.size());
+  }
   if (version >= 3) {
     const std::uint64_t count = reader.u64("replica count");
     // Every replica row needs at least its fixed-width fields; bounding

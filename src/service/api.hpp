@@ -28,8 +28,15 @@ namespace psc::service {
 inline constexpr std::uint32_t kQueryResultCodecVersion = 1;
 /// ServiceStats wire-format version; bump on layout change. v2 adds the
 /// resident_shards gauge; v3 appends the per-replica table a router
-/// reports (decode still accepts v2 payloads, yielding no replicas).
-inline constexpr std::uint32_t kServiceStatsCodecVersion = 3;
+/// reports; v4 inserts the board-residency and scheduler block between
+/// the fixed gauges and the replica table. decode accepts v2/v3/v4, and
+/// encode_service_stats can emit any of them, which is how the server
+/// answers a legacy client's Stats frame with the exact v3 (or v2)
+/// bytes that client expects (net/server.cpp negotiates the version
+/// from the request payload).
+inline constexpr std::uint32_t kServiceStatsCodecVersion = 4;
+/// Oldest stats version encode_service_stats can still emit.
+inline constexpr std::uint32_t kMinServiceStatsCodecVersion = 2;
 
 /// The per-request option subset a caller may vary without reconfiguring
 /// the service. Requests only coalesce into one shared pass when their
@@ -133,11 +140,35 @@ struct ServiceStats {
   double total_batch_latency_seconds = 0.0;  ///< sum over batches
   double max_batch_latency_seconds = 0.0;    ///< slowest batch so far
   double mean_batch_latency_seconds = 0.0;   ///< filled at snapshot time
-  std::size_t queue_depth = 0;         ///< pending requests right now
+  /// Pending requests right now: still queued plus drained into the
+  /// worker's scheduler but not yet served.
+  std::size_t queue_depth = 0;
   std::size_t resident_banks = 0;      ///< resident targets (shard sets)
   /// Resident shard files across all targets (a plain unsharded bank
   /// counts as one shard); this is what the cache capacity bounds.
   std::size_t resident_shards = 0;
+
+  // Board-residency gauges (codec v4): the accelerator board cache's
+  // accounting (rasc/board_cache.hpp). All zero when the service runs a
+  // host step-2 backend.
+  std::uint64_t board_bitstream_loads = 0;  ///< FPGA configurations paid
+  std::uint64_t board_bank_uploads = 0;     ///< bank images DMA'd to SRAM
+  std::uint64_t board_swaps = 0;            ///< uploads evicting an image
+  std::uint64_t bank_uploads_skipped = 0;   ///< served by resident images
+  double board_upload_seconds = 0.0;        ///< modeled bank DMA paid
+  double board_upload_seconds_saved = 0.0;  ///< modeled bank DMA avoided
+  /// Total modeled accelerator seconds across RASC step-2 passes (the
+  /// quantity the residency bench's throughput ratio is computed over).
+  double accel_modeled_seconds = 0.0;
+
+  // Scheduler counters (codec v4): how the worker ordered its batches.
+  std::uint64_t scheduler_rounds = 0;       ///< groups served
+  std::uint64_t scheduler_reorders = 0;     ///< picks passing over an older group
+  std::uint64_t starvation_promotions = 0;  ///< aging-guard forced picks
+  std::uint64_t bank_switches = 0;          ///< picks changing the target bank
+  /// Active scheduling policy ("fifo" / "affinity").
+  std::string scheduler_policy;
+
   /// Per-replica rows (codec v3). Empty for a single-node service; a
   /// router fills one row per configured replica endpoint.
   std::vector<ReplicaStats> replicas;
@@ -153,7 +184,14 @@ std::vector<std::uint8_t> encode_query_result(const QueryResult& result);
 /// truncation, version skew or trailing bytes.
 QueryResult decode_query_result(std::span<const std::uint8_t> data);
 
-std::vector<std::uint8_t> encode_service_stats(const ServiceStats& stats);
+/// Encodes `stats` at `version` (kMinServiceStatsCodecVersion ..
+/// kServiceStatsCodecVersion; throws core::CodecError outside that
+/// range). Encoding below v4 simply omits the newer fields -- exactly
+/// the bytes a server of that era would have produced -- which is what
+/// lets one server answer clients of every supported vintage.
+std::vector<std::uint8_t> encode_service_stats(
+    const ServiceStats& stats,
+    std::uint32_t version = kServiceStatsCodecVersion);
 ServiceStats decode_service_stats(std::span<const std::uint8_t> data);
 
 }  // namespace psc::service

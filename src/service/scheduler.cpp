@@ -1,0 +1,135 @@
+#include "service/scheduler.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace psc::service {
+
+const char* scheduler_policy_name(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFifo:
+      return "fifo";
+    case SchedulerPolicy::kAffinity:
+      return "affinity";
+  }
+  return "unknown";
+}
+
+bool parse_scheduler_policy(std::string_view name, SchedulerPolicy& out) {
+  if (name == "fifo") {
+    out = SchedulerPolicy::kFifo;
+    return true;
+  }
+  if (name == "affinity") {
+    out = SchedulerPolicy::kAffinity;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t bank_affinity_key(std::string_view cache_key) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char c : cache_key) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash == 0 ? 1 : hash;  // keep 0 as the "empty board" sentinel
+}
+
+namespace {
+
+/// Index of the oldest group among those `keep` accepts; groups.size()
+/// when none qualifies.
+template <typename Predicate>
+std::size_t oldest_where(const std::vector<GroupView>& groups,
+                         Predicate keep) {
+  std::size_t best = groups.size();
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (!keep(groups[i])) continue;
+    if (best == groups.size() ||
+        groups[i].earliest_seq < groups[best].earliest_seq) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PickResult pick_next_group(const std::vector<GroupView>& groups,
+                           std::uint64_t board_bank, SchedulerPolicy policy,
+                           std::uint64_t starvation_rounds) {
+  if (groups.empty()) {
+    throw std::invalid_argument("pick_next_group: no pending groups");
+  }
+
+  const std::size_t oldest =
+      oldest_where(groups, [](const GroupView&) { return true; });
+
+  std::size_t pick = groups.size();
+  bool promoted = false;
+  if (policy == SchedulerPolicy::kFifo) {
+    pick = oldest;
+  } else {
+    // Starvation guard first: a group that has been skipped
+    // `starvation_rounds` times outranks every affinity consideration.
+    // Serving the *oldest* starving group keeps the bound transitive --
+    // the guard can never itself starve another starving group.
+    if (starvation_rounds > 0) {
+      pick = oldest_where(groups, [&](const GroupView& g) {
+        return g.rounds_waited >= starvation_rounds;
+      });
+      promoted = pick != groups.size();
+    }
+
+    // Affinity: drain the bank already on the board before paying for a
+    // swap.
+    if (pick == groups.size() && board_bank != 0) {
+      pick = oldest_where(
+          groups, [&](const GroupView& g) { return g.bank == board_bank; });
+    }
+
+    // Swap required: take the bank with the most queued work, so the
+    // upload about to be charged is amortized over the largest batch of
+    // queries. Ties (including the all-weights-zero stream) go to the
+    // bank holding the oldest group, which keeps the policy
+    // deterministic and FIFO-flavoured when work gives no signal.
+    if (pick == groups.size()) {
+      struct BankAgg {
+        std::uint64_t bank = 0;
+        std::uint64_t work = 0;
+        std::uint64_t min_seq = std::numeric_limits<std::uint64_t>::max();
+      };
+      std::vector<BankAgg> banks;
+      std::unordered_map<std::uint64_t, std::size_t> slot;
+      for (const GroupView& g : groups) {
+        const auto [it, inserted] = slot.try_emplace(g.bank, banks.size());
+        if (inserted) banks.push_back(BankAgg{g.bank, 0, g.earliest_seq});
+        BankAgg& agg = banks[it->second];
+        agg.work += g.work;
+        agg.min_seq = std::min(agg.min_seq, g.earliest_seq);
+      }
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < banks.size(); ++i) {
+        if (banks[i].work > banks[best].work ||
+            (banks[i].work == banks[best].work &&
+             banks[i].min_seq < banks[best].min_seq)) {
+          best = i;
+        }
+      }
+      pick = oldest_where(groups, [&](const GroupView& g) {
+        return g.bank == banks[best].bank;
+      });
+    }
+  }
+
+  PickResult out;
+  out.index = pick;
+  out.starvation_promotion = promoted;
+  out.bank_switch = groups[pick].bank != board_bank;
+  out.reordered = groups[pick].earliest_seq != groups[oldest].earliest_seq;
+  return out;
+}
+
+}  // namespace psc::service

@@ -1,0 +1,82 @@
+// The service worker's batch scheduler: given the pending coalesced
+// groups and which bank image the accelerator board currently holds,
+// decide which group runs next. Factored out of SearchService as a pure
+// function over value types so the policy is unit-testable without a
+// service, threads or stores (tests/service/board_scheduler_test.cpp
+// drives it directly against hand-computed oracles).
+//
+// Two policies:
+//  - kFifo reproduces the classic drain order: the group whose oldest
+//    member arrived first runs next, regardless of which bank is on the
+//    board. This is the baseline the residency bench compares against.
+//  - kAffinity minimizes board swaps for mixed-bank streams: groups
+//    targeting the bank already on the board run first (oldest first
+//    among them); when the board's bank has no queued work the next
+//    bank is chosen by total queued work (heaviest first), so each
+//    upload is amortized over the most queries. A starvation guard
+//    bounds the reordering: any group that has waited
+//    `starvation_rounds` scheduling rounds is served next no matter
+//    what, so no request waits unboundedly behind a popular bank.
+//
+// Neither policy can change any output byte: groups are independent
+// pipeline passes (coalescing is decided by group membership, which the
+// scheduler never alters), so order affects only latency and the
+// modeled board accounting. tests assert per-request reply bytes are
+// identical under both policies across arrival orders.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace psc::service {
+
+enum class SchedulerPolicy {
+  kFifo,      ///< oldest group first (the legacy drain order)
+  kAffinity,  ///< on-board bank first, then heaviest bank; aging-bounded
+};
+
+/// "fifo" / "affinity" (for flags and stats rows).
+const char* scheduler_policy_name(SchedulerPolicy policy);
+
+/// Parses a policy name; returns false (leaving `out` untouched) on an
+/// unknown name.
+bool parse_scheduler_policy(std::string_view name, SchedulerPolicy& out);
+
+/// Stable scheduling identity of a target bank, derived from its cache
+/// key (FNV-1a). The scheduler only needs "same target or not" -- the
+/// true per-shard image checksums are the board cache's concern -- and
+/// hashing the key means the worker can schedule a group without
+/// touching the store. Never returns 0, so 0 stays free to mean "board
+/// empty".
+std::uint64_t bank_affinity_key(std::string_view cache_key);
+
+/// The scheduler's view of one pending group (one coalescible
+/// (bank, options) bucket of queued requests).
+struct GroupView {
+  std::uint64_t bank = 0;           ///< bank_affinity_key of the target
+  std::uint64_t earliest_seq = 0;   ///< arrival rank of the oldest member
+  std::uint64_t work = 0;           ///< queued query residues
+  std::uint64_t rounds_waited = 0;  ///< scheduling rounds skipped over
+};
+
+struct PickResult {
+  std::size_t index = 0;  ///< position in `groups` of the group to run
+  /// The pick was forced by the starvation guard (kAffinity only).
+  bool starvation_promotion = false;
+  /// The picked group's bank differs from the one on the board.
+  bool bank_switch = false;
+  /// A group with an older member than the pick was passed over.
+  bool reordered = false;
+};
+
+/// Picks the next group to serve. `groups` must be non-empty (throws
+/// std::invalid_argument otherwise); `board_bank` is the affinity key of
+/// the bank whose image the board currently holds, or 0 for an empty
+/// board. Deterministic: ties break toward the oldest group, so the
+/// same pending state always yields the same pick.
+PickResult pick_next_group(const std::vector<GroupView>& groups,
+                           std::uint64_t board_bank, SchedulerPolicy policy,
+                           std::uint64_t starvation_rounds);
+
+}  // namespace psc::service

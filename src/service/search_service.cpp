@@ -1,9 +1,7 @@
 #include "service/search_service.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
-#include <tuple>
 #include <utility>
 
 #include "store/format.hpp"
@@ -127,48 +125,121 @@ std::vector<std::future<ServiceResponse>> SearchService::submit_batch(
 }
 
 ServiceStats SearchService::snapshot() const {
+  const rasc::BoardCacheStats board = board_cache_.stats();
   std::lock_guard<std::mutex> lock(mutex_);
   ServiceStats snapshot = stats_;
-  snapshot.queue_depth = queue_.size();
+  snapshot.queue_depth = queue_.size() + worker_pending_;
   snapshot.mean_batch_latency_seconds =
       snapshot.batches > 0
           ? snapshot.total_batch_latency_seconds /
                 static_cast<double>(snapshot.batches)
           : 0.0;
+  snapshot.board_bitstream_loads = board.bitstream_loads;
+  snapshot.board_bank_uploads = board.bank_uploads;
+  snapshot.board_swaps = board.board_swaps;
+  snapshot.bank_uploads_skipped = board.uploads_skipped;
+  snapshot.board_upload_seconds = board.upload_seconds;
+  snapshot.board_upload_seconds_saved = board.upload_seconds_saved;
+  snapshot.scheduler_policy = scheduler_policy_name(config_.scheduler);
   return snapshot;
 }
 
 void SearchService::worker_loop() {
+  // The worker's private scheduling state: drained-but-unserved groups,
+  // the arrival counter that orders them, and which bank the last pass
+  // left on the accelerator board (0 = nothing yet). None of it needs
+  // mutex_ -- only queue_ handoff and stats do.
+  std::vector<PendingGroup> pending;
+  std::uint64_t next_seq = 0;
+  std::uint64_t board_bank = 0;
   for (;;) {
-    std::vector<Request> batch;
+    std::vector<Request> arrivals;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
+      // Block only when there is nothing to schedule; with groups in
+      // hand the worker just tops up from the queue and keeps serving.
+      if (pending.empty()) {
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       }
-      // Drain everything queued: whatever piled up while the previous
-      // pass ran becomes one coalescing opportunity.
-      batch.reserve(queue_.size());
-      for (Request& request : queue_) batch.push_back(std::move(request));
-      queue_.clear();
+      // Capped drain: a burst becomes several scheduling rounds instead
+      // of one giant pass, so coalescing still happens (per group, per
+      // round) but one hot bank cannot absorb the whole queue ahead of
+      // everyone else. Shutdown lifts the cap -- every queued request
+      // must still be served before the worker may exit.
+      std::size_t take = queue_.size();
+      if (!stop_ && config_.max_drain_per_round != 0) {
+        take = std::min(take, config_.max_drain_per_round);
+      }
+      for (std::size_t i = 0; i < take; ++i) {
+        arrivals.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      worker_pending_ += arrivals.size();
+      if (stop_ && queue_.empty() && arrivals.empty() && pending.empty()) {
+        return;
+      }
     }
 
-    // Group by (target bank, per-query options) -- a pass runs under one
-    // option set, so only requests that agree may share it. The key is
-    // the exact option fields (group_key), never a hash: a fingerprint
-    // collision between distinct option sets must not merge two passes
-    // that would compute different answers. Submission order is
-    // preserved within a group.
-    using GroupKey = std::tuple<std::string, std::array<std::uint64_t, 3>>;
-    std::map<GroupKey, std::vector<Request*>> groups;
-    for (Request& request : batch) {
-      groups[{request.request.bank_prefix, request.request.options.group_key()}]
-          .push_back(&request);
+    // Fold arrivals into pending groups, keyed by (target bank, exact
+    // per-query options) -- a pass runs under one option set, so only
+    // requests that agree may share it. The key is the exact option
+    // fields (group_key), never a hash: a fingerprint collision between
+    // distinct option sets must not merge two passes that would compute
+    // different answers. Submission order is preserved within a group.
+    for (Request& request : arrivals) {
+      const std::uint64_t seq = next_seq++;
+      const std::array<std::uint64_t, 3> okey =
+          request.request.options.group_key();
+      PendingGroup* group = nullptr;
+      for (PendingGroup& candidate : pending) {
+        if (candidate.prefix == request.request.bank_prefix &&
+            candidate.options_key == okey) {
+          group = &candidate;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        pending.emplace_back();
+        group = &pending.back();
+        group->prefix = request.request.bank_prefix;
+        group->options_key = okey;
+        group->bank = bank_affinity_key(cache_key(group->prefix));
+        group->earliest_seq = seq;
+      }
+      group->work += request.request.query.total_residues();
+      group->members.push_back(std::move(request));
     }
-    for (auto& [key, group] : groups) {
-      process_group(std::get<0>(key), group.front()->request.options, group);
+    if (pending.empty()) continue;  // stop_ raced with an empty queue
+
+    // Pick one group, serve it, age the rest.
+    std::vector<GroupView> views;
+    views.reserve(pending.size());
+    for (const PendingGroup& group : pending) {
+      views.push_back(GroupView{group.bank, group.earliest_seq, group.work,
+                                group.rounds_waited});
+    }
+    const PickResult pick = pick_next_group(
+        views, board_bank, config_.scheduler, config_.starvation_rounds);
+    PendingGroup chosen = std::move(pending[pick.index]);
+    pending.erase(pending.begin() +
+                  static_cast<std::ptrdiff_t>(pick.index));
+    for (PendingGroup& group : pending) ++group.rounds_waited;
+    board_bank = chosen.bank;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.scheduler_rounds;
+      if (pick.starvation_promotion) ++stats_.starvation_promotions;
+      if (pick.bank_switch) ++stats_.bank_switches;
+      if (pick.reordered) ++stats_.scheduler_reorders;
+    }
+
+    std::vector<Request*> group;
+    group.reserve(chosen.members.size());
+    for (Request& member : chosen.members) group.push_back(&member);
+    process_group(chosen.prefix, group.front()->request.options, group);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      worker_pending_ -= chosen.members.size();
     }
   }
 }
@@ -265,6 +336,7 @@ void SearchService::process_group(const std::string& prefix,
   // unfulfilled, so it all routes to fail_all instead.
   double latency_sum = 0.0;
   double batch_latency = 0.0;
+  double accel_seconds = 0.0;
   std::vector<QueryResult> replies;
   try {
     // One combined query bank; each request owns a contiguous index
@@ -288,9 +360,16 @@ void SearchService::process_group(const std::string& prefix,
     pass_options.with_traceback = options.with_traceback;
     pass_options.composition_based_stats = options.composition_based_stats;
     pass_options.search_space_residues = options.search_space_residues;
+    // Every pass shares this service's board state, so a RASC pass pays
+    // the bank upload only when the image on the board actually changes
+    // (host backends never read the field).
+    pass_options.rasc.board = &board_cache_;
 
     const core::PipelineResult result = run_query_over_set(
         combined, resident->set, pass_options, config_.matrix);
+    if (result.step2_engine == "rasc-psc") {
+      accel_seconds = result.times.step2_ungapped;
+    }
 
     const auto completed = std::chrono::steady_clock::now();
     replies.resize(group.size());
@@ -327,6 +406,7 @@ void SearchService::process_group(const std::string& prefix,
     stats_.total_batch_latency_seconds += batch_latency;
     stats_.max_batch_latency_seconds =
         std::max(stats_.max_batch_latency_seconds, batch_latency);
+    stats_.accel_modeled_seconds += accel_seconds;
     if (was_hit) {
       ++stats_.cache_hits;
     } else {

@@ -23,6 +23,7 @@
 // is running pile up and become the next batch.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -39,8 +40,10 @@
 #include "bio/sequence.hpp"
 #include "bio/substitution_matrix.hpp"
 #include "core/pipeline.hpp"
+#include "rasc/board_cache.hpp"
 #include "service/api.hpp"
 #include "service/backend.hpp"
+#include "service/scheduler.hpp"
 #include "service/shard_query.hpp"
 #include "util/executor.hpp"
 
@@ -61,6 +64,20 @@ struct ServiceConfig {
   std::size_t max_resident = 4;
   /// Verify store payload checksums on load. Leave on outside benches.
   bool verify_checksums = true;
+  /// How the worker orders pending groups (service/scheduler.hpp):
+  /// kAffinity serves the bank already on the accelerator board first,
+  /// minimizing modeled bank uploads for mixed-bank streams; kFifo is
+  /// the legacy oldest-first order. Either way per-request results are
+  /// byte-identical -- only latency and board accounting move.
+  SchedulerPolicy scheduler = SchedulerPolicy::kAffinity;
+  /// Most requests the worker takes off the queue per scheduling round;
+  /// 0 means unbounded (the legacy drain-everything behaviour).
+  /// Bounding the drain keeps one burst from turning into a single
+  /// giant pass and gives the scheduler stream-granularity decisions.
+  std::size_t max_drain_per_round = 256;
+  /// Aging guard: a pending group skipped this many scheduling rounds
+  /// is served next regardless of bank affinity. 0 disables the guard.
+  std::uint64_t starvation_rounds = 4;
   core::PipelineOptions options = default_service_options();
   bio::SubstitutionMatrix matrix = bio::SubstitutionMatrix::blosum62();
 };
@@ -121,6 +138,21 @@ class SearchService : public SearchBackend {
     std::chrono::steady_clock::time_point enqueued;
   };
 
+  /// One coalescible bucket of drained requests the worker is holding:
+  /// every member agrees on (bank prefix, per-query options), so the
+  /// whole bucket runs as one shared pass whenever the scheduler picks
+  /// it. Owns its requests -- once drained off the queue, a request
+  /// lives here until its promise is fulfilled.
+  struct PendingGroup {
+    std::string prefix;
+    std::array<std::uint64_t, 3> options_key{};
+    std::uint64_t bank = 0;          ///< bank_affinity_key(cache_key)
+    std::uint64_t earliest_seq = 0;  ///< arrival rank of oldest member
+    std::uint64_t work = 0;          ///< queued query residues
+    std::uint64_t rounds_waited = 0;
+    std::vector<Request> members;    ///< submission order preserved
+  };
+
   /// A resident target: the whole shard set (one shard for a plain
   /// bank), kept or evicted as a unit. The batch that is querying a set
   /// holds the shared_ptr, which is what pins it against eviction.
@@ -140,6 +172,13 @@ class SearchService : public SearchBackend {
   ServiceConfig config_;
   index::SeedModel model_;
 
+  /// Cross-run accelerator board state: which bank image each modeled
+  /// FPGA holds in SRAM. Shared by every RASC pass this service runs
+  /// (process_group wires it into the pass options), which is what lets
+  /// back-to-back batches against the same bank skip the upload DMA.
+  /// Thread-safe; snapshot() reads it from outside the worker.
+  rasc::BoardCache board_cache_{2};
+
   /// Service-lifetime work-stealing pool: every pipeline pass (parallel
   /// step 2, overlapped step 3, parallel index builds) schedules here
   /// instead of spawning threads per batch. Declared before worker_ and
@@ -152,6 +191,10 @@ class SearchService : public SearchBackend {
   std::deque<Request> queue_;
   bool stop_ = false;
   ServiceStats stats_;
+  /// Requests drained off queue_ but not yet served (held in the
+  /// worker's pending groups); snapshot()'s queue_depth includes them
+  /// so a drained-but-waiting request never looks "in flight".
+  std::size_t worker_pending_ = 0;
 
   // Touched only by the worker thread; no locking needed.
   std::unordered_map<std::string, std::shared_ptr<ResidentSet>> cache_;

@@ -23,7 +23,8 @@ LoadedShard load_pair(const std::string& pair_prefix,
   store::LoadedIndex index =
       store::load_index(pair_prefix + ".pscidx", model, &bank,
                         verify_checksums, info.payload_checksum);
-  return LoadedShard{std::move(bank), std::move(index), sequence_base};
+  return LoadedShard{std::move(bank), std::move(index), sequence_base,
+                     info.payload_checksum};
 }
 
 }  // namespace
@@ -90,6 +91,10 @@ core::PipelineResult run_query_over_set(
 
   core::PipelineResult merged;
   for (const LoadedShard& shard : set.shards) {
+    // Residency is per shard image: each per-shard pass tells the RASC
+    // backend which bank content it is about to stream, so a configured
+    // board cache can skip the upload when that image is still in SRAM.
+    pass.rasc.bank_image_id = shard.bank_image_id;
     core::PipelineResult piece = core::run_pipeline_with_index(
         query, shard.bank, shard.index.table, pass, matrix);
 

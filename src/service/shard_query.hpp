@@ -36,6 +36,11 @@ struct LoadedShard {
   bio::SequenceBank bank;
   store::LoadedIndex index;
   std::uint64_t sequence_base = 0;
+  /// The shard bank's payload checksum: the stable identity the board
+  /// cache (rasc/board_cache.hpp) tracks residency by. Two loads of the
+  /// same shard file -- or the same content stored twice -- yield the
+  /// same id, so a re-acquired target still hits the resident image.
+  std::uint64_t bank_image_id = 0;
 };
 
 /// A whole resident target: every shard of a sharded bank (the LRU keeps

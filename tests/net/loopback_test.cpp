@@ -218,6 +218,50 @@ TEST_F(LoopbackTest, PingAndStatsRoundTrip) {
   EXPECT_GT(after.total_batch_latency_seconds, 0.0);
 }
 
+TEST_F(LoopbackTest, LegacyStatsClientsGetTheirOwnVintage) {
+  // Codec-v4 servers must keep answering clients built before the
+  // board/scheduler rows existed. The request payload carries the
+  // desired version; the vintages in play:
+  //  - a v3-era client sends kStats with an EMPTY payload,
+  //  - a v2-era client (hypothetically forward-ported) asks for 2,
+  //  - a future client asking past v4 gets clamped down, not an error.
+  start();
+  RawConnection raw(server_->port());
+
+  const auto stats_version_of =
+      [&](const std::vector<std::uint8_t>& payload) -> std::uint32_t {
+    raw.send_bytes(encode_frame(MessageType::kStats, payload));
+    const auto frame = raw.read_frame();
+    EXPECT_TRUE(frame.has_value());
+    if (!frame) return 0;
+    EXPECT_EQ(frame->type,
+              static_cast<std::uint16_t>(MessageType::kStatsResult));
+    // The reply must decode with the current library no matter the
+    // vintage -- the well-formedness half of the guarantee.
+    (void)service::decode_service_stats(frame->payload);
+    std::uint32_t version = 0;
+    std::memcpy(&version, frame->payload.data(), sizeof(version));
+    return version;
+  };
+
+  EXPECT_EQ(stats_version_of({}), 3u);  // legacy default
+  EXPECT_EQ(stats_version_of({2, 0, 0, 0}), 2u);
+  EXPECT_EQ(stats_version_of({4, 0, 0, 0}), 4u);
+  EXPECT_EQ(stats_version_of({9, 0, 0, 0}), 4u);  // clamped, no error
+  EXPECT_EQ(stats_version_of({1, 0, 0, 0}), 2u);  // clamped up as well
+
+  // A v3 reply really omits the v4 rows: the decoded struct keeps its
+  // defaults there while the library's own client sees them filled.
+  raw.send_bytes(encode_frame(MessageType::kStats));
+  const auto v3_frame = raw.read_frame();
+  ASSERT_TRUE(v3_frame.has_value());
+  const service::ServiceStats v3 =
+      service::decode_service_stats(v3_frame->payload);
+  EXPECT_TRUE(v3.scheduler_policy.empty());
+  Client client = connect();
+  EXPECT_EQ(client.stats().scheduler_policy, "affinity");
+}
+
 TEST_F(LoopbackTest, ConcurrentClientsCoalesceIntoOneBatch) {
   const SavedBank saved(23, "net_coalesce");
   start();

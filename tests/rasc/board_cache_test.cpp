@@ -1,0 +1,122 @@
+// BoardCache: the cross-run residency state the stateful accelerator
+// accounting hangs off. The tests drive scripted touch sequences against
+// hand-computed oracles for what each run must pay.
+#include "rasc/board_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace psc::rasc {
+namespace {
+
+TEST(BoardCache, FirstTouchPaysBitstreamAndUpload) {
+  BoardCache cache(1);
+  const BoardTouch touch = cache.touch(0, 0xAA, 2.0);
+  EXPECT_TRUE(touch.load_bitstream);
+  EXPECT_TRUE(touch.upload_bank);
+  EXPECT_FALSE(touch.swapped);  // nothing was evicted
+
+  const BoardCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.bitstream_loads, 1u);
+  EXPECT_EQ(stats.bank_uploads, 1u);
+  EXPECT_EQ(stats.board_swaps, 0u);
+  EXPECT_EQ(stats.uploads_skipped, 0u);
+  EXPECT_DOUBLE_EQ(stats.upload_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(stats.upload_seconds_saved, 0.0);
+}
+
+TEST(BoardCache, RepeatTouchSkipsEverything) {
+  BoardCache cache(1);
+  cache.touch(0, 0xAA, 2.0);
+  const BoardTouch touch = cache.touch(0, 0xAA, 2.0);
+  EXPECT_FALSE(touch.load_bitstream);  // configured for process lifetime
+  EXPECT_FALSE(touch.upload_bank);     // image already resident
+  EXPECT_FALSE(touch.swapped);
+
+  const BoardCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.bitstream_loads, 1u);
+  EXPECT_EQ(stats.bank_uploads, 1u);
+  EXPECT_EQ(stats.uploads_skipped, 1u);
+  EXPECT_DOUBLE_EQ(stats.upload_seconds_saved, 2.0);
+}
+
+TEST(BoardCache, DifferentImageSwapsWithoutReconfiguring) {
+  BoardCache cache(1);
+  cache.touch(0, 0xAA, 2.0);
+  const BoardTouch touch = cache.touch(0, 0xBB, 3.0);
+  EXPECT_FALSE(touch.load_bitstream);
+  EXPECT_TRUE(touch.upload_bank);
+  EXPECT_TRUE(touch.swapped);  // 0xBB evicted 0xAA
+
+  const BoardCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.bitstream_loads, 1u);
+  EXPECT_EQ(stats.bank_uploads, 2u);
+  EXPECT_EQ(stats.board_swaps, 1u);
+  EXPECT_DOUBLE_EQ(stats.upload_seconds, 5.0);
+}
+
+TEST(BoardCache, ScriptedMixedStreamMatchesOracle) {
+  // The bench's adversarial shape: A,B,A,A,B on one FPGA.
+  // Oracle: uploads at A(cold), B(swap), A(swap), B(swap); the repeated
+  // A is the only skip -> 4 uploads, 3 swaps, 1 skip.
+  BoardCache cache(2);
+  cache.touch(0, 'A', 1.0);
+  cache.touch(0, 'B', 1.0);
+  cache.touch(0, 'A', 1.0);
+  cache.touch(0, 'A', 1.0);
+  cache.touch(0, 'B', 1.0);
+
+  const BoardCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.bitstream_loads, 1u);
+  EXPECT_EQ(stats.bank_uploads, 4u);
+  EXPECT_EQ(stats.board_swaps, 3u);
+  EXPECT_EQ(stats.uploads_skipped, 1u);
+  EXPECT_DOUBLE_EQ(stats.upload_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(stats.upload_seconds_saved, 1.0);
+}
+
+TEST(BoardCache, FpgasTrackResidencyIndependently) {
+  BoardCache cache(2);
+  cache.touch(0, 'A', 1.0);
+  const BoardTouch touch1 = cache.touch(1, 'A', 1.0);
+  // FPGA 1 has its own SRAM: same image still uploads (and configures).
+  EXPECT_TRUE(touch1.load_bitstream);
+  EXPECT_TRUE(touch1.upload_bank);
+
+  EXPECT_EQ(cache.resident(0), std::uint64_t{'A'});
+  EXPECT_EQ(cache.resident(1), std::uint64_t{'A'});
+  const BoardCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.bitstream_loads, 2u);
+  EXPECT_EQ(stats.bank_uploads, 2u);
+  EXPECT_EQ(stats.board_swaps, 0u);
+}
+
+TEST(BoardCache, ResidentReportsEmptyBeforeFirstTouch) {
+  BoardCache cache(2);
+  EXPECT_FALSE(cache.resident(0).has_value());
+  cache.touch(0, 'A', 1.0);
+  EXPECT_TRUE(cache.resident(0).has_value());
+  EXPECT_FALSE(cache.resident(1).has_value());
+}
+
+TEST(BoardCache, ResetForgetsStateAndCounters) {
+  BoardCache cache(1);
+  cache.touch(0, 'A', 1.0);
+  cache.reset();
+  EXPECT_FALSE(cache.resident(0).has_value());
+  EXPECT_EQ(cache.stats().bank_uploads, 0u);
+  // Post-reset touch re-pays the bitstream: the reset models a fresh
+  // process, not a warm board.
+  EXPECT_TRUE(cache.touch(0, 'A', 1.0).load_bitstream);
+}
+
+TEST(BoardCache, RejectsBadIndices) {
+  EXPECT_THROW(BoardCache(0), std::invalid_argument);
+  BoardCache cache(2);
+  EXPECT_THROW(cache.touch(2, 'A', 1.0), std::out_of_range);
+  EXPECT_THROW(cache.resident(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace psc::rasc

@@ -16,6 +16,40 @@ TEST(PlatformModel, TransferSecondsLatencyPlusBandwidth) {
   EXPECT_DOUBLE_EQ(model.transfer_seconds(0), 0.0);
 }
 
+TEST(PlatformModel, ZeroByteStreamIsFree) {
+  // Regression: an empty stream must issue no DMA descriptor and no
+  // invocation-sized chunk -- a partition whose keys all miss streams
+  // nothing and costs nothing.
+  const PlatformModel model;
+  EXPECT_DOUBLE_EQ(model.transfer_seconds(0), 0.0);
+  EXPECT_EQ(model.chunk_count(0), 0u);
+}
+
+TEST(PlatformModel, ChunkCountRoundsUpExceptAtExactMultiples) {
+  PlatformConfig config;
+  config.sram_bytes = 1000;
+  const PlatformModel model(config);
+  EXPECT_EQ(model.chunk_count(1), 1u);
+  EXPECT_EQ(model.chunk_count(999), 1u);
+  // Regression: a stream landing exactly on an SRAM boundary takes
+  // bytes/sram chunks, not one more (the old 1 + bytes/sram formula
+  // charged a phantom chunk here).
+  EXPECT_EQ(model.chunk_count(1000), 1u);
+  EXPECT_EQ(model.chunk_count(1001), 2u);
+  EXPECT_EQ(model.chunk_count(2000), 2u);
+  EXPECT_EQ(model.chunk_count(2001), 3u);
+}
+
+TEST(PlatformModel, TransferSecondsAtExactSramMultiple) {
+  PlatformConfig config;
+  config.dma_bandwidth = 1e9;
+  config.dma_latency = 1e-4;
+  config.sram_bytes = 1000;
+  const PlatformModel model(config);
+  // Exactly two chunks -> exactly two latencies.
+  EXPECT_NEAR(model.transfer_seconds(2000), 2e-4 + 2000 / 1e9, 1e-12);
+}
+
 TEST(PlatformModel, LargeStreamsChunkBySram) {
   PlatformConfig config;
   config.dma_bandwidth = 1e9;

@@ -187,5 +187,125 @@ TEST(RascBackend, ReportsTransferAndOverhead) {
               1e-12);
 }
 
+TEST(RascBackend, BoardModeChargesBankSetupOnlyOnFirstRun) {
+  const Banks banks(8);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const index::IndexTable t0(banks.bank0, model);
+  const index::IndexTable t1(banks.bank1, model);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+
+  BoardCache board(1);
+  RascStep2Config config = make_config();
+  config.board = &board;
+  config.bank_image_id = 0xB0A7D;
+
+  const RascStep2Result first =
+      run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, config);
+  EXPECT_EQ(first.fpgas[0].bitstream_loads, 1u);
+  EXPECT_EQ(first.fpgas[0].bank_uploads, 1u);
+  EXPECT_EQ(first.fpgas[0].board_swaps, 0u);
+  EXPECT_GT(first.fpgas[0].upload_seconds, 0.0);
+
+  // Same image still resident: the repeat run pays neither the bitstream
+  // (process-lifetime) nor the bank DMA, and says how much it saved.
+  const RascStep2Result second =
+      run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, config);
+  EXPECT_EQ(second.fpgas[0].bitstream_loads, 0u);
+  EXPECT_EQ(second.fpgas[0].bank_uploads, 0u);
+  EXPECT_EQ(second.fpgas[0].bank_uploads_skipped, 1u);
+  EXPECT_DOUBLE_EQ(second.fpgas[0].upload_seconds_saved,
+                   first.fpgas[0].upload_seconds);
+  EXPECT_LT(second.modeled_seconds, first.modeled_seconds);
+  EXPECT_EQ(first.hits.size(), second.hits.size());
+}
+
+TEST(RascBackend, BoardModeSwapsWhenImageChanges) {
+  const Banks banks(9);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const index::IndexTable t0(banks.bank0, model);
+  const index::IndexTable t1(banks.bank1, model);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+
+  BoardCache board(1);
+  RascStep2Config config = make_config();
+  config.board = &board;
+  config.bank_image_id = 1;
+  run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, config);
+
+  config.bank_image_id = 2;
+  const RascStep2Result swapped =
+      run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, config);
+  // A different image evicts the resident one: upload again, swap
+  // counted, but the bitstream stays configured.
+  EXPECT_EQ(swapped.fpgas[0].bitstream_loads, 0u);
+  EXPECT_EQ(swapped.fpgas[0].bank_uploads, 1u);
+  EXPECT_EQ(swapped.fpgas[0].board_swaps, 1u);
+  EXPECT_EQ(swapped.fpgas[0].bank_uploads_skipped, 0u);
+}
+
+TEST(RascBackend, LegacyStatelessAccountingUnchangedByBoardField) {
+  const Banks banks(10);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const index::IndexTable t0(banks.bank0, model);
+  const index::IndexTable t1(banks.bank1, model);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+
+  // board == nullptr is the paper's single-shot structure: bitstream
+  // charged every run, no residency counters, and bit-identical timing
+  // across repeats.
+  const RascStep2Result a =
+      run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, make_config());
+  const RascStep2Result b =
+      run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, make_config());
+  EXPECT_EQ(a.fpgas[0].bitstream_loads, 1u);
+  EXPECT_EQ(b.fpgas[0].bitstream_loads, 1u);
+  EXPECT_EQ(a.fpgas[0].bank_uploads, 0u);
+  EXPECT_EQ(a.fpgas[0].bank_uploads_skipped, 0u);
+  EXPECT_DOUBLE_EQ(a.modeled_seconds, b.modeled_seconds);
+}
+
+TEST(RascBackend, BoardModeHitsMatchLegacy) {
+  const Banks banks(11);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const index::IndexTable t0(banks.bank0, model);
+  const index::IndexTable t1(banks.bank1, model);
+  const auto& m = bio::SubstitutionMatrix::blosum62();
+
+  const RascStep2Result legacy =
+      run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, make_config());
+
+  BoardCache board(2);
+  RascStep2Config config = make_config(2);
+  config.board = &board;
+  config.bank_image_id = 7;
+  RascStep2Result stateful =
+      run_rasc_step2(banks.bank0, t0, banks.bank1, t1, m, config);
+
+  // Residency only re-prices transfers; the hit set cannot move.
+  auto key = [](const align::SeedPairHit& h) {
+    return std::tuple(h.bank0.sequence, h.bank0.offset, h.bank1.sequence,
+                      h.bank1.offset, h.score);
+  };
+  auto sorted = [&](std::vector<align::SeedPairHit> hits) {
+    std::sort(hits.begin(), hits.end(),
+              [&](const auto& a, const auto& b) { return key(a) < key(b); });
+    return hits;
+  };
+  EXPECT_EQ(sorted(legacy.hits), sorted(stateful.hits));
+}
+
+TEST(RascBackend, BoardTrackingFewerFpgasThanConfiguredThrows) {
+  const Banks banks(12);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const index::IndexTable t0(banks.bank0, model);
+  const index::IndexTable t1(banks.bank1, model);
+  BoardCache board(1);
+  RascStep2Config config = make_config(2);
+  config.board = &board;
+  EXPECT_THROW(run_rasc_step2(banks.bank0, t0, banks.bank1, t1,
+                              bio::SubstitutionMatrix::blosum62(), config),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace psc::rasc

@@ -49,6 +49,32 @@ void print_stats(const service::ServiceStats& stats) {
   std::printf("queue_depth=%zu\n", stats.queue_depth);
   std::printf("resident_banks=%zu\n", stats.resident_banks);
   std::printf("resident_shards=%zu\n", stats.resident_shards);
+  // Board-residency and scheduler rows (codec v4). A v3-or-older server
+  // never sends them; the decoder leaves the defaults, and printing the
+  // zero rows keeps the output schema stable for scripts.
+  std::printf("board_bitstream_loads=%llu\n",
+              static_cast<unsigned long long>(stats.board_bitstream_loads));
+  std::printf("board_bank_uploads=%llu\n",
+              static_cast<unsigned long long>(stats.board_bank_uploads));
+  std::printf("board_swaps=%llu\n",
+              static_cast<unsigned long long>(stats.board_swaps));
+  std::printf("bank_uploads_skipped=%llu\n",
+              static_cast<unsigned long long>(stats.bank_uploads_skipped));
+  std::printf("board_upload_seconds=%.6f\n", stats.board_upload_seconds);
+  std::printf("board_upload_seconds_saved=%.6f\n",
+              stats.board_upload_seconds_saved);
+  std::printf("accel_modeled_seconds=%.6f\n", stats.accel_modeled_seconds);
+  std::printf("scheduler_rounds=%llu\n",
+              static_cast<unsigned long long>(stats.scheduler_rounds));
+  std::printf("scheduler_reorders=%llu\n",
+              static_cast<unsigned long long>(stats.scheduler_reorders));
+  std::printf("starvation_promotions=%llu\n",
+              static_cast<unsigned long long>(stats.starvation_promotions));
+  std::printf("bank_switches=%llu\n",
+              static_cast<unsigned long long>(stats.bank_switches));
+  std::printf("scheduler_policy=%s\n", stats.scheduler_policy.empty()
+                                           ? "unknown"
+                                           : stats.scheduler_policy.c_str());
   // A router backend (codec v3) reports its replica table; a plain
   // psc_serve has no rows and prints nothing extra.
   for (const service::ReplicaStats& replica : stats.replicas) {

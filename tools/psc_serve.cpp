@@ -97,6 +97,17 @@ int main(int argc, char** argv) {
                   "--bank-root)");
   args.add_option("max-resident", "4",
                   "resident (bank, index) pairs kept in the LRU cache");
+  args.add_option("board-scheduler", "affinity",
+                  "batch order for mixed-bank streams: 'affinity' serves "
+                  "the bank already on the accelerator board first "
+                  "(fewest board swaps), 'fifo' is strict arrival order; "
+                  "results are byte-identical either way");
+  args.add_option("drain-cap", "256",
+                  "requests the worker takes per scheduling round (0 = "
+                  "drain everything, the legacy behaviour)");
+  args.add_option("starvation-rounds", "4",
+                  "rounds a pending group may be passed over before the "
+                  "aging guard forces it to run (0 = no guard)");
   args.add_option("max-payload-mb", "64", "per-frame receive limit (MiB)");
   args.add_option("max-in-flight", "32",
                   "searches one connection may have unanswered");
@@ -118,6 +129,25 @@ int main(int argc, char** argv) {
       return 1;
     }
     service_config.max_resident = static_cast<std::size_t>(max_resident);
+  }
+  if (!service::parse_scheduler_policy(args.get("board-scheduler"),
+                                       service_config.scheduler)) {
+    std::fprintf(stderr,
+                 "--board-scheduler must be 'affinity' or 'fifo' (got '%s')\n",
+                 args.get("board-scheduler").c_str());
+    return 1;
+  }
+  {
+    const std::int64_t drain_cap = args.get_int("drain-cap");
+    const std::int64_t starvation = args.get_int("starvation-rounds");
+    if (drain_cap < 0 || starvation < 0) {
+      std::fprintf(stderr,
+                   "--drain-cap and --starvation-rounds must be >= 0\n");
+      return 1;
+    }
+    service_config.max_drain_per_round = static_cast<std::size_t>(drain_cap);
+    service_config.starvation_rounds =
+        static_cast<std::uint64_t>(starvation);
   }
   // The service-global traceback setting is the serving default; remote
   // queries carry their own per-query value in the Search frame.
