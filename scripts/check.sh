@@ -32,6 +32,9 @@ scripts/shard_check.sh build
 echo "== tier 1: cluster fan-out check (router vs unsharded) =="
 scripts/cluster_check.sh build
 
+echo "== tier 1: multi-tenant check (quotas + fair scheduler) =="
+scripts/tenant_check.sh build
+
 echo "== sanitizers: align/core/rasc/store/service/net/cluster tests under ASan/UBSan =="
 cmake -B build-asan -S . \
   -DPSC_ENABLE_SANITIZERS=ON \

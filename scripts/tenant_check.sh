@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Multi-tenant integration check: one psc_serve, several tenants.
+#
+#  1. Baseline: a plain (no tenancy flags) server answers a query;
+#     the bytes are the reference.
+#  2. The same store served with --tenant-config + --fair-scheduler:
+#     every tenant's ADMITTED reply must be byte-identical to the
+#     baseline (`cmp` is the whole comparison) -- quotas and fairness
+#     may reorder or reject, never rewrite.
+#  3. Per-tenant accounting is visible in --stats (one row per tenant).
+#  4. A qps-capped tenant hammering with --repeat gets typed
+#     quota-exceeded rejections that are COUNTED, not fatal: some
+#     submissions still land, and the client's post-rejection ping
+#     proves the connection survived.
+#
+# Usage: scripts/tenant_check.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+build=${1:-build}
+
+index="$build/tools/psc_index"
+serve="$build/tools/psc_serve"
+client="$build/tools/psc_client"
+for binary in "$index" "$serve" "$client"; do
+  if [[ ! -x $binary ]]; then
+    echo "tenant_check: missing $binary (build the default targets first)" >&2
+    exit 1
+  fi
+done
+
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [[ -n $server_pid ]] && kill "$server_pid" 2>/dev/null || true
+  [[ -n $server_pid ]] && wait "$server_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+stop_server() {
+  kill "$server_pid" 2>/dev/null || true
+  wait "$server_pid" 2>/dev/null || true
+  server_pid=""
+}
+
+start_server() {  # start_server [extra flags...]
+  rm -f "$work/port.txt"
+  "$serve" --bank-root="$work" --port=0 --port-file="$work/port.txt" \
+    --backend=host-parallel "$@" &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s $work/port.txt ]] && break
+    sleep 0.1
+  done
+  [[ -s $work/port.txt ]] || { echo "server never wrote its port" >&2; exit 1; }
+  port=$(cat "$work/port.txt")
+}
+
+# --- a tiny bank + queries (deterministic, checked-in inline) -----------
+cat > "$work/bank.fa" <<'EOF'
+>ref0
+MKVLITGAGSGIGLELAKQFAREGYKVAVTDINEEKLQELKEELGDNVIGIVGDVSSEED
+VKRAVAEAVERFGRIDVLVNNAGITRDNLLMRMKEEEWDDVIDTNLKGVFNCTQAVSRIM
+>ref1
+MSTNPKPQRKTKRNTNRRPQDVKFPGGGQIVGGVYLLPRRGPRLGVRATRKTSERSQPRG
+RRQPIPKARRPEGRTWAQPGYPWPLYGNEGCGWAGWLLSPRGSRPSWGPTDPRRRSRNLG
+>ref2
+MAHHHHHHMGTLEAQTQGPGSMSDKIIHLTDDSFDTDVLKADGAILVDFWAEWCGPCKMI
+APILDEIADEYQGKLTVAKLNIDQNPGTAPKYGIRGIPTLLLFKNGEVAATKVGALSKGQ
+EOF
+
+cat > "$work/queries.fa" <<'EOF'
+>q0_ref0_like
+MKVLITGAGSGIGLELAKQFAREGYKVAVTDINEEKLQELKEELGDNVIGIVGDVSSEED
+>q1_ref2_like
+APILDEIADEYQGKLTVAKLNIDQNPGTAPKYGIRGIPTLLLFKNGEVAATKVGALSKGQ
+EOF
+
+cat > "$work/tenants.conf" <<'EOF'
+# fairness weights plus one deliberately throttled tenant
+tenant alice weight=1
+tenant bob weight=4
+tenant capped qps=1
+EOF
+
+echo "== tenant: building the store =="
+"$index" --input="$work/bank.fa" --kind=protein --out="$work/bank"
+
+echo "== tenant: single-tenant baseline reply =="
+start_server
+"$client" --port="$port" --bank=bank --query="$work/queries.fa" \
+  --output-binary > "$work/baseline.bin"
+stop_server
+
+echo "== tenant: two identified tenants, fair scheduler on =="
+start_server --tenant-config="$work/tenants.conf" --fair-scheduler
+"$client" --port="$port" --ping
+for tenant in alice bob; do
+  "$client" --port="$port" --tenant="$tenant" --bank=bank \
+    --query="$work/queries.fa" --output-binary > "$work/$tenant.bin"
+  cmp "$work/baseline.bin" "$work/$tenant.bin"
+done
+echo "   admitted replies byte-identical to the single-tenant run"
+
+echo "== tenant: per-tenant accounting in --stats =="
+"$client" --port="$port" --stats > "$work/stats.txt"
+grep -q "^fair_scheduler=1" "$work/stats.txt"
+grep -q "^tenant=alice .*admitted=1 " "$work/stats.txt"
+grep -q "^tenant=bob .*admitted=1 " "$work/stats.txt"
+grep -q "^tenant=bob weight=4" "$work/stats.txt"
+
+echo "== tenant: over-quota gets typed rejections, connection survives =="
+# 8 submissions against a 1 qps bucket: at least one lands (the burst
+# token), several are rejected, and the client pings afterwards -- a
+# rejection that killed the connection would fail the run here.
+"$client" --port="$port" --tenant=capped --repeat=8 --bank=bank \
+  --query="$work/queries.fa" --output-binary \
+  > "$work/capped.bin" 2> "$work/capped.err"
+cmp "$work/baseline.bin" "$work/capped.bin"
+summary=$(grep "^# repeat summary:" "$work/capped.err")
+echo "   $summary"
+admitted=$(sed -n 's/.*admitted=\([0-9]*\).*/\1/p' <<< "$summary")
+rejected=$(sed -n 's/.*rejected=\([0-9]*\).*/\1/p' <<< "$summary")
+[[ $admitted -ge 1 ]] || { echo "tenant_check: no submission admitted" >&2; exit 1; }
+[[ $rejected -ge 1 ]] || { echo "tenant_check: qps cap never rejected" >&2; exit 1; }
+"$client" --port="$port" --stats | grep -q "^tenant=capped .*rejected=$rejected "
+
+echo "== tenant check passed =="

@@ -112,7 +112,14 @@ bool ReplicaTable::is_up(std::size_t replica) const {
 
 void ReplicaTable::set_up(std::size_t replica, bool up) {
   std::lock_guard<std::mutex> lock(mutex_);
-  states_[replica].up = up;
+  State& state = states_[replica];
+  if (state.up == up) return;  // re-probe of a known state: no transition
+  state.up = up;
+  if (up) {
+    ++state.revived;
+  } else {
+    ++state.benched;
+  }
 }
 
 void ReplicaTable::attempt_started(std::size_t replica, AttemptKind kind) {
@@ -163,6 +170,8 @@ std::vector<service::ReplicaStats> ReplicaTable::snapshot() const {
     row.retries = state.retries;
     row.hedges = state.hedges;
     row.failures = state.failures;
+    row.benched = state.benched;
+    row.revived = state.revived;
     row.max_latency_seconds = state.max_latency_seconds;
     if (!state.latency_window.empty()) {
       std::vector<double> window = state.latency_window;

@@ -55,6 +55,9 @@ class ReplicaTable {
   std::vector<std::size_t> live_candidates(std::size_t shard) const;
 
   bool is_up(std::size_t replica) const;
+  /// Marks a replica up or down. Idempotent: only an actual *transition*
+  /// bumps the benched/revived counters, so a health checker re-probing
+  /// a dead replica every interval counts one bench, not one per probe.
   void set_up(std::size_t replica, bool up);
 
   /// Attempt accounting, called from the router's attempt threads.
@@ -65,7 +68,11 @@ class ReplicaTable {
   /// without counting a failure (the replica did nothing wrong).
   void attempt_cancelled(std::size_t replica);
 
-  /// One row per replica, for ServiceStats::replicas (codec v3).
+  /// One row per replica, for ServiceStats::replicas (codec v3; the
+  /// benched/revived columns ride the v5 layout). The whole snapshot is
+  /// taken under ONE lock scope: latency ring, traffic counters and
+  /// bench/revive transitions are copied together, so a row can never
+  /// pair a post-bench counter with a pre-bench latency window.
   std::vector<service::ReplicaStats> snapshot() const;
 
  private:
@@ -76,6 +83,8 @@ class ReplicaTable {
     std::uint64_t retries = 0;
     std::uint64_t hedges = 0;
     std::uint64_t failures = 0;
+    std::uint64_t benched = 0;   ///< up->down transitions (not re-probes)
+    std::uint64_t revived = 0;   ///< down->up transitions
     double max_latency_seconds = 0.0;
     /// Bounded ring of recent completed-attempt latencies; p50 is
     /// computed over this window at snapshot time.

@@ -55,6 +55,15 @@ std::string bank_to_fasta(const bio::SequenceBank& bank) {
   return out;
 }
 
+/// The wire mapping of a quota failure: admission-gate refusals carry
+/// their own code so a client can tell "the cluster is saturated" from
+/// "my tenant is over quota".
+net::WireErrorCode quota_error_code(const service::QuotaError& error) {
+  return error.kind() == service::QuotaKind::kAdmission
+             ? net::WireErrorCode::kAdmissionRejected
+             : net::WireErrorCode::kQuotaExceeded;
+}
+
 }  // namespace
 
 /// The shared state of one shard's attempt race: the primary and any
@@ -79,7 +88,8 @@ Router::Router(RouterConfig config)
           store::manifest_path(config_.manifest_prefix),
           config_.verify_checksums)),
       table_(config_.replicas),
-      health_checker_(table_, config_.health) {
+      health_checker_(table_, config_.health),
+      registry_(config_.tenants) {
   if (config_.bank_prefix.empty()) {
     throw std::invalid_argument("router: bank_prefix must be set");
   }
@@ -121,13 +131,37 @@ Router::~Router() {
 
 std::future<service::ServiceResponse> Router::submit_search(
     service::ServiceRequest request) {
+  request.tenant.name = service::normalize_tenant_name(request.tenant.name);
   auto promise = std::make_shared<std::promise<service::ServiceResponse>>();
   std::future<service::ServiceResponse> future = promise->get_future();
+  // Per-tenant quota gates first (qps token, in-flight), then the
+  // cluster-wide cap. A refusal at either fails the future with a typed
+  // error immediately -- the caller's connection stays usable.
+  try {
+    registry_.admit(request.tenant.name, request.query.total_residues(),
+                    request.bank_prefix);
+  } catch (const service::QuotaError& e) {
+    promise->set_exception(std::make_exception_ptr(
+        net::WireError(quota_error_code(e), e.what())));
+    return future;
+  }
   {
     std::lock_guard<std::mutex> lock(drain_mutex_);
     if (stopping_) {
+      registry_.cancel(request.tenant.name, request.bank_prefix);
       promise->set_exception(std::make_exception_ptr(net::WireError(
           net::WireErrorCode::kShutdown, "router is stopping")));
+      return future;
+    }
+    if (config_.max_active_fanouts > 0 &&
+        active_ >= config_.max_active_fanouts) {
+      registry_.cancel(request.tenant.name, request.bank_prefix);
+      registry_.record_rejection(request.tenant.name);
+      promise->set_exception(std::make_exception_ptr(net::WireError(
+          net::WireErrorCode::kAdmissionRejected,
+          "router admission: " + std::to_string(active_) +
+              " fan-outs already active (cap " +
+              std::to_string(config_.max_active_fanouts) + ")")));
       return future;
     }
     ++active_;
@@ -155,12 +189,16 @@ std::future<service::ServiceResponse> Router::submit_search(
         stats_.max_batch_latency_seconds = std::max(
             stats_.max_batch_latency_seconds, response.latency_seconds);
       }
+      registry_.complete(request.tenant.name, request.bank_prefix,
+                         /*success=*/true, response.latency_seconds);
       promise->set_value(std::move(response));
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.queries_failed;
       }
+      registry_.complete(request.tenant.name, request.bank_prefix,
+                         /*success=*/false, 0.0);
       promise->set_exception(std::current_exception());
     }
     {
@@ -192,6 +230,7 @@ service::ServiceStats Router::stats_snapshot() const {
     snapshot.queue_depth = active_;
   }
   snapshot.replicas = table_.snapshot();
+  snapshot.tenants = registry_.snapshot();
   return snapshot;
 }
 
@@ -229,15 +268,16 @@ service::ServiceResponse Router::run_fanout(
   std::atomic<std::size_t> next_shard{0};
   std::vector<std::thread> workers;
   workers.reserve(worker_count);
+  const std::string& tenant = request.tenant.name;
   for (std::size_t w = 0; w < worker_count; ++w) {
-    workers.emplace_back([this, shard_count, &next_shard, &query_fasta,
-                          &options, &pieces, &errors] {
+    workers.emplace_back([this, shard_count, &next_shard, &tenant,
+                          &query_fasta, &options, &pieces, &errors] {
       for (;;) {
         const std::size_t shard =
             next_shard.fetch_add(1, std::memory_order_relaxed);
         if (shard >= shard_count) return;
         try {
-          pieces[shard] = query_shard(shard, query_fasta, options);
+          pieces[shard] = query_shard(shard, tenant, query_fasta, options);
         } catch (...) {
           errors[shard] = std::current_exception();
         }
@@ -273,8 +313,8 @@ service::ServiceResponse Router::run_fanout(
 }
 
 service::QueryResult Router::query_shard(
-    std::size_t shard, const std::string& query_fasta,
-    const service::QueryOptions& options) {
+    std::size_t shard, const std::string& tenant,
+    const std::string& query_fasta, const service::QueryOptions& options) {
   net::WireErrorCode last_code = net::WireErrorCode::kShardUnavailable;
   std::string last_error = "no attempt was made";
   double backoff = config_.retry_backoff_seconds;
@@ -309,9 +349,12 @@ service::QueryResult Router::query_shard(
       race->cv.wait_for(
           lock, std::chrono::duration<double>(config_.hedge_delay_seconds),
           [&] { return race->done || race->outstanding == 0; });
-      if (!race->done && race->outstanding > 0) {
-        // The primary is straggling and another live replica holds the
-        // shard: duplicate the request; first valid reply wins.
+      if (!race->done && race->outstanding > 0 &&
+          registry_.try_spend_hedge(tenant)) {
+        // The primary is straggling, another live replica holds the
+        // shard, and the tenant's hedge budget covers a duplicate:
+        // first valid reply wins. A tenant out of budget keeps its
+        // primary attempt (hedges_denied counts the refusal).
         ++race->outstanding;
         const std::size_t hedge_replica = candidates[1];
         lock.unlock();

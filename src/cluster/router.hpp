@@ -22,6 +22,16 @@
 // WireError(kShardUnavailable) -- a typed error frame at the wire
 // boundary, never a hang. Per-replica traffic counters surface through
 // stats_snapshot() as ServiceStats::replicas (codec v3).
+//
+// Multi-tenant admission happens HERE, once per submitted fan-out: the
+// request's tenant passes the per-tenant quota gates (TenantRegistry)
+// and the cluster-wide active-fanout cap before any replica sees a
+// byte; over-quota fails the future with a typed WireError
+// (kQuotaExceeded / kAdmissionRejected), never a silent queue. Hedges
+// draw from the tenant's hedge budget (try_spend_hedge) -- a tenant
+// out of budget keeps its primary attempt but duplicates nothing.
+// Replica connections carry no kHello, so shard sub-requests are never
+// double-billed downstream.
 #pragma once
 
 #include <condition_variable>
@@ -35,6 +45,7 @@
 #include "cluster/health.hpp"
 #include "cluster/replica_table.hpp"
 #include "service/backend.hpp"
+#include "service/tenant.hpp"
 #include "store/shard_store.hpp"
 
 namespace psc::cluster {
@@ -64,6 +75,15 @@ struct RouterConfig {
   HealthConfig health;
   /// Verify the manifest checksum on load.
   bool verify_checksums = true;
+  /// Per-tenant policy (weights, qps, in-flight, hedge budgets). The
+  /// router bills each submitted fan-out to its request's tenant; the
+  /// replica connections it opens carry no hello, so the work is billed
+  /// exactly once, at this layer.
+  service::TenantConfig tenants;
+  /// Cluster-wide admission gate: fan-outs allowed in flight at once
+  /// across all tenants; 0 disables. Beyond it a submit fails fast with
+  /// WireError(kAdmissionRejected) instead of queueing.
+  std::size_t max_active_fanouts = 0;
 };
 
 class Router : public service::SearchBackend {
@@ -96,6 +116,7 @@ class Router : public service::SearchBackend {
 
   service::ServiceResponse run_fanout(const service::ServiceRequest& request);
   service::QueryResult query_shard(std::size_t shard,
+                                   const std::string& tenant,
                                    const std::string& query_fasta,
                                    const service::QueryOptions& options);
   void run_attempt(const std::shared_ptr<Race>& race, std::size_t replica,
@@ -107,6 +128,9 @@ class Router : public service::SearchBackend {
   store::ShardManifest manifest_;
   ReplicaTable table_;
   HealthChecker health_checker_;
+  /// Per-tenant accounting and quota gates (own internal mutex; safe to
+  /// call under drain_mutex_ or stats_mutex_, never the reverse).
+  service::TenantRegistry registry_;
 
   mutable std::mutex stats_mutex_;
   service::ServiceStats stats_;

@@ -53,6 +53,16 @@ Client::Client(ClientConfig config)
                         std::to_string(config_.port) + ": " +
                         std::strerror(saved));
   }
+
+  if (!config_.tenant.empty()) {
+    try {
+      hello();
+    } catch (...) {
+      ::close(fd_);
+      fd_ = -1;
+      throw;
+    }
+  }
 }
 
 Client::~Client() {
@@ -127,14 +137,36 @@ void Client::ping() {
   }
 }
 
+HelloAckFrame Client::hello() {
+  HelloFrame request;
+  request.tenant = config_.tenant;
+  request.desired_stats_version = config_.desired_stats_version;
+  const Frame frame =
+      round_trip(encode_frame(MessageType::kHello, encode_hello(request)),
+                 MessageType::kHelloAck);
+  HelloAckFrame ack;
+  try {
+    ack = decode_hello_ack(frame.payload);
+  } catch (const core::CodecError& e) {
+    throw WireError(WireErrorCode::kBadFrame, e.what());
+  }
+  hello_done_ = true;
+  return ack;
+}
+
 service::ServiceStats Client::stats() {
-  // Ask for the newest stats layout this build decodes; an older server
-  // ignores the payload and answers with its own (older) version, which
-  // decode_service_stats also accepts.
-  std::vector<std::uint8_t> desired(sizeof(std::uint32_t));
-  const std::uint32_t version = service::kServiceStatsCodecVersion;
-  std::memcpy(desired.data(), &version, sizeof(version));
-  const Frame frame = round_trip(encode_frame(MessageType::kStats, desired),
+  std::vector<std::uint8_t> payload;
+  if (!hello_done_) {
+    // DEPRECATED shim for servers we have not negotiated with: ask for
+    // the newest stats layout this build decodes via the per-frame u32;
+    // an older server clamps to its own (older) version, which
+    // decode_service_stats also accepts. After a hello the payload
+    // stays empty and the session vintage governs the reply.
+    payload.resize(sizeof(std::uint32_t));
+    const std::uint32_t version = service::kServiceStatsCodecVersion;
+    std::memcpy(payload.data(), &version, sizeof(version));
+  }
+  const Frame frame = round_trip(encode_frame(MessageType::kStats, payload),
                                  MessageType::kStatsResult);
   try {
     return service::decode_service_stats(frame.payload);

@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "bio/fasta.hpp"
+#include "service/tenant.hpp"
 #include "store/format.hpp"
 
 namespace psc::net {
@@ -57,6 +58,15 @@ bool prefix_is_safe(const std::string& prefix) {
   return true;
 }
 
+/// A per-tenant quota rejection maps to its own typed frame so clients
+/// can distinguish "back off" (kQuotaExceeded, per-tenant) from
+/// "refused by an admission gate" (kAdmissionRejected, cluster-level).
+WireErrorCode quota_error_code(const service::QuotaError& error) {
+  return error.kind() == service::QuotaKind::kAdmission
+             ? WireErrorCode::kAdmissionRejected
+             : WireErrorCode::kQuotaExceeded;
+}
+
 }  // namespace
 
 /// Per-connection state. Responses (immediate Pong/Stats/Error frames
@@ -81,6 +91,14 @@ struct Server::Connection {
   bool closing = false;  ///< flush remaining output, then close
   bool deadline_armed = false;
   Clock::time_point deadline{};
+
+  // Session identity, set once by the kHello handshake. Hello-less
+  // connections keep the defaults: billed to the default tenant,
+  // answered with stats codec v3 on an empty Stats payload (the legacy
+  // behaviour, byte for byte).
+  std::string tenant = service::kDefaultTenantName;
+  bool hello_seen = false;
+  std::uint32_t stats_vintage = 3;
 };
 
 Server::Server(service::SearchBackend& backend, ServerConfig config)
@@ -170,15 +188,58 @@ void Server::handle_frame(Connection& connection, const Frame& frame) {
       pending.frame = encode_frame(MessageType::kPong);
       break;
 
+    case MessageType::kHello: {
+      // At most one hello per connection, and it must be well-formed:
+      // requests already admitted under the first identity cannot be
+      // re-billed, so a replay is rejected (connection stays usable,
+      // identity stays what it was).
+      if (connection.hello_seen) {
+        pending.frame = encode_error_frame(
+            WireErrorCode::kBadRequest,
+            "hello already negotiated for this connection");
+        break;
+      }
+      HelloFrame hello;
+      try {
+        hello = decode_hello(frame.payload);
+      } catch (const core::CodecError& e) {
+        pending.frame =
+            encode_error_frame(WireErrorCode::kBadRequest, e.what());
+        break;
+      }
+      if (!hello.tenant.empty() &&
+          !service::tenant_name_is_valid(hello.tenant)) {
+        pending.frame = encode_error_frame(
+            WireErrorCode::kBadRequest,
+            "tenant name must be 1..64 chars of [A-Za-z0-9._-]");
+        break;
+      }
+      // Unknown names are accepted under the default policy: identity
+      // is accounting and fairness, not auth.
+      connection.tenant = service::normalize_tenant_name(hello.tenant);
+      std::uint32_t vintage = hello.desired_stats_version == 0
+                                  ? service::kServiceStatsCodecVersion
+                                  : hello.desired_stats_version;
+      vintage = std::max(vintage, service::kMinServiceStatsCodecVersion);
+      vintage = std::min(vintage, service::kServiceStatsCodecVersion);
+      connection.stats_vintage = vintage;
+      connection.hello_seen = true;
+      HelloAckFrame ack;
+      ack.tenant = connection.tenant;
+      ack.stats_version = vintage;
+      pending.frame =
+          encode_frame(MessageType::kHelloAck, encode_hello_ack(ack));
+      break;
+    }
+
     case MessageType::kStats: {
-      // Version negotiation: the Stats payload optionally carries the
-      // stats codec version the client wants (a little-endian u32). An
-      // empty payload is a legacy client that predates negotiation --
-      // it gets v3, the newest layout such clients decode. Requests
-      // outside the supported window clamp rather than error, so a
-      // client newer than this server still gets the newest frame the
-      // server can produce.
-      std::uint32_t version = 3;
+      // The negotiated session vintage is the source of truth: an empty
+      // payload means "the session's stats version" -- v3 on a
+      // hello-less connection, exactly the legacy behaviour. A u32
+      // payload is the DEPRECATED per-frame negotiation shim (see
+      // wire.hpp), clamped to the supported window so a client newer
+      // than this server still gets the newest frame it can produce.
+      std::uint32_t version = connection.stats_vintage;
       if (frame.payload.size() >= sizeof(std::uint32_t)) {
         std::memcpy(&version, frame.payload.data(), sizeof(version));
         version = std::max(version, service::kMinServiceStatsCodecVersion);
@@ -232,6 +293,7 @@ void Server::handle_frame(Connection& connection, const Frame& frame) {
       submission.bank_prefix =
           config_.bank_root + "/" + request.bank_prefix;
       submission.options = request.options;
+      submission.tenant.name = connection.tenant;
       try {
         std::istringstream fasta(request.query_fasta);
         submission.query =
@@ -251,6 +313,10 @@ void Server::handle_frame(Connection& connection, const Frame& frame) {
         pending.future = backend_->submit_search(std::move(submission));
         pending.immediate = false;
         ++connection.deferred;
+      } catch (const service::QuotaError& e) {
+        // Over-quota is a typed rejection on an intact connection --
+        // never silence, never a hang, never a teardown.
+        pending.frame = encode_error_frame(quota_error_code(e), e.what());
       } catch (const std::exception&) {
         pending.frame = encode_error_frame(WireErrorCode::kShutdown,
                                            "service is stopping");
@@ -299,6 +365,10 @@ bool Server::drain_ready(Connection& connection) {
       // kShardUnavailable when no live replica covers a shard); forward
       // the code so the client sees the router's verdict, not kInternal.
       frame = encode_error_frame(e.code(), e.what());
+    } catch (const service::QuotaError& e) {
+      // A backend that defers admission (the router's fan-out thread)
+      // may fail the future with a QuotaError; keep it typed.
+      frame = encode_error_frame(quota_error_code(e), e.what());
     } catch (const std::exception& e) {
       frame = encode_error_frame(WireErrorCode::kInternal, e.what());
     }

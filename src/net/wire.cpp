@@ -43,6 +43,8 @@ std::string wire_error_code_name(WireErrorCode code) {
     case WireErrorCode::kTimeout: return "timeout";
     case WireErrorCode::kShardUnavailable: return "shard-unavailable";
     case WireErrorCode::kUnreachable: return "unreachable";
+    case WireErrorCode::kQuotaExceeded: return "quota-exceeded";
+    case WireErrorCode::kAdmissionRejected: return "admission-rejected";
   }
   return "unknown";
 }
@@ -74,7 +76,7 @@ WireError decode_error_payload(std::span<const std::uint8_t> payload) {
     throw core::CodecError("codec: trailing bytes after error payload");
   }
   if (code < static_cast<std::uint32_t>(WireErrorCode::kBadFrame) ||
-      code > static_cast<std::uint32_t>(WireErrorCode::kUnreachable)) {
+      code > static_cast<std::uint32_t>(WireErrorCode::kAdmissionRejected)) {
     throw core::CodecError("codec: error code out of range");
   }
   return WireError(
@@ -128,6 +130,62 @@ SearchRequestFrame decode_search_request(std::span<const std::uint8_t> data) {
     throw core::CodecError("codec: trailing bytes after search request");
   }
   return request;
+}
+
+std::vector<std::uint8_t> encode_hello(const HelloFrame& hello) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kHelloCodecVersion);
+  put_u32(out, hello.desired_stats_version);
+  put_u32(out, static_cast<std::uint32_t>(hello.tenant.size()));
+  put_bytes(out, hello.tenant.data(), hello.tenant.size());
+  return out;
+}
+
+HelloFrame decode_hello(std::span<const std::uint8_t> data) {
+  core::codec::Reader reader(data);
+  const std::uint32_t version = reader.u32("hello version");
+  if (version != kHelloCodecVersion) {
+    throw core::CodecError("codec: unsupported hello version " +
+                           std::to_string(version));
+  }
+  HelloFrame hello;
+  hello.desired_stats_version = reader.u32("hello stats version");
+  const std::uint32_t tenant_len = reader.u32("hello tenant length");
+  const auto tenant = reader.bytes(tenant_len, "hello tenant");
+  hello.tenant.assign(reinterpret_cast<const char*>(tenant.data()),
+                      tenant.size());
+  if (!reader.done()) {
+    throw core::CodecError("codec: trailing bytes after hello");
+  }
+  return hello;
+}
+
+std::vector<std::uint8_t> encode_hello_ack(const HelloAckFrame& ack) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kHelloCodecVersion);
+  put_u32(out, ack.stats_version);
+  put_u32(out, static_cast<std::uint32_t>(ack.tenant.size()));
+  put_bytes(out, ack.tenant.data(), ack.tenant.size());
+  return out;
+}
+
+HelloAckFrame decode_hello_ack(std::span<const std::uint8_t> data) {
+  core::codec::Reader reader(data);
+  const std::uint32_t version = reader.u32("hello ack version");
+  if (version != kHelloCodecVersion) {
+    throw core::CodecError("codec: unsupported hello ack version " +
+                           std::to_string(version));
+  }
+  HelloAckFrame ack;
+  ack.stats_version = reader.u32("hello ack stats version");
+  const std::uint32_t tenant_len = reader.u32("hello ack tenant length");
+  const auto tenant = reader.bytes(tenant_len, "hello ack tenant");
+  ack.tenant.assign(reinterpret_cast<const char*>(tenant.data()),
+                    tenant.size());
+  if (!reader.done()) {
+    throw core::CodecError("codec: trailing bytes after hello ack");
+  }
+  return ack;
 }
 
 void FrameReader::feed(std::span<const std::uint8_t> data) {

@@ -54,14 +54,29 @@ enum class MessageType : std::uint16_t {
   kPong = 2,
   kSearch = 3,
   kSearchResult = 4,
-  /// Stats request. Payload is either empty (legacy clients; the server
-  /// answers with stats codec v3, the newest layout those clients
-  /// decode) or a little-endian u32 naming the stats codec version the
-  /// client wants, which the server clamps to its supported window --
-  /// so mixed-vintage fleets always exchange well-formed stats frames.
+  /// Stats request. The *negotiated session vintage* (the kHello
+  /// handshake's stats_version) is the source of truth for the reply
+  /// layout: after a hello, an empty Stats payload means "the session
+  /// vintage", and on a hello-less connection it means stats codec v3
+  /// (the newest layout pre-hello clients decode).
+  ///
+  /// DEPRECATED per-frame negotiation: a little-endian u32 payload
+  /// naming the version the client wants, clamped server-side to the
+  /// supported window. Kept as a tested compatibility shim for one
+  /// protocol generation -- clients should negotiate once via kHello
+  /// and send empty Stats payloads; the u32 form will be rejected as
+  /// kBadRequest when kSearchRequestCodecVersion next bumps.
   kStats = 5,
   kStatsResult = 6,
   kError = 7,
+  /// Session handshake (optional, at most once, before any effect it
+  /// should govern): tenant identity + desired stats vintage
+  /// (HelloFrame). The server replies kHelloAck with the accepted
+  /// tenant and the clamped vintage. Connections that never say hello
+  /// are billed to the `default` tenant and keep the legacy v3 stats
+  /// behaviour, so every pre-hello client works unchanged.
+  kHello = 8,
+  kHelloAck = 9,
 };
 
 /// What went wrong, for clients that branch on failure kind. Carried in
@@ -78,6 +93,13 @@ enum class WireErrorCode : std::uint32_t {
   kTimeout = 9,          ///< peer stalled mid-frame past the read timeout
   kShardUnavailable = 10,  ///< router: a needed shard has no live replica
   kUnreachable = 11,       ///< client: connect/socket-level failure
+  /// The request's tenant is over one of its quotas (queries/sec,
+  /// in-flight, resident-bank bytes). Retryable after backoff; the
+  /// connection stays usable.
+  kQuotaExceeded = 12,
+  /// Refused by an admission gate (e.g. the router's cluster-wide
+  /// active-fanout cap) rather than a per-tenant quota.
+  kAdmissionRejected = 13,
 };
 
 /// Human-readable code name ("bad-frame", "bank-not-found", ...).
@@ -137,6 +159,36 @@ std::vector<std::uint8_t> encode_search_request(
     const SearchRequestFrame& request);
 /// Throws core::CodecError on truncation/version skew/trailing bytes.
 SearchRequestFrame decode_search_request(std::span<const std::uint8_t> data);
+
+/// Hello payload version (inside the kHello/kHelloAck frames).
+inline constexpr std::uint32_t kHelloCodecVersion = 1;
+
+/// The kHello payload: who this connection is, and which stats layout
+/// it wants. Sent at most once per connection; the server rejects a
+/// replayed hello (kBadRequest) because requests already admitted under
+/// the first identity cannot be re-billed.
+struct HelloFrame {
+  /// Tenant name ([A-Za-z0-9._-]{1,64}); names the server has no
+  /// explicit policy for are accepted under the default policy --
+  /// identity is accounting, not auth.
+  std::string tenant;
+  /// Requested stats codec vintage; 0 means "newest you support". The
+  /// server clamps into its supported window and acks the result.
+  std::uint32_t desired_stats_version = 0;
+};
+
+/// The kHelloAck payload: the identity the server billed the
+/// connection to and the stats vintage every later empty-payload Stats
+/// frame will be answered with.
+struct HelloAckFrame {
+  std::string tenant;
+  std::uint32_t stats_version = 0;
+};
+
+std::vector<std::uint8_t> encode_hello(const HelloFrame& hello);
+HelloFrame decode_hello(std::span<const std::uint8_t> data);
+std::vector<std::uint8_t> encode_hello_ack(const HelloAckFrame& ack);
+HelloAckFrame decode_hello_ack(std::span<const std::uint8_t> data);
 
 /// Incremental frame assembly shared by both ends of a connection: feed
 /// raw bytes as they arrive, pop complete frames. Header validation

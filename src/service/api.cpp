@@ -9,7 +9,7 @@ constexpr std::uint32_t kFlagBankWasResident = 1u << 0;
 
 }  // namespace
 
-std::array<std::uint64_t, 3> QueryOptions::group_key() const noexcept {
+CoalesceKey QueryOptions::group_key() const noexcept {
   std::uint64_t cutoff_bits = 0;
   std::memcpy(&cutoff_bits, &e_value_cutoff, sizeof(e_value_cutoff));
   std::uint64_t space_bits = 0;
@@ -18,7 +18,7 @@ std::array<std::uint64_t, 3> QueryOptions::group_key() const noexcept {
   std::uint64_t flags = 0;
   if (with_traceback) flags |= 1u;
   if (composition_based_stats) flags |= 2u;
-  return {cutoff_bits, space_bits, flags};
+  return CoalesceKey{{cutoff_bits, space_bits, flags}};
 }
 
 std::uint64_t QueryOptions::fingerprint() const noexcept {
@@ -28,7 +28,7 @@ std::uint64_t QueryOptions::fingerprint() const noexcept {
   // group_key(), which keeps the fields separate. The default search
   // space (0.0) contributes a zero term, so single-node fingerprints
   // are unchanged by the field's addition.
-  const auto [cutoff_bits, space_bits, flags] = group_key();
+  const auto [cutoff_bits, space_bits, flags] = group_key().bits;
   const std::uint64_t mixed =
       cutoff_bits ^ (space_bits * 0xff51afd7ed558ccdull);
   return (mixed * 0x9e3779b97f4a7c15ull) ^ flags;
@@ -128,6 +128,31 @@ std::vector<std::uint8_t> encode_service_stats(const ServiceStats& stats,
     core::codec::put_u64(out, replica.failures);
     core::codec::put_f64(out, replica.p50_latency_seconds);
     core::codec::put_f64(out, replica.max_latency_seconds);
+    if (version >= 5) {
+      core::codec::put_u64(out, replica.benched);
+      core::codec::put_u64(out, replica.revived);
+    }
+  }
+  if (version >= 5) {
+    core::codec::put_u32(out, stats.fair_scheduler ? 1u : 0u);
+    core::codec::put_u64(out, stats.tenants.size());
+    for (const TenantStats& tenant : stats.tenants) {
+      core::codec::put_u32(out,
+                           static_cast<std::uint32_t>(tenant.name.size()));
+      core::codec::put_bytes(out, tenant.name.data(), tenant.name.size());
+      core::codec::put_f64(out, tenant.weight);
+      core::codec::put_u64(out, tenant.admitted);
+      core::codec::put_u64(out, tenant.rejected);
+      core::codec::put_u64(out, tenant.completed);
+      core::codec::put_u64(out, tenant.failed);
+      core::codec::put_u64(out, tenant.queued);
+      core::codec::put_f64(out, tenant.total_latency_seconds);
+      core::codec::put_f64(out, tenant.max_latency_seconds);
+      core::codec::put_u64(out, tenant.query_residues);
+      core::codec::put_u64(out, tenant.resident_bytes);
+      core::codec::put_u64(out, tenant.hedges);
+      core::codec::put_u64(out, tenant.hedges_denied);
+    }
   }
   return out;
 }
@@ -200,7 +225,42 @@ ServiceStats decode_service_stats(std::span<const std::uint8_t> data) {
       replica.failures = reader.u64("replica failures");
       replica.p50_latency_seconds = reader.f64("replica p50 latency");
       replica.max_latency_seconds = reader.f64("replica max latency");
+      if (version >= 5) {
+        replica.benched = reader.u64("replica benched");
+        replica.revived = reader.u64("replica revived");
+      }
       stats.replicas.push_back(std::move(replica));
+    }
+  }
+  if (version >= 5) {
+    stats.fair_scheduler = reader.u32("fair scheduler flag") != 0;
+    const std::uint64_t count = reader.u64("tenant count");
+    // Same hostile-count discipline as the replica table: each row is
+    // at least its fixed-width fields wide.
+    constexpr std::uint64_t kMinTenantRowBytes = 4 + 12 * 8;
+    if (count > data.size() / kMinTenantRowBytes) {
+      throw core::CodecError("codec: tenant count exceeds payload");
+    }
+    stats.tenants.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      TenantStats tenant;
+      const std::uint32_t name_len = reader.u32("tenant name length");
+      const auto name = reader.bytes(name_len, "tenant name");
+      tenant.name.assign(reinterpret_cast<const char*>(name.data()),
+                         name.size());
+      tenant.weight = reader.f64("tenant weight");
+      tenant.admitted = reader.u64("tenant admitted");
+      tenant.rejected = reader.u64("tenant rejected");
+      tenant.completed = reader.u64("tenant completed");
+      tenant.failed = reader.u64("tenant failed");
+      tenant.queued = reader.u64("tenant queued");
+      tenant.total_latency_seconds = reader.f64("tenant total latency");
+      tenant.max_latency_seconds = reader.f64("tenant max latency");
+      tenant.query_residues = reader.u64("tenant query residues");
+      tenant.resident_bytes = reader.u64("tenant resident bytes");
+      tenant.hedges = reader.u64("tenant hedges");
+      tenant.hedges_denied = reader.u64("tenant hedges denied");
+      stats.tenants.push_back(std::move(tenant));
     }
   }
   if (!reader.done()) {

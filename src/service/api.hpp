@@ -29,14 +29,21 @@ inline constexpr std::uint32_t kQueryResultCodecVersion = 1;
 /// ServiceStats wire-format version; bump on layout change. v2 adds the
 /// resident_shards gauge; v3 appends the per-replica table a router
 /// reports; v4 inserts the board-residency and scheduler block between
-/// the fixed gauges and the replica table. decode accepts v2/v3/v4, and
-/// encode_service_stats can emit any of them, which is how the server
-/// answers a legacy client's Stats frame with the exact v3 (or v2)
-/// bytes that client expects (net/server.cpp negotiates the version
-/// from the request payload).
-inline constexpr std::uint32_t kServiceStatsCodecVersion = 4;
+/// the fixed gauges and the replica table; v5 widens each replica row
+/// with bench/revive transition counters and appends the fair-scheduler
+/// flag plus the per-tenant accounting table. decode accepts v2..v5,
+/// and encode_service_stats can emit any of them, which is how the
+/// server answers a legacy client's Stats frame with the exact older
+/// bytes that client expects (net/server.cpp negotiates the session
+/// vintage from the kHello handshake, or per-frame for legacy clients).
+inline constexpr std::uint32_t kServiceStatsCodecVersion = 5;
 /// Oldest stats version encode_service_stats can still emit.
 inline constexpr std::uint32_t kMinServiceStatsCodecVersion = 2;
+
+/// The tenant every request without an explicit identity is billed to:
+/// hello-less legacy connections, in-process callers that leave
+/// ServiceRequest::tenant empty, and tools run without --tenant.
+inline constexpr const char* kDefaultTenantName = "default";
 
 /// The per-request option subset a caller may vary without reconfiguring
 /// the service. Requests only coalesce into one shared pass when their
@@ -65,13 +72,13 @@ struct QueryOptions {
   double search_space_residues = 0.0;
 
   /// Exact grouping key: the cutoff's and search-space's bit patterns
-  /// plus the flag bits. Distinct option sets always map to distinct
-  /// keys (it is the fields themselves, not a hash), so two requests can
-  /// only coalesce when a single pass is valid for both. Compared
-  /// bitwise, so values that differ only in representation (-0.0 vs
-  /// 0.0, NaN payloads) count as different -- the safe direction for a
-  /// coalescing decision.
-  std::array<std::uint64_t, 3> group_key() const noexcept;
+  /// plus the flag bits (see CoalesceKey for the contract). Distinct
+  /// option sets always map to distinct keys (it is the fields
+  /// themselves, not a hash), so two requests can only coalesce when a
+  /// single pass is valid for both. Compared bitwise, so values that
+  /// differ only in representation (-0.0 vs 0.0, NaN payloads) count as
+  /// different -- the safe direction for a coalescing decision.
+  struct CoalesceKey group_key() const noexcept;
 
   /// One-word *hash* of the options for logs and stats. NOT injective
   /// (128 bits of doubles plus 2 flag bits fold into one word, so the
@@ -80,12 +87,50 @@ struct QueryOptions {
   std::uint64_t fingerprint() const noexcept;
 };
 
+/// The one key that decides whether two requests may share a coalesced
+/// pass. Its field partition is the multi-tenant correctness contract:
+///
+///  * Fields that AFFECT RESULTS are *in* the key, bit for bit: the
+///    E-value cutoff, the search-space override, and the traceback /
+///    composition flags (QueryOptions::group_key packs them into
+///    `bits`). Two requests coalesce only when a single pass produces
+///    byte-identical output for both.
+///  * Fields that only AFFECT SCHEDULING are provably *excluded*
+///    because this struct cannot hold them: tenant identity, arrival
+///    order, connection, and quota state never enter the key. Two
+///    tenants submitting identical queries against the same bank still
+///    share one pass -- the pass is billed to *each* member tenant's
+///    accounting (admitted/completed/latency), and the fair scheduler
+///    debits every member's own share, so coalescing never changes who
+///    pays, and identity never changes what runs.
+///
+/// `fingerprint()` is the non-injective log-friendly hash of the same
+/// fields; it must never gate coalescing (pigeonhole collisions).
+struct CoalesceKey {
+  /// {e_value_cutoff bits, search_space_residues bits, flag bits}.
+  std::array<std::uint64_t, 3> bits{};
+
+  friend bool operator==(const CoalesceKey&, const CoalesceKey&) = default;
+};
+
+/// Who a request is billed to. Rides inside ServiceRequest so every
+/// layer (service queue, router fan-out, stats) sees the same identity;
+/// the wire boundary fills it from the connection's kHello handshake.
+/// Deliberately NOT part of CoalesceKey: identity affects scheduling
+/// and accounting, never results.
+struct TenantContext {
+  /// Empty means "unidentified" and is normalized to kDefaultTenantName
+  /// at the admission point.
+  std::string name;
+};
+
 /// One unit of service work: a protein query bank aimed at the bank
 /// stored under `bank_prefix` (<prefix>.pscbank + <prefix>.pscidx).
 struct ServiceRequest {
   bio::SequenceBank query{bio::SequenceKind::kProtein};
   std::string bank_prefix;
   QueryOptions options;
+  TenantContext tenant;
 };
 
 /// What one submitted query bank gets back.
@@ -118,6 +163,31 @@ struct ReplicaStats {
   std::uint64_t failures = 0;      ///< attempts that errored
   double p50_latency_seconds = 0.0;  ///< median completed-attempt latency
   double max_latency_seconds = 0.0;  ///< slowest completed attempt
+  /// Health transitions (codec v5): how many times this replica was
+  /// benched (up -> down) and revived (down -> up). Counted on state
+  /// *changes* only, so repeated probe failures bill one bench.
+  std::uint64_t benched = 0;
+  std::uint64_t revived = 0;
+};
+
+/// One tenant's accounting row (codec v5): what was admitted, what the
+/// quota gates rejected, and what the admitted work cost. Rides inside
+/// ServiceStats exactly like the replica table, so `psc_client --stats`
+/// and snapshot() surface per-tenant state without a new message type.
+struct TenantStats {
+  std::string name;
+  double weight = 1.0;             ///< fair-scheduler share weight
+  std::uint64_t admitted = 0;      ///< requests past every quota gate
+  std::uint64_t rejected = 0;      ///< typed quota/admission rejections
+  std::uint64_t completed = 0;     ///< admitted requests that succeeded
+  std::uint64_t failed = 0;        ///< admitted requests that errored
+  std::uint64_t queued = 0;        ///< gauge: admitted, not yet finished
+  double total_latency_seconds = 0.0;  ///< sum over completed requests
+  double max_latency_seconds = 0.0;    ///< slowest completed request
+  std::uint64_t query_residues = 0;    ///< admitted query residues
+  std::uint64_t resident_bytes = 0;    ///< gauge: charged bank bytes
+  std::uint64_t hedges = 0;            ///< hedge budget spends (router)
+  std::uint64_t hedges_denied = 0;     ///< hedges the budget refused
 };
 
 /// Monotonic service-level counters plus snapshot-time gauges. This
@@ -172,6 +242,11 @@ struct ServiceStats {
   /// Per-replica rows (codec v3). Empty for a single-node service; a
   /// router fills one row per configured replica endpoint.
   std::vector<ReplicaStats> replicas;
+
+  /// Whether the weighted-fair (DRR) scheduler is active (codec v5).
+  bool fair_scheduler = false;
+  /// Per-tenant accounting rows (codec v5), sorted by tenant name.
+  std::vector<TenantStats> tenants;
 };
 
 /// Appends the versioned QueryResult encoding (header fields followed by

@@ -1,6 +1,8 @@
 #include "service/scheduler.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <set>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -129,6 +131,180 @@ PickResult pick_next_group(const std::vector<GroupView>& groups,
   out.starvation_promotion = promoted;
   out.bank_switch = groups[pick].bank != board_bank;
   out.reordered = groups[pick].earliest_seq != groups[oldest].earliest_seq;
+  return out;
+}
+
+namespace {
+
+/// The serving cost of `group` billed to `tenant`: its own residue
+/// share, floored at 1 so zero-residue queries still spend deficit.
+std::uint64_t tenant_cost(const GroupView& group, const std::string& tenant) {
+  for (const TenantShare& share : group.shares) {
+    if (share.tenant == tenant) return std::max<std::uint64_t>(share.work, 1);
+  }
+  return 0;  // not a member
+}
+
+}  // namespace
+
+void FairScheduler::sync_ring(const std::vector<GroupView>& groups) {
+  // Tenants with pending work, each tagged with its oldest group's seq
+  // (the deterministic join order for ring newcomers).
+  std::map<std::string, std::uint64_t> pending;
+  for (const GroupView& group : groups) {
+    for (const TenantShare& share : group.shares) {
+      const auto [it, inserted] =
+          pending.try_emplace(share.tenant, group.earliest_seq);
+      if (!inserted) it->second = std::min(it->second, group.earliest_seq);
+    }
+  }
+
+  // Drop departed tenants (forfeiting their deficit: an idle tenant
+  // must not bank credit while away) and re-anchor the cursor on the
+  // first survivor at or after its old slot.
+  std::vector<std::string> survivors;
+  std::size_t next_cursor = 0;
+  bool anchored = false;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const std::string& name = ring_[i];
+    if (pending.count(name) == 0) {
+      deficit_.erase(name);
+      continue;
+    }
+    if (!anchored && i >= cursor_) {
+      next_cursor = survivors.size();
+      anchored = true;
+    }
+    survivors.push_back(name);
+  }
+  ring_ = std::move(survivors);
+  cursor_ = anchored ? next_cursor : 0;
+
+  // Append newcomers ordered by their oldest group's arrival (name as
+  // the final tiebreak keeps equal-seq joins deterministic).
+  const std::set<std::string> in_ring(ring_.begin(), ring_.end());
+  std::vector<std::pair<std::uint64_t, std::string>> arrivals;
+  for (const auto& [name, seq] : pending) {
+    if (in_ring.count(name) == 0) arrivals.emplace_back(seq, name);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  for (auto& [seq, name] : arrivals) {
+    (void)seq;
+    deficit_.try_emplace(name, 0.0);
+    ring_.push_back(std::move(name));
+  }
+}
+
+std::size_t FairScheduler::best_group_for(const std::vector<GroupView>& groups,
+                                          std::uint64_t board_bank,
+                                          const std::string& tenant) const {
+  std::vector<GroupView> mine;
+  std::vector<std::size_t> original;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (tenant_cost(groups[i], tenant) == 0) continue;
+    mine.push_back(groups[i]);
+    original.push_back(i);
+  }
+  if (mine.empty()) return groups.size();
+  // Starvation is handled globally in pick(); within the tenant only
+  // affinity/FIFO order matters, so the guard is disabled here.
+  const PickResult inner =
+      pick_next_group(mine, board_bank, config_.within, /*starvation=*/0);
+  return original[inner.index];
+}
+
+void FairScheduler::debit_members(const GroupView& group) {
+  // Every member pays its own share: the tenants riding this pass were
+  // served too, even though the pick was charged to one tenant's turn.
+  // A rider's deficit may go negative, delaying its next first-class
+  // pick by exactly the work it already received.
+  for (const TenantShare& share : group.shares) {
+    deficit_[share.tenant] -=
+        static_cast<double>(std::max<std::uint64_t>(share.work, 1));
+  }
+}
+
+PickResult FairScheduler::pick(const std::vector<GroupView>& groups,
+                               std::uint64_t board_bank,
+                               const WeightFn& weight) {
+  if (groups.empty()) {
+    throw std::invalid_argument("FairScheduler::pick: no pending groups");
+  }
+  const std::size_t oldest =
+      oldest_where(groups, [](const GroupView&) { return true; });
+
+  // The aging guard outranks fairness exactly as it outranks affinity:
+  // an over-skipped group is served no matter whose turn it is. The
+  // serve still debits its members, so the guard cannot be farmed for
+  // free work. Unlike the raw pick_next_group threshold, the fair
+  // guard scales with the instantaneous queue depth: under sustained
+  // backlog every group naturally waits ~depth rounds between serves,
+  // so a fixed threshold would declare the whole queue starving and
+  // reduce DRR to FIFO exactly when fairness matters most. Scaled by
+  // depth it stays a true backstop -- rounds_waited grows without
+  // bound for a genuinely starved group while depth is bounded at any
+  // instant, so the guard still always fires eventually.
+  if (config_.starvation_rounds > 0) {
+    const std::uint64_t threshold =
+        config_.starvation_rounds * static_cast<std::uint64_t>(groups.size());
+    const std::size_t starving = oldest_where(groups, [&](const GroupView& g) {
+      return g.rounds_waited >= threshold;
+    });
+    if (starving != groups.size()) {
+      sync_ring(groups);
+      debit_members(groups[starving]);
+      PickResult out;
+      out.index = starving;
+      out.starvation_promotion = true;
+      out.bank_switch = groups[starving].bank != board_bank;
+      out.reordered =
+          groups[starving].earliest_seq != groups[oldest].earliest_seq;
+      return out;
+    }
+  }
+
+  sync_ring(groups);
+  if (ring_.empty()) {
+    // No group carries shares (legacy callers): plain affinity order.
+    return pick_next_group(groups, board_bank, config_.within,
+                           config_.starvation_rounds);
+  }
+
+  // DRR: visit tenants from the cursor; each visit refills quantum *
+  // weight, and the first tenant whose deficit covers its best group's
+  // cost is served. Deficits persist across laps, so the loop finishes
+  // in at most ceil(max_cost / (quantum * min_weight)) laps; the cap
+  // below is a defensive backstop, after which the oldest group runs.
+  const std::uint64_t quantum = std::max<std::uint64_t>(config_.quantum, 1);
+  const std::size_t max_visits = ring_.size() * 1024 + 1;
+  for (std::size_t visit = 0; visit < max_visits; ++visit) {
+    const std::size_t slot = cursor_ % ring_.size();
+    const std::string& tenant = ring_[slot];
+    const double share_weight =
+        weight ? std::max(weight(tenant), 1e-3) : 1.0;
+    deficit_[tenant] += static_cast<double>(quantum) * share_weight;
+    const std::size_t candidate = best_group_for(groups, board_bank, tenant);
+    if (candidate != groups.size()) {
+      const std::uint64_t cost = tenant_cost(groups[candidate], tenant);
+      if (deficit_[tenant] >= static_cast<double>(cost)) {
+        debit_members(groups[candidate]);
+        cursor_ = (slot + 1) % ring_.size();
+        PickResult out;
+        out.index = candidate;
+        out.bank_switch = groups[candidate].bank != board_bank;
+        out.reordered =
+            groups[candidate].earliest_seq != groups[oldest].earliest_seq;
+        return out;
+      }
+    }
+    cursor_ = (slot + 1) % ring_.size();
+  }
+
+  // Backstop (unreachable for sane configs): serve the oldest group.
+  debit_members(groups[oldest]);
+  PickResult out;
+  out.index = oldest;
+  out.bank_switch = groups[oldest].bank != board_bank;
   return out;
 }
 

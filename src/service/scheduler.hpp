@@ -23,9 +23,18 @@
 // scheduler never alters), so order affects only latency and the
 // modeled board accounting. tests assert per-request reply bytes are
 // identical under both policies across arrival orders.
+// A third, stateful layer composes with both: FairScheduler runs
+// weighted deficit-round-robin *across tenants* and delegates to
+// pick_next_group *within* the chosen tenant's groups, so board
+// affinity and tenant fairness stack. Like the policies above it can
+// only reorder -- group membership (and therefore every output byte)
+// is decided before the scheduler ever sees the queue.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -51,6 +60,16 @@ bool parse_scheduler_policy(std::string_view name, SchedulerPolicy& out);
 /// empty".
 std::uint64_t bank_affinity_key(std::string_view cache_key);
 
+/// One tenant's slice of a coalesced group: how much of the group's
+/// queued work (query residues) this tenant submitted. A group shared
+/// by several tenants lists one share per member -- coalescing is
+/// tenant-blind (see CoalesceKey in api.hpp), the shares exist so the
+/// fair scheduler can bill each member for its own fraction.
+struct TenantShare {
+  std::string tenant;
+  std::uint64_t work = 0;  ///< this tenant's queued query residues
+};
+
 /// The scheduler's view of one pending group (one coalescible
 /// (bank, options) bucket of queued requests).
 struct GroupView {
@@ -58,6 +77,9 @@ struct GroupView {
   std::uint64_t earliest_seq = 0;   ///< arrival rank of the oldest member
   std::uint64_t work = 0;           ///< queued query residues
   std::uint64_t rounds_waited = 0;  ///< scheduling rounds skipped over
+  /// Per-tenant composition; only the fair scheduler reads it, so
+  /// callers of plain pick_next_group may leave it empty.
+  std::vector<TenantShare> shares;
 };
 
 struct PickResult {
@@ -78,5 +100,74 @@ struct PickResult {
 PickResult pick_next_group(const std::vector<GroupView>& groups,
                            std::uint64_t board_bank, SchedulerPolicy policy,
                            std::uint64_t starvation_rounds);
+
+/// Weighted-fair scheduling across tenants: deficit round-robin (DRR)
+/// over a tenant ring, with pick_next_group deciding order *within*
+/// the chosen tenant's groups (so board affinity still applies).
+///
+/// Mechanics: each pick visits tenants round-robin from a persistent
+/// cursor; a visit refills the tenant's deficit by `quantum * weight`
+/// and the tenant is served when its deficit covers the cost of its
+/// best group (the tenant's OWN residue share of that group, floored at
+/// 1). Serving debits every member tenant's own share from their
+/// deficits -- a tenant whose query rode another tenant's pass may go
+/// negative, which is exactly "you were served ahead of your turn" and
+/// delays its next first-class pick. Over any window each tenant's
+/// served work therefore tracks its weight share, and a light tenant's
+/// wait between serves is bounded: at most
+/// ceil(max_cost / (quantum * weight)) full ring laps, each lap
+/// serving at most one group per tenant (the bound the starvation
+/// property test asserts).
+///
+/// The global starvation guard still outranks fairness (an aging group
+/// is served no matter whose it is), and determinism is preserved:
+/// tenants join the ring ordered by their oldest group's arrival,
+/// leave when they have no pending work (forfeiting accumulated
+/// deficit), and ties inside pick_next_group break toward the oldest
+/// group, so the same pending state and cursor always yield the same
+/// pick.
+class FairScheduler {
+ public:
+  struct Config {
+    /// Deficit refill per visit, in query residues; larger values make
+    /// scheduling coarser (fewer laps for big groups) but loosen the
+    /// per-lap fairness granularity.
+    std::uint64_t quantum = 4096;
+    /// Policy used within the chosen tenant's groups.
+    SchedulerPolicy within = SchedulerPolicy::kAffinity;
+    /// Global aging bound shared with pick_next_group, but scaled by
+    /// the instantaneous queue depth here (a group is starving after
+    /// starvation_rounds * pending_groups rounds): under sustained
+    /// backlog every group waits ~depth rounds by construction, and an
+    /// unscaled guard would declare them all starving and flatten DRR
+    /// back into FIFO. 0 disables the guard.
+    std::uint64_t starvation_rounds = 4;
+  };
+
+  /// Looks up a tenant's fair-share weight (e.g. TenantRegistry::weight).
+  using WeightFn = std::function<double(const std::string&)>;
+
+  explicit FairScheduler(Config config) : config_(config) {}
+
+  /// Picks the next group to serve; `groups` must be non-empty and
+  /// every group must carry at least one TenantShare. Deterministic
+  /// given the scheduler's state (ring + deficits + cursor).
+  PickResult pick(const std::vector<GroupView>& groups,
+                  std::uint64_t board_bank, const WeightFn& weight);
+
+ private:
+  void sync_ring(const std::vector<GroupView>& groups);
+  /// pick_next_group over the subset of `groups` containing `tenant`;
+  /// returns groups.size() when the tenant has no pending group.
+  std::size_t best_group_for(const std::vector<GroupView>& groups,
+                             std::uint64_t board_bank,
+                             const std::string& tenant) const;
+  void debit_members(const GroupView& group);
+
+  Config config_;
+  std::vector<std::string> ring_;          ///< tenants with pending work
+  std::map<std::string, double> deficit_;  ///< DRR deficit per tenant
+  std::size_t cursor_ = 0;                 ///< next ring slot to visit
+};
 
 }  // namespace psc::service

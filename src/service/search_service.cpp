@@ -16,7 +16,8 @@ core::PipelineOptions default_service_options() {
 
 SearchService::SearchService(ServiceConfig config)
     : config_(std::move(config)),
-      model_(core::make_seed_model(config_.options.seed_model)) {
+      model_(core::make_seed_model(config_.options.seed_model)),
+      registry_(config_.tenants) {
   config_.options.validate();
   // Route every pass through the service-owned pool (unless the caller
   // wired in an executor of their own).
@@ -55,6 +56,7 @@ std::future<ServiceResponse> SearchService::submit(ServiceRequest request) {
         "SearchService::submit: query bank must be protein "
         "(translate DNA before submitting)");
   }
+  request.tenant.name = normalize_tenant_name(request.tenant.name);
   Request queued;
   queued.request = std::move(request);
   queued.enqueued = std::chrono::steady_clock::now();
@@ -64,6 +66,12 @@ std::future<ServiceResponse> SearchService::submit(ServiceRequest request) {
     if (stop_) {
       throw std::runtime_error("SearchService::submit: service is stopping");
     }
+    // Admission is the quota gate: a QuotaError here leaves nothing
+    // queued and nothing charged (the registry takes only its own
+    // mutex, so admitting under mutex_ cannot invert locks).
+    registry_.admit(queued.request.tenant.name,
+                    queued.request.query.total_residues(),
+                    queued.request.bank_prefix);
     queue_.push_back(std::move(queued));
     ++stats_.queries_submitted;
   }
@@ -88,6 +96,9 @@ std::vector<std::future<ServiceResponse>> SearchService::submit_batch(
           "SearchService::submit_batch: query banks must be protein");
     }
   }
+  for (ServiceRequest& request : requests) {
+    request.tenant.name = normalize_tenant_name(request.tenant.name);
+  }
   std::vector<std::future<ServiceResponse>> futures;
   futures.reserve(requests.size());
   const auto now = std::chrono::steady_clock::now();
@@ -96,6 +107,22 @@ std::vector<std::future<ServiceResponse>> SearchService::submit_batch(
     if (stop_) {
       throw std::runtime_error(
           "SearchService::submit_batch: service is stopping");
+    }
+    // All-or-nothing admission: a mid-batch QuotaError rolls back the
+    // members already admitted (their qps tokens stay spent -- they did
+    // ask) and queues none of them.
+    std::size_t admitted = 0;
+    try {
+      for (const ServiceRequest& request : requests) {
+        registry_.admit(request.tenant.name, request.query.total_residues(),
+                        request.bank_prefix);
+        ++admitted;
+      }
+    } catch (...) {
+      for (std::size_t i = 0; i < admitted; ++i) {
+        registry_.cancel(requests[i].tenant.name, requests[i].bank_prefix);
+      }
+      throw;
     }
     for (ServiceRequest& request : requests) {
       Request queued;
@@ -141,6 +168,8 @@ ServiceStats SearchService::snapshot() const {
   snapshot.board_upload_seconds = board.upload_seconds;
   snapshot.board_upload_seconds_saved = board.upload_seconds_saved;
   snapshot.scheduler_policy = scheduler_policy_name(config_.scheduler);
+  snapshot.fair_scheduler = config_.fair_scheduler;
+  snapshot.tenants = registry_.snapshot();
   return snapshot;
 }
 
@@ -152,6 +181,13 @@ void SearchService::worker_loop() {
   std::vector<PendingGroup> pending;
   std::uint64_t next_seq = 0;
   std::uint64_t board_bank = 0;
+  // The DRR state (tenant ring, deficits, cursor) is worker-private,
+  // like the pending groups themselves.
+  FairScheduler fair(FairScheduler::Config{
+      config_.fair_quantum, config_.scheduler, config_.starvation_rounds});
+  const FairScheduler::WeightFn weight = [this](const std::string& tenant) {
+    return registry_.weight(tenant);
+  };
   for (;;) {
     std::vector<Request> arrivals;
     {
@@ -188,8 +224,7 @@ void SearchService::worker_loop() {
     // different answers. Submission order is preserved within a group.
     for (Request& request : arrivals) {
       const std::uint64_t seq = next_seq++;
-      const std::array<std::uint64_t, 3> okey =
-          request.request.options.group_key();
+      const CoalesceKey okey = request.request.options.group_key();
       PendingGroup* group = nullptr;
       for (PendingGroup& candidate : pending) {
         if (candidate.prefix == request.request.bank_prefix &&
@@ -211,15 +246,37 @@ void SearchService::worker_loop() {
     }
     if (pending.empty()) continue;  // stop_ raced with an empty queue
 
-    // Pick one group, serve it, age the rest.
+    // Pick one group, serve it, age the rest. Views carry per-tenant
+    // shares (who contributed how many residues to each group) so the
+    // fair scheduler can bill every member of a coalesced pass; plain
+    // pick_next_group ignores them.
     std::vector<GroupView> views;
     views.reserve(pending.size());
     for (const PendingGroup& group : pending) {
-      views.push_back(GroupView{group.bank, group.earliest_seq, group.work,
-                                group.rounds_waited});
+      GroupView view{group.bank, group.earliest_seq, group.work,
+                     group.rounds_waited, {}};
+      if (config_.fair_scheduler) {
+        for (const Request& member : group.members) {
+          const std::string& tenant = member.request.tenant.name;
+          const std::uint64_t residues = member.request.query.total_residues();
+          bool found = false;
+          for (TenantShare& share : view.shares) {
+            if (share.tenant == tenant) {
+              share.work += residues;
+              found = true;
+              break;
+            }
+          }
+          if (!found) view.shares.push_back(TenantShare{tenant, residues});
+        }
+      }
+      views.push_back(std::move(view));
     }
-    const PickResult pick = pick_next_group(
-        views, board_bank, config_.scheduler, config_.starvation_rounds);
+    const PickResult pick =
+        config_.fair_scheduler
+            ? fair.pick(views, board_bank, weight)
+            : pick_next_group(views, board_bank, config_.scheduler,
+                              config_.starvation_rounds);
     PendingGroup chosen = std::move(pending[pick.index]);
     pending.erase(pending.begin() +
                   static_cast<std::ptrdiff_t>(pick.index));
@@ -317,7 +374,11 @@ void SearchService::process_group(const std::string& prefix,
       std::lock_guard<std::mutex> lock(mutex_);
       stats_.queries_failed += group.size();
     }
-    for (Request* request : group) request->promise.set_exception(error);
+    for (Request* request : group) {
+      registry_.complete(request->request.tenant.name, prefix,
+                         /*success=*/false, 0.0);
+      request->promise.set_exception(error);
+    }
   };
 
   bool was_hit = false;
@@ -417,6 +478,8 @@ void SearchService::process_group(const std::string& prefix,
   }
 
   for (std::size_t i = 0; i < group.size(); ++i) {
+    registry_.complete(group[i]->request.tenant.name, prefix,
+                       /*success=*/true, replies[i].latency_seconds);
     group[i]->promise.set_value(std::move(replies[i]));
   }
 }

@@ -45,6 +45,7 @@
 #include "service/backend.hpp"
 #include "service/scheduler.hpp"
 #include "service/shard_query.hpp"
+#include "service/tenant.hpp"
 #include "util/executor.hpp"
 
 namespace psc::service {
@@ -78,6 +79,16 @@ struct ServiceConfig {
   /// Aging guard: a pending group skipped this many scheduling rounds
   /// is served next regardless of bank affinity. 0 disables the guard.
   std::uint64_t starvation_rounds = 4;
+  /// Weighted-fair scheduling across tenants (deficit round-robin over
+  /// the tenant ring, `scheduler` ordering within a tenant). Off by
+  /// default: single-tenant deployments keep the exact legacy order.
+  /// Either way replies are byte-identical -- fairness only reorders.
+  bool fair_scheduler = false;
+  /// DRR deficit refill per tenant visit, in query residues.
+  std::uint64_t fair_quantum = 4096;
+  /// Per-tenant quotas and weights; the default TenantConfig admits
+  /// everything (all quotas unlimited).
+  TenantConfig tenants;
   core::PipelineOptions options = default_service_options();
   bio::SubstitutionMatrix matrix = bio::SubstitutionMatrix::blosum62();
 };
@@ -95,7 +106,10 @@ class SearchService : public SearchBackend {
   /// <prefix>.pscbank and <prefix>.pscidx). Load and pipeline failures
   /// surface as exceptions on the returned future (store::StoreError for
   /// missing/corrupt/mismatched files). Throws immediately on a
-  /// non-protein query bank or after shutdown began.
+  /// non-protein query bank or after shutdown began, and with a typed
+  /// QuotaError (service/tenant.hpp) when the request's tenant is over
+  /// one of its quotas -- rejected requests are never queued, so an
+  /// over-quota tenant gets an immediate answer, not silence.
   std::future<ServiceResponse> submit(ServiceRequest request);
 
   /// Convenience: submits with the service configuration's own option
@@ -145,7 +159,7 @@ class SearchService : public SearchBackend {
   /// lives here until its promise is fulfilled.
   struct PendingGroup {
     std::string prefix;
-    std::array<std::uint64_t, 3> options_key{};
+    CoalesceKey options_key{};
     std::uint64_t bank = 0;          ///< bank_affinity_key(cache_key)
     std::uint64_t earliest_seq = 0;  ///< arrival rank of oldest member
     std::uint64_t work = 0;          ///< queued query residues
@@ -171,6 +185,11 @@ class SearchService : public SearchBackend {
 
   ServiceConfig config_;
   index::SeedModel model_;
+
+  /// Quota enforcement and per-tenant accounting. Takes only its own
+  /// internal mutex (never mutex_), so submit() may admit while holding
+  /// the service lock without ordering concerns.
+  TenantRegistry registry_;
 
   /// Cross-run accelerator board state: which bank image each modeled
   /// FPGA holds in SRAM. Shared by every RASC pass this service runs

@@ -1,0 +1,344 @@
+#include "service/tenant.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace psc::service {
+
+namespace {
+
+/// Weights below this serve so rarely they are starvation in disguise;
+/// the DRR bound in scheduler.hpp assumes every weight is >= the floor.
+constexpr double kMinWeight = 1e-3;
+
+constexpr std::size_t kMaxTenantNameBytes = 64;
+
+bool tenant_name_char_ok(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+         c == '_' || c == '-';
+}
+
+double parse_policy_number(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad value '" + value + "' for key '" + key +
+                                "'");
+  }
+}
+
+}  // namespace
+
+bool tenant_name_is_valid(const std::string& name) {
+  if (name.empty() || name.size() > kMaxTenantNameBytes) return false;
+  return std::all_of(name.begin(), name.end(), tenant_name_char_ok);
+}
+
+std::string normalize_tenant_name(const std::string& name) {
+  return name.empty() ? std::string(kDefaultTenantName) : name;
+}
+
+TenantConfig parse_tenant_config(std::istream& in) {
+  TenantConfig config;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto fail = [&](const std::string& what) {
+      throw std::invalid_argument("tenant config line " +
+                                  std::to_string(line_number) + ": " + what);
+    };
+    std::istringstream fields(line);
+    std::string word;
+    if (!(fields >> word) || word[0] == '#') continue;
+    if (word != "tenant") fail("expected 'tenant', got '" + word + "'");
+    std::string name;
+    if (!(fields >> name)) fail("missing tenant name");
+    if (!tenant_name_is_valid(name)) fail("invalid tenant name '" + name + "'");
+    TenantPolicy policy;
+    while (fields >> word) {
+      if (word[0] == '#') break;
+      const std::size_t eq = word.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= word.size()) {
+        fail("expected key=value, got '" + word + "'");
+      }
+      const std::string key = word.substr(0, eq);
+      const std::string value = word.substr(eq + 1);
+      double number = 0.0;
+      try {
+        number = parse_policy_number(key, value);
+      } catch (const std::invalid_argument& e) {
+        fail(e.what());  // re-anchor the message to its line number
+      }
+      if (key == "weight") {
+        policy.weight = number;
+      } else if (key == "qps") {
+        policy.max_qps = number;
+      } else if (key == "in-flight") {
+        if (number < 0) fail("in-flight must be >= 0");
+        policy.max_in_flight = static_cast<std::size_t>(number);
+      } else if (key == "resident-mb") {
+        if (number < 0) fail("resident-mb must be >= 0");
+        policy.max_resident_bytes =
+            static_cast<std::uint64_t>(number * 1024.0 * 1024.0);
+      } else if (key == "hedges-per-sec") {
+        policy.hedges_per_second = number;
+      } else {
+        fail("unknown key '" + key + "'");
+      }
+    }
+    if (name == kDefaultTenantName) {
+      config.default_policy = policy;
+    }
+    // The default tenant also gets a named row so snapshot() lists it
+    // even before traffic arrives.
+    config.tenants[name] = policy;
+  }
+  return config;
+}
+
+TenantConfig load_tenant_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("tenant config: cannot open '" + path + "'");
+  }
+  return parse_tenant_config(in);
+}
+
+const char* quota_kind_name(QuotaKind kind) {
+  switch (kind) {
+    case QuotaKind::kQueriesPerSecond:
+      return "queries-per-second";
+    case QuotaKind::kInFlight:
+      return "in-flight";
+    case QuotaKind::kResidentBytes:
+      return "resident-bytes";
+    case QuotaKind::kAdmission:
+      return "admission";
+  }
+  return "unknown";
+}
+
+std::uint64_t resident_bank_bytes(const std::string& prefix) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::uint64_t total = 0;
+  for (const char* suffix : {".pscbank", ".pscidx"}) {
+    const std::uintmax_t size = fs::file_size(prefix + suffix, ec);
+    if (!ec) total += static_cast<std::uint64_t>(size);
+    ec.clear();
+  }
+  if (total > 0) return total;
+  // Sharded store: the manifest plus every <prefix>.shardNN pair. The
+  // shard files share the prefix as a filename stem, so one directory
+  // scan finds them without parsing the manifest.
+  const fs::path base(prefix);
+  const fs::path dir =
+      base.has_parent_path() ? base.parent_path() : fs::path(".");
+  const std::string stem = base.filename().string() + ".";
+  fs::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(stem, 0) != 0) continue;
+    if (!name.ends_with(".pscbank") && !name.ends_with(".pscidx") &&
+        !name.ends_with(".pscman")) {
+      continue;
+    }
+    const std::uintmax_t size = entry.file_size(ec);
+    if (!ec) total += static_cast<std::uint64_t>(size);
+    ec.clear();
+  }
+  return total;
+}
+
+TenantRegistry::TenantRegistry(
+    TenantConfig config,
+    std::function<std::uint64_t(const std::string&)> bank_bytes)
+    : config_(std::move(config)),
+      bank_bytes_(bank_bytes ? std::move(bank_bytes) : resident_bank_bytes) {
+  // Pre-seed configured tenants so snapshot() lists them (with their
+  // weights) before any traffic arrives.
+  for (const auto& [name, policy] : config_.tenants) {
+    (void)policy;
+    entry_locked(name);
+  }
+}
+
+TenantRegistry::Entry& TenantRegistry::entry_locked(
+    const std::string& tenant) {
+  const auto it = entries_.find(tenant);
+  if (it != entries_.end()) return it->second;
+  Entry entry;
+  entry.policy = config_.policy_for(tenant);
+  entry.stats.name = tenant;
+  entry.stats.weight = std::max(entry.policy.weight, kMinWeight);
+  return entries_.emplace(tenant, std::move(entry)).first->second;
+}
+
+std::uint64_t TenantRegistry::bank_bytes_locked(const std::string& prefix) {
+  const auto it = bank_bytes_cache_.find(prefix);
+  if (it != bank_bytes_cache_.end()) return it->second;
+  const std::uint64_t bytes = bank_bytes_(prefix);
+  bank_bytes_cache_[prefix] = bytes;
+  return bytes;
+}
+
+double TenantRegistry::now_seconds() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool TenantRegistry::take_token_locked(Bucket& bucket, double rate,
+                                       double burst) {
+  const double now = now_seconds();
+  if (!bucket.primed) {
+    bucket.tokens = burst;  // start full: a quiet tenant may burst
+    bucket.primed = true;
+  } else {
+    bucket.tokens = std::min(
+        burst, bucket.tokens + (now - bucket.last_refill_seconds) * rate);
+  }
+  bucket.last_refill_seconds = now;
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+void TenantRegistry::admit(const std::string& tenant,
+                           std::uint64_t query_residues,
+                           const std::string& bank_prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entry_locked(tenant);
+  // Gate order: cheapest first, and nothing is charged until every
+  // gate has passed -- except the qps token, which is spent by the
+  // *attempt* (a rejected-for-in-flight request still asked).
+  // Burst floors at one token so a sub-1.0 qps quota still admits a
+  // query every 1/qps seconds instead of never.
+  if (entry.policy.max_qps > 0.0 &&
+      !take_token_locked(entry.qps, entry.policy.max_qps,
+                         std::max(1.0, entry.policy.max_qps))) {
+    ++entry.stats.rejected;
+    throw QuotaError(QuotaKind::kQueriesPerSecond, tenant,
+                     "tenant '" + tenant + "' over queries/sec quota (" +
+                         std::to_string(entry.policy.max_qps) + "/s)");
+  }
+  if (entry.policy.max_in_flight > 0 &&
+      entry.stats.queued >= entry.policy.max_in_flight) {
+    ++entry.stats.rejected;
+    throw QuotaError(QuotaKind::kInFlight, tenant,
+                     "tenant '" + tenant + "' at in-flight cap (" +
+                         std::to_string(entry.policy.max_in_flight) + ")");
+  }
+  auto charge = entry.charges.find(bank_prefix);
+  if (charge == entry.charges.end()) {
+    const std::uint64_t bytes = bank_bytes_locked(bank_prefix);
+    if (entry.policy.max_resident_bytes > 0 &&
+        entry.charged_bytes + bytes > entry.policy.max_resident_bytes) {
+      ++entry.stats.rejected;
+      throw QuotaError(
+          QuotaKind::kResidentBytes, tenant,
+          "tenant '" + tenant + "' resident-bytes quota exceeded: bank '" +
+              bank_prefix + "' (" + std::to_string(bytes) + " bytes) over " +
+              std::to_string(entry.policy.max_resident_bytes));
+    }
+    charge = entry.charges.emplace(bank_prefix, BankCharge{bytes, 0}).first;
+    entry.charged_bytes += bytes;
+    entry.stats.resident_bytes = entry.charged_bytes;
+  }
+  ++charge->second.refs;
+  ++entry.stats.admitted;
+  ++entry.stats.queued;
+  entry.stats.query_residues += query_residues;
+}
+
+void TenantRegistry::complete(const std::string& tenant,
+                              const std::string& bank_prefix, bool success,
+                              double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entry_locked(tenant);
+  if (entry.stats.queued > 0) --entry.stats.queued;
+  const auto charge = entry.charges.find(bank_prefix);
+  if (charge != entry.charges.end() && --charge->second.refs == 0) {
+    entry.charged_bytes -= charge->second.bytes;
+    entry.charges.erase(charge);
+    entry.stats.resident_bytes = entry.charged_bytes;
+  }
+  if (success) {
+    ++entry.stats.completed;
+    entry.stats.total_latency_seconds += latency_seconds;
+    entry.stats.max_latency_seconds =
+        std::max(entry.stats.max_latency_seconds, latency_seconds);
+  } else {
+    ++entry.stats.failed;
+  }
+}
+
+void TenantRegistry::cancel(const std::string& tenant,
+                            const std::string& bank_prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entry_locked(tenant);
+  if (entry.stats.queued > 0) --entry.stats.queued;
+  if (entry.stats.admitted > 0) --entry.stats.admitted;
+  const auto charge = entry.charges.find(bank_prefix);
+  if (charge != entry.charges.end() && --charge->second.refs == 0) {
+    entry.charged_bytes -= charge->second.bytes;
+    entry.charges.erase(charge);
+    entry.stats.resident_bytes = entry.charged_bytes;
+  }
+}
+
+bool TenantRegistry::try_spend_hedge(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entry_locked(tenant);
+  const double rate = entry.policy.hedges_per_second;
+  bool granted;
+  if (rate < 0.0) {
+    granted = true;  // unlimited
+  } else if (rate == 0.0) {
+    granted = false;  // hedging disabled for this tenant
+  } else {
+    granted = take_token_locked(entry.hedge, rate, std::max(1.0, rate));
+  }
+  if (granted) {
+    ++entry.stats.hedges;
+  } else {
+    ++entry.stats.hedges_denied;
+  }
+  return granted;
+}
+
+void TenantRegistry::record_rejection(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++entry_locked(tenant).stats.rejected;
+}
+
+double TenantRegistry::weight(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(tenant);
+  const double weight = it != entries_.end()
+                            ? it->second.policy.weight
+                            : config_.policy_for(tenant).weight;
+  return std::max(weight, kMinWeight);
+}
+
+std::vector<TenantStats> TenantRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TenantStats> rows;
+  rows.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    (void)name;
+    rows.push_back(entry.stats);  // map order == sorted by name
+  }
+  return rows;
+}
+
+}  // namespace psc::service

@@ -1,0 +1,206 @@
+// Multi-tenant policy and accounting: who a request is billed to, what
+// each tenant is allowed (queries/sec, in-flight work, resident-bank
+// bytes, hedge budget, fair-share weight), and the thread-safe registry
+// both enforcement layers consult -- SearchService at submit() and
+// cluster::Router at fan-out. Policy lives here, identity transport in
+// net/wire.hpp (kHello), and the DRR scheduler that consumes the
+// weights in service/scheduler.hpp.
+//
+// Enforcement philosophy: quotas reject loudly (typed QuotaError, which
+// the wire boundary maps to kQuotaExceeded / kAdmissionRejected error
+// frames) instead of silently queuing -- an over-quota tenant learns
+// immediately and its connection stays usable. Fairness only reorders
+// and rejects; an admitted query's reply bytes are identical under
+// every policy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/api.hpp"
+
+namespace psc::service {
+
+/// Tenant names travel on the wire and into log lines: 1..64 chars from
+/// [A-Za-z0-9._-]. The empty string is *not* valid -- it is the "no
+/// identity" sentinel that normalizes to kDefaultTenantName.
+bool tenant_name_is_valid(const std::string& name);
+
+/// Empty -> kDefaultTenantName; anything else unchanged. Every
+/// enforcement layer normalizes before it bills, so an in-process
+/// caller that never touches TenantContext lands on the default
+/// tenant's policy exactly like a hello-less network client.
+std::string normalize_tenant_name(const std::string& name);
+
+/// One tenant's limits. The zero-value of every field means
+/// "unlimited", so a default-constructed policy admits everything --
+/// existing single-tenant deployments see no behavior change until
+/// they opt into --tenant-config / --default-qps.
+struct TenantPolicy {
+  /// Fair-scheduler share (deficit refill per DRR round). Clamped to a
+  /// small positive floor at use so a zero/negative weight cannot
+  /// starve a tenant forever.
+  double weight = 1.0;
+  /// Sustained queries/second (token bucket with burst = capacity =
+  /// max(1, max_qps), starting full). <= 0 means unlimited.
+  double max_qps = 0.0;
+  /// Admitted-but-unfinished requests. 0 means unlimited.
+  std::size_t max_in_flight = 0;
+  /// Bytes of distinct bank stores this tenant may hold admitted work
+  /// against at once (charged per prefix while any of the tenant's
+  /// requests for it are in flight). 0 means unlimited.
+  std::uint64_t max_resident_bytes = 0;
+  /// Hedged duplicates/second the router may spend for this tenant
+  /// (token bucket, burst = max(1, rate)). < 0 unlimited, 0 never.
+  double hedges_per_second = -1.0;
+};
+
+/// The full policy table: a default for unnamed tenants plus per-name
+/// overrides. Unknown tenant names are *accepted* and get the default
+/// policy -- identity is for accounting and fairness, not auth.
+struct TenantConfig {
+  TenantPolicy default_policy;
+  std::map<std::string, TenantPolicy> tenants;
+
+  const TenantPolicy& policy_for(const std::string& name) const {
+    const auto it = tenants.find(name);
+    return it == tenants.end() ? default_policy : it->second;
+  }
+};
+
+/// Parses the --tenant-config file format: one `tenant <name>
+/// key=value...` per line, `#` comments, keys weight / qps / in-flight
+/// / resident-mb / hedges-per-sec. The name `default` sets the default
+/// policy. Throws std::invalid_argument on malformed input.
+///
+///   # heavy batch tenant: wide share, capped hedges
+///   tenant default qps=50
+///   tenant batch weight=4 qps=200 in-flight=16 resident-mb=512
+///   tenant interactive weight=1 hedges-per-sec=2
+TenantConfig parse_tenant_config(std::istream& in);
+TenantConfig load_tenant_config(const std::string& path);
+
+/// Which gate refused a request.
+enum class QuotaKind {
+  kQueriesPerSecond,  ///< qps token bucket empty
+  kInFlight,          ///< max_in_flight reached
+  kResidentBytes,     ///< new bank would exceed max_resident_bytes
+  kAdmission,         ///< cluster-level admission cap (router)
+};
+
+const char* quota_kind_name(QuotaKind kind);
+
+/// Typed rejection: carries the tenant and the gate so the wire
+/// boundary can pick the right error frame (kAdmission ->
+/// kAdmissionRejected, everything else -> kQuotaExceeded) and the
+/// caller can tell a policy rejection from a real failure.
+class QuotaError : public std::runtime_error {
+ public:
+  QuotaError(QuotaKind kind, std::string tenant, const std::string& message)
+      : std::runtime_error(message), kind_(kind), tenant_(std::move(tenant)) {}
+
+  QuotaKind kind() const noexcept { return kind_; }
+  const std::string& tenant() const noexcept { return tenant_; }
+
+ private:
+  QuotaKind kind_;
+  std::string tenant_;
+};
+
+/// Measures how many bytes of store files live under `prefix` (the
+/// plain <prefix>.pscbank/.pscidx pair, or the sharded manifest +
+/// shard files). Returns 0 when nothing is found -- an unknown bank is
+/// the search path's error to report, never a quota rejection.
+std::uint64_t resident_bank_bytes(const std::string& prefix);
+
+/// Thread-safe per-tenant quota enforcement and accounting. Both
+/// enforcement layers own one: SearchService::submit() admits against
+/// it before queuing, cluster::Router before fanning out. It takes
+/// only its own internal mutex, so callers may hold their own locks
+/// across admit()/complete() without ordering concerns.
+class TenantRegistry {
+ public:
+  /// `bank_bytes` overrides resident_bank_bytes for tests; results are
+  /// cached per prefix, so the default filesystem probe runs once per
+  /// bank, not per request.
+  explicit TenantRegistry(
+      TenantConfig config,
+      std::function<std::uint64_t(const std::string&)> bank_bytes = {});
+
+  /// Admits one request for `tenant` (pass the normalized name) or
+  /// throws QuotaError with nothing charged. On success the tenant is
+  /// billed: +1 in flight, +query_residues, its qps bucket down one
+  /// token, and `bank_prefix`'s bytes charged against the resident
+  /// quota. Every admit must be paired with exactly one complete() or
+  /// cancel() for the same tenant and prefix.
+  void admit(const std::string& tenant, std::uint64_t query_residues,
+             const std::string& bank_prefix);
+
+  /// Settles an admitted request: releases the in-flight slot and the
+  /// bank charge, and records success latency or a failure.
+  void complete(const std::string& tenant, const std::string& bank_prefix,
+                bool success, double latency_seconds);
+
+  /// Rolls back an admit that never ran (mid-batch admission failure):
+  /// releases the slot and the bank charge without touching the
+  /// completed/failed counters. The spent qps token is NOT refunded --
+  /// the tenant did ask.
+  void cancel(const std::string& tenant, const std::string& bank_prefix);
+
+  /// Spends one hedge token for `tenant` if its budget allows; counts
+  /// the spend or the denial either way.
+  bool try_spend_hedge(const std::string& tenant);
+
+  /// Records one quota rejection made by an *outer* gate (the router's
+  /// cluster admission cap) so snapshot() rows include it.
+  void record_rejection(const std::string& tenant);
+
+  /// Fair-share weight for the DRR scheduler, floored at a small
+  /// positive value.
+  double weight(const std::string& tenant) const;
+
+  /// One row per tenant ever seen (or configured), sorted by name.
+  std::vector<TenantStats> snapshot() const;
+
+ private:
+  struct BankCharge {
+    std::uint64_t bytes = 0;
+    std::size_t refs = 0;
+  };
+
+  struct Bucket {
+    double tokens = 0.0;
+    double last_refill_seconds = 0.0;
+    bool primed = false;
+  };
+
+  struct Entry {
+    TenantPolicy policy;
+    TenantStats stats;
+    Bucket qps;
+    Bucket hedge;
+    std::map<std::string, BankCharge> charges;  ///< prefix -> charge
+    std::uint64_t charged_bytes = 0;
+  };
+
+  Entry& entry_locked(const std::string& tenant);
+  std::uint64_t bank_bytes_locked(const std::string& prefix);
+  double now_seconds() const;
+  /// Refills `bucket` at `rate` tokens/sec (capacity `burst`) and
+  /// takes one token if available.
+  bool take_token_locked(Bucket& bucket, double rate, double burst);
+
+  TenantConfig config_;
+  std::function<std::uint64_t(const std::string&)> bank_bytes_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, std::uint64_t> bank_bytes_cache_;
+};
+
+}  // namespace psc::service

@@ -116,5 +116,63 @@ TEST(ReplicaTableTest, SnapshotReportsCountersAndLatencies) {
   EXPECT_DOUBLE_EQ(rows[0].p50_latency_seconds, 0.0);
 }
 
+TEST(ReplicaTableTest, BenchAndReviveCountTransitionsNotReprobes) {
+  // The health checker re-asserts a replica's state every probe round;
+  // only actual up<->down TRANSITIONS may count, or a replica that is
+  // down for a minute looks like it was benched dozens of times.
+  ReplicaTable table(three_replicas());
+
+  table.set_up(1, false);
+  table.set_up(1, false);  // probe round re-confirms: no new transition
+  table.set_up(1, false);
+  std::vector<service::ReplicaStats> rows = table.snapshot();
+  EXPECT_EQ(rows[1].benched, 1u);
+  EXPECT_EQ(rows[1].revived, 0u);
+  EXPECT_FALSE(rows[1].up);
+
+  table.set_up(1, true);
+  table.set_up(1, true);
+  rows = table.snapshot();
+  EXPECT_EQ(rows[1].benched, 1u);
+  EXPECT_EQ(rows[1].revived, 1u);
+  EXPECT_TRUE(rows[1].up);
+
+  // A full flap cycle counts one of each more.
+  table.set_up(1, false);
+  table.set_up(1, true);
+  rows = table.snapshot();
+  EXPECT_EQ(rows[1].benched, 2u);
+  EXPECT_EQ(rows[1].revived, 2u);
+
+  // Re-asserting the initial up state at startup is not a revival.
+  EXPECT_EQ(rows[0].benched, 0u);
+  EXPECT_EQ(rows[0].revived, 0u);
+  table.set_up(0, true);
+  EXPECT_EQ(table.snapshot()[0].revived, 0u);
+}
+
+TEST(ReplicaTableTest, BenchedRevivedRideTheV5StatsCodec) {
+  // The new columns must survive the wire: encoded at v5, decoded back
+  // intact; a v4 frame omits them and decodes to zeros.
+  ReplicaTable table(three_replicas());
+  table.set_up(2, false);
+  table.set_up(2, true);
+  table.set_up(2, false);
+
+  service::ServiceStats stats;
+  stats.replicas = table.snapshot();
+  const service::ServiceStats v5 = service::decode_service_stats(
+      service::encode_service_stats(stats, 5));
+  ASSERT_EQ(v5.replicas.size(), 3u);
+  EXPECT_EQ(v5.replicas[2].benched, 2u);
+  EXPECT_EQ(v5.replicas[2].revived, 1u);
+
+  const service::ServiceStats v4 = service::decode_service_stats(
+      service::encode_service_stats(stats, 4));
+  ASSERT_EQ(v4.replicas.size(), 3u);
+  EXPECT_EQ(v4.replicas[2].benched, 0u);
+  EXPECT_EQ(v4.replicas[2].revived, 0u);
+}
+
 }  // namespace
 }  // namespace psc::cluster

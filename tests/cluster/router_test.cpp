@@ -468,5 +468,111 @@ TEST(RouterTest, HedgeOvertakesAStallingReplica) {
   EXPECT_TRUE(stats.replicas[0].up);
 }
 
+TEST(RouterTest, TenantQpsQuotaRejectsAtTheRouterWithTypedError) {
+  const ClusterWorkload workload(66, "cluster_quota", 0);
+  Replica replica(workload.name, {0});
+  RouterConfig config = base_config(workload);
+  config.replicas = {endpoint_for(replica.port(), {0})};
+  // One query/sec, bucket of one token: of two back-to-back submits the
+  // second MUST fail fast with the per-tenant code, before any replica
+  // sees a byte of it.
+  config.tenants.default_policy.max_qps = 1.0;
+  Router router(config);
+
+  auto first = router.submit_search(request_for(workload, {}));
+  auto second = router.submit_search(request_for(workload, {}));
+  EXPECT_FALSE(first.get().matches.empty());
+  try {
+    second.get();
+    FAIL() << "expected kQuotaExceeded";
+  } catch (const net::WireError& e) {
+    EXPECT_EQ(e.code(), net::WireErrorCode::kQuotaExceeded);
+  }
+
+  const service::ServiceStats stats = router.stats_snapshot();
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].name, "default");
+  EXPECT_EQ(stats.tenants[0].admitted, 1u);
+  EXPECT_EQ(stats.tenants[0].rejected, 1u);
+  EXPECT_EQ(stats.tenants[0].completed, 1u);
+  EXPECT_EQ(stats.tenants[0].queued, 0u);
+}
+
+TEST(RouterTest, ClusterAdmissionCapRejectsFastNotQueues) {
+  const ClusterWorkload workload(67, "cluster_admission", 0);
+  // The only replica swallows searches, so the first fan-out stays
+  // active until its (short) timeout -- long enough to prove the second
+  // submit is refused IMMEDIATELY rather than queued behind it.
+  StallingReplica staller;
+  RouterConfig config = base_config(workload);
+  config.replicas = {endpoint_for(staller.port(), {0})};
+  config.max_active_fanouts = 1;
+  config.max_attempts = 1;
+  config.request_timeout_seconds = 0.4;
+  config.hedge_delay_seconds = 0.0;
+  Router router(config);
+
+  auto occupant = router.submit_search(request_for(workload, {}));
+  auto rejected = router.submit_search(request_for(workload, {}));
+  try {
+    rejected.get();
+    FAIL() << "expected kAdmissionRejected";
+  } catch (const net::WireError& e) {
+    EXPECT_EQ(e.code(), net::WireErrorCode::kAdmissionRejected);
+  }
+  // The occupant fails on its own terms (the staller never answers);
+  // the admission gate must not have eaten its slot permanently.
+  EXPECT_THROW(occupant.get(), net::WireError);
+
+  const service::ServiceStats stats = router.stats_snapshot();
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].rejected, 1u);
+  EXPECT_EQ(stats.tenants[0].queued, 0u);
+
+  // With the gate idle again, a submit is admitted (and then fails on
+  // the dead cluster, which is fine -- admission is what we test).
+  auto after = router.submit_search(request_for(workload, {}));
+  try {
+    after.get();
+  } catch (const net::WireError& e) {
+    EXPECT_NE(e.code(), net::WireErrorCode::kAdmissionRejected);
+  }
+}
+
+TEST(RouterTest, HedgeBudgetZeroKeepsThePrimaryAndCountsTheDenial) {
+  const ClusterWorkload workload(68, "cluster_hedge_budget", 0);
+  service::QueryOptions options;
+  options.with_traceback = true;
+  const std::vector<std::uint8_t> reference =
+      workload.reference_bytes(options);
+
+  // Same topology as the hedge test -- a stalling primary and a healthy
+  // second replica -- but the tenant's hedge budget is zero: the rescue
+  // must come from the RETRY path (after the primary times out), never
+  // from a hedge, and the denial is visible in the tenant row.
+  StallingReplica staller;
+  Replica replica(workload.name, {0});
+  RouterConfig config = base_config(workload);
+  config.hedge_delay_seconds = 0.05;
+  config.request_timeout_seconds = 0.5;
+  config.replicas = {endpoint_for(staller.port(), {0}),
+                     endpoint_for(replica.port(), {0})};
+  config.tenants.default_policy.hedges_per_second = 0.0;
+  Router router(config);
+
+  const service::QueryResult merged =
+      router.submit_search(request_for(workload, options)).get();
+  EXPECT_EQ(core::encode_matches(merged.matches), reference);
+
+  const service::ServiceStats stats = router.stats_snapshot();
+  ASSERT_EQ(stats.replicas.size(), 2u);
+  EXPECT_EQ(stats.replicas[0].hedges, 0u);
+  EXPECT_EQ(stats.replicas[1].hedges, 0u);
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].hedges, 0u);
+  EXPECT_GE(stats.tenants[0].hedges_denied, 1u);
+  EXPECT_EQ(stats.tenants[0].completed, 1u);
+}
+
 }  // namespace
 }  // namespace psc::cluster

@@ -155,17 +155,21 @@ WireErrorCode expect_error_frame(const std::optional<Frame>& frame) {
 
 class LoopbackTest : public ::testing::Test {
  protected:
-  void start(ServerConfig config = {}) {
+  void start(ServerConfig config = {},
+             service::ServiceConfig service_config = {}) {
     config.bank_root = ::testing::TempDir();
-    service_ = std::make_unique<service::SearchService>();
+    service_ = std::make_unique<service::SearchService>(service_config);
     server_ = std::make_unique<Server>(*service_, config);
     server_->start();
   }
 
-  Client connect() {
+  /// A non-empty `tenant` makes the client send the kHello handshake
+  /// before anything else; empty keeps the legacy hello-less exchange.
+  Client connect(const std::string& tenant = "") {
     ClientConfig config;
     config.port = server_->port();
     config.timeout_seconds = 20.0;
+    config.tenant = tenant;
     return Client(config);
   }
 
@@ -247,7 +251,7 @@ TEST_F(LoopbackTest, LegacyStatsClientsGetTheirOwnVintage) {
   EXPECT_EQ(stats_version_of({}), 3u);  // legacy default
   EXPECT_EQ(stats_version_of({2, 0, 0, 0}), 2u);
   EXPECT_EQ(stats_version_of({4, 0, 0, 0}), 4u);
-  EXPECT_EQ(stats_version_of({9, 0, 0, 0}), 4u);  // clamped, no error
+  EXPECT_EQ(stats_version_of({9, 0, 0, 0}), 5u);  // clamped, no error
   EXPECT_EQ(stats_version_of({1, 0, 0, 0}), 2u);  // clamped up as well
 
   // A v3 reply really omits the v4 rows: the decoded struct keeps its
@@ -534,6 +538,164 @@ TEST_F(LoopbackTest, ClientsWithDifferentOptionsNeverShareAPass) {
   for (const core::Match& match : plain.matches) {
     EXPECT_TRUE(match.alignment.ops.empty());
   }
+}
+
+TEST_F(LoopbackTest, HelloNegotiatesTenantAndStatsVintage) {
+  start();
+  RawConnection raw(server_->port());
+
+  HelloFrame hello;
+  hello.tenant = "alice";
+  hello.desired_stats_version = 0;  // "newest you support"
+  raw.send_bytes(encode_frame(MessageType::kHello, encode_hello(hello)));
+  const auto ack_frame = raw.read_frame();
+  ASSERT_TRUE(ack_frame.has_value());
+  ASSERT_EQ(ack_frame->type,
+            static_cast<std::uint16_t>(MessageType::kHelloAck));
+  const HelloAckFrame ack = decode_hello_ack(ack_frame->payload);
+  EXPECT_EQ(ack.tenant, "alice");
+  EXPECT_EQ(ack.stats_version, service::kServiceStatsCodecVersion);
+
+  // After the handshake an EMPTY Stats payload answers at the session
+  // vintage -- no per-frame u32 needed ever again.
+  raw.send_bytes(encode_frame(MessageType::kStats));
+  const auto stats_frame = raw.read_frame();
+  ASSERT_TRUE(stats_frame.has_value());
+  ASSERT_EQ(stats_frame->type,
+            static_cast<std::uint16_t>(MessageType::kStatsResult));
+  std::uint32_t version = 0;
+  std::memcpy(&version, stats_frame->payload.data(), sizeof(version));
+  EXPECT_EQ(version, service::kServiceStatsCodecVersion);
+
+  // A second connection asking for an out-of-window vintage is clamped
+  // in the ack, not rejected.
+  RawConnection futuristic(server_->port());
+  hello.desired_stats_version = 99;
+  futuristic.send_bytes(
+      encode_frame(MessageType::kHello, encode_hello(hello)));
+  const auto clamped = futuristic.read_frame();
+  ASSERT_TRUE(clamped.has_value());
+  ASSERT_EQ(clamped->type,
+            static_cast<std::uint16_t>(MessageType::kHelloAck));
+  EXPECT_EQ(decode_hello_ack(clamped->payload).stats_version,
+            service::kServiceStatsCodecVersion);
+}
+
+TEST_F(LoopbackTest, ReplayedHelloIsRejectedAndConnectionSurvives) {
+  start();
+  RawConnection raw(server_->port());
+
+  HelloFrame hello;
+  hello.tenant = "alice";
+  raw.send_bytes(encode_frame(MessageType::kHello, encode_hello(hello)));
+  const auto first = raw.read_frame();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(first->type, static_cast<std::uint16_t>(MessageType::kHelloAck));
+
+  // Work may already be billed to 'alice'; a mid-session identity swap
+  // cannot re-bill it, so the replay is a typed error...
+  hello.tenant = "mallory";
+  raw.send_bytes(encode_frame(MessageType::kHello, encode_hello(hello)));
+  EXPECT_EQ(expect_error_frame(raw.read_frame()), WireErrorCode::kBadRequest);
+
+  // ...and the connection keeps serving under the ORIGINAL identity.
+  raw.send_bytes(encode_frame(MessageType::kPing));
+  const auto pong = raw.read_frame();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->type, static_cast<std::uint16_t>(MessageType::kPong));
+}
+
+TEST_F(LoopbackTest, MalformedHelloIsBadRequestAndIdentityStaysOpen) {
+  start();
+  RawConnection raw(server_->port());
+
+  // An invalid tenant name is rejected without consuming the one hello
+  // slot: the client may retry with a valid identity.
+  HelloFrame hello;
+  hello.tenant = "not a valid name!";
+  raw.send_bytes(encode_frame(MessageType::kHello, encode_hello(hello)));
+  EXPECT_EQ(expect_error_frame(raw.read_frame()), WireErrorCode::kBadRequest);
+
+  const std::vector<std::uint8_t> garbage = {0x01, 0x02};
+  raw.send_bytes(encode_frame(MessageType::kHello, garbage));
+  EXPECT_EQ(expect_error_frame(raw.read_frame()), WireErrorCode::kBadRequest);
+
+  hello.tenant = "retry-ok";
+  raw.send_bytes(encode_frame(MessageType::kHello, encode_hello(hello)));
+  const auto ack = raw.read_frame();
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, static_cast<std::uint16_t>(MessageType::kHelloAck));
+  EXPECT_EQ(decode_hello_ack(ack->payload).tenant, "retry-ok");
+}
+
+TEST_F(LoopbackTest, UnknownTenantIsAcceptedAndAccountedSeparately) {
+  // No --tenant-config at all: an unheard-of tenant name still connects
+  // (identity is accounting, not auth), its traffic lands in its own
+  // stats row, and its reply bytes equal the default tenant's for the
+  // same search -- fairness and accounting never touch result bytes.
+  const SavedBank saved(28, "net_tenant_unknown");
+  start();
+
+  Client tenant_client = connect("zed");
+  const service::QueryResult tenant_reply =
+      tenant_client.search(saved.name, saved.fasta());
+  Client legacy_client = connect();
+  const service::QueryResult legacy_reply =
+      legacy_client.search(saved.name, saved.fasta());
+  EXPECT_EQ(core::encode_matches(tenant_reply.matches),
+            core::encode_matches(legacy_reply.matches));
+
+  // The tenant-aware client negotiated v5, so the rows come through.
+  const service::ServiceStats stats = tenant_client.stats();
+  const service::TenantStats* zed = nullptr;
+  const service::TenantStats* fallback = nullptr;
+  for (const service::TenantStats& row : stats.tenants) {
+    if (row.name == "zed") zed = &row;
+    if (row.name == service::kDefaultTenantName) fallback = &row;
+  }
+  ASSERT_NE(zed, nullptr) << "tenant 'zed' has no stats row";
+  EXPECT_EQ(zed->admitted, 1u);
+  EXPECT_EQ(zed->completed, 1u);
+  EXPECT_EQ(zed->rejected, 0u);
+  EXPECT_GT(zed->query_residues, 0u);
+  // The hello-less client was billed to the default tenant.
+  ASSERT_NE(fallback, nullptr) << "default tenant has no stats row";
+  EXPECT_EQ(fallback->admitted, 1u);
+}
+
+TEST_F(LoopbackTest, OverQuotaSearchIsTypedErrorAndConnectionSurvives) {
+  const SavedBank saved(29, "net_tenant_quota");
+  ServerConfig server_config;
+  service::ServiceConfig service_config;
+  // One query admitted per second, bucket holds one token: of two
+  // back-to-back pipelined searches the second MUST be rejected.
+  service_config.tenants.default_policy.max_qps = 1.0;
+  start(server_config, service_config);
+
+  SearchRequestFrame request;
+  request.bank_prefix = saved.name;
+  request.query_fasta = saved.fasta();
+  const std::vector<std::uint8_t> search =
+      encode_frame(MessageType::kSearch, encode_search_request(request));
+
+  RawConnection raw(server_->port());
+  std::vector<std::uint8_t> burst;
+  burst.insert(burst.end(), search.begin(), search.end());
+  burst.insert(burst.end(), search.begin(), search.end());
+  raw.send_bytes(burst);
+
+  const auto first = raw.read_frame();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type,
+            static_cast<std::uint16_t>(MessageType::kSearchResult));
+  // Typed rejection, not a hang and not a generic failure...
+  EXPECT_EQ(expect_error_frame(raw.read_frame()),
+            WireErrorCode::kQuotaExceeded);
+  // ...and the connection is still fully usable afterwards.
+  raw.send_bytes(encode_frame(MessageType::kPing));
+  const auto pong = raw.read_frame();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->type, static_cast<std::uint16_t>(MessageType::kPong));
 }
 
 /// A scripted fake server: accepts exactly one connection on an

@@ -191,6 +191,67 @@ TEST(Wire, MalformedSearchRequestThrowsCodecError) {
   EXPECT_THROW(decode_search_request(padded), core::CodecError);
 }
 
+TEST(Wire, QuotaErrorCodesRoundTripWithNames) {
+  // The tenancy codes must survive the full encode/decode path: an
+  // older decode bound would throw CodecError and the client would
+  // report kBadFrame instead of the actual rejection.
+  const std::pair<WireErrorCode, const char*> cases[] = {
+      {WireErrorCode::kQuotaExceeded, "quota-exceeded"},
+      {WireErrorCode::kAdmissionRejected, "admission-rejected"},
+  };
+  for (const auto& [code, name] : cases) {
+    const std::vector<std::uint8_t> bytes =
+        encode_error_frame(code, "over the line");
+    FrameReader reader(1 << 20);
+    reader.feed(bytes);
+    const auto frame = reader.next();
+    ASSERT_TRUE(frame.has_value());
+    const WireError error = decode_error_payload(frame->payload);
+    EXPECT_EQ(error.code(), code);
+    EXPECT_EQ(wire_error_code_name(error.code()), name);
+  }
+}
+
+TEST(Wire, HelloAndAckRoundTrip) {
+  HelloFrame hello;
+  hello.tenant = "team-alpha.batch_7";
+  hello.desired_stats_version = 4;
+  const HelloFrame decoded = decode_hello(encode_hello(hello));
+  EXPECT_EQ(decoded.tenant, hello.tenant);
+  EXPECT_EQ(decoded.desired_stats_version, 4u);
+
+  // The empty tenant travels fine too -- it is the "bill me as default"
+  // form, normalized server-side, never a codec error.
+  HelloFrame anonymous;
+  EXPECT_EQ(decode_hello(encode_hello(anonymous)).tenant, "");
+
+  HelloAckFrame ack;
+  ack.tenant = "team-alpha.batch_7";
+  ack.stats_version = 5;
+  const HelloAckFrame ack_decoded = decode_hello_ack(encode_hello_ack(ack));
+  EXPECT_EQ(ack_decoded.tenant, ack.tenant);
+  EXPECT_EQ(ack_decoded.stats_version, 5u);
+}
+
+TEST(Wire, MalformedHelloThrowsCodecError) {
+  HelloFrame hello;
+  hello.tenant = "alice";
+  const std::vector<std::uint8_t> bytes = encode_hello(hello);
+
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW(decode_hello(prefix), core::CodecError) << "cut=" << cut;
+    EXPECT_THROW(decode_hello_ack(prefix), core::CodecError) << "cut=" << cut;
+  }
+  std::vector<std::uint8_t> skewed = bytes;
+  skewed[0] = 0x7f;  // hello codec version
+  EXPECT_THROW(decode_hello(skewed), core::CodecError);
+  EXPECT_THROW(decode_hello_ack(skewed), core::CodecError);
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW(decode_hello(padded), core::CodecError);
+}
+
 TEST(Wire, GarbageAfterValidFrameThrowsOnTheGarbage) {
   FrameReader reader(1 << 20);
   std::vector<std::uint8_t> stream = encode_frame(MessageType::kPing);

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "bio/translate.hpp"
+#include "core/result_codec.hpp"
 #include "index/index_table.hpp"
 #include "sim/genome_generator.hpp"
 #include "sim/mutation.hpp"
@@ -303,7 +304,7 @@ TEST(QueryOptions, GroupKeySeparatesTheFullOptionGrid) {
                             1.0,    10.0,   1e6,  1e300, 5e-324,
                             0.0,    -0.0};
   const double spaces[] = {0.0, 1.0, 2.5e7};
-  std::vector<std::array<std::uint64_t, 3>> keys;
+  std::vector<CoalesceKey> keys;
   for (const double cutoff : cutoffs) {
     for (const double space : spaces) {
       for (const bool traceback : {false, true}) {
@@ -456,6 +457,110 @@ TEST(ServiceCodec, ServiceStatsRoundTrips) {
   std::vector<std::uint8_t> skewed = bytes;
   skewed[0] = 0xff;  // version byte
   EXPECT_THROW(decode_service_stats(skewed), core::CodecError);
+}
+
+TEST(SearchService, FairSchedulerKeepsRepliesByteIdentical) {
+  // The acceptance bar for tenancy: fairness and quotas may reorder or
+  // reject, but an ADMITTED query's reply bytes never change. A skewed
+  // two-tenant stream is run through a FIFO service and a weighted-fair
+  // one; every reply must match byte for byte.
+  const SavedBank saved(11, "svc_fair_bytes");
+  const auto run = [&](bool fair) {
+    ServiceConfig config;
+    config.fair_scheduler = fair;
+    config.fair_quantum = 64;  // tiny quantum: maximal reordering
+    TenantPolicy heavy;
+    heavy.weight = 10.0;
+    config.tenants.tenants["heavy"] = heavy;
+    SearchService service(config);
+
+    std::vector<ServiceRequest> requests;
+    for (const std::size_t i : {0u, 2u, 4u, 1u}) {
+      ServiceRequest request;
+      request.query = saved.query(i);
+      request.bank_prefix = saved.prefix;
+      request.options = service.default_query_options();
+      request.tenant.name = i == 1u ? "light" : "heavy";
+      requests.push_back(std::move(request));
+    }
+    std::vector<std::vector<std::uint8_t>> replies;
+    for (auto& future : service.submit_batch(std::move(requests))) {
+      replies.push_back(core::encode_matches(future.get().matches));
+    }
+    return replies;
+  };
+
+  const std::vector<std::vector<std::uint8_t>> fifo = run(false);
+  const std::vector<std::vector<std::uint8_t>> fair = run(true);
+  ASSERT_EQ(fifo.size(), fair.size());
+  for (std::size_t i = 0; i < fifo.size(); ++i) {
+    EXPECT_EQ(fifo[i], fair[i]) << "request " << i;
+  }
+}
+
+TEST(SearchService, SnapshotCarriesTenantRowsAndFairFlag) {
+  const SavedBank saved(12, "svc_tenant_rows");
+  ServiceConfig config;
+  config.fair_scheduler = true;
+  SearchService service(config);
+
+  ServiceRequest named;
+  named.query = saved.query(0);
+  named.bank_prefix = saved.prefix;
+  named.options = service.default_query_options();
+  named.tenant.name = "alice";
+  service.submit(std::move(named)).get();
+  // The convenience overload leaves the tenant empty -> default row.
+  service.submit(saved.query(1), saved.prefix).get();
+
+  const ServiceStats stats = service.snapshot();
+  EXPECT_TRUE(stats.fair_scheduler);
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[0].name, "alice");
+  EXPECT_EQ(stats.tenants[0].admitted, 1u);
+  EXPECT_EQ(stats.tenants[0].completed, 1u);
+  EXPECT_GT(stats.tenants[0].query_residues, 0u);
+  // The resident-bytes gauge settles with the request: nothing is in
+  // flight at snapshot time, so nothing is charged.
+  EXPECT_EQ(stats.tenants[0].resident_bytes, 0u);
+  EXPECT_EQ(stats.tenants[0].queued, 0u);
+  EXPECT_EQ(stats.tenants[1].name, kDefaultTenantName);
+  EXPECT_EQ(stats.tenants[1].admitted, 1u);
+}
+
+TEST(SearchService, OverQuotaSubmitRejectsWithoutQueuing) {
+  const SavedBank saved(13, "svc_quota");
+  ServiceConfig config;
+  config.tenants.default_policy.max_in_flight = 1;
+  SearchService service(config);
+
+  // A two-request batch cannot fit the single in-flight slot: admission
+  // is all-or-nothing, so submit_batch throws AT SUBMIT (nothing is
+  // queued, nothing runs) and rolls the first member's admit back.
+  std::vector<ServiceRequest> batch;
+  for (int i = 0; i < 2; ++i) {
+    ServiceRequest request;
+    request.query = saved.query(static_cast<std::size_t>(i));
+    request.bank_prefix = saved.prefix;
+    request.options = service.default_query_options();
+    batch.push_back(std::move(request));
+  }
+  try {
+    service.submit_batch(std::move(batch));
+    FAIL() << "expected QuotaError";
+  } catch (const QuotaError& e) {
+    EXPECT_EQ(e.kind(), QuotaKind::kInFlight);
+  }
+
+  // The rollback released the slot: a single submit passes and runs.
+  EXPECT_FALSE(service.submit(saved.query(2), saved.prefix).get()
+                   .matches.empty());
+  const ServiceStats stats = service.snapshot();
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].rejected, 1u);
+  EXPECT_EQ(stats.tenants[0].admitted, 1u);
+  EXPECT_EQ(stats.tenants[0].completed, 1u);
+  EXPECT_EQ(stats.tenants[0].queued, 0u);
 }
 
 TEST(SearchService, DrainsPendingQueriesOnShutdown) {

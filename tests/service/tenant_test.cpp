@@ -1,0 +1,440 @@
+// Unit tests for the multi-tenant policy layer: tenant names, the
+// --tenant-config parser, the TenantRegistry quota gates (qps,
+// in-flight, resident-bytes, hedge budget) and the DRR FairScheduler,
+// including the starvation bound the scheduler documents.
+#include "service/tenant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/scheduler.hpp"
+
+namespace psc::service {
+namespace {
+
+TEST(TenantName, ValidatesCharsetAndLength) {
+  EXPECT_TRUE(tenant_name_is_valid("alice"));
+  EXPECT_TRUE(tenant_name_is_valid("team-alpha.batch_7"));
+  EXPECT_TRUE(tenant_name_is_valid("A"));
+  EXPECT_TRUE(tenant_name_is_valid(std::string(64, 'x')));  // at the cap
+
+  EXPECT_FALSE(tenant_name_is_valid(""));  // the "no identity" sentinel
+  EXPECT_FALSE(tenant_name_is_valid(std::string(65, 'x')));
+  EXPECT_FALSE(tenant_name_is_valid("has space"));
+  EXPECT_FALSE(tenant_name_is_valid("semi;colon"));
+  EXPECT_FALSE(tenant_name_is_valid(std::string("nul\0byte", 8)));
+  EXPECT_FALSE(tenant_name_is_valid("emph\xc3\xa9"));
+}
+
+TEST(TenantName, EmptyNormalizesToDefault) {
+  EXPECT_EQ(normalize_tenant_name(""), kDefaultTenantName);
+  EXPECT_EQ(normalize_tenant_name("alice"), "alice");
+  EXPECT_EQ(normalize_tenant_name("default"), "default");
+}
+
+TEST(TenantConfigParser, ParsesPoliciesCommentsAndDefault) {
+  std::istringstream in(
+      "# heavy batch tenant\n"
+      "\n"
+      "tenant default qps=50\n"
+      "tenant batch weight=4 qps=200 in-flight=16 resident-mb=512\n"
+      "tenant interactive hedges-per-sec=2 # trailing comment\n");
+  const TenantConfig config = parse_tenant_config(in);
+
+  EXPECT_DOUBLE_EQ(config.default_policy.max_qps, 50.0);
+  ASSERT_EQ(config.tenants.size(), 3u);
+
+  const TenantPolicy& batch = config.policy_for("batch");
+  EXPECT_DOUBLE_EQ(batch.weight, 4.0);
+  EXPECT_DOUBLE_EQ(batch.max_qps, 200.0);
+  EXPECT_EQ(batch.max_in_flight, 16u);
+  EXPECT_EQ(batch.max_resident_bytes, std::uint64_t{512} << 20);
+  EXPECT_DOUBLE_EQ(batch.hedges_per_second, -1.0);  // untouched default
+
+  EXPECT_DOUBLE_EQ(config.policy_for("interactive").hedges_per_second, 2.0);
+  // Unknown tenants inherit the default policy.
+  EXPECT_DOUBLE_EQ(config.policy_for("stranger").max_qps, 50.0);
+}
+
+TEST(TenantConfigParser, MalformedLinesThrowWithLineNumber) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return parse_tenant_config(in);
+  };
+  const std::pair<const char*, const char*> cases[] = {
+      {"client alice qps=1\n", "line 1"},          // not 'tenant'
+      {"tenant\n", "line 1"},                      // missing name
+      {"tenant bad name!\n", "line 1"},            // invalid charset... name
+      {"tenant a qps\n", "line 1"},                // not key=value
+      {"tenant a qps=\n", "line 1"},               // empty value
+      {"tenant a qps=abc\n", "line 1"},            // non-numeric
+      {"tenant a turbo=1\n", "line 1"},            // unknown key
+      {"tenant a in-flight=-1\n", "line 1"},       // negative count
+      {"tenant ok qps=1\ntenant b qps=x\n", "line 2"},
+  };
+  for (const auto& [text, where] : cases) {
+    try {
+      parse(text);
+      FAIL() << "expected invalid_argument for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(where), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+/// Registry with an injected bank-size table, so resident-bytes tests
+/// never touch the filesystem.
+TenantRegistry registry_with(TenantConfig config,
+                             std::map<std::string, std::uint64_t> banks = {}) {
+  return TenantRegistry(
+      std::move(config),
+      [banks = std::move(banks)](const std::string& prefix) -> std::uint64_t {
+        const auto it = banks.find(prefix);
+        return it == banks.end() ? 0 : it->second;
+      });
+}
+
+TEST(TenantRegistry, QpsBucketAdmitsBurstThenRejectsTyped) {
+  TenantConfig config;
+  config.default_policy.max_qps = 1.0;
+  TenantRegistry registry = registry_with(config);
+
+  registry.admit("default", 10, "bank");
+  try {
+    registry.admit("default", 10, "bank");
+    FAIL() << "expected QuotaError";
+  } catch (const QuotaError& e) {
+    EXPECT_EQ(e.kind(), QuotaKind::kQueriesPerSecond);
+    EXPECT_EQ(e.tenant(), "default");
+    EXPECT_EQ(quota_kind_name(e.kind()), std::string("queries-per-second"));
+  }
+
+  const std::vector<TenantStats> rows = registry.snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].admitted, 1u);
+  EXPECT_EQ(rows[0].rejected, 1u);
+  EXPECT_EQ(rows[0].queued, 1u);
+  EXPECT_EQ(rows[0].query_residues, 10u);
+}
+
+TEST(TenantRegistry, SubUnitQpsStillAdmitsTheFirstQuery) {
+  // Burst floors at one token: a 0.01 qps tenant gets one query now and
+  // one every 100 seconds -- never "rejected forever".
+  TenantConfig config;
+  config.default_policy.max_qps = 0.01;
+  TenantRegistry registry = registry_with(config);
+  EXPECT_NO_THROW(registry.admit("default", 1, "bank"));
+  EXPECT_THROW(registry.admit("default", 1, "bank"), QuotaError);
+}
+
+TEST(TenantRegistry, InFlightCapFreesOnComplete) {
+  TenantConfig config;
+  config.default_policy.max_in_flight = 2;
+  TenantRegistry registry = registry_with(config);
+
+  registry.admit("a", 1, "bank");
+  registry.admit("a", 1, "bank");
+  try {
+    registry.admit("a", 1, "bank");
+    FAIL() << "expected QuotaError";
+  } catch (const QuotaError& e) {
+    EXPECT_EQ(e.kind(), QuotaKind::kInFlight);
+  }
+
+  registry.complete("a", "bank", /*success=*/true, 0.25);
+  EXPECT_NO_THROW(registry.admit("a", 1, "bank"));
+
+  const std::vector<TenantStats> rows = registry.snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].admitted, 3u);
+  EXPECT_EQ(rows[0].completed, 1u);
+  EXPECT_EQ(rows[0].queued, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].max_latency_seconds, 0.25);
+}
+
+TEST(TenantRegistry, ResidentBytesChargePerPrefixWithRefCounts) {
+  TenantConfig config;
+  config.default_policy.max_resident_bytes = 250;
+  TenantRegistry registry =
+      registry_with(config, {{"banks/a", 100}, {"banks/b", 200}});
+
+  registry.admit("t", 1, "banks/a");
+  // A second request against the SAME bank adds no new charge.
+  registry.admit("t", 1, "banks/a");
+  EXPECT_EQ(registry.snapshot()[0].resident_bytes, 100u);
+
+  try {
+    registry.admit("t", 1, "banks/b");  // 100 + 200 > 250
+    FAIL() << "expected QuotaError";
+  } catch (const QuotaError& e) {
+    EXPECT_EQ(e.kind(), QuotaKind::kResidentBytes);
+  }
+
+  // The charge outlives the first completion (one reference remains)
+  // and is released with the last one.
+  registry.complete("t", "banks/a", true, 0.01);
+  EXPECT_EQ(registry.snapshot()[0].resident_bytes, 100u);
+  registry.complete("t", "banks/a", true, 0.01);
+  EXPECT_EQ(registry.snapshot()[0].resident_bytes, 0u);
+  EXPECT_NO_THROW(registry.admit("t", 1, "banks/b"));
+}
+
+TEST(TenantRegistry, CancelRollsBackEverythingButTheQpsToken) {
+  TenantConfig config;
+  config.default_policy.max_qps = 1.0;
+  TenantRegistry registry = registry_with(config, {{"bank", 64}});
+
+  registry.admit("t", 7, "bank");
+  registry.cancel("t", "bank");
+
+  const std::vector<TenantStats> rows = registry.snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].admitted, 0u);   // the admit is rolled back...
+  EXPECT_EQ(rows[0].queued, 0u);
+  EXPECT_EQ(rows[0].resident_bytes, 0u);
+  EXPECT_EQ(rows[0].completed, 0u);  // ...without faking an outcome
+  EXPECT_EQ(rows[0].failed, 0u);
+
+  // The qps token stays spent: the tenant did ask.
+  EXPECT_THROW(registry.admit("t", 1, "bank"), QuotaError);
+}
+
+TEST(TenantRegistry, HedgeBudgetUnlimitedZeroAndMetered) {
+  TenantConfig config;  // default hedges_per_second = -1: unlimited
+  TenantPolicy none;
+  none.hedges_per_second = 0.0;
+  TenantPolicy one;
+  one.hedges_per_second = 1.0;
+  config.tenants["never"] = none;
+  config.tenants["metered"] = one;
+  TenantRegistry registry = registry_with(config);
+
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(registry.try_spend_hedge("free"));
+  EXPECT_FALSE(registry.try_spend_hedge("never"));
+  EXPECT_FALSE(registry.try_spend_hedge("never"));
+  EXPECT_TRUE(registry.try_spend_hedge("metered"));   // burst of one
+  EXPECT_FALSE(registry.try_spend_hedge("metered"));  // bucket drained
+
+  for (const TenantStats& row : registry.snapshot()) {
+    if (row.name == "free") {
+      EXPECT_EQ(row.hedges, 5u);
+      EXPECT_EQ(row.hedges_denied, 0u);
+    } else if (row.name == "never") {
+      EXPECT_EQ(row.hedges, 0u);
+      EXPECT_EQ(row.hedges_denied, 2u);
+    } else if (row.name == "metered") {
+      EXPECT_EQ(row.hedges, 1u);
+      EXPECT_EQ(row.hedges_denied, 1u);
+    }
+  }
+}
+
+TEST(TenantRegistry, SnapshotListsConfiguredAndSeenTenantsSorted) {
+  TenantConfig config;
+  TenantPolicy heavy;
+  heavy.weight = 8.0;
+  config.tenants["beta"] = heavy;
+  config.tenants["alpha"] = TenantPolicy{};
+  TenantRegistry registry = registry_with(config);
+
+  // Configured tenants are listed before any traffic; an outer-gate
+  // rejection creates the row for a brand-new tenant.
+  registry.record_rejection("zed");
+
+  const std::vector<TenantStats> rows = registry.snapshot();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "alpha");
+  EXPECT_EQ(rows[1].name, "beta");
+  EXPECT_DOUBLE_EQ(rows[1].weight, 8.0);
+  EXPECT_EQ(rows[2].name, "zed");
+  EXPECT_EQ(rows[2].rejected, 1u);
+
+  EXPECT_DOUBLE_EQ(registry.weight("beta"), 8.0);
+  EXPECT_DOUBLE_EQ(registry.weight("stranger"), 1.0);
+  // Degenerate weights are floored, never zero.
+  TenantConfig zero;
+  zero.default_policy.weight = 0.0;
+  EXPECT_GT(registry_with(zero).weight("anyone"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// FairScheduler (DRR across tenants)
+
+GroupView group(std::uint64_t bank, std::uint64_t seq,
+                std::vector<TenantShare> shares) {
+  GroupView view;
+  view.bank = bank;
+  view.earliest_seq = seq;
+  view.work = 0;
+  for (const TenantShare& share : shares) view.work += share.work;
+  view.shares = std::move(shares);
+  return view;
+}
+
+FairScheduler::WeightFn weights(std::map<std::string, double> table) {
+  return [table = std::move(table)](const std::string& tenant) {
+    const auto it = table.find(tenant);
+    return it == table.end() ? 1.0 : it->second;
+  };
+}
+
+TEST(FairScheduler, EqualWeightsAlternateDeterministically) {
+  FairScheduler::Config config;
+  config.quantum = 100;
+  config.within = SchedulerPolicy::kFifo;
+
+  // Two runs over the same arrival stream must produce the same serve
+  // order (the ring, deficits and cursor are all deterministic).
+  for (int run = 0; run < 2; ++run) {
+    FairScheduler scheduler(config);
+    std::vector<GroupView> groups;
+    std::uint64_t seq = 0;
+    // tenant a keeps four groups pending, tenant b four as well.
+    for (int i = 0; i < 4; ++i) {
+      groups.push_back(group(1, seq++, {{"a", 100}}));
+      groups.push_back(group(2, seq++, {{"b", 100}}));
+    }
+    std::vector<std::string> serves;
+    while (!groups.empty()) {
+      const PickResult pick = scheduler.pick(groups, 0, weights({}));
+      serves.push_back(groups[pick.index].shares[0].tenant);
+      groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(pick.index));
+    }
+    EXPECT_EQ(serves, (std::vector<std::string>{"a", "b", "a", "b", "a", "b",
+                                                "a", "b"}))
+        << "run " << run;
+  }
+}
+
+TEST(FairScheduler, RiderOnASharedPassPaysItsOwnShare) {
+  FairScheduler::Config config;
+  config.quantum = 100;
+  config.within = SchedulerPolicy::kFifo;
+  FairScheduler scheduler(config);
+
+  // g0 is a cross-tenant coalesced pass (a and b both aboard); b also
+  // has an older solo group than a's. Serving g0 debits BOTH members,
+  // so a's younger solo group is served before b's older one: b already
+  // got work by riding the shared pass.
+  std::vector<GroupView> groups = {
+      group(1, 0, {{"a", 100}, {"b", 100}}),
+      group(2, 1, {{"b", 100}}),
+      group(3, 2, {{"a", 100}}),
+  };
+
+  const PickResult first = scheduler.pick(groups, 0, weights({}));
+  EXPECT_EQ(first.index, 0u);  // the shared pass
+  groups.erase(groups.begin());
+
+  const PickResult second = scheduler.pick(groups, 0, weights({}));
+  EXPECT_EQ(groups[second.index].shares[0].tenant, "a");
+  EXPECT_TRUE(second.reordered);  // passed over b's older group
+  groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(second.index));
+
+  const PickResult third = scheduler.pick(groups, 0, weights({}));
+  EXPECT_EQ(groups[third.index].shares[0].tenant, "b");
+}
+
+TEST(FairScheduler, ShareLessGroupsFallBackToPlainAffinity) {
+  // Legacy callers that never fill GroupView::shares must keep the
+  // non-fair behavior: oldest group first under kFifo, no throw.
+  FairScheduler::Config config;
+  config.within = SchedulerPolicy::kFifo;
+  FairScheduler scheduler(config);
+  const std::vector<GroupView> groups = {group(1, 5, {}), group(2, 3, {})};
+  EXPECT_EQ(scheduler.pick(groups, 0, weights({})).index, 1u);
+}
+
+TEST(FairScheduler, LightTenantWaitIsWithinTheDrrBoundAtTenToOneSkew) {
+  // The bound documented in scheduler.hpp: a tenant is served within
+  // ceil(max_cost / (quantum * weight)) ring laps. With quantum 64,
+  // light weight 1 and uniform group cost 512, the light tenant's gap
+  // between serves is at most ceil(512/64) + 1 = 9 picks, no matter how
+  // much work the 10x-weight heavy tenant keeps pending.
+  FairScheduler::Config config;
+  config.quantum = 64;
+  config.within = SchedulerPolicy::kFifo;
+  config.starvation_rounds = 0;  // isolate pure DRR (no aging rescue)
+  FairScheduler scheduler(config);
+  const FairScheduler::WeightFn weight =
+      weights({{"heavy", 10.0}, {"light", 1.0}});
+  const std::uint64_t kCost = 512;
+  const int kBound = 9;
+
+  std::uint64_t seq = 0;
+  std::vector<GroupView> groups;
+  const auto refill = [&] {
+    std::size_t heavy_pending = 0;
+    bool light_pending = false;
+    for (const GroupView& g : groups) {
+      if (g.shares[0].tenant == "heavy") ++heavy_pending;
+      if (g.shares[0].tenant == "light") light_pending = true;
+    }
+    while (heavy_pending < 3) {
+      groups.push_back(group(1 + seq % 4, seq, {{"heavy", kCost}}));
+      ++seq;
+      ++heavy_pending;
+    }
+    if (!light_pending) {
+      groups.push_back(group(1 + seq % 4, seq, {{"light", kCost}}));
+      ++seq;
+    }
+  };
+
+  int since_light = 0;
+  int max_gap = 0;
+  int light_serves = 0;
+  for (int picks = 0; picks < 400; ++picks) {
+    refill();
+    const PickResult pick = scheduler.pick(groups, 0, weight);
+    const std::string tenant = groups[pick.index].shares[0].tenant;
+    groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(pick.index));
+    if (tenant == "light") {
+      ++light_serves;
+      since_light = 0;
+    } else {
+      ++since_light;
+      max_gap = std::max(max_gap, since_light);
+    }
+  }
+  EXPECT_GE(light_serves, 400 / (kBound + 1));
+  EXPECT_LE(max_gap, kBound) << "light tenant waited " << max_gap
+                             << " picks, DRR bound is " << kBound;
+}
+
+TEST(FairScheduler, StarvationGuardOutranksWeightsAtScaledThreshold) {
+  // In fair mode the aging guard scales with queue depth (a group is
+  // starving after starvation_rounds * pending_groups rounds), so that
+  // sustained backlog -- where EVERY group waits ~depth rounds -- does
+  // not flatten DRR into FIFO. At the scaled threshold the guard still
+  // outranks weights.
+  FairScheduler::Config config;
+  config.quantum = 1 << 20;  // heavy's deficit always covers its groups
+  config.within = SchedulerPolicy::kFifo;
+  config.starvation_rounds = 3;
+  FairScheduler scheduler(config);
+  const FairScheduler::WeightFn weight =
+      weights({{"heavy", 100.0}, {"light", 1e-9}});  // floored, tiny
+
+  std::vector<GroupView> groups = {
+      group(1, 0, {{"heavy", 64}}),
+      group(2, 1, {{"light", 64}}),
+  };
+  groups[1].rounds_waited = 5;  // below 3 * 2: not starving yet
+  EXPECT_EQ(scheduler.pick(groups, 0, weight).index, 0u);
+
+  groups[1].rounds_waited = 6;  // at the scaled threshold
+  const PickResult pick = scheduler.pick(groups, 0, weight);
+  EXPECT_EQ(pick.index, 1u);
+  EXPECT_TRUE(pick.starvation_promotion);
+}
+
+}  // namespace
+}  // namespace psc::service

@@ -12,6 +12,7 @@
 // diffed bit-for-bit.
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -76,19 +77,42 @@ void print_stats(const service::ServiceStats& stats) {
                                            ? "unknown"
                                            : stats.scheduler_policy.c_str());
   // A router backend (codec v3) reports its replica table; a plain
-  // psc_serve has no rows and prints nothing extra.
+  // psc_serve has no rows and prints nothing extra. The benched/revived
+  // columns ride codec v5; older servers leave them zero.
   for (const service::ReplicaStats& replica : stats.replicas) {
     std::printf(
         "replica=%s up=%d inflight=%llu requests=%llu retries=%llu "
-        "hedges=%llu failures=%llu p50_latency_seconds=%.6f "
-        "max_latency_seconds=%.6f\n",
+        "hedges=%llu failures=%llu benched=%llu revived=%llu "
+        "p50_latency_seconds=%.6f max_latency_seconds=%.6f\n",
         replica.endpoint.c_str(), replica.up ? 1 : 0,
         static_cast<unsigned long long>(replica.inflight),
         static_cast<unsigned long long>(replica.requests),
         static_cast<unsigned long long>(replica.retries),
         static_cast<unsigned long long>(replica.hedges),
         static_cast<unsigned long long>(replica.failures),
+        static_cast<unsigned long long>(replica.benched),
+        static_cast<unsigned long long>(replica.revived),
         replica.p50_latency_seconds, replica.max_latency_seconds);
+  }
+  // Multi-tenant rows (codec v5); a pre-tenancy server sends none.
+  std::printf("fair_scheduler=%d\n", stats.fair_scheduler ? 1 : 0);
+  for (const service::TenantStats& tenant : stats.tenants) {
+    std::printf(
+        "tenant=%s weight=%.3f admitted=%llu rejected=%llu completed=%llu "
+        "failed=%llu queued=%llu total_latency_seconds=%.6f "
+        "max_latency_seconds=%.6f query_residues=%llu resident_bytes=%llu "
+        "hedges=%llu hedges_denied=%llu\n",
+        tenant.name.c_str(), tenant.weight,
+        static_cast<unsigned long long>(tenant.admitted),
+        static_cast<unsigned long long>(tenant.rejected),
+        static_cast<unsigned long long>(tenant.completed),
+        static_cast<unsigned long long>(tenant.failed),
+        static_cast<unsigned long long>(tenant.queued),
+        tenant.total_latency_seconds, tenant.max_latency_seconds,
+        static_cast<unsigned long long>(tenant.query_residues),
+        static_cast<unsigned long long>(tenant.resident_bytes),
+        static_cast<unsigned long long>(tenant.hedges),
+        static_cast<unsigned long long>(tenant.hedges_denied));
   }
 }
 
@@ -100,6 +124,15 @@ int main(int argc, char** argv) {
   args.add_option("host", "127.0.0.1", "server address");
   args.add_option("port", "0", "server port (required)");
   args.add_option("timeout", "30", "socket timeout in seconds (0 = none)");
+  args.add_option("tenant", "",
+                  "tenant identity: sends a kHello handshake so every "
+                  "request on this connection is billed to the named "
+                  "tenant (empty = legacy hello-less connection, billed "
+                  "to 'default')");
+  args.add_option("repeat", "1",
+                  "submit the search this many times on one connection; "
+                  "over-quota rejections are counted, not fatal, and a "
+                  "final ping proves the connection survived them");
   args.add_flag("ping", "round-trip a Ping frame and exit");
   args.add_flag("stats", "print the service stats snapshot and exit");
   args.add_option("bank", "",
@@ -124,6 +157,12 @@ int main(int argc, char** argv) {
   config.host = args.get("host");
   config.port = static_cast<std::uint16_t>(port);
   config.timeout_seconds = args.get_double("timeout");
+  config.tenant = args.get("tenant");
+  const std::int64_t repeat = args.get_int("repeat");
+  if (repeat < 1) {
+    std::fprintf(stderr, "psc_client: --repeat must be >= 1\n");
+    return 1;
+  }
 
   try {
     net::Client client(config);
@@ -170,8 +209,41 @@ int main(int argc, char** argv) {
     options.with_traceback = !args.get_flag("no-traceback");
     options.composition_based_stats = args.get_flag("composition");
 
-    const service::QueryResult result =
-        client.search(bank, query_fasta, options);
+    // With --repeat, over-quota rejections are data, not failures: they
+    // are counted, the loop continues, and a final ping proves the
+    // typed error left the connection usable.
+    std::optional<service::QueryResult> first_admitted;
+    std::optional<net::WireError> last_rejection;
+    unsigned long long admitted = 0;
+    unsigned long long rejected = 0;
+    for (std::int64_t attempt = 0; attempt < repeat; ++attempt) {
+      try {
+        service::QueryResult reply = client.search(bank, query_fasta, options);
+        ++admitted;
+        if (!first_admitted) first_admitted = std::move(reply);
+      } catch (const net::WireError& e) {
+        if (e.code() == net::WireErrorCode::kQuotaExceeded ||
+            e.code() == net::WireErrorCode::kAdmissionRejected) {
+          ++rejected;
+          last_rejection = e;
+          continue;
+        }
+        throw;
+      }
+    }
+    if (repeat > 1) {
+      client.ping();
+      std::fprintf(stderr, "# repeat summary: admitted=%llu rejected=%llu\n",
+                   admitted, rejected);
+    }
+    if (!first_admitted) {
+      std::fprintf(stderr,
+                   "psc_client: every submission was rejected [%s]: %s\n",
+                   net::wire_error_code_name(last_rejection->code()).c_str(),
+                   last_rejection->what());
+      return 2;
+    }
+    const service::QueryResult& result = *first_admitted;
 
     if (args.get_flag("output-binary")) {
       const std::vector<std::uint8_t> bytes =

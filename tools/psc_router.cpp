@@ -62,6 +62,18 @@ int main(int argc, char** argv) {
   args.add_option("health-interval", "2",
                   "seconds between replica health probe rounds");
   args.add_option("health-timeout", "2", "per-probe timeout in seconds");
+  args.add_option("tenant-config", "",
+                  "per-tenant policy file ('tenant <name> weight=2 qps=10 "
+                  "in-flight=8 hedges-per-sec=1' per line; name 'default' "
+                  "sets the policy for unlisted tenants)");
+  args.add_option("default-qps", "0",
+                  "queries/sec quota for tenants without an explicit "
+                  "policy row (0 = unlimited); overrides the file's "
+                  "default qps when both are given");
+  args.add_option("max-active", "0",
+                  "cluster-wide fan-outs in flight at once; beyond it a "
+                  "submit fails fast with admission-rejected (0 = "
+                  "unlimited)");
   args.add_option("max-payload-mb", "64", "per-frame receive limit (MiB)");
   args.add_option("max-in-flight", "32",
                   "searches one connection may have unanswered");
@@ -93,6 +105,29 @@ int main(int argc, char** argv) {
   router_config.request_timeout_seconds = args.get_double("request-timeout");
   router_config.health.interval_seconds = args.get_double("health-interval");
   router_config.health.timeout_seconds = args.get_double("health-timeout");
+  if (!args.get("tenant-config").empty()) {
+    try {
+      router_config.tenants =
+          service::load_tenant_config(args.get("tenant-config"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "psc_router: %s\n", e.what());
+      return 1;
+    }
+  }
+  {
+    const double default_qps = args.get_double("default-qps");
+    const std::int64_t max_active = args.get_int("max-active");
+    if (default_qps < 0.0 || max_active < 0) {
+      std::fprintf(stderr,
+                   "psc_router: --default-qps and --max-active must be "
+                   ">= 0\n");
+      return 1;
+    }
+    if (default_qps > 0.0) {
+      router_config.tenants.default_policy.max_qps = default_qps;
+    }
+    router_config.max_active_fanouts = static_cast<std::size_t>(max_active);
+  }
 
   net::ServerConfig server_config;
   server_config.bind_address = args.get("bind");

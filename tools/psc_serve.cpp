@@ -108,6 +108,21 @@ int main(int argc, char** argv) {
   args.add_option("starvation-rounds", "4",
                   "rounds a pending group may be passed over before the "
                   "aging guard forces it to run (0 = no guard)");
+  args.add_option("tenant-config", "",
+                  "per-tenant policy file ('tenant <name> weight=2 qps=10 "
+                  "in-flight=8 resident-mb=64 hedges-per-sec=1' per line; "
+                  "name 'default' sets the policy for unlisted tenants)");
+  args.add_option("default-qps", "0",
+                  "queries/sec quota for tenants without an explicit "
+                  "policy row (0 = unlimited); overrides the file's "
+                  "default qps when both are given");
+  args.add_flag("fair-scheduler",
+                "weighted-fair (deficit round-robin) batch order across "
+                "tenants instead of pure bank-affinity/FIFO; admitted "
+                "replies stay byte-identical");
+  args.add_option("fair-quantum", "4096",
+                  "DRR quantum in query residues credited per tenant per "
+                  "scheduler visit (only with --fair-scheduler)");
   args.add_option("max-payload-mb", "64", "per-frame receive limit (MiB)");
   args.add_option("max-in-flight", "32",
                   "searches one connection may have unanswered");
@@ -148,6 +163,34 @@ int main(int argc, char** argv) {
     service_config.max_drain_per_round = static_cast<std::size_t>(drain_cap);
     service_config.starvation_rounds =
         static_cast<std::uint64_t>(starvation);
+  }
+  if (!args.get("tenant-config").empty()) {
+    try {
+      service_config.tenants =
+          service::load_tenant_config(args.get("tenant-config"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "psc_serve: %s\n", e.what());
+      return 1;
+    }
+  }
+  {
+    const double default_qps = args.get_double("default-qps");
+    if (default_qps < 0.0) {
+      std::fprintf(stderr, "--default-qps must be >= 0\n");
+      return 1;
+    }
+    if (default_qps > 0.0) {
+      service_config.tenants.default_policy.max_qps = default_qps;
+    }
+  }
+  service_config.fair_scheduler = args.get_flag("fair-scheduler");
+  {
+    const std::int64_t quantum = args.get_int("fair-quantum");
+    if (quantum <= 0) {
+      std::fprintf(stderr, "--fair-quantum must be > 0\n");
+      return 1;
+    }
+    service_config.fair_quantum = static_cast<std::uint64_t>(quantum);
   }
   // The service-global traceback setting is the serving default; remote
   // queries carry their own per-query value in the Search frame.
