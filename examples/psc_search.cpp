@@ -160,9 +160,9 @@ int main(int argc, char** argv) {
 
       // Text formats index the subject bank by the matches' (global)
       // subject ids; stitch the shards back into one bank in base order.
-      bio::SequenceBank subject(set.shards.front().bank.kind());
-      for (const service::LoadedShard& shard : set.shards) {
-        for (const bio::Sequence& sequence : shard.bank) {
+      bio::SequenceBank subject(set.shards.front()->bank.kind());
+      for (const auto& shard : set.shards) {
+        for (const bio::Sequence& sequence : shard->bank) {
           subject.add(sequence);
         }
       }

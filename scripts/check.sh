@@ -35,6 +35,9 @@ scripts/cluster_check.sh build
 echo "== tier 1: multi-tenant check (quotas + fair scheduler) =="
 scripts/tenant_check.sh build
 
+echo "== tier 1: live-ingest check (append+refresh vs full rebuild) =="
+scripts/ingest_check.sh build
+
 echo "== sanitizers: align/core/rasc/store/service/net/cluster tests under ASan/UBSan =="
 cmake -B build-asan -S . \
   -DPSC_ENABLE_SANITIZERS=ON \

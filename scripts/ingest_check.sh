@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# Live-ingest equivalence check: build a sharded store from bank A and
+# serve it (psc_serve behind psc_router with an '=all' claim), then
+# append bank B with `psc_index --append` while both processes keep
+# running. Before the refresh the servers must still answer from the
+# pinned revision-1 generation; after `psc_client --refresh` both must
+# answer bit-for-bit identically to a fresh full rebuild of A+B served
+# cold (both sides emit the versioned match encoding via
+# --output-binary, so `cmp` is the whole comparison). A final pass
+# rebuilds A+B with --compress and requires the same bytes again, so the
+# v3 LZSS cold-storage mode rides the same equivalence proof.
+#
+# Usage: scripts/ingest_check.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+build=${1:-build}
+
+index="$build/tools/psc_index"
+serve="$build/tools/psc_serve"
+client="$build/tools/psc_client"
+router="$build/tools/psc_router"
+for binary in "$index" "$serve" "$client" "$router"; do
+  if [[ ! -x $binary ]]; then
+    echo "ingest_check: missing $binary (build the default targets first)" >&2
+    exit 1
+  fi
+done
+
+work=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  for pid in "${pids[@]}"; do wait "$pid" 2>/dev/null || true; done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# --- bank A, the live-ingest delta B, and queries ----------------------
+# q1 only matches a sequence in B: its results MUST change at refresh,
+# so a server that silently keeps serving revision 1 cannot pass.
+cat > "$work/bank_a.fa" <<'EOF'
+>ref0
+MKVLITGAGSGIGLELAKQFAREGYKVAVTDINEEKLQELKEELGDNVIGIVGDVSSEED
+VKRAVAEAVERFGRIDVLVNNAGITRDNLLMRMKEEEWDDVIDTNLKGVFNCTQAVSRIM
+>ref1
+MSTNPKPQRKTKRNTNRRPQDVKFPGGGQIVGGVYLLPRRGPRLGVRATRKTSERSQPRG
+RRQPIPKARRPEGRTWAQPGYPWPLYGNEGCGWAGWLLSPRGSRPSWGPTDPRRRSRNLG
+>ref2
+MAHHHHHHMGTLEAQTQGPGSMSDKIIHLTDDSFDTDVLKADGAILVDFWAEWCGPCKMI
+APILDEIADEYQGKLTVAKLNIDQNPGTAPKYGIRGIPTLLLFKNGEVAATKVGALSKGQ
+EOF
+
+cat > "$work/bank_b.fa" <<'EOF'
+>new0
+MDSKGSSQKGSRLLLLLVVSNLLLCQGVVSTPVCPNGPGNCQVSLRDLFDRAVMVSHYIH
+DLSSEMFNEFDKRYAQGKGFITMALNSCHTSSLPTPEDKEQAQQTHHEVLMSLILGLLRS
+>new1
+MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQVKVK
+ALPDAQFEVVHSLAKWKRQTLGQHDFSAGEGLYTHMKALRPDEDRLSPLHSVYVDQWDWE
+EOF
+
+cat > "$work/queries.fa" <<'EOF'
+>q0_ref0_like
+MKVLITGAGSGIGLELAKQFAREGYKVAVTDINEEKLQELKEELGDNVIGIVGDVSSEED
+>q1_new0_like
+DLSSEMFNEFDKRYAQGKGFITMALNSCHTSSLPTPEDKEQAQQTHHEVLMSLILGLLRS
+>q2_random
+QWERTYIPASDFGHKLCVNMQWERTYIPASDFGHKLCVNMQWERTYIPASDFGHKLCVNM
+EOF
+
+cat "$work/bank_a.fa" "$work/bank_b.fa" > "$work/bank_ab.fa"
+
+echo "== ingest: revision-1 store from bank A (one sequence per shard) =="
+"$index" --input="$work/bank_a.fa" --kind=protein --out="$work/bank" \
+  --shard-max-bytes=1
+
+echo "== ingest: starting psc_serve + psc_router (=all claim) =="
+# --max-resident must hold the manifest generation AND the router's
+# per-shard loads at once: the revision pin is only as durable as
+# residency, so an evicted generation would legitimately come back at
+# the on-disk revision and void the pre-refresh pinning assertion below.
+"$serve" --bank-root="$work" --port=0 --port-file="$work/serve.port" \
+  --backend=host-parallel --max-resident=32 &
+pids+=($!)
+for _ in $(seq 1 100); do
+  [[ -s $work/serve.port ]] && break
+  sleep 0.1
+done
+[[ -s $work/serve.port ]] || { echo "psc_serve never wrote its port" >&2; exit 1; }
+serve_port=$(cat "$work/serve.port")
+
+"$router" --manifest="$work/bank" --bank=bank \
+  --replicas="127.0.0.1:$serve_port=all" \
+  --port=0 --port-file="$work/router.port" &
+pids+=($!)
+for _ in $(seq 1 100); do
+  [[ -s $work/router.port ]] && break
+  sleep 0.1
+done
+[[ -s $work/router.port ]] || { echo "psc_router never wrote its port" >&2; exit 1; }
+router_port=$(cat "$work/router.port")
+
+query() {  # query <port> <outfile>
+  "$client" --port="$1" --bank=bank --query="$work/queries.fa" \
+    --output-binary > "$2"
+}
+
+echo "== ingest: revision-1 baseline query =="
+query "$serve_port" "$work/rev1_direct.bin"
+query "$router_port" "$work/rev1_routed.bin"
+cmp "$work/rev1_direct.bin" "$work/rev1_routed.bin"
+
+echo "== ingest: appending bank B under the live servers =="
+"$index" --input="$work/bank_b.fa" --kind=protein --out="$work/bank" --append
+[[ -f $work/bank.shard03.pscbank ]] || {
+  echo "ingest_check: --append did not write a tail shard" >&2; exit 1; }
+
+echo "== ingest: before the refresh both still serve revision 1 =="
+query "$serve_port" "$work/pinned_direct.bin"
+query "$router_port" "$work/pinned_routed.bin"
+cmp "$work/rev1_direct.bin" "$work/pinned_direct.bin"
+cmp "$work/rev1_routed.bin" "$work/pinned_routed.bin"
+echo "   pinned generation intact"
+
+echo "== ingest: refreshing replica and router to revision 2 =="
+"$client" --port="$serve_port" --refresh=bank | tee "$work/refresh1.txt"
+grep -q "revision 2" "$work/refresh1.txt"
+"$client" --port="$router_port" --refresh=bank | tee "$work/refresh2.txt"
+grep -q "revision 2" "$work/refresh2.txt"
+
+query "$serve_port" "$work/rev2_direct.bin"
+query "$router_port" "$work/rev2_routed.bin"
+if cmp -s "$work/rev1_direct.bin" "$work/rev2_direct.bin"; then
+  echo "ingest_check: refresh did not change the answer (q1 must hit bank B)" >&2
+  exit 1
+fi
+
+echo "== ingest: fresh full rebuild of A+B served cold is the referee =="
+"$index" --input="$work/bank_ab.fa" --kind=protein --out="$work/full" \
+  --shard-max-bytes=1
+"$serve" --bank-root="$work" --port=0 --port-file="$work/full.port" \
+  --backend=host-parallel --max-resident=32 &
+pids+=($!)
+for _ in $(seq 1 100); do
+  [[ -s $work/full.port ]] && break
+  sleep 0.1
+done
+[[ -s $work/full.port ]] || { echo "referee psc_serve never wrote its port" >&2; exit 1; }
+full_port=$(cat "$work/full.port")
+"$client" --port="$full_port" --bank=full --query="$work/queries.fa" \
+  --output-binary > "$work/reference.bin"
+
+cmp "$work/reference.bin" "$work/rev2_direct.bin"
+echo "   append+refresh == full rebuild (direct)"
+cmp "$work/reference.bin" "$work/rev2_routed.bin"
+echo "   append+refresh == full rebuild (through psc_router)"
+
+echo "== ingest: re-refresh at the same revision is an idempotent no-op =="
+"$client" --port="$serve_port" --refresh=bank | grep -q "revision 2"
+query "$serve_port" "$work/rev2_again.bin"
+cmp "$work/reference.bin" "$work/rev2_again.bin"
+
+echo "== ingest: compressed full rebuild answers the same bytes =="
+"$index" --input="$work/bank_ab.fa" --kind=protein --out="$work/packed" \
+  --shard-max-bytes=1 --compress
+"$client" --port="$full_port" --bank=packed --query="$work/queries.fa" \
+  --output-binary > "$work/packed.bin"
+cmp "$work/reference.bin" "$work/packed.bin"
+plain_bytes=$(cat "$work"/full.shard*.pscbank | wc -c)
+packed_bytes=$(cat "$work"/packed.shard*.pscbank | wc -c)
+echo "   bit-for-bit OK (compressed banks $packed_bytes bytes vs $plain_bytes plain)"
+
+echo "== ingest check passed =="

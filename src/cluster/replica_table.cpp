@@ -57,12 +57,17 @@ std::vector<ReplicaEndpoint> parse_replica_list(const std::string& spec) {
                                   address + "'");
     }
     endpoint.port = static_cast<std::uint16_t>(port);
-    for (const std::string& shard : split(entry.substr(eq + 1), ',')) {
-      endpoint.shards.push_back(parse_number(shard, "shard index"));
-    }
-    if (endpoint.shards.empty()) {
-      throw std::invalid_argument("replica list: '" + address +
-                                  "' serves no shards");
+    const std::string claims = entry.substr(eq + 1);
+    if (claims == "all") {
+      endpoint.all_shards = true;
+    } else {
+      for (const std::string& shard : split(claims, ',')) {
+        endpoint.shards.push_back(parse_number(shard, "shard index"));
+      }
+      if (endpoint.shards.empty()) {
+        throw std::invalid_argument("replica list: '" + address +
+                                    "' serves no shards");
+      }
     }
     endpoints.push_back(std::move(endpoint));
   }
@@ -91,10 +96,7 @@ std::vector<std::size_t> ReplicaTable::live_candidates(
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
     if (!states_[i].up) continue;
-    const auto& shards = endpoints_[i].shards;
-    if (std::find(shards.begin(), shards.end(), shard) != shards.end()) {
-      out.push_back(i);
-    }
+    if (endpoints_[i].serves(shard)) out.push_back(i);
   }
   std::sort(out.begin(), out.end(), [this](std::size_t a, std::size_t b) {
     if (states_[a].inflight != states_[b].inflight) {

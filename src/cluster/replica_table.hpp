@@ -21,15 +21,30 @@ struct ReplicaEndpoint {
   std::string host;
   std::uint16_t port = 0;
   std::vector<std::size_t> shards;
+  /// Serves *every* manifest shard, including ones appended after
+  /// startup ("host:port=all"). The live-ingest deployment shape: an
+  /// unrestricted psc_serve over the whole store directory, so a
+  /// refreshed manifest's tail shards are covered without reconfiguring
+  /// the router. `shards` is ignored when set.
+  bool all_shards = false;
 
   std::string name() const { return host + ":" + std::to_string(port); }
+  bool serves(std::size_t shard) const {
+    if (all_shards) return true;
+    for (const std::size_t claimed : shards) {
+      if (claimed == shard) return true;
+    }
+    return false;
+  }
 };
 
 /// Parses a replica list of the form
-///   "host:port=0,1;host:port=1,2"
+///   "host:port=0,1;host:port=1,2;host:port=all"
 /// (semicolon-separated endpoints, '=' before the comma-separated shard
-/// indices each serves). Throws std::invalid_argument on malformed
-/// specs, out-of-range ports, or an endpoint serving no shards.
+/// indices each serves, or the keyword "all" for a replica serving every
+/// shard -- present and future, see ReplicaEndpoint::all_shards). Throws
+/// std::invalid_argument on malformed specs, out-of-range ports, or an
+/// endpoint serving no shards.
 std::vector<ReplicaEndpoint> parse_replica_list(const std::string& spec);
 
 /// Why an attempt was started, for the per-replica counters.

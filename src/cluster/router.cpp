@@ -98,6 +98,12 @@ Router::Router(RouterConfig config)
   const std::size_t shard_count = manifest_.shards.size();
   std::vector<bool> covered(shard_count, false);
   for (const ReplicaEndpoint& endpoint : config_.replicas) {
+    if (endpoint.all_shards) {
+      // An "=all" claim covers every shard, present and appended-later;
+      // nothing to range-check.
+      covered.assign(shard_count, true);
+      continue;
+    }
     for (const std::size_t shard : endpoint.shards) {
       if (shard >= shard_count) {
         throw std::invalid_argument(
@@ -113,6 +119,10 @@ Router::Router(RouterConfig config)
       throw std::invalid_argument("router: no replica serves shard " +
                                   std::to_string(shard));
     }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.store_revision = manifest_.revision;
   }
   // Route the first query on evidence: one synchronous probe round,
   // then the periodic checker keeps the table current.
@@ -234,6 +244,87 @@ service::ServiceStats Router::stats_snapshot() const {
   return snapshot;
 }
 
+std::uint64_t Router::refresh_manifest(const std::string& bank_prefix) {
+  if (!prefix_matches(bank_prefix, config_.bank_prefix)) {
+    throw net::WireError(
+        net::WireErrorCode::kBankNotFound,
+        "router serves bank '" + config_.bank_prefix + "', not '" +
+            bank_prefix + "'");
+  }
+  // Load and validate outside the manifest lock (disk I/O); only the
+  // final swap and the extension check against the served generation
+  // need it.
+  store::ShardManifest incoming = store::load_manifest(
+      store::manifest_path(config_.manifest_prefix), config_.verify_checksums);
+
+  std::unique_lock<std::mutex> lock(manifest_mutex_);
+  if (incoming.revision == manifest_.revision) {
+    // Idempotent: the served generation is already the on-disk one
+    // (double refresh, or a refresh racing another). Not counted as an
+    // adoption.
+    return manifest_.revision;
+  }
+  if (incoming.revision < manifest_.revision) {
+    throw net::WireError(
+        net::WireErrorCode::kRevisionMismatch,
+        "manifest revision went backwards: serving " +
+            std::to_string(manifest_.revision) + ", disk has " +
+            std::to_string(incoming.revision));
+  }
+  // Strict extension: an append only ever adds tail slots. A changed
+  // leading slot means the store was rebuilt in place, and adopting it
+  // would silently remap sequence ids mid-stream -- refuse, typed.
+  if (incoming.kind != manifest_.kind ||
+      incoming.shards.size() < manifest_.shards.size()) {
+    throw net::WireError(net::WireErrorCode::kRevisionMismatch,
+                         "on-disk manifest is not an extension of the "
+                         "generation being served (rebuild the cluster)");
+  }
+  for (std::size_t i = 0; i < manifest_.shards.size(); ++i) {
+    const store::ShardInfo& served = manifest_.shards[i];
+    const store::ShardInfo& fresh = incoming.shards[i];
+    if (fresh.sequence_base != served.sequence_base ||
+        fresh.sequence_count != served.sequence_count ||
+        fresh.residues != served.residues ||
+        fresh.bank_checksum != served.bank_checksum) {
+      throw net::WireError(
+          net::WireErrorCode::kRevisionMismatch,
+          "shard " + std::to_string(i) +
+              " changed between revisions; an append may only add tail "
+              "shards (rebuild the cluster)");
+    }
+  }
+  // Every shard of the new generation -- the appended tail above all --
+  // must have a configured replica, or queries would start failing with
+  // kShardUnavailable on every fan-out.
+  for (std::size_t shard = manifest_.shards.size();
+       shard < incoming.shards.size(); ++shard) {
+    bool claimed = false;
+    for (const ReplicaEndpoint& endpoint : config_.replicas) {
+      if (endpoint.serves(shard)) {
+        claimed = true;
+        break;
+      }
+    }
+    if (!claimed) {
+      throw net::WireError(
+          net::WireErrorCode::kShardUnavailable,
+          "appended shard " + std::to_string(shard) +
+              " has no configured replica (use '=all' claims for "
+              "live-ingest clusters)");
+    }
+  }
+  const std::uint64_t adopted = incoming.revision;
+  manifest_ = std::move(incoming);
+  lock.unlock();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.manifest_refreshes;
+    stats_.store_revision = std::max(stats_.store_revision, adopted);
+  }
+  return adopted;
+}
+
 service::ServiceResponse Router::run_fanout(
     const service::ServiceRequest& request) {
   if (!prefix_matches(request.bank_prefix, config_.bank_prefix)) {
@@ -243,6 +334,11 @@ service::ServiceResponse Router::run_fanout(
             request.bank_prefix + "'");
   }
 
+  // Pin this fan-out to one manifest generation: a concurrent
+  // refresh_manifest swaps the member, but every shard count, residue
+  // total and sequence base below comes from this coherent copy.
+  const store::ShardManifest manifest = this->manifest();
+
   const std::string query_fasta = bank_to_fasta(request.query);
   service::QueryOptions options = request.options;
   // The merge-identity linchpin: every per-shard pass prices E-values
@@ -251,10 +347,10 @@ service::ServiceResponse Router::run_fanout(
   // doubles) equal the unsharded pass's slice of them.
   if (options.search_space_residues == 0.0) {
     options.search_space_residues =
-        static_cast<double>(manifest_.total_residues);
+        static_cast<double>(manifest.total_residues);
   }
 
-  const std::size_t shard_count = manifest_.shards.size();
+  const std::size_t shard_count = manifest.shards.size();
   std::vector<service::QueryResult> pieces(shard_count);
   std::vector<std::exception_ptr> errors(shard_count);
   // Bounded fan-out: a store can shard into far more pieces than a
@@ -300,7 +396,7 @@ service::ServiceResponse Router::run_fanout(
   }
   merged.matches.reserve(total);
   for (std::size_t shard = 0; shard < shard_count; ++shard) {
-    const std::uint64_t base = manifest_.shards[shard].sequence_base;
+    const std::uint64_t base = manifest.shards[shard].sequence_base;
     merged.bank_was_resident =
         merged.bank_was_resident && pieces[shard].bank_was_resident;
     for (core::Match match : pieces[shard].matches) {

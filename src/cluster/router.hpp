@@ -106,7 +106,25 @@ class Router : public service::SearchBackend {
       service::ServiceRequest request) override;
   service::ServiceStats stats_snapshot() const override;
 
-  const store::ShardManifest& manifest() const { return manifest_; }
+  /// Live-ingest adoption at the coordinator: re-reads the manifest from
+  /// disk and swaps it in for subsequent fan-outs, provided the new
+  /// generation is a *strict extension* of the one being served (same
+  /// leading shard slots, same kind, revision not going backwards) and
+  /// every shard -- including the appended tail -- is covered by a
+  /// configured replica ("=all" claims cover everything). In-flight
+  /// fan-outs keep the manifest snapshot they started with. Throws
+  /// net::WireError: kBankNotFound for a foreign prefix,
+  /// kRevisionMismatch for a non-extension, kShardUnavailable for an
+  /// uncovered tail shard; store::StoreError if the manifest fails to
+  /// load. Idempotent when the revision is unchanged.
+  std::uint64_t refresh_manifest(const std::string& bank_prefix) override;
+
+  /// A coherent copy of the manifest generation currently being served
+  /// (a copy, not a reference: refresh_manifest may swap it).
+  store::ShardManifest manifest() const {
+    std::lock_guard<std::mutex> lock(manifest_mutex_);
+    return manifest_;
+  }
   ReplicaTable& replicas() { return table_; }
   HealthChecker& health() { return health_checker_; }
   const RouterConfig& config() const { return config_; }
@@ -125,7 +143,11 @@ class Router : public service::SearchBackend {
                    const service::QueryOptions& options);
 
   RouterConfig config_;
+  /// The manifest generation fan-outs route by. Guarded by
+  /// manifest_mutex_ once the health checker is running: run_fanout
+  /// copies it under the lock, refresh_manifest swaps it under the lock.
   store::ShardManifest manifest_;
+  mutable std::mutex manifest_mutex_;
   ReplicaTable table_;
   HealthChecker health_checker_;
   /// Per-tenant accounting and quota gates (own internal mutex; safe to

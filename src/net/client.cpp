@@ -195,6 +195,20 @@ service::QueryResult Client::search(const std::string& bank_prefix,
   }
 }
 
+std::uint64_t Client::refresh(const std::string& bank_prefix) {
+  RefreshManifestFrame request;
+  request.bank_prefix = bank_prefix;
+  const Frame frame =
+      round_trip(encode_frame(MessageType::kRefreshManifest,
+                              encode_refresh_manifest(request)),
+                 MessageType::kRefreshAck);
+  try {
+    return decode_refresh_ack(frame.payload).revision;
+  } catch (const core::CodecError& e) {
+    throw WireError(WireErrorCode::kBadFrame, e.what());
+  }
+}
+
 void Client::shutdown_now() noexcept {
   // shutdown(2), not close(2): the fd stays valid (no reuse race with a
   // thread mid-recv on it) while both directions are torn down, so any

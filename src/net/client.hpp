@@ -65,6 +65,13 @@ class Client {
                               const std::string& query_fasta,
                               const service::QueryOptions& options = {});
 
+  /// Asks the server to adopt `bank_prefix`'s current on-disk manifest
+  /// revision (live ingest: run after psc_index --append publishes a new
+  /// generation). Returns the revision now being served. Throws
+  /// WireError with the server's code on failure (kBankNotFound,
+  /// kCorruptStore, kRevisionMismatch from a router).
+  std::uint64_t refresh(const std::string& bank_prefix);
+
   /// Tears the socket down from *any* thread: a blocked send/recv on
   /// this client wakes immediately and fails with a typed WireError.
   /// This is how a router cancels the losing attempt of a hedged pair

@@ -324,6 +324,55 @@ void Server::handle_frame(Connection& connection, const Frame& frame) {
       break;
     }
 
+    case MessageType::kRefreshManifest: {
+      // Same prefix gates as a Search frame: a client cannot refresh a
+      // bank it could not query. The refresh itself is synchronous --
+      // revision adoption is a map update, not pipeline work.
+      RefreshManifestFrame request;
+      try {
+        request = decode_refresh_manifest(frame.payload);
+      } catch (const core::CodecError& e) {
+        pending.frame =
+            encode_error_frame(WireErrorCode::kBadRequest, e.what());
+        break;
+      }
+      if (!prefix_is_safe(request.bank_prefix)) {
+        pending.frame = encode_error_frame(
+            WireErrorCode::kBadRequest,
+            "bank prefix must be a relative path without '..' components");
+        break;
+      }
+      if (!config_.allowed_prefixes.empty() &&
+          std::find(config_.allowed_prefixes.begin(),
+                    config_.allowed_prefixes.end(),
+                    request.bank_prefix) == config_.allowed_prefixes.end()) {
+        pending.frame = encode_error_frame(
+            WireErrorCode::kBankNotFound,
+            "bank prefix not served here: " + request.bank_prefix);
+        break;
+      }
+      try {
+        RefreshAckFrame ack;
+        ack.revision = backend_->refresh_manifest(config_.bank_root + "/" +
+                                                  request.bank_prefix);
+        pending.frame =
+            encode_frame(MessageType::kRefreshAck, encode_refresh_ack(ack));
+      } catch (const store::StoreError& e) {
+        pending.frame =
+            encode_error_frame(e.code() == store::StoreErrorCode::kIo
+                                   ? WireErrorCode::kBankNotFound
+                                   : WireErrorCode::kCorruptStore,
+                               e.what());
+      } catch (const WireError& e) {
+        // A router backend rejects non-extending revisions with a typed
+        // kRevisionMismatch; forward its verdict.
+        pending.frame = encode_error_frame(e.code(), e.what());
+      } catch (const std::exception& e) {
+        pending.frame = encode_error_frame(WireErrorCode::kInternal, e.what());
+      }
+      break;
+    }
+
     default:
       // The length was valid, so the stream is still in sync; answer
       // with a typed error and keep the connection.

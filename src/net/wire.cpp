@@ -45,6 +45,7 @@ std::string wire_error_code_name(WireErrorCode code) {
     case WireErrorCode::kUnreachable: return "unreachable";
     case WireErrorCode::kQuotaExceeded: return "quota-exceeded";
     case WireErrorCode::kAdmissionRejected: return "admission-rejected";
+    case WireErrorCode::kRevisionMismatch: return "revision-mismatch";
   }
   return "unknown";
 }
@@ -76,7 +77,7 @@ WireError decode_error_payload(std::span<const std::uint8_t> payload) {
     throw core::CodecError("codec: trailing bytes after error payload");
   }
   if (code < static_cast<std::uint32_t>(WireErrorCode::kBadFrame) ||
-      code > static_cast<std::uint32_t>(WireErrorCode::kAdmissionRejected)) {
+      code > static_cast<std::uint32_t>(WireErrorCode::kRevisionMismatch)) {
     throw core::CodecError("codec: error code out of range");
   }
   return WireError(
@@ -184,6 +185,56 @@ HelloAckFrame decode_hello_ack(std::span<const std::uint8_t> data) {
                     tenant.size());
   if (!reader.done()) {
     throw core::CodecError("codec: trailing bytes after hello ack");
+  }
+  return ack;
+}
+
+std::vector<std::uint8_t> encode_refresh_manifest(
+    const RefreshManifestFrame& refresh) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kRefreshCodecVersion);
+  put_u32(out, static_cast<std::uint32_t>(refresh.bank_prefix.size()));
+  put_bytes(out, refresh.bank_prefix.data(), refresh.bank_prefix.size());
+  return out;
+}
+
+RefreshManifestFrame decode_refresh_manifest(
+    std::span<const std::uint8_t> data) {
+  core::codec::Reader reader(data);
+  const std::uint32_t version = reader.u32("refresh version");
+  if (version != kRefreshCodecVersion) {
+    throw core::CodecError("codec: unsupported refresh version " +
+                           std::to_string(version));
+  }
+  const std::uint32_t prefix_len = reader.u32("refresh bank prefix length");
+  const auto prefix = reader.bytes(prefix_len, "refresh bank prefix");
+  RefreshManifestFrame refresh;
+  refresh.bank_prefix.assign(reinterpret_cast<const char*>(prefix.data()),
+                             prefix.size());
+  if (!reader.done()) {
+    throw core::CodecError("codec: trailing bytes after refresh");
+  }
+  return refresh;
+}
+
+std::vector<std::uint8_t> encode_refresh_ack(const RefreshAckFrame& ack) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kRefreshCodecVersion);
+  put_u64(out, ack.revision);
+  return out;
+}
+
+RefreshAckFrame decode_refresh_ack(std::span<const std::uint8_t> data) {
+  core::codec::Reader reader(data);
+  const std::uint32_t version = reader.u32("refresh ack version");
+  if (version != kRefreshCodecVersion) {
+    throw core::CodecError("codec: unsupported refresh ack version " +
+                           std::to_string(version));
+  }
+  RefreshAckFrame ack;
+  ack.revision = reader.u64("refresh ack revision");
+  if (!reader.done()) {
+    throw core::CodecError("codec: trailing bytes after refresh ack");
   }
   return ack;
 }

@@ -15,6 +15,8 @@
 //   SearchResult  s->c        QueryResult (service::encode_query_result)
 //   Stats     client->server  (empty)
 //   StatsResult   s->c        ServiceStats (service::encode_service_stats)
+//   RefreshManifest c->s      bank prefix (encode_refresh_manifest)
+//   RefreshAck    s->c        u64 revision now served (encode_refresh_ack)
 //   Error     server->client  u32 code | u32 message length | message
 //
 // Errors at the wire boundary are *frames*, not exceptions: anything the
@@ -77,6 +79,13 @@ enum class MessageType : std::uint16_t {
   /// behaviour, so every pre-hello client works unchanged.
   kHello = 8,
   kHelloAck = 9,
+  /// Live-ingest adoption (store format v3): ask the backend to re-read
+  /// `bank_prefix`'s manifest and serve its current revision
+  /// (RefreshManifestFrame). The server replies kRefreshAck carrying the
+  /// revision now being served; failures are Error frames
+  /// (kBankNotFound / kCorruptStore / kRevisionMismatch).
+  kRefreshManifest = 10,
+  kRefreshAck = 11,
 };
 
 /// What went wrong, for clients that branch on failure kind. Carried in
@@ -100,6 +109,11 @@ enum class WireErrorCode : std::uint32_t {
   /// Refused by an admission gate (e.g. the router's cluster-wide
   /// active-fanout cap) rather than a per-tenant quota.
   kAdmissionRejected = 13,
+  /// A manifest refresh was rejected: the on-disk manifest is not a
+  /// strict extension of the revision currently being served (revision
+  /// went backwards, or an existing shard slot changed). The serving
+  /// generation is untouched; rebuild-and-restart is the recovery path.
+  kRevisionMismatch = 14,
 };
 
 /// Human-readable code name ("bad-frame", "bank-not-found", ...).
@@ -189,6 +203,29 @@ std::vector<std::uint8_t> encode_hello(const HelloFrame& hello);
 HelloFrame decode_hello(std::span<const std::uint8_t> data);
 std::vector<std::uint8_t> encode_hello_ack(const HelloAckFrame& ack);
 HelloAckFrame decode_hello_ack(std::span<const std::uint8_t> data);
+
+/// Refresh payload version (inside the kRefreshManifest frame).
+inline constexpr std::uint32_t kRefreshCodecVersion = 1;
+
+/// The kRefreshManifest payload: which bank prefix to re-read. Subject
+/// to the same prefix-safety and allowlist gates as a Search frame's
+/// prefix -- a client cannot refresh a bank it could not query.
+struct RefreshManifestFrame {
+  std::string bank_prefix;
+};
+
+/// The kRefreshAck payload: the manifest revision now being served for
+/// the requested prefix (0 for a plain unsharded pair or a v2 manifest).
+struct RefreshAckFrame {
+  std::uint64_t revision = 0;
+};
+
+std::vector<std::uint8_t> encode_refresh_manifest(
+    const RefreshManifestFrame& refresh);
+RefreshManifestFrame decode_refresh_manifest(
+    std::span<const std::uint8_t> data);
+std::vector<std::uint8_t> encode_refresh_ack(const RefreshAckFrame& ack);
+RefreshAckFrame decode_refresh_ack(std::span<const std::uint8_t> data);
 
 /// Incremental frame assembly shared by both ends of a connection: feed
 /// raw bytes as they arrive, pop complete frames. Header validation

@@ -154,6 +154,12 @@ std::vector<std::uint8_t> encode_service_stats(const ServiceStats& stats,
       core::codec::put_u64(out, tenant.hedges_denied);
     }
   }
+  if (version >= 6) {
+    core::codec::put_u64(out, stats.manifest_refreshes);
+    core::codec::put_u64(out, stats.refresh_shards_reused);
+    core::codec::put_u64(out, stats.resident_compressed_shards);
+    core::codec::put_u64(out, stats.store_revision);
+  }
   return out;
 }
 
@@ -262,6 +268,13 @@ ServiceStats decode_service_stats(std::span<const std::uint8_t> data) {
       tenant.hedges_denied = reader.u64("tenant hedges denied");
       stats.tenants.push_back(std::move(tenant));
     }
+  }
+  if (version >= 6) {
+    stats.manifest_refreshes = reader.u64("manifest refreshes");
+    stats.refresh_shards_reused = reader.u64("refresh shards reused");
+    stats.resident_compressed_shards = static_cast<std::size_t>(
+        reader.u64("resident compressed shards"));
+    stats.store_revision = reader.u64("store revision");
   }
   if (!reader.done()) {
     throw core::CodecError("codec: trailing bytes after service stats");

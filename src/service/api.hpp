@@ -31,12 +31,15 @@ inline constexpr std::uint32_t kQueryResultCodecVersion = 1;
 /// reports; v4 inserts the board-residency and scheduler block between
 /// the fixed gauges and the replica table; v5 widens each replica row
 /// with bench/revive transition counters and appends the fair-scheduler
-/// flag plus the per-tenant accounting table. decode accepts v2..v5,
-/// and encode_service_stats can emit any of them, which is how the
-/// server answers a legacy client's Stats frame with the exact older
-/// bytes that client expects (net/server.cpp negotiates the session
-/// vintage from the kHello handshake, or per-frame for legacy clients).
-inline constexpr std::uint32_t kServiceStatsCodecVersion = 5;
+/// flag plus the per-tenant accounting table; v6 appends the live-ingest
+/// block (manifest refreshes, shards reused across generations,
+/// resident compressed shards, highest store revision served). decode
+/// accepts v2..v6, and encode_service_stats can emit any of them, which
+/// is how the server answers a legacy client's Stats frame with the
+/// exact older bytes that client expects (net/server.cpp negotiates the
+/// session vintage from the kHello handshake, or per-frame for legacy
+/// clients).
+inline constexpr std::uint32_t kServiceStatsCodecVersion = 6;
 /// Oldest stats version encode_service_stats can still emit.
 inline constexpr std::uint32_t kMinServiceStatsCodecVersion = 2;
 
@@ -247,6 +250,19 @@ struct ServiceStats {
   bool fair_scheduler = false;
   /// Per-tenant accounting rows (codec v5), sorted by tenant name.
   std::vector<TenantStats> tenants;
+
+  // Live-ingest block (codec v6): the store-format-v3 refresh path.
+  std::uint64_t manifest_refreshes = 0;   ///< kRefreshManifest adoptions
+  /// Shards adopted from an already-resident generation instead of
+  /// re-read from disk when a refreshed manifest was loaded -- the gauge
+  /// that proves an append refresh costs one tail shard, not a reload.
+  std::uint64_t refresh_shards_reused = 0;
+  /// Resident shards whose archive was compressed (owned decompressed
+  /// images rather than mmap views).
+  std::size_t resident_compressed_shards = 0;
+  /// Highest manifest revision this service has served or adopted
+  /// (0 until a v3 sharded store is touched).
+  std::uint64_t store_revision = 0;
 };
 
 /// Appends the versioned QueryResult encoding (header fields followed by

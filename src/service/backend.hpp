@@ -27,6 +27,17 @@ class SearchBackend {
   /// One coherent counters/gauges snapshot; the Stats frame encodes
   /// whatever this returns (including replica rows, codec v3).
   virtual ServiceStats stats_snapshot() const = 0;
+
+  /// Live-ingest adoption (store format v3): re-reads `bank_prefix`'s
+  /// manifest and makes subsequent queries run against its current
+  /// revision, without dropping already-resident generations (in-flight
+  /// passes keep the shards they pinned). Returns the revision now
+  /// being served (0 for a plain unsharded store or a v2 manifest).
+  /// Failures surface as exceptions: store::StoreError for a missing or
+  /// corrupt manifest, net::WireError(kRevisionMismatch) when a cluster
+  /// coordinator rejects the new revision as not a strict extension of
+  /// the one it is serving.
+  virtual std::uint64_t refresh_manifest(const std::string& bank_prefix) = 0;
 };
 
 }  // namespace psc::service

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "store/bank_store.hpp"
 #include "store/format.hpp"
 
 namespace psc::service {
@@ -309,9 +310,61 @@ std::size_t SearchService::resident_shard_count() const {
   return shards;
 }
 
+std::size_t SearchService::resident_compressed_count() const {
+  std::size_t shards = 0;
+  for (const auto& [key, resident] : cache_) {
+    shards += resident->set.compressed_shard_count();
+  }
+  return shards;
+}
+
+std::uint64_t SearchService::current_revision(const std::string& prefix) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = revisions_.find(prefix);
+    if (it != revisions_.end()) return it->second;
+  }
+  // First touch: pin the prefix to its current on-disk generation.
+  // Reading the manifest outside mutex_ keeps disk I/O out of the lock;
+  // a racing first touch just reads the same revision twice.
+  std::uint64_t revision = 0;
+  if (store::manifest_exists(prefix)) {
+    revision = store::read_manifest_revision(store::manifest_path(prefix));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return revisions_.emplace(prefix, revision).first->second;
+}
+
+std::uint64_t SearchService::refresh_manifest(const std::string& bank_prefix) {
+  std::uint64_t revision = 0;
+  if (store::manifest_exists(bank_prefix)) {
+    // Full manifest validation, not just the revision word: a refresh
+    // that would hand the worker a corrupt manifest fails here, typed,
+    // leaving the pinned revision as it was.
+    revision = store::read_manifest_revision(store::manifest_path(bank_prefix));
+  } else {
+    // A plain pair has no revision lineage, but the refresh still
+    // verifies the store exists so a mistyped prefix is an error now,
+    // not a kIo on some later query.
+    store::inspect_bank(bank_prefix + ".pscbank");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  revisions_[bank_prefix] = revision;
+  ++stats_.manifest_refreshes;
+  stats_.store_revision = std::max(stats_.store_revision, revision);
+  return revision;
+}
+
 std::shared_ptr<SearchService::ResidentSet> SearchService::acquire(
     const std::string& prefix, bool& was_hit) {
-  const std::string key = cache_key(prefix);
+  // Residency is per *generation*: the pinned manifest revision joins
+  // the key, so a refresh makes the next pass miss (and load the new
+  // tail) while a pass already holding the old generation keeps it.
+  // cache_key() alone stays the board-affinity identity -- appending to
+  // a bank does not move which board image it prefers.
+  const std::string generation_prefix = cache_key(prefix) + "|r";
+  std::string key =
+      generation_prefix + std::to_string(current_revision(prefix));
   const auto it = cache_.find(key);
   if (it != cache_.end()) {
     was_hit = true;
@@ -320,13 +373,48 @@ std::shared_ptr<SearchService::ResidentSet> SearchService::acquire(
   }
   was_hit = false;
 
+  // A superseded generation of the same prefix donates every shard the
+  // append left untouched (matched by base + bank checksum inside
+  // load_bank_set), so adopting a new revision costs one tail-shard
+  // read. Newest resident generation wins as the donor.
+  const ResidentSet* previous = nullptr;
+  for (const auto& [cached_key, cached] : cache_) {
+    if (cached_key.size() > generation_prefix.size() &&
+        cached_key.compare(0, generation_prefix.size(), generation_prefix) ==
+            0 &&
+        (previous == nullptr ||
+         cached->set.revision > previous->set.revision)) {
+      previous = cached.get();
+    }
+  }
+
   // Assemble the whole set before touching the cache: the incoming
   // entry is never a candidate for its own eviction pass, and a load
   // failure leaves the cache exactly as it was.
   auto resident = std::make_shared<ResidentSet>();
-  resident->set =
-      load_bank_set(prefix, model_, config_.verify_checksums);
+  resident->set = load_bank_set(prefix, model_, config_.verify_checksums,
+                                previous ? &previous->set : nullptr);
   resident->last_use = ++use_tick_;
+
+  // The pin is only as durable as residency: once the old generation
+  // has been evicted, load_bank_set can only read the manifest that is
+  // on disk now, which may be newer than the pinned revision (the old
+  // manifest was atomically replaced by the append). Key the entry by
+  // what was actually loaded and move the pin forward, so a revision-1
+  // key never holds revision-2 data.
+  const std::string loaded_key =
+      generation_prefix + std::to_string(resident->set.revision);
+  if (loaded_key != key) {
+    key = loaded_key;
+    std::lock_guard<std::mutex> lock(mutex_);
+    revisions_[prefix] = resident->set.revision;
+    stats_.store_revision =
+        std::max(stats_.store_revision, resident->set.revision);
+  }
+  if (resident->set.reused_shards > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.refresh_shards_reused += resident->set.reused_shards;
+  }
 
   const std::size_t incoming = resident->set.shard_count();
   if (config_.max_resident == 0 || incoming > config_.max_resident) {
@@ -475,6 +563,9 @@ void SearchService::process_group(const std::string& prefix,
     }
     stats_.resident_banks = cache_.size();
     stats_.resident_shards = resident_shard_count();
+    stats_.resident_compressed_shards = resident_compressed_count();
+    stats_.store_revision =
+        std::max(stats_.store_revision, resident->set.revision);
   }
 
   for (std::size_t i = 0; i < group.size(); ++i) {

@@ -139,6 +139,18 @@ class SearchService : public SearchBackend {
   }
   ServiceStats stats_snapshot() const override { return snapshot(); }
 
+  /// Live-ingest adoption: re-reads `bank_prefix`'s manifest revision
+  /// from disk so the *next* pass against the prefix serves the appended
+  /// generation. Already-resident generations are untouched -- a pass
+  /// that pinned the old revision keeps it (shared_ptr refcounts), and
+  /// the old resident set ages out of the LRU like any other entry. The
+  /// new generation's load reuses every still-matching resident shard,
+  /// so the refresh costs one tail-shard read, not a whole-set reload.
+  /// Returns the revision now being served (0 for a plain pair or a v2
+  /// manifest). Throws store::StoreError when the prefix names neither
+  /// a manifest nor a plain pair, or the manifest fails validation.
+  std::uint64_t refresh_manifest(const std::string& bank_prefix) override;
+
   /// The per-query options a convenience submit() runs under: the
   /// service configuration's own cutoff/traceback/composition values.
   QueryOptions default_query_options() const;
@@ -181,7 +193,14 @@ class SearchService : public SearchBackend {
   std::shared_ptr<ResidentSet> acquire(const std::string& prefix,
                                        bool& was_hit);
   std::string cache_key(const std::string& prefix) const;
-  std::size_t resident_shard_count() const;  ///< worker thread only
+  /// The revision of `prefix` queries should serve right now: the pinned
+  /// entry in revisions_ if one exists, else the on-disk manifest
+  /// revision (pinned on first touch, so later appends do not move a
+  /// serving prefix until refresh_manifest says so). Store errors
+  /// propagate to the caller.
+  std::uint64_t current_revision(const std::string& prefix);
+  std::size_t resident_shard_count() const;      ///< worker thread only
+  std::size_t resident_compressed_count() const; ///< worker thread only
 
   ServiceConfig config_;
   index::SeedModel model_;
@@ -214,6 +233,11 @@ class SearchService : public SearchBackend {
   /// worker's pending groups); snapshot()'s queue_depth includes them
   /// so a drained-but-waiting request never looks "in flight".
   std::size_t worker_pending_ = 0;
+  /// The manifest revision each prefix is pinned to serve (guarded by
+  /// mutex_). Populated lazily on first query, moved only by
+  /// refresh_manifest -- which is what keeps a serving generation stable
+  /// while psc_index --append publishes new revisions underneath it.
+  std::unordered_map<std::string, std::uint64_t> revisions_;
 
   // Touched only by the worker thread; no locking needed.
   std::unordered_map<std::string, std::shared_ptr<ResidentSet>> cache_;

@@ -13,9 +13,10 @@ namespace {
 /// Loads one (bank, index) pair, pinning the pairing through the bank's
 /// recorded payload checksum: the loaded index must either record that
 /// checksum or record none (v1 files).
-LoadedShard load_pair(const std::string& pair_prefix,
-                      const index::SeedModel& model, bool verify_checksums,
-                      std::uint64_t sequence_base) {
+std::shared_ptr<const LoadedShard> load_pair(const std::string& pair_prefix,
+                                             const index::SeedModel& model,
+                                             bool verify_checksums,
+                                             std::uint64_t sequence_base) {
   const store::BankFileInfo info =
       store::inspect_bank(pair_prefix + ".pscbank");
   bio::SequenceBank bank =
@@ -23,20 +24,26 @@ LoadedShard load_pair(const std::string& pair_prefix,
   store::LoadedIndex index =
       store::load_index(pair_prefix + ".pscidx", model, &bank,
                         verify_checksums, info.payload_checksum);
-  return LoadedShard{std::move(bank), std::move(index), sequence_base,
-                     info.payload_checksum};
+  const bool compressed =
+      info.compression != store::kCompressionNone ||
+      store::inspect_index(pair_prefix + ".pscidx").compression !=
+          store::kCompressionNone;
+  return std::make_shared<const LoadedShard>(
+      LoadedShard{std::move(bank), std::move(index), sequence_base,
+                  info.payload_checksum, compressed});
 }
 
 }  // namespace
 
 LoadedBankSet load_bank_set(const std::string& prefix,
                             const index::SeedModel& model,
-                            bool verify_checksums) {
+                            bool verify_checksums,
+                            const LoadedBankSet* previous) {
   LoadedBankSet set;
   if (!store::manifest_exists(prefix)) {
     set.shards.push_back(load_pair(prefix, model, verify_checksums, 0));
-    set.total_sequences = set.shards.front().bank.size();
-    set.total_residues = set.shards.front().bank.total_residues();
+    set.total_sequences = set.shards.front()->bank.size();
+    set.total_residues = set.shards.front()->bank.total_residues();
     return set;
   }
 
@@ -45,9 +52,25 @@ LoadedBankSet load_bank_set(const std::string& prefix,
   set.sharded = true;
   set.total_sequences = manifest.total_sequences;
   set.total_residues = manifest.total_residues;
+  set.revision = manifest.revision;
   set.shards.reserve(manifest.shards.size());
   for (std::size_t i = 0; i < manifest.shards.size(); ++i) {
     const store::ShardInfo& slot = manifest.shards[i];
+    // Cross-generation reuse: an append never rewrites an existing
+    // shard, so a slot whose identity (base + bank checksum) matches
+    // the already-resident generation adopts that shard outright -- no
+    // file I/O, and the two generations share the bytes until the old
+    // one is evicted.
+    if (previous != nullptr && i < previous->shards.size()) {
+      const std::shared_ptr<const LoadedShard>& prior = previous->shards[i];
+      if (prior->sequence_base == slot.sequence_base &&
+          prior->bank_image_id == slot.bank_checksum &&
+          prior->bank.size() == slot.sequence_count) {
+        set.shards.push_back(prior);
+        ++set.reused_shards;
+        continue;
+      }
+    }
     const std::string pair_prefix = store::shard_prefix(prefix, i);
     // The shard file must be the very bank the manifest was built over,
     // not merely *a* self-consistent bank/index pair: a shard swapped
@@ -60,11 +83,11 @@ LoadedBankSet load_bank_set(const std::string& prefix,
           "shard bank is not the one the manifest records: " + pair_prefix +
               ".pscbank");
     }
-    LoadedShard shard =
+    std::shared_ptr<const LoadedShard> shard =
         load_pair(pair_prefix, model, verify_checksums, slot.sequence_base);
-    if (shard.bank.kind() != manifest.kind ||
-        shard.bank.size() != slot.sequence_count ||
-        shard.bank.total_residues() != slot.residues) {
+    if (shard->bank.kind() != manifest.kind ||
+        shard->bank.size() != slot.sequence_count ||
+        shard->bank.total_residues() != slot.residues) {
       throw store::StoreError(
           store::StoreErrorCode::kCorrupt,
           "shard bank contents disagree with the manifest: " + pair_prefix +
@@ -90,7 +113,8 @@ core::PipelineResult run_query_over_set(
   }
 
   core::PipelineResult merged;
-  for (const LoadedShard& shard : set.shards) {
+  for (const std::shared_ptr<const LoadedShard>& shard_ptr : set.shards) {
+    const LoadedShard& shard = *shard_ptr;
     // Residency is per shard image: each per-shard pass tells the RASC
     // backend which bank content it is about to stream, so a configured
     // board cache can skip the upload when that image is still in SRAM.

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,18 +42,33 @@ struct LoadedShard {
   /// same shard file -- or the same content stored twice -- yield the
   /// same id, so a re-acquired target still hits the resident image.
   std::uint64_t bank_image_id = 0;
+  /// Loaded from a v3 compressed archive (either file of the pair):
+  /// this shard's residency is an owned decompressed image, not an
+  /// mmap view. Feeds the service's resident_compressed_shards gauge.
+  bool compressed = false;
 };
 
 /// A whole resident target: every shard of a sharded bank (the LRU keeps
 /// or evicts this as one unit), or a single "shard" with base 0 for a
-/// plain unsharded store.
+/// plain unsharded store. Shards are held by shared_ptr so two ingest
+/// generations of the same store share the shards the append did not
+/// touch (the tail-only delta design of store format v3).
 struct LoadedBankSet {
-  std::vector<LoadedShard> shards;
+  std::vector<std::shared_ptr<const LoadedShard>> shards;
   bool sharded = false;            ///< loaded through a manifest
   std::uint64_t total_sequences = 0;
   std::uint64_t total_residues = 0;
+  std::uint64_t revision = 0;      ///< manifest revision (0 for plain/v2)
+  std::size_t reused_shards = 0;   ///< adopted from a previous generation
 
   std::size_t shard_count() const { return shards.size(); }
+  std::size_t compressed_shard_count() const {
+    std::size_t n = 0;
+    for (const auto& shard : shards) {
+      if (shard->compressed) ++n;
+    }
+    return n;
+  }
 };
 
 /// Loads the target under `prefix`: through `<prefix>.pscman` when a
@@ -61,9 +77,15 @@ struct LoadedBankSet {
 /// otherwise the plain `<prefix>.pscbank`/`.pscidx` pair (the index
 /// checked against the bank's recorded checksum). Throws store::StoreError
 /// -- kBankMismatch on any wrong pairing -- before any query can run.
+/// `previous` (optional) is an already-resident generation of the same
+/// prefix: any manifest slot whose sequence base and bank checksum
+/// match the resident shard adopts it instead of re-reading the files,
+/// which is what makes an append refresh cost one tail shard, not a
+/// whole-set reload.
 LoadedBankSet load_bank_set(const std::string& prefix,
                             const index::SeedModel& model,
-                            bool verify_checksums);
+                            bool verify_checksums,
+                            const LoadedBankSet* previous = nullptr);
 
 /// Runs `query` against every shard of `set` under `options` and merges
 /// the per-shard results: subject ids remapped through the shard bases,

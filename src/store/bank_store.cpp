@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "bio/alphabet.hpp"
+#include "store/compress.hpp"
 #include "store/format.hpp"
 #include "store/mmap_file.hpp"
 
@@ -59,13 +60,36 @@ FileHeader read_bank_header(const MmapFile& file, const std::string& path) {
                      "unsupported bank format version " +
                          std::to_string(header.version) + ": " + path);
   }
+  if (header.reserved != kCompressionNone &&
+      (header.version < 3 || header.reserved > kCompressionLzss)) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "bank compression tag out of range: " + path);
+  }
   return header;
+}
+
+/// Serialises the bank's record stream through `write(data, size)`.
+template <typename Writer>
+void write_bank_payload(const bio::SequenceBank& bank, Writer&& write) {
+  for (const bio::Sequence& seq : bank) {
+    if (seq.id().size() > std::numeric_limits<std::uint32_t>::max() ||
+        seq.size() > std::numeric_limits<std::uint32_t>::max()) {
+      throw StoreError(StoreErrorCode::kIo,
+                       "save_bank: sequence too large for format");
+    }
+    const std::uint32_t id_bytes = static_cast<std::uint32_t>(seq.id().size());
+    const std::uint32_t residue_bytes = static_cast<std::uint32_t>(seq.size());
+    write(&id_bytes, sizeof(id_bytes));
+    write(&residue_bytes, sizeof(residue_bytes));
+    write(seq.id().data(), id_bytes);
+    write(seq.data(), residue_bytes);
+  }
 }
 
 }  // namespace
 
-std::uint64_t save_bank(const std::string& path,
-                        const bio::SequenceBank& bank) {
+std::uint64_t save_bank(const std::string& path, const bio::SequenceBank& bank,
+                        bool compress) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     throw StoreError(StoreErrorCode::kIo, "cannot create bank file: " + path);
@@ -76,28 +100,34 @@ std::uint64_t save_bank(const std::string& path,
   header.meta[0] = kind_code(bank.kind());
   header.meta[1] = bank.size();
   header.meta[2] = bank.total_residues();
-  // Placeholder header; rewritten with payload length + checksum below.
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
 
-  ChecksummingWriter writer(out);
-  for (const bio::Sequence& seq : bank) {
-    if (seq.id().size() > std::numeric_limits<std::uint32_t>::max() ||
-        seq.size() > std::numeric_limits<std::uint32_t>::max()) {
-      throw StoreError(StoreErrorCode::kIo,
-                       "save_bank: sequence too large for format");
-    }
-    const std::uint32_t id_bytes = static_cast<std::uint32_t>(seq.id().size());
-    const std::uint32_t residue_bytes = static_cast<std::uint32_t>(seq.size());
-    writer.write(&id_bytes, sizeof(id_bytes));
-    writer.write(&residue_bytes, sizeof(residue_bytes));
-    writer.write(seq.id().data(), id_bytes);
-    writer.write(seq.data(), residue_bytes);
+  if (compress) {
+    // Compressed archives buffer the payload: length and checksum
+    // describe the raw bytes, only the token stream hits the disk.
+    std::vector<std::uint8_t> raw;
+    write_bank_payload(bank, [&](const void* data, std::size_t size) {
+      const auto* p = static_cast<const std::uint8_t*>(data);
+      raw.insert(raw.end(), p, p + size);
+    });
+    header.reserved = kCompressionLzss;
+    header.payload_bytes = raw.size();
+    header.payload_checksum = fnv1a64(raw.data(), raw.size());
+    const std::vector<std::uint8_t> packed = lzss_compress(raw);
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(reinterpret_cast<const char*>(packed.data()),
+              static_cast<std::streamsize>(packed.size()));
+  } else {
+    // Placeholder header; rewritten with payload length + checksum below.
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    ChecksummingWriter writer(out);
+    write_bank_payload(bank, [&](const void* data, std::size_t size) {
+      writer.write(data, size);
+    });
+    header.payload_bytes = writer.bytes_written();
+    header.payload_checksum = writer.digest();
+    out.seekp(0);
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
   }
-
-  header.payload_bytes = writer.bytes_written();
-  header.payload_checksum = writer.digest();
-  out.seekp(0);
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
   out.flush();
   if (!out) {
     throw StoreError(StoreErrorCode::kIo, "cannot write bank file: " + path);
@@ -114,6 +144,7 @@ BankFileInfo inspect_bank(const std::string& path) {
   }
   BankFileInfo info;
   info.version = header.version;
+  info.compression = header.reserved;
   info.kind = header.meta[0] == 0 ? bio::SequenceKind::kProtein
                                   : bio::SequenceKind::kDna;
   info.sequence_count = header.meta[1];
@@ -123,8 +154,12 @@ BankFileInfo inspect_bank(const std::string& path) {
 }
 
 bio::SequenceBank load_bank(const std::string& path, bool verify_checksum) {
-  const MmapFile file = MmapFile::open(path);
-  const FileHeader header = read_bank_header(file, path);
+  MmapFile file = MmapFile::open(path);
+  FileHeader header = read_bank_header(file, path);
+  if (header.reserved != kCompressionNone) {
+    file = decompress_store_image(std::move(file), path);
+    std::memcpy(&header, file.data(), sizeof(header));
+  }
   if (header.payload_bytes != file.size() - sizeof(FileHeader)) {
     throw StoreError(StoreErrorCode::kCorrupt,
                      "bank payload length mismatch: " + path);

@@ -20,6 +20,7 @@ namespace psc::store {
 /// tools obtain the bank checksum a v2 index records.
 struct BankFileInfo {
   std::uint32_t version = 0;
+  std::uint32_t compression = 0;  ///< header tag (kCompressionNone/Lzss)
   bio::SequenceKind kind = bio::SequenceKind::kProtein;
   std::uint64_t sequence_count = 0;
   std::uint64_t total_residues = 0;
@@ -29,8 +30,12 @@ struct BankFileInfo {
 /// Writes `bank` to `path`, overwriting any existing file. Throws
 /// StoreError(kIo) on filesystem failure. Returns the payload checksum,
 /// which callers pass to save_index so the index records which bank it
-/// belongs to.
-std::uint64_t save_bank(const std::string& path, const bio::SequenceBank& bank);
+/// belongs to. `compress` stores the payload as a v3 LZSS archive; the
+/// returned checksum is over the uncompressed payload either way, so a
+/// compressed and an uncompressed save of the same bank pair with the
+/// same index.
+std::uint64_t save_bank(const std::string& path, const bio::SequenceBank& bank,
+                        bool compress = false);
 
 /// Reads a bank's header only. Throws StoreError on anything that is not
 /// a readable, supported-version .pscbank file.

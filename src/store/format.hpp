@@ -23,10 +23,20 @@ namespace psc::store {
 /// kFormatVersion] and branch on the recorded version rather than
 /// guessing. v2 adds the bank-payload checksum section to .pscidx (so a
 /// mismatched bank/index pair is rejected before any query) and the
-/// shard manifest file type; v1 files read back unchanged, with the bank
-/// checksum reported as "unrecorded".
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// shard manifest file type; v3 adds the optional compression tag in
+/// the header's formerly-reserved word (payload length and checksum
+/// still describe the uncompressed payload) and a manifest revision
+/// counter for append-only ingest. v1/v2 files read back unchanged,
+/// with the bank checksum reported as "unrecorded" (v1) and the
+/// manifest revision as 0 (v2).
+inline constexpr std::uint32_t kFormatVersion = 3;
 inline constexpr std::uint32_t kMinFormatVersion = 1;
+
+/// Values of FileHeader::reserved (v3+; v1/v2 writers always wrote 0,
+/// so tag 0 doubles as "uncompressed" for every version). A non-zero
+/// tag on a pre-v3 file, or an unknown tag, is structural damage.
+inline constexpr std::uint32_t kCompressionNone = 0;
+inline constexpr std::uint32_t kCompressionLzss = 1;
 
 // Magic values are asymmetric byte strings ("PSCIDX01" / "PSCBNK01" /
 // "PSCMAN01" as little-endian u64) so a byte-swapped read on a
@@ -64,9 +74,9 @@ class StoreError : public std::runtime_error {
 struct FileHeader {
   std::uint64_t magic = 0;
   std::uint32_t version = kFormatVersion;
-  std::uint32_t reserved = 0;
-  std::uint64_t payload_bytes = 0;     ///< bytes following this header
-  std::uint64_t payload_checksum = 0;  ///< fnv1a64 over those bytes
+  std::uint32_t reserved = 0;          ///< compression tag (v3+), else 0
+  std::uint64_t payload_bytes = 0;     ///< *uncompressed* payload bytes
+  std::uint64_t payload_checksum = 0;  ///< fnv1a64 over those (raw) bytes
   std::uint64_t meta[4] = {0, 0, 0, 0};
 };
 static_assert(sizeof(FileHeader) == 64, "header must stay 64 bytes");

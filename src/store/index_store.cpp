@@ -2,7 +2,9 @@
 
 #include <cstring>
 #include <fstream>
+#include <vector>
 
+#include "store/compress.hpp"
 #include "store/format.hpp"
 
 namespace psc::store {
@@ -33,6 +35,11 @@ FileHeader read_header(const MmapFile& file, const std::string& path) {
                      "unsupported index format version " +
                          std::to_string(header.version) + ": " + path);
   }
+  if (header.reserved != kCompressionNone &&
+      (header.version < 3 || header.reserved > kCompressionLzss)) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "index compression tag out of range: " + path);
+  }
   return header;
 }
 
@@ -60,7 +67,8 @@ std::uint64_t read_bank_checksum(const FileHeader& header,
 }  // namespace
 
 void save_index(const std::string& path, const index::IndexTable& table,
-                const index::SeedModel& model, std::uint64_t bank_checksum) {
+                const index::SeedModel& model, std::uint64_t bank_checksum,
+                bool compress) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     throw StoreError(StoreErrorCode::kIo, "cannot create index file: " + path);
@@ -78,6 +86,34 @@ void save_index(const std::string& path, const index::IndexTable& table,
   header.meta[1] = model.key_space();
   header.meta[2] = occurrences.size();
   header.meta[3] = name.size();
+
+  if (compress) {
+    std::vector<std::uint8_t> raw;
+    const auto buffer = [&](const void* data, std::size_t size) {
+      const auto* p = static_cast<const std::uint8_t*>(data);
+      raw.insert(raw.end(), p, p + size);
+    };
+    static constexpr char kZeros[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    buffer(&bank_checksum, sizeof(bank_checksum));
+    buffer(name.data(), name.size());
+    buffer(kZeros, padded_name - name.size());
+    buffer(starts.data(), starts.size_bytes());
+    buffer(occurrences.data(), occurrences.size_bytes());
+    header.reserved = kCompressionLzss;
+    header.payload_bytes = raw.size();
+    header.payload_checksum = fnv1a64(raw.data(), raw.size());
+    const std::vector<std::uint8_t> packed = lzss_compress(raw);
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(reinterpret_cast<const char*>(packed.data()),
+              static_cast<std::streamsize>(packed.size()));
+    out.flush();
+    if (!out) {
+      throw StoreError(StoreErrorCode::kIo,
+                       "cannot write index file: " + path);
+    }
+    return;
+  }
+
   out.write(reinterpret_cast<const char*>(&header), sizeof(header));
 
   Fnv1a64 checksum;
@@ -105,10 +141,18 @@ void save_index(const std::string& path, const index::IndexTable& table,
 }
 
 IndexFileInfo inspect_index(const std::string& path) {
-  const MmapFile file = MmapFile::open(path);
-  const FileHeader header = read_header(file, path);
+  MmapFile file = MmapFile::open(path);
+  FileHeader header = read_header(file, path);
+  const std::uint32_t compression = header.reserved;
+  if (header.reserved != kCompressionNone) {
+    // The model name lives in the payload, so inspection of a
+    // compressed index pays the decompression (tools only).
+    file = decompress_store_image(std::move(file), path);
+    std::memcpy(&header, file.data(), sizeof(header));
+  }
   IndexFileInfo info;
   info.version = header.version;
+  info.compression = compression;
   info.model_fingerprint = header.meta[0];
   info.key_space = header.meta[1];
   info.occurrence_count = header.meta[2];
@@ -140,7 +184,15 @@ LoadedIndex load_index(const std::string& path, const index::SeedModel& model,
                        const bio::SequenceBank* bank, bool verify_checksum,
                        std::uint64_t expected_bank_checksum) {
   MmapFile file = MmapFile::open(path);
-  const FileHeader header = read_header(file, path);
+  FileHeader header = read_header(file, path);
+  if (header.reserved != kCompressionNone) {
+    // Decompress into an owned image and fall through: every check
+    // below (length, checksum, geometry) and the zero-copy span
+    // construction read the image exactly as they would a mapped
+    // uncompressed file.
+    file = decompress_store_image(std::move(file), path);
+    std::memcpy(&header, file.data(), sizeof(header));
+  }
   if (header.payload_bytes != file.size() - sizeof(FileHeader)) {
     throw StoreError(StoreErrorCode::kCorrupt,
                      "index payload length mismatch: " + path);

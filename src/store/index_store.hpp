@@ -31,6 +31,7 @@ namespace psc::store {
 /// tools discover which seed model a saved index needs.
 struct IndexFileInfo {
   std::uint32_t version = 0;
+  std::uint32_t compression = 0;  ///< header tag (kCompressionNone/Lzss)
   std::string model_name;
   std::uint64_t model_fingerprint = 0;
   std::uint64_t key_space = 0;
@@ -53,10 +54,13 @@ struct LoadedIndex {
 /// payload checksum save_bank returned for the bank the table indexes;
 /// recording it (non-zero) lets every later load reject an index paired
 /// with the wrong bank before any query runs. 0 = unrecorded (tables not
-/// derived from a saved bank).
+/// derived from a saved bank). `compress` stores the payload as a v3
+/// LZSS archive (loads decompress into an owned image; an uncompressed
+/// save keeps the mmap zero-copy load path).
 void save_index(const std::string& path, const index::IndexTable& table,
                 const index::SeedModel& model,
-                std::uint64_t bank_checksum = 0);
+                std::uint64_t bank_checksum = 0,
+                bool compress = false);
 
 /// Reads the header of a saved index. Throws StoreError on anything that
 /// is not a readable, supported-version .pscidx file.

@@ -56,6 +56,14 @@ MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
   return *this;
 }
 
+MmapFile MmapFile::from_owned(std::vector<std::uint8_t> bytes) {
+  MmapFile file;
+  file.fallback_ = std::move(bytes);
+  file.addr_ = file.fallback_.data();
+  file.size_ = file.fallback_.size();
+  return file;
+}
+
 MmapFile MmapFile::open(const std::string& path) {
   MmapFile file;
 #if PSC_STORE_HAVE_MMAP

@@ -26,7 +26,17 @@ class MmapFile {
   MmapFile& operator=(MmapFile&& other) noexcept;
 
   /// Maps `path` read-only. Throws StoreError(kIo) on open/map failure.
+  /// A zero-length file (a legal empty tail delta) is NOT an error and
+  /// never reaches mmap (whose behaviour for length 0 is unspecified,
+  /// EINVAL on Linux): it comes back as an open file with an empty
+  /// view, and the store readers reject it downstream with a typed
+  /// kCorrupt ("truncated before header") rather than a raw errno.
   static MmapFile open(const std::string& path);
+
+  /// Wraps an owned byte buffer in the same read-only view interface,
+  /// so a payload decompressed at load time flows through the exact
+  /// validation path a mapped file does (see compress.hpp).
+  static MmapFile from_owned(std::vector<std::uint8_t> bytes);
 
   const std::uint8_t* data() const noexcept {
     return static_cast<const std::uint8_t*>(addr_);

@@ -77,45 +77,57 @@ std::uint64_t fold_set_checksum(const std::vector<ShardInfo>& shards) {
 }
 
 void save_manifest(const std::string& path, const ShardManifest& manifest) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw StoreError(StoreErrorCode::kIo,
-                     "cannot create manifest file: " + path);
+  // Written to a sibling temp file and renamed into place, so a live
+  // service refreshing mid-append either sees the old revision or the
+  // new one, never a torn manifest.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw StoreError(StoreErrorCode::kIo,
+                       "cannot create manifest file: " + tmp);
+    }
+
+    FileHeader header;
+    header.magic = kManifestMagic;
+    header.meta[0] = kind_code(manifest.kind);
+    header.meta[1] = manifest.shards.size();
+    header.meta[2] = manifest.total_sequences;
+    header.meta[3] = manifest.total_residues;
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+
+    Fnv1a64 checksum;
+    std::uint64_t written = 0;
+    const auto write = [&](const void* data, std::size_t size) {
+      checksum.update(data, size);
+      out.write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(size));
+      written += size;
+    };
+    const std::uint64_t set_checksum = fold_set_checksum(manifest.shards);
+    write(&set_checksum, sizeof(set_checksum));
+    write(&manifest.revision, sizeof(manifest.revision));  // v3+
+    for (const ShardInfo& shard : manifest.shards) {
+      write(&shard.sequence_base, sizeof(shard.sequence_base));
+      write(&shard.sequence_count, sizeof(shard.sequence_count));
+      write(&shard.residues, sizeof(shard.residues));
+      write(&shard.bank_checksum, sizeof(shard.bank_checksum));
+    }
+
+    header.payload_bytes = written;
+    header.payload_checksum = checksum.digest();
+    out.seekp(0);
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.flush();
+    if (!out) {
+      throw StoreError(StoreErrorCode::kIo,
+                       "cannot write manifest file: " + tmp);
+    }
   }
-
-  FileHeader header;
-  header.magic = kManifestMagic;
-  header.meta[0] = kind_code(manifest.kind);
-  header.meta[1] = manifest.shards.size();
-  header.meta[2] = manifest.total_sequences;
-  header.meta[3] = manifest.total_residues;
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-
-  Fnv1a64 checksum;
-  std::uint64_t written = 0;
-  const auto write = [&](const void* data, std::size_t size) {
-    checksum.update(data, size);
-    out.write(static_cast<const char*>(data),
-              static_cast<std::streamsize>(size));
-    written += size;
-  };
-  const std::uint64_t set_checksum = fold_set_checksum(manifest.shards);
-  write(&set_checksum, sizeof(set_checksum));
-  for (const ShardInfo& shard : manifest.shards) {
-    write(&shard.sequence_base, sizeof(shard.sequence_base));
-    write(&shard.sequence_count, sizeof(shard.sequence_count));
-    write(&shard.residues, sizeof(shard.residues));
-    write(&shard.bank_checksum, sizeof(shard.bank_checksum));
-  }
-
-  header.payload_bytes = written;
-  header.payload_checksum = checksum.digest();
-  out.seekp(0);
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  out.flush();
-  if (!out) {
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
     throw StoreError(StoreErrorCode::kIo,
-                     "cannot write manifest file: " + path);
+                     "cannot replace manifest file: " + path);
   }
 }
 
@@ -138,6 +150,12 @@ ShardManifest load_manifest(const std::string& path, bool verify_checksum) {
                      "unsupported manifest format version " +
                          std::to_string(header.version) + ": " + path);
   }
+  if (header.reserved != kCompressionNone) {
+    // Manifests are never written compressed (they are a few hundred
+    // bytes); a tag here is damage, not a feature.
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "manifest compression tag out of range: " + path);
+  }
   if (header.payload_bytes != file.size() - sizeof(FileHeader)) {
     throw StoreError(StoreErrorCode::kCorrupt,
                      "manifest payload length mismatch: " + path);
@@ -154,18 +172,19 @@ ShardManifest load_manifest(const std::string& path, bool verify_checksum) {
   }
 
   // Shard count is file-controlled: bound it against the payload length
-  // before deriving any byte size that could wrap.
+  // before deriving any byte size that could wrap. v3 inserts the u64
+  // revision between the set checksum and the shard table.
   constexpr std::uint64_t kShardRecordBytes = 4 * sizeof(std::uint64_t);
+  const std::uint64_t head_bytes =
+      header.version >= 3 ? 2 * sizeof(std::uint64_t) : sizeof(std::uint64_t);
   const std::uint64_t shard_count = header.meta[1];
   if (shard_count == 0) {
     throw StoreError(StoreErrorCode::kCorrupt,
                      "manifest declares zero shards: " + path);
   }
-  if (header.payload_bytes < sizeof(std::uint64_t) ||
-      shard_count >
-          (header.payload_bytes - sizeof(std::uint64_t)) / kShardRecordBytes ||
-      header.payload_bytes !=
-          sizeof(std::uint64_t) + shard_count * kShardRecordBytes) {
+  if (header.payload_bytes < head_bytes ||
+      shard_count > (header.payload_bytes - head_bytes) / kShardRecordBytes ||
+      header.payload_bytes != head_bytes + shard_count * kShardRecordBytes) {
     throw StoreError(StoreErrorCode::kCorrupt,
                      "manifest shard table disagrees with header: " + path);
   }
@@ -177,8 +196,12 @@ ShardManifest load_manifest(const std::string& path, bool verify_checksum) {
   manifest.total_sequences = header.meta[2];
   manifest.total_residues = header.meta[3];
   std::memcpy(&manifest.set_checksum, payload, sizeof(std::uint64_t));
+  if (header.version >= 3) {
+    std::memcpy(&manifest.revision, payload + sizeof(std::uint64_t),
+                sizeof(std::uint64_t));
+  }
 
-  const std::uint8_t* cursor = payload + sizeof(std::uint64_t);
+  const std::uint8_t* cursor = payload + head_bytes;
   manifest.shards.resize(static_cast<std::size_t>(shard_count));
   std::uint64_t next_base = 0;
   std::uint64_t residue_sum = 0;
@@ -230,12 +253,14 @@ ShardManifest write_sharded_store(const std::string& prefix,
                                   const bio::SequenceBank& bank,
                                   const index::SeedModel& model,
                                   std::uint64_t shard_max_bytes,
-                                  std::size_t threads, bool serial_index) {
+                                  std::size_t threads, bool serial_index,
+                                  bool compress) {
   ShardManifest manifest;
   manifest.version = kFormatVersion;
   manifest.kind = bank.kind();
   manifest.total_sequences = bank.size();
   manifest.total_residues = bank.total_residues();
+  manifest.revision = 1;  // fresh builds start the append lineage
 
   const auto plan = plan_shards(bank, shard_max_bytes);
   manifest.shards.reserve(plan.size());
@@ -246,11 +271,11 @@ ShardManifest write_sharded_store(const std::string& prefix,
 
     const std::string piece_prefix = shard_prefix(prefix, i);
     const std::uint64_t checksum =
-        save_bank(piece_prefix + ".pscbank", piece);
+        save_bank(piece_prefix + ".pscbank", piece, compress);
     const index::IndexTable table =
         serial_index ? index::IndexTable(piece, model)
                      : index::IndexTable::build_parallel(piece, model, threads);
-    save_index(piece_prefix + ".pscidx", table, model, checksum);
+    save_index(piece_prefix + ".pscidx", table, model, checksum, compress);
 
     ShardInfo shard;
     shard.sequence_base = begin;
@@ -262,6 +287,70 @@ ShardManifest write_sharded_store(const std::string& prefix,
   manifest.set_checksum = fold_set_checksum(manifest.shards);
   save_manifest(manifest_path(prefix), manifest);
   return manifest;
+}
+
+ShardManifest append_sharded_store(const std::string& prefix,
+                                   const bio::SequenceBank& delta,
+                                   const index::SeedModel& model,
+                                   std::size_t threads, bool serial_index,
+                                   bool compress) {
+  ShardManifest manifest = load_manifest(manifest_path(prefix));
+  if (delta.kind() != manifest.kind) {
+    throw StoreError(StoreErrorCode::kKindMismatch,
+                     "append delta holds the other sequence kind: " + prefix);
+  }
+  // The delta's index must be queryable alongside the resident shards:
+  // reject a model that disagrees with what the store was built under
+  // before writing anything.
+  const IndexFileInfo first =
+      inspect_index(shard_prefix(prefix, 0) + ".pscidx");
+  if (first.model_fingerprint != model.fingerprint()) {
+    throw StoreError(StoreErrorCode::kModelMismatch,
+                     "append index model disagrees with the store's (" +
+                         first.model_name + "): " + prefix);
+  }
+  if (delta.size() > std::numeric_limits<std::uint64_t>::max() -
+                         manifest.total_sequences ||
+      manifest.total_sequences + delta.size() >
+          std::numeric_limits<std::uint32_t>::max()) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "append would overflow the sequence id space: " + prefix);
+  }
+  if (delta.total_residues() >
+      std::numeric_limits<std::uint64_t>::max() - manifest.total_residues) {
+    throw StoreError(StoreErrorCode::kCorrupt,
+                     "append would overflow the residue total: " + prefix);
+  }
+
+  // Write the tail shard pair first, then atomically publish the bumped
+  // manifest: a crash in between leaves the old revision fully valid
+  // (the orphan pair is overwritten by the next append).
+  const std::size_t tail = manifest.shards.size();
+  const std::string tail_prefix = shard_prefix(prefix, tail);
+  const std::uint64_t checksum =
+      save_bank(tail_prefix + ".pscbank", delta, compress);
+  const index::IndexTable table =
+      serial_index ? index::IndexTable(delta, model)
+                   : index::IndexTable::build_parallel(delta, model, threads);
+  save_index(tail_prefix + ".pscidx", table, model, checksum, compress);
+
+  ShardInfo shard;
+  shard.sequence_base = manifest.total_sequences;
+  shard.sequence_count = delta.size();
+  shard.residues = delta.total_residues();
+  shard.bank_checksum = checksum;
+  manifest.shards.push_back(shard);
+  manifest.total_sequences += delta.size();
+  manifest.total_residues += delta.total_residues();
+  manifest.version = kFormatVersion;
+  manifest.revision += 1;  // a v2 manifest reads back as revision 0
+  manifest.set_checksum = fold_set_checksum(manifest.shards);
+  save_manifest(manifest_path(prefix), manifest);
+  return manifest;
+}
+
+std::uint64_t read_manifest_revision(const std::string& path) {
+  return load_manifest(path).revision;
 }
 
 }  // namespace psc::store

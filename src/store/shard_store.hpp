@@ -14,10 +14,18 @@
 //
 // Manifest payload layout (after the common FileHeader):
 //   u64 set_checksum
+//   u64 revision            (v3+ only; a v2 manifest reads back as 0)
 //   shard_count x { u64 sequence_base, u64 sequence_count,
 //                   u64 residues,      u64 bank_checksum }
 // Header meta: [0] sequence kind, [1] shard count, [2] total sequences,
 // [3] total residues.
+//
+// v3 adds append-only ingest: append_sharded_store writes one new tail
+// shard pair (its sequence_base continuing the unsharded numbering) and
+// atomically replaces the manifest with a bumped `revision`, so a live
+// service can adopt the new generation (see SearchService::
+// refresh_manifest) while every already-resident shard stays valid --
+// existing slots are never rewritten.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +52,9 @@ struct ShardManifest {
   std::uint64_t total_sequences = 0;
   std::uint64_t total_residues = 0;
   std::uint64_t set_checksum = 0;  ///< fold of the per-shard bank checksums
+  /// Monotonic ingest generation: 1 for a fresh v3 build, +1 per
+  /// append, 0 for a v2 manifest (which predates the lineage).
+  std::uint64_t revision = 0;
   std::vector<ShardInfo> shards;
 };
 
@@ -70,7 +81,10 @@ std::vector<std::pair<std::size_t, std::size_t>> plan_shards(
 /// order. Recomputed on load and compared against the stored value.
 std::uint64_t fold_set_checksum(const std::vector<ShardInfo>& shards);
 
-/// Writes `manifest` to `path` under the common header discipline.
+/// Writes `manifest` to `path` under the common header discipline, via
+/// a sibling temp file renamed into place (atomic replace: a reader
+/// racing an append sees the old or the new revision, never a torn
+/// file).
 void save_manifest(const std::string& path, const ShardManifest& manifest);
 
 /// Reads a manifest back, validating every invariant the fan-out relies
@@ -86,12 +100,35 @@ ShardManifest load_manifest(const std::string& path,
 /// (the index built under `model`, with the shard's bank checksum
 /// recorded) and the manifest, and returns the manifest. `threads`
 /// follows IndexTable::build_parallel (0 = hardware concurrency);
-/// `serial_index` forces the serial constructor (identical layout).
+/// `serial_index` forces the serial constructor (identical layout);
+/// `compress` stores the shard pairs as v3 LZSS archives.
 ShardManifest write_sharded_store(const std::string& prefix,
                                   const bio::SequenceBank& bank,
                                   const index::SeedModel& model,
                                   std::uint64_t shard_max_bytes,
                                   std::size_t threads = 0,
-                                  bool serial_index = false);
+                                  bool serial_index = false,
+                                  bool compress = false);
+
+/// Append-only ingest: writes `delta` (possibly empty) as one new tail
+/// shard pair under the existing store at `prefix`, then atomically
+/// replaces the manifest with the extended shard table, bumped
+/// `revision` and updated totals/set checksum. Existing shard files are
+/// never touched, so a service holding the previous generation resident
+/// keeps serving it until it refreshes. Throws StoreError:
+/// kKindMismatch when `delta` holds the other sequence kind,
+/// kModelMismatch when `model` disagrees with the store's recorded
+/// model, kCorrupt when the extended totals would overflow the u32
+/// subject-id space, plus anything load_manifest throws.
+ShardManifest append_sharded_store(const std::string& prefix,
+                                   const bio::SequenceBank& delta,
+                                   const index::SeedModel& model,
+                                   std::size_t threads = 0,
+                                   bool serial_index = false,
+                                   bool compress = false);
+
+/// The revision recorded in the manifest at `path` (0 for v2 files),
+/// with full load_manifest validation behind it.
+std::uint64_t read_manifest_revision(const std::string& path);
 
 }  // namespace psc::store

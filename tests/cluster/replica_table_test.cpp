@@ -24,6 +24,23 @@ TEST(ParseReplicaList, ParsesEndpointsAndShardSets) {
   EXPECT_EQ(endpoints[1].shards, (std::vector<std::size_t>{1, 2}));
 }
 
+TEST(ParseReplicaList, AllClaimCoversEveryShardIncludingFutureOnes) {
+  // "=all" is the live-ingest form: the endpoint serves every manifest
+  // shard, including tail shards appended after the router started.
+  const std::vector<ReplicaEndpoint> endpoints =
+      parse_replica_list("10.0.0.1:7001=all;10.0.0.2:7002=0,1");
+  ASSERT_EQ(endpoints.size(), 2u);
+  EXPECT_TRUE(endpoints[0].all_shards);
+  EXPECT_TRUE(endpoints[0].shards.empty());
+  EXPECT_TRUE(endpoints[0].serves(0));
+  EXPECT_TRUE(endpoints[0].serves(999));
+  EXPECT_FALSE(endpoints[1].all_shards);
+  EXPECT_TRUE(endpoints[1].serves(1));
+  EXPECT_FALSE(endpoints[1].serves(2));
+  // "all" is a keyword, not a shard number prefix.
+  EXPECT_THROW(parse_replica_list("h:7001=all,1"), std::invalid_argument);
+}
+
 TEST(ParseReplicaList, RejectsMalformedSpecs) {
   EXPECT_THROW(parse_replica_list(""), std::invalid_argument);
   EXPECT_THROW(parse_replica_list("host:7001"), std::invalid_argument);

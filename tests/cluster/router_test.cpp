@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <memory>
@@ -572,6 +573,148 @@ TEST(RouterTest, HedgeBudgetZeroKeepsThePrimaryAndCountsTheDenial) {
   EXPECT_EQ(stats.tenants[0].hedges, 0u);
   EXPECT_GE(stats.tenants[0].hedges_denied, 1u);
   EXPECT_EQ(stats.tenants[0].completed, 1u);
+}
+
+TEST(RouterTest, RefreshAdoptsAppendedTailThroughAllClaims) {
+  const ClusterWorkload workload(69, "cluster_refresh", 700);
+  ASSERT_GE(workload.shard_count, 2u);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  service::QueryOptions options;
+  options.with_traceback = true;
+
+  // An unrestricted replica (no allowlist), claimed with "=all" so it
+  // also covers shards that do not exist yet.
+  Replica replica(workload.name, {});
+  RouterConfig config = base_config(workload);
+  config.replicas = parse_replica_list(
+      "127.0.0.1:" + std::to_string(replica.port()) + "=all");
+  Router router(config);
+  EXPECT_EQ(router.manifest().revision, 1u);
+
+  const service::QueryResult before =
+      router.submit_search(request_for(workload, options)).get();
+  ASSERT_FALSE(before.matches.empty());
+
+  // Append a delta with a planted match and adopt it at the router.
+  util::Xoshiro256 rng(70);
+  sim::MutationConfig divergence;
+  divergence.substitution_rate = 0.05;
+  divergence.indel_rate = 0.0;
+  bio::SequenceBank delta(bio::SequenceKind::kProtein);
+  delta.add(sim::mutate_protein(workload.proteins[3], divergence, rng));
+  const store::ShardManifest extended =
+      store::append_sharded_store(workload.prefix, delta, model);
+  EXPECT_EQ(router.refresh_manifest(workload.name), 2u);
+  EXPECT_EQ(router.manifest().revision, 2u);
+  EXPECT_EQ(router.manifest().shards.size(), workload.shard_count + 1);
+
+  // The adopted generation answers byte-identically to an unsharded
+  // single node over the combined bank -- the live-ingest acceptance
+  // bar, through the whole cluster stack.
+  bio::SequenceBank combined(bio::SequenceKind::kProtein);
+  for (const bio::Sequence& s : workload.genome_bank) combined.add(s);
+  for (const bio::Sequence& s : delta) combined.add(s);
+  const std::string combined_prefix =
+      ::testing::TempDir() + "/cluster_refresh_combined";
+  const index::IndexTable combined_table(combined, model);
+  const std::uint64_t combined_checksum =
+      store::save_bank(combined_prefix + ".pscbank", combined);
+  store::save_index(combined_prefix + ".pscidx", combined_table, model,
+                    combined_checksum);
+  service::SearchService single;
+  service::ServiceRequest reference_request;
+  reference_request.query = workload.proteins;
+  reference_request.bank_prefix = combined_prefix;
+  reference_request.options = options;
+  const service::QueryResult reference =
+      single.submit(std::move(reference_request)).get();
+
+  const service::QueryResult after =
+      router.submit_search(request_for(workload, options)).get();
+  EXPECT_EQ(core::encode_matches(after.matches),
+            core::encode_matches(reference.matches));
+  EXPECT_NE(core::encode_matches(after.matches),
+            core::encode_matches(before.matches));
+
+  // Idempotent re-refresh: same revision, no second adoption counted.
+  EXPECT_EQ(router.refresh_manifest(workload.name), 2u);
+  const service::ServiceStats stats = router.stats_snapshot();
+  EXPECT_EQ(stats.manifest_refreshes, 1u);
+  EXPECT_EQ(stats.store_revision, 2u);
+
+  // A foreign prefix is the same typed error Search gives.
+  try {
+    router.refresh_manifest("some_other_bank");
+    FAIL() << "expected WireError";
+  } catch (const net::WireError& e) {
+    EXPECT_EQ(e.code(), net::WireErrorCode::kBankNotFound);
+  }
+
+  const std::string tail =
+      store::shard_prefix(workload.prefix, extended.shards.size() - 1);
+  std::remove((tail + ".pscbank").c_str());
+  std::remove((tail + ".pscidx").c_str());
+  std::remove((combined_prefix + ".pscbank").c_str());
+  std::remove((combined_prefix + ".pscidx").c_str());
+}
+
+TEST(RouterTest, RefreshRejectsUncoveredTailAndNonExtension) {
+  const ClusterWorkload workload(71, "cluster_refresh_guard", 700);
+  ASSERT_GE(workload.shard_count, 2u);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+
+  // Explicit claims only: the replica covers today's shards but makes
+  // no promise about tomorrow's tail.
+  Replica replica(workload.name, workload.all_shards());
+  RouterConfig config = base_config(workload);
+  config.replicas = {endpoint_for(replica.port(), workload.all_shards())};
+  Router router(config);
+
+  const bio::SequenceBank empty(bio::SequenceKind::kProtein);
+  const store::ShardManifest extended =
+      store::append_sharded_store(workload.prefix, empty, model);
+  try {
+    router.refresh_manifest(workload.name);
+    FAIL() << "expected WireError";
+  } catch (const net::WireError& e) {
+    EXPECT_EQ(e.code(), net::WireErrorCode::kShardUnavailable);
+  }
+  // The refusal left the serving generation untouched -- queries keep
+  // working over revision 1.
+  EXPECT_EQ(router.manifest().revision, 1u);
+  EXPECT_FALSE(
+      router.submit_search(request_for(workload, {})).get().matches.empty());
+
+  // A rebuilt-from-scratch store under the same prefix is NOT an
+  // extension of the serving generation even at a higher revision: the
+  // leading slots changed, so adopting it would remap in-flight
+  // semantics silently. Typed refusal instead.
+  util::Xoshiro256 rng(72);
+  bio::SequenceBank other(bio::SequenceKind::kProtein);
+  for (int i = 0; i < 12; ++i) {
+    other.add(sim::generate_protein("o" + std::to_string(i), 80, rng));
+  }
+  const store::ShardManifest rebuilt =
+      store::write_sharded_store(workload.prefix, other, model, 400);
+  const store::ShardManifest bumped =
+      store::append_sharded_store(workload.prefix, empty, model);
+  ASSERT_EQ(bumped.revision, 2u);
+  try {
+    router.refresh_manifest(workload.name);
+    FAIL() << "expected WireError";
+  } catch (const net::WireError& e) {
+    EXPECT_EQ(e.code(), net::WireErrorCode::kRevisionMismatch);
+  }
+  EXPECT_EQ(router.manifest().revision, 1u);
+
+  const std::size_t cleanup_count =
+      std::max(extended.shards.size(), bumped.shards.size());
+  for (std::size_t s = workload.shard_count; s < cleanup_count; ++s) {
+    const std::string pair = store::shard_prefix(workload.prefix, s);
+    std::remove((pair + ".pscbank").c_str());
+    std::remove((pair + ".pscidx").c_str());
+  }
+  (void)rebuilt;
 }
 
 }  // namespace

@@ -34,6 +34,7 @@
 #include "sim/protein_generator.hpp"
 #include "store/bank_store.hpp"
 #include "store/index_store.hpp"
+#include "store/shard_store.hpp"
 #include "util/rng.hpp"
 
 namespace psc::net {
@@ -251,7 +252,7 @@ TEST_F(LoopbackTest, LegacyStatsClientsGetTheirOwnVintage) {
   EXPECT_EQ(stats_version_of({}), 3u);  // legacy default
   EXPECT_EQ(stats_version_of({2, 0, 0, 0}), 2u);
   EXPECT_EQ(stats_version_of({4, 0, 0, 0}), 4u);
-  EXPECT_EQ(stats_version_of({9, 0, 0, 0}), 5u);  // clamped, no error
+  EXPECT_EQ(stats_version_of({9, 0, 0, 0}), 6u);  // clamped, no error
   EXPECT_EQ(stats_version_of({1, 0, 0, 0}), 2u);  // clamped up as well
 
   // A v3 reply really omits the v4 rows: the decoded struct keeps its
@@ -264,6 +265,63 @@ TEST_F(LoopbackTest, LegacyStatsClientsGetTheirOwnVintage) {
   EXPECT_TRUE(v3.scheduler_policy.empty());
   Client client = connect();
   EXPECT_EQ(client.stats().scheduler_policy, "affinity");
+}
+
+TEST_F(LoopbackTest, RefreshManifestAdoptsAppendedGenerationInPlace) {
+  // Live ingest through the wire: build a sharded store, serve it,
+  // append a tail shard with a planted match, kRefreshManifest, and the
+  // SAME server answers over the extended generation -- no restart.
+  const SavedBank saved(27, "net_refresh_seed");
+  const std::string name = "net_refresh";
+  const std::string prefix = ::testing::TempDir() + "/" + name;
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  store::write_sharded_store(prefix, saved.genome_bank, model, 800);
+  start();
+  Client client = connect();
+  const service::QueryResult before = client.search(name, saved.fasta());
+  ASSERT_FALSE(before.matches.empty());
+
+  bio::SequenceBank delta(bio::SequenceKind::kProtein);
+  util::Xoshiro256 rng(28);
+  sim::MutationConfig divergence;
+  divergence.substitution_rate = 0.05;
+  divergence.indel_rate = 0.0;
+  delta.add(sim::mutate_protein(saved.proteins[3], divergence, rng));
+  const store::ShardManifest extended =
+      store::append_sharded_store(prefix, delta, model);
+  EXPECT_EQ(client.refresh(name), 2u);
+
+  const service::QueryResult after = client.search(name, saved.fasta());
+  EXPECT_NE(core::encode_matches(after.matches),
+            core::encode_matches(before.matches));
+  const service::ServiceStats stats = client.stats();
+  EXPECT_EQ(stats.manifest_refreshes, 1u);
+  EXPECT_EQ(stats.store_revision, 2u);
+
+  // A plain (manifest-less) pair refreshes as revision 0: the call
+  // doubles as a cheap validity probe there, not an error.
+  const SavedBank plain(29, "net_refresh_plain");
+  EXPECT_EQ(client.refresh(plain.name), 0u);
+
+  // The same admission gates as Search apply.
+  const auto refresh_code = [&](const std::string& bank) {
+    try {
+      client.refresh(bank);
+    } catch (const WireError& e) {
+      return e.code();
+    }
+    ADD_FAILURE() << "expected WireError for bank=" << bank;
+    return WireErrorCode::kInternal;
+  };
+  EXPECT_EQ(refresh_code("net_refresh_missing"), WireErrorCode::kBankNotFound);
+  EXPECT_EQ(refresh_code("../escape"), WireErrorCode::kBadRequest);
+
+  std::remove(store::manifest_path(prefix).c_str());
+  for (std::size_t s = 0; s < extended.shards.size(); ++s) {
+    const std::string pair = store::shard_prefix(prefix, s);
+    std::remove((pair + ".pscbank").c_str());
+    std::remove((pair + ".pscidx").c_str());
+  }
 }
 
 TEST_F(LoopbackTest, ConcurrentClientsCoalesceIntoOneBatch) {

@@ -252,6 +252,61 @@ TEST(Wire, MalformedHelloThrowsCodecError) {
   EXPECT_THROW(decode_hello(padded), core::CodecError);
 }
 
+TEST(Wire, RefreshFramesRoundTrip) {
+  RefreshManifestFrame request;
+  request.bank_prefix = "banks/nr_2026";
+  const RefreshManifestFrame decoded =
+      decode_refresh_manifest(encode_refresh_manifest(request));
+  EXPECT_EQ(decoded.bank_prefix, request.bank_prefix);
+
+  RefreshAckFrame ack;
+  ack.revision = 0x0123456789abcdefull;
+  const RefreshAckFrame ack_decoded =
+      decode_refresh_ack(encode_refresh_ack(ack));
+  EXPECT_EQ(ack_decoded.revision, ack.revision);
+}
+
+TEST(Wire, MalformedRefreshFramesThrowCodecError) {
+  RefreshManifestFrame request;
+  request.bank_prefix = "nr";
+  const std::vector<std::uint8_t> bytes = encode_refresh_manifest(request);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW(decode_refresh_manifest(prefix), core::CodecError)
+        << "cut=" << cut;
+  }
+  std::vector<std::uint8_t> skewed = bytes;
+  skewed[0] = 0x7f;  // refresh codec version
+  EXPECT_THROW(decode_refresh_manifest(skewed), core::CodecError);
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW(decode_refresh_manifest(padded), core::CodecError);
+
+  RefreshAckFrame ack;
+  ack.revision = 2;
+  const std::vector<std::uint8_t> ack_bytes = encode_refresh_ack(ack);
+  for (std::size_t cut = 0; cut < ack_bytes.size(); ++cut) {
+    EXPECT_THROW(
+        decode_refresh_ack(std::span(ack_bytes.data(), cut)),
+        core::CodecError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Wire, RevisionMismatchCodeRoundTripsWithName) {
+  // The live-ingest rejection must survive the wire like the quota
+  // codes do; an older decode bound would turn it into kBadFrame.
+  const std::vector<std::uint8_t> bytes =
+      encode_error_frame(WireErrorCode::kRevisionMismatch, "not an extension");
+  FrameReader reader(1 << 20);
+  reader.feed(bytes);
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  const WireError error = decode_error_payload(frame->payload);
+  EXPECT_EQ(error.code(), WireErrorCode::kRevisionMismatch);
+  EXPECT_EQ(wire_error_code_name(error.code()), "revision-mismatch");
+}
+
 TEST(Wire, GarbageAfterValidFrameThrowsOnTheGarbage) {
   FrameReader reader(1 << 20);
   std::vector<std::uint8_t> stream = encode_frame(MessageType::kPing);

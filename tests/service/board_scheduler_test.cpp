@@ -406,7 +406,7 @@ TEST(ServiceCodec, EncodesLegacyVersionsForOldClients) {
 TEST(ServiceCodec, RejectsUnsupportedVersionsAndTrailingBytes) {
   const ServiceStats stats = v4_sample();
   EXPECT_THROW(encode_service_stats(stats, 1), core::CodecError);
-  EXPECT_THROW(encode_service_stats(stats, 6), core::CodecError);
+  EXPECT_THROW(encode_service_stats(stats, 7), core::CodecError);
 
   std::vector<std::uint8_t> bytes = encode_service_stats(stats);
   bytes.push_back(0);

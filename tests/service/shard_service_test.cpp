@@ -231,6 +231,234 @@ TEST(ShardService, SetLargerThanCapIsServedTransiently) {
                    .bank_was_resident);
 }
 
+TEST(ShardService, RefreshAdoptsAppendedGenerationByteIdentically) {
+  // The live-ingest acceptance bar at the service level: an appended
+  // generation is invisible until refresh_manifest (the serving
+  // generation is pinned by revision), and after the refresh the answer
+  // is byte-identical to a from-scratch rebuild of the combined bank.
+  const ShardedWorkload workload(51, "shardq_refresh", {800});
+  const std::string prefix = workload.sharded_prefixes[0];
+  const std::size_t base_shards = workload.shard_counts[0];
+  ASSERT_GT(base_shards, 1u);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+
+  ServiceConfig config;
+  config.max_resident = 4 * base_shards + 8;
+  SearchService service(config);
+
+  const QueryResult before = service.submit(workload.proteins, prefix).get();
+  ASSERT_FALSE(before.matches.empty());
+
+  // The delta: a second planted genome's translated fragments, so the
+  // next generation genuinely answers differently (bigger search space
+  // shifts E-values; new fragments add matches).
+  util::Xoshiro256 rng(52);
+  sim::GenomeConfig gconfig;
+  gconfig.length = 8000;
+  gconfig.seed = 52;
+  bio::Sequence genome2 = sim::generate_genome(gconfig);
+  sim::MutationConfig divergence;
+  divergence.substitution_rate = 0.1;
+  divergence.indel_rate = 0.0;
+  sim::plant_gene(genome2,
+                  sim::mutate_protein(workload.proteins[1], divergence, rng),
+                  2000, true, rng);
+  const bio::SequenceBank delta =
+      bio::frames_to_bank(bio::translate_six_frames(genome2));
+  const store::ShardManifest extended =
+      store::append_sharded_store(prefix, delta, model);
+  EXPECT_EQ(extended.revision, 2u);
+
+  // Un-refreshed: the pinned generation still answers exactly as before,
+  // from residency.
+  const QueryResult pinned = service.submit(workload.proteins, prefix).get();
+  EXPECT_TRUE(pinned.bank_was_resident);
+  EXPECT_EQ(core::encode_matches(pinned.matches),
+            core::encode_matches(before.matches));
+
+  // Refresh: the service adopts revision 2 and the next pass runs over
+  // the extended set.
+  EXPECT_EQ(service.refresh_manifest(prefix), 2u);
+  const QueryResult after = service.submit(workload.proteins, prefix).get();
+  EXPECT_FALSE(after.bank_was_resident);
+  EXPECT_NE(core::encode_matches(after.matches),
+            core::encode_matches(before.matches));
+
+  // The proof: a from-scratch full rebuild of the combined bank (with
+  // its own shard boundaries) answers byte-for-byte the same.
+  bio::SequenceBank combined(bio::SequenceKind::kProtein);
+  for (const bio::Sequence& s : workload.genome_bank) combined.add(s);
+  for (const bio::Sequence& s : delta) combined.add(s);
+  const std::string rebuilt = ::testing::TempDir() + "/shardq_refresh_rebuilt";
+  const store::ShardManifest rebuilt_manifest =
+      store::write_sharded_store(rebuilt, combined, model, 800);
+  const QueryResult reference =
+      service.submit(workload.proteins, rebuilt).get();
+  EXPECT_EQ(core::encode_matches(after.matches),
+            core::encode_matches(reference.matches));
+
+  const ServiceStats stats = service.snapshot();
+  EXPECT_EQ(stats.manifest_refreshes, 1u);
+  // Loading generation 2 adopted every still-valid shard from the
+  // resident generation 1 instead of re-reading it from disk.
+  EXPECT_EQ(stats.refresh_shards_reused, base_shards);
+  EXPECT_EQ(stats.store_revision, 2u);
+
+  const std::string tail =
+      store::shard_prefix(prefix, extended.shards.size() - 1);
+  std::remove((tail + ".pscbank").c_str());
+  std::remove((tail + ".pscidx").c_str());
+  std::remove(store::manifest_path(rebuilt).c_str());
+  for (std::size_t s = 0; s < rebuilt_manifest.shards.size(); ++s) {
+    const std::string pair = store::shard_prefix(rebuilt, s);
+    std::remove((pair + ".pscbank").c_str());
+    std::remove((pair + ".pscidx").c_str());
+  }
+}
+
+TEST(ShardService, EvictionKeysGenerationsByRevisionNotPrefix) {
+  // The satellite-2 regression: with two generations of one prefix
+  // resident (pre- and post-refresh), whole-set eviction must take
+  // exactly the stale generation -- pins are keyed by manifest revision,
+  // not by prefix alone. A prefix-keyed eviction would tear shards out
+  // from under the other generation (ASan catches the use-after-free).
+  const ShardedWorkload a(53, "shardq_gen_a", {700});
+  const ShardedWorkload b(54, "shardq_gen_b", {});
+  const std::size_t n = a.shard_counts[0];
+  ASSERT_GE(n, 2u);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+
+  ServiceConfig config;
+  config.max_resident = 2 * n + 1;  // both generations, nothing more
+  SearchService service(config);
+
+  const QueryResult gen1 = service.submit(a.proteins, a.sharded_prefixes[0]).get();
+
+  // An empty delta is the smallest legal ingest tick: revision 2, one
+  // empty tail shard, same content.
+  const bio::SequenceBank empty(bio::SequenceKind::kProtein);
+  const store::ShardManifest extended =
+      store::append_sharded_store(a.sharded_prefixes[0], empty, model);
+  EXPECT_EQ(service.refresh_manifest(a.sharded_prefixes[0]), 2u);
+
+  const QueryResult gen2 = service.submit(a.proteins, a.sharded_prefixes[0]).get();
+  EXPECT_EQ(core::encode_matches(gen2.matches),
+            core::encode_matches(gen1.matches));
+  ServiceStats stats = service.snapshot();
+  EXPECT_EQ(stats.resident_banks, 2u);  // both generations, same prefix
+  EXPECT_EQ(stats.resident_shards, n + (n + 1));
+  EXPECT_EQ(stats.refresh_shards_reused, n);
+
+  // A plain bank overflows the cap: the stale generation (the LRU
+  // entry) goes as a whole; the serving generation keeps every shard.
+  service.submit(b.query(0), b.plain_prefix).get();
+  stats = service.snapshot();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident_banks, 2u);
+  EXPECT_EQ(stats.resident_shards, (n + 1) + 1);
+  const QueryResult still_resident =
+      service.submit(a.proteins, a.sharded_prefixes[0]).get();
+  EXPECT_TRUE(still_resident.bank_was_resident);
+  EXPECT_EQ(core::encode_matches(still_resident.matches),
+            core::encode_matches(gen1.matches));
+
+  const std::string tail =
+      store::shard_prefix(a.sharded_prefixes[0], extended.shards.size() - 1);
+  std::remove((tail + ".pscbank").c_str());
+  std::remove((tail + ".pscidx").c_str());
+}
+
+TEST(ShardService, EvictedPinReloadsAtTheOnDiskRevisionConsistently) {
+  // A revision pin is only as durable as residency: once the pinned
+  // generation is evicted, the superseding append has already replaced
+  // the manifest on disk, so the reload can only produce the new
+  // revision. The regression: the entry must be KEYED by what was
+  // actually loaded (and the pin moved forward), or a revision-1 key
+  // caches revision-2 data -- the later refresh_manifest(2) then misses
+  // its own resident set and reloads a generation it already holds.
+  const ShardedWorkload a(55, "shardq_pin_a", {700});
+  const ShardedWorkload b(56, "shardq_pin_b", {400});
+  const std::size_t n = a.shard_counts[0];
+  const std::size_t m = b.shard_counts[0];
+  ASSERT_GE(n, 2u);
+  ASSERT_GE(m, 2u);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+
+  ServiceConfig config;
+  // Either set fits alone, never both: loading `b` must EVICT `a`'s
+  // pinned generation (not serve transiently past the cap).
+  config.max_resident = n + m - 1;
+  SearchService service(config);
+
+  const QueryResult gen1 = service.submit(a.proteins, a.sharded_prefixes[0]).get();
+
+  // `b`'s set overflows the cap and evicts `a`'s pinned generation.
+  service.submit(b.proteins, b.sharded_prefixes[0]).get();
+  EXPECT_EQ(service.snapshot().evictions, 1u);
+
+  // The append lands while nothing of `a` is resident.
+  const bio::SequenceBank empty(bio::SequenceKind::kProtein);
+  const store::ShardManifest extended =
+      store::append_sharded_store(a.sharded_prefixes[0], empty, model);
+  EXPECT_EQ(extended.revision, 2u);
+
+  // Un-refreshed query: the reload adopts the on-disk revision 2 (the
+  // empty delta keeps the answer identical) and the stats say so.
+  const QueryResult reloaded =
+      service.submit(a.proteins, a.sharded_prefixes[0]).get();
+  EXPECT_FALSE(reloaded.bank_was_resident);
+  EXPECT_EQ(core::encode_matches(reloaded.matches),
+            core::encode_matches(gen1.matches));
+  EXPECT_EQ(service.snapshot().store_revision, 2u);
+
+  // The refresh is now a no-op for residency: the set loaded above was
+  // keyed at revision 2, so the next pass HITS instead of reloading.
+  EXPECT_EQ(service.refresh_manifest(a.sharded_prefixes[0]), 2u);
+  const QueryResult after = service.submit(a.proteins, a.sharded_prefixes[0]).get();
+  EXPECT_TRUE(after.bank_was_resident);
+  EXPECT_EQ(core::encode_matches(after.matches),
+            core::encode_matches(gen1.matches));
+
+  const std::string tail =
+      store::shard_prefix(a.sharded_prefixes[0], extended.shards.size() - 1);
+  std::remove((tail + ".pscbank").c_str());
+  std::remove((tail + ".pscidx").c_str());
+}
+
+TEST(ShardService, CompressedStoreAnswersByteIdentically) {
+  // Cold-shard compression is a storage decision, not a semantic one:
+  // the same bank saved compressed answers byte-for-byte identically,
+  // and the v6 gauge reports the resident compressed shards.
+  const ShardedWorkload workload(55, "shardq_cmp", {800});
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const std::string packed = ::testing::TempDir() + "/shardq_cmp_packed";
+  const store::ShardManifest packed_manifest = store::write_sharded_store(
+      packed, workload.genome_bank, model, 800, /*threads=*/0,
+      /*serial_index=*/false, /*compress=*/true);
+  EXPECT_EQ(packed_manifest.shards.size(), workload.shard_counts[0]);
+
+  ServiceConfig config;
+  config.max_resident = 2 * workload.shard_counts[0] + 2;
+  SearchService service(config);
+  const QueryResult plain =
+      service.submit(workload.proteins, workload.sharded_prefixes[0]).get();
+  const QueryResult compressed =
+      service.submit(workload.proteins, packed).get();
+  ASSERT_FALSE(plain.matches.empty());
+  EXPECT_EQ(core::encode_matches(compressed.matches),
+            core::encode_matches(plain.matches));
+
+  const ServiceStats stats = service.snapshot();
+  EXPECT_EQ(stats.resident_compressed_shards, packed_manifest.shards.size());
+
+  std::remove(store::manifest_path(packed).c_str());
+  for (std::size_t s = 0; s < packed_manifest.shards.size(); ++s) {
+    const std::string pair = store::shard_prefix(packed, s);
+    std::remove((pair + ".pscbank").c_str());
+    std::remove((pair + ".pscidx").c_str());
+  }
+}
+
 TEST(ShardService, ShardSwappedForAnotherBankIsRejected) {
   // Two self-consistent sharded stores; grafting one store's shard pair
   // into the other passes every per-file check and must still die on the

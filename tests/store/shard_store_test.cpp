@@ -217,9 +217,10 @@ TEST(ShardStore, ManifestRejectsDamage) {
   EXPECT_EQ(code_of([&] { load_manifest(path); }), StoreErrorCode::kCorrupt);
 
   // Non-contiguous bases (shard 1's base bumped by one), resealed.
+  // The v3 payload head is set_checksum + revision, 16 bytes.
   std::vector<char> gap = good;
   constexpr std::size_t kTableOffset =
-      sizeof(FileHeader) + sizeof(std::uint64_t);
+      sizeof(FileHeader) + 2 * sizeof(std::uint64_t);
   std::uint64_t base1 = 0;
   std::memcpy(&base1, gap.data() + kTableOffset + 32, sizeof(base1));
   poke_u64(gap, kTableOffset + 32, base1 + 1);
@@ -253,7 +254,7 @@ TEST(ShardStore, ManifestRejectsSwappedShardChecksum) {
   std::vector<char> crafted = slurp(path);
 
   constexpr std::size_t kSlot0Checksum =
-      sizeof(FileHeader) + sizeof(std::uint64_t) + 24;
+      sizeof(FileHeader) + 2 * sizeof(std::uint64_t) + 24;
   poke_u64(crafted, kSlot0Checksum, written.shards[0].bank_checksum ^ 1);
   reseal(crafted);
   spit(path, crafted);
@@ -282,6 +283,182 @@ TEST(ShardStore, ManifestRejectsIdSpaceOverflow) {
   save_manifest(path, manifest);
   EXPECT_EQ(code_of([&] { load_manifest(path); }), StoreErrorCode::kCorrupt);
   std::remove(path.c_str());
+}
+
+TEST(ShardStore, AppendExtendsStoreAndBumpsRevision) {
+  const bio::SequenceBank bank = make_bank(23, 10, 50);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const std::string prefix = temp_path("shard_append");
+  const ShardManifest base = write_sharded_store(prefix, bank, model, 250);
+  ASSERT_GE(base.shards.size(), 2u);
+  EXPECT_EQ(base.revision, 1u);  // a fresh v3 build starts the lineage
+  EXPECT_EQ(read_manifest_revision(manifest_path(prefix)), 1u);
+
+  const bio::SequenceBank delta = make_bank(24, 4, 60);
+  const ShardManifest extended =
+      append_sharded_store(prefix, delta, model);
+  EXPECT_EQ(extended.revision, 2u);
+  ASSERT_EQ(extended.shards.size(), base.shards.size() + 1);
+  EXPECT_EQ(extended.total_sequences, bank.size() + delta.size());
+  EXPECT_EQ(extended.total_residues,
+            bank.total_residues() + delta.total_residues());
+  // Leading slots are untouched (append never rewrites a shard)...
+  for (std::size_t i = 0; i < base.shards.size(); ++i) {
+    EXPECT_EQ(extended.shards[i].sequence_base, base.shards[i].sequence_base);
+    EXPECT_EQ(extended.shards[i].bank_checksum, base.shards[i].bank_checksum);
+  }
+  // ...and the tail continues the unsharded numbering exactly.
+  const ShardInfo& tail = extended.shards.back();
+  EXPECT_EQ(tail.sequence_base, bank.size());
+  EXPECT_EQ(tail.sequence_count, delta.size());
+  const std::string tail_prefix =
+      shard_prefix(prefix, extended.shards.size() - 1);
+  const bio::SequenceBank tail_bank = load_bank(tail_prefix + ".pscbank");
+  ASSERT_EQ(tail_bank.size(), delta.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    EXPECT_EQ(tail_bank[i].id(), delta[i].id());
+    EXPECT_EQ(tail_bank[i].residues(), delta[i].residues());
+  }
+  // The published manifest passes full validation (set checksum refold,
+  // contiguity, totals) and records the new revision.
+  const ShardManifest reloaded = load_manifest(manifest_path(prefix));
+  EXPECT_EQ(reloaded.revision, 2u);
+  EXPECT_EQ(reloaded.set_checksum, extended.set_checksum);
+  EXPECT_EQ(read_manifest_revision(manifest_path(prefix)), 2u);
+
+  // An EMPTY delta is a legal ingest tick: one empty tail shard, another
+  // revision bump, totals unchanged.
+  const bio::SequenceBank empty(bio::SequenceKind::kProtein);
+  const ShardManifest third = append_sharded_store(prefix, empty, model);
+  EXPECT_EQ(third.revision, 3u);
+  EXPECT_EQ(third.total_sequences, extended.total_sequences);
+  EXPECT_EQ(third.shards.back().sequence_count, 0u);
+  remove_store(prefix, third.shards.size());
+}
+
+TEST(ShardStore, AppendCompressedTailOntoPlainStore) {
+  // Generations may mix storage modes: a plain store can grow a
+  // compressed tail (cold ingest) and still validate as one set.
+  const bio::SequenceBank bank = make_bank(25, 6, 50);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const std::string prefix = temp_path("shard_append_cmp");
+  write_sharded_store(prefix, bank, model, 250);
+  const bio::SequenceBank delta = make_bank(26, 3, 60);
+  const ShardManifest extended = append_sharded_store(
+      prefix, delta, model, /*threads=*/0, /*serial_index=*/false,
+      /*compress=*/true);
+  const std::string tail_prefix =
+      shard_prefix(prefix, extended.shards.size() - 1);
+  EXPECT_EQ(inspect_bank(tail_prefix + ".pscbank").compression,
+            kCompressionLzss);
+  EXPECT_EQ(inspect_index(tail_prefix + ".pscidx").compression,
+            kCompressionLzss);
+  EXPECT_EQ(load_bank(tail_prefix + ".pscbank").size(), delta.size());
+  EXPECT_NO_THROW(load_manifest(manifest_path(prefix)));
+  remove_store(prefix, extended.shards.size());
+}
+
+TEST(ShardStore, AppendRejectsKindAndModelMismatch) {
+  const bio::SequenceBank bank = make_bank(27, 6, 50);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const std::string prefix = temp_path("shard_append_guard");
+  const ShardManifest base = write_sharded_store(prefix, bank, model, 250);
+
+  bio::SequenceBank dna(bio::SequenceKind::kDna);
+  EXPECT_EQ(code_of([&] { append_sharded_store(prefix, dna, model); }),
+            StoreErrorCode::kKindMismatch);
+
+  const bio::SequenceBank delta = make_bank(28, 2, 40);
+  EXPECT_EQ(code_of([&] {
+              append_sharded_store(prefix, delta,
+                                   index::SeedModel::blast_w3());
+            }),
+            StoreErrorCode::kModelMismatch);
+
+  // Neither failed attempt may have published a new generation.
+  EXPECT_EQ(read_manifest_revision(manifest_path(prefix)), base.revision);
+  remove_store(prefix, base.shards.size());
+}
+
+/// Rewrites a v3 manifest as its v2 predecessor: drop the 8-byte
+/// revision word, stamp version 2, fix the payload length and reseal.
+/// What save_manifest wrote under v2 is byte-for-byte this.
+std::vector<char> manifest_as_v2(const std::vector<char>& v3) {
+  std::vector<char> v2(v3.begin(), v3.begin() + sizeof(FileHeader) + 8);
+  v2.insert(v2.end(), v3.begin() + sizeof(FileHeader) + 16, v3.end());
+  v2[8] = 2;  // FileHeader::version (little-endian u32)
+  std::uint64_t payload_bytes = 0;
+  std::memcpy(&payload_bytes, v3.data() + offsetof(FileHeader, payload_bytes),
+              sizeof(payload_bytes));
+  poke_u64(v2, offsetof(FileHeader, payload_bytes), payload_bytes - 8);
+  reseal(v2);
+  return v2;
+}
+
+TEST(ShardStore, V2ManifestReadsBackAsRevisionZero) {
+  const bio::SequenceBank bank = make_bank(29, 8, 50);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const std::string prefix = temp_path("shard_v2compat");
+  const ShardManifest written = write_sharded_store(prefix, bank, model, 250);
+  const std::string path = manifest_path(prefix);
+  spit(path, manifest_as_v2(slurp(path)));
+
+  const ShardManifest v2 = load_manifest(path);
+  EXPECT_EQ(v2.version, 2u);
+  EXPECT_EQ(v2.revision, 0u);  // predates the lineage: "unrecorded"
+  EXPECT_EQ(v2.total_sequences, written.total_sequences);
+  EXPECT_EQ(v2.set_checksum, written.set_checksum);
+  ASSERT_EQ(v2.shards.size(), written.shards.size());
+  EXPECT_EQ(v2.shards.back().bank_checksum,
+            written.shards.back().bank_checksum);
+  EXPECT_EQ(read_manifest_revision(path), 0u);
+
+  // Appending to a v2 store adopts it into the lineage at revision 1.
+  const bio::SequenceBank delta = make_bank(30, 2, 40);
+  const ShardManifest adopted = append_sharded_store(prefix, delta, model);
+  EXPECT_EQ(adopted.revision, 1u);
+  remove_store(prefix, adopted.shards.size());
+}
+
+TEST(ShardStore, ManifestRejectsWrappedTotals) {
+  // Satellite: crafted per-shard slots whose u64 sums wrap around to
+  // match the header totals must be kCorrupt, not a silent pass -- the
+  // loader checks each addition for overflow before comparing.
+  const bio::SequenceBank bank = make_bank(31, 8, 50);
+  const index::SeedModel model = index::SeedModel::subset_w4();
+  const std::string prefix = temp_path("shard_wrap");
+  const ShardManifest written = write_sharded_store(prefix, bank, model, 200);
+  ASSERT_GE(written.shards.size(), 2u);
+  const std::string path = manifest_path(prefix);
+  const std::vector<char> good = slurp(path);
+  constexpr std::size_t kTable = sizeof(FileHeader) + 2 * sizeof(std::uint64_t);
+  constexpr std::uint64_t kHalf = std::uint64_t{1} << 63;
+
+  // Residues: slot0 jumps to 2^63, slot1 to total - 2^63 (mod 2^64);
+  // the wrapped sum equals the header total exactly.
+  std::vector<char> wrap_residues = good;
+  poke_u64(wrap_residues, kTable + 16, kHalf);
+  poke_u64(wrap_residues, kTable + 32 + 16,
+           written.total_residues - written.shards[0].residues -
+               written.shards[1].residues + kHalf);
+  reseal(wrap_residues);
+  spit(path, wrap_residues);
+  EXPECT_EQ(code_of([&] { load_manifest(path); }), StoreErrorCode::kCorrupt);
+
+  // Sequence counts: same trick, keeping the bases contiguous so the
+  // overflow guard (not the contiguity check) is what must fire.
+  std::vector<char> wrap_counts = good;
+  poke_u64(wrap_counts, kTable + 8, kHalf);       // slot0.sequence_count
+  poke_u64(wrap_counts, kTable + 32, kHalf);      // slot1.sequence_base
+  poke_u64(wrap_counts, kTable + 32 + 8,
+           written.total_sequences - written.shards[0].sequence_count -
+               written.shards[1].sequence_count + kHalf);
+  reseal(wrap_counts);
+  spit(path, wrap_counts);
+  EXPECT_EQ(code_of([&] { load_manifest(path); }), StoreErrorCode::kCorrupt);
+
+  spit(path, good);
+  remove_store(prefix, written.shards.size());
 }
 
 TEST(IndexStoreV2, RecordsBankChecksumAndRejectsWrongPairing) {

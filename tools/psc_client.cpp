@@ -94,6 +94,15 @@ void print_stats(const service::ServiceStats& stats) {
         static_cast<unsigned long long>(replica.revived),
         replica.p50_latency_seconds, replica.max_latency_seconds);
   }
+  // Live-ingest rows (codec v6); older servers leave the defaults.
+  std::printf("manifest_refreshes=%llu\n",
+              static_cast<unsigned long long>(stats.manifest_refreshes));
+  std::printf("refresh_shards_reused=%llu\n",
+              static_cast<unsigned long long>(stats.refresh_shards_reused));
+  std::printf("resident_compressed_shards=%zu\n",
+              stats.resident_compressed_shards);
+  std::printf("store_revision=%llu\n",
+              static_cast<unsigned long long>(stats.store_revision));
   // Multi-tenant rows (codec v5); a pre-tenancy server sends none.
   std::printf("fair_scheduler=%d\n", stats.fair_scheduler ? 1 : 0);
   for (const service::TenantStats& tenant : stats.tenants) {
@@ -135,6 +144,10 @@ int main(int argc, char** argv) {
                   "final ping proves the connection survived them");
   args.add_flag("ping", "round-trip a Ping frame and exit");
   args.add_flag("stats", "print the service stats snapshot and exit");
+  args.add_option("refresh", "",
+                  "live ingest: ask the server to adopt the named bank "
+                  "prefix's current manifest revision (run after psc_index "
+                  "--append) and exit; prints the revision now served");
   args.add_option("bank", "",
                   "bank prefix, relative to the server's --bank-root");
   args.add_option("query", "", "query FASTA file (protein)");
@@ -174,6 +187,13 @@ int main(int argc, char** argv) {
     }
     if (args.get_flag("stats")) {
       print_stats(client.stats());
+      return 0;
+    }
+    if (!args.get("refresh").empty()) {
+      const std::uint64_t revision = client.refresh(args.get("refresh"));
+      std::printf("refreshed %s: revision %llu\n",
+                  args.get("refresh").c_str(),
+                  static_cast<unsigned long long>(revision));
       return 0;
     }
 

@@ -31,10 +31,15 @@ using namespace psc;
 void inspect_pair(const std::string& prefix) {
   const store::IndexFileInfo info =
       store::inspect_index(prefix + ".pscidx");
+  const store::BankFileInfo bank_info =
+      store::inspect_bank(prefix + ".pscbank");
   const bio::SequenceBank bank = store::load_bank(prefix + ".pscbank");
-  std::printf("%s.pscbank: %zu sequence(s), %zu residues, kind=%s\n",
+  std::printf("%s.pscbank: %zu sequence(s), %zu residues, kind=%s%s\n",
               prefix.c_str(), bank.size(), bank.total_residues(),
-              bank.kind() == bio::SequenceKind::kProtein ? "protein" : "dna");
+              bank.kind() == bio::SequenceKind::kProtein ? "protein" : "dna",
+              bank_info.compression != store::kCompressionNone
+                  ? ", compressed"
+                  : "");
   std::printf(
       "%s.pscidx: version %u, seed model %s (fingerprint %016llx), "
       "%llu keys, %llu occurrence(s), bank checksum %016llx\n",
@@ -53,9 +58,11 @@ int inspect(const std::string& prefix) {
   const store::ShardManifest manifest =
       store::load_manifest(store::manifest_path(prefix));
   std::printf(
-      "%s.pscman: version %u, %zu shard(s), %llu sequence(s), "
-      "%llu residues, kind=%s, set checksum %016llx\n",
-      prefix.c_str(), manifest.version, manifest.shards.size(),
+      "%s.pscman: version %u, revision %llu, %zu shard(s), "
+      "%llu sequence(s), %llu residues, kind=%s, set checksum %016llx\n",
+      prefix.c_str(), manifest.version,
+      static_cast<unsigned long long>(manifest.revision),
+      manifest.shards.size(),
       static_cast<unsigned long long>(manifest.total_sequences),
       static_cast<unsigned long long>(manifest.total_residues),
       manifest.kind == bio::SequenceKind::kProtein ? "protein" : "dna",
@@ -93,6 +100,16 @@ int main(int argc, char** argv) {
                   "split the bank into shards whose encoded payload stays at "
                   "or under this many bytes (writes <out>.pscman plus "
                   "<out>.shardNN.pscbank/.pscidx); 0 = unsharded");
+  args.add_flag("append",
+                "live ingest: append --input as a new tail shard of the "
+                "existing sharded store at --out and publish a "
+                "bumped-revision manifest (existing shard files are never "
+                "rewritten; a serving psc_serve/psc_router adopts the new "
+                "revision via a refresh, not a restart)");
+  args.add_flag("compress",
+                "write shard archives LZSS-compressed (cold-storage mode: "
+                "smaller files, decompressed once at load instead of "
+                "mmap'd; results are byte-identical either way)");
   args.add_option("inspect", "",
                   "print header info for a saved <prefix> instead of building");
   if (!args.parse(argc, argv)) return 1;
@@ -147,6 +164,29 @@ int main(int argc, char** argv) {
     if (!core::parse_threads_option(args, threads)) return 1;
     const index::SeedModel model = core::make_seed_model(kind_enum);
 
+    const bool compress = args.get_flag("compress");
+
+    if (args.get_flag("append")) {
+      if (args.get_int("shard-max-bytes") != 0) {
+        std::fprintf(stderr,
+                     "--append writes exactly one tail shard; "
+                     "--shard-max-bytes does not apply\n");
+        return 1;
+      }
+      util::Timer append_timer;
+      const store::ShardManifest manifest = store::append_sharded_store(
+          out, bank, model, threads, args.get_flag("serial-index"), compress);
+      std::fprintf(stderr,
+                   "# appended shard %02zu to %s.pscman: revision %llu, "
+                   "%zu shard(s), %llu sequence(s) total (%.3f s)\n",
+                   manifest.shards.size() - 1, out.c_str(),
+                   static_cast<unsigned long long>(manifest.revision),
+                   manifest.shards.size(),
+                   static_cast<unsigned long long>(manifest.total_sequences),
+                   append_timer.seconds());
+      return 0;
+    }
+
     const std::int64_t shard_max = args.get_int("shard-max-bytes");
     if (shard_max < 0) {
       std::fprintf(stderr, "--shard-max-bytes must be >= 0\n");
@@ -156,11 +196,12 @@ int main(int argc, char** argv) {
       util::Timer shard_timer;
       const store::ShardManifest manifest = store::write_sharded_store(
           out, bank, model, static_cast<std::uint64_t>(shard_max), threads,
-          args.get_flag("serial-index"));
+          args.get_flag("serial-index"), compress);
       std::fprintf(stderr,
                    "# wrote %s.pscman + %zu shard pair(s) under %s "
-                   "(set checksum %016llx, %.3f s)\n",
+                   "(revision %llu, set checksum %016llx, %.3f s)\n",
                    out.c_str(), manifest.shards.size(), model.name().c_str(),
+                   static_cast<unsigned long long>(manifest.revision),
                    static_cast<unsigned long long>(manifest.set_checksum),
                    shard_timer.seconds());
       return 0;
@@ -178,8 +219,9 @@ int main(int argc, char** argv) {
                  table.key_space(), build_timer.seconds());
 
     util::Timer save_timer;
-    const std::uint64_t bank_checksum = store::save_bank(out + ".pscbank", bank);
-    store::save_index(out + ".pscidx", table, model, bank_checksum);
+    const std::uint64_t bank_checksum =
+        store::save_bank(out + ".pscbank", bank, compress);
+    store::save_index(out + ".pscidx", table, model, bank_checksum, compress);
     std::fprintf(stderr, "# wrote %s.pscbank + %s.pscidx (%.3f s)\n",
                  out.c_str(), out.c_str(), save_timer.seconds());
     return 0;

@@ -45,8 +45,9 @@ int main(int argc, char** argv) {
                   "(required)");
   args.add_option("replicas", "",
                   "replica list 'host:port=0,1;host:port=1,2' mapping "
-                  "each endpoint to the manifest shard indices it serves "
-                  "(required)");
+                  "each endpoint to the manifest shard indices it serves; "
+                  "'host:port=all' claims every shard including ones "
+                  "appended later by live ingest (required)");
   args.add_option("bind", "127.0.0.1", "listen address");
   args.add_option("port", "0", "listen port (0 = ephemeral; see --port-file)");
   args.add_option("port-file", "",
